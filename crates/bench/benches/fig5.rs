@@ -1,0 +1,38 @@
+//! Bench + regeneration of Figure 5 (0/10/100/500/1000 MB at threshold 50).
+//!
+//! `cargo bench --bench fig5` prints the regenerated series (mean ± stddev
+//! per point, `REPRO_SEEDS` seeds per point, default 2 for bench runs; the
+//! `repro` binary uses 5) and times one representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwm_bench::{fig5, mb, render_figure, MontageExperiment, PolicyMode};
+use std::hint::black_box;
+
+fn seeds_from_env() -> usize {
+    std::env::var("REPRO_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let figure = fig5(seeds_from_env());
+    println!("{}", render_figure(&figure));
+
+    // Time one representative point of the figure.
+    let exp = MontageExperiment::paper_setup(
+        mb(100),
+        8,
+        PolicyMode::Greedy { threshold: 50 },
+    );
+    c.bench_function("fig5/greedy50_8streams_one_run", |b| {
+        b.iter(|| black_box(exp.run_once(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

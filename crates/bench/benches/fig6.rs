@@ -1,0 +1,38 @@
+//! Bench + regeneration of Figure 6 (10 MB extra files).
+//!
+//! `cargo bench --bench fig6` prints the regenerated series (mean ± stddev
+//! per point, `REPRO_SEEDS` seeds per point, default 2 for bench runs; the
+//! `repro` binary uses 5) and times one representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwm_bench::{fig6, mb, render_figure, MontageExperiment, PolicyMode};
+use std::hint::black_box;
+
+fn seeds_from_env() -> usize {
+    std::env::var("REPRO_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let figure = fig6(seeds_from_env());
+    println!("{}", render_figure(&figure));
+
+    // Time one representative point of the figure.
+    let exp = MontageExperiment::paper_setup(
+        mb(10),
+        8,
+        PolicyMode::Greedy { threshold: 50 },
+    );
+    c.bench_function("fig6/greedy50_8streams_one_run", |b| {
+        b.iter(|| black_box(exp.run_once(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

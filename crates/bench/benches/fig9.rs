@@ -1,0 +1,38 @@
+//! Bench + regeneration of Figure 9 (1 GB extra files).
+//!
+//! `cargo bench --bench fig9` prints the regenerated series (mean ± stddev
+//! per point, `REPRO_SEEDS` seeds per point, default 2 for bench runs; the
+//! `repro` binary uses 5) and times one representative simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwm_bench::{fig9, mb, render_figure, MontageExperiment, PolicyMode};
+use std::hint::black_box;
+
+fn seeds_from_env() -> usize {
+    std::env::var("REPRO_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let figure = fig9(seeds_from_env());
+    println!("{}", render_figure(&figure));
+
+    // Time one representative point of the figure.
+    let exp = MontageExperiment::paper_setup(
+        mb(1000),
+        8,
+        PolicyMode::Greedy { threshold: 50 },
+    );
+    c.bench_function("fig9/greedy50_8streams_one_run", |b| {
+        b.iter(|| black_box(exp.run_once(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+}
+criterion_main!(benches);

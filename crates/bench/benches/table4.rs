@@ -1,0 +1,40 @@
+//! Bench + regeneration of Table IV ("Maximum streams for simultaneous
+//! transfers").
+//!
+//! Running `cargo bench --bench table4` prints the regenerated table (both
+//! the analytic computation and the one driven through the full Policy
+//! Service) and measures the cost of each path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwm_bench::{render_table4, table4_analytic, table4_via_service};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    // Regenerate and print the table once, verifying both paths agree with
+    // the paper's printed numbers.
+    let analytic = table4_analytic();
+    let via_service = table4_via_service();
+    println!("{}", render_table4(&analytic));
+    let matches_paper = analytic
+        .iter()
+        .zip(pwm_bench::table4::PAPER_TABLE.iter())
+        .all(|(row, paper)| row.max_streams.as_slice() == paper.as_slice());
+    println!("analytic == paper Table IV: {matches_paper}");
+    println!("analytic == full-service computation: {}\n", analytic == via_service);
+    assert!(matches_paper, "Table IV regression");
+    assert_eq!(analytic, via_service, "service diverged from the arithmetic");
+
+    c.bench_function("table4/analytic", |b| {
+        b.iter(|| black_box(table4_analytic()))
+    });
+    c.bench_function("table4/via_policy_service", |b| {
+        b.iter(|| black_box(table4_via_service()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Calibration probe: prints per-configuration staging detail (peak WAN
+//! streams, staging window, goodput) used to tune the stream model so the
+//! figure shapes match the paper. Not part of the reproduction output.
+
+use pwm_bench::{mb, MontageExperiment, PolicyMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size_mb: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
+    println!("extra file size: {size_mb} MB");
+    for (label, mode, streams) in [
+        ("no-policy @4", PolicyMode::NoPolicy, 4),
+        ("greedy-50 @4", PolicyMode::Greedy { threshold: 50 }, 4),
+        ("greedy-50 @8", PolicyMode::Greedy { threshold: 50 }, 8),
+        ("greedy-100 @8", PolicyMode::Greedy { threshold: 100 }, 8),
+        ("greedy-200 @8", PolicyMode::Greedy { threshold: 200 }, 8),
+        ("greedy-200 @12", PolicyMode::Greedy { threshold: 200 }, 12),
+    ] {
+        let exp = MontageExperiment::paper_setup(mb(size_mb), streams, mode);
+        let stats = exp.run_once(1);
+        let wan_transfers: Vec<_> = stats
+            .transfers
+            .iter()
+            .filter(|t| t.bytes > 1.0e6)
+            .collect();
+        let goodput: f64 = if wan_transfers.is_empty() {
+            0.0
+        } else {
+            let start = wan_transfers.iter().map(|t| t.requested_at).min().unwrap();
+            let end = wan_transfers.iter().map(|t| t.completed_at).max().unwrap();
+            let bytes: f64 = wan_transfers.iter().map(|t| t.bytes).sum();
+            bytes / end.since(start).as_secs_f64()
+        };
+        println!(
+            "{label:<16} makespan {:>8.0}s  peakWAN {:>4}  wan-goodput {:>6.3} MB/s  retries {}",
+            stats.makespan_secs(),
+            stats.peak_wan_streams.unwrap_or(0),
+            goodput / 1e6,
+            stats.transfer_retries,
+        );
+    }
+}
+

@@ -1,0 +1,152 @@
+//! Reproduce the paper's tables and figures as text.
+//!
+//! ```text
+//! repro table4            # Table IV (analytic + via the full service)
+//! repro fig5 [seeds]      # Fig. 5 (threshold 50, sizes 0..1 GB)
+//! repro fig6..fig9        # threshold comparisons at 10/100/500/1000 MB
+//! repro all [seeds]       # everything (default 5 seeds per point)
+//! repro shapes [seeds]    # the headline shape comparisons only (fast)
+//! ```
+
+use pwm_bench::{
+    fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render_csv, render_figure, render_table4,
+    table4_analytic, table4_via_service, Figure,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let seeds: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+
+    match what {
+        "table4" => table4(),
+        "fig5" => figure(fig5(seeds)),
+        "fig6" => figure(fig6(seeds)),
+        "fig7" => figure(fig7(seeds)),
+        "fig8" => figure(fig8(seeds)),
+        "fig9" => figure(fig9(seeds)),
+        "figb" => figure(fig_balanced(seeds)),
+        "timeline" => timeline(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100)),
+        "shapes" => shapes(seeds),
+        "all" => {
+            table4();
+            for f in [
+                fig5(seeds),
+                fig6(seeds),
+                fig7(seeds),
+                fig8(seeds),
+                fig9(seeds),
+                fig_balanced(seeds),
+            ] {
+                figure(f);
+            }
+        }
+        "csv" => {
+            // Plotting-ready CSV for every figure on stdout.
+            for f in [
+                fig5(seeds),
+                fig6(seeds),
+                fig7(seeds),
+                fig8(seeds),
+                fig9(seeds),
+                fig_balanced(seeds),
+            ] {
+                print!("{}", render_csv(&f));
+            }
+        }
+        other => {
+            eprintln!("unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|all [seeds]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// WAN utilization timeline for one greedy-50 run at the given extra size.
+fn timeline(extra_mb: u64) {
+    use pwm_bench::{mb, MontageExperiment, PolicyMode};
+    let exp = MontageExperiment::paper_setup(mb(extra_mb), 8, PolicyMode::Greedy { threshold: 50 });
+    let (stats, network, wan) = exp.run_once_detailed(1);
+    let wan = wan.expect("paper testbed has a WAN link");
+    let tl = network.timeline(wan).expect("timeline recorded");
+    println!(
+        "WAN utilization, greedy-50 @8 streams, {} MB extras ({} samples, makespan {:.0}s):",
+        extra_mb,
+        tl.samples().len(),
+        stats.makespan_secs()
+    );
+    println!(
+        "  mean throughput {:.2} MB/s   peak streams {}   turbulent fraction {:.0}%",
+        tl.mean_throughput() / 1e6,
+        tl.peak_streams(),
+        tl.turbulent_fraction(0.2) * 100.0
+    );
+    // Coarse time series: decade buckets of the run.
+    let n = tl.samples().len().max(1);
+    let per = (n / 10).max(1);
+    println!("  {:<12}{:>10}{:>14}{:>12}", "t(s)", "streams", "thru(MB/s)", "turb");
+    for chunk in tl.samples().chunks(per) {
+        let t = chunk[0].at.as_secs_f64();
+        let streams = chunk.iter().map(|s| s.streams).max().unwrap_or(0);
+        let thru = chunk.iter().map(|s| s.throughput).sum::<f64>() / chunk.len() as f64;
+        let turb = chunk.iter().map(|s| s.turbulence).sum::<f64>() / chunk.len() as f64;
+        println!("  {:<12.0}{:>10}{:>14.2}{:>12.2}", t, streams, thru / 1e6, turb);
+    }
+    println!();
+}
+
+fn table4() {
+    println!("{}", render_table4(&table4_analytic()));
+    println!("(verified identical when driven through the full Policy Service: {})",
+        table4_via_service() == table4_analytic());
+    println!();
+}
+
+fn figure(f: Figure) {
+    println!("{}", render_figure(&f));
+    headline(&f);
+    println!();
+}
+
+/// Print the paper's headline comparisons for a threshold-comparison figure.
+fn headline(f: &Figure) {
+    let (Some(g50), Some(np)) = (point(f, "greedy-50", 8), point(f, "no-policy", 4)) else {
+        return;
+    };
+    let g200 = point(f, "greedy-200", 8);
+    println!(
+        "  greedy-50 @8 vs no-policy: {:+.1}%  (negative = policy faster)",
+        (g50.mean / np.mean - 1.0) * 100.0
+    );
+    if let Some(g200) = g200 {
+        println!(
+            "  greedy-200 @8 vs greedy-50 @8: {:+.1}%  (positive = 200 slower)",
+            (g200.mean / g50.mean - 1.0) * 100.0
+        );
+    }
+}
+
+/// Quick shape check across the four sizes at default 8 streams.
+fn shapes(seeds: usize) {
+    for (name, f) in [
+        ("fig6 (10MB)", fig6(seeds)),
+        ("fig7 (100MB)", fig7(seeds)),
+        ("fig8 (500MB)", fig8(seeds)),
+        ("fig9 (1GB)", fig9(seeds)),
+    ] {
+        println!("== {name} ==");
+        for label in ["greedy-50", "greedy-100", "greedy-200"] {
+            if let Some(s) = point(&f, label, 8) {
+                println!("  {label:<12} @8  {:>10.0}s ±{:.0}", s.mean, s.stddev);
+            }
+        }
+        if let Some(s) = point(&f, "no-policy", 4) {
+            println!("  {:<12} @4  {:>10.0}s ±{:.0}", "no-policy", s.mean, s.stddev);
+        }
+        headline(&f);
+        println!();
+    }
+}

@@ -1,0 +1,285 @@
+//! The experiment runner shared by the Criterion benches, the `repro`
+//! binary, and the integration tests.
+//!
+//! One experiment point = the paper's experimental setup (Section V):
+//! augmented 1-degree Montage (89 staging jobs) on the paper testbed
+//! topology, no clustering, staging-job limit 20, 5 retries, cleanup
+//! enabled, with a selectable staging policy — run over ≥ 5 seeds and
+//! summarized as mean ± stddev, exactly as the paper's error bars.
+
+use pwm_core::transport::{InProcessTransport, NoPolicyTransport, PolicyTransport};
+use pwm_core::{
+    AllocationPolicy, PolicyConfig, PolicyController, PriorityAlgorithm, WorkflowId,
+    DEFAULT_SESSION,
+};
+use pwm_montage::{montage_replicas, montage_workflow, MontageConfig};
+use pwm_net::{paper_testbed, LinkId, Network, StreamModel};
+use pwm_sim::{SimDuration, Summary};
+use pwm_workflow::{
+    plan, ComputeSite, ExecutorConfig, PlannerConfig, RunStats, WorkflowExecutor,
+};
+
+/// Which staging policy governs the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyMode {
+    /// Default Pegasus, no policy service: every transfer uses a fixed
+    /// number of streams (4 in the paper's no-policy runs) and no callout
+    /// latency is paid.
+    NoPolicy,
+    /// The greedy allocation policy with the given host-pair threshold.
+    Greedy {
+        /// Maximum streams between a host pair.
+        threshold: u32,
+    },
+    /// The balanced allocation policy.
+    Balanced {
+        /// Maximum streams between a host pair.
+        threshold: u32,
+        /// Workflow clustering factor (per-cluster share = threshold / k).
+        cluster_factor: u32,
+    },
+}
+
+impl PolicyMode {
+    /// Short label for tables ("no-policy", "greedy-50"...).
+    pub fn label(&self) -> String {
+        match self {
+            PolicyMode::NoPolicy => "no-policy".to_string(),
+            PolicyMode::Greedy { threshold } => format!("greedy-{threshold}"),
+            PolicyMode::Balanced {
+                threshold,
+                cluster_factor,
+            } => format!("balanced-{threshold}/{cluster_factor}"),
+        }
+    }
+}
+
+/// A full experiment-point description.
+#[derive(Debug, Clone)]
+pub struct MontageExperiment {
+    /// Extra WAN-staged bytes per staging job (the x-family of Fig. 5, the
+    /// fixed size of Figs. 6–9).
+    pub extra_file_bytes: u64,
+    /// Default streams per transfer (the x-axis of every figure).
+    pub default_streams: u32,
+    /// Policy under test.
+    pub mode: PolicyMode,
+    /// Pegasus task clustering factor (`None` = the paper's no-clustering
+    /// configuration).
+    pub clustering_factor: Option<u32>,
+    /// Structure-based priority annotation (ablation).
+    pub priority: Option<PriorityAlgorithm>,
+    /// Injected transfer failure probability (failure-handling ablation).
+    pub transfer_failure_prob: f64,
+    /// Staging-job limit (paper: 20).
+    pub staging_job_limit: usize,
+    /// Policy callout round-trip latency (paper notes this overhead).
+    pub policy_call_latency: SimDuration,
+}
+
+impl MontageExperiment {
+    /// The paper's baseline configuration for a given extra-file size,
+    /// default streams, and policy.
+    pub fn paper_setup(extra_file_bytes: u64, default_streams: u32, mode: PolicyMode) -> Self {
+        MontageExperiment {
+            extra_file_bytes,
+            default_streams,
+            mode,
+            clustering_factor: None,
+            priority: None,
+            transfer_failure_prob: 0.0,
+            staging_job_limit: 20,
+            policy_call_latency: SimDuration::from_millis(75),
+        }
+    }
+
+    /// Run one seed; returns the run statistics.
+    pub fn run_once(&self, seed: u64) -> RunStats {
+        self.run_once_detailed(seed).0
+    }
+
+    /// Run one seed, additionally returning the post-run [`Network`] (with a
+    /// utilization timeline recorded on the WAN bottleneck) and the WAN link
+    /// id.
+    pub fn run_once_detailed(&self, seed: u64) -> (RunStats, Network, Option<LinkId>) {
+        let (topo, gridftp, apache, nfs) = paper_testbed();
+        let wan: Option<LinkId> = topo
+            .links()
+            .find(|(_, l)| l.name == "wan-tacc-isi")
+            .map(|(id, _)| id);
+        let site = ComputeSite {
+            name: "obelix".into(),
+            nodes: 9,
+            cores_per_node: 6,
+            storage_host: nfs,
+            storage_host_name: "obelix-nfs".into(),
+            scratch_dir: "/scratch".into(),
+        };
+        let workflow = montage_workflow(&MontageConfig {
+            extra_file_bytes: self.extra_file_bytes,
+            seed,
+            ..Default::default()
+        });
+        let replicas = montage_replicas(
+            &workflow,
+            ("apache-isi", apache),
+            ("gridftp-vm", gridftp),
+        );
+        let planner_cfg = PlannerConfig {
+            clustering_factor: self.clustering_factor,
+            cleanup: true,
+            stage_out: false,
+            output_site: None,
+            priority: self.priority,
+        };
+        let executable = plan(&workflow, &site, &replicas, &planner_cfg)
+            .expect("montage plan must succeed");
+
+        let network = Network::with_seed(topo, StreamModel::default(), seed);
+        let (transport, latency): (Box<dyn PolicyTransport>, SimDuration) = match self.mode {
+            PolicyMode::NoPolicy => (
+                Box::new(NoPolicyTransport::new(self.default_streams)),
+                SimDuration::ZERO,
+            ),
+            PolicyMode::Greedy { threshold } => {
+                let config = PolicyConfig::default()
+                    .with_default_streams(self.default_streams)
+                    .with_threshold(threshold)
+                    .with_allocation(AllocationPolicy::Greedy);
+                let controller = PolicyController::new(config);
+                (
+                    Box::new(InProcessTransport::new(controller, DEFAULT_SESSION)),
+                    self.policy_call_latency,
+                )
+            }
+            PolicyMode::Balanced {
+                threshold,
+                cluster_factor,
+            } => {
+                let config = PolicyConfig::default()
+                    .with_default_streams(self.default_streams)
+                    .with_threshold(threshold)
+                    .with_cluster_factor(cluster_factor)
+                    .with_allocation(AllocationPolicy::Balanced);
+                let controller = PolicyController::new(config);
+                (
+                    Box::new(InProcessTransport::new(controller, DEFAULT_SESSION)),
+                    self.policy_call_latency,
+                )
+            }
+        };
+
+        let exec_cfg = ExecutorConfig {
+            seed,
+            staging_job_limit: self.staging_job_limit,
+            retries: 5,
+            runtime_jitter: 0.15,
+            policy_call_latency: latency,
+            job_init_overhead: SimDuration::from_secs(2),
+            inter_transfer_gap: SimDuration::from_millis(100),
+            cleanup_duration: SimDuration::from_millis(500),
+            transfer_failure_prob: self.transfer_failure_prob,
+            workflow_id: WorkflowId(seed),
+            watch_link: wan,
+            watch_timeline: true,
+            cleanup_job_limit: None,
+        };
+        let executor = WorkflowExecutor::new(&executable, &site, network, transport, exec_cfg);
+        let (stats, network) = executor.run();
+        (stats, network, wan)
+    }
+
+    /// Run several seeds; returns the makespan summary (seconds) and the
+    /// individual run stats. Seeds run on parallel threads — each run owns
+    /// its entire simulated world, so they are embarrassingly parallel and
+    /// the results are identical to a sequential run.
+    pub fn run_seeds(&self, seeds: &[u64]) -> (Summary, Vec<RunStats>) {
+        let runs: Vec<RunStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| scope.spawn(move || self.run_once(seed)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+        });
+        let makespans: Vec<f64> = runs.iter().map(|r| r.makespan_secs()).collect();
+        (Summary::of(&makespans), runs)
+    }
+}
+
+/// The default seed set (the paper runs each point "at least 5 times").
+pub fn default_seeds(n: usize) -> Vec<u64> {
+    (1..=n as u64).collect()
+}
+
+/// Megabytes → bytes, for readable experiment tables.
+pub const fn mb(n: u64) -> u64 {
+    n * 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unaugmented_run_completes() {
+        let exp = MontageExperiment::paper_setup(0, 4, PolicyMode::Greedy { threshold: 50 });
+        let stats = exp.run_once(1);
+        assert!(stats.success);
+        assert_eq!(stats.staging_jobs, 89, "the paper's 89 data staging jobs");
+        assert_eq!(stats.compute_jobs, 89);
+        assert!(stats.cleanup_jobs > 0);
+    }
+
+    #[test]
+    fn augmented_run_stages_the_extra_bytes() {
+        let exp =
+            MontageExperiment::paper_setup(mb(10), 4, PolicyMode::Greedy { threshold: 50 });
+        let stats = exp.run_once(1);
+        assert!(stats.success);
+        // 89 × 10 MB extra + the ordinary Montage inputs.
+        assert!(
+            stats.bytes_staged > 890.0e6,
+            "bytes staged {} below the 890 MB of extras",
+            stats.bytes_staged
+        );
+    }
+
+    #[test]
+    fn no_policy_mode_runs_without_callouts() {
+        let exp = MontageExperiment::paper_setup(0, 4, PolicyMode::NoPolicy);
+        let stats = exp.run_once(1);
+        assert!(stats.success);
+        assert_eq!(stats.transfers_skipped, 0);
+    }
+
+    #[test]
+    fn table_iv_peak_streams_hold_in_simulation() {
+        // Threshold 50, default 8: the WAN must never carry more than 63
+        // policy-allocated streams (Table IV's cell).
+        let exp =
+            MontageExperiment::paper_setup(mb(100), 8, PolicyMode::Greedy { threshold: 50 });
+        let stats = exp.run_once(2);
+        assert!(stats.success);
+        let peak = stats.peak_wan_streams.unwrap();
+        assert!(peak <= 63, "WAN peak {peak} exceeded Table IV's 63");
+        assert!(peak >= 40, "WAN peak {peak} suspiciously low");
+    }
+
+    #[test]
+    fn seeds_reproduce_exactly() {
+        let exp = MontageExperiment::paper_setup(mb(10), 6, PolicyMode::Greedy { threshold: 50 });
+        let a = exp.run_once(3);
+        let b = exp.run_once(3);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.policy_calls, b.policy_calls);
+    }
+
+    #[test]
+    fn summary_collects_all_seeds() {
+        let exp = MontageExperiment::paper_setup(0, 4, PolicyMode::NoPolicy);
+        let (summary, runs) = exp.run_seeds(&[1, 2, 3]);
+        assert_eq!(summary.n, 3);
+        assert_eq!(runs.len(), 3);
+        assert!(summary.mean > 0.0);
+    }
+}

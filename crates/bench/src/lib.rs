@@ -1,0 +1,29 @@
+//! # pwm-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! * [`table4`] — "Maximum streams for simultaneous transfers", computed
+//!   both analytically and through the full Policy Service; both must match
+//!   the paper's printed numbers exactly.
+//! * [`figures`] — Figures 5–9: augmented-Montage makespans versus default
+//!   streams per transfer, across extra-file sizes and greedy thresholds,
+//!   with the no-policy comparator.
+//! * [`experiment`] — the shared runner (paper testbed topology, 89-staging-
+//!   job Montage, staging-job limit 20, retries 5, cleanup on, seeded ≥ 5×).
+//!
+//! Entry points: `cargo run --release -p pwm-bench --bin repro -- all`
+//! prints every table/figure; `cargo bench` runs the Criterion benches that
+//! regenerate each one.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod table4;
+
+pub use experiment::{default_seeds, mb, MontageExperiment, PolicyMode};
+pub use figures::{
+    fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv,
+    Figure, Series,
+};
+pub use table4::{render as render_table4, table4_analytic, table4_via_service, Table4Row};

@@ -1,0 +1,158 @@
+//! Table IV: "Maximum streams for simultaneous transfers".
+//!
+//! The analytic table comes straight from the greedy-grant arithmetic with
+//! 20 concurrent staging jobs; [`table4_via_service`] additionally drives the
+//! full Policy Service (rules, memory, ledgers) to the same numbers, and the
+//! simulation-level check lives in the `fig*` experiments' peak-stream
+//! instrumentation.
+
+use pwm_core::{
+    greedy_total_for_concurrent_jobs, no_policy_total, AllocationPolicy, PolicyConfig,
+    PolicyService, TransferSpec, Url, WorkflowId,
+};
+
+/// The default-streams columns of Table IV.
+pub const DEFAULTS: [u32; 5] = [4, 6, 8, 10, 12];
+/// The greedy-threshold rows of Table IV.
+pub const THRESHOLDS: [u32; 3] = [50, 100, 200];
+/// Concurrent staging jobs in the table's scenario (the local job limit).
+pub const CONCURRENT_JOBS: u32 = 20;
+
+/// The paper's printed Table IV, for verification: rows are (no-policy,
+/// 50, 100, 200), columns are defaults (4, 6, 8, 10, 12).
+pub const PAPER_TABLE: [[u32; 5]; 4] = [
+    [80, 80, 80, 80, 80],
+    [57, 61, 63, 65, 65],
+    [80, 103, 107, 110, 111],
+    [80, 120, 160, 200, 203],
+];
+
+/// One computed row of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table4Row {
+    /// Row label ("no policy" or the threshold).
+    pub label: String,
+    /// Maximum streams per default-streams column.
+    pub max_streams: Vec<u32>,
+}
+
+/// Compute the table analytically from the grant arithmetic.
+pub fn table4_analytic() -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    rows.push(Table4Row {
+        label: "no policy".to_string(),
+        max_streams: DEFAULTS
+            .iter()
+            // The paper's no-policy runs always use 4 streams per transfer,
+            // hence the constant 80 row.
+            .map(|_| no_policy_total(CONCURRENT_JOBS, 4))
+            .collect(),
+    });
+    for threshold in THRESHOLDS {
+        rows.push(Table4Row {
+            label: format!("greedy {threshold}"),
+            max_streams: DEFAULTS
+                .iter()
+                .map(|&d| greedy_total_for_concurrent_jobs(CONCURRENT_JOBS, d, threshold))
+                .collect(),
+        });
+    }
+    rows
+}
+
+/// Compute the table by driving the full Policy Service: 20 staging jobs
+/// each submit one transfer, nothing completes, and the host-pair ledger's
+/// peak is read back.
+pub fn table4_via_service() -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    rows.push(Table4Row {
+        label: "no policy".to_string(),
+        max_streams: DEFAULTS
+            .iter()
+            .map(|_| no_policy_total(CONCURRENT_JOBS, 4))
+            .collect(),
+    });
+    for threshold in THRESHOLDS {
+        let mut max_streams = Vec::new();
+        for &default in DEFAULTS.iter() {
+            let mut service = PolicyService::new(
+                PolicyConfig::default()
+                    .with_default_streams(default)
+                    .with_threshold(threshold)
+                    .with_allocation(AllocationPolicy::Greedy),
+            );
+            for job in 0..CONCURRENT_JOBS {
+                service.evaluate_transfers(vec![TransferSpec {
+                    source: Url::new("gsiftp", "tacc", format!("/data/f{job}.dat")),
+                    dest: Url::new("file", "isi", format!("/scratch/f{job}.dat")),
+                    bytes: 1,
+                    requested_streams: None,
+                    workflow: WorkflowId(job as u64),
+                    cluster: None,
+                    priority: None,
+                }]);
+            }
+            max_streams.push(service.peak_allocated("tacc", "isi"));
+        }
+        rows.push(Table4Row {
+            label: format!("greedy {threshold}"),
+            max_streams,
+        });
+    }
+    rows
+}
+
+/// Render the table as aligned text matching the paper's layout.
+pub fn render(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE IV: MAXIMUM STREAMS FOR SIMULTANEOUS TRANSFERS\n");
+    out.push_str(&format!("{:<14}", "threshold"));
+    for d in DEFAULTS {
+        out.push_str(&format!("{d:>8}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<14}", row.label));
+        for v in &row.max_streams {
+            out.push_str(&format!("{v:>8}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_matrix(rows: &[Table4Row]) -> Vec<Vec<u32>> {
+        rows.iter().map(|r| r.max_streams.clone()).collect()
+    }
+
+    #[test]
+    fn analytic_matches_the_paper_exactly() {
+        let rows = table4_analytic();
+        let matrix = as_matrix(&rows);
+        for (computed, paper) in matrix.iter().zip(PAPER_TABLE.iter()) {
+            assert_eq!(computed.as_slice(), paper.as_slice());
+        }
+    }
+
+    #[test]
+    fn service_matches_the_paper_exactly() {
+        let rows = table4_via_service();
+        let matrix = as_matrix(&rows);
+        for (computed, paper) in matrix.iter().zip(PAPER_TABLE.iter()) {
+            assert_eq!(computed.as_slice(), paper.as_slice());
+        }
+    }
+
+    #[test]
+    fn render_contains_key_cells() {
+        let text = render(&table4_analytic());
+        assert!(text.contains("no policy"));
+        assert!(text.contains("greedy 50"));
+        assert!(text.contains("63")); // threshold 50, default 8
+        assert!(text.contains("203")); // threshold 200, default 12
+    }
+}

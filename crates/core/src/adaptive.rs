@@ -1,0 +1,292 @@
+//! Adaptive threshold tuning — the paper's future work, implemented.
+//!
+//! "We also plan to explore machine learning algorithms to help us learn
+//! what data transfer settings (such as the threshold number of streams)
+//! are the most beneficial for the applications. Based on our current
+//! results, we assume that these will depend on available host resources
+//! and on the network performance between computing and data storage
+//! sites."
+//!
+//! [`ThresholdTuner`] is an online learner for the greedy threshold of one
+//! host pair. It treats tuning as a stochastic bandit over a geometric grid
+//! of candidate thresholds: each completed transfer reports its achieved
+//! goodput; the tuner credits the sample to the threshold in force,
+//! maintains an exponentially weighted estimate of *aggregate* goodput per
+//! candidate (per-transfer goodput × concurrent transfers), and follows an
+//! ε-greedy policy with optimistic initialization so unexplored thresholds
+//! get tried early.
+//!
+//! The tuner is deliberately simple and fully deterministic given its seed —
+//! the point is the *architecture* (the Policy Service can close the loop
+//! from observed transfer performance back to its own configuration), not a
+//! particular learning algorithm.
+
+use std::collections::BTreeMap;
+
+/// One observation fed back to the tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferObservation {
+    /// Achieved goodput of the completed transfer, bytes/sec.
+    pub goodput: f64,
+    /// Transfers that were concurrently in progress on the host pair.
+    pub concurrent: u32,
+}
+
+/// Online ε-greedy tuner for one host pair's greedy threshold.
+#[derive(Debug, Clone)]
+pub struct ThresholdTuner {
+    /// Candidate thresholds, ascending.
+    candidates: Vec<u32>,
+    /// EWMA of estimated aggregate goodput per candidate (None = untried).
+    estimates: Vec<Option<f64>>,
+    /// Samples credited per candidate.
+    samples: Vec<u64>,
+    active_ix: usize,
+    epsilon: f64,
+    alpha: f64,
+    rng_state: u64,
+    min_samples_per_round: u64,
+    round_samples: u64,
+}
+
+impl ThresholdTuner {
+    /// A tuner over the given candidate thresholds.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn new(mut candidates: Vec<u32>, seed: u64) -> Self {
+        assert!(!candidates.is_empty(), "tuner needs candidates");
+        candidates.sort_unstable();
+        candidates.dedup();
+        let n = candidates.len();
+        ThresholdTuner {
+            candidates,
+            estimates: vec![None; n],
+            samples: vec![0; n],
+            active_ix: 0,
+            epsilon: 0.1,
+            alpha: 0.15,
+            rng_state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1),
+            min_samples_per_round: 8,
+            round_samples: 0,
+        }
+    }
+
+    /// A default geometric candidate grid bracketing the paper's
+    /// experimental range (25..400 streams).
+    pub fn default_grid(seed: u64) -> Self {
+        Self::new(vec![25, 50, 100, 200, 400], seed)
+    }
+
+    /// Exploration probability (default 0.1).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Minimum observations before the tuner may switch thresholds
+    /// (a switch invalidates in-flight allocations, so don't thrash).
+    pub fn with_min_samples(mut self, n: u64) -> Self {
+        self.min_samples_per_round = n.max(1);
+        self
+    }
+
+    /// The threshold currently recommended for the host pair.
+    pub fn active_threshold(&self) -> u32 {
+        self.candidates[self.active_ix]
+    }
+
+    /// Feed one completed transfer's result; returns the (possibly new)
+    /// active threshold.
+    pub fn observe(&mut self, obs: TransferObservation) -> u32 {
+        // Reward: estimated aggregate goodput achieved under this threshold.
+        let reward = obs.goodput * obs.concurrent.max(1) as f64;
+        let slot = &mut self.estimates[self.active_ix];
+        *slot = Some(match *slot {
+            None => reward,
+            Some(prev) => prev + self.alpha * (reward - prev),
+        });
+        self.samples[self.active_ix] += 1;
+        self.round_samples += 1;
+
+        if self.round_samples >= self.min_samples_per_round {
+            self.round_samples = 0;
+            self.active_ix = self.pick_next();
+        }
+        self.active_threshold()
+    }
+
+    /// ε-greedy with optimistic initialization: untried candidates win.
+    fn pick_next(&mut self) -> usize {
+        if let Some(untried) = self.estimates.iter().position(|e| e.is_none()) {
+            return untried;
+        }
+        if self.next_unit() < self.epsilon {
+            return (self.next_u64() % self.candidates.len() as u64) as usize;
+        }
+        self.estimates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.unwrap_or(0.0)
+                    .partial_cmp(&b.unwrap_or(0.0))
+                    .expect("rewards are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates")
+    }
+
+    /// Number of observations credited to each candidate.
+    pub fn sample_counts(&self) -> BTreeMap<u32, u64> {
+        self.candidates
+            .iter()
+            .zip(&self.samples)
+            .map(|(&c, &s)| (c, s))
+            .collect()
+    }
+
+    /// Current aggregate-goodput estimate per candidate (bytes/sec).
+    pub fn estimates(&self) -> BTreeMap<u32, Option<f64>> {
+        self.candidates
+            .iter()
+            .zip(&self.estimates)
+            .map(|(&c, &e)| (c, e))
+            .collect()
+    }
+
+    /// The candidate the tuner currently believes best (ignoring
+    /// exploration).
+    pub fn best_threshold(&self) -> u32 {
+        self.estimates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.unwrap_or(f64::NEG_INFINITY)
+                    .partial_cmp(&b.unwrap_or(f64::NEG_INFINITY))
+                    .expect("rewards are finite")
+            })
+            .map(|(i, _)| self.candidates[i])
+            .expect("non-empty candidates")
+    }
+
+    // xorshift64* — deterministic, no external RNG dependency needed here.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic environment with a known best threshold: aggregate
+    /// goodput peaks at `best` and falls off on both sides.
+    fn environment_reward(threshold: u32, best: u32) -> TransferObservation {
+        let x = threshold as f64 / best as f64;
+        // Peak 1.0 at x=1; penalize under- and over-subscription.
+        let agg = if x < 1.0 { x } else { 1.0 / x / x };
+        TransferObservation {
+            goodput: agg * 3.5e6 / 20.0,
+            concurrent: 20,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs candidates")]
+    fn empty_candidates_rejected() {
+        ThresholdTuner::new(vec![], 1);
+    }
+
+    #[test]
+    fn starts_with_smallest_candidate() {
+        let t = ThresholdTuner::default_grid(1);
+        assert_eq!(t.active_threshold(), 25);
+    }
+
+    #[test]
+    fn tries_every_candidate_before_committing() {
+        let mut t = ThresholdTuner::default_grid(1).with_min_samples(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5 {
+            seen.insert(t.active_threshold());
+            let obs = environment_reward(t.active_threshold(), 50);
+            t.observe(obs);
+        }
+        assert_eq!(seen.len(), 5, "all candidates explored: {seen:?}");
+    }
+
+    #[test]
+    fn converges_to_the_best_threshold() {
+        let mut t = ThresholdTuner::default_grid(7)
+            .with_min_samples(4)
+            .with_epsilon(0.05);
+        for _ in 0..600 {
+            let obs = environment_reward(t.active_threshold(), 50);
+            t.observe(obs);
+        }
+        assert_eq!(t.best_threshold(), 50, "estimates: {:?}", t.estimates());
+        // The best arm received the most samples.
+        let counts = t.sample_counts();
+        let best_count = counts[&50];
+        for (&c, &n) in &counts {
+            if c != 50 {
+                assert!(best_count >= n, "arm {c} sampled {n} ≥ best {best_count}");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_when_the_peak_moves() {
+        // Same tuner, environment where 200 is optimal.
+        let mut t = ThresholdTuner::default_grid(3)
+            .with_min_samples(4)
+            .with_epsilon(0.05);
+        for _ in 0..600 {
+            let obs = environment_reward(t.active_threshold(), 200);
+            t.observe(obs);
+        }
+        assert_eq!(t.best_threshold(), 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut t = ThresholdTuner::default_grid(seed).with_min_samples(2);
+            for _ in 0..100 {
+                let obs = environment_reward(t.active_threshold(), 100);
+                t.observe(obs);
+            }
+            (t.active_threshold(), t.sample_counts())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn min_samples_prevents_thrash() {
+        let mut t = ThresholdTuner::default_grid(1).with_min_samples(10);
+        let first = t.active_threshold();
+        for _ in 0..9 {
+            t.observe(environment_reward(first, 50));
+            assert_eq!(t.active_threshold(), first, "switched before 10 samples");
+        }
+        t.observe(environment_reward(first, 50));
+        // Now it may (and with untried arms, must) switch.
+        assert_ne!(t.active_threshold(), first);
+    }
+
+    #[test]
+    fn candidates_deduped_and_sorted() {
+        let t = ThresholdTuner::new(vec![200, 50, 50, 100], 1);
+        let grid: Vec<u32> = t.sample_counts().keys().copied().collect();
+        assert_eq!(grid, vec![50, 100, 200]);
+    }
+}

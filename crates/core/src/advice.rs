@@ -1,0 +1,136 @@
+//! Advice returned by the Policy Service to the Pegasus Transfer Tool.
+
+use crate::model::{CleanupId, GroupId, SuppressReason, TransferId, Url};
+use serde::{Deserialize, Serialize};
+
+/// What the client should do with one submitted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferAction {
+    /// Execute the transfer with the advised parameters.
+    Execute,
+    /// Skip it — the reason says why (duplicate, already staged, ...).
+    Skip(SuppressReason),
+}
+
+/// Advice for one transfer request. Returned in execution order: "the
+/// Pegasus Transfer Tool processes all the transfers in each group
+/// sequentially, using the sorted order and transfer parameters specified by
+/// the Policy Engine".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferAdvice {
+    /// Service-assigned id; quote it when reporting completion.
+    pub id: TransferId,
+    /// Source URL (echoed for client convenience).
+    pub source: Url,
+    /// Destination URL.
+    pub dest: Url,
+    /// Execute or skip.
+    pub action: TransferAction,
+    /// Parallel streams to use (≥ 1 when executing).
+    pub streams: u32,
+    /// Group: transfers sharing a group should run in one client session.
+    pub group: GroupId,
+    /// Position in the advised execution order (0-based, across the batch).
+    pub order: u32,
+}
+
+impl TransferAdvice {
+    /// True when the client should actually run this transfer.
+    pub fn should_execute(&self) -> bool {
+        matches!(self.action, TransferAction::Execute)
+    }
+}
+
+/// What the client should do with one submitted cleanup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CleanupAction {
+    /// Delete the file.
+    Execute,
+    /// Skip — duplicate request or the file is still in use elsewhere.
+    Skip(SuppressReason),
+}
+
+/// Advice for one cleanup request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupAdvice {
+    /// Service-assigned id; quote it when reporting completion.
+    pub id: CleanupId,
+    /// File the request referred to.
+    pub file: Url,
+    /// Execute or skip.
+    pub action: CleanupAction,
+}
+
+impl CleanupAdvice {
+    /// True when the client should actually delete the file.
+    pub fn should_execute(&self) -> bool {
+        matches!(self.action, CleanupAction::Execute)
+    }
+}
+
+/// Outcome of an executed transfer, reported back by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferOutcome {
+    /// Which transfer.
+    pub id: TransferId,
+    /// Whether the bytes arrived.
+    pub success: bool,
+}
+
+/// Outcome of an executed cleanup, reported back by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanupOutcome {
+    /// Which cleanup.
+    pub id: CleanupId,
+    /// Whether the file was removed.
+    pub success: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn should_execute_tracks_action() {
+        let mut a = TransferAdvice {
+            id: TransferId(1),
+            source: Url::new("gsiftp", "s", "/x"),
+            dest: Url::new("file", "d", "/x"),
+            action: TransferAction::Execute,
+            streams: 4,
+            group: GroupId(0),
+            order: 0,
+        };
+        assert!(a.should_execute());
+        a.action = TransferAction::Skip(SuppressReason::AlreadyStaged);
+        assert!(!a.should_execute());
+    }
+
+    #[test]
+    fn cleanup_should_execute_tracks_action() {
+        let mut c = CleanupAdvice {
+            id: CleanupId(1),
+            file: Url::new("file", "d", "/x"),
+            action: CleanupAction::Execute,
+        };
+        assert!(c.should_execute());
+        c.action = CleanupAction::Skip(SuppressReason::ResourceInUse);
+        assert!(!c.should_execute());
+    }
+
+    #[test]
+    fn advice_serde_roundtrip() {
+        let a = TransferAdvice {
+            id: TransferId(9),
+            source: Url::new("gsiftp", "s", "/x"),
+            dest: Url::new("file", "d", "/x"),
+            action: TransferAction::Skip(SuppressReason::DuplicateInBatch),
+            streams: 1,
+            group: GroupId(3),
+            order: 7,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: TransferAdvice = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,192 @@
+//! The monitoring log.
+//!
+//! "The Policy Service assigns each transfer a unique ID so that the
+//! transfers can be monitored and modified." The [`AuditLog`] is the
+//! monitoring half: a bounded, sequence-numbered record of every decision
+//! the service makes, queryable through the controller and the REST
+//! interface (`GET /sessions/{s}/log`).
+
+use crate::model::{CleanupId, SuppressReason, TransferId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One recorded policy decision or lifecycle event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyEvent {
+    /// A transfer request was evaluated.
+    TransferEvaluated {
+        /// Assigned id.
+        id: TransferId,
+        /// Streams granted (meaningful when executed).
+        streams: u32,
+        /// None = execute; Some = skipped and why.
+        skipped: Option<SuppressReason>,
+    },
+    /// A transfer outcome was reported.
+    TransferReported {
+        /// Which transfer.
+        id: TransferId,
+        /// Success or failure.
+        success: bool,
+    },
+    /// A cleanup request was evaluated.
+    CleanupEvaluated {
+        /// Assigned id.
+        id: CleanupId,
+        /// None = execute; Some = skipped and why.
+        skipped: Option<SuppressReason>,
+    },
+    /// A cleanup outcome was reported.
+    CleanupReported {
+        /// Which cleanup.
+        id: CleanupId,
+        /// Success or failure.
+        success: bool,
+    },
+    /// The session configuration was replaced.
+    ConfigChanged,
+}
+
+/// A sequence-numbered audit entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Monotone sequence number within the session.
+    pub seq: u64,
+    /// What happened.
+    pub event: PolicyEvent,
+}
+
+/// Bounded decision log; oldest entries are evicted when full.
+#[derive(Debug, Clone)]
+pub struct AuditLog {
+    records: VecDeque<AuditRecord>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl AuditLog {
+    /// A log retaining at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AuditLog {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Append an event; returns its sequence number.
+    pub fn record(&mut self, event: PolicyEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(AuditRecord { seq, event });
+        seq
+    }
+
+    /// Records with `seq >= since`, oldest first (incremental polling).
+    pub fn since(&self, since: u64) -> Vec<AuditRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.seq >= since)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<AuditRecord> {
+        let skip = self.records.len().saturating_sub(n);
+        self.records.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Currently retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> PolicyEvent {
+        PolicyEvent::TransferReported {
+            id: TransferId(n),
+            success: true,
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut log = AuditLog::default();
+        assert_eq!(log.record(ev(0)), 0);
+        assert_eq!(log.record(ev(1)), 1);
+        assert_eq!(log.total_recorded(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_but_keeps_seq() {
+        let mut log = AuditLog::with_capacity(2);
+        log.record(ev(0));
+        log.record(ev(1));
+        log.record(ev(2));
+        assert_eq!(log.len(), 2);
+        let seqs: Vec<u64> = log.tail(10).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(log.total_recorded(), 3);
+    }
+
+    #[test]
+    fn since_filters_incrementally() {
+        let mut log = AuditLog::default();
+        for n in 0..5 {
+            log.record(ev(n));
+        }
+        let recent = log.since(3);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].seq, 3);
+        assert!(log.since(99).is_empty());
+    }
+
+    #[test]
+    fn tail_returns_last_n_in_order() {
+        let mut log = AuditLog::default();
+        for n in 0..10 {
+            log.record(ev(n));
+        }
+        let t = log.tail(3);
+        let seqs: Vec<u64> = t.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(log.tail(100).len(), 10);
+    }
+
+    #[test]
+    fn records_serialize() {
+        let mut log = AuditLog::default();
+        log.record(PolicyEvent::TransferEvaluated {
+            id: TransferId(1),
+            streams: 8,
+            skipped: Some(SuppressReason::AlreadyStaged),
+        });
+        let json = serde_json::to_string(&log.tail(1)).unwrap();
+        let back: Vec<AuditRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log.tail(1));
+    }
+}

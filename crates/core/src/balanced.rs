@@ -1,0 +1,349 @@
+//! The Table III rule set: balanced stream allocation.
+//!
+//! "The Balanced Allocation Algorithm uses information about the Pegasus
+//! clustering factor to allocate streams between a source and destination
+//! host. ... Transfers on the cluster are allocated their requested number
+//! of parallel streams until the cluster threshold is exceeded. Transfer
+//! requests that arrive later from other clusters are therefore not starved
+//! because available resources have already been reserved for use by each
+//! cluster."
+
+use crate::config::AllocationPolicy;
+use crate::ctx::PolicyCtx;
+use crate::ledger::balanced_grant;
+use crate::model::{ClusterAllocFact, ClusterId, HostPairFact, TransferFact};
+use pwm_rules::{Rule, Session};
+
+/// Install the balanced allocation rules.
+pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
+    // "Retrieve the number of clusters used in the system" + create the
+    // per-cluster ledger the first time a cluster appears on a host pair.
+    session.add_rule(
+        Rule::new("balanced: create the per-cluster ledger")
+            .salience(52)
+            .when(|wm, ctx: &PolicyCtx| {
+                if ctx.config.allocation != AllocationPolicy::Balanced {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                let mut pending: Vec<(crate::model::GroupId, ClusterId)> = Vec::new();
+                for (h, t) in wm.iter::<TransferFact>() {
+                    if !t.in_current_batch || t.suppressed.is_some() {
+                        continue;
+                    }
+                    let (Some(group), cluster) = (t.group, t.cluster_or_default()) else {
+                        continue;
+                    };
+                    let exists = wm
+                        .iter::<ClusterAllocFact>()
+                        .any(|(_, c)| c.group == group && c.cluster == cluster)
+                        || pending.contains(&(group, cluster));
+                    if !exists {
+                        pending.push((group, cluster));
+                        out.push(vec![h]);
+                    }
+                }
+                out
+            })
+            .then(|wm, _, m| {
+                let (group, cluster) = {
+                    let t = wm.get::<TransferFact>(m[0]).expect("matched transfer");
+                    (t.group.expect("grouped"), t.cluster_or_default())
+                };
+                if wm
+                    .find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
+                    .is_none()
+                {
+                    wm.insert(ClusterAllocFact {
+                        group,
+                        cluster,
+                        allocated: 0,
+                    });
+                }
+            }),
+    );
+
+    // "Retrieve the parallel streams threshold defined for a single cluster
+    // between a source and destination host" / "Enforce the max number of
+    // parallel streams on a transfer that violates the number of available
+    // streams below the threshold on its cluster" / "Record the number of
+    // parallel streams used by a transfer against the defined cluster
+    // threshold".
+    session.add_rule(
+        Rule::new("balanced: enforce the per-cluster threshold on a transfer")
+            .salience(50)
+            .when(|wm, ctx: &PolicyCtx| {
+                if ctx.config.allocation != AllocationPolicy::Balanced {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                for (h, t) in wm.iter::<TransferFact>() {
+                    if !t.in_current_batch
+                        || t.suppressed.is_some()
+                        || t.charged_streams > 0
+                        || t.streams.is_none()
+                    {
+                        continue;
+                    }
+                    let Some(group) = t.group else { continue };
+                    let cluster = t.cluster_or_default();
+                    let Some((ch, _)) = wm
+                        .find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
+                    else {
+                        continue;
+                    };
+                    let Some((ph, _)) = wm.find::<HostPairFact>(|p| p.group == group) else {
+                        continue;
+                    };
+                    out.push(vec![h, ch, ph]);
+                }
+                out
+            })
+            .then(|wm, ctx, m| {
+                let (requested, src_host, dst_host) = {
+                    let t = wm.get::<TransferFact>(m[0]).expect("matched transfer");
+                    (
+                        t.streams.unwrap_or(1),
+                        t.spec.source.host.clone(),
+                        t.spec.dest.host.clone(),
+                    )
+                };
+                let share = ctx.config.cluster_share(&src_host, &dst_host);
+                let cluster_allocated = wm
+                    .get::<ClusterAllocFact>(m[1])
+                    .expect("matched cluster ledger")
+                    .allocated;
+                let grant = balanced_grant(cluster_allocated, requested, share);
+                wm.update::<ClusterAllocFact>(m[1], |c| c.allocated += grant);
+                // The host-pair ledger still tracks the pair-wide totals for
+                // monitoring and release accounting.
+                wm.update::<HostPairFact>(m[2], |p| {
+                    p.allocated += grant;
+                    p.peak_allocated = p.peak_allocated.max(p.allocated);
+                });
+                wm.update::<TransferFact>(m[0], |t| {
+                    t.streams = Some(grant);
+                    t.charged_streams = grant;
+                });
+            }),
+    );
+
+    // Release of cluster-ledger streams on completion/failure: the Table I
+    // completion rules release the host-pair ledger; this companion releases
+    // the per-cluster one before the transfer fact disappears.
+    session.add_rule(
+        Rule::new("balanced: release the cluster ledger on completion or failure")
+            .salience(71) // must run before the Table I removal rules (70)
+            .when(|wm, ctx: &PolicyCtx| {
+                if ctx.config.allocation != AllocationPolicy::Balanced {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                for (h, t) in wm.iter::<TransferFact>() {
+                    use crate::model::TransferState::*;
+                    if !matches!(t.state, Completed | Failed)
+                        || t.charged_streams == 0
+                        || t.cluster_released
+                    {
+                        continue;
+                    }
+                    let Some(group) = t.group else { continue };
+                    let cluster = t.cluster_or_default();
+                    if let Some((ch, _)) = wm
+                        .find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
+                    {
+                        out.push(vec![h, ch]);
+                    }
+                }
+                out
+            })
+            .then(|wm, _, m| {
+                let charged = wm
+                    .get::<TransferFact>(m[0])
+                    .expect("matched transfer")
+                    .charged_streams;
+                wm.update::<ClusterAllocFact>(m[1], |c| {
+                    c.allocated = c.allocated.saturating_sub(charged);
+                });
+                // Prevent double release if rules re-evaluate before the
+                // Table I rule retracts the fact; the charge itself must stay
+                // visible for the host-pair release in the Table I rules.
+                wm.update::<TransferFact>(m[0], |t| t.cluster_released = true);
+            }),
+    );
+}
+
+impl TransferFact {
+    /// The cluster this transfer charges under the balanced policy;
+    /// transfers without cluster annotation share cluster 0.
+    pub fn cluster_or_default(&self) -> ClusterId {
+        self.spec.cluster.unwrap_or(ClusterId(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyConfig;
+    use crate::model::*;
+    use crate::rules_base::install_base_rules;
+
+    fn spec(n: u32, cluster: u32) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "tacc", format!("/data/f{n}.dat")),
+            dest: Url::new("file", "isi", format!("/scratch/f{n}.dat")),
+            bytes: 1,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: Some(ClusterId(cluster)),
+            priority: None,
+        }
+    }
+
+    fn run_batch(cfg: PolicyConfig, specs: Vec<TransferSpec>) -> Vec<(u32, u32)> {
+        let mut s: Session<PolicyCtx> = Session::new();
+        install_base_rules(&mut s);
+        install_balanced_rules(&mut s);
+        let mut ctx = PolicyCtx::new(cfg);
+        for (i, sp) in specs.into_iter().enumerate() {
+            s.wm.insert(TransferFact {
+                id: TransferId(i as u64),
+                spec: sp,
+                state: TransferState::Pending,
+                streams: None,
+                charged_streams: 0,
+                group: None,
+                in_current_batch: true,
+                suppressed: None,
+                cluster_released: false,
+            });
+        }
+        s.fire_all(&mut ctx);
+        s.wm
+            .iter::<TransferFact>()
+            .map(|(_, t)| (t.cluster_or_default().0, t.charged_streams))
+            .collect()
+    }
+
+    fn balanced_cfg(threshold: u32, clusters: u32, default: u32) -> PolicyConfig {
+        PolicyConfig::default()
+            .with_threshold(threshold)
+            .with_cluster_factor(clusters)
+            .with_default_streams(default)
+            .with_allocation(AllocationPolicy::Balanced)
+    }
+
+    #[test]
+    fn each_cluster_gets_its_share() {
+        // Threshold 40, 2 clusters → 20 per cluster; default 8.
+        // Cluster 0 submits 4 transfers: 8, 8, 4, 1.
+        let grants = run_batch(
+            balanced_cfg(40, 2, 8),
+            (0..4).map(|i| spec(i, 0)).collect(),
+        );
+        let c0: Vec<u32> = grants.iter().map(|&(_, g)| g).collect();
+        assert_eq!(c0, vec![8, 8, 4, 1]);
+    }
+
+    #[test]
+    fn late_cluster_is_not_starved() {
+        // Cluster 0 floods first, then cluster 1 arrives: it still gets its
+        // full default because its share was reserved.
+        let mut specs: Vec<TransferSpec> = (0..6).map(|i| spec(i, 0)).collect();
+        specs.push(spec(100, 1));
+        let grants = run_batch(balanced_cfg(40, 2, 8), specs);
+        let late = grants.iter().find(|&&(c, _)| c == 1).unwrap();
+        assert_eq!(late.1, 8, "late cluster receives its reserved share");
+        // Cluster 0 totals its own share (+ starvation singles).
+        let c0_total: u32 = grants.iter().filter(|&&(c, _)| c == 0).map(|&(_, g)| g).sum();
+        assert_eq!(c0_total, 8 + 8 + 4 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn greedy_would_starve_where_balanced_does_not() {
+        // Same arrival pattern under greedy: the late cluster gets 1 stream.
+        let mut s: Session<PolicyCtx> = Session::new();
+        install_base_rules(&mut s);
+        crate::greedy::install_greedy_rules(&mut s);
+        let cfg = PolicyConfig::default()
+            .with_threshold(40)
+            .with_default_streams(8)
+            .with_allocation(AllocationPolicy::Greedy);
+        let mut ctx = PolicyCtx::new(cfg);
+        for i in 0..6 {
+            s.wm.insert(TransferFact {
+                id: TransferId(i),
+                spec: spec(i as u32, 0),
+                state: TransferState::Pending,
+                streams: None,
+                charged_streams: 0,
+                group: None,
+                in_current_batch: true,
+                suppressed: None,
+                cluster_released: false,
+            });
+        }
+        s.wm.insert(TransferFact {
+            id: TransferId(100),
+            spec: spec(100, 1),
+            state: TransferState::Pending,
+            streams: None,
+            charged_streams: 0,
+            group: None,
+            in_current_batch: true,
+            suppressed: None,
+            cluster_released: false,
+        });
+        s.fire_all(&mut ctx);
+        let late = s
+            .wm
+            .find::<TransferFact>(|t| t.id == TransferId(100))
+            .unwrap()
+            .1
+            .charged_streams;
+        assert_eq!(late, 1, "greedy gives the latecomer a single stream");
+    }
+
+    #[test]
+    fn cluster_ledger_releases_on_completion() {
+        let mut s: Session<PolicyCtx> = Session::new();
+        install_base_rules(&mut s);
+        install_balanced_rules(&mut s);
+        let mut ctx = PolicyCtx::new(balanced_cfg(40, 2, 20));
+        s.wm.insert(TransferFact {
+            id: TransferId(0),
+            spec: spec(0, 0),
+            state: TransferState::Pending,
+            streams: None,
+            charged_streams: 0,
+            group: None,
+            in_current_batch: true,
+            suppressed: None,
+            cluster_released: false,
+        });
+        s.fire_all(&mut ctx);
+        let (_, c) = s.wm.find::<ClusterAllocFact>(|_| true).unwrap();
+        assert_eq!(c.allocated, 20);
+
+        let h = s.wm.handles::<TransferFact>()[0];
+        s.wm.update::<TransferFact>(h, |t| {
+            t.in_current_batch = false;
+            t.state = TransferState::Completed;
+        });
+        s.fire_all(&mut ctx);
+        let (_, c) = s.wm.find::<ClusterAllocFact>(|_| true).unwrap();
+        assert_eq!(c.allocated, 0);
+        let (_, p) = s.wm.find::<HostPairFact>(|_| true).unwrap();
+        assert_eq!(p.allocated, 0);
+    }
+
+    #[test]
+    fn unclustered_transfers_share_cluster_zero() {
+        let mut sp = spec(0, 0);
+        sp.cluster = None;
+        let grants = run_batch(balanced_cfg(40, 4, 8), vec![sp, spec(1, 0)]);
+        // Share = 10: first gets 8, second gets 2 (same implicit cluster 0).
+        let gs: Vec<u32> = grants.iter().map(|&(_, g)| g).collect();
+        assert_eq!(gs, vec![8, 2]);
+    }
+}

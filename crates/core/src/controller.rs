@@ -1,0 +1,220 @@
+//! The Policy Controller.
+//!
+//! Fig. 1: "A Policy Controller manages communication between the web
+//! interface and the policy engine." [`PolicyController`] owns one or more
+//! named policy sessions behind a lock so that concurrent HTTP handler
+//! threads (see `pwm-rest`) can delegate requests safely, and routes each
+//! request to the right session.
+
+use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
+use crate::config::PolicyConfig;
+use crate::model::{CleanupSpec, TransferSpec};
+use crate::service::{MemorySnapshot, PolicyService, ServiceStats};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The default session name used when a client does not specify one.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Errors surfaced to the web interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The named session does not exist.
+    NoSuchSession(String),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::NoSuchSession(name) => write!(f, "no such policy session: {name}"),
+        }
+    }
+}
+impl std::error::Error for ControllerError {}
+
+/// Thread-safe front door to one or more policy sessions.
+#[derive(Clone)]
+pub struct PolicyController {
+    inner: Arc<Mutex<BTreeMap<String, PolicyService>>>,
+}
+
+impl PolicyController {
+    /// A controller with a single `default` session using `config`.
+    pub fn new(config: PolicyConfig) -> Self {
+        let mut sessions = BTreeMap::new();
+        sessions.insert(DEFAULT_SESSION.to_string(), PolicyService::new(config));
+        PolicyController {
+            inner: Arc::new(Mutex::new(sessions)),
+        }
+    }
+
+    /// Create (or replace) a named session.
+    pub fn create_session(&self, name: impl Into<String>, config: PolicyConfig) {
+        self.inner
+            .lock()
+            .insert(name.into(), PolicyService::new(config));
+    }
+
+    /// Delete a named session; returns whether it existed.
+    pub fn drop_session(&self, name: &str) -> bool {
+        self.inner.lock().remove(name).is_some()
+    }
+
+    /// Names of all live sessions.
+    pub fn session_names(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    fn with_session<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut PolicyService) -> R,
+    ) -> Result<R, ControllerError> {
+        let mut sessions = self.inner.lock();
+        match sessions.get_mut(name) {
+            Some(s) => Ok(f(s)),
+            None => Err(ControllerError::NoSuchSession(name.to_string())),
+        }
+    }
+
+    /// Delegate a transfer-request list to a session.
+    pub fn evaluate_transfers(
+        &self,
+        session: &str,
+        batch: Vec<TransferSpec>,
+    ) -> Result<Vec<TransferAdvice>, ControllerError> {
+        self.with_session(session, |s| s.evaluate_transfers(batch))
+    }
+
+    /// Delegate transfer outcomes to a session.
+    pub fn report_transfers(
+        &self,
+        session: &str,
+        outcomes: Vec<TransferOutcome>,
+    ) -> Result<(), ControllerError> {
+        self.with_session(session, |s| s.report_transfers(outcomes))
+    }
+
+    /// Delegate a cleanup-request list to a session.
+    pub fn evaluate_cleanups(
+        &self,
+        session: &str,
+        batch: Vec<CleanupSpec>,
+    ) -> Result<Vec<CleanupAdvice>, ControllerError> {
+        self.with_session(session, |s| s.evaluate_cleanups(batch))
+    }
+
+    /// Delegate cleanup outcomes to a session.
+    pub fn report_cleanups(
+        &self,
+        session: &str,
+        outcomes: Vec<CleanupOutcome>,
+    ) -> Result<(), ControllerError> {
+        self.with_session(session, |s| s.report_cleanups(outcomes))
+    }
+
+    /// Snapshot a session's policy memory.
+    pub fn snapshot(&self, session: &str) -> Result<MemorySnapshot, ControllerError> {
+        self.with_session(session, |s| s.snapshot())
+    }
+
+    /// A session's monitoring counters.
+    pub fn stats(&self, session: &str) -> Result<ServiceStats, ControllerError> {
+        self.with_session(session, |s| s.stats())
+    }
+
+    /// A session's audit records with sequence ≥ `since`.
+    pub fn audit_since(
+        &self,
+        session: &str,
+        since: u64,
+    ) -> Result<Vec<crate::audit::AuditRecord>, ControllerError> {
+        self.with_session(session, |s| s.audit_since(since))
+    }
+
+    /// Reconfigure a session in place.
+    pub fn set_config(&self, session: &str, config: PolicyConfig) -> Result<(), ControllerError> {
+        self.with_session(session, |s| s.set_config(config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Url, WorkflowId};
+
+    fn spec(n: u32) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "s", format!("/f{n}")),
+            dest: Url::new("file", "d", format!("/f{n}")),
+            bytes: 1,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    #[test]
+    fn default_session_exists() {
+        let c = PolicyController::new(PolicyConfig::default());
+        assert_eq!(c.session_names(), vec![DEFAULT_SESSION.to_string()]);
+        let advice = c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)]).unwrap();
+        assert_eq!(advice.len(), 1);
+    }
+
+    #[test]
+    fn unknown_session_errors() {
+        let c = PolicyController::new(PolicyConfig::default());
+        let err = c.evaluate_transfers("nope", vec![spec(1)]).unwrap_err();
+        assert_eq!(err, ControllerError::NoSuchSession("nope".into()));
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let c = PolicyController::new(PolicyConfig::default());
+        c.create_session("other", PolicyConfig::default());
+        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)]).unwrap();
+        // The duplicate is only a duplicate within the same session.
+        let advice = c.evaluate_transfers("other", vec![spec(1)]).unwrap();
+        assert!(advice[0].should_execute());
+        assert_eq!(c.stats("other").unwrap().transfers_suppressed, 0);
+    }
+
+    #[test]
+    fn drop_session_removes_it() {
+        let c = PolicyController::new(PolicyConfig::default());
+        c.create_session("temp", PolicyConfig::default());
+        assert!(c.drop_session("temp"));
+        assert!(!c.drop_session("temp"));
+        assert!(c.snapshot("temp").is_err());
+    }
+
+    #[test]
+    fn controller_is_cloneable_and_shares_state() {
+        let c = PolicyController::new(PolicyConfig::default());
+        let c2 = c.clone();
+        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)]).unwrap();
+        assert_eq!(c2.stats(DEFAULT_SESSION).unwrap().transfer_requests, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = PolicyController::new(PolicyConfig::default());
+        let mut handles = Vec::new();
+        for thread in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let n = thread * 100 + i;
+                    c.evaluate_transfers(DEFAULT_SESSION, vec![spec(n)]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats(DEFAULT_SESSION).unwrap().transfer_requests, 160);
+    }
+}

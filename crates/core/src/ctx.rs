@@ -1,0 +1,51 @@
+//! The globals shared between the Policy Service and its rules.
+//!
+//! Drools rules see "globals" alongside working memory; our rules receive a
+//! mutable [`PolicyCtx`] carrying the session configuration and the group-id
+//! allocator.
+
+use crate::config::PolicyConfig;
+use crate::model::GroupId;
+
+/// Rule-visible globals of one policy session.
+#[derive(Debug, Clone)]
+pub struct PolicyCtx {
+    /// The session configuration (thresholds, defaults, policy selection).
+    pub config: PolicyConfig,
+    next_group: u64,
+}
+
+impl PolicyCtx {
+    /// Wrap a configuration.
+    pub fn new(config: PolicyConfig) -> Self {
+        PolicyCtx {
+            config,
+            next_group: 0,
+        }
+    }
+
+    /// Mint a fresh group id (one per newly seen host pair).
+    pub fn fresh_group(&mut self) -> GroupId {
+        let g = GroupId(self.next_group);
+        self.next_group += 1;
+        g
+    }
+
+    /// How many groups have been minted.
+    pub fn groups_minted(&self) -> u64 {
+        self.next_group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_groups_are_sequential() {
+        let mut ctx = PolicyCtx::new(PolicyConfig::default());
+        assert_eq!(ctx.fresh_group(), GroupId(0));
+        assert_eq!(ctx.fresh_group(), GroupId(1));
+        assert_eq!(ctx.groups_minted(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Replicated policy logic — the paper's reliability future work.
+//!
+//! "Finally, we will study the scalability of the centralized policy
+//! service when planning multiple complex workflows and explore strategies
+//! for distribution and replication of policy logic to improve reliability."
+//!
+//! [`FailoverTransport`] chains several [`PolicyTransport`] replicas: each
+//! request is sent to the active replica, and on transport failure the next
+//! replica takes over (sticky failover — the new primary stays active).
+//!
+//! Semantics: the Policy Service is *advisory*, so replica state need not be
+//! identical — after a failover the new primary may lack the old one's
+//! dedup/allocation memory, which degrades optimization (files may be
+//! restaged, thresholds start empty) but never correctness. That is exactly
+//! the failure philosophy of the original system, where a dead policy
+//! service must not stop science (see the executor's fail-safe fallback).
+
+use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
+use crate::model::{CleanupSpec, TransferSpec};
+use crate::transport::{PolicyTransport, TransportError};
+
+/// A transport that fails over across policy-service replicas.
+pub struct FailoverTransport {
+    replicas: Vec<Box<dyn PolicyTransport>>,
+    active: usize,
+    failovers: u64,
+}
+
+impl FailoverTransport {
+    /// Build from an ordered replica list (first = preferred primary).
+    ///
+    /// # Panics
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<Box<dyn PolicyTransport>>) -> Self {
+        assert!(!replicas.is_empty(), "failover needs at least one replica");
+        FailoverTransport {
+            replicas,
+            active: 0,
+            failovers: 0,
+        }
+    }
+
+    /// Index of the replica currently serving requests.
+    pub fn active_replica(&self) -> usize {
+        self.active
+    }
+
+    /// How many failovers have occurred.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Try the active replica, then fail over through the rest. `op` is
+    /// retried at most once per replica.
+    fn with_failover<R>(
+        &mut self,
+        mut op: impl FnMut(&mut dyn PolicyTransport) -> Result<R, TransportError>,
+    ) -> Result<R, TransportError> {
+        let n = self.replicas.len();
+        let mut last_err = None;
+        for attempt in 0..n {
+            let ix = (self.active + attempt) % n;
+            match op(self.replicas[ix].as_mut()) {
+                Ok(r) => {
+                    if ix != self.active {
+                        self.failovers += 1;
+                        self.active = ix;
+                    }
+                    return Ok(r);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one replica was tried"))
+    }
+}
+
+impl PolicyTransport for FailoverTransport {
+    fn evaluate_transfers(
+        &mut self,
+        batch: Vec<TransferSpec>,
+    ) -> Result<Vec<TransferAdvice>, TransportError> {
+        self.with_failover(|t| t.evaluate_transfers(batch.clone()))
+    }
+
+    fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) -> Result<(), TransportError> {
+        self.with_failover(|t| t.report_transfers(outcomes.clone()))
+    }
+
+    fn evaluate_cleanups(
+        &mut self,
+        batch: Vec<CleanupSpec>,
+    ) -> Result<Vec<CleanupAdvice>, TransportError> {
+        self.with_failover(|t| t.evaluate_cleanups(batch.clone()))
+    }
+
+    fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError> {
+        self.with_failover(|t| t.report_cleanups(outcomes.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyConfig;
+    use crate::controller::{PolicyController, DEFAULT_SESSION};
+    use crate::model::{Url, WorkflowId};
+    use crate::transport::InProcessTransport;
+
+    /// A replica that always fails.
+    struct Dead;
+    impl PolicyTransport for Dead {
+        fn evaluate_transfers(
+            &mut self,
+            _b: Vec<TransferSpec>,
+        ) -> Result<Vec<TransferAdvice>, TransportError> {
+            Err(TransportError::Io("dead".into()))
+        }
+        fn report_transfers(&mut self, _o: Vec<TransferOutcome>) -> Result<(), TransportError> {
+            Err(TransportError::Io("dead".into()))
+        }
+        fn evaluate_cleanups(
+            &mut self,
+            _b: Vec<CleanupSpec>,
+        ) -> Result<Vec<CleanupAdvice>, TransportError> {
+            Err(TransportError::Io("dead".into()))
+        }
+        fn report_cleanups(&mut self, _o: Vec<CleanupOutcome>) -> Result<(), TransportError> {
+            Err(TransportError::Io("dead".into()))
+        }
+    }
+
+    fn spec(n: u32) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "s", format!("/f{n}")),
+            dest: Url::new("file", "d", format!("/f{n}")),
+            bytes: 1,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    fn live() -> (Box<dyn PolicyTransport>, PolicyController) {
+        let c = PolicyController::new(PolicyConfig::default());
+        (
+            Box::new(InProcessTransport::new(c.clone(), DEFAULT_SESSION)),
+            c,
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replica_list_rejected() {
+        FailoverTransport::new(vec![]);
+    }
+
+    #[test]
+    fn primary_serves_when_healthy() {
+        let (primary, c) = live();
+        let (backup, c2) = live();
+        let mut t = FailoverTransport::new(vec![primary, backup]);
+        t.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert_eq!(t.active_replica(), 0);
+        assert_eq!(t.failovers(), 0);
+        assert_eq!(c.stats(DEFAULT_SESSION).unwrap().transfer_requests, 1);
+        assert_eq!(c2.stats(DEFAULT_SESSION).unwrap().transfer_requests, 0);
+    }
+
+    #[test]
+    fn fails_over_to_backup_and_sticks() {
+        let (backup, c2) = live();
+        let mut t = FailoverTransport::new(vec![Box::new(Dead), backup]);
+        let advice = t.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert_eq!(advice.len(), 1);
+        assert_eq!(t.active_replica(), 1);
+        assert_eq!(t.failovers(), 1);
+        // Next request goes straight to the backup (sticky).
+        t.evaluate_transfers(vec![spec(2)]).unwrap();
+        assert_eq!(t.failovers(), 1, "no second failover");
+        assert_eq!(c2.stats(DEFAULT_SESSION).unwrap().transfer_requests, 2);
+    }
+
+    #[test]
+    fn all_replicas_dead_surfaces_the_error() {
+        let mut t = FailoverTransport::new(vec![Box::new(Dead), Box::new(Dead)]);
+        let err = t.evaluate_transfers(vec![spec(1)]).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    #[test]
+    fn backup_state_is_fresh_after_failover() {
+        // Stage a file via the primary, then fail over: the backup does not
+        // know about it, so a re-request is executed (degraded dedup, never
+        // wrong).
+        let (primary, _c1) = live();
+        let (backup, _c2) = live();
+        let mut healthy = FailoverTransport::new(vec![primary, backup]);
+        let a = healthy.evaluate_transfers(vec![spec(1)]).unwrap();
+        healthy
+            .report_transfers(vec![TransferOutcome {
+                id: a[0].id,
+                success: true,
+            }])
+            .unwrap();
+        // Same request through the backup directly (simulating a failover):
+        let (backup2, _c3) = live();
+        let mut after = FailoverTransport::new(vec![Box::new(Dead), backup2]);
+        let again = after.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert!(again[0].should_execute(), "fresh backup re-stages safely");
+    }
+
+    #[test]
+    fn cleanup_path_fails_over_too() {
+        let (backup, _c) = live();
+        let mut t = FailoverTransport::new(vec![Box::new(Dead), backup]);
+        let advice = t
+            .evaluate_cleanups(vec![crate::model::CleanupSpec {
+                file: Url::new("file", "d", "/f1"),
+                workflow: WorkflowId(1),
+            }])
+            .unwrap();
+        assert_eq!(advice.len(), 1);
+        t.report_cleanups(vec![]).unwrap();
+        assert_eq!(t.active_replica(), 1);
+    }
+}

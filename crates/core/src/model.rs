@@ -1,0 +1,417 @@
+//! Domain model of the Policy Service.
+//!
+//! These are the fact types held in policy memory (the rule engine's working
+//! memory) and the request/identifier types exchanged with the Pegasus
+//! Transfer Tool. The vocabulary follows Section II of the paper: transfers,
+//! resources (staged files with workflow refcounts), cleanups, and host-pair
+//! groups.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Unique id the Policy Service assigns to each transfer "so that the
+/// transfers can be monitored and modified".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TransferId(pub u64);
+
+/// Unique id assigned to each cleanup operation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CleanupId(pub u64);
+
+/// Identifies the workflow instance a request belongs to (multiple workflows
+/// may share a policy session and staged files).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct WorkflowId(pub u64);
+
+/// Group id shared by transfers with the same (source host, destination
+/// host) pair; the transfer client runs a group in one session for
+/// efficiency.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub u64);
+
+/// A Pegasus cluster index (horizontal clustering); input to the balanced
+/// allocation policy.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ClusterId(pub u32);
+
+impl fmt::Display for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+impl fmt::Display for CleanupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+impl fmt::Display for WorkflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wf{}", self.0)
+    }
+}
+
+/// A simplified transfer URL: `scheme://host/path`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Url {
+    /// Protocol scheme ("gsiftp", "http", "file", ...).
+    pub scheme: String,
+    /// Host name (empty for `file` URLs).
+    pub host: String,
+    /// Absolute path on the host.
+    pub path: String,
+}
+
+/// Error from [`Url::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlParseError(pub String);
+
+impl fmt::Display for UrlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid URL: {}", self.0)
+    }
+}
+impl std::error::Error for UrlParseError {}
+
+impl Url {
+    /// Build a URL from parts. The path is normalized to start with `/`.
+    pub fn new(scheme: impl Into<String>, host: impl Into<String>, path: impl Into<String>) -> Url {
+        let mut path = path.into();
+        if !path.starts_with('/') {
+            path.insert(0, '/');
+        }
+        Url {
+            scheme: scheme.into(),
+            host: host.into(),
+            path,
+        }
+    }
+
+    /// Parse `scheme://host/path`.
+    pub fn parse(s: &str) -> Result<Url, UrlParseError> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| UrlParseError(format!("missing scheme separator in {s:?}")))?;
+        if scheme.is_empty() {
+            return Err(UrlParseError(format!("empty scheme in {s:?}")));
+        }
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() && scheme != "file" {
+            return Err(UrlParseError(format!("empty host in {s:?}")));
+        }
+        Ok(Url {
+            scheme: scheme.to_string(),
+            host: host.to_string(),
+            path: path.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.host, self.path)
+    }
+}
+
+/// A transfer request as submitted by the Pegasus Transfer Tool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferSpec {
+    /// Where the file currently lives.
+    pub source: Url,
+    /// Where it must be staged to.
+    pub dest: Url,
+    /// Size hint in bytes (0 = unknown; advice does not depend on it, but
+    /// monitoring records it).
+    pub bytes: u64,
+    /// Streams the client would like; `None` lets policy assign the default.
+    pub requested_streams: Option<u32>,
+    /// Submitting workflow.
+    pub workflow: WorkflowId,
+    /// Pegasus cluster the transfer belongs to (balanced allocation input).
+    pub cluster: Option<ClusterId>,
+    /// Structure-based priority of the consuming job, if the workflow was
+    /// annotated (higher = stage earlier).
+    pub priority: Option<i32>,
+}
+
+/// Lifecycle of a transfer in policy memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferState {
+    /// Received, advice being prepared.
+    Pending,
+    /// Handed back to the PTT for execution.
+    InProgress,
+    /// Reported complete.
+    Completed,
+    /// Reported failed.
+    Failed,
+}
+
+/// A transfer fact in policy memory.
+#[derive(Debug, Clone)]
+pub struct TransferFact {
+    /// Service-assigned id.
+    pub id: TransferId,
+    /// The original request.
+    pub spec: TransferSpec,
+    /// Current lifecycle state.
+    pub state: TransferState,
+    /// Streams advice (None until the default-assignment rule runs).
+    pub streams: Option<u32>,
+    /// Streams actually charged against the host-pair ledger (set by the
+    /// allocation rules; released on completion/failure).
+    pub charged_streams: u32,
+    /// Group advice (None until the grouping rule runs).
+    pub group: Option<GroupId>,
+    /// True while the fact belongs to the batch currently under evaluation.
+    pub in_current_batch: bool,
+    /// Set when the dedup rules decide this request must not execute.
+    pub suppressed: Option<SuppressReason>,
+    /// Guard so the balanced policy releases a transfer's cluster-ledger
+    /// charge exactly once (the host-pair charge is released separately by
+    /// the Table I completion/failure rules).
+    pub cluster_released: bool,
+}
+
+/// Why a request was removed from the list returned to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuppressReason {
+    /// An identical transfer appears earlier in the same batch.
+    DuplicateInBatch,
+    /// An identical transfer is already in progress.
+    AlreadyInProgress,
+    /// The file was already staged by this or another workflow.
+    AlreadyStaged,
+    /// A cleanup for this file is in progress or done (cleanup dedup).
+    DuplicateCleanup,
+    /// The file is still in use by other workflows (cleanup protection).
+    ResourceInUse,
+}
+
+/// State of a staged-file resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceState {
+    /// A transfer that will produce this file is pending or in progress.
+    Staging,
+    /// The file is present at the destination.
+    Staged,
+}
+
+/// A staged-file resource: tracks which workflows use a file so duplicate
+/// staging is avoided and premature cleanup is suppressed.
+#[derive(Debug, Clone)]
+pub struct ResourceFact {
+    /// Canonical destination URL of the staged file.
+    pub dest: Url,
+    /// Where it was staged from.
+    pub source: Url,
+    /// Workflows currently using the staged file.
+    pub users: BTreeSet<WorkflowId>,
+    /// Staging vs staged.
+    pub state: ResourceState,
+    /// Transfer that is currently producing the file (while `Staging`).
+    pub producer: Option<TransferId>,
+}
+
+/// Lifecycle of a cleanup operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CleanupState {
+    /// Received, advice being prepared.
+    Pending,
+    /// Handed back for execution.
+    InProgress,
+    /// Reported complete.
+    Completed,
+}
+
+/// A cleanup request as submitted by a Pegasus cleanup job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupSpec {
+    /// File to delete (destination URL of a staged resource).
+    pub file: Url,
+    /// Requesting workflow.
+    pub workflow: WorkflowId,
+}
+
+/// A cleanup fact in policy memory.
+#[derive(Debug, Clone)]
+pub struct CleanupFact {
+    /// Service-assigned id.
+    pub id: CleanupId,
+    /// The original request.
+    pub spec: CleanupSpec,
+    /// Current lifecycle state.
+    pub state: CleanupState,
+    /// True while part of the batch under evaluation.
+    pub in_current_batch: bool,
+    /// Set when policy decides the cleanup must not execute.
+    pub suppressed: Option<SuppressReason>,
+}
+
+/// The per-(source host, destination host) allocation ledger fact used by
+/// the greedy and balanced policies ("Generate a unique group ID for a
+/// source and destination host pair").
+#[derive(Debug, Clone)]
+pub struct HostPairFact {
+    /// Source host name.
+    pub src_host: String,
+    /// Destination host name.
+    pub dst_host: String,
+    /// The group id all transfers on this pair share.
+    pub group: GroupId,
+    /// Streams currently allocated to in-progress transfers.
+    pub allocated: u32,
+    /// High-water mark of `allocated` (Table IV reproduces this).
+    pub peak_allocated: u32,
+}
+
+/// Per-(host pair, cluster) ledger used by the balanced policy.
+#[derive(Debug, Clone)]
+pub struct ClusterAllocFact {
+    /// The host-pair group this cluster ledger belongs to.
+    pub group: GroupId,
+    /// Pegasus cluster id.
+    pub cluster: ClusterId,
+    /// Streams currently allocated to this cluster's transfers.
+    pub allocated: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parse_roundtrip() {
+        let u = Url::parse("gsiftp://gridftp-vm.tacc/data/extra_01.dat").unwrap();
+        assert_eq!(u.scheme, "gsiftp");
+        assert_eq!(u.host, "gridftp-vm.tacc");
+        assert_eq!(u.path, "/data/extra_01.dat");
+        assert_eq!(u.to_string(), "gsiftp://gridftp-vm.tacc/data/extra_01.dat");
+    }
+
+    #[test]
+    fn url_parse_no_path_defaults_to_root() {
+        let u = Url::parse("http://apache.isi").unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn url_parse_rejects_garbage() {
+        assert!(Url::parse("not-a-url").is_err());
+        assert!(Url::parse("://host/x").is_err());
+        assert!(Url::parse("gsiftp:///x").is_err());
+    }
+
+    #[test]
+    fn file_urls_may_have_empty_host() {
+        let u = Url::parse("file:///scratch/f.dat").unwrap();
+        assert_eq!(u.scheme, "file");
+        assert_eq!(u.host, "");
+        assert_eq!(u.path, "/scratch/f.dat");
+    }
+
+    #[test]
+    fn url_new_normalizes_path() {
+        let u = Url::new("http", "h", "data/f");
+        assert_eq!(u.path, "/data/f");
+        let u2 = Url::new("http", "h", "/data/f");
+        assert_eq!(u, u2);
+    }
+
+    #[test]
+    fn url_ordering_is_lexicographic() {
+        // The base rules sort transfers by (source, dest) URL; Url's Ord must
+        // be stable and total.
+        let a = Url::parse("gsiftp://a/x").unwrap();
+        let b = Url::parse("gsiftp://b/x").unwrap();
+        let a2 = Url::parse("gsiftp://a/y").unwrap();
+        assert!(a < b);
+        assert!(a < a2);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(TransferId(7).to_string(), "t7");
+        assert_eq!(CleanupId(3).to_string(), "c3");
+        assert_eq!(WorkflowId(1).to_string(), "wf1");
+    }
+
+    #[test]
+    fn url_serde_roundtrip() {
+        let u = Url::parse("gsiftp://host/p/q.dat").unwrap();
+        let json = serde_json::to_string(&u).unwrap();
+        let back: Url = serde_json::from_str(&json).unwrap();
+        assert_eq!(u, back);
+    }
+
+    #[test]
+    fn transfer_spec_serde_roundtrip() {
+        let spec = TransferSpec {
+            source: Url::parse("gsiftp://src/a").unwrap(),
+            dest: Url::parse("file:///dst/a").unwrap(),
+            bytes: 1_000_000,
+            requested_streams: Some(8),
+            workflow: WorkflowId(2),
+            cluster: Some(ClusterId(1)),
+            priority: Some(10),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TransferSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Display → parse is the identity for any well-formed URL.
+        #[test]
+        fn url_display_parse_roundtrip(
+            scheme in "[a-z]{2,8}",
+            host in "[a-z0-9.-]{1,24}",
+            path in "/[a-zA-Z0-9._/-]{0,48}",
+        ) {
+            let url = Url::new(scheme, host, path);
+            let back = Url::parse(&url.to_string()).unwrap();
+            prop_assert_eq!(url, back);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn url_parse_never_panics(s in "\\PC{0,128}") {
+            let _ = Url::parse(&s);
+        }
+
+        /// Ordering agrees with string ordering of the canonical form for
+        /// same-scheme URLs (the Table I sort rule relies on a total order).
+        #[test]
+        fn url_order_is_total_and_antisymmetric(
+            host_a in "[a-z]{1,8}", path_a in "/[a-z]{0,8}",
+            host_b in "[a-z]{1,8}", path_b in "/[a-z]{0,8}",
+        ) {
+            let a = Url::new("gsiftp", host_a, path_a);
+            let b = Url::new("gsiftp", host_b, path_b);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Equal => prop_assert_eq!(&a, &b),
+                std::cmp::Ordering::Less => prop_assert!(b > a),
+                std::cmp::Ordering::Greater => prop_assert!(a > b),
+            }
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Structure-based job priorities (Section III.c).
+//!
+//! "We can assign priorities to the workflow components based on various
+//! graph traversal algorithms: breadth-first search, depth-first search, and
+//! two graph node analysis algorithms called direct-dependent-based and
+//! dependent-based." The paper leaves the *rules* for these to future work;
+//! we implement both the algorithms and their use by the ordering policy
+//! (transfers sorted by descending priority), which the bench harness
+//! ablates.
+
+use std::collections::VecDeque;
+
+/// A lightweight DAG of workflow jobs, decoupled from the full workflow
+/// crate so the Policy Service can rank jobs from a plain edge list.
+#[derive(Debug, Clone)]
+pub struct WorkflowGraph {
+    children: Vec<Vec<usize>>,
+    parents: Vec<Vec<usize>>,
+}
+
+/// Error returned when a graph is not a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError;
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workflow graph contains a cycle")
+    }
+}
+impl std::error::Error for CycleError {}
+
+impl WorkflowGraph {
+    /// A graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        WorkflowGraph {
+            children: vec![Vec::new(); n],
+            parents: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Add a dependency edge `parent → child` (child consumes parent's
+    /// output). Duplicate edges are ignored.
+    pub fn add_edge(&mut self, parent: usize, child: usize) {
+        assert!(parent < self.len() && child < self.len(), "node out of range");
+        if !self.children[parent].contains(&child) {
+            self.children[parent].push(child);
+            self.parents[child].push(parent);
+        }
+    }
+
+    /// Children (direct dependents) of a node.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Parents of a node.
+    pub fn parents(&self, node: usize) -> &[usize] {
+        &self.parents[node]
+    }
+
+    /// Nodes with no parents, in index order.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.parents[i].is_empty()).collect()
+    }
+
+    /// Kahn topological order; `Err(CycleError)` if the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>, CycleError> {
+        let mut indegree: Vec<usize> = (0..self.len()).map(|i| self.parents[i].len()).collect();
+        let mut queue: VecDeque<usize> = self.roots().into();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(node) = queue.pop_front() {
+            order.push(node);
+            for &c in &self.children[node] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if order.len() == self.len() {
+            Ok(order)
+        } else {
+            Err(CycleError)
+        }
+    }
+
+    /// Number of unique descendants (transitive dependents) per node.
+    pub fn descendant_counts(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut counts = vec![0usize; n];
+        for (start, count) in counts.iter_mut().enumerate() {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = self.children[start].to_vec();
+            while let Some(node) = stack.pop() {
+                if seen[node] {
+                    continue;
+                }
+                seen[node] = true;
+                *count += 1;
+                stack.extend_from_slice(&self.children[node]);
+            }
+        }
+        counts
+    }
+}
+
+/// Which structure-based priority scheme to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PriorityAlgorithm {
+    /// Priorities by BFS traversal order from the roots (earlier = higher).
+    BreadthFirst,
+    /// Priorities by DFS traversal order from the roots (earlier = higher).
+    DepthFirst,
+    /// "The node with the largest number of children has the highest
+    /// priority" (fan-out).
+    DirectDependent,
+    /// "The highest priority to the node with the most total descendants."
+    Dependent,
+}
+
+/// Assign a priority to every node; larger numbers mean "stage data to this
+/// job sooner".
+///
+/// # Panics
+/// Panics if the graph is cyclic (traversals would not terminate sensibly);
+/// validate with [`WorkflowGraph::topo_order`] first when unsure.
+pub fn assign_priorities(graph: &WorkflowGraph, algo: PriorityAlgorithm) -> Vec<i32> {
+    let n = graph.len();
+    match algo {
+        PriorityAlgorithm::BreadthFirst => {
+            let order = bfs_order(graph);
+            rank_by_visit_order(n, &order)
+        }
+        PriorityAlgorithm::DepthFirst => {
+            let order = dfs_order(graph);
+            rank_by_visit_order(n, &order)
+        }
+        PriorityAlgorithm::DirectDependent => {
+            (0..n).map(|i| graph.children(i).len() as i32).collect()
+        }
+        PriorityAlgorithm::Dependent => graph
+            .descendant_counts()
+            .into_iter()
+            .map(|c| c as i32)
+            .collect(),
+    }
+}
+
+fn bfs_order(graph: &WorkflowGraph) -> Vec<usize> {
+    graph.topo_order().expect("priorities require a DAG");
+    let mut seen = vec![false; graph.len()];
+    let mut queue: VecDeque<usize> = graph.roots().into();
+    let mut order = Vec::with_capacity(graph.len());
+    for &r in queue.iter() {
+        seen[r] = true;
+    }
+    while let Some(node) = queue.pop_front() {
+        order.push(node);
+        for &c in graph.children(node) {
+            if !seen[c] {
+                seen[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    order
+}
+
+fn dfs_order(graph: &WorkflowGraph) -> Vec<usize> {
+    graph.topo_order().expect("priorities require a DAG");
+    let mut seen = vec![false; graph.len()];
+    let mut order = Vec::with_capacity(graph.len());
+    fn visit(graph: &WorkflowGraph, node: usize, seen: &mut [bool], order: &mut Vec<usize>) {
+        if seen[node] {
+            return;
+        }
+        seen[node] = true;
+        order.push(node);
+        for &c in graph.children(node) {
+            visit(graph, c, seen, order);
+        }
+    }
+    for r in graph.roots() {
+        visit(graph, r, &mut seen, &mut order);
+    }
+    order
+}
+
+/// Visit position → priority: first visited gets priority n, last gets 1.
+fn rank_by_visit_order(n: usize, order: &[usize]) -> Vec<i32> {
+    let mut prio = vec![0i32; n];
+    for (pos, &node) in order.iter().enumerate() {
+        prio[node] = (n - pos) as i32;
+    }
+    prio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small diamond:
+    /// ```text
+    ///    0
+    ///   / \
+    ///  1   2
+    ///   \ /
+    ///    3
+    /// ```
+    fn diamond() -> WorkflowGraph {
+        let mut g = WorkflowGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    /// Montage-like two-level fan: root 0 feeding leaves 1..=3, plus an
+    /// isolated sink 4 fed by all leaves.
+    fn fan() -> WorkflowGraph {
+        let mut g = WorkflowGraph::new(5);
+        for leaf in 1..=3 {
+            g.add_edge(0, leaf);
+            g.add_edge(leaf, 4);
+        }
+        g
+    }
+
+    #[test]
+    fn roots_and_topo_order() {
+        let g = diamond();
+        assert_eq!(g.roots(), vec![0]);
+        let order = g.topo_order().unwrap();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = WorkflowGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.topo_order(), Err(CycleError));
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = WorkflowGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.children(0), &[1]);
+        assert_eq!(g.parents(1), &[0]);
+    }
+
+    #[test]
+    fn bfs_prioritizes_roots_then_levels() {
+        let g = diamond();
+        let p = assign_priorities(&g, PriorityAlgorithm::BreadthFirst);
+        // Root first, sink last.
+        assert!(p[0] > p[1] && p[0] > p[2]);
+        assert!(p[1] > p[3] && p[2] > p[3]);
+    }
+
+    #[test]
+    fn dfs_goes_deep_before_wide() {
+        let g = diamond();
+        let p = assign_priorities(&g, PriorityAlgorithm::DepthFirst);
+        // DFS from 0 visits 1 then 3 then 2: node 3 outranks node 2.
+        assert!(p[0] > p[1]);
+        assert!(p[1] > p[3]);
+        assert!(p[3] > p[2]);
+    }
+
+    #[test]
+    fn direct_dependent_ranks_by_fanout() {
+        let g = fan();
+        let p = assign_priorities(&g, PriorityAlgorithm::DirectDependent);
+        assert_eq!(p, vec![3, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn dependent_ranks_by_total_descendants() {
+        let g = fan();
+        let p = assign_priorities(&g, PriorityAlgorithm::Dependent);
+        // Root reaches 4 nodes; each leaf reaches only the sink.
+        assert_eq!(p, vec![4, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn dependent_counts_unique_paths_once() {
+        let g = diamond();
+        let p = assign_priorities(&g, PriorityAlgorithm::Dependent);
+        // Node 3 reachable from 0 via two paths but counted once: 0 → {1,2,3}.
+        assert_eq!(p[0], 3);
+    }
+
+    #[test]
+    fn priorities_root_dominates_in_all_algorithms() {
+        // "It is more important to stage data to a root job before staging
+        // data to other jobs that depend on that root job."
+        for algo in [
+            PriorityAlgorithm::BreadthFirst,
+            PriorityAlgorithm::DepthFirst,
+            PriorityAlgorithm::Dependent,
+        ] {
+            let g = diamond();
+            let p = assign_priorities(&g, algo);
+            assert!(
+                p[0] > p[3],
+                "{algo:?}: root must outrank its transitive dependent"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = WorkflowGraph::new(0);
+        assert!(g.is_empty());
+        assert!(assign_priorities(&g, PriorityAlgorithm::BreadthFirst).is_empty());
+        assert_eq!(g.topo_order().unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn disconnected_components_all_ranked() {
+        let mut g = WorkflowGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        for algo in [PriorityAlgorithm::BreadthFirst, PriorityAlgorithm::DepthFirst] {
+            let p = assign_priorities(&g, algo);
+            assert!(p.iter().all(|&x| x > 0), "{algo:?}: every node ranked");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = WorkflowGraph::new(1);
+        g.add_edge(0, 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random layered DAG: edges only go from lower to higher indices, so it
+    /// is acyclic by construction.
+    fn arb_dag() -> impl Strategy<Value = WorkflowGraph> {
+        (2usize..24).prop_flat_map(|n| {
+            proptest::collection::vec((0usize..n, 0usize..n), 0..60).prop_map(move |pairs| {
+                let mut g = WorkflowGraph::new(n);
+                for (a, b) in pairs {
+                    if a < b {
+                        g.add_edge(a, b);
+                    }
+                }
+                g
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn forward_dags_are_acyclic(g in arb_dag()) {
+            prop_assert!(g.topo_order().is_ok());
+        }
+
+        #[test]
+        fn visit_order_priorities_are_a_permutation(g in arb_dag()) {
+            for algo in [PriorityAlgorithm::BreadthFirst, PriorityAlgorithm::DepthFirst] {
+                let p = assign_priorities(&g, algo);
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                let expected: Vec<i32> = (1..=g.len() as i32).collect();
+                prop_assert_eq!(sorted, expected);
+            }
+        }
+
+        #[test]
+        fn traversal_visits_children_after_a_discovering_parent(g in arb_dag()) {
+            // Traversal-order priorities: every non-root is discovered via
+            // some parent, so at least one parent must outrank it.
+            for algo in [PriorityAlgorithm::BreadthFirst, PriorityAlgorithm::DepthFirst] {
+                let p = assign_priorities(&g, algo);
+                for node in 0..g.len() {
+                    if !g.parents(node).is_empty() {
+                        prop_assert!(
+                            g.parents(node).iter().any(|&par| p[par] > p[node]),
+                            "{:?}: node {} outranks all its parents", algo, node
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn dependent_is_upper_bound_of_direct(g in arb_dag()) {
+            let direct = assign_priorities(&g, PriorityAlgorithm::DirectDependent);
+            let total = assign_priorities(&g, PriorityAlgorithm::Dependent);
+            for i in 0..g.len() {
+                prop_assert!(total[i] >= direct[i]);
+            }
+        }
+    }
+}

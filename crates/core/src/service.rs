@@ -1,0 +1,707 @@
+//! The Policy Service.
+//!
+//! [`PolicyService`] is the component the paper's Fig. 1 calls "Policy
+//! Service / policy engine": it owns a rule session (policy rules + policy
+//! memory), accepts transfer/cleanup request lists, runs the rules, and
+//! returns modified lists with advice. State persists across requests "for
+//! the length of transfer and cleanup requests", plus the staged-file
+//! locations that outlive completed transfers.
+
+use crate::advice::{
+    CleanupAction, CleanupAdvice, CleanupOutcome, TransferAction, TransferAdvice, TransferOutcome,
+};
+use crate::audit::{AuditLog, AuditRecord, PolicyEvent};
+use crate::balanced::install_balanced_rules;
+use crate::config::{OrderingPolicy, PolicyConfig};
+use crate::ctx::PolicyCtx;
+use crate::greedy::install_greedy_rules;
+use crate::model::{
+    CleanupFact, CleanupId, CleanupSpec, CleanupState, HostPairFact, ResourceFact, ResourceState,
+    TransferFact, TransferId, TransferSpec, TransferState,
+};
+use crate::rules_base::install_base_rules;
+use pwm_rules::Session;
+use serde::{Deserialize, Serialize};
+
+/// Counters the service keeps for monitoring and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Transfer requests received.
+    pub transfer_requests: u64,
+    /// Transfers advised to execute.
+    pub transfers_executed: u64,
+    /// Transfers removed from the list (duplicates, already staged, ...).
+    pub transfers_suppressed: u64,
+    /// Transfer completions reported.
+    pub transfers_completed: u64,
+    /// Transfer failures reported.
+    pub transfers_failed: u64,
+    /// Cleanup requests received.
+    pub cleanup_requests: u64,
+    /// Cleanups advised to execute.
+    pub cleanups_executed: u64,
+    /// Cleanups removed from the list.
+    pub cleanups_suppressed: u64,
+    /// Total rule firings across all evaluations.
+    pub rule_firings: u64,
+}
+
+/// A point-in-time view of policy memory (the `GET /status` payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySnapshot {
+    /// Transfers handed out and not yet reported.
+    pub in_progress_transfers: usize,
+    /// Files known to be staged at their destination.
+    pub staged_files: usize,
+    /// Files currently being staged.
+    pub staging_files: usize,
+    /// Cleanups handed out and not yet reported.
+    pub in_progress_cleanups: usize,
+    /// Per host pair: (src, dst, currently allocated, peak allocated).
+    pub host_pairs: Vec<HostPairSnapshot>,
+}
+
+/// One host pair's ledger state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostPairSnapshot {
+    /// Source host.
+    pub src_host: String,
+    /// Destination host.
+    pub dst_host: String,
+    /// Streams currently allocated.
+    pub allocated: u32,
+    /// High-water mark of allocated streams (Table IV's quantity).
+    pub peak_allocated: u32,
+}
+
+/// The policy engine: rule session + policy memory + request orchestration.
+pub struct PolicyService {
+    session: Session<PolicyCtx>,
+    ctx: PolicyCtx,
+    next_transfer: u64,
+    next_cleanup: u64,
+    stats: ServiceStats,
+    audit: AuditLog,
+}
+
+impl PolicyService {
+    /// Build a service enforcing `config`. All rule sets are installed; the
+    /// config's [`crate::config::AllocationPolicy`] selects which allocation
+    /// rules actually match.
+    pub fn new(config: PolicyConfig) -> Self {
+        let mut session = Session::new();
+        install_base_rules(&mut session);
+        install_greedy_rules(&mut session);
+        install_balanced_rules(&mut session);
+        PolicyService {
+            session,
+            ctx: PolicyCtx::new(config),
+            next_transfer: 0,
+            next_cleanup: 0,
+            stats: ServiceStats::default(),
+            audit: AuditLog::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.ctx.config
+    }
+
+    /// Replace the configuration (an administrator reconfiguring the
+    /// service between workflows).
+    pub fn set_config(&mut self, config: PolicyConfig) {
+        self.ctx.config = config;
+        self.audit.record(PolicyEvent::ConfigChanged);
+    }
+
+    /// Audit records with sequence ≥ `since` (the monitoring log).
+    pub fn audit_since(&self, since: u64) -> Vec<AuditRecord> {
+        self.audit.since(since)
+    }
+
+    /// The most recent `n` audit records.
+    pub fn audit_tail(&self, n: usize) -> Vec<AuditRecord> {
+        self.audit.tail(n)
+    }
+
+    /// Monitoring counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Evaluate a list of transfer requests against the policy rules and
+    /// return the modified list: duplicates are marked skipped, transfers
+    /// get stream/group advice, and the list is ordered per the ordering
+    /// policy.
+    pub fn evaluate_transfers(&mut self, batch: Vec<TransferSpec>) -> Vec<TransferAdvice> {
+        self.stats.transfer_requests += batch.len() as u64;
+        let mut handles = Vec::with_capacity(batch.len());
+        for spec in batch {
+            let id = TransferId(self.next_transfer);
+            self.next_transfer += 1;
+            let h = self.session.wm.insert(TransferFact {
+                id,
+                spec,
+                state: TransferState::Pending,
+                streams: None,
+                charged_streams: 0,
+                group: None,
+                in_current_batch: true,
+                suppressed: None,
+                cluster_released: false,
+            });
+            handles.push(h);
+        }
+
+        let report = self.session.fire_all(&mut self.ctx);
+        self.stats.rule_firings += report.firings as u64;
+        debug_assert!(!report.budget_exhausted, "policy rules did not converge");
+
+        // Snapshot the batch facts for advice building.
+        struct Row {
+            handle: pwm_rules::FactHandle,
+            advice: TransferAdvice,
+            priority: i32,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(handles.len());
+        for h in &handles {
+            let t = self
+                .session
+                .wm
+                .get::<TransferFact>(*h)
+                .expect("batch fact vanished during evaluation");
+            let action = match t.suppressed {
+                Some(reason) => TransferAction::Skip(reason),
+                None => TransferAction::Execute,
+            };
+            rows.push(Row {
+                handle: *h,
+                advice: TransferAdvice {
+                    id: t.id,
+                    source: t.spec.source.clone(),
+                    dest: t.spec.dest.clone(),
+                    action,
+                    streams: t.streams.unwrap_or(1).max(1),
+                    group: t.group.unwrap_or_default(),
+                    order: 0,
+                },
+                priority: t.spec.priority.unwrap_or(0),
+            });
+        }
+
+        // Ordering policy: executing transfers first (sorted), skips after.
+        let by_priority = self.ctx.config.ordering == OrderingPolicy::ByPriority;
+        rows.sort_by(|a, b| {
+            let exec_a = a.advice.should_execute();
+            let exec_b = b.advice.should_execute();
+            exec_b
+                .cmp(&exec_a)
+                .then_with(|| {
+                    if by_priority {
+                        b.priority.cmp(&a.priority)
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .then_with(|| {
+                    (&a.advice.source, &a.advice.dest).cmp(&(&b.advice.source, &b.advice.dest))
+                })
+                .then_with(|| a.advice.id.cmp(&b.advice.id))
+        });
+
+        // Commit states: executing facts leave the batch as InProgress;
+        // suppressed facts are removed (their bookkeeping side effects —
+        // resource refcounts — already happened).
+        let mut out = Vec::with_capacity(rows.len());
+        for (i, mut row) in rows.into_iter().enumerate() {
+            row.advice.order = i as u32;
+            let skipped = match row.advice.action {
+                TransferAction::Execute => None,
+                TransferAction::Skip(reason) => Some(reason),
+            };
+            self.audit.record(PolicyEvent::TransferEvaluated {
+                id: row.advice.id,
+                streams: row.advice.streams,
+                skipped,
+            });
+            if row.advice.should_execute() {
+                self.stats.transfers_executed += 1;
+                self.session.wm.update::<TransferFact>(row.handle, |t| {
+                    t.state = TransferState::InProgress;
+                    t.in_current_batch = false;
+                });
+            } else {
+                self.stats.transfers_suppressed += 1;
+                self.session.wm.retract(row.handle);
+            }
+            out.push(row.advice);
+        }
+        self.session.gc_refraction();
+        out
+    }
+
+    /// Report transfer outcomes. Completed transfers release their streams
+    /// and mark their resource staged; failed transfers release streams and
+    /// drop the half-staged resource so retries are not treated as
+    /// duplicates.
+    pub fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) {
+        for outcome in outcomes {
+            if let Some((h, _)) = self
+                .session
+                .wm
+                .find::<TransferFact>(|t| t.id == outcome.id)
+            {
+                self.session.wm.update::<TransferFact>(h, |t| {
+                    t.state = if outcome.success {
+                        TransferState::Completed
+                    } else {
+                        TransferState::Failed
+                    };
+                });
+                if outcome.success {
+                    self.stats.transfers_completed += 1;
+                } else {
+                    self.stats.transfers_failed += 1;
+                }
+                self.audit.record(PolicyEvent::TransferReported {
+                    id: outcome.id,
+                    success: outcome.success,
+                });
+            }
+        }
+        let report = self.session.fire_all(&mut self.ctx);
+        self.stats.rule_firings += report.firings as u64;
+        self.session.gc_refraction();
+    }
+
+    /// Evaluate a list of cleanup requests; duplicates and in-use files are
+    /// marked skipped.
+    pub fn evaluate_cleanups(&mut self, batch: Vec<CleanupSpec>) -> Vec<CleanupAdvice> {
+        self.stats.cleanup_requests += batch.len() as u64;
+        let mut handles = Vec::with_capacity(batch.len());
+        for spec in batch {
+            let id = CleanupId(self.next_cleanup);
+            self.next_cleanup += 1;
+            handles.push(self.session.wm.insert(CleanupFact {
+                id,
+                spec,
+                state: CleanupState::Pending,
+                in_current_batch: true,
+                suppressed: None,
+            }));
+        }
+        let report = self.session.fire_all(&mut self.ctx);
+        self.stats.rule_firings += report.firings as u64;
+
+        let mut out = Vec::with_capacity(handles.len());
+        for h in handles {
+            let c = self
+                .session
+                .wm
+                .get::<CleanupFact>(h)
+                .expect("batch cleanup vanished during evaluation");
+            let advice = CleanupAdvice {
+                id: c.id,
+                file: c.spec.file.clone(),
+                action: match c.suppressed {
+                    Some(reason) => CleanupAction::Skip(reason),
+                    None => CleanupAction::Execute,
+                },
+            };
+            let skipped = match advice.action {
+                CleanupAction::Execute => None,
+                CleanupAction::Skip(reason) => Some(reason),
+            };
+            self.audit.record(PolicyEvent::CleanupEvaluated {
+                id: advice.id,
+                skipped,
+            });
+            if advice.should_execute() {
+                self.stats.cleanups_executed += 1;
+                self.session.wm.update::<CleanupFact>(h, |c| {
+                    c.state = CleanupState::InProgress;
+                    c.in_current_batch = false;
+                });
+            } else {
+                self.stats.cleanups_suppressed += 1;
+                self.session.wm.retract(h);
+            }
+            out.push(advice);
+        }
+        self.session.gc_refraction();
+        out
+    }
+
+    /// Report cleanup outcomes. Successful cleanups remove the cleanup and
+    /// its resource from policy memory; failed ones are forgotten so the
+    /// client may retry.
+    pub fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) {
+        for outcome in outcomes {
+            if let Some((h, _)) = self
+                .session
+                .wm
+                .find::<CleanupFact>(|c| c.id == outcome.id)
+            {
+                if outcome.success {
+                    self.session.wm.update::<CleanupFact>(h, |c| {
+                        c.state = CleanupState::Completed;
+                    });
+                } else {
+                    self.session.wm.retract(h);
+                }
+                self.audit.record(PolicyEvent::CleanupReported {
+                    id: outcome.id,
+                    success: outcome.success,
+                });
+            }
+        }
+        let report = self.session.fire_all(&mut self.ctx);
+        self.stats.rule_firings += report.firings as u64;
+        self.session.gc_refraction();
+    }
+
+    /// Streams currently allocated between a host pair.
+    pub fn allocated(&self, src_host: &str, dst_host: &str) -> u32 {
+        self.session
+            .wm
+            .find::<HostPairFact>(|p| p.src_host == src_host && p.dst_host == dst_host)
+            .map(|(_, p)| p.allocated)
+            .unwrap_or(0)
+    }
+
+    /// Peak streams ever allocated between a host pair (Table IV).
+    pub fn peak_allocated(&self, src_host: &str, dst_host: &str) -> u32 {
+        self.session
+            .wm
+            .find::<HostPairFact>(|p| p.src_host == src_host && p.dst_host == dst_host)
+            .map(|(_, p)| p.peak_allocated)
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of policy memory for monitoring.
+    pub fn snapshot(&self) -> MemorySnapshot {
+        let wm = &self.session.wm;
+        MemorySnapshot {
+            in_progress_transfers: wm
+                .iter::<TransferFact>()
+                .filter(|(_, t)| t.state == TransferState::InProgress)
+                .count(),
+            staged_files: wm
+                .iter::<ResourceFact>()
+                .filter(|(_, r)| r.state == ResourceState::Staged)
+                .count(),
+            staging_files: wm
+                .iter::<ResourceFact>()
+                .filter(|(_, r)| r.state == ResourceState::Staging)
+                .count(),
+            in_progress_cleanups: wm
+                .iter::<CleanupFact>()
+                .filter(|(_, c)| c.state == CleanupState::InProgress)
+                .count(),
+            host_pairs: wm
+                .iter::<HostPairFact>()
+                .map(|(_, p)| HostPairSnapshot {
+                    src_host: p.src_host.clone(),
+                    dst_host: p.dst_host.clone(),
+                    allocated: p.allocated,
+                    peak_allocated: p.peak_allocated,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllocationPolicy;
+    use crate::model::{Url, WorkflowId};
+
+    fn spec_n(n: u32, wf: u64) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "tacc", format!("/data/f{n:03}.dat")),
+            dest: Url::new("file", "isi", format!("/scratch/f{n:03}.dat")),
+            bytes: 1_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(wf),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    fn greedy_service(default: u32, threshold: u32) -> PolicyService {
+        PolicyService::new(
+            PolicyConfig::default()
+                .with_default_streams(default)
+                .with_threshold(threshold)
+                .with_allocation(AllocationPolicy::Greedy),
+        )
+    }
+
+    #[test]
+    fn single_batch_gets_default_streams_and_group() {
+        let mut svc = greedy_service(4, 50);
+        let advice = svc.evaluate_transfers(vec![spec_n(1, 1), spec_n(2, 1)]);
+        assert_eq!(advice.len(), 2);
+        for a in &advice {
+            assert!(a.should_execute());
+            assert_eq!(a.streams, 4);
+        }
+        assert_eq!(advice[0].group, advice[1].group, "same host pair, one group");
+        assert_eq!(svc.allocated("tacc", "isi"), 8);
+    }
+
+    #[test]
+    fn advice_is_sorted_by_source_and_dest_url() {
+        let mut svc = greedy_service(4, 50);
+        let advice = svc.evaluate_transfers(vec![spec_n(3, 1), spec_n(1, 1), spec_n(2, 1)]);
+        let paths: Vec<&str> = advice.iter().map(|a| a.source.path.as_str()).collect();
+        assert_eq!(paths, vec!["/data/f001.dat", "/data/f002.dat", "/data/f003.dat"]);
+        assert_eq!(
+            advice.iter().map(|a| a.order).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn duplicate_in_batch_is_skipped() {
+        let mut svc = greedy_service(4, 50);
+        let advice = svc.evaluate_transfers(vec![spec_n(1, 1), spec_n(1, 1)]);
+        let executing = advice.iter().filter(|a| a.should_execute()).count();
+        assert_eq!(executing, 1);
+        assert_eq!(svc.stats().transfers_suppressed, 1);
+        // Only one transfer charged.
+        assert_eq!(svc.allocated("tacc", "isi"), 4);
+    }
+
+    #[test]
+    fn in_progress_duplicate_across_batches_is_skipped() {
+        let mut svc = greedy_service(4, 50);
+        let first = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        assert!(first[0].should_execute());
+        let second = svc.evaluate_transfers(vec![spec_n(1, 2)]);
+        assert!(!second[0].should_execute());
+        // But the second workflow is now registered as a user of the file.
+        let snap = svc.snapshot();
+        assert_eq!(snap.staging_files, 1);
+    }
+
+    #[test]
+    fn staged_file_is_not_restaged() {
+        let mut svc = greedy_service(4, 50);
+        let advice = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        svc.report_transfers(vec![TransferOutcome {
+            id: advice[0].id,
+            success: true,
+        }]);
+        assert_eq!(svc.snapshot().staged_files, 1);
+        let again = svc.evaluate_transfers(vec![spec_n(1, 2)]);
+        assert!(!again[0].should_execute());
+        assert_eq!(
+            again[0].action,
+            TransferAction::Skip(crate::model::SuppressReason::AlreadyStaged)
+        );
+    }
+
+    #[test]
+    fn failed_transfer_can_be_retried() {
+        let mut svc = greedy_service(4, 50);
+        let advice = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        svc.report_transfers(vec![TransferOutcome {
+            id: advice[0].id,
+            success: false,
+        }]);
+        assert_eq!(svc.allocated("tacc", "isi"), 0, "streams released");
+        let retry = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        assert!(retry[0].should_execute(), "failure must not block retries");
+    }
+
+    #[test]
+    fn completion_releases_streams() {
+        let mut svc = greedy_service(8, 50);
+        let advice = svc.evaluate_transfers((0..7).map(|i| spec_n(i, 1)).collect());
+        assert_eq!(svc.allocated("tacc", "isi"), 50); // 6×8 + 2
+        let outcomes: Vec<TransferOutcome> = advice
+            .iter()
+            .map(|a| TransferOutcome {
+                id: a.id,
+                success: true,
+            })
+            .collect();
+        svc.report_transfers(outcomes);
+        assert_eq!(svc.allocated("tacc", "isi"), 0);
+        assert_eq!(svc.peak_allocated("tacc", "isi"), 50);
+        assert_eq!(svc.snapshot().staged_files, 7);
+    }
+
+    #[test]
+    fn table_iv_through_the_full_service() {
+        // 20 concurrent staging jobs, one transfer each, no completions.
+        for (threshold, default, expected) in [
+            (50, 4, 57),
+            (50, 8, 63),
+            (50, 12, 65),
+            (100, 8, 107),
+            (200, 10, 200),
+            (200, 12, 203),
+        ] {
+            let mut svc = greedy_service(default, threshold);
+            for j in 0..20 {
+                svc.evaluate_transfers(vec![spec_n(j, 1)]);
+            }
+            assert_eq!(
+                svc.peak_allocated("tacc", "isi"),
+                expected,
+                "threshold {threshold}, default {default}"
+            );
+        }
+    }
+
+    #[test]
+    fn cleanup_of_unused_file_executes() {
+        let mut svc = greedy_service(4, 50);
+        let advice = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        svc.report_transfers(vec![TransferOutcome {
+            id: advice[0].id,
+            success: true,
+        }]);
+        let cleanups = svc.evaluate_cleanups(vec![CleanupSpec {
+            file: Url::new("file", "isi", "/scratch/f001.dat"),
+            workflow: WorkflowId(1),
+        }]);
+        assert!(cleanups[0].should_execute());
+        svc.report_cleanups(vec![CleanupOutcome {
+            id: cleanups[0].id,
+            success: true,
+        }]);
+        assert_eq!(svc.snapshot().staged_files, 0, "resource removed");
+    }
+
+    #[test]
+    fn cleanup_of_shared_file_is_suppressed_until_last_user() {
+        let mut svc = greedy_service(4, 50);
+        // wf1 stages the file; wf2 requests the same file (skipped but
+        // registered as a user).
+        let a = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        svc.report_transfers(vec![TransferOutcome {
+            id: a[0].id,
+            success: true,
+        }]);
+        svc.evaluate_transfers(vec![spec_n(1, 2)]);
+
+        let file = Url::new("file", "isi", "/scratch/f001.dat");
+        // wf1 asks to clean up: wf2 still uses it → suppressed.
+        let c1 = svc.evaluate_cleanups(vec![CleanupSpec {
+            file: file.clone(),
+            workflow: WorkflowId(1),
+        }]);
+        assert!(!c1[0].should_execute());
+        assert_eq!(svc.snapshot().staged_files, 1, "file survives");
+
+        // wf2 asks later: no users remain → executes.
+        let c2 = svc.evaluate_cleanups(vec![CleanupSpec {
+            file: file.clone(),
+            workflow: WorkflowId(2),
+        }]);
+        assert!(c2[0].should_execute());
+    }
+
+    #[test]
+    fn duplicate_cleanup_is_suppressed() {
+        let mut svc = greedy_service(4, 50);
+        let a = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        svc.report_transfers(vec![TransferOutcome {
+            id: a[0].id,
+            success: true,
+        }]);
+        let file = Url::new("file", "isi", "/scratch/f001.dat");
+        let first = svc.evaluate_cleanups(vec![CleanupSpec {
+            file: file.clone(),
+            workflow: WorkflowId(1),
+        }]);
+        assert!(first[0].should_execute());
+        // Same cleanup again while the first is still in progress.
+        let second = svc.evaluate_cleanups(vec![CleanupSpec {
+            file: file.clone(),
+            workflow: WorkflowId(1),
+        }]);
+        assert!(!second[0].should_execute());
+        assert_eq!(svc.stats().cleanups_suppressed, 1);
+    }
+
+    #[test]
+    fn priority_ordering_sorts_descending() {
+        let mut svc = PolicyService::new(
+            PolicyConfig::default().with_ordering(OrderingPolicy::ByPriority),
+        );
+        let mut lo = spec_n(1, 1);
+        lo.priority = Some(1);
+        let mut hi = spec_n(2, 1);
+        hi.priority = Some(10);
+        let advice = svc.evaluate_transfers(vec![lo, hi]);
+        assert_eq!(advice[0].source.path, "/data/f002.dat");
+        assert_eq!(advice[1].source.path, "/data/f001.dat");
+    }
+
+    #[test]
+    fn snapshot_reflects_ledgers() {
+        let mut svc = greedy_service(4, 50);
+        svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        let snap = svc.snapshot();
+        assert_eq!(snap.in_progress_transfers, 1);
+        assert_eq!(snap.host_pairs.len(), 1);
+        assert_eq!(snap.host_pairs[0].allocated, 4);
+        assert_eq!(snap.host_pairs[0].src_host, "tacc");
+    }
+
+    #[test]
+    fn unknown_outcome_ids_are_ignored() {
+        let mut svc = greedy_service(4, 50);
+        svc.report_transfers(vec![TransferOutcome {
+            id: TransferId(999),
+            success: true,
+        }]);
+        svc.report_cleanups(vec![CleanupOutcome {
+            id: CleanupId(999),
+            success: true,
+        }]);
+        // No panic, nothing counted as completed.
+        assert_eq!(svc.stats().transfers_completed, 0);
+    }
+
+    #[test]
+    fn duplicate_completion_report_is_harmless() {
+        let mut svc = greedy_service(4, 50);
+        let a = svc.evaluate_transfers(vec![spec_n(1, 1)]);
+        let outcome = TransferOutcome {
+            id: a[0].id,
+            success: true,
+        };
+        svc.report_transfers(vec![outcome]);
+        svc.report_transfers(vec![outcome]);
+        assert_eq!(svc.allocated("tacc", "isi"), 0);
+        assert_eq!(svc.stats().transfers_completed, 1);
+    }
+
+    #[test]
+    fn balanced_service_respects_cluster_shares() {
+        let mut svc = PolicyService::new(
+            PolicyConfig::default()
+                .with_threshold(40)
+                .with_cluster_factor(2)
+                .with_default_streams(8)
+                .with_allocation(AllocationPolicy::Balanced),
+        );
+        let mut batch = Vec::new();
+        for i in 0..3 {
+            let mut s = spec_n(i, 1);
+            s.cluster = Some(crate::model::ClusterId(0));
+            batch.push(s);
+        }
+        let advice = svc.evaluate_transfers(batch);
+        let mut streams: Vec<u32> = advice.iter().map(|a| a.streams).collect();
+        streams.sort_unstable();
+        assert_eq!(streams, vec![4, 8, 8], "20-share: 8+8+4");
+    }
+}

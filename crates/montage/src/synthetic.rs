@@ -1,0 +1,266 @@
+//! Synthetic workload generators.
+//!
+//! Smaller, parameterized DAG shapes used by tests, examples, and ablation
+//! benches: pipelines, fork-joins, and seeded random layered DAGs (the shape
+//! family of the Bharathi et al. workflow generator the Pegasus group uses).
+
+use pwm_sim::SimRng;
+use pwm_workflow::{AbstractJob, AbstractWorkflow, ReplicaCatalog};
+
+fn job(
+    name: String,
+    transformation: &str,
+    runtime_s: f64,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+) -> AbstractJob {
+    AbstractJob {
+        name,
+        transformation: transformation.to_string(),
+        runtime_s,
+        inputs,
+        outputs,
+    }
+}
+
+/// A linear pipeline of `n` jobs, each consuming its predecessor's output.
+/// The first job reads an external input of `input_bytes`.
+pub fn chain(n: usize, input_bytes: u64) -> AbstractWorkflow {
+    assert!(n >= 1);
+    let mut wf = AbstractWorkflow::new(format!("chain-{n}"));
+    wf.set_file_size("chain_in", input_bytes);
+    for i in 0..n {
+        let input = if i == 0 {
+            "chain_in".to_string()
+        } else {
+            format!("link_{}", i - 1)
+        };
+        let output = format!("link_{i}");
+        wf.set_file_size(&output, 1_000_000);
+        wf.add_job(job(
+            format!("stage_{i}"),
+            "process",
+            4.0,
+            vec![input],
+            vec![output],
+        ));
+    }
+    wf
+}
+
+/// `width` independent workers fanning out of a splitter and joining into a
+/// merger. Each worker reads one external input of `input_bytes`.
+pub fn fork_join(width: usize, input_bytes: u64) -> AbstractWorkflow {
+    assert!(width >= 1);
+    let mut wf = AbstractWorkflow::new(format!("forkjoin-{width}"));
+    wf.set_file_size("seed_in", 100_000);
+    let splits: Vec<String> = (0..width).map(|i| format!("split_{i}")).collect();
+    for s in &splits {
+        wf.set_file_size(s, 100_000);
+    }
+    wf.add_job(job(
+        "split".into(),
+        "split",
+        2.0,
+        vec!["seed_in".into()],
+        splits.clone(),
+    ));
+    let mut merged_inputs = Vec::new();
+    for i in 0..width {
+        let external = format!("work_in_{i}");
+        let out = format!("work_out_{i}");
+        wf.set_file_size(&external, input_bytes);
+        wf.set_file_size(&out, 500_000);
+        merged_inputs.push(out.clone());
+        wf.add_job(job(
+            format!("work_{i}"),
+            "work",
+            6.0,
+            vec![format!("split_{i}"), external],
+            vec![out],
+        ));
+    }
+    wf.set_file_size("merged", 1_000_000);
+    wf.add_job(job(
+        "merge".into(),
+        "merge",
+        5.0,
+        merged_inputs,
+        vec!["merged".into()],
+    ));
+    wf
+}
+
+/// Parameters for [`random_layered`].
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Number of levels.
+    pub levels: usize,
+    /// Jobs per level.
+    pub width: usize,
+    /// Probability of an edge between a job and each job of the previous
+    /// level (at least one edge is always created).
+    pub edge_prob: f64,
+    /// Size of each level-0 external input.
+    pub input_bytes: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            levels: 4,
+            width: 8,
+            edge_prob: 0.3,
+            input_bytes: 5_000_000,
+            seed: 0,
+        }
+    }
+}
+
+/// A seeded random layered DAG: `levels × width` jobs, edges only between
+/// adjacent levels (acyclic by construction).
+pub fn random_layered(config: &RandomDagConfig) -> AbstractWorkflow {
+    assert!(config.levels >= 1 && config.width >= 1);
+    let mut rng = SimRng::for_component(config.seed, "random-dag");
+    let mut wf = AbstractWorkflow::new(format!(
+        "random-{}x{}-s{}",
+        config.levels, config.width, config.seed
+    ));
+    for level in 0..config.levels {
+        for slot in 0..config.width {
+            let name = format!("job_l{level}_s{slot}");
+            let out = format!("out_l{level}_s{slot}");
+            wf.set_file_size(&out, 1_000_000);
+            let mut inputs = Vec::new();
+            if level == 0 {
+                let external = format!("in_s{slot}");
+                wf.set_file_size(&external, config.input_bytes);
+                inputs.push(external);
+            } else {
+                for parent_slot in 0..config.width {
+                    if rng.chance(config.edge_prob) {
+                        inputs.push(format!("out_l{}_s{parent_slot}", level - 1));
+                    }
+                }
+                if inputs.is_empty() {
+                    // Guarantee connectivity to the previous level.
+                    let parent_slot = rng.uniform_u64(0, config.width as u64 - 1);
+                    inputs.push(format!("out_l{}_s{parent_slot}", level - 1));
+                }
+            }
+            let runtime = rng.uniform(2.0, 12.0);
+            wf.add_job(job(name, "synthetic", runtime, inputs, vec![out]));
+        }
+    }
+    wf
+}
+
+/// Register every external input of `workflow` on one source host.
+pub fn single_source_replicas(
+    workflow: &AbstractWorkflow,
+    host_name: &str,
+    host: pwm_net::HostId,
+) -> ReplicaCatalog {
+    let mut rc = ReplicaCatalog::new();
+    for file in workflow.external_inputs().expect("valid workflow") {
+        rc.insert(
+            &file,
+            pwm_core::Url::new("gsiftp", host_name, format!("/data/{file}")),
+            host,
+        );
+    }
+    rc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_a_path() {
+        let wf = chain(5, 1_000);
+        assert_eq!(wf.len(), 5);
+        let levels = wf.validate().unwrap();
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(wf.external_inputs().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let wf = fork_join(6, 1_000);
+        assert_eq!(wf.len(), 8); // split + 6 workers + merge
+        let levels = wf.validate().unwrap();
+        assert_eq!(*levels.iter().max().unwrap(), 2);
+        // 1 seed + 6 worker externals.
+        assert_eq!(wf.external_inputs().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn random_layered_is_acyclic_and_connected() {
+        for seed in 0..5 {
+            let wf = random_layered(&RandomDagConfig {
+                seed,
+                ..Default::default()
+            });
+            let levels = wf.validate().unwrap();
+            assert_eq!(wf.len(), 32);
+            // Every non-root level job depends on something above it.
+            assert_eq!(*levels.iter().max().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn random_layered_is_deterministic() {
+        let cfg = RandomDagConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let a = random_layered(&cfg);
+        let b = random_layered(&cfg);
+        for (ja, jb) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(ja.inputs, jb.inputs);
+            assert_eq!(ja.runtime_s, jb.runtime_s);
+        }
+    }
+
+    #[test]
+    fn single_source_replicas_cover_externals() {
+        let wf = fork_join(3, 1_000);
+        let rc = single_source_replicas(&wf, "src", pwm_net::HostId(0));
+        assert_eq!(rc.len(), wf.external_inputs().unwrap().len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn random_dags_always_validate(
+            levels in 1usize..6,
+            width in 1usize..10,
+            edge_prob in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let wf = random_layered(&RandomDagConfig {
+                levels,
+                width,
+                edge_prob,
+                input_bytes: 1_000,
+                seed,
+            });
+            prop_assert!(wf.validate().is_ok());
+            prop_assert_eq!(wf.len(), levels * width);
+        }
+
+        #[test]
+        fn chains_external_bytes_match(n in 1usize..20, bytes in 1u64..1_000_000) {
+            let wf = chain(n, bytes);
+            prop_assert_eq!(wf.external_input_bytes().unwrap(), bytes);
+        }
+    }
+}

@@ -1,0 +1,964 @@
+//! The fluid-flow network engine.
+//!
+//! [`Network`] holds the topology, the [`StreamModel`], and the set of live
+//! flows. It is a *passive* component: a driver (the workflow executor, or a
+//! test) interleaves its own events with the network's by asking
+//! [`Network::next_wakeup`] for the earliest instant anything interesting
+//! happens — a connection finishing setup, a flow draining, a turbulence or
+//! ramp refresh — and calling [`Network::advance`] to integrate flow progress
+//! up to its chosen time. Rates are recomputed (weighted max-min, see
+//! [`crate::sharing`]) at every flow membership change and at periodic
+//! refresh points while flows ramp or links are turbulent.
+//!
+//! Determinism: flows live in a `BTreeMap` keyed by monotonically increasing
+//! [`FlowId`], so iteration order — and therefore every floating-point
+//! reduction — is identical across runs with the same schedule.
+
+use crate::flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
+use crate::timeline::{LinkTimeline, UtilizationSample};
+use crate::model::{LinkState, StreamModel};
+use crate::sharing::{max_min_rates, FlowDemand};
+use crate::topology::{LinkId, Topology};
+use pwm_sim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Completion slop: a flow whose remaining bytes drop below this is done.
+const BYTE_EPS: f64 = 0.5;
+
+/// The live network simulation.
+pub struct Network {
+    topology: Topology,
+    model: StreamModel,
+    flows: BTreeMap<FlowId, Flow>,
+    link_states: Vec<LinkState>,
+    next_flow_id: u64,
+    now: SimTime,
+    completed: Vec<TransferRecord>,
+    total_bytes_completed: f64,
+    total_flows_completed: u64,
+    rng: SimRng,
+    /// Active connections per host (enforces per-host connection limits).
+    host_active: Vec<u32>,
+    /// Opt-in utilization recorders, keyed by watched link.
+    timelines: std::collections::BTreeMap<LinkId, LinkTimeline>,
+}
+
+impl Network {
+    /// Build a network over `topology` with the given stream model and the
+    /// default seed (0) for per-flow weight jitter.
+    pub fn new(topology: Topology, model: StreamModel) -> Self {
+        Self::with_seed(topology, model, 0)
+    }
+
+    /// Build a network with an explicit seed for per-flow weight jitter.
+    pub fn with_seed(topology: Topology, model: StreamModel, seed: u64) -> Self {
+        let link_states = (0..topology.link_count()).map(|_| LinkState::new()).collect();
+        let host_active = vec![0; topology.host_count()];
+        Network {
+            topology,
+            model,
+            flows: BTreeMap::new(),
+            link_states,
+            next_flow_id: 0,
+            now: SimTime::ZERO,
+            completed: Vec::new(),
+            total_bytes_completed: 0.0,
+            total_flows_completed: 0,
+            rng: SimRng::for_component(seed, "network-weights"),
+            host_active,
+            timelines: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Start recording a utilization timeline for `link`.
+    pub fn watch_link(&mut self, link: LinkId) {
+        self.timelines.entry(link).or_default();
+    }
+
+    /// The recorded timeline for `link`, if watched.
+    pub fn timeline(&self, link: LinkId) -> Option<&LinkTimeline> {
+        self.timelines.get(&link)
+    }
+
+    /// Hosts whose connection slots a flow occupies (src and dst, once each).
+    fn flow_hosts(spec_src: crate::HostId, spec_dst: crate::HostId) -> Vec<crate::HostId> {
+        if spec_src == spec_dst {
+            vec![spec_src]
+        } else {
+            vec![spec_src, spec_dst]
+        }
+    }
+
+    /// True when both endpoints have a free connection slot.
+    fn slots_available(&self, src: crate::HostId, dst: crate::HostId) -> bool {
+        Self::flow_hosts(src, dst).into_iter().all(|h| {
+            match self.topology.host(h).max_connections {
+                Some(max) => self.host_active[h.0 as usize] < max,
+                None => true,
+            }
+        })
+    }
+
+    fn occupy_slots(&mut self, src: crate::HostId, dst: crate::HostId, delta: i64) {
+        for h in Self::flow_hosts(src, dst) {
+            let slot = &mut self.host_active[h.0 as usize];
+            *slot = (*slot as i64 + delta).max(0) as u32;
+        }
+    }
+
+    /// Currently active connections at a host (diagnostic).
+    pub fn host_connections(&self, host: crate::HostId) -> u32 {
+        self.host_active[host.0 as usize]
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The stream model in force.
+    pub fn model(&self) -> &StreamModel {
+        &self.model
+    }
+
+    /// Current network-local time (last `advance` target).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of flows currently connecting or moving bytes.
+    pub fn live_flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Peak concurrent streams ever observed on `link` (Table IV check).
+    pub fn peak_streams(&self, link: LinkId) -> u32 {
+        self.link_states[link.0 as usize].peak_streams
+    }
+
+    /// Current concurrent streams on `link`.
+    pub fn current_streams(&self, link: LinkId) -> u32 {
+        self.link_states[link.0 as usize].streams
+    }
+
+    /// Current turbulence level of `link` (diagnostic).
+    pub fn link_turbulence(&self, link: LinkId) -> f64 {
+        self.link_states[link.0 as usize].turbulence
+    }
+
+    /// Total bytes delivered by completed flows.
+    pub fn total_bytes_completed(&self) -> f64 {
+        self.total_bytes_completed
+    }
+
+    /// Total flows completed.
+    pub fn total_flows_completed(&self) -> u64 {
+        self.total_flows_completed
+    }
+
+    /// Begin a transfer at time `now` (which must not precede the engine's
+    /// clock). The flow first spends the model's connection-setup time in
+    /// [`FlowPhase::Connecting`], then joins the bandwidth-sharing set.
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        self.advance(now);
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        let route = self.topology.route(spec.src, spec.dst);
+        let rtt = self.topology.route_rtt(spec.src, spec.dst);
+        let setup = self.model.setup_time(spec.streams.max(1), rtt);
+        let weight_factor = self.rng.jitter(self.model.flow_weight_jitter);
+        self.flows.insert(
+            id,
+            Flow {
+                spec,
+                phase: FlowPhase::Connecting { until: now + setup },
+                route,
+                requested_at: now,
+                weight_factor,
+            },
+        );
+        id
+    }
+
+    /// Drain the records of flows that finished since the last call.
+    pub fn take_completed(&mut self) -> Vec<TransferRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Earliest instant at which the network's state changes discontinuously:
+    /// a connection opens, a flow drains at current rates, or a refresh is
+    /// due because something is ramping or turbulent. `None` when idle.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        // Wakeups must be strictly in the future: a completion ETA that
+        // rounds down to `now` would otherwise make drivers spin forever.
+        let floor = self.now + SimDuration::from_micros(1);
+        let mut bump = |t: SimTime| {
+            let t = t.max(floor);
+            earliest = Some(match earliest {
+                Some(e) if e <= t => e,
+                _ => t,
+            });
+        };
+
+        let mut needs_refresh = false;
+        for flow in self.flows.values() {
+            match &flow.phase {
+                FlowPhase::Connecting { until } => bump(*until),
+                FlowPhase::Active {
+                    activated_at,
+                    remaining,
+                    rate,
+                } => {
+                    if *rate > 0.0 {
+                        let secs = remaining / rate;
+                        bump(self.now + SimDuration::from_secs_f64(secs));
+                    }
+                    if !self.model.ramp_done(self.now.since(*activated_at)) {
+                        needs_refresh = true;
+                    }
+                }
+                FlowPhase::Queued => {
+                    // Promoted by a completion event; no intrinsic wakeup.
+                }
+                FlowPhase::Done => {}
+            }
+        }
+        if !needs_refresh && !self.flows.is_empty() {
+            // Turbulent links also change effective rates over time.
+            needs_refresh = self
+                .link_states
+                .iter()
+                .any(|ls| ls.streams > 0 && ls.turbulence > 0.02);
+        }
+        if needs_refresh {
+            bump(self.now + self.model.refresh_interval);
+        }
+        earliest
+    }
+
+    /// Integrate flow progress up to `to`, handling activations and
+    /// completions at their exact instants, and leave rates freshly computed.
+    ///
+    /// # Panics
+    /// Panics if `to` precedes the engine clock.
+    pub fn advance(&mut self, to: SimTime) {
+        assert!(to >= self.now, "network clock cannot move backwards");
+        while self.now < to {
+            // Next discontinuity within (now, to]: activation or completion.
+            let mut seg_end = to;
+            for flow in self.flows.values() {
+                match &flow.phase {
+                    FlowPhase::Connecting { until } => {
+                        if *until > self.now && *until < seg_end {
+                            seg_end = *until;
+                        }
+                    }
+                    FlowPhase::Active { remaining, rate, .. } => {
+                        if *rate > 0.0 {
+                            let eta =
+                                self.now + SimDuration::from_secs_f64(remaining / rate);
+                            if eta > self.now && eta < seg_end {
+                                seg_end = eta;
+                            }
+                        }
+                    }
+                    FlowPhase::Queued | FlowPhase::Done => {}
+                }
+            }
+
+            self.integrate(seg_end);
+            self.now = seg_end;
+            self.activate_due();
+            self.collect_done();
+            // Completions free connection slots: promote queued flows now.
+            self.activate_due();
+            self.recompute_rates();
+        }
+        // `to` may equal `now` on entry (pure rate refresh): still recompute
+        // so callers starting flows see current conditions.
+        if self.flows.values().any(|f| matches!(f.phase, FlowPhase::Active { .. })) {
+            self.recompute_rates();
+        }
+    }
+
+    /// Move bytes at the current constant rates until `seg_end`.
+    fn integrate(&mut self, seg_end: SimTime) {
+        let dt = seg_end.since(self.now).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        for flow in self.flows.values_mut() {
+            if let FlowPhase::Active { remaining, rate, .. } = &mut flow.phase {
+                *remaining = (*remaining - *rate * dt).max(0.0);
+            }
+        }
+    }
+
+    /// Flip Connecting flows whose setup completed into Active (or Queued
+    /// when an endpoint's transfer server is at its connection limit), and
+    /// promote Queued flows into freed slots in FIFO order.
+    fn activate_due(&mut self) {
+        let now = self.now;
+        // Candidates in FlowId (FIFO) order: setup-complete and queued flows.
+        let candidates: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| match &f.phase {
+                FlowPhase::Connecting { until } => *until <= now,
+                FlowPhase::Queued => true,
+                _ => false,
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        let mut joins: Vec<(FlowId, i64)> = Vec::new();
+        for id in candidates {
+            let (src, dst) = {
+                let f = &self.flows[&id];
+                (f.spec.src, f.spec.dst)
+            };
+            if self.slots_available(src, dst) {
+                self.occupy_slots(src, dst, 1);
+                let flow = self.flows.get_mut(&id).expect("candidate flow");
+                flow.phase = FlowPhase::Active {
+                    activated_at: now,
+                    remaining: flow.spec.bytes.max(0.0),
+                    rate: 0.0,
+                };
+                joins.push((id, flow.streams() as i64));
+            } else {
+                let flow = self.flows.get_mut(&id).expect("candidate flow");
+                flow.phase = FlowPhase::Queued;
+            }
+        }
+        for (id, streams) in joins {
+            let route = self.flows[&id].route.clone();
+            for link in route {
+                let knee = self.knee(link);
+                self.link_states[link.0 as usize]
+                    .membership_change(&self.model, now, streams, knee);
+            }
+        }
+    }
+
+    /// Retire drained flows, record them, release their streams.
+    fn collect_done(&mut self) {
+        let now = self.now;
+        let done_ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| {
+                matches!(&f.phase, FlowPhase::Active { remaining, .. } if *remaining <= BYTE_EPS)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in done_ids {
+            let flow = self.flows.remove(&id).expect("flow disappeared");
+            self.occupy_slots(flow.spec.src, flow.spec.dst, -1);
+            let activated_at = match &flow.phase {
+                FlowPhase::Active { activated_at, .. } => *activated_at,
+                _ => unreachable!("collect_done only sees active flows"),
+            };
+            let streams = flow.streams();
+            for link in &flow.route {
+                let knee = self.knee(*link);
+                self.link_states[link.0 as usize].membership_change(
+                    &self.model,
+                    now,
+                    -(streams as i64),
+                    knee,
+                );
+            }
+            self.total_bytes_completed += flow.spec.bytes;
+            self.total_flows_completed += 1;
+            self.completed.push(TransferRecord {
+                flow: id,
+                tag: flow.spec.tag,
+                src: flow.spec.src,
+                dst: flow.spec.dst,
+                bytes: flow.spec.bytes,
+                streams,
+                requested_at: flow.requested_at,
+                activated_at,
+                completed_at: now,
+            });
+        }
+    }
+
+    /// Weighted max-min over effective link capacities.
+    fn recompute_rates(&mut self) {
+        let now = self.now;
+        // Effective capacity per link under current occupancy/turbulence.
+        let mut capacities = Vec::with_capacity(self.link_states.len());
+        for (idx, ls) in self.link_states.iter_mut().enumerate() {
+            ls.settle(&self.model, now);
+            let link = self.topology.link(LinkId(idx as u32));
+            let knee = link.knee_override.unwrap_or(self.model.knee_streams);
+            let factor = self
+                .model
+                .capacity_factor(ls.streams as f64, knee, ls.turbulence);
+            capacities.push(link.capacity * factor);
+        }
+
+        let mut ids = Vec::new();
+        let mut demands = Vec::new();
+        for (id, flow) in self.flows.iter() {
+            if let FlowPhase::Active { activated_at, .. } = &flow.phase {
+                let rtt = self.topology.route_rtt(flow.spec.src, flow.spec.dst);
+                let age = now.since(*activated_at);
+                ids.push(*id);
+                demands.push(FlowDemand {
+                    weight: flow.streams() as f64 * flow.weight_factor,
+                    cap: self.model.flow_cap(flow.streams(), age, rtt),
+                    links: flow.route.iter().map(|l| l.0 as usize).collect(),
+                });
+            }
+        }
+        if ids.is_empty() {
+            return;
+        }
+        let rates = max_min_rates(&capacities, &demands);
+        for (id, new_rate) in ids.into_iter().zip(rates.iter()) {
+            if let Some(flow) = self.flows.get_mut(&id) {
+                if let FlowPhase::Active { rate, .. } = &mut flow.phase {
+                    *rate = *new_rate;
+                }
+            }
+        }
+        // Feed watched timelines with the fresh rates.
+        if !self.timelines.is_empty() {
+            for (link, timeline) in self.timelines.iter_mut() {
+                let ix = link.0 as usize;
+                let throughput: f64 = demands
+                    .iter()
+                    .zip(rates.iter())
+                    .filter(|(d, _)| d.links.contains(&ix))
+                    .map(|(_, r)| *r)
+                    .sum();
+                timeline.record(UtilizationSample {
+                    at: now,
+                    streams: self.link_states[ix].streams,
+                    turbulence: self.link_states[ix].turbulence,
+                    throughput,
+                });
+            }
+        }
+    }
+
+    fn knee(&self, link: LinkId) -> f64 {
+        self.topology
+            .link(link)
+            .knee_override
+            .unwrap_or(self.model.knee_streams)
+    }
+
+    /// Run the network by itself until all flows complete or `horizon` is
+    /// reached. Convenience for tests and standalone benchmarks; the workflow
+    /// executor drives the network manually instead.
+    pub fn run_to_completion(&mut self, horizon: SimTime) {
+        while self.live_flow_count() > 0 {
+            match self.next_wakeup() {
+                Some(t) if t <= horizon => self.advance(t),
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // configs are tweaked per-test
+mod tests {
+    use super::*;
+    use crate::topology::paper_testbed;
+
+    fn lan_pair() -> (Network, crate::HostId, crate::HostId) {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 100.0e6);
+        let b = t.add_host("b", 100.0e6);
+        let mut model = StreamModel::default();
+        // Simplify physics for unit-level assertions.
+        model.setup_base = SimDuration::ZERO;
+        model.setup_per_stream = SimDuration::ZERO;
+        model.setup_rtts = 0.0;
+        model.ramp_tau = SimDuration::ZERO;
+        model.turbulence_per_event = 0.0;
+        model.flow_weight_jitter = 0.0;
+        (Network::new(t, model), a, b)
+    }
+
+    fn spec(src: crate::HostId, dst: crate::HostId, bytes: f64, streams: u32) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            streams,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_in_expected_time() {
+        let (mut net, a, b) = lan_pair();
+        // 2 streams × 64 MB/s/stream (1ms floor) = 128 MB/s cap, but the
+        // 100 MB/s NIC binds → 100 MB in 1s.
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6, 2));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 1);
+        let dur = recs[0].transfer_duration().as_secs_f64();
+        assert!((dur - 1.0).abs() < 0.02, "duration {dur}");
+    }
+
+    #[test]
+    fn one_stream_flow_is_window_limited() {
+        let (mut net, a, b) = lan_pair();
+        // 1 stream at 1 ms floor → 65.5 MB/s cap < 100 MB/s NIC.
+        net.start_flow(SimTime::ZERO, spec(a, b, 65.536e6, 1));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        let dur = recs[0].transfer_duration().as_secs_f64();
+        assert!((dur - 1.0).abs() < 0.02, "duration {dur}");
+    }
+
+    #[test]
+    fn two_flows_share_the_nic_fairly() {
+        let (mut net, a, b) = lan_pair();
+        net.start_flow(SimTime::ZERO, spec(a, b, 50.0e6, 4));
+        net.start_flow(SimTime::ZERO, spec(a, b, 50.0e6, 4));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 2);
+        // Equal weights: both finish together at ~1s (100 MB total / 100MB/s).
+        for r in &recs {
+            let dur = r.transfer_duration().as_secs_f64();
+            assert!((dur - 1.0).abs() < 0.05, "duration {dur}");
+        }
+    }
+
+    #[test]
+    fn weighted_flows_finish_proportionally() {
+        let (mut net, a, b) = lan_pair();
+        // Same size, 3:1 stream weights on a 100 MB/s NIC pair.
+        let fast = net.start_flow(SimTime::ZERO, spec(a, b, 60.0e6, 3));
+        net.start_flow(SimTime::ZERO, spec(a, b, 60.0e6, 1));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        let fast_rec = recs.iter().find(|r| r.flow == fast).unwrap();
+        let slow_rec = recs.iter().find(|r| r.flow != fast).unwrap();
+        assert!(
+            fast_rec.completed_at < slow_rec.completed_at,
+            "3-stream flow should finish first"
+        );
+    }
+
+    #[test]
+    fn setup_time_delays_activation() {
+        let (net, a, b) = lan_pair();
+        let mut model = StreamModel::default();
+        model.ramp_tau = SimDuration::ZERO;
+        model.turbulence_per_event = 0.0;
+        model.setup_base = SimDuration::from_secs(1);
+        model.setup_per_stream = SimDuration::ZERO;
+        model.setup_rtts = 0.0;
+        let topo = net.topology().clone();
+        let mut net = Network::new(topo, model);
+        net.start_flow(SimTime::ZERO, spec(a, b, 1.0e6, 2));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].activated_at >= SimTime::from_secs(1));
+        assert!(recs[0].total_duration() > recs[0].transfer_duration());
+    }
+
+    #[test]
+    fn wan_transfer_matches_paper_bandwidth() {
+        let (topo, gridftp, _apache, nfs) = paper_testbed();
+        let mut model = StreamModel::default();
+        model.turbulence_per_event = 0.0;
+        model.flow_weight_jitter = 0.0;
+        let mut net = Network::new(topo, model);
+        // 8 streams × 1.63 MB/s > 3.5 MB/s WAN → WAN-limited. 35 MB → ~10 s
+        // (plus setup and ramp).
+        net.start_flow(SimTime::ZERO, spec(gridftp, nfs, 35.0e6, 8));
+        net.run_to_completion(SimTime::from_secs(1000));
+        let recs = net.take_completed();
+        let goodput = recs[0].goodput();
+        assert!(
+            goodput > 2.8e6 && goodput <= 3.6e6,
+            "goodput {goodput} should approach the 3.5 MB/s WAN cap"
+        );
+    }
+
+    #[test]
+    fn peak_streams_tracked_per_link() {
+        let (mut net, a, b) = lan_pair();
+        net.start_flow(SimTime::ZERO, spec(a, b, 10.0e6, 4));
+        net.start_flow(SimTime::ZERO, spec(a, b, 10.0e6, 6));
+        let access = net.topology().host(a).access_link;
+        net.run_to_completion(SimTime::from_secs(100));
+        assert_eq!(net.peak_streams(access), 10);
+        assert_eq!(net.current_streams(access), 0);
+        assert_eq!(net.total_flows_completed(), 2);
+        assert!((net.total_bytes_completed() - 20.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately_after_setup() {
+        let (mut net, a, b) = lan_pair();
+        net.start_flow(SimTime::ZERO, spec(a, b, 0.0, 1));
+        net.run_to_completion(SimTime::from_secs(10));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn staggered_starts_preserve_causality() {
+        let (mut net, a, b) = lan_pair();
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6, 2));
+        net.start_flow(SimTime::from_secs(2), spec(a, b, 10.0e6, 2));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 2);
+        for r in &recs {
+            assert!(r.completed_at > r.requested_at);
+            assert!(r.activated_at >= r.requested_at);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn advance_backwards_panics() {
+        let (mut net, _a, _b) = lan_pair();
+        net.advance(SimTime::from_secs(5));
+        net.advance(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn next_wakeup_idle_network_is_none() {
+        let (net, _a, _b) = lan_pair();
+        assert!(net.next_wakeup().is_none());
+    }
+
+    #[test]
+    fn oversubscription_slows_aggregate_throughput() {
+        // Same total bytes, same flow count; the run whose threshold admits
+        // 200+ streams must take longer than the one capped near the knee.
+        let run = |streams_per_flow: u32| -> f64 {
+            let (topo, gridftp, _apache, nfs) = paper_testbed();
+            let mut net = Network::new(topo, StreamModel::default());
+            for i in 0..20 {
+                net.start_flow(
+                    SimTime::ZERO,
+                    FlowSpec {
+                        src: gridftp,
+                        dst: nfs,
+                        bytes: 30.0e6,
+                        streams: streams_per_flow,
+                        tag: i,
+                    },
+                );
+            }
+            net.run_to_completion(SimTime::from_secs(100_000));
+            let recs = net.take_completed();
+            assert_eq!(recs.len(), 20);
+            recs.iter()
+                .map(|r| r.completed_at.as_secs_f64())
+                .fold(0.0, f64::max)
+        };
+        let healthy = run(3); // 60 total streams ≤ knee
+        let thrashing = run(10); // 200 total streams
+        assert!(
+            thrashing > healthy * 1.1,
+            "healthy {healthy}s vs thrashing {thrashing}s"
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod timeline_tests {
+    use super::*;
+    use crate::topology::paper_testbed;
+
+    #[test]
+    fn watched_wan_link_records_saturation() {
+        let (topo, gridftp, _apache, nfs) = paper_testbed();
+        let wan = topo
+            .links()
+            .find(|(_, l)| l.name == "wan-tacc-isi")
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut net = Network::with_seed(topo, StreamModel::default(), 1);
+        net.watch_link(wan);
+        for i in 0..10 {
+            net.start_flow(
+                SimTime::ZERO,
+                FlowSpec {
+                    src: gridftp,
+                    dst: nfs,
+                    bytes: 20.0e6,
+                    streams: 4,
+                    tag: i,
+                },
+            );
+        }
+        net.run_to_completion(SimTime::from_secs(10_000));
+        let tl = net.timeline(wan).expect("watched");
+        assert!(!tl.samples().is_empty());
+        assert_eq!(tl.peak_streams(), 40);
+        // Mid-run the WAN is saturated near its 3.5 MB/s capacity.
+        let peak_throughput = tl
+            .samples()
+            .iter()
+            .map(|s| s.throughput)
+            .fold(0.0, f64::max);
+        assert!(
+            peak_throughput > 3.0e6 && peak_throughput <= 3.6e6,
+            "peak throughput {peak_throughput}"
+        );
+        // Unwatched links stay unrecorded.
+        assert!(net.timeline(LinkId(0)).is_none());
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod connection_limit_tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn limited_pair(max: u32) -> (Network, crate::HostId, crate::HostId) {
+        let mut t = Topology::new();
+        let a = t.add_host("server", 100.0e6);
+        let b = t.add_host("client", 100.0e6);
+        t.set_host_connection_limit(a, max);
+        let mut model = StreamModel::default();
+        model.setup_base = SimDuration::ZERO;
+        model.setup_per_stream = SimDuration::ZERO;
+        model.setup_rtts = 0.0;
+        model.ramp_tau = SimDuration::ZERO;
+        model.turbulence_per_event = 0.0;
+        model.flow_weight_jitter = 0.0;
+        (Network::new(t, model), a, b)
+    }
+
+    fn spec(src: crate::HostId, dst: crate::HostId, bytes: f64, tag: u64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            streams: 2,
+            tag,
+        }
+    }
+
+    #[test]
+    fn connection_limit_serializes_excess_flows() {
+        // Server allows 2 concurrent connections; 4 equal flows must run as
+        // two consecutive pairs → ~double the unconstrained time.
+        let (mut net, server, client) = limited_pair(2);
+        for i in 0..4 {
+            net.start_flow(SimTime::ZERO, spec(server, client, 50.0e6, i));
+        }
+        net.run_to_completion(SimTime::from_secs(1000));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 4);
+        // First pair finishes ~1s (100 MB over 100 MB/s shared by 2);
+        // second pair ~2s.
+        let mut ends: Vec<f64> = recs.iter().map(|r| r.completed_at.as_secs_f64()).collect();
+        ends.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((ends[1] - 1.0).abs() < 0.1, "first pair at {:?}", ends);
+        assert!((ends[3] - 2.0).abs() < 0.1, "second pair at {:?}", ends);
+        assert_eq!(net.host_connections(server), 0, "slots drained");
+    }
+
+    #[test]
+    fn queue_promotes_in_fifo_order() {
+        let (mut net, server, client) = limited_pair(1);
+        let first = net.start_flow(SimTime::ZERO, spec(server, client, 10.0e6, 0));
+        let second = net.start_flow(SimTime::ZERO, spec(server, client, 10.0e6, 1));
+        let third = net.start_flow(SimTime::ZERO, spec(server, client, 10.0e6, 2));
+        net.run_to_completion(SimTime::from_secs(1000));
+        let recs = net.take_completed();
+        let order: Vec<FlowId> = {
+            let mut r: Vec<_> = recs.iter().map(|r| (r.completed_at, r.flow)).collect();
+            r.sort();
+            r.into_iter().map(|(_, f)| f).collect()
+        };
+        assert_eq!(order, vec![first, second, third]);
+    }
+
+    #[test]
+    fn unlimited_hosts_never_queue() {
+        let (mut net, server, client) = {
+            let mut t = Topology::new();
+            let a = t.add_host("server", 100.0e6);
+            let b = t.add_host("client", 100.0e6);
+            let mut model = StreamModel::default();
+            model.flow_weight_jitter = 0.0;
+            (Network::new(t, model), a, b)
+        };
+        for i in 0..50 {
+            net.start_flow(SimTime::ZERO, spec(server, client, 1.0e6, i));
+        }
+        net.run_to_completion(SimTime::from_secs(1000));
+        assert_eq!(net.take_completed().len(), 50);
+    }
+
+    #[test]
+    fn limit_applies_at_the_destination_too() {
+        let (mut net, server, client) = {
+            let mut t = Topology::new();
+            let a = t.add_host("server", 100.0e6);
+            let b = t.add_host("client", 100.0e6);
+            t.set_host_connection_limit(b, 1);
+            let mut model = StreamModel::default();
+            model.setup_base = SimDuration::ZERO;
+            model.setup_per_stream = SimDuration::ZERO;
+            model.setup_rtts = 0.0;
+            model.ramp_tau = SimDuration::ZERO;
+            model.turbulence_per_event = 0.0;
+            model.flow_weight_jitter = 0.0;
+            (Network::new(t, model), a, b)
+        };
+        net.start_flow(SimTime::ZERO, spec(server, client, 100.0e6, 0));
+        net.start_flow(SimTime::ZERO, spec(server, client, 100.0e6, 1));
+        net.run_to_completion(SimTime::from_secs(1000));
+        let recs = net.take_completed();
+        // Serialized: 1s then 2s, not both at 2s.
+        let mut ends: Vec<f64> = recs.iter().map(|r| r.completed_at.as_secs_f64()).collect();
+        ends.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((ends[0] - 1.0).abs() < 0.05, "{ends:?}");
+        assert!((ends[1] - 2.0).abs() < 0.05, "{ends:?}");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod proptests {
+    use super::*;
+    use crate::topology::paper_testbed;
+    use proptest::prelude::*;
+
+    /// Arbitrary batch of flows on the paper testbed (mix of WAN and LAN).
+    fn arb_flows() -> impl Strategy<Value = Vec<(bool, f64, u32, u64)>> {
+        proptest::collection::vec(
+            (
+                any::<bool>(),          // true = WAN (gridftp→nfs), false = LAN (apache→nfs)
+                1.0e4..2.0e8f64,        // bytes
+                1u32..16,               // streams
+                0u64..10,               // start delay (seconds)
+            ),
+            1..24,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every flow eventually completes, exactly once, and the records
+        /// are causally consistent.
+        #[test]
+        fn all_flows_complete_exactly_once(flows in arb_flows()) {
+            let (topo, gridftp, apache, nfs) = paper_testbed();
+            let mut net = Network::with_seed(topo, StreamModel::default(), 42);
+            let n = flows.len();
+            for (i, (wan, bytes, streams, delay)) in flows.into_iter().enumerate() {
+                let src = if wan { gridftp } else { apache };
+                net.advance(net.now().max(SimTime::from_secs(delay)));
+                net.start_flow(net.now(), FlowSpec {
+                    src,
+                    dst: nfs,
+                    bytes,
+                    streams,
+                    tag: i as u64,
+                });
+            }
+            net.run_to_completion(SimTime::from_secs(1_000_000));
+            let recs = net.take_completed();
+            prop_assert_eq!(recs.len(), n);
+            let mut tags: Vec<u64> = recs.iter().map(|r| r.tag).collect();
+            tags.sort_unstable();
+            let expected: Vec<u64> = (0..n as u64).collect();
+            prop_assert_eq!(tags, expected);
+            for r in &recs {
+                prop_assert!(r.activated_at >= r.requested_at);
+                prop_assert!(r.completed_at > r.activated_at || r.bytes < 1.0);
+            }
+        }
+
+        /// Goodput never exceeds the bottleneck capacity of the route, and
+        /// aggregate bytes accounting matches.
+        #[test]
+        fn goodput_bounded_by_bottleneck(flows in arb_flows()) {
+            let (topo, gridftp, apache, nfs) = paper_testbed();
+            let mut net = Network::with_seed(topo, StreamModel::default(), 7);
+            let mut total = 0.0;
+            for (i, (wan, bytes, streams, _)) in flows.iter().enumerate() {
+                let src = if *wan { gridftp } else { apache };
+                total += bytes;
+                net.start_flow(SimTime::ZERO, FlowSpec {
+                    src,
+                    dst: nfs,
+                    bytes: *bytes,
+                    streams: *streams,
+                    tag: i as u64,
+                });
+            }
+            net.run_to_completion(SimTime::from_secs(1_000_000));
+            let recs = net.take_completed();
+            prop_assert!((net.total_bytes_completed() - total).abs() < 1.0);
+            for r in &recs {
+                let cap = if r.src == gridftp { 3.5e6 } else { 110.0e6 };
+                // A single flow's goodput can never exceed its bottleneck
+                // (small slack for the fluid integrator's microsecond grid).
+                prop_assert!(
+                    r.goodput() <= cap * 1.01 + 1.0,
+                    "flow {} goodput {} over cap {}", r.tag, r.goodput(), cap
+                );
+            }
+        }
+
+        /// Identical inputs + identical seed ⇒ identical completion times.
+        #[test]
+        fn deterministic_under_fixed_seed(flows in arb_flows()) {
+            let run = |seed: u64, flows: &[(bool, f64, u32, u64)]| {
+                let (topo, gridftp, apache, nfs) = paper_testbed();
+                let mut net = Network::with_seed(topo, StreamModel::default(), seed);
+                for (i, (wan, bytes, streams, _)) in flows.iter().enumerate() {
+                    let src = if *wan { gridftp } else { apache };
+                    net.start_flow(SimTime::ZERO, FlowSpec {
+                        src, dst: nfs, bytes: *bytes, streams: *streams, tag: i as u64,
+                    });
+                }
+                net.run_to_completion(SimTime::from_secs(1_000_000));
+                net.take_completed()
+                    .into_iter()
+                    .map(|r| (r.tag, r.completed_at))
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(3, &flows), run(3, &flows));
+        }
+
+        /// Stream accounting: peaks never exceed the sum of all flows'
+        /// streams, and every link ends idle.
+        #[test]
+        fn stream_accounting_is_conservative(flows in arb_flows()) {
+            let (topo, gridftp, apache, nfs) = paper_testbed();
+            let total_streams: u32 = flows.iter().map(|(_, _, s, _)| *s.max(&1)).sum();
+            let mut net = Network::with_seed(topo, StreamModel::default(), 5);
+            for (i, (wan, bytes, streams, _)) in flows.iter().enumerate() {
+                let src = if *wan { gridftp } else { apache };
+                net.start_flow(SimTime::ZERO, FlowSpec {
+                    src, dst: nfs, bytes: *bytes, streams: *streams, tag: i as u64,
+                });
+            }
+            net.run_to_completion(SimTime::from_secs(1_000_000));
+            let links: Vec<LinkId> = net.topology().links().map(|(id, _)| id).collect();
+            for link in links {
+                prop_assert!(net.peak_streams(link) <= total_streams);
+                prop_assert_eq!(net.current_streams(link), 0, "link {} not drained", link);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Weighted max-min fair bandwidth sharing with per-flow rate caps.
+//!
+//! Given a set of links with (effective) capacities and a set of flows, each
+//! with a weight (its parallel-stream count), a rate cap (streams ×
+//! per-stream rate × ramp), and the list of links it crosses, compute the
+//! classic *progressive-filling* allocation: grow every flow's rate in
+//! proportion to its weight until it hits its cap or a link it crosses is
+//! saturated; freeze those flows and repeat with the residual capacity.
+//!
+//! This is the fluid-flow approximation used by network simulators for bulk
+//! TCP: fast to recompute at every membership change and accurate at the
+//! tens-of-seconds timescales the workflow experiments care about.
+
+/// A flow's demand as seen by the allocator.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// Fair-share weight (parallel streams).
+    pub weight: f64,
+    /// Upper bound on the flow's rate (bytes/sec).
+    pub cap: f64,
+    /// Indices into the `capacities` slice of the links this flow crosses.
+    pub links: Vec<usize>,
+}
+
+/// Compute weighted max-min rates.
+///
+/// `capacities[l]` is the effective capacity of link `l` in bytes/sec.
+/// Returns one rate per flow, in input order. Flows with zero weight or an
+/// empty link list receive their cap directly (they consume no shared
+/// resource in this model).
+pub fn max_min_rates(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut fixed = vec![false; flows.len()];
+    let mut residual: Vec<f64> = capacities.to_vec();
+
+    // Flows that use no links are bounded only by their cap.
+    for (i, f) in flows.iter().enumerate() {
+        if f.links.is_empty() || f.weight <= 0.0 {
+            rates[i] = f.cap.max(0.0);
+            fixed[i] = true;
+        }
+    }
+
+    loop {
+        // Residual weight per link over unfixed flows.
+        let mut link_weight = vec![0.0f64; capacities.len()];
+        let mut any_unfixed = false;
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            any_unfixed = true;
+            for &l in &f.links {
+                link_weight[l] += f.weight;
+            }
+        }
+        if !any_unfixed {
+            break;
+        }
+
+        // The binding constraint: the smallest per-weight share offered by
+        // any loaded link, or the smallest per-weight cap of any unfixed flow.
+        let mut limit = f64::INFINITY;
+        let mut limit_is_link = false;
+        let mut limit_link = usize::MAX;
+        for (l, &w) in link_weight.iter().enumerate() {
+            if w > EPS {
+                let share = residual[l].max(0.0) / w;
+                if share < limit - EPS {
+                    limit = share;
+                    limit_is_link = true;
+                    limit_link = l;
+                }
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let cap_share = (f.cap - rates[i]).max(0.0) / f.weight;
+            if cap_share < limit - EPS {
+                limit = cap_share;
+                limit_is_link = false;
+            }
+        }
+        if !limit.is_finite() {
+            // No loaded links and no finite caps: flows are unconstrained;
+            // freeze them at their (infinite) caps — callers always pass
+            // finite caps, so treat as done.
+            break;
+        }
+
+        // Grow every unfixed flow by weight × limit.
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let inc = f.weight * limit;
+            rates[i] += inc;
+            for &l in &f.links {
+                residual[l] -= inc;
+            }
+        }
+
+        // Freeze flows that hit the binding constraint.
+        let mut froze = false;
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let at_cap = rates[i] >= f.cap - EPS;
+            let on_saturated = limit_is_link && f.links.contains(&limit_link);
+            let on_any_saturated = f.links.iter().any(|&l| residual[l] <= EPS);
+            if at_cap || on_saturated || on_any_saturated {
+                fixed[i] = true;
+                froze = true;
+            }
+        }
+        if !froze {
+            // Numerical corner: freeze everything touching the tightest link
+            // to guarantee progress.
+            for (i, f) in flows.iter().enumerate() {
+                if !fixed[i] && (f.links.contains(&limit_link) || !limit_is_link) {
+                    fixed[i] = true;
+                }
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(weight: f64, cap: f64, links: &[usize]) -> FlowDemand {
+        FlowDemand {
+            weight,
+            cap,
+            links: links.to_vec(),
+        }
+    }
+
+    fn link_usage(capacities: &[f64], flows: &[FlowDemand], rates: &[f64]) -> Vec<f64> {
+        let mut used = vec![0.0; capacities.len()];
+        for (f, &r) in flows.iter().zip(rates) {
+            for &l in &f.links {
+                used[l] += r;
+            }
+        }
+        used
+    }
+
+    #[test]
+    fn single_flow_takes_min_of_cap_and_capacity() {
+        let caps = [10.0];
+        let flows = [demand(4.0, 100.0, &[0])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 10.0).abs() < 1e-6);
+
+        let flows = [demand(4.0, 3.0, &[0])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_weights_split_equally() {
+        let caps = [12.0];
+        let flows = [demand(1.0, 100.0, &[0]), demand(1.0, 100.0, &[0])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 6.0).abs() < 1e-6);
+        assert!((r[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let caps = [12.0];
+        let flows = [demand(2.0, 100.0, &[0]), demand(1.0, 100.0, &[0])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 8.0).abs() < 1e-6);
+        assert!((r[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_flow_releases_share_to_others() {
+        let caps = [12.0];
+        let flows = [demand(1.0, 2.0, &[0]), demand(1.0, 100.0, &[0])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+        assert!((r[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn never_exceeds_any_link_capacity() {
+        let caps = [10.0, 6.0];
+        let flows = [
+            demand(3.0, 100.0, &[0, 1]),
+            demand(1.0, 100.0, &[0]),
+            demand(2.0, 100.0, &[1]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        let used = link_usage(&caps, &flows, &r);
+        for (u, c) in used.iter().zip(&caps) {
+            assert!(*u <= c + 1e-6, "used {u} > cap {c}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_link_determines_shared_flow() {
+        // Flow A crosses both links; the 6-unit link is the bottleneck it
+        // shares with flow C at equal weight → A gets 2 on it (weight 1 vs 2).
+        let caps = [10.0, 6.0];
+        let flows = [demand(1.0, 100.0, &[0, 1]), demand(2.0, 100.0, &[1])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+        assert!((r[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_with_no_links_gets_its_cap() {
+        let caps = [1.0];
+        let flows = [demand(1.0, 42.0, &[])];
+        let r = max_min_rates(&caps, &flows);
+        assert_eq!(r[0], 42.0);
+    }
+
+    #[test]
+    fn zero_weight_flow_gets_cap_without_consuming() {
+        let caps = [10.0];
+        let flows = [demand(0.0, 1.0, &[0]), demand(1.0, 100.0, &[0])];
+        let r = max_min_rates(&caps, &flows);
+        assert_eq!(r[0], 1.0);
+        assert!((r[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_min_rates(&[], &[]).is_empty());
+        let caps = [5.0];
+        assert!(max_min_rates(&caps, &[]).is_empty());
+    }
+
+    #[test]
+    fn after_unsaturated_bottleneck_rest_fills_up() {
+        // Flow A capped at 1; flows B, C share the rest of a 10-unit link.
+        let caps = [10.0];
+        let flows = [
+            demand(1.0, 1.0, &[0]),
+            demand(1.0, 100.0, &[0]),
+            demand(1.0, 100.0, &[0]),
+        ];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 1.0).abs() < 1e-6);
+        assert!((r[1] - 4.5).abs() < 1e-6);
+        assert!((r[2] - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_flows_conservation_and_fairness() {
+        let caps = [100.0];
+        let flows: Vec<FlowDemand> = (0..20).map(|_| demand(4.0, 1e9, &[0])).collect();
+        let r = max_min_rates(&caps, &flows);
+        let total: f64 = r.iter().sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        for w in &r {
+            assert!((w - 5.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn two_hop_route_limited_by_smaller_link() {
+        let caps = [3.5, 125.0];
+        let flows = [demand(8.0, 1e9, &[0, 1])];
+        let r = max_min_rates(&caps, &flows);
+        assert!((r[0] - 3.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-link utilization timelines.
+//!
+//! An opt-in recorder ([`crate::Network::watch_link`]) that samples a link's
+//! stream occupancy, turbulence, and instantaneous throughput at every rate
+//! recomputation. Bounded by decimation: when the buffer fills, every other
+//! sample is dropped and the sampling stride doubles, so arbitrarily long
+//! runs keep a uniform ~half-full buffer.
+
+use pwm_sim::SimTime;
+
+/// One observation of a link's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Concurrent streams on the link.
+    pub streams: u32,
+    /// Turbulence level at the sample instant.
+    pub turbulence: f64,
+    /// Sum of the rates of flows crossing the link (bytes/sec).
+    pub throughput: f64,
+}
+
+/// A bounded, self-decimating sample series for one link.
+#[derive(Debug, Clone)]
+pub struct LinkTimeline {
+    samples: Vec<UtilizationSample>,
+    capacity: usize,
+    stride: u64,
+    counter: u64,
+}
+
+impl LinkTimeline {
+    /// A timeline retaining at most `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LinkTimeline {
+            samples: Vec::new(),
+            capacity: capacity.max(8),
+            stride: 1,
+            counter: 0,
+        }
+    }
+
+    /// Offer a sample; kept only when the current stride admits it.
+    pub fn record(&mut self, sample: UtilizationSample) {
+        let admit = self.counter.is_multiple_of(self.stride);
+        self.counter += 1;
+        if !admit {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            // Decimate: keep every other sample, double the stride.
+            let mut keep = Vec::with_capacity(self.capacity / 2 + 1);
+            for (i, s) in self.samples.drain(..).enumerate() {
+                if i % 2 == 0 {
+                    keep.push(s);
+                }
+            }
+            self.samples = keep;
+            self.stride *= 2;
+        }
+        self.samples.push(sample);
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> &[UtilizationSample] {
+        &self.samples
+    }
+
+    /// Mean throughput over the retained samples (bytes/sec).
+    pub fn mean_throughput(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.throughput).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest stream count observed in the retained samples.
+    pub fn peak_streams(&self) -> u32 {
+        self.samples.iter().map(|s| s.streams).max().unwrap_or(0)
+    }
+
+    /// Fraction of retained samples with turbulence above `level`.
+    pub fn turbulent_fraction(&self, level: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.turbulence > level).count() as f64
+            / self.samples.len() as f64
+    }
+}
+
+impl Default for LinkTimeline {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64, streams: u32, throughput: f64) -> UtilizationSample {
+        UtilizationSample {
+            at: SimTime::from_secs(t),
+            streams,
+            turbulence: 0.0,
+            throughput,
+        }
+    }
+
+    #[test]
+    fn records_until_capacity() {
+        let mut tl = LinkTimeline::with_capacity(8);
+        for t in 0..8 {
+            tl.record(sample(t, 1, 1.0));
+        }
+        assert_eq!(tl.samples().len(), 8);
+    }
+
+    #[test]
+    fn decimates_and_doubles_stride() {
+        let mut tl = LinkTimeline::with_capacity(8);
+        for t in 0..64 {
+            tl.record(sample(t, 1, 1.0));
+        }
+        // Never exceeds capacity and coverage spans the whole range.
+        assert!(tl.samples().len() <= 8);
+        let first = tl.samples().first().unwrap().at;
+        let last = tl.samples().last().unwrap().at;
+        assert_eq!(first, SimTime::from_secs(0));
+        assert!(last >= SimTime::from_secs(48), "last kept sample {last}");
+        // Samples remain time-ordered.
+        for w in tl.samples().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut tl = LinkTimeline::default();
+        tl.record(sample(0, 4, 10.0));
+        tl.record(UtilizationSample {
+            at: SimTime::from_secs(1),
+            streams: 9,
+            turbulence: 0.8,
+            throughput: 30.0,
+        });
+        assert!((tl.mean_throughput() - 20.0).abs() < 1e-9);
+        assert_eq!(tl.peak_streams(), 9);
+        assert!((tl.turbulent_fraction(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_defaults() {
+        let tl = LinkTimeline::default();
+        assert_eq!(tl.mean_throughput(), 0.0);
+        assert_eq!(tl.peak_streams(), 0);
+        assert_eq!(tl.turbulent_fraction(0.0), 0.0);
+    }
+}

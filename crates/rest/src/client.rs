@@ -1,0 +1,410 @@
+//! The RESTful web interface (client side).
+//!
+//! [`PolicyRestClient`] is the blocking HTTP client the modified Pegasus
+//! Transfer Tool uses: it serializes request lists to JSON, POSTs them to
+//! the Policy Service, and deserializes the advice. It also implements
+//! [`PolicyTransport`], so the workflow substrate can swap between
+//! in-process and over-the-wire policy callouts without code changes.
+
+use crate::http::{read_response, write_request_in, Method, WireFormat};
+use crate::wire::*;
+use pwm_core::transport::{PolicyTransport, TransportError};
+use pwm_core::{
+    CleanupAdvice, CleanupOutcome, CleanupSpec, PolicyConfig, TransferAdvice, TransferOutcome,
+    TransferSpec,
+};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking JSON-over-HTTP client for the policy API.
+#[derive(Debug, Clone)]
+pub struct PolicyRestClient {
+    addr: SocketAddr,
+    session: String,
+    timeout: Duration,
+    format: WireFormat,
+}
+
+impl PolicyRestClient {
+    /// Client for `session` on the server at `addr`.
+    pub fn new(addr: SocketAddr, session: impl Into<String>) -> Self {
+        PolicyRestClient {
+            addr,
+            session: session.into(),
+            timeout: Duration::from_secs(10),
+            format: WireFormat::Json,
+        }
+    }
+
+    /// Choose the wire encoding (the paper's interface speaks "XML or JSON
+    /// data structures"; JSON is the default).
+    pub fn with_format(mut self, format: WireFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Override the socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Raw round-trip in a specific wire format.
+    fn call_raw(
+        &self,
+        format: WireFormat,
+        method: Method,
+        path: &str,
+        body: &[u8],
+    ) -> Result<Vec<u8>, TransportError> {
+        let mut stream = TcpStream::connect(self.addr)
+            .map_err(|e| TransportError::Io(format!("connect {}: {e}", self.addr)))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|_| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| TransportError::Io(format!("timeout setup: {e}")))?;
+        write_request_in(&mut stream, format, method, path, body)
+            .map_err(|e| TransportError::Io(format!("send: {e}")))?;
+        let (status, response_body) =
+            read_response(&mut stream).map_err(|e| TransportError::Io(format!("recv: {e}")))?;
+        if status != 200 {
+            let message = serde_json::from_slice::<ErrorEnvelope>(&response_body)
+                .map(|e| e.error)
+                .unwrap_or_else(|_| {
+                    String::from_utf8_lossy(&response_body).to_string()
+                });
+            return Err(TransportError::Service(message));
+        }
+        Ok(response_body)
+    }
+
+    fn call<Req: serde::Serialize, Resp: serde::de::DeserializeOwned>(
+        &self,
+        method: Method,
+        path: &str,
+        payload: &Req,
+    ) -> Result<Resp, TransportError> {
+        let body =
+            serde_json::to_vec(payload).map_err(|e| TransportError::Io(format!("encode: {e}")))?;
+        let response_body = self.call_raw(WireFormat::Json, method, path, &body)?;
+        serde_json::from_slice(&response_body)
+            .map_err(|e| TransportError::Io(format!("decode: {e}")))
+    }
+
+    fn call_xml<T>(
+        &self,
+        method: Method,
+        path: &str,
+        body: String,
+        decode: impl FnOnce(&str) -> Result<T, crate::xml::XmlError>,
+    ) -> Result<T, TransportError> {
+        let response_body = self.call_raw(WireFormat::Xml, method, path, body.as_bytes())?;
+        let text = std::str::from_utf8(&response_body)
+            .map_err(|e| TransportError::Io(format!("non-utf8 xml response: {e}")))?;
+        decode(text).map_err(|e| TransportError::Io(format!("decode: {e}")))
+    }
+
+    /// GET `/health`; true when the service answers.
+    pub fn health(&self) -> bool {
+        #[derive(serde::Deserialize)]
+        struct Health {
+            status: String,
+        }
+        // health takes no payload; send an empty tuple which serializes to null.
+        let result: Result<Health, _> = self.call(Method::Get, "/health", &());
+        matches!(result, Ok(h) if h.status == "ok")
+    }
+
+    /// PUT the session's policy configuration (creates the session if new).
+    pub fn put_config(&self, config: &PolicyConfig) -> Result<(), TransportError> {
+        let _: AckEnvelope = self.call(
+            Method::Put,
+            &format!("/sessions/{}/config", self.session),
+            config,
+        )?;
+        Ok(())
+    }
+
+    /// GET the session's status (snapshot + stats).
+    pub fn status(&self) -> Result<StatusEnvelope, TransportError> {
+        self.call(
+            Method::Get,
+            &format!("/sessions/{}/status", self.session),
+            &(),
+        )
+    }
+}
+
+impl PolicyTransport for PolicyRestClient {
+    fn evaluate_transfers(
+        &mut self,
+        batch: Vec<TransferSpec>,
+    ) -> Result<Vec<TransferAdvice>, TransportError> {
+        let path = format!("/sessions/{}/transfers", self.session);
+        match self.format {
+            WireFormat::Json => {
+                let resp: TransferResponseEnvelope = self.call(
+                    Method::Post,
+                    &path,
+                    &TransferRequestEnvelope { transfers: batch },
+                )?;
+                Ok(resp.advice)
+            }
+            WireFormat::Xml => self.call_xml(
+                Method::Post,
+                &path,
+                crate::xml::transfer_request_to_xml(&batch),
+                crate::xml::transfer_response_from_xml,
+            ),
+        }
+    }
+
+    fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) -> Result<(), TransportError> {
+        let path = format!("/sessions/{}/transfers/complete", self.session);
+        match self.format {
+            WireFormat::Json => {
+                let _: AckEnvelope = self.call(
+                    Method::Post,
+                    &path,
+                    &TransferCompletionEnvelope { outcomes },
+                )?;
+            }
+            WireFormat::Xml => {
+                self.call_xml(
+                    Method::Post,
+                    &path,
+                    crate::xml::transfer_completion_to_xml(&outcomes),
+                    |_ack| Ok(()),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn evaluate_cleanups(
+        &mut self,
+        batch: Vec<CleanupSpec>,
+    ) -> Result<Vec<CleanupAdvice>, TransportError> {
+        let path = format!("/sessions/{}/cleanups", self.session);
+        match self.format {
+            WireFormat::Json => {
+                let resp: CleanupResponseEnvelope = self.call(
+                    Method::Post,
+                    &path,
+                    &CleanupRequestEnvelope { cleanups: batch },
+                )?;
+                Ok(resp.advice)
+            }
+            WireFormat::Xml => self.call_xml(
+                Method::Post,
+                &path,
+                crate::xml::cleanup_request_to_xml(&batch),
+                crate::xml::cleanup_response_from_xml,
+            ),
+        }
+    }
+
+    fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError> {
+        let path = format!("/sessions/{}/cleanups/complete", self.session);
+        match self.format {
+            WireFormat::Json => {
+                let _: AckEnvelope = self.call(
+                    Method::Post,
+                    &path,
+                    &CleanupCompletionEnvelope { outcomes },
+                )?;
+            }
+            WireFormat::Xml => {
+                self.call_xml(
+                    Method::Post,
+                    &path,
+                    crate::xml::cleanup_completion_to_xml(&outcomes),
+                    |_ack| Ok(()),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::PolicyRestServer;
+    use pwm_core::{PolicyController, Url, WorkflowId, DEFAULT_SESSION};
+
+    fn start() -> (PolicyRestServer, PolicyRestClient) {
+        let controller = PolicyController::new(PolicyConfig::default());
+        let server = PolicyRestServer::start(controller).unwrap();
+        let client = PolicyRestClient::new(server.addr(), DEFAULT_SESSION);
+        (server, client)
+    }
+
+    fn spec(n: u32) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "tacc", format!("/data/f{n}.dat")),
+            dest: Url::new("file", "isi", format!("/scratch/f{n}.dat")),
+            bytes: 1_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    #[test]
+    fn health_check() {
+        let (_server, client) = start();
+        assert!(client.health());
+    }
+
+    #[test]
+    fn transfer_round_trip_over_http() {
+        let (_server, mut client) = start();
+        let advice = client.evaluate_transfers(vec![spec(1), spec(2)]).unwrap();
+        assert_eq!(advice.len(), 2);
+        assert!(advice.iter().all(|a| a.should_execute()));
+        assert_eq!(advice[0].streams, 4);
+
+        client
+            .report_transfers(
+                advice
+                    .iter()
+                    .map(|a| TransferOutcome {
+                        id: a.id,
+                        success: true,
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        let status = client.status().unwrap();
+        assert_eq!(status.stats.transfers_completed, 2);
+        assert_eq!(status.snapshot.staged_files, 2);
+    }
+
+    #[test]
+    fn dedup_works_over_http() {
+        let (_server, mut client) = start();
+        let first = client.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert!(first[0].should_execute());
+        let second = client.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert!(!second[0].should_execute());
+    }
+
+    #[test]
+    fn cleanup_round_trip_over_http() {
+        let (_server, mut client) = start();
+        let advice = client.evaluate_transfers(vec![spec(1)]).unwrap();
+        client
+            .report_transfers(vec![TransferOutcome {
+                id: advice[0].id,
+                success: true,
+            }])
+            .unwrap();
+        let cleanups = client
+            .evaluate_cleanups(vec![CleanupSpec {
+                file: Url::new("file", "isi", "/scratch/f1.dat"),
+                workflow: WorkflowId(1),
+            }])
+            .unwrap();
+        assert!(cleanups[0].should_execute());
+        client
+            .report_cleanups(vec![CleanupOutcome {
+                id: cleanups[0].id,
+                success: true,
+            }])
+            .unwrap();
+        assert_eq!(client.status().unwrap().snapshot.staged_files, 0);
+    }
+
+    #[test]
+    fn missing_session_is_a_service_error() {
+        let (server, _client) = start();
+        let mut client = PolicyRestClient::new(server.addr(), "missing");
+        let err = client.evaluate_transfers(vec![spec(1)]).unwrap_err();
+        assert!(matches!(err, TransportError::Service(_)), "{err:?}");
+    }
+
+    #[test]
+    fn connection_refused_is_an_io_error() {
+        let (mut server, _client) = start();
+        let addr = server.addr();
+        server.shutdown();
+        let mut client =
+            PolicyRestClient::new(addr, DEFAULT_SESSION).with_timeout(Duration::from_millis(500));
+        let err = client.evaluate_transfers(vec![spec(1)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn put_config_then_use_new_session() {
+        let (_server, client) = start();
+        let client = PolicyRestClient::new(client.addr, "exp-42");
+        client
+            .put_config(&PolicyConfig::default().with_default_streams(12))
+            .unwrap();
+        let mut client = client;
+        let advice = client.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert_eq!(advice[0].streams, 12);
+    }
+
+    #[test]
+    fn xml_transport_round_trips_and_matches_json() {
+        let (_server, json_client) = start();
+        let mut xml_client = json_client.clone().with_format(WireFormat::Xml);
+        let advice = xml_client.evaluate_transfers(vec![spec(1), spec(1)]).unwrap();
+        assert_eq!(advice.len(), 2);
+        assert!(advice[0].should_execute());
+        assert!(!advice[1].should_execute(), "dedup works over XML too");
+        xml_client
+            .report_transfers(vec![TransferOutcome {
+                id: advice[0].id,
+                success: true,
+            }])
+            .unwrap();
+        let cleanups = xml_client
+            .evaluate_cleanups(vec![CleanupSpec {
+                file: Url::new("file", "isi", "/scratch/f1.dat"),
+                workflow: WorkflowId(1),
+            }])
+            .unwrap();
+        assert!(cleanups[0].should_execute());
+        xml_client
+            .report_cleanups(vec![pwm_core::CleanupOutcome {
+                id: cleanups[0].id,
+                success: true,
+            }])
+            .unwrap();
+        // Status (JSON endpoint) reflects the XML-driven lifecycle.
+        let status = json_client.status().unwrap();
+        assert_eq!(status.stats.transfers_completed, 1);
+        assert_eq!(status.snapshot.staged_files, 0);
+    }
+
+    #[test]
+    fn xml_errors_surface_as_service_errors() {
+        let (server, _c) = start();
+        let mut client = PolicyRestClient::new(server.addr(), "missing")
+            .with_format(WireFormat::Xml);
+        let err = client.evaluate_transfers(vec![spec(1)]).unwrap_err();
+        assert!(matches!(err, TransportError::Service(_)), "{err:?}");
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_session() {
+        let (_server, client) = start();
+        let mut threads = Vec::new();
+        for t in 0..4 {
+            let mut c = client.clone();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    c.evaluate_transfers(vec![spec(t * 100 + i)]).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(client.status().unwrap().stats.transfer_requests, 40);
+    }
+}

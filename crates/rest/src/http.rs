@@ -1,0 +1,522 @@
+//! A minimal HTTP/1.1 implementation over `std::net`.
+//!
+//! Exactly what the loopback REST interface needs and nothing more: one
+//! request per connection, `Content-Length` bodies, no chunked encoding, no
+//! TLS. Stands in for the paper's Apache Tomcat container.
+
+use bytes::BytesMut;
+use std::io::{Read, Write};
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read-only retrieval.
+    Get,
+    /// Submit a request list or report.
+    Post,
+    /// Replace configuration.
+    Put,
+    /// Remove a session.
+    Delete,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+/// Body encodings the API speaks — the paper: "using XML or JSON data
+/// structures".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// `application/json` (the default).
+    #[default]
+    Json,
+    /// `application/xml`.
+    Xml,
+}
+
+impl WireFormat {
+    /// The Content-Type header value.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            WireFormat::Json => "application/json",
+            WireFormat::Xml => "application/xml",
+        }
+    }
+
+    fn from_content_type(value: &str) -> WireFormat {
+        if value.trim().starts_with("application/xml") || value.trim().starts_with("text/xml") {
+            WireFormat::Xml
+        } else {
+            WireFormat::Json
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path component (no query parsing; the API doesn't use queries).
+    pub path: String,
+    /// Body bytes (JSON or XML per `format`).
+    pub body: Vec<u8>,
+    /// Negotiated body encoding (from the Content-Type header).
+    pub format: WireFormat,
+}
+
+/// An HTTP response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, 404, 500...).
+    pub status: u16,
+    /// Body bytes (JSON or XML per `format`).
+    pub body: Vec<u8>,
+    /// Body encoding (sets the Content-Type header).
+    pub format: WireFormat,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn ok_json(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            format: WireFormat::Json,
+        }
+    }
+
+    /// 200 with a body in the given format.
+    pub fn ok(format: WireFormat, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            format,
+        }
+    }
+
+    /// An error status with an error envelope in the given format.
+    pub fn error_in(format: WireFormat, status: u16, message: &str) -> Response {
+        let body = match format {
+            WireFormat::Json => serde_json::to_vec(&crate::wire::ErrorEnvelope {
+                error: message.to_string(),
+            })
+            .unwrap_or_else(|_| b"{\"error\":\"internal\"}".to_vec()),
+            WireFormat::Xml => crate::xml::error_xml(message).into_bytes(),
+        };
+        Response {
+            status,
+            body,
+            format,
+        }
+    }
+
+    /// An error status with a JSON error envelope.
+    pub fn error(status: u16, message: &str) -> Response {
+        Self::error_in(WireFormat::Json, status, message)
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Errors reading or parsing a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket error.
+    Io(std::io::Error),
+    /// Malformed request line/headers/body.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+        }
+    }
+}
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Upper bound on header + body size (sanity guard, 64 MiB).
+const MAX_REQUEST: usize = 64 << 20;
+
+/// Read one request from a stream.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let (head, mut buffered_body) = read_head(stream)?;
+    let head_text = String::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("non-utf8 header block".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| HttpError::Malformed(format!("bad method in {request_line:?}")))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    let mut format = WireFormat::Json;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            } else if name.eq_ignore_ascii_case("content-type") {
+                format = WireFormat::from_content_type(value);
+            }
+        }
+    }
+    if content_length > MAX_REQUEST {
+        return Err(HttpError::Malformed("body too large".into()));
+    }
+    while buffered_body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("truncated body".into()));
+        }
+        buffered_body.extend_from_slice(&chunk[..n]);
+    }
+    buffered_body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        body: buffered_body.to_vec(),
+        format,
+    })
+}
+
+/// Read until the header/body separator; returns (head bytes, extra body
+/// bytes already read).
+fn read_head(stream: &mut impl Read) -> Result<(Vec<u8>, BytesMut), HttpError> {
+    let mut buf = BytesMut::with_capacity(4096);
+    loop {
+        if let Some(pos) = find_separator(&buf) {
+            let body = buf.split_off(pos + 4);
+            let mut head = buf.to_vec();
+            head.truncate(pos);
+            return Ok((head, body));
+        }
+        if buf.len() > MAX_REQUEST {
+            return Err(HttpError::Malformed("headers too large".into()));
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_separator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write one request to a stream (client side), JSON-encoded.
+pub fn write_request(
+    stream: &mut impl Write,
+    method: Method,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write_request_in(stream, WireFormat::Json, method, path, body)
+}
+
+/// Write one request with an explicit body format.
+pub fn write_request_in(
+    stream: &mut impl Write,
+    format: WireFormat,
+    method: Method,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "{} {} HTTP/1.1\r\nHost: localhost\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        method.as_str(),
+        path,
+        format.content_type(),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write one response to a stream (server side).
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.format.content_type(),
+        response.body.len()
+    )?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Read one response from a stream (client side). Returns (status, body).
+pub fn read_response(stream: &mut impl Read) -> Result<(u16, Vec<u8>), HttpError> {
+    let (head, mut buffered_body) = read_head(stream)?;
+    let head_text = String::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("non-utf8 response head".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty response".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    match content_length {
+        Some(len) => {
+            if len > MAX_REQUEST {
+                return Err(HttpError::Malformed("response too large".into()));
+            }
+            while buffered_body.len() < len {
+                let mut chunk = [0u8; 8192];
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(HttpError::Malformed("truncated response".into()));
+                }
+                buffered_body.extend_from_slice(&chunk[..n]);
+            }
+            buffered_body.truncate(len);
+            Ok((status, buffered_body.to_vec()))
+        }
+        None => {
+            // Connection-close framing: read to EOF.
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest)?;
+            let mut body = buffered_body.to_vec();
+            body.extend_from_slice(&rest);
+            Ok((status, body))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(method: Method, path: &str, body: &[u8]) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, method, path, body).unwrap();
+        read_request(&mut Cursor::new(wire)).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = roundtrip_request(Method::Post, "/sessions/default/transfers", b"{\"x\":1}");
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.path, "/sessions/default/transfers");
+        assert_eq!(r.body, b"{\"x\":1}");
+    }
+
+    #[test]
+    fn empty_body_request() {
+        let r = roundtrip_request(Method::Get, "/health", b"");
+        assert_eq!(r.method, Method::Get);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn large_body_roundtrip() {
+        let body = vec![b'a'; 100_000];
+        let r = roundtrip_request(Method::Put, "/config", &body);
+        assert_eq!(r.body.len(), 100_000);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::ok_json(b"[1,2,3]".to_vec())).unwrap();
+        let (status, body) = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"[1,2,3]");
+    }
+
+    #[test]
+    fn error_response_has_json_envelope() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::error(404, "nope")).unwrap();
+        let (status, body) = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(status, 404);
+        let e: crate::wire::ErrorEnvelope = serde_json::from_slice(&body).unwrap();
+        assert_eq!(e.error, "nope");
+    }
+
+    #[test]
+    fn malformed_method_rejected() {
+        let wire = b"BREW /coffee HTTP/1.1\r\n\r\n".to_vec();
+        assert!(read_request(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec();
+        assert!(read_request(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn missing_separator_rejected() {
+        let wire = b"GET /x HTTP/1.1\r\nHeader: v".to_vec();
+        assert!(read_request(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn oversized_content_length_rejected() {
+        let wire = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1usize << 40);
+        assert!(read_request(&mut Cursor::new(wire.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn body_split_across_reads() {
+        // Simulate a stream delivering the head and body in separate reads.
+        struct TwoPart(Vec<Vec<u8>>, usize);
+        impl Read for TwoPart {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                let chunk = &self.0[self.1];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                self.1 += 1;
+                Ok(chunk.len())
+            }
+        }
+        let mut stream = TwoPart(
+            vec![
+                b"POST /x HTTP/1.1\r\nContent-Length: 6\r\n\r\nab".to_vec(),
+                b"cdef".to_vec(),
+            ],
+            0,
+        );
+        let r = read_request(&mut stream).unwrap();
+        assert_eq!(r.body, b"abcdef");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    proptest! {
+        /// The parser must never panic on arbitrary bytes — it either
+        /// produces a request or an error.
+        #[test]
+        fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = read_request(&mut Cursor::new(bytes.clone()));
+            let _ = read_response(&mut Cursor::new(bytes));
+        }
+
+        /// Any method/path/body combination round-trips through the wire
+        /// format losslessly.
+        #[test]
+        fn request_roundtrip_lossless(
+            method_ix in 0usize..4,
+            path in "/[a-z0-9/_-]{0,64}",
+            body in proptest::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            let method = [Method::Get, Method::Post, Method::Put, Method::Delete][method_ix];
+            let mut wire = Vec::new();
+            write_request(&mut wire, method, &path, &body).unwrap();
+            let parsed = read_request(&mut Cursor::new(wire)).unwrap();
+            prop_assert_eq!(parsed.method, method);
+            prop_assert_eq!(parsed.path, path);
+            prop_assert_eq!(parsed.body, body);
+        }
+
+        /// Responses round-trip for every status the server emits.
+        #[test]
+        fn response_roundtrip_lossless(
+            status_ix in 0usize..5,
+            body in proptest::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            let status = [200u16, 400, 404, 405, 500][status_ix];
+            let mut wire = Vec::new();
+            write_response(&mut wire, &Response { status, body: body.clone(), format: WireFormat::Json }).unwrap();
+            let (s, b) = read_response(&mut Cursor::new(wire)).unwrap();
+            prop_assert_eq!(s, status);
+            prop_assert_eq!(b, body);
+        }
+
+        /// A valid request with the body delivered in arbitrary chunk sizes
+        /// parses identically (stream reassembly).
+        #[test]
+        fn chunked_delivery_is_equivalent(
+            body in proptest::collection::vec(any::<u8>(), 1..512),
+            chunk in 1usize..64,
+        ) {
+            let mut wire = Vec::new();
+            write_request(&mut wire, Method::Post, "/x", &body).unwrap();
+            struct Chunked(Vec<u8>, usize, usize);
+            impl std::io::Read for Chunked {
+                fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                    if self.1 >= self.0.len() { return Ok(0); }
+                    let n = self.2.min(buf.len()).min(self.0.len() - self.1);
+                    buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                    self.1 += n;
+                    Ok(n)
+                }
+            }
+            let parsed = read_request(&mut Chunked(wire, 0, chunk)).unwrap();
+            prop_assert_eq!(parsed.body, body);
+        }
+    }
+}

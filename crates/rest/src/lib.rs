@@ -1,0 +1,44 @@
+//! # pwm-rest — the RESTful web interface of the Policy Service
+//!
+//! The paper's Fig. 1 puts the Policy Service behind "an Apache Tomcat
+//! Container ... [and] a RESTful Web Interface [that] allows access to the
+//! policy service over the web using XML or JSON data structures". This
+//! crate is that layer, built from scratch on `std::net`:
+//!
+//! * [`wire`] — the JSON envelopes of the API,
+//! * [`xml`] — the XML wire encoding (the paper: "XML or JSON"), selected
+//!   per request by the Content-Type header,
+//! * [`http`] — a minimal HTTP/1.1 reader/writer (the Tomcat substitute),
+//! * [`server`] — [`PolicyRestServer`], a loopback TCP server delegating to
+//!   a `pwm_core::PolicyController`,
+//! * [`client`] — [`PolicyRestClient`], the blocking client the modified
+//!   Pegasus Transfer Tool uses; it implements
+//!   `pwm_core::transport::PolicyTransport` so the workflow substrate can
+//!   switch between in-process and over-the-wire callouts.
+//!
+//! ```
+//! use pwm_core::{PolicyConfig, PolicyController, PolicyTransport, DEFAULT_SESSION};
+//! use pwm_rest::{PolicyRestClient, PolicyRestServer};
+//!
+//! let controller = PolicyController::new(PolicyConfig::default());
+//! let server = PolicyRestServer::start(controller).unwrap();
+//! let client = PolicyRestClient::new(server.addr(), DEFAULT_SESSION);
+//! assert!(client.health());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod wire;
+pub mod xml;
+
+pub use client::PolicyRestClient;
+pub use http::{Method, Request, Response, WireFormat};
+pub use server::PolicyRestServer;
+pub use wire::{
+    AckEnvelope, CleanupCompletionEnvelope, CleanupRequestEnvelope, CleanupResponseEnvelope,
+    ErrorEnvelope, StatusEnvelope, TransferCompletionEnvelope, TransferRequestEnvelope,
+    TransferResponseEnvelope,
+};

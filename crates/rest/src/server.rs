@@ -1,0 +1,387 @@
+//! The RESTful web interface (server side).
+//!
+//! [`PolicyRestServer`] binds a loopback TCP listener and serves the policy
+//! API, delegating every request to a [`PolicyController`] exactly as the
+//! paper's web interface delegates to the Policy Controller. One thread per
+//! connection (requests are short and the policy engine itself is serialized
+//! behind the controller lock, so fancier concurrency buys nothing).
+//!
+//! Routes:
+//!
+//! | Method | Path | Body → Response |
+//! |--------|------|-----------------|
+//! | GET    | `/health` | — → `{"status":"ok"}` |
+//! | POST   | `/sessions/{s}/transfers` | TransferRequestEnvelope → TransferResponseEnvelope |
+//! | POST   | `/sessions/{s}/transfers/complete` | TransferCompletionEnvelope → Ack |
+//! | POST   | `/sessions/{s}/cleanups` | CleanupRequestEnvelope → CleanupResponseEnvelope |
+//! | POST   | `/sessions/{s}/cleanups/complete` | CleanupCompletionEnvelope → Ack |
+//! | GET    | `/sessions/{s}/status` | — → StatusEnvelope |
+//! | GET    | `/sessions/{s}/log` | — → `[AuditRecord]` (the monitoring log) |
+//! | PUT    | `/sessions/{s}/config` | PolicyConfig → Ack (creates the session if absent) |
+
+use crate::http::{read_request, write_response, Method, Request, Response, WireFormat};
+use crate::xml;
+use crate::wire::*;
+use pwm_core::{ControllerError, PolicyConfig, PolicyController};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running policy REST server.
+pub struct PolicyRestServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl PolicyRestServer {
+    /// Bind `127.0.0.1:0` (ephemeral port) and start serving `controller`.
+    pub fn start(controller: PolicyController) -> std::io::Result<PolicyRestServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("policy-rest-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let controller = controller.clone();
+                            // One thread per connection; connections are
+                            // single-request (Connection: close).
+                            let _ = std::thread::Builder::new()
+                                .name("policy-rest-conn".into())
+                                .spawn(move || handle_connection(stream, controller));
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })?;
+        Ok(PolicyRestServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PolicyRestServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, controller: PolicyController) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, &controller),
+        Err(e) => Response::error(400, &format!("bad request: {e}")),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+fn route(request: &Request, controller: &PolicyController) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method, segments.as_slice()) {
+        (Method::Get, ["health"]) => Response::ok_json(br#"{"status":"ok"}"#.to_vec()),
+        (Method::Post, ["sessions", session, "transfers"]) => match request.format {
+            WireFormat::Json => with_body::<TransferRequestEnvelope>(request, |env| {
+                let advice = controller.evaluate_transfers(session, env.transfers)?;
+                Ok(json_response(&TransferResponseEnvelope { advice }))
+            }),
+            WireFormat::Xml => with_xml_body(
+                request,
+                xml::transfer_request_from_xml,
+                |transfers| {
+                    let advice = controller.evaluate_transfers(session, transfers)?;
+                    Ok(xml::transfer_response_to_xml(&advice))
+                },
+            ),
+        },
+        (Method::Post, ["sessions", session, "transfers", "complete"]) => match request.format {
+            WireFormat::Json => with_body::<TransferCompletionEnvelope>(request, |env| {
+                controller.report_transfers(session, env.outcomes)?;
+                Ok(json_response(&AckEnvelope::ok()))
+            }),
+            WireFormat::Xml => with_xml_body(
+                request,
+                xml::transfer_completion_from_xml,
+                |outcomes| {
+                    controller.report_transfers(session, outcomes)?;
+                    Ok(xml::ack_xml())
+                },
+            ),
+        },
+        (Method::Post, ["sessions", session, "cleanups"]) => match request.format {
+            WireFormat::Json => with_body::<CleanupRequestEnvelope>(request, |env| {
+                let advice = controller.evaluate_cleanups(session, env.cleanups)?;
+                Ok(json_response(&CleanupResponseEnvelope { advice }))
+            }),
+            WireFormat::Xml => with_xml_body(
+                request,
+                xml::cleanup_request_from_xml,
+                |cleanups| {
+                    let advice = controller.evaluate_cleanups(session, cleanups)?;
+                    Ok(xml::cleanup_response_to_xml(&advice))
+                },
+            ),
+        },
+        (Method::Post, ["sessions", session, "cleanups", "complete"]) => match request.format {
+            WireFormat::Json => with_body::<CleanupCompletionEnvelope>(request, |env| {
+                controller.report_cleanups(session, env.outcomes)?;
+                Ok(json_response(&AckEnvelope::ok()))
+            }),
+            WireFormat::Xml => with_xml_body(
+                request,
+                xml::cleanup_completion_from_xml,
+                |outcomes| {
+                    controller.report_cleanups(session, outcomes)?;
+                    Ok(xml::ack_xml())
+                },
+            ),
+        },
+        (Method::Get, ["sessions", session, "log"]) => {
+            match controller.audit_since(session, 0) {
+                Ok(records) => json_response(&records),
+                Err(e) => controller_error(e),
+            }
+        }
+        (Method::Get, ["sessions", session, "status"]) => {
+            match (controller.snapshot(session), controller.stats(session)) {
+                (Ok(snapshot), Ok(stats)) => {
+                    json_response(&StatusEnvelope { snapshot, stats })
+                }
+                (Err(e), _) | (_, Err(e)) => controller_error(e),
+            }
+        }
+        (Method::Put, ["sessions", session, "config"]) => {
+            with_body::<PolicyConfig>(request, |config| {
+                // PUT is an upsert: reconfigure or create.
+                if controller.set_config(session, config.clone()).is_err() {
+                    controller.create_session(*session, config);
+                }
+                Ok(json_response(&AckEnvelope::ok()))
+            })
+        }
+        (Method::Delete, ["sessions", session]) => {
+            if controller.drop_session(session) {
+                json_response(&AckEnvelope::ok())
+            } else {
+                Response::error(404, &format!("no such policy session: {session}"))
+            }
+        }
+        _ => Response::error(404, &format!("no route for {}", request.path)),
+    }
+}
+
+/// Decode an XML body, run the handler, and answer in XML.
+fn with_xml_body<T>(
+    request: &Request,
+    decode: impl FnOnce(&str) -> Result<T, crate::xml::XmlError>,
+    f: impl FnOnce(T) -> Result<String, ControllerError>,
+) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error_in(WireFormat::Xml, 400, "body is not utf-8"),
+    };
+    match decode(text) {
+        Ok(value) => match f(value) {
+            Ok(body) => Response::ok(WireFormat::Xml, body.into_bytes()),
+            Err(e) => match e {
+                ControllerError::NoSuchSession(_) => {
+                    Response::error_in(WireFormat::Xml, 404, &e.to_string())
+                }
+            },
+        },
+        Err(e) => Response::error_in(WireFormat::Xml, 400, &e.to_string()),
+    }
+}
+
+fn with_body<T: serde::de::DeserializeOwned>(
+    request: &Request,
+    f: impl FnOnce(T) -> Result<Response, ControllerError>,
+) -> Response {
+    match serde_json::from_slice::<T>(&request.body) {
+        Ok(value) => match f(value) {
+            Ok(resp) => resp,
+            Err(e) => controller_error(e),
+        },
+        Err(e) => Response::error(400, &format!("bad json: {e}")),
+    }
+}
+
+fn controller_error(e: ControllerError) -> Response {
+    match e {
+        ControllerError::NoSuchSession(_) => Response::error(404, &e.to_string()),
+    }
+}
+
+fn json_response<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_vec(value) {
+        Ok(body) => Response::ok_json(body),
+        Err(e) => Response::error(500, &format!("serialization failure: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_response, write_request};
+
+    fn start() -> (PolicyRestServer, SocketAddr) {
+        let controller = PolicyController::new(PolicyConfig::default());
+        let server = PolicyRestServer::start(controller).unwrap();
+        let addr = server.addr();
+        (server, addr)
+    }
+
+    fn call(addr: SocketAddr, method: Method, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_request(&mut stream, method, path, body).unwrap();
+        read_response(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let (_server, addr) = start();
+        let (status, body) = call(addr, Method::Get, "/health", b"");
+        assert_eq!(status, 200);
+        assert_eq!(body, br#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (_server, addr) = start();
+        let (status, _) = call(addr, Method::Get, "/nope", b"");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn bad_json_is_400() {
+        let (_server, addr) = start();
+        let (status, _) = call(
+            addr,
+            Method::Post,
+            "/sessions/default/transfers",
+            b"{broken",
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn unknown_session_is_404() {
+        let (_server, addr) = start();
+        let env = TransferRequestEnvelope { transfers: vec![] };
+        let (status, _) = call(
+            addr,
+            Method::Post,
+            "/sessions/missing/transfers",
+            &serde_json::to_vec(&env).unwrap(),
+        );
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn status_endpoint_returns_snapshot() {
+        let (_server, addr) = start();
+        let (status, body) = call(addr, Method::Get, "/sessions/default/status", b"");
+        assert_eq!(status, 200);
+        let env: StatusEnvelope = serde_json::from_slice(&body).unwrap();
+        assert_eq!(env.stats.transfer_requests, 0);
+    }
+
+    #[test]
+    fn audit_log_endpoint_reports_decisions() {
+        let (_server, addr) = start();
+        let env = TransferRequestEnvelope {
+            transfers: vec![pwm_core::TransferSpec {
+                source: pwm_core::Url::new("gsiftp", "s", "/f1"),
+                dest: pwm_core::Url::new("file", "d", "/f1"),
+                bytes: 1,
+                requested_streams: None,
+                workflow: pwm_core::WorkflowId(1),
+                cluster: None,
+                priority: None,
+            }],
+        };
+        call(
+            addr,
+            Method::Post,
+            "/sessions/default/transfers",
+            &serde_json::to_vec(&env).unwrap(),
+        );
+        let (status, body) = call(addr, Method::Get, "/sessions/default/log", b"");
+        assert_eq!(status, 200);
+        let records: Vec<pwm_core::AuditRecord> = serde_json::from_slice(&body).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            records[0].event,
+            pwm_core::PolicyEvent::TransferEvaluated { .. }
+        ));
+        let (status, _) = call(addr, Method::Get, "/sessions/missing/log", b"");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn put_config_creates_session() {
+        let (_server, addr) = start();
+        let cfg = PolicyConfig::default().with_threshold(123);
+        let (status, _) = call(
+            addr,
+            Method::Put,
+            "/sessions/new-session/config",
+            &serde_json::to_vec(&cfg).unwrap(),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = call(addr, Method::Get, "/sessions/new-session/status", b"");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn delete_session() {
+        let (_server, addr) = start();
+        let cfg = PolicyConfig::default();
+        call(
+            addr,
+            Method::Put,
+            "/sessions/temp/config",
+            &serde_json::to_vec(&cfg).unwrap(),
+        );
+        let (status, _) = call(addr, Method::Delete, "/sessions/temp", b"");
+        assert_eq!(status, 200);
+        let (status, _) = call(addr, Method::Delete, "/sessions/temp", b"");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (mut server, addr) = start();
+        server.shutdown();
+        server.shutdown();
+        assert!(TcpStream::connect(addr).is_err() || {
+            // The OS may accept briefly; a request must at least fail.
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_request(&mut s, Method::Get, "/health", b"").ok();
+            read_response(&mut s).is_err()
+        });
+    }
+}

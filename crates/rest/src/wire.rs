@@ -1,0 +1,134 @@
+//! JSON wire envelopes exchanged over the RESTful interface.
+//!
+//! The paper: "A RESTful Web Interface allows access to the policy service
+//! over the web using XML or JSON data structures." We implement the JSON
+//! form with explicit envelope types so the wire format is versionable and
+//! testable independently of the in-memory types.
+
+use pwm_core::{
+    CleanupAdvice, CleanupOutcome, CleanupSpec, MemorySnapshot, ServiceStats, TransferAdvice,
+    TransferOutcome, TransferSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// POST `/sessions/{name}/transfers` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRequestEnvelope {
+    /// The transfers the client wants to perform.
+    pub transfers: Vec<TransferSpec>,
+}
+
+/// POST `/sessions/{name}/transfers` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferResponseEnvelope {
+    /// The modified list, in advised execution order.
+    pub advice: Vec<TransferAdvice>,
+}
+
+/// POST `/sessions/{name}/transfers/complete` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferCompletionEnvelope {
+    /// Outcomes of executed transfers.
+    pub outcomes: Vec<TransferOutcome>,
+}
+
+/// POST `/sessions/{name}/cleanups` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupRequestEnvelope {
+    /// The files the cleanup job wants to delete.
+    pub cleanups: Vec<CleanupSpec>,
+}
+
+/// POST `/sessions/{name}/cleanups` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupResponseEnvelope {
+    /// The modified cleanup list.
+    pub advice: Vec<CleanupAdvice>,
+}
+
+/// POST `/sessions/{name}/cleanups/complete` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanupCompletionEnvelope {
+    /// Outcomes of executed cleanups.
+    pub outcomes: Vec<CleanupOutcome>,
+}
+
+/// GET `/sessions/{name}/status` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusEnvelope {
+    /// Policy memory snapshot.
+    pub snapshot: MemorySnapshot,
+    /// Service counters.
+    pub stats: ServiceStats,
+}
+
+/// Generic acknowledgement for report endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckEnvelope {
+    /// Always "ok" on success.
+    pub status: String,
+}
+
+impl AckEnvelope {
+    /// The canonical success acknowledgement.
+    pub fn ok() -> Self {
+        AckEnvelope {
+            status: "ok".to_string(),
+        }
+    }
+}
+
+/// Error payload returned with 4xx/5xx statuses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorEnvelope {
+    /// Human-readable description.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwm_core::{Url, WorkflowId};
+
+    #[test]
+    fn transfer_envelope_roundtrip() {
+        let env = TransferRequestEnvelope {
+            transfers: vec![TransferSpec {
+                source: Url::parse("gsiftp://src/a").unwrap(),
+                dest: Url::parse("file:///dst/a").unwrap(),
+                bytes: 42,
+                requested_streams: None,
+                workflow: WorkflowId(7),
+                cluster: None,
+                priority: None,
+            }],
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let back: TransferRequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn ack_is_ok() {
+        let json = serde_json::to_string(&AckEnvelope::ok()).unwrap();
+        assert_eq!(json, r#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn error_envelope_roundtrip() {
+        let e = ErrorEnvelope {
+            error: "no such policy session: x".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ErrorEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let r: Result<TransferRequestEnvelope, _> = serde_json::from_str("{not json");
+        assert!(r.is_err());
+        let r: Result<TransferRequestEnvelope, _> = serde_json::from_str(r#"{"wrong":[]}"#);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! The forward-chaining engine.
+//!
+//! [`Session`] owns a [`WorkingMemory`], a rule set, and the *fired set*
+//! implementing refraction. [`Session::fire_all`] repeatedly:
+//!
+//! 1. collects the activations of every rule (rule × matched tuple) that is
+//!    not refracted,
+//! 2. orders them by salience (descending), then rule insertion order, then
+//!    tuple order — Drools' default conflict-resolution modulo recency,
+//! 3. fires the first activation and records it in the fired set,
+//!
+//! until no activation remains or a firing budget is exhausted (a guard
+//! against non-converging rule sets, which Drools leaves to the author).
+//!
+//! Refraction key: `(rule, tuple handles, tuple fact versions)`. Updating a
+//! fact bumps its version, which re-arms every rule matching it — exactly
+//! the Drools `update()` semantics the paper's policy rules rely on.
+
+use crate::memory::{FactHandle, WorkingMemory};
+use crate::rule::{Match, Rule};
+use std::collections::HashSet;
+
+/// Refraction key: (rule index, matched handles with their versions).
+type RefractionKey = (usize, Vec<(FactHandle, u64)>);
+
+/// Outcome of a [`Session::fire_all`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiringReport {
+    /// Total rule firings performed.
+    pub firings: usize,
+    /// Rule names in firing order (capped at `LOG_CAP` entries).
+    pub log: Vec<String>,
+    /// True if the engine stopped due to the firing budget rather than
+    /// quiescence.
+    pub budget_exhausted: bool,
+}
+
+const LOG_CAP: usize = 10_000;
+
+/// A rule session: working memory + rules + refraction state.
+pub struct Session<Ctx> {
+    /// The fact store. Public so callers can insert/inspect facts directly,
+    /// as Drools callers do with a `KieSession`.
+    pub wm: WorkingMemory,
+    rules: Vec<Rule<Ctx>>,
+    fired: HashSet<RefractionKey>,
+    max_firings: usize,
+}
+
+impl<Ctx> Session<Ctx> {
+    /// New session with an empty memory and default firing budget.
+    pub fn new() -> Self {
+        Session {
+            wm: WorkingMemory::new(),
+            rules: Vec::new(),
+            fired: HashSet::new(),
+            max_firings: 100_000,
+        }
+    }
+
+    /// Override the firing budget.
+    pub fn with_max_firings(mut self, max: usize) -> Self {
+        self.max_firings = max.max(1);
+        self
+    }
+
+    /// Install a rule. Order of installation breaks salience ties.
+    pub fn add_rule(&mut self, rule: Rule<Ctx>) {
+        self.rules.push(rule);
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Forget all refraction state (e.g. at the start of a fresh request
+    /// evaluation, for one-shot `when_once` rules).
+    pub fn reset_refraction(&mut self) {
+        self.fired.clear();
+    }
+
+    /// Drop refraction entries that reference retracted facts (the fired set
+    /// otherwise grows for the lifetime of a long policy session).
+    pub fn gc_refraction(&mut self) {
+        let wm = &self.wm;
+        self.fired
+            .retain(|(_, tuple)| tuple.iter().all(|(h, _)| wm.contains(*h)));
+    }
+
+    /// Run rules to quiescence. Returns what fired.
+    pub fn fire_all(&mut self, ctx: &mut Ctx) -> FiringReport {
+        let mut report = FiringReport {
+            firings: 0,
+            log: Vec::new(),
+            budget_exhausted: false,
+        };
+        while report.firings < self.max_firings {
+            match self.next_activation(ctx) {
+                Some((rule_idx, m, key)) => {
+                    self.fired.insert(key);
+                    let rule = &mut self.rules[rule_idx];
+                    if report.log.len() < LOG_CAP {
+                        report.log.push(rule.name().to_string());
+                    }
+                    rule.fire(&mut self.wm, ctx, &m);
+                    report.firings += 1;
+                }
+                None => return report,
+            }
+        }
+        report.budget_exhausted = true;
+        report
+    }
+
+    /// Find the highest-priority non-refracted activation.
+    fn next_activation(&self, ctx: &Ctx) -> Option<(usize, Match, RefractionKey)> {
+        // Rules sorted by (salience desc, insertion order) — computed on the
+        // fly; rule counts are small (tens) in the policy service.
+        let mut order: Vec<usize> = (0..self.rules.len()).collect();
+        order.sort_by_key(|&i| (-self.rules[i].salience(), i));
+        for idx in order {
+            let rule = &self.rules[idx];
+            for m in rule.matches(&self.wm, ctx) {
+                // A tuple containing a stale handle can arise if a matcher
+                // returned handles that another firing retracted; skip it.
+                if m.iter().any(|h| !self.wm.contains(*h)) {
+                    continue;
+                }
+                let key: Vec<(FactHandle, u64)> = m
+                    .iter()
+                    .map(|h| (*h, self.wm.version(*h).unwrap_or(0)))
+                    .collect();
+                let full_key = (idx, key);
+                if !self.fired.contains(&full_key) {
+                    return Some((idx, m, full_key));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<Ctx> Default for Session<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Counter(u64);
+
+    #[derive(Debug, PartialEq)]
+    struct Item {
+        priority: Option<u32>,
+    }
+
+    #[test]
+    fn single_rule_fires_once_per_fact() {
+        let mut s: Session<()> = Session::new();
+        s.wm.insert(Item { priority: None });
+        s.wm.insert(Item { priority: None });
+        s.add_rule(
+            Rule::new("assign")
+                .when_each::<Item>(|i, _| i.priority.is_none())
+                .then(|wm, _, m| {
+                    wm.update::<Item>(m[0], |i| i.priority = Some(1));
+                }),
+        );
+        let r = s.fire_all(&mut ());
+        assert_eq!(r.firings, 2);
+        assert!(!r.budget_exhausted);
+        assert!(s.wm.iter::<Item>().all(|(_, i)| i.priority == Some(1)));
+    }
+
+    #[test]
+    fn refraction_prevents_refire_on_unchanged_fact() {
+        let mut s: Session<u64> = Session::new();
+        s.wm.insert(Counter(0));
+        // Matcher matches unconditionally; action does NOT update the fact,
+        // so the rule must fire exactly once per tuple version.
+        s.add_rule(
+            Rule::new("observe")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, fired: &mut u64, _| *fired += 1),
+        );
+        let mut fired = 0;
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 1);
+        // A second fire_all adds nothing.
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn update_rearms_rules() {
+        let mut s: Session<u64> = Session::new();
+        let h = s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("observe")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, fired: &mut u64, _| *fired += 1),
+        );
+        let mut fired = 0;
+        s.fire_all(&mut fired);
+        s.wm.update::<Counter>(h, |c| c.0 += 1);
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn chained_rules_reach_quiescence() {
+        // Rule A counts up to 5 by updating the fact; each update re-arms it.
+        let mut s: Session<()> = Session::new();
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("count-to-five")
+                .when_each::<Counter>(|c, _| c.0 < 5)
+                .then(|wm, _, m| {
+                    wm.update::<Counter>(m[0], |c| c.0 += 1);
+                }),
+        );
+        let r = s.fire_all(&mut ());
+        assert_eq!(r.firings, 5);
+        let (_, c) = s.wm.find::<Counter>(|_| true).unwrap();
+        assert_eq!(c.0, 5);
+    }
+
+    #[test]
+    fn salience_orders_firing() {
+        let mut s: Session<Vec<&'static str>> = Session::new();
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("low")
+                .salience(1)
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, log: &mut Vec<&'static str>, _| log.push("low")),
+        );
+        s.add_rule(
+            Rule::new("high")
+                .salience(10)
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, log: &mut Vec<&'static str>, _| log.push("high")),
+        );
+        let mut log = Vec::new();
+        let report = s.fire_all(&mut log);
+        assert_eq!(log, vec!["high", "low"]);
+        assert_eq!(report.log, vec!["high".to_string(), "low".to_string()]);
+    }
+
+    #[test]
+    fn equal_salience_fires_in_installation_order() {
+        let mut s: Session<Vec<&'static str>> = Session::new();
+        s.wm.insert(Counter(0));
+        for name in ["first", "second", "third"] {
+            s.add_rule(
+                Rule::new(name)
+                    .when_each::<Counter>(|_, _| true)
+                    .then(move |_, log: &mut Vec<&'static str>, _| log.push(name)),
+            );
+        }
+        let mut log = Vec::new();
+        s.fire_all(&mut log);
+        assert_eq!(log, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn budget_stops_runaway_rules() {
+        let mut s: Session<()> = Session::new().with_max_firings(50);
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("forever")
+                .when_each::<Counter>(|_, _| true)
+                .then(|wm, _, m| {
+                    wm.update::<Counter>(m[0], |c| c.0 += 1);
+                }),
+        );
+        let r = s.fire_all(&mut ());
+        assert_eq!(r.firings, 50);
+        assert!(r.budget_exhausted);
+    }
+
+    #[test]
+    fn retraction_by_one_rule_hides_fact_from_others() {
+        let mut s: Session<u64> = Session::new();
+        s.wm.insert(Item { priority: None });
+        s.add_rule(
+            Rule::new("delete-unprioritized")
+                .salience(10)
+                .when_each::<Item>(|i, _| i.priority.is_none())
+                .then(|wm, _, m| {
+                    wm.retract(m[0]);
+                }),
+        );
+        s.add_rule(
+            Rule::new("count-items")
+                .when_each::<Item>(|_, _| true)
+                .then(|_, seen: &mut u64, _| *seen += 1),
+        );
+        let mut seen = 0;
+        s.fire_all(&mut seen);
+        assert_eq!(seen, 0, "lower-salience rule saw a retracted fact");
+    }
+
+    #[test]
+    fn reset_refraction_allows_refire() {
+        let mut s: Session<u64> = Session::new();
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("observe")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, fired: &mut u64, _| *fired += 1),
+        );
+        let mut fired = 0;
+        s.fire_all(&mut fired);
+        s.reset_refraction();
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn gc_refraction_drops_stale_entries() {
+        let mut s: Session<()> = Session::new();
+        let h = s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("noop")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        s.fire_all(&mut ());
+        assert_eq!(s.fired.len(), 1);
+        s.wm.retract(h);
+        s.gc_refraction();
+        assert!(s.fired.is_empty());
+    }
+
+    #[test]
+    fn when_once_rule_fires_single_time() {
+        let mut s: Session<u64> = Session::new();
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("setup")
+                .when_once(|wm, _| wm.count::<Counter>() > 0)
+                .then(|_, fired: &mut u64, _| *fired += 1),
+        );
+        let mut fired = 0;
+        s.fire_all(&mut fired);
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn two_fact_join_rule() {
+        // Pair every Counter with every Item: a 2-tuple match.
+        let mut s: Session<u64> = Session::new();
+        s.wm.insert(Counter(1));
+        s.wm.insert(Counter(2));
+        s.wm.insert(Item { priority: None });
+        s.add_rule(
+            Rule::new("join")
+                .when(|wm, _| {
+                    let mut out = Vec::new();
+                    for (ch, _) in wm.iter::<Counter>() {
+                        for (ih, _) in wm.iter::<Item>() {
+                            out.push(vec![ch, ih]);
+                        }
+                    }
+                    out
+                })
+                .then(|_, pairs: &mut u64, _| *pairs += 1),
+        );
+        let mut pairs = 0;
+        s.fire_all(&mut pairs);
+        assert_eq!(pairs, 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! # pwm-rules — a forward-chaining production rule engine
+//!
+//! The paper implements its Policy Service on the Drools rule engine; this
+//! crate is the from-scratch Rust substitute. It provides the Drools
+//! operational semantics the policy rules depend on:
+//!
+//! * a typed [`WorkingMemory`] of facts with insert / update / retract and
+//!   per-fact version counters,
+//! * [`Rule`]s with `when` matchers and `then` actions, carrying *salience*
+//!   priorities, generic over a shared globals type `Ctx`,
+//! * a [`Session`] that fires rules to quiescence with Drools-style
+//!   *refraction* (a rule fires once per fact tuple until one of the facts
+//!   is updated), salience-descending conflict resolution, and a firing
+//!   budget guarding against divergent rule sets.
+//!
+//! ```
+//! use pwm_rules::{Rule, Session};
+//!
+//! #[derive(Debug)]
+//! struct Transfer { streams: Option<u32> }
+//!
+//! struct Config { default_streams: u32 }
+//!
+//! let mut session: Session<Config> = Session::new();
+//! session.wm.insert(Transfer { streams: None });
+//! session.add_rule(
+//!     Rule::new("assign default level of parallel streams")
+//!         .when_each::<Transfer>(|t, _: &Config| t.streams.is_none())
+//!         .then(|wm, cfg, m| {
+//!             wm.update::<Transfer>(m[0], |t| t.streams = Some(cfg.default_streams));
+//!         }),
+//! );
+//! let mut cfg = Config { default_streams: 4 };
+//! let report = session.fire_all(&mut cfg);
+//! assert_eq!(report.firings, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod memory;
+pub mod query;
+pub mod rule;
+
+pub use engine::{FiringReport, Session};
+pub use memory::{Fact, FactHandle, WorkingMemory};
+pub use query::{count_where, exists, group_by, max_by, select, sum_by};
+pub use rule::{Match, Rule, RuleBuilder};

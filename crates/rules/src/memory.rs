@@ -1,0 +1,313 @@
+//! Typed working memory.
+//!
+//! Drools sessions hold *facts*; rules pattern-match over them and mutate
+//! them. [`WorkingMemory`] is the Rust equivalent: a deterministic store of
+//! heterogeneous fact values addressed by [`FactHandle`], with per-fact
+//! version counters that drive the engine's refraction logic (a rule does
+//! not re-fire on a fact tuple until one of its facts changes).
+//!
+//! Facts are ordinary Rust values (`'static + Debug`). Iteration order is
+//! insertion order (handles are monotonically increasing and stored in a
+//! `BTreeMap`), so rule evaluation is reproducible.
+
+use std::any::{Any, TypeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Marker trait for values storable in working memory.
+///
+/// Blanket-implemented for every `'static + Debug` type; you never implement
+/// it by hand.
+pub trait Fact: Any + fmt::Debug + Send {
+    /// Upcast to `&dyn Any` (object-safe downcasting support).
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any + fmt::Debug + Send> Fact for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Stable identifier of one fact in a [`WorkingMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactHandle(pub u64);
+
+struct Slot {
+    fact: Box<dyn Fact>,
+    type_id: TypeId,
+    version: u64,
+}
+
+/// The fact store.
+#[derive(Default)]
+pub struct WorkingMemory {
+    slots: BTreeMap<FactHandle, Slot>,
+    by_type: HashMap<TypeId, BTreeSet<FactHandle>>,
+    next_handle: u64,
+    /// Bumped on every insert/update/retract; engines watch it to detect
+    /// quiescence.
+    generation: u64,
+}
+
+impl fmt::Debug for WorkingMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkingMemory")
+            .field("facts", &self.slots.len())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl WorkingMemory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a fact, returning its handle.
+    pub fn insert<T: Fact>(&mut self, fact: T) -> FactHandle {
+        let handle = FactHandle(self.next_handle);
+        self.next_handle += 1;
+        let type_id = TypeId::of::<T>();
+        self.slots.insert(
+            handle,
+            Slot {
+                fact: Box::new(fact),
+                type_id,
+                version: 0,
+            },
+        );
+        self.by_type.entry(type_id).or_default().insert(handle);
+        self.generation += 1;
+        handle
+    }
+
+    /// Remove a fact. Returns `true` if it existed.
+    pub fn retract(&mut self, handle: FactHandle) -> bool {
+        match self.slots.remove(&handle) {
+            Some(slot) => {
+                if let Some(set) = self.by_type.get_mut(&slot.type_id) {
+                    set.remove(&handle);
+                }
+                self.generation += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Immutable access to a fact of known type.
+    pub fn get<T: Fact>(&self, handle: FactHandle) -> Option<&T> {
+        // `as_ref()` is load-bearing: calling `as_any()` directly on the Box
+        // would resolve the blanket `Fact` impl for `Box<dyn Fact>` itself
+        // and downcasting would always fail.
+        self.slots
+            .get(&handle)
+            .and_then(|s| s.fact.as_ref().as_any().downcast_ref::<T>())
+    }
+
+    /// Mutate a fact in place; bumps its version (making rules eligible to
+    /// re-fire on it). Returns `false` if the handle is stale or the type is
+    /// wrong.
+    pub fn update<T: Fact>(&mut self, handle: FactHandle, f: impl FnOnce(&mut T)) -> bool {
+        match self.slots.get_mut(&handle) {
+            Some(slot) => match slot.fact.as_mut().as_any_mut().downcast_mut::<T>() {
+                Some(value) => {
+                    f(value);
+                    slot.version += 1;
+                    self.generation += 1;
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Current version of a fact (None if retracted). Handles start at 0 and
+    /// bump on each [`WorkingMemory::update`].
+    pub fn version(&self, handle: FactHandle) -> Option<u64> {
+        self.slots.get(&handle).map(|s| s.version)
+    }
+
+    /// Monotone counter over all mutations.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Iterate all facts of type `T` in handle (= insertion) order.
+    pub fn iter<T: Fact>(&self) -> impl Iterator<Item = (FactHandle, &T)> {
+        self.by_type
+            .get(&TypeId::of::<T>())
+            .into_iter()
+            .flat_map(|set| set.iter())
+            .filter_map(move |h| self.get::<T>(*h).map(|t| (*h, t)))
+    }
+
+    /// Handles of all facts of type `T`, insertion order.
+    pub fn handles<T: Fact>(&self) -> Vec<FactHandle> {
+        self.iter::<T>().map(|(h, _)| h).collect()
+    }
+
+    /// First fact of type `T` matching `pred`.
+    pub fn find<T: Fact>(&self, pred: impl Fn(&T) -> bool) -> Option<(FactHandle, &T)> {
+        self.iter::<T>().find(|(_, t)| pred(t))
+    }
+
+    /// Number of facts of type `T`.
+    pub fn count<T: Fact>(&self) -> usize {
+        self.by_type
+            .get(&TypeId::of::<T>())
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// Total facts of all types.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if the handle refers to a live fact.
+    pub fn contains(&self, handle: FactHandle) -> bool {
+        self.slots.contains_key(&handle)
+    }
+
+    /// Retract every fact of type `T`; returns how many were removed.
+    pub fn retract_all<T: Fact>(&mut self) -> usize {
+        let handles = self.handles::<T>();
+        let n = handles.len();
+        for h in handles {
+            self.retract(h);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Transfer {
+        id: u32,
+        streams: u32,
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Cleanup {
+        file: String,
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Transfer { id: 1, streams: 4 });
+        assert_eq!(wm.get::<Transfer>(h).unwrap().id, 1);
+        assert_eq!(wm.len(), 1);
+    }
+
+    #[test]
+    fn wrong_type_get_is_none() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Transfer { id: 1, streams: 4 });
+        assert!(wm.get::<Cleanup>(h).is_none());
+    }
+
+    #[test]
+    fn retract_removes_and_is_idempotent() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Transfer { id: 1, streams: 4 });
+        assert!(wm.retract(h));
+        assert!(!wm.retract(h));
+        assert!(wm.get::<Transfer>(h).is_none());
+        assert_eq!(wm.count::<Transfer>(), 0);
+    }
+
+    #[test]
+    fn update_mutates_and_bumps_version() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Transfer { id: 1, streams: 4 });
+        assert_eq!(wm.version(h), Some(0));
+        assert!(wm.update::<Transfer>(h, |t| t.streams = 8));
+        assert_eq!(wm.get::<Transfer>(h).unwrap().streams, 8);
+        assert_eq!(wm.version(h), Some(1));
+    }
+
+    #[test]
+    fn update_wrong_type_fails_without_version_bump() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Transfer { id: 1, streams: 4 });
+        assert!(!wm.update::<Cleanup>(h, |_| {}));
+        assert_eq!(wm.version(h), Some(0));
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered_per_type() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Transfer { id: 3, streams: 0 });
+        wm.insert(Cleanup { file: "x".into() });
+        wm.insert(Transfer { id: 1, streams: 0 });
+        wm.insert(Transfer { id: 2, streams: 0 });
+        let ids: Vec<u32> = wm.iter::<Transfer>().map(|(_, t)| t.id).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+        assert_eq!(wm.count::<Transfer>(), 3);
+        assert_eq!(wm.count::<Cleanup>(), 1);
+    }
+
+    #[test]
+    fn find_matches_predicate() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Transfer { id: 1, streams: 4 });
+        let h2 = wm.insert(Transfer { id: 2, streams: 8 });
+        let (h, t) = wm.find::<Transfer>(|t| t.streams == 8).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(t.id, 2);
+        assert!(wm.find::<Transfer>(|t| t.id == 99).is_none());
+    }
+
+    #[test]
+    fn generation_tracks_all_mutations() {
+        let mut wm = WorkingMemory::new();
+        let g0 = wm.generation();
+        let h = wm.insert(Transfer { id: 1, streams: 0 });
+        assert!(wm.generation() > g0);
+        let g1 = wm.generation();
+        wm.update::<Transfer>(h, |t| t.streams = 1);
+        assert!(wm.generation() > g1);
+        let g2 = wm.generation();
+        wm.retract(h);
+        assert!(wm.generation() > g2);
+    }
+
+    #[test]
+    fn retract_all_clears_one_type_only() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Transfer { id: 1, streams: 0 });
+        wm.insert(Transfer { id: 2, streams: 0 });
+        wm.insert(Cleanup { file: "a".into() });
+        assert_eq!(wm.retract_all::<Transfer>(), 2);
+        assert_eq!(wm.count::<Transfer>(), 0);
+        assert_eq!(wm.count::<Cleanup>(), 1);
+    }
+
+    #[test]
+    fn handles_survive_other_retractions() {
+        let mut wm = WorkingMemory::new();
+        let h1 = wm.insert(Transfer { id: 1, streams: 0 });
+        let h2 = wm.insert(Transfer { id: 2, streams: 0 });
+        wm.retract(h1);
+        assert!(wm.contains(h2));
+        assert_eq!(wm.get::<Transfer>(h2).unwrap().id, 2);
+    }
+}

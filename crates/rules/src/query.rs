@@ -1,0 +1,127 @@
+//! Typed queries and aggregations over working memory.
+//!
+//! Drools exposes queries alongside rules; these helpers give callers (the
+//! Policy Service snapshot, tests, monitoring endpoints) the same
+//! capabilities over [`WorkingMemory`] without writing iterator chains at
+//! every call site.
+
+use crate::memory::{Fact, FactHandle, WorkingMemory};
+use std::collections::BTreeMap;
+
+/// Count facts of type `T` matching a predicate.
+pub fn count_where<T: Fact>(wm: &WorkingMemory, pred: impl Fn(&T) -> bool) -> usize {
+    wm.iter::<T>().filter(|(_, t)| pred(t)).count()
+}
+
+/// Sum a projection over all facts of type `T`.
+pub fn sum_by<T: Fact>(wm: &WorkingMemory, f: impl Fn(&T) -> f64) -> f64 {
+    wm.iter::<T>().map(|(_, t)| f(t)).sum()
+}
+
+/// Group fact handles of type `T` by a key projection.
+pub fn group_by<T: Fact, K: Ord>(
+    wm: &WorkingMemory,
+    key: impl Fn(&T) -> K,
+) -> BTreeMap<K, Vec<FactHandle>> {
+    let mut groups: BTreeMap<K, Vec<FactHandle>> = BTreeMap::new();
+    for (h, t) in wm.iter::<T>() {
+        groups.entry(key(t)).or_default().push(h);
+    }
+    groups
+}
+
+/// The fact of type `T` maximizing a projection (ties: first inserted).
+pub fn max_by<T: Fact, K: PartialOrd>(
+    wm: &WorkingMemory,
+    f: impl Fn(&T) -> K,
+) -> Option<(FactHandle, &T)> {
+    let mut best: Option<(FactHandle, &T, K)> = None;
+    for (h, t) in wm.iter::<T>() {
+        let k = f(t);
+        match &best {
+            Some((_, _, bk)) if k <= *bk => {}
+            _ => best = Some((h, t, k)),
+        }
+    }
+    best.map(|(h, t, _)| (h, t))
+}
+
+/// True when any fact of type `T` matches the predicate.
+pub fn exists<T: Fact>(wm: &WorkingMemory, pred: impl Fn(&T) -> bool) -> bool {
+    wm.iter::<T>().any(|(_, t)| pred(t))
+}
+
+/// Collect owned projections from all facts of type `T`, in insertion order.
+pub fn select<T: Fact, R>(wm: &WorkingMemory, f: impl Fn(&T) -> R) -> Vec<R> {
+    wm.iter::<T>().map(|(_, t)| f(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Transfer {
+        host: &'static str,
+        streams: u32,
+        done: bool,
+    }
+
+    fn memory() -> WorkingMemory {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Transfer {
+            host: "a",
+            streams: 4,
+            done: false,
+        });
+        wm.insert(Transfer {
+            host: "b",
+            streams: 8,
+            done: true,
+        });
+        wm.insert(Transfer {
+            host: "a",
+            streams: 2,
+            done: false,
+        });
+        wm
+    }
+
+    #[test]
+    fn count_where_filters() {
+        let wm = memory();
+        assert_eq!(count_where::<Transfer>(&wm, |t| !t.done), 2);
+        assert_eq!(count_where::<Transfer>(&wm, |t| t.streams > 10), 0);
+    }
+
+    #[test]
+    fn sum_by_projects() {
+        let wm = memory();
+        assert_eq!(sum_by::<Transfer>(&wm, |t| t.streams as f64), 14.0);
+    }
+
+    #[test]
+    fn group_by_key() {
+        let wm = memory();
+        let groups = group_by::<Transfer, _>(&wm, |t| t.host);
+        assert_eq!(groups["a"].len(), 2);
+        assert_eq!(groups["b"].len(), 1);
+    }
+
+    #[test]
+    fn max_by_projection() {
+        let wm = memory();
+        let (_, t) = max_by::<Transfer, _>(&wm, |t| t.streams).unwrap();
+        assert_eq!(t.streams, 8);
+        let empty = WorkingMemory::new();
+        assert!(max_by::<Transfer, _>(&empty, |t| t.streams).is_none());
+    }
+
+    #[test]
+    fn exists_and_select() {
+        let wm = memory();
+        assert!(exists::<Transfer>(&wm, |t| t.done));
+        assert!(!exists::<Transfer>(&wm, |t| t.streams == 99));
+        assert_eq!(select::<Transfer, _>(&wm, |t| t.streams), vec![4, 8, 2]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Rule definition and builder.
+//!
+//! A [`Rule`] pairs a *matcher* (the `when` part: scan working memory,
+//! produce zero or more matched fact tuples) with an *action* (the `then`
+//! part: mutate working memory and/or the shared globals). Rules carry a
+//! *salience* — higher fires first, mirroring Drools — and are generic over a
+//! `Ctx` type standing in for Drools globals (the Policy Service passes its
+//! configuration and response buffers through it).
+
+use crate::memory::{FactHandle, WorkingMemory};
+
+/// A matched fact tuple: the handles a rule instance binds to.
+///
+/// The engine keys refraction on `(rule, handles, versions-of-handles)`, so a
+/// rule re-fires on a tuple only after one of its facts is updated.
+pub type Match = Vec<FactHandle>;
+
+type Matcher<Ctx> = Box<dyn Fn(&WorkingMemory, &Ctx) -> Vec<Match> + Send>;
+type Action<Ctx> = Box<dyn FnMut(&mut WorkingMemory, &mut Ctx, &Match) + Send>;
+
+/// A production rule.
+pub struct Rule<Ctx> {
+    name: String,
+    salience: i32,
+    matcher: Matcher<Ctx>,
+    action: Action<Ctx>,
+}
+
+impl<Ctx> Rule<Ctx> {
+    /// Start building a rule with the given name.
+    #[allow(clippy::new_ret_no_self)] // `new` is the Drools-style builder entry
+    pub fn new(name: impl Into<String>) -> RuleBuilder<Ctx> {
+        RuleBuilder {
+            name: name.into(),
+            salience: 0,
+            matcher: None,
+            action: None,
+        }
+    }
+
+    /// Rule name (diagnostics, firing log).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Firing priority; higher fires first.
+    pub fn salience(&self) -> i32 {
+        self.salience
+    }
+
+    pub(crate) fn matches(&self, wm: &WorkingMemory, ctx: &Ctx) -> Vec<Match> {
+        (self.matcher)(wm, ctx)
+    }
+
+    pub(crate) fn fire(&mut self, wm: &mut WorkingMemory, ctx: &mut Ctx, m: &Match) {
+        (self.action)(wm, ctx, m)
+    }
+}
+
+impl<Ctx> std::fmt::Debug for Rule<Ctx> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("salience", &self.salience)
+            .finish()
+    }
+}
+
+/// Fluent builder returned by [`Rule::new`].
+pub struct RuleBuilder<Ctx> {
+    name: String,
+    salience: i32,
+    matcher: Option<Matcher<Ctx>>,
+    action: Option<Action<Ctx>>,
+}
+
+impl<Ctx> RuleBuilder<Ctx> {
+    /// Set the salience (default 0; higher fires first).
+    pub fn salience(mut self, salience: i32) -> Self {
+        self.salience = salience;
+        self
+    }
+
+    /// Full matcher: return every fact tuple this rule should fire on.
+    pub fn when(
+        mut self,
+        matcher: impl Fn(&WorkingMemory, &Ctx) -> Vec<Match> + Send + 'static,
+    ) -> Self {
+        self.matcher = Some(Box::new(matcher));
+        self
+    }
+
+    /// Convenience matcher over all facts of one type passing a predicate:
+    /// each matching fact becomes a single-handle tuple.
+    pub fn when_each<T: crate::memory::Fact>(
+        mut self,
+        pred: impl Fn(&T, &Ctx) -> bool + Send + 'static,
+    ) -> Self {
+        self.matcher = Some(Box::new(move |wm, ctx| {
+            wm.iter::<T>()
+                .filter(|(_, t)| pred(t, ctx))
+                .map(|(h, _)| vec![h])
+                .collect()
+        }));
+        self
+    }
+
+    /// Matcher that fires once (empty tuple) when a condition over the whole
+    /// memory holds. Refraction note: an empty tuple has no versions, so the
+    /// rule will not re-fire until the engine's fired-set is reset — use for
+    /// one-shot setup rules.
+    pub fn when_once(mut self, pred: impl Fn(&WorkingMemory, &Ctx) -> bool + Send + 'static) -> Self {
+        self.matcher = Some(Box::new(move |wm, ctx| {
+            if pred(wm, ctx) {
+                vec![vec![]]
+            } else {
+                vec![]
+            }
+        }));
+        self
+    }
+
+    /// The action body; completes the rule.
+    pub fn then(
+        mut self,
+        action: impl FnMut(&mut WorkingMemory, &mut Ctx, &Match) + Send + 'static,
+    ) -> Rule<Ctx> {
+        self.action = Some(Box::new(action));
+        Rule {
+            name: self.name,
+            salience: self.salience,
+            matcher: self.matcher.expect("rule needs a `when` clause"),
+            action: self.action.expect("rule needs a `then` clause"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Num(i64);
+
+    #[test]
+    fn builder_produces_named_rule() {
+        let r: Rule<()> = Rule::new("double-evens")
+            .salience(5)
+            .when_each::<Num>(|n, _| n.0 % 2 == 0)
+            .then(|wm, _, m| {
+                wm.update::<Num>(m[0], |n| n.0 *= 2);
+            });
+        assert_eq!(r.name(), "double-evens");
+        assert_eq!(r.salience(), 5);
+    }
+
+    #[test]
+    fn when_each_matches_per_fact() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Num(1));
+        wm.insert(Num(2));
+        wm.insert(Num(4));
+        let r: Rule<()> = Rule::new("evens")
+            .when_each::<Num>(|n, _| n.0 % 2 == 0)
+            .then(|_, _, _| {});
+        let ms = r.matches(&wm, &());
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn when_once_fires_zero_or_one() {
+        let mut wm = WorkingMemory::new();
+        let r: Rule<()> = Rule::new("any-big")
+            .when_once(|wm, _| wm.iter::<Num>().any(|(_, n)| n.0 > 10))
+            .then(|_, _, _| {});
+        assert!(r.matches(&wm, &()).is_empty());
+        wm.insert(Num(20));
+        assert_eq!(r.matches(&wm, &()), vec![Vec::<FactHandle>::new()]);
+    }
+
+    #[test]
+    fn ctx_is_visible_to_matcher() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Num(5));
+        let r: Rule<i64> = Rule::new("above-threshold")
+            .when_each::<Num>(|n, threshold| n.0 > *threshold)
+            .then(|_, _, _| {});
+        assert_eq!(r.matches(&wm, &3).len(), 1);
+        assert_eq!(r.matches(&wm, &9).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "when")]
+    fn missing_when_panics() {
+        let _: Rule<()> = RuleBuilder {
+            name: "broken".into(),
+            salience: 0,
+            matcher: None,
+            action: None,
+        }
+        .then(|_, _, _| {});
+    }
+
+    #[test]
+    fn fire_runs_action() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Num(3));
+        let mut r: Rule<()> = Rule::new("inc")
+            .when_each::<Num>(|_, _| true)
+            .then(|wm, _, m| {
+                wm.update::<Num>(m[0], |n| n.0 += 1);
+            });
+        let m = vec![h];
+        r.fire(&mut wm, &mut (), &m);
+        assert_eq!(wm.get::<Num>(h).unwrap().0, 4);
+    }
+}

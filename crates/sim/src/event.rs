@@ -1,0 +1,368 @@
+//! Deterministic pending-event set.
+//!
+//! [`EventQueue`] is the heart of the simulator: a priority queue of
+//! `(time, sequence, payload)` entries. Ties in time are broken by insertion
+//! sequence, so two runs with the same schedule produce byte-identical event
+//! orders — a prerequisite for seeded reproducibility of every experiment in
+//! the benchmark harness.
+//!
+//! Events may be cancelled by [`EventHandle`] without scanning the heap:
+//! cancellation marks the handle dead and the entry is skipped lazily when it
+//! reaches the top (the standard "lazy deletion" trick).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can be cancelled later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue with a virtual clock.
+///
+/// The clock advances only when events are popped; scheduling in the past is
+/// a logic error and panics, as it would silently reorder causality.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (time of the most recently popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (diagnostic).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} requested={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Schedule `payload` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventHandle {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. this call actually prevented it from firing).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // An already-fired event's seq is no longer in the heap; inserting it
+        // into `cancelled` would leak, so only record when plausibly pending.
+        if self.is_pending_seq(handle.0) {
+            self.cancelled.insert(handle.0)
+        } else {
+            false
+        }
+    }
+
+    fn is_pending_seq(&self, seq: u64) -> bool {
+        // Pending iff not yet popped and not already cancelled. We cannot ask
+        // the heap directly without a scan, so track via the cancelled set
+        // plus a conservative check against the pop watermark: since events
+        // may pop out of seq order, do the O(n) scan only here (cancel is a
+        // rare operation compared to schedule/pop).
+        !self.cancelled.contains(&seq) && self.heap.iter().any(|e| e.seq == seq)
+    }
+
+    /// Time of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue produced time travel");
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Pop the next live event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advance the clock manually (e.g. to a rate-recomputation instant that
+    /// is not itself an event). Panics if moving backwards.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "clock cannot move backwards");
+        self.now = at;
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> EventQueue<&'static str> {
+        EventQueue::new()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = q();
+        let t = SimTime::from_secs(1);
+        q.schedule_at(t, "first");
+        q.schedule_at(t, "second");
+        q.schedule_at(t, "third");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_secs(5), "x");
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_secs(10), "base");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(2), "later");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_secs(10), "x");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), "too-late");
+    }
+
+    #[test]
+    fn cancellation_suppresses_event() {
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "dead");
+        q.schedule_at(SimTime::from_secs(2), "alive");
+        assert!(q.cancel(h));
+        assert_eq!(q.len(), 1);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "alive");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancelling_fired_event_returns_false() {
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "x");
+        q.pop();
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "x");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = q();
+        q.schedule_at(SimTime::from_secs(1), "early");
+        q.schedule_at(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, "early");
+        assert!(q.pop_until(SimTime::from_secs(5)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "dead");
+        q.schedule_at(SimTime::from_secs(2), "alive");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn advance_to_moves_clock_without_events() {
+        let mut q = q();
+        q.advance_to(SimTime::from_secs(4));
+        assert_eq!(q.now(), SimTime::from_secs(4));
+        q.schedule_in(SimDuration::from_secs(1), "x");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn events_processed_counts_pops() {
+        let mut q = q();
+        for i in 0..5 {
+            q.schedule_at(SimTime::from_secs(i), "e");
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always pop in nondecreasing time order, with FIFO ties.
+        #[test]
+        fn pops_are_time_ordered(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule_at(SimTime::from_micros(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut seen_at: Vec<(SimTime, usize)> = Vec::new();
+            while let Some((t, ix)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                seen_at.push((t, ix));
+            }
+            prop_assert_eq!(seen_at.len(), times.len());
+            // FIFO within equal timestamps.
+            for w in seen_at.windows(2) {
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1);
+                }
+            }
+        }
+
+        /// Cancelling an arbitrary subset suppresses exactly that subset.
+        #[test]
+        fn cancellation_is_exact(
+            times in proptest::collection::vec(0u64..1_000, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let handles: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (i, q.schedule_at(SimTime::from_micros(t), i)))
+                .collect();
+            let mut cancelled = std::collections::BTreeSet::new();
+            for (i, h) in &handles {
+                if *cancel_mask.get(*i).unwrap_or(&false) {
+                    prop_assert!(q.cancel(*h));
+                    cancelled.insert(*i);
+                }
+            }
+            let mut survived = std::collections::BTreeSet::new();
+            while let Some((_, ix)) = q.pop() {
+                survived.insert(ix);
+            }
+            for i in 0..times.len() {
+                prop_assert_eq!(survived.contains(&i), !cancelled.contains(&i));
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-bucket histograms for duration/throughput distributions.
+//!
+//! Used by the workflow run reports (`pwm-workflow::report`) to show the
+//! spread of transfer durations and goodputs the way `pegasus-statistics`
+//! summarizes job runtimes.
+
+/// A histogram over `[lo, hi)` with uniform buckets plus under/overflow.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `buckets` uniform buckets.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `buckets ≥ 1`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets >= 1, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let ix = ((frac * self.buckets.len() as f64) as usize).min(self.buckets.len() - 1);
+            self.buckets[ix] += 1;
+        }
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// `(bucket_lo, bucket_hi, count)` triples, in order.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .collect()
+    }
+
+    /// Counts outside the range: `(underflow, overflow)`.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Render as an ASCII bar chart, `width` characters at the modal bucket.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, c) in self.buckets() {
+            let bar = "#".repeat((c as usize * width.max(1)) / max as usize);
+            out.push_str(&format!("{lo:>10.1} - {hi:<10.1} {c:>6} {bar}\n"));
+        }
+        if self.underflow > 0 || self.overflow > 0 {
+            out.push_str(&format!(
+                "{:>23} under={} over={}\n",
+                "outliers:", self.underflow, self.overflow
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_right_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.5, 1.0, 3.0, 9.9] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets[0].2, 2); // 0.5 and 1.0 (1.0 falls in [0,2)? no: [0,2) holds 0.5,1.0)
+        assert_eq!(buckets[1].2, 1); // 3.0 in [2,4)
+        assert_eq!(buckets[4].2, 1); // 9.9 in [8,10)
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn outliers_counted_separately() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-1.0);
+        h.record(10.0); // hi is exclusive
+        h.record(100.0);
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.buckets().iter().map(|b| b.2).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn mean_includes_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(5.0);
+        h.record(15.0);
+        assert!((h.mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_shows_bars_and_outliers() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.record(1.0);
+        h.record(1.5);
+        h.record(3.0);
+        h.record(99.0);
+        let text = h.render(10);
+        assert!(text.contains("##########"), "{text}");
+        assert!(text.contains("over=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_rejected() {
+        Histogram::new(5.0, 1.0, 4);
+    }
+}

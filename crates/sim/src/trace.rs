@@ -1,0 +1,233 @@
+//! Lightweight simulation tracing.
+//!
+//! A bounded in-memory log of timestamped records, cheap enough to leave on
+//! during experiments and rich enough to debug a misbehaving schedule. The
+//! executor and network layers record coarse lifecycle events (job released,
+//! transfer started at N streams, ...) and tests assert against them.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Severity/purpose of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Fine-grained bookkeeping (rate recomputations, queue movements).
+    Debug,
+    /// Lifecycle milestones (job start/finish, transfer start/finish).
+    Info,
+    /// Unexpected but tolerated situations (retries, fallbacks).
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLevel::Debug => write!(f, "DEBUG"),
+            TraceLevel::Info => write!(f, "INFO"),
+            TraceLevel::Warn => write!(f, "WARN"),
+        }
+    }
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Virtual time the record was emitted.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Component name (static to avoid per-record allocation).
+    pub component: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.component, self.message
+        )
+    }
+}
+
+/// Bounded trace buffer. When full, the oldest records are dropped and the
+/// drop count is reported, so post-mortems know the window is partial.
+#[derive(Debug)]
+pub struct Trace {
+    records: std::collections::VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    min_level: TraceLevel,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::with_capacity(16_384)
+    }
+}
+
+impl Trace {
+    /// A trace buffer holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            min_level: TraceLevel::Info,
+        }
+    }
+
+    /// Set the minimum level that is retained (records below it are ignored).
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Record a message at `level`.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        component: &'static str,
+        message: impl Into<String>,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            level,
+            component,
+            message: message.into(),
+        });
+    }
+
+    /// Convenience: record at [`TraceLevel::Info`].
+    pub fn info(&mut self, at: SimTime, component: &'static str, message: impl Into<String>) {
+        self.record(at, TraceLevel::Info, component, message);
+    }
+
+    /// Convenience: record at [`TraceLevel::Warn`].
+    pub fn warn(&mut self, at: SimTime, component: &'static str, message: impl Into<String>) {
+        self.record(at, TraceLevel::Warn, component, message);
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records whose message contains `needle` (test helper).
+    pub fn grep(&self, needle: &str) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.message.contains(needle))
+            .collect()
+    }
+
+    /// Clear all retained records (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_kept_in_order() {
+        let mut t = Trace::default();
+        t.info(SimTime::from_secs(1), "exec", "a");
+        t.info(SimTime::from_secs(2), "exec", "b");
+        let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        t.info(SimTime::ZERO, "c", "one");
+        t.info(SimTime::ZERO, "c", "two");
+        t.info(SimTime::ZERO, "c", "three");
+        let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["two", "three"]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let mut t = Trace::default();
+        t.set_min_level(TraceLevel::Warn);
+        t.info(SimTime::ZERO, "c", "ignored");
+        t.warn(SimTime::ZERO, "c", "kept");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records().next().unwrap().message, "kept");
+    }
+
+    #[test]
+    fn debug_below_default_level() {
+        let mut t = Trace::default();
+        t.record(SimTime::ZERO, TraceLevel::Debug, "c", "hidden");
+        assert!(t.is_empty());
+        t.set_min_level(TraceLevel::Debug);
+        t.record(SimTime::ZERO, TraceLevel::Debug, "c", "shown");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grep_finds_matching_messages() {
+        let mut t = Trace::default();
+        t.info(SimTime::ZERO, "net", "transfer 7 started streams=4");
+        t.info(SimTime::ZERO, "net", "transfer 7 finished");
+        t.info(SimTime::ZERO, "exec", "job released");
+        assert_eq!(t.grep("transfer 7").len(), 2);
+        assert_eq!(t.grep("streams=4").len(), 1);
+        assert!(t.grep("nothing").is_empty());
+    }
+
+    #[test]
+    fn display_renders_time_and_level() {
+        let r = TraceRecord {
+            at: SimTime::from_secs(2),
+            level: TraceLevel::Warn,
+            component: "ptt",
+            message: "retrying".into(),
+        };
+        let s = format!("{r}");
+        assert!(s.contains("2.000000s"));
+        assert!(s.contains("WARN"));
+        assert!(s.contains("ptt"));
+    }
+
+    #[test]
+    fn clear_keeps_drop_count() {
+        let mut t = Trace::with_capacity(1);
+        t.info(SimTime::ZERO, "c", "a");
+        t.info(SimTime::ZERO, "c", "b");
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

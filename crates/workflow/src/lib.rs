@@ -1,0 +1,44 @@
+//! # pwm-workflow — the workflow management substrate
+//!
+//! A from-scratch stand-in for the Pegasus Workflow Management System and
+//! the Condor DAGMan executor beneath it, providing exactly the pieces the
+//! paper's evaluation depends on:
+//!
+//! * [`dag`] — abstract workflows (jobs + logical files, DAX-style), with
+//!   data dependencies derived from producer/consumer relations;
+//! * [`catalog`] — site and replica catalogs (the Obelix compute site, the
+//!   Apache/GridFTP data sources);
+//! * [`dax`] — DAX-dialect XML import/export (the Pegasus interchange
+//!   format);
+//! * [`planner`] — the planning phase: stage-in / stage-out / cleanup job
+//!   insertion and horizontal task clustering with a clustering factor;
+//! * [`executor`] — a DAGMan-like engine over the `pwm-net` simulator with
+//!   compute slots, the local staging-job limit, per-job retries, and a
+//!   Pegasus-Transfer-Tool state machine that consults the Policy Service
+//!   through `pwm_core::transport::PolicyTransport` and executes approved
+//!   transfers serially in the advised order;
+//! * [`stats`] — per-run statistics (makespan, staging goodput, retries,
+//!   peak WAN streams) consumed by the benchmark harness.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod dax;
+pub mod dag;
+pub mod executor;
+pub mod multi;
+pub mod planner;
+pub mod report;
+pub mod stats;
+
+pub use catalog::{ComputeSite, Replica, ReplicaCatalog};
+pub use dag::{AbstractJob, AbstractWorkflow, JobIx, WorkflowError};
+pub use dax::{parse_dax, to_dax, DaxError};
+pub use executor::{ExecutorConfig, WorkflowExecutor};
+pub use planner::{
+    plan, ExecutablePlan, PlanError, PlanJob, PlanJobId, PlanJobKind, PlannedTransfer,
+    PlannerConfig,
+};
+pub use multi::merge_plans;
+pub use report::render_report;
+pub use stats::RunStats;

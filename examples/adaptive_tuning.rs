@@ -1,0 +1,78 @@
+//! The paper's future work, running: "we will also explore machine learning
+//! algorithms to help us learn what data transfer settings (such as the
+//! threshold number of streams) are the most beneficial".
+//!
+//! Episodes of a staging-heavy workload run under the threshold chosen by
+//! an online ε-greedy [`ThresholdTuner`]; after each episode the tuner
+//! observes every transfer's achieved goodput and updates its estimates.
+//! Within a couple dozen episodes it settles on the healthy region of the
+//! stream-allocation curve (the paper's empirically best 50, not the
+//! over-subscribed 200).
+//!
+//! ```text
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use pwm_bench::{mb, MontageExperiment, PolicyMode};
+use pwm_core::{ThresholdTuner, TransferObservation};
+
+fn main() {
+    let mut tuner = ThresholdTuner::new(vec![25, 50, 100, 200], 7)
+        .with_min_samples(60)
+        .with_epsilon(0.05);
+
+    println!("episode  threshold  makespan(s)  mean-goodput(MB/s)");
+    for episode in 0..24 {
+        let threshold = tuner.active_threshold();
+        // One staging-heavy campaign under the tuner's threshold: the
+        // augmented Montage at 10 MB extras (fast to simulate, enough WAN
+        // transfers for ~90 observations per episode).
+        let exp = MontageExperiment::paper_setup(
+            mb(10),
+            8,
+            PolicyMode::Greedy { threshold },
+        );
+        let stats = exp.run_once(1000 + episode);
+        assert!(stats.success);
+
+        // Feed every WAN transfer's goodput back to the tuner (the 10 MB
+        // extras; the small Montage inputs travel the LAN and would pollute
+        // the reward signal).
+        let wan: Vec<_> = stats
+            .transfers
+            .iter()
+            .filter(|t| t.bytes >= 9.0e6)
+            .collect();
+        let mean_goodput =
+            wan.iter().map(|t| t.goodput()).sum::<f64>() / wan.len().max(1) as f64;
+        for t in &wan {
+            tuner.observe(TransferObservation {
+                goodput: t.goodput(),
+                concurrent: 20,
+            });
+        }
+        println!(
+            "{:>7}  {:>9}  {:>11.0}  {:>18.3}",
+            episode,
+            threshold,
+            stats.makespan_secs(),
+            mean_goodput / 1e6,
+        );
+    }
+
+    println!("\ntuner estimates (aggregate goodput, MB/s):");
+    for (threshold, estimate) in tuner.estimates() {
+        match estimate {
+            Some(e) => println!("  threshold {threshold:>4}: {:.2}", e / 1e6),
+            None => println!("  threshold {threshold:>4}: (untried)"),
+        }
+    }
+    println!(
+        "\nconverged recommendation: threshold {}",
+        tuner.best_threshold()
+    );
+    assert!(
+        tuner.best_threshold() <= 100,
+        "the tuner must avoid the over-subscribed region"
+    );
+}

@@ -1,0 +1,53 @@
+//! Export the paper's Montage workload to DAX (the Pegasus workflow
+//! interchange format), re-import it, and plan it — demonstrating that the
+//! substrate speaks the ecosystem's artifact format.
+//!
+//! ```text
+//! cargo run --example dax_interchange
+//! ```
+
+use pwm_montage::{montage_replicas, montage_workflow, MontageConfig};
+use pwm_net::paper_testbed;
+use pwm_workflow::{parse_dax, plan, to_dax, ComputeSite, PlannerConfig};
+
+fn main() {
+    let workflow = montage_workflow(&MontageConfig {
+        extra_file_bytes: 10_000_000,
+        seed: 1,
+        ..Default::default()
+    });
+    let dax = to_dax(&workflow);
+    println!("exported {} jobs to DAX ({} bytes). First lines:\n", workflow.len(), dax.len());
+    for line in dax.lines().take(8) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    let reimported = parse_dax(&dax).expect("our own DAX must parse");
+    assert_eq!(reimported.len(), workflow.len());
+    assert_eq!(reimported.edges().unwrap(), workflow.edges().unwrap());
+    println!(
+        "re-imported {} jobs; dependency edges identical: {}",
+        reimported.len(),
+        reimported.edges().unwrap().len()
+    );
+
+    // Plan the re-imported workflow exactly like the original.
+    let (_topo, gridftp, apache, nfs) = paper_testbed();
+    let site = ComputeSite {
+        name: "obelix".into(),
+        nodes: 9,
+        cores_per_node: 6,
+        storage_host: nfs,
+        storage_host_name: "obelix-nfs".into(),
+        scratch_dir: "/scratch".into(),
+    };
+    let rc = montage_replicas(&reimported, ("apache-isi", apache), ("gridftp-vm", gridftp));
+    let p = plan(&reimported, &site, &rc, &PlannerConfig::default()).unwrap();
+    println!(
+        "planned: {} total jobs, {} data staging jobs (the paper's 89)",
+        p.len(),
+        p.stage_in_count()
+    );
+    assert_eq!(p.stage_in_count(), 89);
+}

@@ -1,0 +1,111 @@
+//! Quickstart: stand up a Policy Service, submit a staging request list the
+//! way the Pegasus Transfer Tool does, and walk the full advice lifecycle.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pwm_core::{
+    AllocationPolicy, CleanupSpec, PolicyConfig, PolicyService, TransferOutcome, TransferSpec,
+    Url, WorkflowId,
+};
+
+fn main() {
+    // 1. Configure the service the way a site administrator would: default
+    //    8 streams per transfer, at most 50 streams between any host pair,
+    //    greedy allocation (the paper's best-performing setting).
+    let mut service = PolicyService::new(
+        PolicyConfig::default()
+            .with_default_streams(8)
+            .with_threshold(50)
+            .with_allocation(AllocationPolicy::Greedy),
+    );
+
+    // 2. A staging job submits its transfer list — note the duplicate.
+    let batch: Vec<TransferSpec> = (0..7)
+        .map(|i| TransferSpec {
+            source: Url::parse(&format!("gsiftp://gridftp-vm.tacc/data/input_{i}.dat")).unwrap(),
+            dest: Url::parse(&format!("file://obelix-nfs/scratch/run1/input_{i}.dat")).unwrap(),
+            bytes: 100_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        })
+        .chain(std::iter::once(TransferSpec {
+            // Same file again — the policy will remove the duplicate.
+            source: Url::parse("gsiftp://gridftp-vm.tacc/data/input_0.dat").unwrap(),
+            dest: Url::parse("file://obelix-nfs/scratch/run1/input_0.dat").unwrap(),
+            bytes: 100_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }))
+        .collect();
+
+    println!("submitting {} transfer requests...\n", batch.len());
+    let advice = service.evaluate_transfers(batch);
+
+    println!("{:<6}{:<34}{:<10}{:>8}{:>8}", "order", "source", "action", "streams", "group");
+    for a in &advice {
+        println!(
+            "{:<6}{:<34}{:<10}{:>8}{:>8}",
+            a.order,
+            a.source.to_string(),
+            if a.should_execute() { "execute" } else { "skip" },
+            a.streams,
+            a.group.0,
+        );
+    }
+
+    // Greedy arithmetic: 6 × 8 = 48, then 2 to reach the threshold, then 1.
+    println!(
+        "\nstreams allocated between (gridftp-vm.tacc → obelix-nfs): {}",
+        service.allocated("gridftp-vm.tacc", "obelix-nfs")
+    );
+
+    // 3. Report completions: streams are released, files become shareable.
+    let outcomes: Vec<TransferOutcome> = advice
+        .iter()
+        .filter(|a| a.should_execute())
+        .map(|a| TransferOutcome {
+            id: a.id,
+            success: true,
+        })
+        .collect();
+    service.report_transfers(outcomes);
+    println!(
+        "after completion reports: allocated = {}, staged files = {}",
+        service.allocated("gridftp-vm.tacc", "obelix-nfs"),
+        service.snapshot().staged_files,
+    );
+
+    // 4. A second workflow asks for one of the same files → deduplicated.
+    let again = service.evaluate_transfers(vec![TransferSpec {
+        source: Url::parse("gsiftp://gridftp-vm.tacc/data/input_3.dat").unwrap(),
+        dest: Url::parse("file://obelix-nfs/scratch/run1/input_3.dat").unwrap(),
+        bytes: 100_000_000,
+        requested_streams: None,
+        workflow: WorkflowId(2),
+        cluster: None,
+        priority: None,
+    }]);
+    println!(
+        "\nworkflow 2 requests input_3.dat again → action: {:?}",
+        again[0].action
+    );
+
+    // 5. Workflow 1 wants to clean up that file — suppressed while workflow
+    //    2 is using it.
+    let cleanup = service.evaluate_cleanups(vec![CleanupSpec {
+        file: Url::parse("file://obelix-nfs/scratch/run1/input_3.dat").unwrap(),
+        workflow: WorkflowId(1),
+    }]);
+    println!(
+        "workflow 1 cleanup of input_3.dat → action: {:?} (workflow 2 still uses it)",
+        cleanup[0].action
+    );
+
+    println!("\nservice stats: {:#?}", service.stats());
+}

@@ -1,0 +1,76 @@
+//! The deployment shape of the paper's Fig. 1: the Policy Service behind a
+//! RESTful web interface, with the transfer client talking JSON over HTTP.
+//!
+//! Starts the loopback server, configures a session over PUT, submits a
+//! transfer list, reports completions, and dumps the `/status` document.
+//!
+//! ```text
+//! cargo run --example rest_service
+//! ```
+
+use pwm_core::transport::PolicyTransport;
+use pwm_core::{
+    PolicyConfig, PolicyController, TransferOutcome, TransferSpec, Url, WorkflowId,
+};
+use pwm_rest::{PolicyRestClient, PolicyRestServer};
+
+fn main() {
+    // Server side: a Policy Controller with the default session, served
+    // over a loopback TCP port.
+    let controller = PolicyController::new(PolicyConfig::default());
+    let server = PolicyRestServer::start(controller).expect("bind loopback");
+    println!("policy service listening on http://{}\n", server.addr());
+
+    // Client side: configure a dedicated session for this workflow run.
+    let client = PolicyRestClient::new(server.addr(), "montage-run-7");
+    client
+        .put_config(
+            &PolicyConfig::default()
+                .with_default_streams(8)
+                .with_threshold(50),
+        )
+        .expect("PUT config");
+    println!("PUT /sessions/montage-run-7/config → ok");
+
+    // Submit a transfer list exactly like the modified Pegasus Transfer
+    // Tool: POST /sessions/{s}/transfers.
+    let mut client = client;
+    let batch: Vec<TransferSpec> = (0..5)
+        .map(|i| TransferSpec {
+            source: Url::parse(&format!("gsiftp://gridftp-vm/data/extra_{i}.dat")).unwrap(),
+            dest: Url::parse(&format!("file://obelix-nfs/scratch/extra_{i}.dat")).unwrap(),
+            bytes: 500_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(7),
+            cluster: None,
+            priority: None,
+        })
+        .collect();
+    let advice = client.evaluate_transfers(batch).expect("POST transfers");
+    println!("\nPOST /sessions/montage-run-7/transfers →");
+    for a in &advice {
+        println!(
+            "  {} {} → streams {}, group {}, order {}",
+            a.id, a.source, a.streams, a.group.0, a.order
+        );
+    }
+
+    // Report completions: POST /sessions/{s}/transfers/complete.
+    client
+        .report_transfers(
+            advice
+                .iter()
+                .map(|a| TransferOutcome {
+                    id: a.id,
+                    success: true,
+                })
+                .collect(),
+        )
+        .expect("POST completions");
+    println!("\nPOST /sessions/montage-run-7/transfers/complete → ok");
+
+    // GET /sessions/{s}/status — the monitoring document.
+    let status = client.status().expect("GET status");
+    println!("\nGET /sessions/montage-run-7/status →");
+    println!("{}", serde_json::to_string_pretty(&status).unwrap());
+}

@@ -1,0 +1,13 @@
+//! Root crate: re-exports of the policy-wms workspace.
+//!
+//! See the README for the crate map; this package exists to host the
+//! runnable examples and the cross-crate integration tests.
+
+pub use pwm_bench as bench;
+pub use pwm_core as core;
+pub use pwm_montage as montage;
+pub use pwm_net as net;
+pub use pwm_rest as rest;
+pub use pwm_rules as rules;
+pub use pwm_sim as sim;
+pub use pwm_workflow as workflow;

@@ -1,0 +1,256 @@
+//! End-to-end integration: plan and execute the paper's Montage workflow
+//! with the Policy Service in the loop, over both in-process and real
+//! loopback-HTTP transports.
+
+use pwm_core::transport::InProcessTransport;
+use pwm_core::{PolicyConfig, PolicyController, WorkflowId, DEFAULT_SESSION};
+use pwm_montage::{montage_replicas, montage_workflow, MontageConfig};
+use pwm_net::{paper_testbed, Network, StreamModel};
+use pwm_rest::{PolicyRestClient, PolicyRestServer};
+use pwm_sim::SimDuration;
+use pwm_workflow::{plan, ComputeSite, ExecutorConfig, PlanJobKind, PlannerConfig, WorkflowExecutor};
+
+fn obelix(nfs: pwm_net::HostId) -> ComputeSite {
+    ComputeSite {
+        name: "obelix".into(),
+        nodes: 9,
+        cores_per_node: 6,
+        storage_host: nfs,
+        storage_host_name: "obelix-nfs".into(),
+        scratch_dir: "/scratch".into(),
+    }
+}
+
+#[test]
+fn the_plan_has_the_papers_89_staging_jobs() {
+    let (_topo, gridftp, apache, nfs) = paper_testbed();
+    let wf = montage_workflow(&MontageConfig {
+        extra_file_bytes: 10_000_000,
+        seed: 1,
+        ..Default::default()
+    });
+    let rc = montage_replicas(&wf, ("apache-isi", apache), ("gridftp-vm", gridftp));
+    let p = plan(&wf, &obelix(nfs), &rc, &PlannerConfig::default()).unwrap();
+    assert_eq!(p.stage_in_count(), 89, "paper: 89 data staging jobs");
+    assert_eq!(
+        p.count_jobs(|j| matches!(j.kind, PlanJobKind::Compute { .. })),
+        89
+    );
+    // Cleanup enabled: one cleanup per scratch file.
+    assert!(p.count_jobs(|j| matches!(j.kind, PlanJobKind::Cleanup { .. })) > 100);
+    p.validate().unwrap();
+}
+
+#[test]
+fn montage_runs_to_completion_with_the_policy_service() {
+    let (topo, gridftp, apache, nfs) = paper_testbed();
+    let site = obelix(nfs);
+    let wf = montage_workflow(&MontageConfig {
+        extra_file_bytes: 10_000_000,
+        seed: 1,
+        ..Default::default()
+    });
+    let rc = montage_replicas(&wf, ("apache-isi", apache), ("gridftp-vm", gridftp));
+    let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+
+    let controller = PolicyController::new(
+        PolicyConfig::default()
+            .with_default_streams(8)
+            .with_threshold(50),
+    );
+    let wan = topo
+        .links()
+        .find(|(_, l)| l.name == "wan-tacc-isi")
+        .map(|(id, _)| id);
+    let network = Network::with_seed(topo, StreamModel::default(), 1);
+    let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
+    let exec = WorkflowExecutor::new(
+        &p,
+        &site,
+        network,
+        transport,
+        ExecutorConfig {
+            seed: 1,
+            policy_call_latency: SimDuration::from_millis(75),
+            watch_link: wan,
+            ..Default::default()
+        },
+    );
+    let (stats, _net) = exec.run();
+    assert!(stats.success, "workflow must complete");
+    assert_eq!(stats.staging_jobs, 89);
+    // All 89 extra files (10 MB each) crossed the WAN.
+    assert!(stats.bytes_staged >= 89.0 * 10.0e6);
+    // Policy memory is fully cleaned up afterwards (cleanup jobs ran).
+    let snap = controller.snapshot(DEFAULT_SESSION).unwrap();
+    assert_eq!(snap.in_progress_transfers, 0);
+    assert_eq!(snap.staged_files, 0, "cleanup should have removed all resources");
+    // The greedy ledger peaked within the Table IV bound for (50, 8): 63.
+    assert!(stats.peak_wan_streams.unwrap() <= 63);
+}
+
+/// The same advice must come back whether the PTT talks to the service
+/// in-process or over real loopback HTTP.
+#[test]
+fn rest_transport_equals_in_process_transport() {
+    use pwm_core::transport::PolicyTransport;
+    use pwm_core::{TransferSpec, Url};
+
+    let make_batch = || {
+        (0..6)
+            .map(|i| TransferSpec {
+                source: Url::new("gsiftp", "gridftp-vm", format!("/data/f{i}.dat")),
+                dest: Url::new("file", "obelix-nfs", format!("/scratch/f{i}.dat")),
+                bytes: 1_000_000,
+                requested_streams: None,
+                workflow: WorkflowId(1),
+                cluster: None,
+                priority: None,
+            })
+            .collect::<Vec<_>>()
+    };
+    let config = PolicyConfig::default()
+        .with_default_streams(8)
+        .with_threshold(20);
+
+    // In-process.
+    let c1 = PolicyController::new(config.clone());
+    let mut t1 = InProcessTransport::new(c1, DEFAULT_SESSION);
+    let a1 = t1.evaluate_transfers(make_batch()).unwrap();
+
+    // Loopback HTTP.
+    let c2 = PolicyController::new(config);
+    let server = PolicyRestServer::start(c2).unwrap();
+    let mut t2 = PolicyRestClient::new(server.addr(), DEFAULT_SESSION);
+    let a2 = t2.evaluate_transfers(make_batch()).unwrap();
+
+    assert_eq!(a1.len(), a2.len());
+    for (x, y) in a1.iter().zip(a2.iter()) {
+        assert_eq!(x.streams, y.streams);
+        assert_eq!(x.action, y.action);
+        assert_eq!(x.order, y.order);
+        assert_eq!(x.source, y.source);
+    }
+    // Threshold 20 with default 8: grants 8, 8, 4, 1, 1, 1.
+    let mut grants: Vec<u32> = a1.iter().map(|a| a.streams).collect();
+    grants.sort_unstable();
+    assert_eq!(grants, vec![1, 1, 1, 4, 8, 8]);
+}
+
+/// A small Montage on a tiny grid driven entirely over loopback HTTP: the
+/// executor's policy callouts go through real sockets and JSON.
+#[test]
+fn small_montage_over_loopback_http() {
+    let (topo, gridftp, apache, nfs) = paper_testbed();
+    let site = obelix(nfs);
+    let wf = montage_workflow(&MontageConfig {
+        rows: 2,
+        cols: 2,
+        extra_file_bytes: 5_000_000,
+        seed: 3,
+    });
+    let rc = montage_replicas(&wf, ("apache-isi", apache), ("gridftp-vm", gridftp));
+    let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+
+    let controller = PolicyController::new(
+        PolicyConfig::default()
+            .with_default_streams(4)
+            .with_threshold(50),
+    );
+    let server = PolicyRestServer::start(controller).unwrap();
+    let client = PolicyRestClient::new(server.addr(), DEFAULT_SESSION);
+    let network = Network::with_seed(topo, StreamModel::default(), 3);
+    let exec = WorkflowExecutor::new(
+        &p,
+        &site,
+        network,
+        Box::new(client.clone()),
+        ExecutorConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let (stats, _net) = exec.run();
+    assert!(stats.success);
+    assert!(stats.policy_calls > 0);
+    let status = client.status().unwrap();
+    assert!(status.stats.transfer_requests > 0);
+    assert_eq!(status.snapshot.in_progress_transfers, 0);
+}
+
+/// Same as the loopback test but with the client speaking XML — the paper's
+/// alternative wire format — end to end through the executor.
+#[test]
+fn small_montage_over_xml_rest() {
+    let (topo, gridftp, apache, nfs) = paper_testbed();
+    let site = obelix(nfs);
+    let wf = montage_workflow(&MontageConfig {
+        rows: 2,
+        cols: 2,
+        extra_file_bytes: 5_000_000,
+        seed: 4,
+    });
+    let rc = montage_replicas(&wf, ("apache-isi", apache), ("gridftp-vm", gridftp));
+    let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+    let controller = PolicyController::new(PolicyConfig::default());
+    let server = PolicyRestServer::start(controller.clone()).unwrap();
+    let client = PolicyRestClient::new(server.addr(), DEFAULT_SESSION)
+        .with_format(pwm_rest::WireFormat::Xml);
+    let network = Network::with_seed(topo, StreamModel::default(), 4);
+    let exec = WorkflowExecutor::new(
+        &p,
+        &site,
+        network,
+        Box::new(client),
+        ExecutorConfig {
+            seed: 4,
+            ..Default::default()
+        },
+    );
+    let (stats, _net) = exec.run();
+    assert!(stats.success, "XML transport must drive the workflow");
+    let snap = controller.snapshot(DEFAULT_SESSION).unwrap();
+    assert_eq!(snap.in_progress_transfers, 0);
+    // The audit log captured the whole XML-driven lifecycle.
+    let log = controller.audit_since(DEFAULT_SESSION, 0).unwrap();
+    assert!(!log.is_empty());
+}
+
+#[test]
+fn clustered_plan_runs_and_groups_transfers() {
+    let (topo, gridftp, apache, nfs) = paper_testbed();
+    let site = obelix(nfs);
+    let wf = montage_workflow(&MontageConfig {
+        extra_file_bytes: 5_000_000,
+        seed: 2,
+        ..Default::default()
+    });
+    let rc = montage_replicas(&wf, ("apache-isi", apache), ("gridftp-vm", gridftp));
+    let p = plan(
+        &wf,
+        &site,
+        &rc,
+        &PlannerConfig {
+            clustering_factor: Some(4),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(p.stage_in_count() < 89, "clustering merges staging jobs");
+
+    let controller = PolicyController::new(PolicyConfig::default());
+    let network = Network::with_seed(topo, StreamModel::default(), 2);
+    let transport = Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
+    let exec = WorkflowExecutor::new(
+        &p,
+        &site,
+        network,
+        transport,
+        ExecutorConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    let (stats, _net) = exec.run();
+    assert!(stats.success);
+}
