@@ -28,13 +28,18 @@ fn seeds() -> Vec<u64> {
 
 fn ablation_clustering() {
     println!("== Ablation: task clustering factor (100 MB extras, greedy-50 @8) ==");
-    println!("{:<14}{:>12}{:>16}", "clustering", "makespan(s)", "staging jobs");
+    println!(
+        "{:<14}{:>12}{:>16}",
+        "clustering", "makespan(s)", "staging jobs"
+    );
     for factor in [None, Some(2), Some(4), Some(8), Some(16)] {
         let mut exp =
             MontageExperiment::paper_setup(mb(100), 8, PolicyMode::Greedy { threshold: 50 });
         exp.clustering_factor = factor;
         let (summary, runs) = exp.run_seeds(&seeds());
-        let label = factor.map(|f| f.to_string()).unwrap_or_else(|| "none".into());
+        let label = factor
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "none".into());
         println!(
             "{:<14}{:>12.0}{:>16}",
             label, summary.mean, runs[0].staging_jobs
@@ -112,7 +117,10 @@ fn ablation_sharing() {
             .with_default_streams(8)
             .with_threshold(50),
     );
-    println!("{:<12}{:>12}{:>16}{:>10}", "workflow", "makespan(s)", "bytes staged", "skipped");
+    println!(
+        "{:<12}{:>12}{:>16}{:>10}",
+        "workflow", "makespan(s)", "bytes staged", "skipped"
+    );
     for wf in 0..2u64 {
         let network = Network::with_seed(topo.clone(), StreamModel::default(), wf + 1);
         let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
@@ -207,48 +215,51 @@ fn ablation_scalability(c: &mut Criterion) {
             }
         }
         let mut counter = 0u64;
-        group.bench_function(format!("lifecycle_with_{resident_files}_resident_files"), |b| {
-            use pwm_core::transport::PolicyTransport;
-            let mut t = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
-            b.iter(|| {
-                // One complete transfer lifecycle (advice → completion →
-                // cleanup advice → cleanup completion): policy memory
-                // returns to its resident baseline, so iterations are
-                // independent and the measurement reflects the cost of the
-                // four REST operations at this memory size.
-                counter += 1;
-                let src = Url::new("gsiftp", "gridftp-vm", format!("/data/q{counter}.dat"));
-                let dst = Url::new("file", "obelix-nfs", format!("/scratch/q{counter}.dat"));
-                let advice = t
-                    .evaluate_transfers(vec![TransferSpec {
-                        source: src,
-                        dest: dst.clone(),
-                        bytes: 1,
-                        requested_streams: None,
-                        workflow: WorkflowId(9999),
-                        cluster: None,
-                        priority: None,
+        group.bench_function(
+            format!("lifecycle_with_{resident_files}_resident_files"),
+            |b| {
+                use pwm_core::transport::PolicyTransport;
+                let mut t = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
+                b.iter(|| {
+                    // One complete transfer lifecycle (advice → completion →
+                    // cleanup advice → cleanup completion): policy memory
+                    // returns to its resident baseline, so iterations are
+                    // independent and the measurement reflects the cost of the
+                    // four REST operations at this memory size.
+                    counter += 1;
+                    let src = Url::new("gsiftp", "gridftp-vm", format!("/data/q{counter}.dat"));
+                    let dst = Url::new("file", "obelix-nfs", format!("/scratch/q{counter}.dat"));
+                    let advice = t
+                        .evaluate_transfers(vec![TransferSpec {
+                            source: src,
+                            dest: dst.clone(),
+                            bytes: 1,
+                            requested_streams: None,
+                            workflow: WorkflowId(9999),
+                            cluster: None,
+                            priority: None,
+                        }])
+                        .unwrap();
+                    t.report_transfers(vec![pwm_core::TransferOutcome {
+                        id: advice[0].id,
+                        success: true,
                     }])
                     .unwrap();
-                t.report_transfers(vec![pwm_core::TransferOutcome {
-                    id: advice[0].id,
-                    success: true,
-                }])
-                .unwrap();
-                let cleanups = t
-                    .evaluate_cleanups(vec![pwm_core::CleanupSpec {
-                        file: dst,
-                        workflow: WorkflowId(9999),
+                    let cleanups = t
+                        .evaluate_cleanups(vec![pwm_core::CleanupSpec {
+                            file: dst,
+                            workflow: WorkflowId(9999),
+                        }])
+                        .unwrap();
+                    t.report_cleanups(vec![pwm_core::CleanupOutcome {
+                        id: cleanups[0].id,
+                        success: true,
                     }])
                     .unwrap();
-                t.report_cleanups(vec![pwm_core::CleanupOutcome {
-                    id: cleanups[0].id,
-                    success: true,
-                }])
-                .unwrap();
-                black_box(advice)
-            })
-        });
+                    black_box(advice)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -258,10 +269,15 @@ fn ablation_scalability(c: &mut Criterion) {
 /// decisive; Epigenomics stages only at lane heads and barely cares.
 fn ablation_workloads() {
     use pwm_core::transport::{NoPolicyTransport, PolicyTransport};
-    use pwm_montage::{cybershake_like, epigenomics_like, single_source_replicas,
-                      CyberShakeConfig, EpigenomicsConfig};
+    use pwm_montage::{
+        cybershake_like, epigenomics_like, single_source_replicas, CyberShakeConfig,
+        EpigenomicsConfig,
+    };
     println!("== Ablation: policy value across workload shapes ==");
-    println!("{:<22}{:>14}{:>14}{:>16}", "workload", "no-policy(s)", "greedy-50(s)", "dedup-saved(GB)");
+    println!(
+        "{:<22}{:>14}{:>14}{:>16}",
+        "workload", "no-policy(s)", "greedy-50(s)", "dedup-saved(GB)"
+    );
     let (topo, gridftp, _apache, nfs) = paper_testbed();
     let site = ComputeSite {
         name: "obelix".into(),
@@ -272,15 +288,29 @@ fn ablation_workloads() {
         scratch_dir: "/scratch".into(),
     };
     let workloads: Vec<(&str, pwm_workflow::AbstractWorkflow)> = vec![
-        ("cybershake (shared)", cybershake_like(&CyberShakeConfig::default())),
-        ("epigenomics (lanes)", epigenomics_like(&EpigenomicsConfig::default())),
+        (
+            "cybershake (shared)",
+            cybershake_like(&CyberShakeConfig::default()),
+        ),
+        (
+            "epigenomics (lanes)",
+            epigenomics_like(&EpigenomicsConfig::default()),
+        ),
         ("montage 10MB aug", {
-            montage_workflow(&MontageConfig { extra_file_bytes: mb(10), seed: 1, ..Default::default() })
+            montage_workflow(&MontageConfig {
+                extra_file_bytes: mb(10),
+                seed: 1,
+                ..Default::default()
+            })
         }),
     ];
     for (label, wf) in workloads {
         let rc = if label.starts_with("montage") {
-            montage_replicas(&wf, ("apache-isi", pwm_net::HostId(1)), ("gridftp-vm", gridftp))
+            montage_replicas(
+                &wf,
+                ("apache-isi", pwm_net::HostId(1)),
+                ("gridftp-vm", gridftp),
+            )
         } else {
             single_source_replicas(&wf, "gridftp-vm", gridftp)
         };
@@ -289,7 +319,9 @@ fn ablation_workloads() {
         for policy in [false, true] {
             let transport: Box<dyn PolicyTransport> = if policy {
                 let controller = PolicyController::new(
-                    PolicyConfig::default().with_default_streams(8).with_threshold(50),
+                    PolicyConfig::default()
+                        .with_default_streams(8)
+                        .with_threshold(50),
                 );
                 Box::new(InProcessTransport::new(controller, DEFAULT_SESSION))
             } else {
@@ -301,7 +333,10 @@ fn ablation_workloads() {
                 &site,
                 network,
                 transport,
-                ExecutorConfig { seed: 3, ..Default::default() },
+                ExecutorConfig {
+                    seed: 3,
+                    ..Default::default()
+                },
             );
             let (stats, _) = exec.run();
             assert!(stats.success, "{label} run failed");

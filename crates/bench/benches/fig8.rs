@@ -20,11 +20,7 @@ fn bench_fig8(c: &mut Criterion) {
     println!("{}", render_figure(&figure));
 
     // Time one representative point of the figure.
-    let exp = MontageExperiment::paper_setup(
-        mb(500),
-        8,
-        PolicyMode::Greedy { threshold: 50 },
-    );
+    let exp = MontageExperiment::paper_setup(mb(500), 8, PolicyMode::Greedy { threshold: 50 });
     c.bench_function("fig8/greedy50_8streams_one_run", |b| {
         b.iter(|| black_box(exp.run_once(1)))
     });

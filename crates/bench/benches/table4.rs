@@ -20,9 +20,15 @@ fn bench_table4(c: &mut Criterion) {
         .zip(pwm_bench::table4::PAPER_TABLE.iter())
         .all(|(row, paper)| row.max_streams.as_slice() == paper.as_slice());
     println!("analytic == paper Table IV: {matches_paper}");
-    println!("analytic == full-service computation: {}\n", analytic == via_service);
+    println!(
+        "analytic == full-service computation: {}\n",
+        analytic == via_service
+    );
     assert!(matches_paper, "Table IV regression");
-    assert_eq!(analytic, via_service, "service diverged from the arithmetic");
+    assert_eq!(
+        analytic, via_service,
+        "service diverged from the arithmetic"
+    );
 
     c.bench_function("table4/analytic", |b| {
         b.iter(|| black_box(table4_analytic()))

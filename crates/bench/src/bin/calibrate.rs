@@ -18,11 +18,7 @@ fn main() {
     ] {
         let exp = MontageExperiment::paper_setup(mb(size_mb), streams, mode);
         let stats = exp.run_once(1);
-        let wan_transfers: Vec<_> = stats
-            .transfers
-            .iter()
-            .filter(|t| t.bytes > 1.0e6)
-            .collect();
+        let wan_transfers: Vec<_> = stats.transfers.iter().filter(|t| t.bytes > 1.0e6).collect();
         let goodput: f64 = if wan_transfers.is_empty() {
             0.0
         } else {
@@ -40,4 +36,3 @@ fn main() {
         );
     }
 }
-

@@ -10,49 +10,120 @@ use pwm_net::{paper_testbed, FlowSpec, Network, StreamModel};
 use pwm_sim::SimTime;
 
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("turb") { turbulence_sample(); return; }
+    if std::env::args().nth(1).as_deref() == Some("turb") {
+        turbulence_sample();
+        return;
+    }
     // 20 concurrent flows, replenished to 89 total, varying streams each.
     for streams in [3u32, 4, 5, 8, 10] {
         let (topo, g, _a, n) = paper_testbed();
-        let wan = topo.links().find(|(_, l)| l.name == "wan-tacc-isi").map(|(id,_)| id).unwrap();
+        let wan = topo
+            .links()
+            .find(|(_, l)| l.name == "wan-tacc-isi")
+            .map(|(id, _)| id)
+            .unwrap();
         let mut net = Network::new(topo, StreamModel::default());
         let bytes = 100.0e6;
         let total = 89u64;
         let mut started = 0u64;
         let mut done = 0u64;
-        for _ in 0..20 { net.start_flow(net.now(), FlowSpec{src:g,dst:n,bytes,streams,tag:started}); started+=1; }
+        for _ in 0..20 {
+            net.start_flow(
+                net.now(),
+                FlowSpec {
+                    src: g,
+                    dst: n,
+                    bytes,
+                    streams,
+                    tag: started,
+                },
+            );
+            started += 1;
+        }
         let mut last = SimTime::ZERO;
         while done < total {
             let t = net.next_wakeup().expect("wakeup");
             net.advance(t);
             let recs = net.take_completed();
-            for r in recs { done += 1; last = r.completed_at;
-                if started < total { net.start_flow(net.now(), FlowSpec{src:g,dst:n,bytes,streams,tag:started}); started+=1; }
+            for r in recs {
+                done += 1;
+                last = r.completed_at;
+                if started < total {
+                    net.start_flow(
+                        net.now(),
+                        FlowSpec {
+                            src: g,
+                            dst: n,
+                            bytes,
+                            streams,
+                            tag: started,
+                        },
+                    );
+                    started += 1;
+                }
             }
         }
         // sample turbulence mid-run via a second pass
-        println!("streams/flow {:>2}  total {:>3}  finish {:>8.0}s  peakWAN {}  agg {:.3} MB/s",
-            streams, streams*20, last.as_secs_f64(), net.peak_streams(wan),
-            (total as f64 * bytes) / last.as_secs_f64() / 1e6);
+        println!(
+            "streams/flow {:>2}  total {:>3}  finish {:>8.0}s  peakWAN {}  agg {:.3} MB/s",
+            streams,
+            streams * 20,
+            last.as_secs_f64(),
+            net.peak_streams(wan),
+            (total as f64 * bytes) / last.as_secs_f64() / 1e6
+        );
     }
 }
 
 fn turbulence_sample() {
     use pwm_net::{paper_testbed, FlowSpec, Network, StreamModel};
     let (topo, g, _a, n) = paper_testbed();
-    let wan = topo.links().find(|(_, l)| l.name == "wan-tacc-isi").map(|(id,_)| id).unwrap();
+    let wan = topo
+        .links()
+        .find(|(_, l)| l.name == "wan-tacc-isi")
+        .map(|(id, _)| id)
+        .unwrap();
     let mut net = Network::new(topo, StreamModel::default());
     let mut started = 0u64;
-    for _ in 0..20 { net.start_flow(net.now(), FlowSpec{src:g,dst:n,bytes:100.0e6,streams:8,tag:started}); started+=1; }
+    for _ in 0..20 {
+        net.start_flow(
+            net.now(),
+            FlowSpec {
+                src: g,
+                dst: n,
+                bytes: 100.0e6,
+                streams: 8,
+                tag: started,
+            },
+        );
+        started += 1;
+    }
     let mut samples = 0;
     while samples < 40 {
         let t = net.next_wakeup().unwrap();
         net.advance(t);
         for _r in net.take_completed() {
-            if started < 89 { net.start_flow(net.now(), FlowSpec{src:g,dst:n,bytes:100.0e6,streams:8,tag:started}); started+=1; }
+            if started < 89 {
+                net.start_flow(
+                    net.now(),
+                    FlowSpec {
+                        src: g,
+                        dst: n,
+                        bytes: 100.0e6,
+                        streams: 8,
+                        tag: started,
+                    },
+                );
+                started += 1;
+            }
         }
         if net.now().as_secs_f64() > 100.0 {
-            println!("t={:>7.1}s streams={} turb={:.3}", net.now().as_secs_f64(), net.current_streams(wan), net.link_turbulence(wan));
+            println!(
+                "t={:>7.1}s streams={} turb={:.3}",
+                net.now().as_secs_f64(),
+                net.current_streams(wan),
+                net.link_turbulence(wan)
+            );
             samples += 1;
         }
     }

@@ -16,11 +16,7 @@ use pwm_bench::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let seeds: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5)
-        .max(1);
+    let seeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
 
     match what {
         "table4" => table4(),
@@ -59,7 +55,9 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|all [seeds]");
+            eprintln!(
+                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|all [seeds]"
+            );
             std::process::exit(2);
         }
     }
@@ -87,21 +85,32 @@ fn timeline(extra_mb: u64) {
     // Coarse time series: decade buckets of the run.
     let n = tl.samples().len().max(1);
     let per = (n / 10).max(1);
-    println!("  {:<12}{:>10}{:>14}{:>12}", "t(s)", "streams", "thru(MB/s)", "turb");
+    println!(
+        "  {:<12}{:>10}{:>14}{:>12}",
+        "t(s)", "streams", "thru(MB/s)", "turb"
+    );
     for chunk in tl.samples().chunks(per) {
         let t = chunk[0].at.as_secs_f64();
         let streams = chunk.iter().map(|s| s.streams).max().unwrap_or(0);
         let thru = chunk.iter().map(|s| s.throughput).sum::<f64>() / chunk.len() as f64;
         let turb = chunk.iter().map(|s| s.turbulence).sum::<f64>() / chunk.len() as f64;
-        println!("  {:<12.0}{:>10}{:>14.2}{:>12.2}", t, streams, thru / 1e6, turb);
+        println!(
+            "  {:<12.0}{:>10}{:>14.2}{:>12.2}",
+            t,
+            streams,
+            thru / 1e6,
+            turb
+        );
     }
     println!();
 }
 
 fn table4() {
     println!("{}", render_table4(&table4_analytic()));
-    println!("(verified identical when driven through the full Policy Service: {})",
-        table4_via_service() == table4_analytic());
+    println!(
+        "(verified identical when driven through the full Policy Service: {})",
+        table4_via_service() == table4_analytic()
+    );
     println!();
 }
 
@@ -144,7 +153,10 @@ fn shapes(seeds: usize) {
             }
         }
         if let Some(s) = point(&f, "no-policy", 4) {
-            println!("  {:<12} @4  {:>10.0}s ±{:.0}", "no-policy", s.mean, s.stddev);
+            println!(
+                "  {:<12} @4  {:>10.0}s ±{:.0}",
+                "no-policy", s.mean, s.stddev
+            );
         }
         headline(&f);
         println!();

@@ -15,9 +15,7 @@ use pwm_core::{
 use pwm_montage::{montage_replicas, montage_workflow, MontageConfig};
 use pwm_net::{paper_testbed, LinkId, Network, StreamModel};
 use pwm_sim::{SimDuration, Summary};
-use pwm_workflow::{
-    plan, ComputeSite, ExecutorConfig, PlannerConfig, RunStats, WorkflowExecutor,
-};
+use pwm_workflow::{plan, ComputeSite, ExecutorConfig, PlannerConfig, RunStats, WorkflowExecutor};
 
 /// Which staging policy governs the run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,11 +118,7 @@ impl MontageExperiment {
             seed,
             ..Default::default()
         });
-        let replicas = montage_replicas(
-            &workflow,
-            ("apache-isi", apache),
-            ("gridftp-vm", gridftp),
-        );
+        let replicas = montage_replicas(&workflow, ("apache-isi", apache), ("gridftp-vm", gridftp));
         let planner_cfg = PlannerConfig {
             clustering_factor: self.clustering_factor,
             cleanup: true,
@@ -132,8 +126,8 @@ impl MontageExperiment {
             output_site: None,
             priority: self.priority,
         };
-        let executable = plan(&workflow, &site, &replicas, &planner_cfg)
-            .expect("montage plan must succeed");
+        let executable =
+            plan(&workflow, &site, &replicas, &planner_cfg).expect("montage plan must succeed");
 
         let network = Network::with_seed(topo, StreamModel::default(), seed);
         let (transport, latency): (Box<dyn PolicyTransport>, SimDuration) = match self.mode {
@@ -190,17 +184,46 @@ impl MontageExperiment {
     }
 
     /// Run several seeds; returns the makespan summary (seconds) and the
-    /// individual run stats. Seeds run on parallel threads — each run owns
-    /// its entire simulated world, so they are embarrassingly parallel and
-    /// the results are identical to a sequential run.
+    /// individual run stats, ordered like `seeds`. Each run owns its entire
+    /// simulated world, so seeds are embarrassingly parallel; instead of one
+    /// thread per seed, a bounded pool of `available_parallelism` workers
+    /// drains a crossbeam job channel, keeping large seed sweeps from
+    /// oversubscribing the host. Results are identical to a sequential run.
     pub fn run_seeds(&self, seeds: &[u64]) -> (Summary, Vec<RunStats>) {
-        let runs: Vec<RunStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&seed| scope.spawn(move || self.run_once(seed)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(seeds.len().max(1));
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, u64)>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, RunStats)>();
+        let mut runs: Vec<Option<RunStats>> = (0..seeds.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((index, seed)) = rx.recv() {
+                        tx.send((index, self.run_once(seed)))
+                            .expect("result channel closed before the sweep finished");
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(res_tx);
+            for (index, &seed) in seeds.iter().enumerate() {
+                job_tx
+                    .send((index, seed))
+                    .expect("worker pool hung up early");
+            }
+            drop(job_tx);
+            for (index, stats) in res_rx.iter() {
+                runs[index] = Some(stats);
+            }
         });
+        let runs: Vec<RunStats> = runs
+            .into_iter()
+            .map(|r| r.expect("seed run panicked"))
+            .collect();
         let makespans: Vec<f64> = runs.iter().map(|r| r.makespan_secs()).collect();
         (Summary::of(&makespans), runs)
     }
@@ -232,8 +255,7 @@ mod tests {
 
     #[test]
     fn augmented_run_stages_the_extra_bytes() {
-        let exp =
-            MontageExperiment::paper_setup(mb(10), 4, PolicyMode::Greedy { threshold: 50 });
+        let exp = MontageExperiment::paper_setup(mb(10), 4, PolicyMode::Greedy { threshold: 50 });
         let stats = exp.run_once(1);
         assert!(stats.success);
         // 89 × 10 MB extra + the ordinary Montage inputs.
@@ -242,6 +264,20 @@ mod tests {
             "bytes staged {} below the 890 MB of extras",
             stats.bytes_staged
         );
+    }
+
+    #[test]
+    fn run_seeds_orders_results_like_the_input_seeds() {
+        let exp = MontageExperiment::paper_setup(0, 4, PolicyMode::Greedy { threshold: 50 });
+        // More seeds than workers on small runners, so the pool must queue.
+        let seeds = [3, 1, 2, 5, 4];
+        let (summary, runs) = exp.run_seeds(&seeds);
+        assert_eq!(runs.len(), seeds.len());
+        for (&seed, run) in seeds.iter().zip(&runs) {
+            let solo = exp.run_once(seed);
+            assert_eq!(run.makespan, solo.makespan, "seed {seed} out of order");
+        }
+        assert!(summary.mean > 0.0);
     }
 
     #[test]
@@ -256,8 +292,7 @@ mod tests {
     fn table_iv_peak_streams_hold_in_simulation() {
         // Threshold 50, default 8: the WAN must never carry more than 63
         // policy-allocated streams (Table IV's cell).
-        let exp =
-            MontageExperiment::paper_setup(mb(100), 8, PolicyMode::Greedy { threshold: 50 });
+        let exp = MontageExperiment::paper_setup(mb(100), 8, PolicyMode::Greedy { threshold: 50 });
         let stats = exp.run_once(2);
         assert!(stats.success);
         let peak = stats.peak_wan_streams.unwrap();

@@ -23,7 +23,7 @@ pub mod table4;
 
 pub use experiment::{default_seeds, mb, MontageExperiment, PolicyMode};
 pub use figures::{
-    fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv,
-    Figure, Series,
+    fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv, Figure,
+    Series,
 };
 pub use table4::{render as render_table4, table4_analytic, table4_via_service, Table4Row};

@@ -21,6 +21,8 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("balanced: create the per-cluster ledger")
             .salience(52)
+            .watches::<TransferFact>()
+            .watches::<ClusterAllocFact>()
             .when(|wm, ctx: &PolicyCtx| {
                 if ctx.config.allocation != AllocationPolicy::Balanced {
                     return Vec::new();
@@ -72,6 +74,9 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("balanced: enforce the per-cluster threshold on a transfer")
             .salience(50)
+            .watches::<TransferFact>()
+            .watches::<ClusterAllocFact>()
+            .watches::<HostPairFact>()
             .when(|wm, ctx: &PolicyCtx| {
                 if ctx.config.allocation != AllocationPolicy::Balanced {
                     return Vec::new();
@@ -87,8 +92,8 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
                     }
                     let Some(group) = t.group else { continue };
                     let cluster = t.cluster_or_default();
-                    let Some((ch, _)) = wm
-                        .find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
+                    let Some((ch, _)) =
+                        wm.find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
                     else {
                         continue;
                     };
@@ -134,6 +139,8 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("balanced: release the cluster ledger on completion or failure")
             .salience(71) // must run before the Table I removal rules (70)
+            .watches::<TransferFact>()
+            .watches::<ClusterAllocFact>()
             .when(|wm, ctx: &PolicyCtx| {
                 if ctx.config.allocation != AllocationPolicy::Balanced {
                     return Vec::new();
@@ -149,8 +156,8 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
                     }
                     let Some(group) = t.group else { continue };
                     let cluster = t.cluster_or_default();
-                    if let Some((ch, _)) = wm
-                        .find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
+                    if let Some((ch, _)) =
+                        wm.find::<ClusterAllocFact>(|c| c.group == group && c.cluster == cluster)
                     {
                         out.push(vec![h, ch]);
                     }
@@ -219,8 +226,7 @@ mod tests {
             });
         }
         s.fire_all(&mut ctx);
-        s.wm
-            .iter::<TransferFact>()
+        s.wm.iter::<TransferFact>()
             .map(|(_, t)| (t.cluster_or_default().0, t.charged_streams))
             .collect()
     }
@@ -237,10 +243,7 @@ mod tests {
     fn each_cluster_gets_its_share() {
         // Threshold 40, 2 clusters → 20 per cluster; default 8.
         // Cluster 0 submits 4 transfers: 8, 8, 4, 1.
-        let grants = run_batch(
-            balanced_cfg(40, 2, 8),
-            (0..4).map(|i| spec(i, 0)).collect(),
-        );
+        let grants = run_batch(balanced_cfg(40, 2, 8), (0..4).map(|i| spec(i, 0)).collect());
         let c0: Vec<u32> = grants.iter().map(|&(_, g)| g).collect();
         assert_eq!(c0, vec![8, 8, 4, 1]);
     }
@@ -255,7 +258,11 @@ mod tests {
         let late = grants.iter().find(|&&(c, _)| c == 1).unwrap();
         assert_eq!(late.1, 8, "late cluster receives its reserved share");
         // Cluster 0 totals its own share (+ starvation singles).
-        let c0_total: u32 = grants.iter().filter(|&&(c, _)| c == 0).map(|&(_, g)| g).sum();
+        let c0_total: u32 = grants
+            .iter()
+            .filter(|&&(c, _)| c == 0)
+            .map(|&(_, g)| g)
+            .sum();
         assert_eq!(c0_total, 8 + 8 + 4 + 1 + 1 + 1);
     }
 
@@ -295,12 +302,11 @@ mod tests {
             cluster_released: false,
         });
         s.fire_all(&mut ctx);
-        let late = s
-            .wm
-            .find::<TransferFact>(|t| t.id == TransferId(100))
-            .unwrap()
-            .1
-            .charged_streams;
+        let late =
+            s.wm.find::<TransferFact>(|t| t.id == TransferId(100))
+                .unwrap()
+                .1
+                .charged_streams;
         assert_eq!(late, 1, "greedy gives the latecomer a single stream");
     }
 

@@ -144,9 +144,11 @@ impl PolicyConfig {
 }
 
 mod pair_thresholds_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Serialize, Value};
     use std::collections::BTreeMap;
 
+    /// Wire form: a list of `{src_host, dst_host, threshold}` entries (tuple
+    /// map keys have no JSON encoding).
     #[derive(Serialize, Deserialize)]
     struct Entry {
         src_host: String,
@@ -154,10 +156,7 @@ mod pair_thresholds_serde {
         threshold: u32,
     }
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(String, String), u32>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize(map: &BTreeMap<(String, String), u32>) -> Value {
         let entries: Vec<Entry> = map
             .iter()
             .map(|((s, d), t)| Entry {
@@ -166,13 +165,11 @@ mod pair_thresholds_serde {
                 threshold: *t,
             })
             .collect();
-        entries.serialize(ser)
+        entries.to_value()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(String, String), u32>, D::Error> {
-        let entries = Vec::<Entry>::deserialize(de)?;
+    pub fn deserialize(v: &Value) -> Result<BTreeMap<(String, String), u32>, serde::Error> {
+        let entries = Vec::<Entry>::from_value(v)?;
         Ok(entries
             .into_iter()
             .map(|e| ((e.src_host, e.dst_host), e.threshold))

@@ -9,7 +9,7 @@
 use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
 use crate::config::PolicyConfig;
 use crate::model::{CleanupSpec, TransferSpec};
-use crate::service::{MemorySnapshot, PolicyService, ServiceStats};
+use crate::service::{MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -124,6 +124,11 @@ impl PolicyController {
         self.with_session(session, |s| s.stats())
     }
 
+    /// A session's per-rule engine counters.
+    pub fn rule_stats(&self, session: &str) -> Result<Vec<RuleCounters>, ControllerError> {
+        self.with_session(session, |s| s.rule_stats())
+    }
+
     /// A session's audit records with sequence ≥ `since`.
     pub fn audit_since(
         &self,
@@ -160,7 +165,9 @@ mod tests {
     fn default_session_exists() {
         let c = PolicyController::new(PolicyConfig::default());
         assert_eq!(c.session_names(), vec![DEFAULT_SESSION.to_string()]);
-        let advice = c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)]).unwrap();
+        let advice = c
+            .evaluate_transfers(DEFAULT_SESSION, vec![spec(1)])
+            .unwrap();
         assert_eq!(advice.len(), 1);
     }
 
@@ -175,7 +182,8 @@ mod tests {
     fn sessions_are_isolated() {
         let c = PolicyController::new(PolicyConfig::default());
         c.create_session("other", PolicyConfig::default());
-        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)]).unwrap();
+        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)])
+            .unwrap();
         // The duplicate is only a duplicate within the same session.
         let advice = c.evaluate_transfers("other", vec![spec(1)]).unwrap();
         assert!(advice[0].should_execute());
@@ -195,7 +203,8 @@ mod tests {
     fn controller_is_cloneable_and_shares_state() {
         let c = PolicyController::new(PolicyConfig::default());
         let c2 = c.clone();
-        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)]).unwrap();
+        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)])
+            .unwrap();
         assert_eq!(c2.stats(DEFAULT_SESSION).unwrap().transfer_requests, 1);
     }
 
@@ -208,7 +217,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..20 {
                     let n = thread * 100 + i;
-                    c.evaluate_transfers(DEFAULT_SESSION, vec![spec(n)]).unwrap();
+                    c.evaluate_transfers(DEFAULT_SESSION, vec![spec(n)])
+                        .unwrap();
                 }
             }));
         }

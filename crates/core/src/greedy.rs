@@ -10,6 +10,7 @@
 use crate::ctx::PolicyCtx;
 use crate::ledger::greedy_grant;
 use crate::model::{HostPairFact, TransferFact};
+use crate::rules_base::host_pair_for;
 use pwm_rules::{Rule, Session};
 
 /// Install the greedy allocation rules (salience 50, i.e. after all Table I
@@ -22,6 +23,8 @@ pub fn install_greedy_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("greedy: enforce the parallel-streams threshold on a transfer")
             .salience(50)
+            .watches::<TransferFact>()
+            .watches::<HostPairFact>()
             .when(|wm, ctx: &PolicyCtx| {
                 if ctx.config.allocation != crate::config::AllocationPolicy::Greedy {
                     return Vec::new();
@@ -35,9 +38,8 @@ pub fn install_greedy_rules(session: &mut Session<PolicyCtx>) {
                     {
                         continue;
                     }
-                    if let Some((ph, _)) = wm.find::<HostPairFact>(|p| {
-                        p.src_host == t.spec.source.host && p.dst_host == t.spec.dest.host
-                    }) {
+                    if let Some((ph, _)) = host_pair_for(wm, &t.spec.source.host, &t.spec.dest.host)
+                    {
                         out.push(vec![h, ph]);
                     }
                 }
@@ -121,11 +123,10 @@ mod tests {
             .with_allocation(AllocationPolicy::Greedy);
         let (mut s, mut ctx) = session_with(cfg);
         submit_batch(&mut s, &mut ctx, (0..20).map(spec).collect());
-        let grants: Vec<u32> = s
-            .wm
-            .iter::<TransferFact>()
-            .map(|(_, t)| t.charged_streams)
-            .collect();
+        let grants: Vec<u32> =
+            s.wm.iter::<TransferFact>()
+                .map(|(_, t)| t.charged_streams)
+                .collect();
         let total: u32 = grants.iter().sum();
         assert_eq!(total, 63, "Table IV: threshold 50, default 8 → 63");
         assert_eq!(grants.iter().filter(|&&g| g == 8).count(), 6);
@@ -172,11 +173,10 @@ mod tests {
         b.source = Url::new("gsiftp", "other-site", "/data/g.dat");
         a.bytes = 1;
         submit_batch(&mut s, &mut ctx, vec![a, b]);
-        let grants: Vec<u32> = s
-            .wm
-            .iter::<TransferFact>()
-            .map(|(_, t)| t.charged_streams)
-            .collect();
+        let grants: Vec<u32> =
+            s.wm.iter::<TransferFact>()
+                .map(|(_, t)| t.charged_streams)
+                .collect();
         // Both fit fully: different pairs don't share a threshold.
         assert_eq!(grants, vec![30, 30]);
         assert_eq!(s.wm.count::<HostPairFact>(), 2);
@@ -218,10 +218,9 @@ mod tests {
             cluster_released: false,
         });
         s.fire_all(&mut ctx);
-        let (_, t) = s
-            .wm
-            .find::<TransferFact>(|t| t.id == TransferId(99))
-            .unwrap();
+        let (_, t) =
+            s.wm.find::<TransferFact>(|t| t.id == TransferId(99))
+                .unwrap();
         assert_eq!(t.charged_streams, 24, "clipped to remaining headroom");
     }
 
@@ -232,11 +231,10 @@ mod tests {
             .with_threshold(50);
         let (mut s, mut ctx) = session_with(cfg);
         submit_batch(&mut s, &mut ctx, vec![spec(0), spec(0)]);
-        let charged: Vec<u32> = s
-            .wm
-            .iter::<TransferFact>()
-            .map(|(_, t)| t.charged_streams)
-            .collect();
+        let charged: Vec<u32> =
+            s.wm.iter::<TransferFact>()
+                .map(|(_, t)| t.charged_streams)
+                .collect();
         assert_eq!(charged.iter().sum::<u32>(), 8, "duplicate not charged");
     }
 
@@ -248,11 +246,10 @@ mod tests {
             .with_pair_threshold("tacc", "isi", 10);
         let (mut s, mut ctx) = session_with(cfg);
         submit_batch(&mut s, &mut ctx, (0..3).map(spec).collect());
-        let grants: Vec<u32> = s
-            .wm
-            .iter::<TransferFact>()
-            .map(|(_, t)| t.charged_streams)
-            .collect();
+        let grants: Vec<u32> =
+            s.wm.iter::<TransferFact>()
+                .map(|(_, t)| t.charged_streams)
+                .collect();
         assert_eq!(grants, vec![8, 2, 1]);
     }
 }

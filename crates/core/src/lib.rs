@@ -57,19 +57,19 @@ pub mod service;
 pub mod transport;
 
 pub use adaptive::{ThresholdTuner, TransferObservation};
-pub use audit::{AuditLog, AuditRecord, PolicyEvent};
 pub use advice::{
     CleanupAction, CleanupAdvice, CleanupOutcome, TransferAction, TransferAdvice, TransferOutcome,
 };
+pub use audit::{AuditLog, AuditRecord, PolicyEvent};
 pub use config::{AllocationPolicy, OrderingPolicy, PolicyConfig};
 pub use controller::{ControllerError, PolicyController, DEFAULT_SESSION};
 pub use ctx::PolicyCtx;
+pub use failover::FailoverTransport;
 pub use ledger::{balanced_grant, greedy_grant, greedy_total_for_concurrent_jobs, no_policy_total};
 pub use model::{
     CleanupId, CleanupSpec, ClusterId, GroupId, SuppressReason, TransferId, TransferSpec, Url,
     WorkflowId,
 };
 pub use priority::{assign_priorities, PriorityAlgorithm, WorkflowGraph};
-pub use service::{HostPairSnapshot, MemorySnapshot, PolicyService, ServiceStats};
-pub use failover::FailoverTransport;
+pub use service::{HostPairSnapshot, MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
 pub use transport::{InProcessTransport, NoPolicyTransport, PolicyTransport, TransportError};

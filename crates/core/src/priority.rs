@@ -51,7 +51,10 @@ impl WorkflowGraph {
     /// Add a dependency edge `parent → child` (child consumes parent's
     /// output). Duplicate edges are ignored.
     pub fn add_edge(&mut self, parent: usize, child: usize) {
-        assert!(parent < self.len() && child < self.len(), "node out of range");
+        assert!(
+            parent < self.len() && child < self.len(),
+            "node out of range"
+        );
         if !self.children[parent].contains(&child) {
             self.children[parent].push(child);
             self.parents[child].push(parent);
@@ -70,7 +73,9 @@ impl WorkflowGraph {
 
     /// Nodes with no parents, in index order.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.parents[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .collect()
     }
 
     /// Kahn topological order; `Err(CycleError)` if the graph has a cycle.
@@ -336,7 +341,10 @@ mod tests {
         let mut g = WorkflowGraph::new(4);
         g.add_edge(0, 1);
         g.add_edge(2, 3);
-        for algo in [PriorityAlgorithm::BreadthFirst, PriorityAlgorithm::DepthFirst] {
+        for algo in [
+            PriorityAlgorithm::BreadthFirst,
+            PriorityAlgorithm::DepthFirst,
+        ] {
             let p = assign_priorities(&g, algo);
             assert!(p.iter().all(|&x| x > 0), "{algo:?}: every node ranked");
         }

@@ -8,18 +8,49 @@
 use crate::ctx::PolicyCtx;
 use crate::model::{
     CleanupFact, CleanupState, HostPairFact, ResourceFact, ResourceState, SuppressReason,
-    TransferFact, TransferState,
+    TransferFact, TransferState, Url,
 };
-use pwm_rules::{Rule, Session};
+use pwm_rules::{FactHandle, Rule, Session, WorkingMemory};
+
+/// Indexed probe: the resource tracking the staged file at `dest`, if any.
+/// Resources are unique per destination ("create a resource" guards on it).
+pub(crate) fn resource_for<'a>(
+    wm: &'a WorkingMemory,
+    dest: &Url,
+) -> Option<(FactHandle, &'a ResourceFact)> {
+    wm.find_by::<ResourceFact, Url>(dest)
+}
+
+/// Indexed probe: the allocation ledger for a (source, destination) host
+/// pair, if any. Pairs are unique ("generate a unique group ID" guards).
+pub(crate) fn host_pair_for<'a>(
+    wm: &'a WorkingMemory,
+    src_host: &str,
+    dst_host: &str,
+) -> Option<(FactHandle, &'a HostPairFact)> {
+    wm.find_by::<HostPairFact, (String, String)>(&(src_host.to_string(), dst_host.to_string()))
+}
 
 /// Install the Table I rules into a session.
 pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
+    // Alpha memories for the equality joins below: rules probe resources by
+    // destination URL and ledgers by host pair instead of scanning the full
+    // fact population on every re-evaluation.
+    session
+        .wm
+        .register_index::<ResourceFact, Url>(|r| r.dest.clone());
+    session
+        .wm
+        .register_index::<HostPairFact, (String, String)>(|p| {
+            (p.src_host.clone(), p.dst_host.clone())
+        });
     // "Remove duplicate transfers from the transfer list": a batch transfer
     // whose (source, dest) already appears earlier in the same batch is
     // suppressed.
     session.add_rule(
         Rule::new("remove duplicate transfers from the transfer list")
             .salience(100)
+            .watches::<TransferFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, t) in wm.iter::<TransferFact>() {
@@ -53,6 +84,7 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("remove transfers that are already in progress")
             .salience(95)
+            .watches::<TransferFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, t) in wm.iter::<TransferFact>() {
@@ -87,15 +119,16 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("remove transfers whose file is already staged")
             .salience(94)
+            .watches::<TransferFact>()
+            .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, t) in wm.iter::<TransferFact>() {
                     if !t.in_current_batch || t.suppressed.is_some() {
                         continue;
                     }
-                    let staged = wm.iter::<ResourceFact>().any(|(_, r)| {
-                        r.dest == t.spec.dest && r.state == ResourceState::Staged
-                    });
+                    let staged = resource_for(wm, &t.spec.dest)
+                        .is_some_and(|(_, r)| r.state == ResourceState::Staged);
                     if staged {
                         out.push(vec![h]);
                     }
@@ -116,13 +149,15 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("create a resource for a new transfer")
             .salience(90)
+            .watches::<TransferFact>()
+            .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, t) in wm.iter::<TransferFact>() {
                     if !t.in_current_batch || t.suppressed.is_some() {
                         continue;
                     }
-                    let exists = wm.iter::<ResourceFact>().any(|(_, r)| r.dest == t.spec.dest);
+                    let exists = resource_for(wm, &t.spec.dest).is_some();
                     if !exists {
                         out.push(vec![h]);
                     }
@@ -132,7 +167,12 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .then(|wm, _, m| {
                 let (id, source, dest, workflow) = {
                     let t = wm.get::<TransferFact>(m[0]).expect("matched transfer");
-                    (t.id, t.spec.source.clone(), t.spec.dest.clone(), t.spec.workflow)
+                    (
+                        t.id,
+                        t.spec.source.clone(),
+                        t.spec.dest.clone(),
+                        t.spec.workflow,
+                    )
                 };
                 let mut users = std::collections::BTreeSet::new();
                 users.insert(workflow);
@@ -152,15 +192,15 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("associate a transfer with a resource")
             .salience(89)
+            .watches::<TransferFact>()
+            .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, t) in wm.iter::<TransferFact>() {
                     if !t.in_current_batch {
                         continue;
                     }
-                    if let Some((rh, r)) =
-                        wm.find::<ResourceFact>(|r| r.dest == t.spec.dest)
-                    {
+                    if let Some((rh, r)) = resource_for(wm, &t.spec.dest) {
                         if !r.users.contains(&t.spec.workflow) {
                             out.push(vec![h, rh]);
                         }
@@ -184,6 +224,8 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("generate a unique group ID for a host pair")
             .salience(85)
+            .watches::<TransferFact>()
+            .watches::<HostPairFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 let mut seen: Vec<(String, String)> = Vec::new();
@@ -192,9 +234,7 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
                         continue;
                     }
                     let key = (t.spec.source.host.clone(), t.spec.dest.host.clone());
-                    let exists = wm.iter::<HostPairFact>().any(|(_, p)| {
-                        p.src_host == key.0 && p.dst_host == key.1
-                    });
+                    let exists = wm.find_by::<HostPairFact, (String, String)>(&key).is_some();
                     if !exists && !seen.contains(&key) {
                         seen.push(key);
                         out.push(vec![h]);
@@ -209,10 +249,7 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
                 };
                 // Guard against a pair created by an earlier firing in the
                 // same cascade.
-                if wm
-                    .find::<HostPairFact>(|p| p.src_host == src_host && p.dst_host == dst_host)
-                    .is_none()
-                {
+                if host_pair_for(wm, &src_host, &dst_host).is_none() {
                     let group = ctx.fresh_group();
                     wm.insert(HostPairFact {
                         src_host,
@@ -230,15 +267,16 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("assign the group ID to a transfer")
             .salience(84)
+            .watches::<TransferFact>()
+            .watches::<HostPairFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, t) in wm.iter::<TransferFact>() {
                     if !t.in_current_batch || t.group.is_some() || t.suppressed.is_some() {
                         continue;
                     }
-                    if let Some((ph, _)) = wm.find::<HostPairFact>(|p| {
-                        p.src_host == t.spec.source.host && p.dst_host == t.spec.dest.host
-                    }) {
+                    if let Some((ph, _)) = host_pair_for(wm, &t.spec.source.host, &t.spec.dest.host)
+                    {
                         out.push(vec![h, ph]);
                     }
                 }
@@ -294,7 +332,7 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
                     )
                 };
                 release_streams(wm, &src_host, &dst_host, id, charged);
-                if let Some((rh, _)) = wm.find::<ResourceFact>(|r| r.dest == dest) {
+                if let Some((rh, _)) = resource_for(wm, &dest) {
                     wm.update::<ResourceFact>(rh, |r| {
                         if r.producer == Some(id) {
                             r.state = ResourceState::Staged;
@@ -324,7 +362,7 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
                     )
                 };
                 release_streams(wm, &src_host, &dst_host, id, charged);
-                if let Some((rh, r)) = wm.find::<ResourceFact>(|r| r.dest == dest) {
+                if let Some((rh, r)) = resource_for(wm, &dest) {
                     if r.producer == Some(id) && r.state == ResourceState::Staging {
                         wm.retract(rh);
                     }
@@ -346,9 +384,7 @@ fn release_streams(
     if charged == 0 {
         return;
     }
-    if let Some((ph, _)) = wm.find::<HostPairFact>(|p| {
-        p.src_host == src_host && p.dst_host == dst_host
-    }) {
+    if let Some((ph, _)) = host_pair_for(wm, src_host, dst_host) {
         wm.update::<HostPairFact>(ph, |p| {
             p.allocated = p.allocated.saturating_sub(charged);
         });
@@ -363,6 +399,7 @@ fn install_cleanup_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("remove duplicate cleanup requests")
             .salience(60)
+            .watches::<CleanupFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, c) in wm.iter::<CleanupFact>() {
@@ -374,10 +411,7 @@ fn install_cleanup_rules(session: &mut Session<PolicyCtx>) {
                             && u.spec.file == c.spec.file
                             && u.suppressed.is_none()
                             && (uh < h || !u.in_current_batch)
-                            && matches!(
-                                u.state,
-                                CleanupState::Pending | CleanupState::InProgress
-                            )
+                            && matches!(u.state, CleanupState::Pending | CleanupState::InProgress)
                     });
                     if dup {
                         out.push(vec![h]);
@@ -397,13 +431,15 @@ fn install_cleanup_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("detach a transfer from the resource on cleanup request")
             .salience(58)
+            .watches::<CleanupFact>()
+            .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, c) in wm.iter::<CleanupFact>() {
                     if !c.in_current_batch || c.suppressed.is_some() {
                         continue;
                     }
-                    if let Some((rh, r)) = wm.find::<ResourceFact>(|r| r.dest == c.spec.file) {
+                    if let Some((rh, r)) = resource_for(wm, &c.spec.file) {
                         if r.users.contains(&c.spec.workflow) {
                             out.push(vec![h, rh]);
                         }
@@ -430,13 +466,15 @@ fn install_cleanup_rules(session: &mut Session<PolicyCtx>) {
     session.add_rule(
         Rule::new("remove cleanups for resources still in use")
             .salience(55)
+            .watches::<CleanupFact>()
+            .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 for (h, c) in wm.iter::<CleanupFact>() {
                     if !c.in_current_batch || c.suppressed.is_some() {
                         continue;
                     }
-                    if let Some((_, r)) = wm.find::<ResourceFact>(|r| r.dest == c.spec.file) {
+                    if let Some((_, r)) = resource_for(wm, &c.spec.file) {
                         if !r.users.is_empty() {
                             out.push(vec![h]);
                         }
@@ -464,7 +502,7 @@ fn install_cleanup_rules(session: &mut Session<PolicyCtx>) {
                     .spec
                     .file
                     .clone();
-                if let Some((rh, r)) = wm.find::<ResourceFact>(|r| r.dest == file) {
+                if let Some((rh, r)) = resource_for(wm, &file) {
                     if r.users.is_empty() {
                         wm.retract(rh);
                     }
@@ -531,11 +569,10 @@ mod tests {
         s.wm.insert(fact(1, "/a", "/a", 1));
         s.wm.insert(fact(2, "/a", "/a", 1));
         s.fire_all(&mut ctx);
-        let suppressed: Vec<_> = s
-            .wm
-            .iter::<TransferFact>()
-            .map(|(_, t)| (t.id, t.suppressed))
-            .collect();
+        let suppressed: Vec<_> =
+            s.wm.iter::<TransferFact>()
+                .map(|(_, t)| (t.id, t.suppressed))
+                .collect();
         assert_eq!(suppressed[0], (TransferId(1), None));
         assert_eq!(
             suppressed[1],
@@ -555,7 +592,10 @@ mod tests {
         s.wm.insert(fact(1, "/a", "/a", 1));
         s.wm.insert(fact(2, "/a", "/a", 1));
         s.fire_all(&mut ctx);
-        assert!(s.wm.iter::<TransferFact>().all(|(_, t)| t.suppressed.is_none()));
+        assert!(s
+            .wm
+            .iter::<TransferFact>()
+            .all(|(_, t)| t.suppressed.is_none()));
     }
 
     #[test]
@@ -586,7 +626,9 @@ mod tests {
         s.wm.insert(zero);
         s.fire_all(&mut ctx);
         let streams: Vec<Option<u32>> =
-            s.wm.iter::<TransferFact>().map(|(_, t)| t.streams).collect();
+            s.wm.iter::<TransferFact>()
+                .map(|(_, t)| t.streams)
+                .collect();
         assert_eq!(streams[0], Some(4), "default assigned");
         assert_eq!(streams[1], Some(1), "zero request floored to one");
     }
@@ -618,7 +660,11 @@ mod tests {
         });
         s.fire_all(&mut ctx);
         assert_eq!(s.wm.count::<TransferFact>(), 0);
-        assert_eq!(s.wm.count::<ResourceFact>(), 0, "half-staged resource dropped");
+        assert_eq!(
+            s.wm.count::<ResourceFact>(),
+            0,
+            "half-staged resource dropped"
+        );
     }
 
     fn cleanup_fact(id: u64, path: &str, wf: u64) -> CleanupFact {
@@ -687,10 +733,7 @@ mod tests {
         });
         s.wm.insert(cleanup_fact(2, "/a", 1));
         s.fire_all(&mut ctx);
-        let (_, dup) = s
-            .wm
-            .find::<CleanupFact>(|c| c.id == CleanupId(2))
-            .unwrap();
+        let (_, dup) = s.wm.find::<CleanupFact>(|c| c.id == CleanupId(2)).unwrap();
         assert_eq!(dup.suppressed, Some(SuppressReason::DuplicateCleanup));
     }
 
@@ -722,10 +765,9 @@ mod tests {
         });
         s.wm.insert(fact(2, "/a", "/a", 2));
         s.fire_all(&mut ctx);
-        let (_, second) = s
-            .wm
-            .find::<TransferFact>(|t| t.id == TransferId(2))
-            .unwrap();
+        let (_, second) =
+            s.wm.find::<TransferFact>(|t| t.id == TransferId(2))
+                .unwrap();
         assert_eq!(second.suppressed, Some(SuppressReason::AlreadyInProgress));
         let (_, r) = s.wm.find::<ResourceFact>(|_| true).unwrap();
         assert!(r.users.contains(&WorkflowId(2)));

@@ -46,6 +46,40 @@ pub struct ServiceStats {
     pub rule_firings: u64,
 }
 
+/// Per-rule engine counters, as exposed through monitoring (`GET /status`).
+///
+/// `evaluations` staying flat across requests is the observable proof that
+/// the incremental agenda is not re-running matchers whose watched fact
+/// types are clean.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleCounters {
+    /// Rule name.
+    pub name: String,
+    /// Rule salience.
+    pub salience: i32,
+    /// Matcher (re-)evaluations since service start.
+    pub evaluations: u64,
+    /// Fact tuples produced across evaluations.
+    pub matches: u64,
+    /// Action firings.
+    pub firings: u64,
+    /// Cumulative matcher wall-clock time, nanoseconds.
+    pub eval_nanos: u64,
+}
+
+impl From<pwm_rules::RuleStats> for RuleCounters {
+    fn from(s: pwm_rules::RuleStats) -> Self {
+        RuleCounters {
+            name: s.name.as_ref().to_string(),
+            salience: s.salience,
+            evaluations: s.evaluations,
+            matches: s.matches,
+            firings: s.firings,
+            eval_nanos: s.eval_nanos,
+        }
+    }
+}
+
 /// A point-in-time view of policy memory (the `GET /status` payload).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemorySnapshot {
@@ -112,6 +146,10 @@ impl PolicyService {
     /// service between workflows).
     pub fn set_config(&mut self, config: PolicyConfig) {
         self.ctx.config = config;
+        // Rule matchers read the config through ctx, which the engine (like
+        // Drools globals) does not watch — flush the cached agenda so the
+        // new config is observed.
+        self.session.invalidate_agenda();
         self.audit.record(PolicyEvent::ConfigChanged);
     }
 
@@ -128,6 +166,15 @@ impl PolicyService {
     /// Monitoring counters.
     pub fn stats(&self) -> ServiceStats {
         self.stats
+    }
+
+    /// Per-rule engine counters (installation order).
+    pub fn rule_stats(&self) -> Vec<RuleCounters> {
+        self.session
+            .rule_stats()
+            .into_iter()
+            .map(RuleCounters::from)
+            .collect()
     }
 
     /// Evaluate a list of transfer requests against the policy rules and
@@ -237,7 +284,7 @@ impl PolicyService {
             }
             out.push(row.advice);
         }
-        self.session.gc_refraction();
+        self.session.maybe_gc_refraction();
         out
     }
 
@@ -247,11 +294,7 @@ impl PolicyService {
     /// duplicates.
     pub fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) {
         for outcome in outcomes {
-            if let Some((h, _)) = self
-                .session
-                .wm
-                .find::<TransferFact>(|t| t.id == outcome.id)
-            {
+            if let Some((h, _)) = self.session.wm.find::<TransferFact>(|t| t.id == outcome.id) {
                 self.session.wm.update::<TransferFact>(h, |t| {
                     t.state = if outcome.success {
                         TransferState::Completed
@@ -272,7 +315,7 @@ impl PolicyService {
         }
         let report = self.session.fire_all(&mut self.ctx);
         self.stats.rule_firings += report.firings as u64;
-        self.session.gc_refraction();
+        self.session.maybe_gc_refraction();
     }
 
     /// Evaluate a list of cleanup requests; duplicates and in-use files are
@@ -329,7 +372,7 @@ impl PolicyService {
             }
             out.push(advice);
         }
-        self.session.gc_refraction();
+        self.session.maybe_gc_refraction();
         out
     }
 
@@ -338,11 +381,7 @@ impl PolicyService {
     /// client may retry.
     pub fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) {
         for outcome in outcomes {
-            if let Some((h, _)) = self
-                .session
-                .wm
-                .find::<CleanupFact>(|c| c.id == outcome.id)
-            {
+            if let Some((h, _)) = self.session.wm.find::<CleanupFact>(|c| c.id == outcome.id) {
                 if outcome.success {
                     self.session.wm.update::<CleanupFact>(h, |c| {
                         c.state = CleanupState::Completed;
@@ -358,7 +397,7 @@ impl PolicyService {
         }
         let report = self.session.fire_all(&mut self.ctx);
         self.stats.rule_firings += report.firings as u64;
-        self.session.gc_refraction();
+        self.session.maybe_gc_refraction();
     }
 
     /// Streams currently allocated between a host pair.
@@ -448,7 +487,10 @@ mod tests {
             assert!(a.should_execute());
             assert_eq!(a.streams, 4);
         }
-        assert_eq!(advice[0].group, advice[1].group, "same host pair, one group");
+        assert_eq!(
+            advice[0].group, advice[1].group,
+            "same host pair, one group"
+        );
         assert_eq!(svc.allocated("tacc", "isi"), 8);
     }
 
@@ -457,7 +499,10 @@ mod tests {
         let mut svc = greedy_service(4, 50);
         let advice = svc.evaluate_transfers(vec![spec_n(3, 1), spec_n(1, 1), spec_n(2, 1)]);
         let paths: Vec<&str> = advice.iter().map(|a| a.source.path.as_str()).collect();
-        assert_eq!(paths, vec!["/data/f001.dat", "/data/f002.dat", "/data/f003.dat"]);
+        assert_eq!(
+            paths,
+            vec!["/data/f001.dat", "/data/f002.dat", "/data/f003.dat"]
+        );
         assert_eq!(
             advice.iter().map(|a| a.order).collect::<Vec<_>>(),
             vec![0, 1, 2]
@@ -632,9 +677,8 @@ mod tests {
 
     #[test]
     fn priority_ordering_sorts_descending() {
-        let mut svc = PolicyService::new(
-            PolicyConfig::default().with_ordering(OrderingPolicy::ByPriority),
-        );
+        let mut svc =
+            PolicyService::new(PolicyConfig::default().with_ordering(OrderingPolicy::ByPriority));
         let mut lo = spec_n(1, 1);
         lo.priority = Some(1);
         let mut hi = spec_n(2, 1);

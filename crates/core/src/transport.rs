@@ -200,7 +200,10 @@ mod tests {
         }])
         .unwrap();
         assert_eq!(
-            controller.stats(DEFAULT_SESSION).unwrap().transfers_completed,
+            controller
+                .stats(DEFAULT_SESSION)
+                .unwrap()
+                .transfers_completed,
             1
         );
     }

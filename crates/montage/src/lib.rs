@@ -18,7 +18,5 @@ pub mod synthetic;
 pub mod workloads;
 
 pub use montage::{montage_one_degree, montage_replicas, montage_workflow, MontageConfig};
-pub use synthetic::{
-    chain, fork_join, random_layered, single_source_replicas, RandomDagConfig,
-};
+pub use synthetic::{chain, fork_join, random_layered, single_source_replicas, RandomDagConfig};
 pub use workloads::{cybershake_like, epigenomics_like, CyberShakeConfig, EpigenomicsConfig};

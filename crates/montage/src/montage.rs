@@ -91,12 +91,19 @@ fn runtime_for(transformation: &str) -> f64 {
 
 /// Generate the Montage workflow.
 pub fn montage_workflow(config: &MontageConfig) -> AbstractWorkflow {
-    assert!(config.rows >= 2 && config.cols >= 2, "grid must be at least 2×2");
+    assert!(
+        config.rows >= 2 && config.cols >= 2,
+        "grid must be at least 2×2"
+    );
     let mut wf = AbstractWorkflow::new(format!(
         "montage-{}x{}{}",
         config.rows,
         config.cols,
-        if config.extra_file_bytes > 0 { "-aug" } else { "" }
+        if config.extra_file_bytes > 0 {
+            "-aug"
+        } else {
+            ""
+        }
     ));
     let mut rng = SimRng::for_component(config.seed, "montage-sizes");
     let mut set_size = |wf: &mut AbstractWorkflow, file: &str, mean: f64, jitter: f64| {
@@ -106,10 +113,10 @@ pub fn montage_workflow(config: &MontageConfig) -> AbstractWorkflow {
 
     let tile = |i: u32, j: u32| format!("{i:02}_{j:02}");
     let add_compute = |wf: &mut AbstractWorkflow,
-                           name: String,
-                           transformation: &str,
-                           mut inputs: Vec<String>,
-                           outputs: Vec<String>| {
+                       name: String,
+                       transformation: &str,
+                       mut inputs: Vec<String>,
+                       outputs: Vec<String>| {
         // Every compute job reads a small per-job control file from the
         // local Apache server, so every job has an external input and the
         // no-clustering plan has exactly one stage-in job per compute job —

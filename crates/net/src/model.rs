@@ -311,7 +311,10 @@ mod tests {
         let m = m();
         let t = m.decay_turbulence(1.0, m.turbulence_tau);
         assert!((t - 0.3679).abs() < 0.01);
-        assert_eq!(m.decay_turbulence(1.0, SimDuration::from_secs(100_000)), 0.0);
+        assert_eq!(
+            m.decay_turbulence(1.0, SimDuration::from_secs(100_000)),
+            0.0
+        );
         assert_eq!(m.decay_turbulence(0.0, SimDuration::from_secs(1)), 0.0);
     }
 

@@ -15,9 +15,9 @@
 //! reduction — is identical across runs with the same schedule.
 
 use crate::flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
-use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::model::{LinkState, StreamModel};
 use crate::sharing::{max_min_rates, FlowDemand};
+use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::topology::{LinkId, Topology};
 use pwm_sim::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
@@ -52,7 +52,9 @@ impl Network {
 
     /// Build a network with an explicit seed for per-flow weight jitter.
     pub fn with_seed(topology: Topology, model: StreamModel, seed: u64) -> Self {
-        let link_states = (0..topology.link_count()).map(|_| LinkState::new()).collect();
+        let link_states = (0..topology.link_count())
+            .map(|_| LinkState::new())
+            .collect();
         let host_active = vec![0; topology.host_count()];
         Network {
             topology,
@@ -254,10 +256,11 @@ impl Network {
                             seg_end = *until;
                         }
                     }
-                    FlowPhase::Active { remaining, rate, .. } => {
+                    FlowPhase::Active {
+                        remaining, rate, ..
+                    } => {
                         if *rate > 0.0 {
-                            let eta =
-                                self.now + SimDuration::from_secs_f64(remaining / rate);
+                            let eta = self.now + SimDuration::from_secs_f64(remaining / rate);
                             if eta > self.now && eta < seg_end {
                                 seg_end = eta;
                             }
@@ -277,7 +280,11 @@ impl Network {
         }
         // `to` may equal `now` on entry (pure rate refresh): still recompute
         // so callers starting flows see current conditions.
-        if self.flows.values().any(|f| matches!(f.phase, FlowPhase::Active { .. })) {
+        if self
+            .flows
+            .values()
+            .any(|f| matches!(f.phase, FlowPhase::Active { .. }))
+        {
             self.recompute_rates();
         }
     }
@@ -289,7 +296,10 @@ impl Network {
             return;
         }
         for flow in self.flows.values_mut() {
-            if let FlowPhase::Active { remaining, rate, .. } = &mut flow.phase {
+            if let FlowPhase::Active {
+                remaining, rate, ..
+            } = &mut flow.phase
+            {
                 *remaining = (*remaining - *rate * dt).max(0.0);
             }
         }
@@ -335,8 +345,12 @@ impl Network {
             let route = self.flows[&id].route.clone();
             for link in route {
                 let knee = self.knee(link);
-                self.link_states[link.0 as usize]
-                    .membership_change(&self.model, now, streams, knee);
+                self.link_states[link.0 as usize].membership_change(
+                    &self.model,
+                    now,
+                    streams,
+                    knee,
+                );
             }
         }
     }
@@ -844,10 +858,10 @@ mod proptests {
     fn arb_flows() -> impl Strategy<Value = Vec<(bool, f64, u32, u64)>> {
         proptest::collection::vec(
             (
-                any::<bool>(),          // true = WAN (gridftp→nfs), false = LAN (apache→nfs)
-                1.0e4..2.0e8f64,        // bytes
-                1u32..16,               // streams
-                0u64..10,               // start delay (seconds)
+                any::<bool>(),   // true = WAN (gridftp→nfs), false = LAN (apache→nfs)
+                1.0e4..2.0e8f64, // bytes
+                1u32..16,        // streams
+                0u64..10,        // start delay (seconds)
             ),
             1..24,
         )

@@ -1,0 +1,19 @@
+//! Start a policy REST server on an ephemeral loopback port and serve until
+//! killed. Handy for poking the wire API with curl:
+//!
+//! ```text
+//! cargo run -p pwm-rest --example serve
+//! curl http://127.0.0.1:<port>/sessions/default/status
+//! ```
+
+use pwm_core::{PolicyConfig, PolicyController};
+use pwm_rest::PolicyRestServer;
+
+fn main() {
+    let controller = PolicyController::new(PolicyConfig::default());
+    let server = PolicyRestServer::start(controller).expect("bind loopback listener");
+    println!("listening on http://{}", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -70,9 +70,7 @@ impl PolicyRestClient {
         if status != 200 {
             let message = serde_json::from_slice::<ErrorEnvelope>(&response_body)
                 .map(|e| e.error)
-                .unwrap_or_else(|_| {
-                    String::from_utf8_lossy(&response_body).to_string()
-                });
+                .unwrap_or_else(|_| String::from_utf8_lossy(&response_body).to_string());
             return Err(TransportError::Service(message));
         }
         Ok(response_body)
@@ -208,11 +206,8 @@ impl PolicyTransport for PolicyRestClient {
         let path = format!("/sessions/{}/cleanups/complete", self.session);
         match self.format {
             WireFormat::Json => {
-                let _: AckEnvelope = self.call(
-                    Method::Post,
-                    &path,
-                    &CleanupCompletionEnvelope { outcomes },
-                )?;
+                let _: AckEnvelope =
+                    self.call(Method::Post, &path, &CleanupCompletionEnvelope { outcomes })?;
             }
             WireFormat::Xml => {
                 self.call_xml(
@@ -352,7 +347,9 @@ mod tests {
     fn xml_transport_round_trips_and_matches_json() {
         let (_server, json_client) = start();
         let mut xml_client = json_client.clone().with_format(WireFormat::Xml);
-        let advice = xml_client.evaluate_transfers(vec![spec(1), spec(1)]).unwrap();
+        let advice = xml_client
+            .evaluate_transfers(vec![spec(1), spec(1)])
+            .unwrap();
         assert_eq!(advice.len(), 2);
         assert!(advice[0].should_execute());
         assert!(!advice[1].should_execute(), "dedup works over XML too");
@@ -384,8 +381,8 @@ mod tests {
     #[test]
     fn xml_errors_surface_as_service_errors() {
         let (server, _c) = start();
-        let mut client = PolicyRestClient::new(server.addr(), "missing")
-            .with_format(WireFormat::Xml);
+        let mut client =
+            PolicyRestClient::new(server.addr(), "missing").with_format(WireFormat::Xml);
         let err = client.evaluate_transfers(vec![spec(1)]).unwrap_err();
         assert!(matches!(err, TransportError::Service(_)), "{err:?}");
     }

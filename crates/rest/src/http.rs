@@ -419,7 +419,10 @@ mod tests {
 
     #[test]
     fn oversized_content_length_rejected() {
-        let wire = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1usize << 40);
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            1usize << 40
+        );
         assert!(read_request(&mut Cursor::new(wire.into_bytes())).is_err());
     }
 

@@ -20,8 +20,8 @@
 //! | PUT    | `/sessions/{s}/config` | PolicyConfig → Ack (creates the session if absent) |
 
 use crate::http::{read_request, write_response, Method, Request, Response, WireFormat};
-use crate::xml;
 use crate::wire::*;
+use crate::xml;
 use pwm_core::{ControllerError, PolicyConfig, PolicyController};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -108,69 +108,63 @@ fn route(request: &Request, controller: &PolicyController) -> Response {
                 let advice = controller.evaluate_transfers(session, env.transfers)?;
                 Ok(json_response(&TransferResponseEnvelope { advice }))
             }),
-            WireFormat::Xml => with_xml_body(
-                request,
-                xml::transfer_request_from_xml,
-                |transfers| {
+            WireFormat::Xml => {
+                with_xml_body(request, xml::transfer_request_from_xml, |transfers| {
                     let advice = controller.evaluate_transfers(session, transfers)?;
                     Ok(xml::transfer_response_to_xml(&advice))
-                },
-            ),
+                })
+            }
         },
         (Method::Post, ["sessions", session, "transfers", "complete"]) => match request.format {
             WireFormat::Json => with_body::<TransferCompletionEnvelope>(request, |env| {
                 controller.report_transfers(session, env.outcomes)?;
                 Ok(json_response(&AckEnvelope::ok()))
             }),
-            WireFormat::Xml => with_xml_body(
-                request,
-                xml::transfer_completion_from_xml,
-                |outcomes| {
+            WireFormat::Xml => {
+                with_xml_body(request, xml::transfer_completion_from_xml, |outcomes| {
                     controller.report_transfers(session, outcomes)?;
                     Ok(xml::ack_xml())
-                },
-            ),
+                })
+            }
         },
         (Method::Post, ["sessions", session, "cleanups"]) => match request.format {
             WireFormat::Json => with_body::<CleanupRequestEnvelope>(request, |env| {
                 let advice = controller.evaluate_cleanups(session, env.cleanups)?;
                 Ok(json_response(&CleanupResponseEnvelope { advice }))
             }),
-            WireFormat::Xml => with_xml_body(
-                request,
-                xml::cleanup_request_from_xml,
-                |cleanups| {
-                    let advice = controller.evaluate_cleanups(session, cleanups)?;
-                    Ok(xml::cleanup_response_to_xml(&advice))
-                },
-            ),
+            WireFormat::Xml => with_xml_body(request, xml::cleanup_request_from_xml, |cleanups| {
+                let advice = controller.evaluate_cleanups(session, cleanups)?;
+                Ok(xml::cleanup_response_to_xml(&advice))
+            }),
         },
         (Method::Post, ["sessions", session, "cleanups", "complete"]) => match request.format {
             WireFormat::Json => with_body::<CleanupCompletionEnvelope>(request, |env| {
                 controller.report_cleanups(session, env.outcomes)?;
                 Ok(json_response(&AckEnvelope::ok()))
             }),
-            WireFormat::Xml => with_xml_body(
-                request,
-                xml::cleanup_completion_from_xml,
-                |outcomes| {
+            WireFormat::Xml => {
+                with_xml_body(request, xml::cleanup_completion_from_xml, |outcomes| {
                     controller.report_cleanups(session, outcomes)?;
                     Ok(xml::ack_xml())
-                },
-            ),
-        },
-        (Method::Get, ["sessions", session, "log"]) => {
-            match controller.audit_since(session, 0) {
-                Ok(records) => json_response(&records),
-                Err(e) => controller_error(e),
+                })
             }
-        }
+        },
+        (Method::Get, ["sessions", session, "log"]) => match controller.audit_since(session, 0) {
+            Ok(records) => json_response(&records),
+            Err(e) => controller_error(e),
+        },
         (Method::Get, ["sessions", session, "status"]) => {
-            match (controller.snapshot(session), controller.stats(session)) {
-                (Ok(snapshot), Ok(stats)) => {
-                    json_response(&StatusEnvelope { snapshot, stats })
-                }
-                (Err(e), _) | (_, Err(e)) => controller_error(e),
+            match (
+                controller.snapshot(session),
+                controller.stats(session),
+                controller.rule_stats(session),
+            ) {
+                (Ok(snapshot), Ok(stats), Ok(rules)) => json_response(&StatusEnvelope {
+                    snapshot,
+                    stats,
+                    rules,
+                }),
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => controller_error(e),
             }
         }
         (Method::Put, ["sessions", session, "config"]) => {
@@ -307,6 +301,11 @@ mod tests {
         assert_eq!(status, 200);
         let env: StatusEnvelope = serde_json::from_slice(&body).unwrap();
         assert_eq!(env.stats.transfer_requests, 0);
+        assert!(
+            !env.rules.is_empty(),
+            "status must expose per-rule engine counters"
+        );
+        assert!(env.rules.iter().all(|r| !r.name.is_empty()));
     }
 
     #[test]
@@ -377,11 +376,13 @@ mod tests {
         let (mut server, addr) = start();
         server.shutdown();
         server.shutdown();
-        assert!(TcpStream::connect(addr).is_err() || {
-            // The OS may accept briefly; a request must at least fail.
-            let mut s = TcpStream::connect(addr).unwrap();
-            write_request(&mut s, Method::Get, "/health", b"").ok();
-            read_response(&mut s).is_err()
-        });
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly; a request must at least fail.
+                let mut s = TcpStream::connect(addr).unwrap();
+                write_request(&mut s, Method::Get, "/health", b"").ok();
+                read_response(&mut s).is_err()
+            }
+        );
     }
 }

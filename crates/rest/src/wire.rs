@@ -6,8 +6,8 @@
 //! testable independently of the in-memory types.
 
 use pwm_core::{
-    CleanupAdvice, CleanupOutcome, CleanupSpec, MemorySnapshot, ServiceStats, TransferAdvice,
-    TransferOutcome, TransferSpec,
+    CleanupAdvice, CleanupOutcome, CleanupSpec, MemorySnapshot, RuleCounters, ServiceStats,
+    TransferAdvice, TransferOutcome, TransferSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +60,10 @@ pub struct StatusEnvelope {
     pub snapshot: MemorySnapshot,
     /// Service counters.
     pub stats: ServiceStats,
+    /// Per-rule engine counters (evaluations, matches, firings, eval time).
+    /// `default` keeps old clients' payloads parseable.
+    #[serde(default)]
+    pub rules: Vec<RuleCounters>,
 }
 
 /// Generic acknowledgement for report endpoints.

@@ -138,7 +138,11 @@ pub fn transfer_response_to_xml(advice: &[TransferAdvice]) -> String {
 pub fn transfer_completion_to_xml(outcomes: &[TransferOutcome]) -> String {
     let mut out = String::from("<completionReport>\n");
     for o in outcomes {
-        let _ = writeln!(out, "  <outcome id=\"{}\" success=\"{}\"/>", o.id.0, o.success);
+        let _ = writeln!(
+            out,
+            "  <outcome id=\"{}\" success=\"{}\"/>",
+            o.id.0, o.success
+        );
     }
     out.push_str("</completionReport>\n");
     out
@@ -185,7 +189,11 @@ pub fn cleanup_response_to_xml(advice: &[CleanupAdvice]) -> String {
 pub fn cleanup_completion_to_xml(outcomes: &[CleanupOutcome]) -> String {
     let mut out = String::from("<cleanupCompletionReport>\n");
     for o in outcomes {
-        let _ = writeln!(out, "  <outcome id=\"{}\" success=\"{}\"/>", o.id.0, o.success);
+        let _ = writeln!(
+            out,
+            "  <outcome id=\"{}\" success=\"{}\"/>",
+            o.id.0, o.success
+        );
     }
     out.push_str("</cleanupCompletionReport>\n");
     out
@@ -305,9 +313,11 @@ pub fn transfer_request_from_xml(text: &str) -> Result<Vec<TransferSpec>, XmlErr
                 source: e.url("source")?,
                 dest: e.url("dest")?,
                 bytes: e.parse_attr("bytes").unwrap_or(0),
-                requested_streams: e.attr("streams").map(|s| s.parse()).transpose().map_err(
-                    |_| XmlError("bad streams".into()),
-                )?,
+                requested_streams: e
+                    .attr("streams")
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| XmlError("bad streams".into()))?,
                 workflow: WorkflowId(e.parse_attr("workflow")?),
                 cluster: e
                     .attr("cluster")
@@ -327,7 +337,9 @@ pub fn transfer_request_from_xml(text: &str) -> Result<Vec<TransferSpec>, XmlErr
 fn action_of(e: &Element) -> Result<TransferAction, XmlError> {
     match e.require("action")?.as_str() {
         "execute" => Ok(TransferAction::Execute),
-        "skip" => Ok(TransferAction::Skip(reason_from_str(&e.require("reason")?)?)),
+        "skip" => Ok(TransferAction::Skip(reason_from_str(
+            &e.require("reason")?,
+        )?)),
         other => Err(XmlError(format!("unknown action {other:?}"))),
     }
 }

@@ -1,41 +1,175 @@
 //! The forward-chaining engine.
 //!
 //! [`Session`] owns a [`WorkingMemory`], a rule set, and the *fired set*
-//! implementing refraction. [`Session::fire_all`] repeatedly:
+//! implementing refraction. Conflict resolution is Drools' default modulo
+//! recency: salience (descending), then rule installation order, then tuple
+//! order within a rule's matches. [`Session::fire_all`] fires the first
+//! eligible activation, then repeats until quiescence or a firing budget is
+//! exhausted (a guard against non-converging rule sets, which Drools leaves
+//! to the author).
 //!
-//! 1. collects the activations of every rule (rule × matched tuple) that is
-//!    not refracted,
-//! 2. orders them by salience (descending), then rule insertion order, then
-//!    tuple order — Drools' default conflict-resolution modulo recency,
-//! 3. fires the first activation and records it in the fired set,
+//! # Incremental agenda
 //!
-//! until no activation remains or a firing budget is exhausted (a guard
-//! against non-converging rule sets, which Drools leaves to the author).
+//! Matching is incremental (a Rete-lite): each rule keeps its last matcher
+//! output as a cached *agenda segment*, stamped with the working-memory
+//! generation it was computed at. The matcher is only re-run when a fact
+//! type the rule [watches](crate::rule::Watch) has been mutated since that
+//! stamp — [`WorkingMemory`] maintains a per-type dirty generation fed by
+//! `insert`/`update`/`retract`. A rule whose cached segment has been fully
+//! refracted is marked *exhausted* and skipped in O(1) until it turns dirty
+//! again, so quiescence checks no longer pay O(rules × facts) per firing.
+//! Because live refraction entries are never removed while a cache is valid
+//! (GC only drops entries with retracted facts), a per-rule scan cursor
+//! additionally skips already-refracted tuples without re-hashing them.
+//!
+//! Matchers must be pure functions of (working memory, ctx). The engine
+//! deliberately does **not** watch `Ctx`: like Drools globals, a ctx change
+//! does not re-activate rules. Callers that mutate ctx in a way matchers can
+//! observe (e.g. a config change between requests) must call
+//! [`Session::invalidate_agenda`].
 //!
 //! Refraction key: `(rule, tuple handles, tuple fact versions)`. Updating a
 //! fact bumps its version, which re-arms every rule matching it — exactly
-//! the Drools `update()` semantics the paper's policy rules rely on.
+//! the Drools `update()` semantics the paper's policy rules rely on. Keys
+//! for tuples of up to two facts (the common case: `when_each` rules and
+//! pairwise joins) are stored inline without heap allocation.
 
 use crate::memory::{FactHandle, WorkingMemory};
 use crate::rule::{Match, Rule};
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fact tuples up to this length get allocation-free refraction keys.
+const INLINE_FACTS: usize = 2;
 
 /// Refraction key: (rule index, matched handles with their versions).
-type RefractionKey = (usize, Vec<(FactHandle, u64)>);
+///
+/// Small tuples are stored inline; only joins wider than [`INLINE_FACTS`]
+/// facts pay a heap allocation per candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RefractionKey {
+    /// Tuple of at most [`INLINE_FACTS`] facts, padded with zeroes (the
+    /// `len` discriminant keeps padded keys distinct from genuine ones).
+    Inline {
+        rule: u32,
+        len: u8,
+        facts: [(FactHandle, u64); INLINE_FACTS],
+    },
+    /// Wider join tuple.
+    Heap {
+        rule: u32,
+        facts: Box<[(FactHandle, u64)]>,
+    },
+}
+
+impl RefractionKey {
+    fn new(rule: usize, m: &Match, wm: &WorkingMemory) -> Self {
+        let rule = rule as u32;
+        if m.len() <= INLINE_FACTS {
+            let mut facts = [(FactHandle(0), 0u64); INLINE_FACTS];
+            for (slot, h) in facts.iter_mut().zip(m.iter()) {
+                *slot = (*h, wm.version(*h).unwrap_or(0));
+            }
+            RefractionKey::Inline {
+                rule,
+                len: m.len() as u8,
+                facts,
+            }
+        } else {
+            RefractionKey::Heap {
+                rule,
+                facts: m
+                    .iter()
+                    .map(|h| (*h, wm.version(*h).unwrap_or(0)))
+                    .collect(),
+            }
+        }
+    }
+
+    /// The (handle, version) pairs the key binds (without inline padding).
+    fn facts(&self) -> &[(FactHandle, u64)] {
+        match self {
+            RefractionKey::Inline { len, facts, .. } => &facts[..*len as usize],
+            RefractionKey::Heap { facts, .. } => facts,
+        }
+    }
+}
+
+/// Per-rule observability counters (cumulative over the session).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Rule name (shared with the rule itself).
+    pub name: Arc<str>,
+    /// Rule salience, for display.
+    pub salience: i32,
+    /// Times the matcher was (re-)evaluated. Stays flat while the rule's
+    /// watched fact types are clean — the direct measure that dirty-set
+    /// propagation is working.
+    pub evaluations: u64,
+    /// Total fact tuples the matcher returned across evaluations.
+    pub matches: u64,
+    /// Times the rule's action fired.
+    pub firings: u64,
+    /// Cumulative wall-clock time spent in the matcher, in nanoseconds.
+    pub eval_nanos: u64,
+}
 
 /// Outcome of a [`Session::fire_all`] run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FiringReport {
     /// Total rule firings performed.
     pub firings: usize,
-    /// Rule names in firing order (capped at `LOG_CAP` entries).
-    pub log: Vec<String>,
+    /// Rule names in firing order (capped at `LOG_CAP` entries). Empty
+    /// unless the session opted in via [`Session::with_firing_log`]; names
+    /// are shared `Arc<str>`s, so logging does not allocate per firing.
+    pub log: Vec<Arc<str>>,
     /// True if the engine stopped due to the firing budget rather than
     /// quiescence.
     pub budget_exhausted: bool,
+    /// Per-rule counter deltas for *this run* (installation order): what was
+    /// evaluated, matched and fired while reaching quiescence.
+    pub rule_stats: Vec<RuleStats>,
 }
 
 const LOG_CAP: usize = 10_000;
+
+/// Refraction GC threshold: `maybe_gc_refraction` does nothing until the
+/// fired set reaches this size (then doubles the watermark after each sweep).
+const GC_MIN_WATERMARK: usize = 256;
+
+/// Cached agenda state for one rule.
+#[derive(Default)]
+struct RuleState {
+    /// Last matcher output (the rule's agenda segment).
+    matches: Vec<Match>,
+    /// Working-memory generation `matches` was computed at.
+    valid_at: u64,
+    /// False until the matcher has run at least once (or after
+    /// [`Session::invalidate_agenda`]).
+    computed: bool,
+    /// True when every tuple in `matches` is refracted or stale; cleared on
+    /// re-evaluation and refraction reset.
+    exhausted: bool,
+    /// Index of the first tuple in `matches` that might still be eligible;
+    /// everything before it is known refracted or stale for this cache.
+    scan_from: usize,
+    evaluations: u64,
+    matched: u64,
+    firings: u64,
+    eval_nanos: u64,
+}
+
+impl RuleState {
+    fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.evaluations,
+            self.matched,
+            self.firings,
+            self.eval_nanos,
+        )
+    }
+}
 
 /// A rule session: working memory + rules + refraction state.
 pub struct Session<Ctx> {
@@ -43,8 +177,15 @@ pub struct Session<Ctx> {
     /// as Drools callers do with a `KieSession`.
     pub wm: WorkingMemory,
     rules: Vec<Rule<Ctx>>,
+    states: Vec<RuleState>,
     fired: HashSet<RefractionKey>,
+    /// Rule indices sorted by (salience desc, installation order); rebuilt
+    /// lazily after `add_rule` instead of per firing.
+    order: Vec<usize>,
+    order_valid: bool,
     max_firings: usize,
+    log_firings: bool,
+    gc_watermark: usize,
 }
 
 impl<Ctx> Session<Ctx> {
@@ -53,8 +194,13 @@ impl<Ctx> Session<Ctx> {
         Session {
             wm: WorkingMemory::new(),
             rules: Vec::new(),
+            states: Vec::new(),
             fired: HashSet::new(),
+            order: Vec::new(),
+            order_valid: true,
             max_firings: 100_000,
+            log_firings: false,
+            gc_watermark: GC_MIN_WATERMARK,
         }
     }
 
@@ -64,9 +210,23 @@ impl<Ctx> Session<Ctx> {
         self
     }
 
+    /// Record rule names in [`FiringReport::log`] (off by default; the
+    /// firings counter and per-rule stats are always maintained).
+    pub fn with_firing_log(mut self) -> Self {
+        self.log_firings = true;
+        self
+    }
+
+    /// Toggle firing-log capture at runtime.
+    pub fn set_firing_log(&mut self, enabled: bool) {
+        self.log_firings = enabled;
+    }
+
     /// Install a rule. Order of installation breaks salience ties.
     pub fn add_rule(&mut self, rule: Rule<Ctx>) {
         self.rules.push(rule);
+        self.states.push(RuleState::default());
+        self.order_valid = false;
     }
 
     /// Number of installed rules.
@@ -74,68 +234,171 @@ impl<Ctx> Session<Ctx> {
         self.rules.len()
     }
 
+    /// Cumulative per-rule counters, in installation order.
+    pub fn rule_stats(&self) -> Vec<RuleStats> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .map(|(rule, state)| RuleStats {
+                name: rule.name_arc(),
+                salience: rule.salience(),
+                evaluations: state.evaluations,
+                matches: state.matched,
+                firings: state.firings,
+                eval_nanos: state.eval_nanos,
+            })
+            .collect()
+    }
+
+    /// Discard every cached match list, forcing each matcher to re-run on
+    /// its next consideration. Required after mutating ctx in a way matchers
+    /// observe (the engine does not watch ctx, mirroring Drools globals).
+    pub fn invalidate_agenda(&mut self) {
+        for state in &mut self.states {
+            state.computed = false;
+            state.exhausted = false;
+            state.scan_from = 0;
+            state.matches.clear();
+        }
+    }
+
     /// Forget all refraction state (e.g. at the start of a fresh request
     /// evaluation, for one-shot `when_once` rules).
     pub fn reset_refraction(&mut self) {
         self.fired.clear();
+        for state in &mut self.states {
+            state.exhausted = false;
+            state.scan_from = 0;
+        }
     }
 
     /// Drop refraction entries that reference retracted facts (the fired set
     /// otherwise grows for the lifetime of a long policy session).
+    ///
+    /// This never removes an entry whose facts are all live, so cached
+    /// agenda segments (including scan cursors and exhausted marks) remain
+    /// valid across a sweep.
     pub fn gc_refraction(&mut self) {
         let wm = &self.wm;
         self.fired
-            .retain(|(_, tuple)| tuple.iter().all(|(h, _)| wm.contains(*h)));
+            .retain(|key| key.facts().iter().all(|(h, _)| wm.contains(*h)));
+    }
+
+    /// Amortized refraction GC: sweeps only once the fired set crosses a
+    /// watermark, then doubles the watermark (floored at a minimum). Call
+    /// sites on the request hot path use this instead of sweeping the whole
+    /// set on every request.
+    pub fn maybe_gc_refraction(&mut self) {
+        if self.fired.len() >= self.gc_watermark {
+            self.gc_refraction();
+            self.gc_watermark = (self.fired.len() * 2).max(GC_MIN_WATERMARK);
+        }
     }
 
     /// Run rules to quiescence. Returns what fired.
     pub fn fire_all(&mut self, ctx: &mut Ctx) -> FiringReport {
-        let mut report = FiringReport {
-            firings: 0,
-            log: Vec::new(),
-            budget_exhausted: false,
-        };
-        while report.firings < self.max_firings {
+        let baseline: Vec<(u64, u64, u64, u64)> =
+            self.states.iter().map(RuleState::counters).collect();
+        let mut firings = 0;
+        let mut log = Vec::new();
+        let mut budget_exhausted = false;
+        loop {
+            if firings >= self.max_firings {
+                budget_exhausted = true;
+                break;
+            }
             match self.next_activation(ctx) {
                 Some((rule_idx, m, key)) => {
                     self.fired.insert(key);
+                    self.states[rule_idx].firings += 1;
                     let rule = &mut self.rules[rule_idx];
-                    if report.log.len() < LOG_CAP {
-                        report.log.push(rule.name().to_string());
+                    if self.log_firings && log.len() < LOG_CAP {
+                        log.push(rule.name_arc());
                     }
                     rule.fire(&mut self.wm, ctx, &m);
-                    report.firings += 1;
+                    firings += 1;
                 }
-                None => return report,
+                None => break,
             }
         }
-        report.budget_exhausted = true;
-        report
+        let rule_stats = self
+            .rules
+            .iter()
+            .zip(&self.states)
+            .zip(baseline)
+            .map(|((rule, state), (ev0, ma0, fi0, ns0))| RuleStats {
+                name: rule.name_arc(),
+                salience: rule.salience(),
+                evaluations: state.evaluations - ev0,
+                matches: state.matched - ma0,
+                firings: state.firings - fi0,
+                eval_nanos: state.eval_nanos - ns0,
+            })
+            .collect();
+        FiringReport {
+            firings,
+            log,
+            budget_exhausted,
+            rule_stats,
+        }
+    }
+
+    /// Rebuild the salience order if `add_rule` invalidated it.
+    fn ensure_order(&mut self) {
+        if !self.order_valid {
+            self.order = (0..self.rules.len()).collect();
+            self.order.sort_by_key(|&i| (-self.rules[i].salience(), i));
+            self.order_valid = true;
+        }
     }
 
     /// Find the highest-priority non-refracted activation.
-    fn next_activation(&self, ctx: &Ctx) -> Option<(usize, Match, RefractionKey)> {
-        // Rules sorted by (salience desc, insertion order) — computed on the
-        // fly; rule counts are small (tens) in the policy service.
-        let mut order: Vec<usize> = (0..self.rules.len()).collect();
-        order.sort_by_key(|&i| (-self.rules[i].salience(), i));
-        for idx in order {
+    ///
+    /// Semantically identical to re-matching every rule against the current
+    /// memory in (salience desc, installation) order and returning the first
+    /// non-refracted live tuple; the cache/dirty machinery only skips work
+    /// whose outcome cannot have changed.
+    fn next_activation(&mut self, ctx: &Ctx) -> Option<(usize, Match, RefractionKey)> {
+        self.ensure_order();
+        for oi in 0..self.order.len() {
+            let idx = self.order[oi];
             let rule = &self.rules[idx];
-            for m in rule.matches(&self.wm, ctx) {
+            let state = &mut self.states[idx];
+            if !state.computed || rule.watch().is_dirty(&self.wm, state.valid_at) {
+                let started = Instant::now();
+                state.matches = rule.matches(&self.wm, ctx);
+                state.eval_nanos += started.elapsed().as_nanos() as u64;
+                state.evaluations += 1;
+                state.matched += state.matches.len() as u64;
+                state.valid_at = self.wm.generation();
+                state.computed = true;
+                state.exhausted = false;
+                state.scan_from = 0;
+            } else if state.exhausted {
+                continue;
+            }
+            let mut pos = state.scan_from;
+            while pos < state.matches.len() {
+                let m = &state.matches[pos];
                 // A tuple containing a stale handle can arise if a matcher
                 // returned handles that another firing retracted; skip it.
                 if m.iter().any(|h| !self.wm.contains(*h)) {
+                    pos += 1;
+                    state.scan_from = pos;
                     continue;
                 }
-                let key: Vec<(FactHandle, u64)> = m
-                    .iter()
-                    .map(|h| (*h, self.wm.version(*h).unwrap_or(0)))
-                    .collect();
-                let full_key = (idx, key);
-                if !self.fired.contains(&full_key) {
-                    return Some((idx, m, full_key));
+                let key = RefractionKey::new(idx, m, &self.wm);
+                if self.fired.contains(&key) {
+                    pos += 1;
+                    state.scan_from = pos;
+                    continue;
                 }
+                // The caller refracts this tuple before firing, so the next
+                // scan may resume here.
+                state.scan_from = pos;
+                return Some((idx, m.clone(), key));
             }
+            state.exhausted = true;
         }
         None
     }
@@ -150,6 +413,7 @@ impl<Ctx> Default for Session<Ctx> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::any::TypeId;
 
     #[derive(Debug)]
     struct Counter(u64);
@@ -232,7 +496,7 @@ mod tests {
 
     #[test]
     fn salience_orders_firing() {
-        let mut s: Session<Vec<&'static str>> = Session::new();
+        let mut s: Session<Vec<&'static str>> = Session::new().with_firing_log();
         s.wm.insert(Counter(0));
         s.add_rule(
             Rule::new("low")
@@ -249,7 +513,8 @@ mod tests {
         let mut log = Vec::new();
         let report = s.fire_all(&mut log);
         assert_eq!(log, vec!["high", "low"]);
-        assert_eq!(report.log, vec!["high".to_string(), "low".to_string()]);
+        let logged: Vec<&str> = report.log.iter().map(|n| n.as_ref()).collect();
+        assert_eq!(logged, vec!["high", "low"]);
     }
 
     #[test]
@@ -376,5 +641,191 @@ mod tests {
         let mut pairs = 0;
         s.fire_all(&mut pairs);
         assert_eq!(pairs, 2);
+    }
+
+    #[test]
+    fn log_is_off_by_default_but_firings_still_counted() {
+        let mut s: Session<()> = Session::new();
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("noop")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        let r = s.fire_all(&mut ());
+        assert_eq!(r.firings, 1);
+        assert!(r.log.is_empty());
+    }
+
+    #[test]
+    fn clean_type_rules_are_not_reevaluated() {
+        let mut s: Session<()> = Session::new();
+        s.wm.insert(Counter(0));
+        s.wm.insert(Item { priority: None });
+        s.add_rule(
+            Rule::new("counters")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        s.add_rule(
+            Rule::new("items")
+                .when_each::<Item>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        s.fire_all(&mut ());
+        let before = s.rule_stats();
+        // Mutating only Item must leave the Counter rule's matcher untouched.
+        s.wm.insert(Item { priority: Some(2) });
+        let report = s.fire_all(&mut ());
+        assert_eq!(report.firings, 1);
+        let after = s.rule_stats();
+        assert_eq!(
+            after[0].evaluations, before[0].evaluations,
+            "Counter rule re-evaluated while its watched type was clean"
+        );
+        assert!(after[1].evaluations > before[1].evaluations);
+        // The per-run report shows the same: zero evaluations for the clean
+        // rule, at least one for the dirty rule.
+        assert_eq!(report.rule_stats[0].evaluations, 0);
+        assert!(report.rule_stats[1].evaluations >= 1);
+        assert_eq!(report.rule_stats[1].firings, 1);
+    }
+
+    #[test]
+    fn rule_stats_report_names_and_counts() {
+        let mut s: Session<()> = Session::new();
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("noop")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        s.fire_all(&mut ());
+        let stats = s.rule_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name.as_ref(), "noop");
+        assert_eq!(stats[0].firings, 1);
+        assert!(stats[0].evaluations >= 1);
+        assert!(stats[0].matches >= 1);
+    }
+
+    #[test]
+    fn invalidate_agenda_picks_up_ctx_changes() {
+        // Matchers read ctx but the engine (like Drools globals) does not
+        // watch it; invalidate_agenda is the explicit re-arm.
+        let mut s: Session<i64> = Session::new();
+        s.wm.insert(Counter(5));
+        s.add_rule(
+            Rule::new("above-threshold")
+                .when_each::<Counter>(|c, threshold| (c.0 as i64) > *threshold)
+                .then(|_, _, _| {}),
+        );
+        let mut threshold = 10;
+        assert_eq!(s.fire_all(&mut threshold).firings, 0);
+        threshold = 3;
+        assert_eq!(
+            s.fire_all(&mut threshold).firings,
+            0,
+            "ctx changes alone must not re-activate (Drools globals)"
+        );
+        s.invalidate_agenda();
+        assert_eq!(s.fire_all(&mut threshold).firings, 1);
+    }
+
+    #[test]
+    fn maybe_gc_keeps_fired_set_bounded() {
+        let mut s: Session<()> = Session::new();
+        s.add_rule(
+            Rule::new("noop")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        for i in 0..600 {
+            let h = s.wm.insert(Counter(i));
+            s.fire_all(&mut ());
+            s.wm.retract(h);
+            s.maybe_gc_refraction();
+        }
+        assert!(
+            s.fired.len() < 600,
+            "watermark GC never swept ({} entries)",
+            s.fired.len()
+        );
+    }
+
+    #[test]
+    fn wide_join_tuples_use_heap_keys() {
+        // A 3-fact join exceeds the inline key capacity; refraction must
+        // still hold (fires once per distinct triple).
+        let mut s: Session<u64> = Session::new();
+        s.wm.insert(Counter(1));
+        s.wm.insert(Counter(2));
+        s.wm.insert(Counter(3));
+        s.add_rule(
+            Rule::new("triple")
+                .when(|wm, _| {
+                    let hs = wm.handles::<Counter>();
+                    if hs.len() == 3 {
+                        vec![hs]
+                    } else {
+                        vec![]
+                    }
+                })
+                .then(|_, fired: &mut u64, _| *fired += 1),
+        );
+        let mut fired = 0;
+        s.fire_all(&mut fired);
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 1);
+        assert!(s
+            .fired
+            .iter()
+            .all(|k| matches!(k, RefractionKey::Heap { .. })));
+        assert_eq!(s.fired.iter().next().unwrap().facts().len(), 3);
+    }
+
+    #[test]
+    fn declared_join_watch_reacts_to_both_types() {
+        // A join rule with explicit watches must re-arm when either watched
+        // type changes, and must not when an unrelated type changes.
+        #[derive(Debug)]
+        struct Unrelated;
+        let mut s: Session<u64> = Session::new();
+        let ch = s.wm.insert(Counter(1));
+        s.wm.insert(Item { priority: None });
+        s.add_rule(
+            Rule::new("join")
+                .watches::<Counter>()
+                .watches::<Item>()
+                .when(|wm, _| {
+                    let mut out = Vec::new();
+                    for (c, _) in wm.iter::<Counter>() {
+                        for (i, _) in wm.iter::<Item>() {
+                            out.push(vec![c, i]);
+                        }
+                    }
+                    out
+                })
+                .then(|_, fired: &mut u64, _| *fired += 1),
+        );
+        assert_eq!(
+            s.rules[0].watch(),
+            &crate::rule::Watch::Types(vec![TypeId::of::<Counter>(), TypeId::of::<Item>()])
+        );
+        let mut fired = 0;
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 1);
+        let evals_before = s.rule_stats()[0].evaluations;
+        s.wm.insert(Unrelated);
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 1);
+        assert_eq!(
+            s.rule_stats()[0].evaluations,
+            evals_before,
+            "unrelated type dirtied a declared join watch"
+        );
+        s.wm.update::<Counter>(ch, |c| c.0 += 1);
+        s.fire_all(&mut fired);
+        assert_eq!(fired, 2, "updating a watched join input must re-arm");
     }
 }

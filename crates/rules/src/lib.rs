@@ -13,6 +13,13 @@
 //!   is updated), salience-descending conflict resolution, and a firing
 //!   budget guarding against divergent rule sets.
 //!
+//! Matching is *incremental*: each rule declares which fact types its
+//! matcher reads ([`rule::Watch`]; `when_each` infers it, join rules use
+//! [`RuleBuilder::watches`]), working memory tracks a per-type dirty
+//! generation, and the session caches each rule's matches between firings —
+//! re-evaluating a matcher only when a watched type actually changed. See
+//! the [`engine`] module docs for the agenda design and its invariants.
+//!
 //! ```
 //! use pwm_rules::{Rule, Session};
 //!
@@ -39,10 +46,12 @@
 
 pub mod engine;
 pub mod memory;
+#[cfg(test)]
+mod naive;
 pub mod query;
 pub mod rule;
 
-pub use engine::{FiringReport, Session};
+pub use engine::{FiringReport, RuleStats, Session};
 pub use memory::{Fact, FactHandle, WorkingMemory};
 pub use query::{count_where, exists, group_by, max_by, select, sum_by};
-pub use rule::{Match, Rule, RuleBuilder};
+pub use rule::{Match, Rule, RuleBuilder, Watch};

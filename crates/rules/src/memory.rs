@@ -13,6 +13,7 @@
 use std::any::{Any, TypeId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::Hash;
 
 /// Marker trait for values storable in working memory.
 ///
@@ -44,6 +45,49 @@ struct Slot {
     version: u64,
 }
 
+/// Type-erased secondary index, maintained on every insert/update/retract.
+/// The concrete type is always [`KeyIndex<T, K>`]; erasure lets
+/// [`WorkingMemory`] hold indexes over arbitrary fact/key type pairs.
+trait ErasedIndex: Send {
+    fn on_insert(&mut self, handle: FactHandle, fact: &dyn Fact);
+    fn on_remove(&mut self, handle: FactHandle, fact: &dyn Fact);
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Hash index from an extracted key to the handles bearing it, the alpha
+/// memory of a Rete network: equality joins probe this instead of scanning
+/// every fact of the type. Handle sets are ordered, so indexed lookups see
+/// facts in the same insertion order as [`WorkingMemory::iter`].
+struct KeyIndex<T: Fact, K: Eq + Hash + Clone + Send + 'static> {
+    extract: fn(&T) -> K,
+    map: HashMap<K, BTreeSet<FactHandle>>,
+}
+
+impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> ErasedIndex for KeyIndex<T, K> {
+    fn on_insert(&mut self, handle: FactHandle, fact: &dyn Fact) {
+        let t = fact.as_any().downcast_ref::<T>().expect("index fact type");
+        self.map
+            .entry((self.extract)(t))
+            .or_default()
+            .insert(handle);
+    }
+
+    fn on_remove(&mut self, handle: FactHandle, fact: &dyn Fact) {
+        let t = fact.as_any().downcast_ref::<T>().expect("index fact type");
+        let key = (self.extract)(t);
+        if let Some(set) = self.map.get_mut(&key) {
+            set.remove(&handle);
+            if set.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
 /// The fact store.
 #[derive(Default)]
 pub struct WorkingMemory {
@@ -53,6 +97,13 @@ pub struct WorkingMemory {
     /// Bumped on every insert/update/retract; engines watch it to detect
     /// quiescence.
     generation: u64,
+    /// Per-type dirty marks: the global generation at which each fact type
+    /// was last inserted/updated/retracted. The incremental engine compares
+    /// these against the generation a rule's match cache was computed at, so
+    /// a mutation to type `T` only invalidates rules watching `T`.
+    type_gen: HashMap<TypeId, u64>,
+    /// Secondary indexes, keyed by (fact type, key type).
+    indexes: HashMap<(TypeId, TypeId), Box<dyn ErasedIndex>>,
 }
 
 impl fmt::Debug for WorkingMemory {
@@ -75,6 +126,13 @@ impl WorkingMemory {
         let handle = FactHandle(self.next_handle);
         self.next_handle += 1;
         let type_id = TypeId::of::<T>();
+        for (_, idx) in self
+            .indexes
+            .iter_mut()
+            .filter(|((ft, _), _)| *ft == type_id)
+        {
+            idx.on_insert(handle, &fact);
+        }
         self.slots.insert(
             handle,
             Slot {
@@ -85,6 +143,7 @@ impl WorkingMemory {
         );
         self.by_type.entry(type_id).or_default().insert(handle);
         self.generation += 1;
+        self.type_gen.insert(type_id, self.generation);
         handle
     }
 
@@ -95,7 +154,16 @@ impl WorkingMemory {
                 if let Some(set) = self.by_type.get_mut(&slot.type_id) {
                     set.remove(&handle);
                 }
+                let type_id = slot.type_id;
+                for (_, idx) in self
+                    .indexes
+                    .iter_mut()
+                    .filter(|((ft, _), _)| *ft == type_id)
+                {
+                    idx.on_remove(handle, slot.fact.as_ref());
+                }
                 self.generation += 1;
+                self.type_gen.insert(slot.type_id, self.generation);
                 true
             }
             None => false,
@@ -119,9 +187,27 @@ impl WorkingMemory {
         match self.slots.get_mut(&handle) {
             Some(slot) => match slot.fact.as_mut().as_any_mut().downcast_mut::<T>() {
                 Some(value) => {
+                    let type_id = TypeId::of::<T>();
+                    // Unkey under the pre-update value, rekey under the new
+                    // one — the closure may change indexed fields.
+                    for (_, idx) in self
+                        .indexes
+                        .iter_mut()
+                        .filter(|((ft, _), _)| *ft == type_id)
+                    {
+                        idx.on_remove(handle, &*value);
+                    }
                     f(value);
+                    for (_, idx) in self
+                        .indexes
+                        .iter_mut()
+                        .filter(|((ft, _), _)| *ft == type_id)
+                    {
+                        idx.on_insert(handle, &*value);
+                    }
                     slot.version += 1;
                     self.generation += 1;
+                    self.type_gen.insert(slot.type_id, self.generation);
                     true
                 }
                 None => false,
@@ -141,6 +227,19 @@ impl WorkingMemory {
         self.generation
     }
 
+    /// Generation at which facts of `type_id` were last mutated (insert,
+    /// update or retract). Zero if the type has never been touched. A rule
+    /// whose match cache was computed at generation `g` is stale for type
+    /// `T` iff `type_generation(T) > g`.
+    pub fn type_generation(&self, type_id: TypeId) -> u64 {
+        self.type_gen.get(&type_id).copied().unwrap_or(0)
+    }
+
+    /// Typed convenience wrapper over [`WorkingMemory::type_generation`].
+    pub fn type_generation_of<T: Fact>(&self) -> u64 {
+        self.type_generation(TypeId::of::<T>())
+    }
+
     /// Iterate all facts of type `T` in handle (= insertion) order.
     pub fn iter<T: Fact>(&self) -> impl Iterator<Item = (FactHandle, &T)> {
         self.by_type
@@ -158,6 +257,68 @@ impl WorkingMemory {
     /// First fact of type `T` matching `pred`.
     pub fn find<T: Fact>(&self, pred: impl Fn(&T) -> bool) -> Option<(FactHandle, &T)> {
         self.iter::<T>().find(|(_, t)| pred(t))
+    }
+
+    /// Register a hash index over facts of type `T`, keyed by `extract`.
+    /// Existing facts are back-filled, and the index is maintained on every
+    /// subsequent insert/update/retract. One index per (fact type, key type)
+    /// pair; re-registering replaces the index.
+    ///
+    /// Equality joins probe the index via [`WorkingMemory::find_by`] in O(1)
+    /// instead of scanning every fact of the type — the alpha memory of a
+    /// Rete network.
+    pub fn register_index<T: Fact, K: Eq + Hash + Clone + Send + 'static>(
+        &mut self,
+        extract: fn(&T) -> K,
+    ) {
+        let mut index = KeyIndex::<T, K> {
+            extract,
+            map: HashMap::new(),
+        };
+        for (h, t) in self.iter::<T>() {
+            index.map.entry(extract(t)).or_default().insert(h);
+        }
+        self.indexes
+            .insert((TypeId::of::<T>(), TypeId::of::<K>()), Box::new(index));
+    }
+
+    fn key_index<T: Fact, K: Eq + Hash + Clone + Send + 'static>(&self) -> &KeyIndex<T, K> {
+        self.indexes
+            .get(&(TypeId::of::<T>(), TypeId::of::<K>()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no index over {} keyed by {}; call register_index first",
+                    std::any::type_name::<T>(),
+                    std::any::type_name::<K>()
+                )
+            })
+            .as_any()
+            .downcast_ref::<KeyIndex<T, K>>()
+            .expect("index shape matches its registration key")
+    }
+
+    /// Handles of facts of type `T` whose indexed key equals `key`, in
+    /// insertion order. Panics if no such index was registered.
+    pub fn lookup_by<T: Fact, K: Eq + Hash + Clone + Send + 'static>(
+        &self,
+        key: &K,
+    ) -> Vec<FactHandle> {
+        self.key_index::<T, K>()
+            .map
+            .get(key)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// First (lowest-handle) fact of type `T` whose indexed key equals
+    /// `key` — the indexed equivalent of [`WorkingMemory::find`] with a
+    /// key-equality predicate. Panics if no such index was registered.
+    pub fn find_by<T: Fact, K: Eq + Hash + Clone + Send + 'static>(
+        &self,
+        key: &K,
+    ) -> Option<(FactHandle, &T)> {
+        let handle = *self.key_index::<T, K>().map.get(key)?.iter().next()?;
+        Some((handle, self.get::<T>(handle).expect("indexed fact is live")))
     }
 
     /// Number of facts of type `T`.
@@ -299,6 +460,84 @@ mod tests {
         assert_eq!(wm.retract_all::<Transfer>(), 2);
         assert_eq!(wm.count::<Transfer>(), 0);
         assert_eq!(wm.count::<Cleanup>(), 1);
+    }
+
+    #[test]
+    fn type_generation_tracks_only_its_type() {
+        let mut wm = WorkingMemory::new();
+        assert_eq!(wm.type_generation_of::<Transfer>(), 0);
+        let h = wm.insert(Transfer { id: 1, streams: 0 });
+        let t1 = wm.type_generation_of::<Transfer>();
+        assert!(t1 > 0);
+        wm.insert(Cleanup { file: "a".into() });
+        assert_eq!(
+            wm.type_generation_of::<Transfer>(),
+            t1,
+            "mutating Cleanup must not dirty Transfer"
+        );
+        assert!(wm.type_generation_of::<Cleanup>() > t1);
+        wm.update::<Transfer>(h, |t| t.streams = 2);
+        let t2 = wm.type_generation_of::<Transfer>();
+        assert!(t2 > t1);
+        wm.retract(h);
+        assert!(wm.type_generation_of::<Transfer>() > t2);
+    }
+
+    #[test]
+    fn index_backfills_and_tracks_mutations() {
+        let mut wm = WorkingMemory::new();
+        let h1 = wm.insert(Cleanup { file: "a".into() });
+        wm.register_index::<Cleanup, String>(|c| c.file.clone());
+        // Back-filled.
+        assert_eq!(
+            wm.find_by::<Cleanup, String>(&"a".to_string()).unwrap().0,
+            h1
+        );
+        // Maintained on insert.
+        let h2 = wm.insert(Cleanup { file: "b".into() });
+        assert_eq!(
+            wm.find_by::<Cleanup, String>(&"b".to_string()).unwrap().0,
+            h2
+        );
+        // Maintained on key-changing update.
+        wm.update::<Cleanup>(h1, |c| c.file = "c".into());
+        assert!(wm.find_by::<Cleanup, String>(&"a".to_string()).is_none());
+        assert_eq!(
+            wm.find_by::<Cleanup, String>(&"c".to_string()).unwrap().0,
+            h1
+        );
+        // Maintained on retract.
+        wm.retract(h2);
+        assert!(wm.find_by::<Cleanup, String>(&"b".to_string()).is_none());
+    }
+
+    #[test]
+    fn index_lookup_is_insertion_ordered() {
+        let mut wm = WorkingMemory::new();
+        wm.register_index::<Cleanup, String>(|c| c.file.clone());
+        let h1 = wm.insert(Cleanup { file: "x".into() });
+        let h2 = wm.insert(Cleanup { file: "x".into() });
+        wm.insert(Cleanup { file: "y".into() });
+        assert_eq!(
+            wm.lookup_by::<Cleanup, String>(&"x".to_string()),
+            vec![h1, h2]
+        );
+        // find_by returns the lowest handle, like a linear `find` would.
+        assert_eq!(
+            wm.find_by::<Cleanup, String>(&"x".to_string()).unwrap().0,
+            h1
+        );
+        // Indexes on other types are untouched by Cleanup traffic.
+        wm.register_index::<Transfer, u32>(|t| t.id);
+        let ht = wm.insert(Transfer { id: 7, streams: 0 });
+        assert_eq!(wm.find_by::<Transfer, u32>(&7).unwrap().0, ht);
+    }
+
+    #[test]
+    #[should_panic(expected = "no index")]
+    fn unregistered_index_lookup_panics() {
+        let wm = WorkingMemory::new();
+        wm.find_by::<Cleanup, String>(&"a".to_string());
     }
 
     #[test]

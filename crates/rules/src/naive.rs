@@ -1,0 +1,289 @@
+//! Reference evaluator for equivalence testing.
+//!
+//! [`NaiveSession`] is the pre-incremental engine kept verbatim: every call
+//! to `next_activation` re-evaluates every rule's matcher against the
+//! current working memory and re-sorts the salience order. It is the oracle
+//! the incremental agenda in [`crate::engine`] is tested against — randomized
+//! scripts of inserts/updates/retracts/firings must produce bit-identical
+//! firing sequences and final memory state on both engines.
+//!
+//! Test-only: compiled under `#[cfg(test)]` from `lib.rs`.
+
+use crate::memory::{FactHandle, WorkingMemory};
+use crate::rule::{Match, Rule};
+use std::collections::HashSet;
+
+type RefractionKey = (usize, Vec<(FactHandle, u64)>);
+
+/// Firing outcome mirroring `FiringReport`, with owned-name log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct NaiveReport {
+    pub firings: usize,
+    pub log: Vec<String>,
+    pub budget_exhausted: bool,
+}
+
+/// The O(firings × rules × facts) engine this crate used to ship.
+pub(crate) struct NaiveSession<Ctx> {
+    pub wm: WorkingMemory,
+    rules: Vec<Rule<Ctx>>,
+    fired: HashSet<RefractionKey>,
+    max_firings: usize,
+}
+
+impl<Ctx> NaiveSession<Ctx> {
+    pub fn new() -> Self {
+        NaiveSession {
+            wm: WorkingMemory::new(),
+            rules: Vec::new(),
+            fired: HashSet::new(),
+            max_firings: 100_000,
+        }
+    }
+
+    pub fn with_max_firings(mut self, max: usize) -> Self {
+        self.max_firings = max.max(1);
+        self
+    }
+
+    pub fn add_rule(&mut self, rule: Rule<Ctx>) {
+        self.rules.push(rule);
+    }
+
+    pub fn reset_refraction(&mut self) {
+        self.fired.clear();
+    }
+
+    pub fn gc_refraction(&mut self) {
+        let wm = &self.wm;
+        self.fired
+            .retain(|(_, tuple)| tuple.iter().all(|(h, _)| wm.contains(*h)));
+    }
+
+    pub fn fire_all(&mut self, ctx: &mut Ctx) -> NaiveReport {
+        let mut report = NaiveReport {
+            firings: 0,
+            log: Vec::new(),
+            budget_exhausted: false,
+        };
+        while report.firings < self.max_firings {
+            match self.next_activation(ctx) {
+                Some((rule_idx, m, key)) => {
+                    self.fired.insert(key);
+                    let rule = &mut self.rules[rule_idx];
+                    report.log.push(rule.name().to_string());
+                    rule.fire(&mut self.wm, ctx, &m);
+                    report.firings += 1;
+                }
+                None => return report,
+            }
+        }
+        report.budget_exhausted = true;
+        report
+    }
+
+    fn next_activation(&self, ctx: &Ctx) -> Option<(usize, Match, RefractionKey)> {
+        let mut order: Vec<usize> = (0..self.rules.len()).collect();
+        order.sort_by_key(|&i| (-self.rules[i].salience(), i));
+        for idx in order {
+            let rule = &self.rules[idx];
+            for m in rule.matches(&self.wm, ctx) {
+                if m.iter().any(|h| !self.wm.contains(*h)) {
+                    continue;
+                }
+                let key: Vec<(FactHandle, u64)> = m
+                    .iter()
+                    .map(|h| (*h, self.wm.version(*h).unwrap_or(0)))
+                    .collect();
+                let full_key = (idx, key);
+                if !self.fired.contains(&full_key) {
+                    return Some((idx, m, full_key));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Randomized equivalence: the incremental agenda must be observationally
+/// identical to the naive engine on arbitrary fact/firing scripts.
+mod equivalence {
+    use super::NaiveSession;
+    use crate::engine::Session;
+    use crate::memory::FactHandle;
+    use crate::rule::Rule;
+    use proptest::prelude::*;
+
+    #[derive(Debug)]
+    struct A(u32);
+
+    #[derive(Debug)]
+    struct B(u32);
+
+    type Ctx = Vec<String>;
+
+    /// One step of a random session script. Handle-indexed ops address the
+    /// i-th handle ever inserted (possibly already retracted — both engines
+    /// must agree on the resulting no-op too).
+    #[derive(Debug, Clone)]
+    enum Op {
+        InsertA(u32),
+        InsertB(u32),
+        UpdateA(usize),
+        UpdateB(usize),
+        Retract(usize),
+        Fire,
+        ResetRefraction,
+        GcRefraction,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u8..8, 0u32..12).prop_map(|(tag, n)| match tag {
+            0 => Op::InsertA(n),
+            1 => Op::InsertB(n),
+            2 => Op::UpdateA(n as usize),
+            3 => Op::UpdateB(n as usize),
+            4 => Op::Retract(n as usize),
+            5 => Op::ResetRefraction,
+            6 => Op::GcRefraction,
+            _ => Op::Fire,
+        })
+    }
+
+    /// The shared rule set, exercising every matcher form: chaining
+    /// `when_each`, a declared-watch two-type join, a high-salience
+    /// retraction rule, a `when_once`, and a negative-salience observer.
+    /// Installed identically into both engines.
+    fn install_rules(add: &mut dyn FnMut(Rule<Ctx>)) {
+        add(Rule::new("bump-small-a")
+            .salience(5)
+            .when_each::<A>(|a, _| a.0 < 3)
+            .then(|wm, ctx: &mut Ctx, m| {
+                wm.update::<A>(m[0], |a| a.0 += 1);
+                ctx.push("bump".into());
+            }));
+        add(Rule::new("retract-large-b")
+            .salience(8)
+            .when_each::<B>(|b, _| b.0 >= 10)
+            .then(|wm, ctx: &mut Ctx, m| {
+                wm.retract(m[0]);
+                ctx.push("retract".into());
+            }));
+        add(Rule::new("parity-join")
+            .watches::<A>()
+            .watches::<B>()
+            .when(|wm, _| {
+                let mut out = Vec::new();
+                for (ah, a) in wm.iter::<A>() {
+                    for (bh, b) in wm.iter::<B>() {
+                        if a.0 % 2 == b.0 % 2 {
+                            out.push(vec![ah, bh]);
+                        }
+                    }
+                }
+                out
+            })
+            .then(|wm, ctx: &mut Ctx, m| {
+                wm.update::<B>(m[1], |b| {
+                    if b.0 < 8 {
+                        b.0 += 2;
+                    }
+                });
+                ctx.push("join".into());
+            }));
+        add(Rule::new("once-any-a")
+            .when_once(|wm, _| wm.count::<A>() > 0)
+            .then(|_, ctx: &mut Ctx, _| ctx.push("once".into())));
+        add(Rule::new("observe-a")
+            .salience(-1)
+            .when_each::<A>(|_, _| true)
+            .then(|_, ctx: &mut Ctx, _| ctx.push("observe".into())));
+    }
+
+    fn dump(wm: &crate::memory::WorkingMemory) -> Vec<(u64, String)> {
+        let mut out: Vec<(u64, String)> = wm
+            .iter::<A>()
+            .map(|(h, a)| (h.0, format!("{a:?}")))
+            .chain(wm.iter::<B>().map(|(h, b)| (h.0, format!("{b:?}"))))
+            .collect();
+        out.sort();
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_matches_naive_on_random_scripts(
+            ops in proptest::collection::vec(op_strategy(), 0..40)
+        ) {
+            let mut inc: Session<Ctx> = Session::new().with_max_firings(100).with_firing_log();
+            let mut nai: NaiveSession<Ctx> = NaiveSession::new().with_max_firings(100);
+            install_rules(&mut |r| inc.add_rule(r));
+            install_rules(&mut |r| nai.add_rule(r));
+            let mut ctx_inc: Ctx = Vec::new();
+            let mut ctx_nai: Ctx = Vec::new();
+            // Both sessions start empty and see the same inserts, so handle
+            // values line up; indexed ops address the i-th insertion.
+            let mut handles: Vec<FactHandle> = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::InsertA(n) => {
+                        let h = inc.wm.insert(A(*n));
+                        let h2 = nai.wm.insert(A(*n));
+                        prop_assert_eq!(h, h2);
+                        handles.push(h);
+                    }
+                    Op::InsertB(n) => {
+                        let h = inc.wm.insert(B(*n));
+                        let h2 = nai.wm.insert(B(*n));
+                        prop_assert_eq!(h, h2);
+                        handles.push(h);
+                    }
+                    Op::UpdateA(i) => {
+                        if let Some(&h) = handles.get(i % handles.len().max(1)) {
+                            let a = inc.wm.update::<A>(h, |a| a.0 += 1);
+                            let b = nai.wm.update::<A>(h, |a| a.0 += 1);
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                    Op::UpdateB(i) => {
+                        if let Some(&h) = handles.get(i % handles.len().max(1)) {
+                            let a = inc.wm.update::<B>(h, |b| b.0 += 1);
+                            let b = nai.wm.update::<B>(h, |b| b.0 += 1);
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                    Op::Retract(i) => {
+                        if let Some(&h) = handles.get(i % handles.len().max(1)) {
+                            let a = inc.wm.retract(h);
+                            let b = nai.wm.retract(h);
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                    Op::Fire => {
+                        let ri = inc.fire_all(&mut ctx_inc);
+                        let rn = nai.fire_all(&mut ctx_nai);
+                        prop_assert_eq!(ri.firings, rn.firings);
+                        prop_assert_eq!(ri.budget_exhausted, rn.budget_exhausted);
+                        let inc_log: Vec<&str> = ri.log.iter().map(|n| n.as_ref()).collect();
+                        let nai_log: Vec<&str> = rn.log.iter().map(|n| n.as_str()).collect();
+                        prop_assert_eq!(inc_log, nai_log, "firing sequences diverged");
+                    }
+                    Op::ResetRefraction => {
+                        inc.reset_refraction();
+                        nai.reset_refraction();
+                    }
+                    Op::GcRefraction => {
+                        inc.gc_refraction();
+                        nai.gc_refraction();
+                    }
+                }
+            }
+            // Drain to quiescence, then compare every observable.
+            let ri = inc.fire_all(&mut ctx_inc);
+            let rn = nai.fire_all(&mut ctx_nai);
+            prop_assert_eq!(ri.firings, rn.firings);
+            prop_assert_eq!(&ctx_inc, &ctx_nai, "action effects on ctx diverged");
+            prop_assert_eq!(dump(&inc.wm), dump(&nai.wm), "final memories diverged");
+        }
+    }
+}

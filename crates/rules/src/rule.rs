@@ -6,8 +6,17 @@
 //! *salience* — higher fires first, mirroring Drools — and are generic over a
 //! `Ctx` type standing in for Drools globals (the Policy Service passes its
 //! configuration and response buffers through it).
+//!
+//! Rules additionally declare which fact types their matcher *reads* (the
+//! [`Watch`] set). The incremental engine only re-evaluates a matcher when
+//! one of its watched types has been mutated since the last evaluation;
+//! `when_each::<T>` subscribes to `T` automatically, join rules built with
+//! [`RuleBuilder::when`] declare reads via [`RuleBuilder::watches`], and
+//! undeclared rules conservatively watch everything.
 
 use crate::memory::{FactHandle, WorkingMemory};
+use std::any::TypeId;
+use std::sync::Arc;
 
 /// A matched fact tuple: the handles a rule instance binds to.
 ///
@@ -18,12 +27,37 @@ pub type Match = Vec<FactHandle>;
 type Matcher<Ctx> = Box<dyn Fn(&WorkingMemory, &Ctx) -> Vec<Match> + Send>;
 type Action<Ctx> = Box<dyn FnMut(&mut WorkingMemory, &mut Ctx, &Match) + Send>;
 
+/// Which fact types a rule's matcher reads.
+///
+/// This is the rule's subscription in the engine's dirty-set propagation: a
+/// matcher is only re-evaluated when a watched type changed. `All` is the
+/// conservative default for rules that never declared their reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Watch {
+    /// Re-evaluate whenever *any* fact changes (no declaration).
+    All,
+    /// Re-evaluate only when one of these fact types changes.
+    Types(Vec<TypeId>),
+}
+
+impl Watch {
+    /// True when a memory at generation `now` may produce different matches
+    /// than one seen at `valid_at`, as far as this watch set can tell.
+    pub fn is_dirty(&self, wm: &WorkingMemory, valid_at: u64) -> bool {
+        match self {
+            Watch::All => wm.generation() > valid_at,
+            Watch::Types(types) => types.iter().any(|t| wm.type_generation(*t) > valid_at),
+        }
+    }
+}
+
 /// A production rule.
 pub struct Rule<Ctx> {
-    name: String,
+    name: Arc<str>,
     salience: i32,
     matcher: Matcher<Ctx>,
     action: Action<Ctx>,
+    watch: Watch,
 }
 
 impl<Ctx> Rule<Ctx> {
@@ -35,6 +69,7 @@ impl<Ctx> Rule<Ctx> {
             salience: 0,
             matcher: None,
             action: None,
+            watched_types: None,
         }
     }
 
@@ -43,9 +78,20 @@ impl<Ctx> Rule<Ctx> {
         &self.name
     }
 
+    /// Shared handle to the rule name — the engine's firing log stores these
+    /// instead of allocating a fresh `String` per firing.
+    pub fn name_arc(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
     /// Firing priority; higher fires first.
     pub fn salience(&self) -> i32 {
         self.salience
+    }
+
+    /// The fact types this rule's matcher reads.
+    pub fn watch(&self) -> &Watch {
+        &self.watch
     }
 
     pub(crate) fn matches(&self, wm: &WorkingMemory, ctx: &Ctx) -> Vec<Match> {
@@ -62,6 +108,7 @@ impl<Ctx> std::fmt::Debug for Rule<Ctx> {
         f.debug_struct("Rule")
             .field("name", &self.name)
             .field("salience", &self.salience)
+            .field("watch", &self.watch)
             .finish()
     }
 }
@@ -72,12 +119,31 @@ pub struct RuleBuilder<Ctx> {
     salience: i32,
     matcher: Option<Matcher<Ctx>>,
     action: Option<Action<Ctx>>,
+    /// `None` = never declared (→ [`Watch::All`] unless `when_each` infers);
+    /// `Some(types)` = explicit subscription list.
+    watched_types: Option<Vec<TypeId>>,
 }
 
 impl<Ctx> RuleBuilder<Ctx> {
     /// Set the salience (default 0; higher fires first).
     pub fn salience(mut self, salience: i32) -> Self {
         self.salience = salience;
+        self
+    }
+
+    /// Declare that the matcher reads facts of type `T`.
+    ///
+    /// Call once per fact type a [`RuleBuilder::when`] matcher inspects —
+    /// including types it joins against but does not return in the match
+    /// tuple. The engine then skips re-evaluating the matcher while all
+    /// declared types are unchanged. Omitting the declaration is always
+    /// safe (the rule watches everything); under-declaring is not.
+    pub fn watches<T: crate::memory::Fact>(mut self) -> Self {
+        let id = TypeId::of::<T>();
+        let types = self.watched_types.get_or_insert_with(Vec::new);
+        if !types.contains(&id) {
+            types.push(id);
+        }
         self
     }
 
@@ -91,7 +157,8 @@ impl<Ctx> RuleBuilder<Ctx> {
     }
 
     /// Convenience matcher over all facts of one type passing a predicate:
-    /// each matching fact becomes a single-handle tuple.
+    /// each matching fact becomes a single-handle tuple. Automatically
+    /// subscribes the rule to type `T` (dirty-set propagation).
     pub fn when_each<T: crate::memory::Fact>(
         mut self,
         pred: impl Fn(&T, &Ctx) -> bool + Send + 'static,
@@ -102,21 +169,26 @@ impl<Ctx> RuleBuilder<Ctx> {
                 .map(|(h, _)| vec![h])
                 .collect()
         }));
-        self
+        self.watches::<T>()
     }
 
     /// Matcher that fires once (empty tuple) when a condition over the whole
     /// memory holds. Refraction note: an empty tuple has no versions, so the
     /// rule will not re-fire until the engine's fired-set is reset — use for
     /// one-shot setup rules.
-    pub fn when_once(mut self, pred: impl Fn(&WorkingMemory, &Ctx) -> bool + Send + 'static) -> Self {
-        self.matcher = Some(Box::new(move |wm, ctx| {
-            if pred(wm, ctx) {
-                vec![vec![]]
-            } else {
-                vec![]
-            }
-        }));
+    pub fn when_once(
+        mut self,
+        pred: impl Fn(&WorkingMemory, &Ctx) -> bool + Send + 'static,
+    ) -> Self {
+        self.matcher = Some(Box::new(
+            move |wm, ctx| {
+                if pred(wm, ctx) {
+                    vec![vec![]]
+                } else {
+                    vec![]
+                }
+            },
+        ));
         self
     }
 
@@ -127,10 +199,14 @@ impl<Ctx> RuleBuilder<Ctx> {
     ) -> Rule<Ctx> {
         self.action = Some(Box::new(action));
         Rule {
-            name: self.name,
+            name: Arc::from(self.name.as_str()),
             salience: self.salience,
             matcher: self.matcher.expect("rule needs a `when` clause"),
             action: self.action.expect("rule needs a `then` clause"),
+            watch: match self.watched_types {
+                Some(types) => Watch::Types(types),
+                None => Watch::All,
+            },
         }
     }
 }
@@ -141,6 +217,9 @@ mod tests {
 
     #[derive(Debug)]
     struct Num(i64);
+
+    #[derive(Debug)]
+    struct Other(#[allow(dead_code)] i64);
 
     #[test]
     fn builder_produces_named_rule() {
@@ -200,6 +279,7 @@ mod tests {
             salience: 0,
             matcher: None,
             action: None,
+            watched_types: None,
         }
         .then(|_, _, _| {});
     }
@@ -216,5 +296,51 @@ mod tests {
         let m = vec![h];
         r.fire(&mut wm, &mut (), &m);
         assert_eq!(wm.get::<Num>(h).unwrap().0, 4);
+    }
+
+    #[test]
+    fn when_each_auto_watches_its_type() {
+        let r: Rule<()> = Rule::new("evens")
+            .when_each::<Num>(|n, _| n.0 % 2 == 0)
+            .then(|_, _, _| {});
+        assert_eq!(r.watch(), &Watch::Types(vec![TypeId::of::<Num>()]));
+    }
+
+    #[test]
+    fn undeclared_when_watches_all() {
+        let r: Rule<()> = Rule::new("join").when(|_, _| vec![]).then(|_, _, _| {});
+        assert_eq!(r.watch(), &Watch::All);
+    }
+
+    #[test]
+    fn watches_declares_and_dedups_types() {
+        let r: Rule<()> = Rule::new("join")
+            .watches::<Num>()
+            .watches::<Other>()
+            .watches::<Num>()
+            .when(|_, _| vec![])
+            .then(|_, _, _| {});
+        assert_eq!(
+            r.watch(),
+            &Watch::Types(vec![TypeId::of::<Num>(), TypeId::of::<Other>()])
+        );
+    }
+
+    #[test]
+    fn watch_dirtiness_is_per_type() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Num(1));
+        let at = wm.generation();
+        let watch_num = Watch::Types(vec![TypeId::of::<Num>()]);
+        let watch_all = Watch::All;
+        assert!(!watch_num.is_dirty(&wm, at));
+        wm.insert(Other(1));
+        assert!(
+            !watch_num.is_dirty(&wm, at),
+            "Other must not dirty Num watch"
+        );
+        assert!(watch_all.is_dirty(&wm, at));
+        wm.insert(Num(2));
+        assert!(watch_num.is_dirty(&wm, at));
     }
 }

@@ -70,7 +70,13 @@ impl Histogram {
         self.buckets
             .iter()
             .enumerate()
-            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .map(|(i, &c)| {
+                (
+                    self.lo + i as f64 * width,
+                    self.lo + (i + 1) as f64 * width,
+                    c,
+                )
+            })
             .collect()
     }
 

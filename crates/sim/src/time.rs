@@ -258,8 +258,12 @@ mod tests {
     #[test]
     fn addition_saturates_at_max() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn scratch_url_is_namespaced_by_workflow() {
         let u = site().scratch_url("montage-run-1", "raw_007.fits");
-        assert_eq!(u.to_string(), "file://obelix-nfs/scratch/montage-run-1/raw_007.fits");
+        assert_eq!(
+            u.to_string(),
+            "file://obelix-nfs/scratch/montage-run-1/raw_007.fits"
+        );
     }
 
     #[test]

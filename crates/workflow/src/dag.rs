@@ -207,8 +207,7 @@ impl AbstractWorkflow {
             indegree[b.0] += 1;
         }
         let mut level = vec![0usize; n];
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut visited = 0;
         while let Some(j) = queue.pop_front() {
             visited += 1;

@@ -96,7 +96,9 @@ pub fn parse_dax(text: &str) -> Result<AbstractWorkflow, DaxError> {
                 let job_name = tag
                     .attr("name")
                     .ok_or_else(|| DaxError::Attribute("job missing name".into()))?;
-                let transformation = tag.attr("transformation").unwrap_or_else(|| job_name.clone());
+                let transformation = tag
+                    .attr("transformation")
+                    .unwrap_or_else(|| job_name.clone());
                 let runtime_s: f64 = tag
                     .attr("runtime")
                     .unwrap_or_else(|| "1".into())
@@ -238,10 +240,9 @@ impl<'a> Parser<'a> {
 
     fn next_tag(&mut self) -> Result<Tag, DaxError> {
         self.skip_ws_and_comments();
-        let rest = self
-            .rest
-            .strip_prefix('<')
-            .ok_or_else(|| DaxError::Structure(format!("expected tag, found {:?}", head(self.rest))))?;
+        let rest = self.rest.strip_prefix('<').ok_or_else(|| {
+            DaxError::Structure(format!("expected tag, found {:?}", head(self.rest)))
+        })?;
         let end = rest
             .find('>')
             .ok_or_else(|| DaxError::Structure("unterminated tag".into()))?;

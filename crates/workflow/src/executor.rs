@@ -318,7 +318,9 @@ impl<'p> WorkflowExecutor<'p> {
     fn schedule_ready(&mut self) {
         // Compute jobs take cores.
         while self.compute_slots_free > 0 {
-            let Some(job) = self.ready_compute.pop() else { break };
+            let Some(job) = self.ready_compute.pop() else {
+                break;
+            };
             self.compute_slots_free -= 1;
             self.state[job] = JobState::Running;
             self.trace.info(
@@ -339,12 +341,16 @@ impl<'p> WorkflowExecutor<'p> {
             self.grow_scratch(output_bytes as f64);
             let actual = runtime_s * self.rng.jitter(self.config.runtime_jitter);
             self.compute_core_seconds += actual;
-            self.events
-                .schedule_at(self.now + SimDuration::from_secs_f64(actual), Ev::ComputeDone(job));
+            self.events.schedule_at(
+                self.now + SimDuration::from_secs_f64(actual),
+                Ev::ComputeDone(job),
+            );
         }
         // Staging jobs respect the local job limit.
         while self.staging_in_flight < self.config.staging_job_limit {
-            let Some(job) = self.ready_staging.pop() else { break };
+            let Some(job) = self.ready_staging.pop() else {
+                break;
+            };
             self.staging_in_flight += 1;
             self.state[job] = JobState::Running;
             self.staging_jobs_run += 1;
@@ -353,8 +359,10 @@ impl<'p> WorkflowExecutor<'p> {
                 "executor",
                 format!("staging job {} released", self.plan.jobs()[job].name),
             );
-            self.events
-                .schedule_at(self.now + self.config.job_init_overhead, Ev::StagingInit(job));
+            self.events.schedule_at(
+                self.now + self.config.job_init_overhead,
+                Ev::StagingInit(job),
+            );
         }
         // Cleanup jobs are lightweight local jobs, optionally throttled by a
         // DAGMan-style category limit.
@@ -364,12 +372,16 @@ impl<'p> WorkflowExecutor<'p> {
                     break;
                 }
             }
-            let Some(job) = self.ready_cleanup.pop() else { break };
+            let Some(job) = self.ready_cleanup.pop() else {
+                break;
+            };
             self.cleanup_in_flight += 1;
             self.state[job] = JobState::Running;
             self.cleanup_jobs_run += 1;
-            self.events
-                .schedule_at(self.now + self.config.policy_call_latency, Ev::CleanupAdvice(job));
+            self.events.schedule_at(
+                self.now + self.config.policy_call_latency,
+                Ev::CleanupAdvice(job),
+            );
         }
     }
 
@@ -501,10 +513,7 @@ impl<'p> WorkflowExecutor<'p> {
                     .unwrap_or(self.config.workflow_id);
                 let specs: Vec<CleanupSpec> = files
                     .into_iter()
-                    .map(|(file, _bytes)| CleanupSpec {
-                        file,
-                        workflow,
-                    })
+                    .map(|(file, _bytes)| CleanupSpec { file, workflow })
                     .collect();
                 let advice = self.transport.evaluate_cleanups(specs).unwrap_or_default();
                 let any_work = advice.iter().any(|a| a.should_execute());
@@ -541,8 +550,10 @@ impl<'p> WorkflowExecutor<'p> {
                     self.policy_calls += 1;
                     let _ = self.transport.report_cleanups(outcomes);
                 }
-                self.events
-                    .schedule_at(self.now + self.config.policy_call_latency, Ev::JobFinish(job));
+                self.events.schedule_at(
+                    self.now + self.config.policy_call_latency,
+                    Ev::JobFinish(job),
+                );
             }
             Ev::JobFinish(job) => {
                 match self.plan.jobs()[job].kind {
@@ -586,7 +597,8 @@ impl<'p> WorkflowExecutor<'p> {
                     let _ = self.transport.report_transfers(outcomes);
                     self.config.policy_call_latency
                 };
-                self.events.schedule_at(self.now + delay, Ev::JobFinish(job));
+                self.events
+                    .schedule_at(self.now + delay, Ev::JobFinish(job));
                 return;
             }
             let ix = run.next_advice;
@@ -643,7 +655,10 @@ impl<'p> WorkflowExecutor<'p> {
                 self.trace.warn(
                     self.now,
                     "ptt",
-                    format!("transfer failed for job {}; retrying", self.plan.jobs()[job].name),
+                    format!(
+                        "transfer failed for job {}; retrying",
+                        self.plan.jobs()[job].name
+                    ),
                 );
                 self.policy_calls += 1;
                 let _ = self.transport.report_transfers(vec![TransferOutcome {
@@ -798,8 +813,12 @@ mod tests {
 
     #[test]
     fn small_workflow_completes() {
-        let (stats, _net, _c) =
-            run_with_policy(4, 1_000_000, PolicyConfig::default(), ExecutorConfig::default());
+        let (stats, _net, _c) = run_with_policy(
+            4,
+            1_000_000,
+            PolicyConfig::default(),
+            ExecutorConfig::default(),
+        );
         assert!(stats.success);
         assert_eq!(stats.compute_jobs, 4);
         assert_eq!(stats.staging_jobs, 4);
@@ -809,8 +828,12 @@ mod tests {
 
     #[test]
     fn cleanups_run_and_clear_policy_memory() {
-        let (stats, _net, controller) =
-            run_with_policy(3, 1_000_000, PolicyConfig::default(), ExecutorConfig::default());
+        let (stats, _net, controller) = run_with_policy(
+            3,
+            1_000_000,
+            PolicyConfig::default(),
+            ExecutorConfig::default(),
+        );
         assert!(stats.success);
         assert!(stats.cleanup_jobs > 0);
         let snap = controller.snapshot(DEFAULT_SESSION).unwrap();
@@ -835,7 +858,10 @@ mod tests {
         let (stats, _net, _c) = run_with_policy(40, 20_000_000, policy, cfg);
         assert!(stats.success);
         let peak = stats.peak_wan_streams.unwrap();
-        assert!(peak <= 80, "peak {peak} streams exceeds 20 jobs × 4 streams");
+        assert!(
+            peak <= 80,
+            "peak {peak} streams exceeds 20 jobs × 4 streams"
+        );
         assert!(peak > 0);
     }
 
@@ -908,7 +934,11 @@ mod tests {
             let mut cfg = ExecutorConfig::default();
             cfg.seed = 42;
             let (stats, _, _) = run_with_policy(10, 10_000_000, PolicyConfig::default(), cfg);
-            (stats.makespan, stats.policy_calls, stats.bytes_staged as u64)
+            (
+                stats.makespan,
+                stats.policy_calls,
+                stats.bytes_staged as u64,
+            )
         };
         assert_eq!(mk(), mk());
     }
@@ -950,8 +980,7 @@ mod tests {
         assert_eq!(p.stage_in_count(), 2);
         let controller = PolicyController::new(PolicyConfig::default());
         let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
-        let exec =
-            WorkflowExecutor::new(&p, &site, network, transport, ExecutorConfig::default());
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, ExecutorConfig::default());
         let (stats, _net) = exec.run();
         assert!(stats.success);
         // One of the two staging attempts was suppressed...
@@ -976,8 +1005,7 @@ mod tests {
         let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
         let controller = PolicyController::new(PolicyConfig::default());
         let transport = Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
-        let exec =
-            WorkflowExecutor::new(&p, &site, network, transport, ExecutorConfig::default());
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, ExecutorConfig::default());
         let (stats, _net, trace) = exec.run_traced();
         assert!(stats.success);
         assert!(!trace.grep("staging job").is_empty());
@@ -1123,8 +1151,7 @@ mod tests {
             };
             let p = plan(&wf, &site, &rc, &cfg).unwrap();
             let controller = PolicyController::new(PolicyConfig::default());
-            let transport =
-                Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
+            let transport = Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
             let exec =
                 WorkflowExecutor::new(&p, &site, network, transport, ExecutorConfig::default());
             let (stats, _) = exec.run();
@@ -1133,7 +1160,10 @@ mod tests {
         };
         let with_cleanup = run(true);
         let without = run(false);
-        assert_eq!(with_cleanup.final_scratch_bytes, 0.0, "cleanup empties scratch");
+        assert_eq!(
+            with_cleanup.final_scratch_bytes, 0.0,
+            "cleanup empties scratch"
+        );
         assert!(
             without.final_scratch_bytes > 200.0e6,
             "no cleanup: everything stays ({} bytes)",

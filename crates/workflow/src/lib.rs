@@ -23,8 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
-pub mod dax;
 pub mod dag;
+pub mod dax;
 pub mod executor;
 pub mod multi;
 pub mod planner;
@@ -35,10 +35,10 @@ pub use catalog::{ComputeSite, Replica, ReplicaCatalog};
 pub use dag::{AbstractJob, AbstractWorkflow, JobIx, WorkflowError};
 pub use dax::{parse_dax, to_dax, DaxError};
 pub use executor::{ExecutorConfig, WorkflowExecutor};
+pub use multi::merge_plans;
 pub use planner::{
     plan, ExecutablePlan, PlanError, PlanJob, PlanJobId, PlanJobKind, PlannedTransfer,
     PlannerConfig,
 };
-pub use multi::merge_plans;
 pub use report::render_report;
 pub use stats::RunStats;

@@ -32,7 +32,11 @@ pub fn merge_plans(plans: &[&ExecutablePlan], base_workflow_id: u64) -> Executab
             let mut job = job.clone();
             job.name = format!("wf{}:{}", wf.0, job.name);
             job.workflow = Some(wf);
-            job.parents = job.parents.iter().map(|p| PlanJobId(p.0 + offset)).collect();
+            job.parents = job
+                .parents
+                .iter()
+                .map(|p| PlanJobId(p.0 + offset))
+                .collect();
             job.children = job
                 .children
                 .iter()

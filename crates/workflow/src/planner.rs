@@ -70,7 +70,10 @@ pub enum PlanJobKind {
 impl PlanJobKind {
     /// True for stage-in/stage-out jobs (they occupy staging-job slots).
     pub fn is_staging(&self) -> bool {
-        matches!(self, PlanJobKind::StageIn { .. } | PlanJobKind::StageOut { .. })
+        matches!(
+            self,
+            PlanJobKind::StageIn { .. } | PlanJobKind::StageOut { .. }
+        )
     }
 }
 
@@ -408,7 +411,11 @@ pub fn plan(
                 file: file.clone(),
                 bytes: workflow.file_size(&file).unwrap_or(0),
                 source: site.scratch_url(&workflow.name, &file),
-                dest: Url::new("gsiftp", out_host_name.clone(), format!("{out_base}/{file}")),
+                dest: Url::new(
+                    "gsiftp",
+                    out_host_name.clone(),
+                    format!("{out_base}/{file}"),
+                ),
                 src_host: site.storage_host,
                 dst_host: out_host,
             };
@@ -457,12 +464,7 @@ pub fn plan(
             if parents.is_empty() {
                 continue;
             }
-            let level = parents
-                .iter()
-                .map(|p| jobs[p.0].level)
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let level = parents.iter().map(|p| jobs[p.0].level).max().unwrap_or(0) + 1;
             let id = add_job(
                 &mut jobs,
                 PlanJob {
@@ -534,7 +536,13 @@ mod tests {
             wf.set_file_size(f, 2_000_000);
         }
         let mut rc = ReplicaCatalog::new();
-        rc.insert_bulk(["raw_0", "raw_1"], "http", "apache-isi", "/montage", HostId(1));
+        rc.insert_bulk(
+            ["raw_0", "raw_1"],
+            "http",
+            "apache-isi",
+            "/montage",
+            HostId(1),
+        );
         (wf, rc)
     }
 
@@ -545,7 +553,10 @@ mod tests {
         // proj_0 and proj_1 have external inputs; add_0 does not.
         assert_eq!(plan.stage_in_count(), 2);
         // 3 compute + 2 stage-in + cleanups for raw_0, raw_1, p_0, p_1, mosaic.
-        assert_eq!(plan.count_jobs(|j| matches!(j.kind, PlanJobKind::Cleanup { .. })), 5);
+        assert_eq!(
+            plan.count_jobs(|j| matches!(j.kind, PlanJobKind::Cleanup { .. })),
+            5
+        );
         plan.validate().unwrap();
     }
 
@@ -559,8 +570,14 @@ mod tests {
             .position(|j| j.name == "stage_in_proj_0")
             .unwrap();
         let compute = plan.jobs().iter().position(|j| j.name == "proj_0").unwrap();
-        assert!(plan.job(PlanJobId(si)).children.contains(&PlanJobId(compute)));
-        assert!(plan.job(PlanJobId(compute)).parents.contains(&PlanJobId(si)));
+        assert!(plan
+            .job(PlanJobId(si))
+            .children
+            .contains(&PlanJobId(compute)));
+        assert!(plan
+            .job(PlanJobId(compute))
+            .parents
+            .contains(&PlanJobId(si)));
     }
 
     #[test]
@@ -586,7 +603,10 @@ mod tests {
             ..Default::default()
         };
         let plan = plan(&wf, &site(), &rc, &cfg).unwrap();
-        assert_eq!(plan.count_jobs(|j| matches!(j.kind, PlanJobKind::Cleanup { .. })), 0);
+        assert_eq!(
+            plan.count_jobs(|j| matches!(j.kind, PlanJobKind::Cleanup { .. })),
+            0
+        );
     }
 
     #[test]
@@ -626,7 +646,10 @@ mod tests {
             output_site: None,
             ..Default::default()
         };
-        assert_eq!(plan(&wf, &site(), &rc, &cfg).unwrap_err(), PlanError::NoOutputSite);
+        assert_eq!(
+            plan(&wf, &site(), &rc, &cfg).unwrap_err(),
+            PlanError::NoOutputSite
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn render_report(plan: &ExecutablePlan, stats: &RunStats) -> String {
         "  compute {}   staging {}   cleanup {}   failed {}",
         stats.compute_jobs, stats.staging_jobs, stats.cleanup_jobs, stats.failed_jobs
     );
-    let _ = writeln!(out, "\n  {:<18}{:>8}{:>16}", "transformation", "count", "mean runtime(s)");
+    let _ = writeln!(
+        out,
+        "\n  {:<18}{:>8}{:>16}",
+        "transformation", "count", "mean runtime(s)"
+    );
     for (t, (count, total)) in &by_transformation {
         let _ = writeln!(
             out,
@@ -81,7 +85,11 @@ pub fn render_report(plan: &ExecutablePlan, stats: &RunStats) -> String {
     let _ = writeln!(out, "  policy-service calls: {}", stats.policy_calls);
 
     // Distributions (WAN-scale transfers only; LAN blips would drown them).
-    let wan: Vec<_> = stats.transfers.iter().filter(|t| t.bytes >= 1.0e6).collect();
+    let wan: Vec<_> = stats
+        .transfers
+        .iter()
+        .filter(|t| t.bytes >= 1.0e6)
+        .collect();
     if !wan.is_empty() {
         let max_dur = wan
             .iter()
@@ -94,7 +102,11 @@ pub fn render_report(plan: &ExecutablePlan, stats: &RunStats) -> String {
             durations.record(t.total_duration().as_secs_f64());
             goodputs.record(t.goodput() / 1e6);
         }
-        let _ = writeln!(out, "\ntransfer durations (s), {} WAN transfers:", wan.len());
+        let _ = writeln!(
+            out,
+            "\ntransfer durations (s), {} WAN transfers:",
+            wan.len()
+        );
         out.push_str(&durations.render(30));
         let _ = writeln!(out, "per-transfer goodput (MB/s):");
         out.push_str(&goodputs.render(30));

@@ -27,11 +27,7 @@ fn main() {
         // One staging-heavy campaign under the tuner's threshold: the
         // augmented Montage at 10 MB extras (fast to simulate, enough WAN
         // transfers for ~90 observations per episode).
-        let exp = MontageExperiment::paper_setup(
-            mb(10),
-            8,
-            PolicyMode::Greedy { threshold },
-        );
+        let exp = MontageExperiment::paper_setup(mb(10), 8, PolicyMode::Greedy { threshold });
         let stats = exp.run_once(1000 + episode);
         assert!(stats.success);
 
@@ -43,8 +39,7 @@ fn main() {
             .iter()
             .filter(|t| t.bytes >= 9.0e6)
             .collect();
-        let mean_goodput =
-            wan.iter().map(|t| t.goodput()).sum::<f64>() / wan.len().max(1) as f64;
+        let mean_goodput = wan.iter().map(|t| t.goodput()).sum::<f64>() / wan.len().max(1) as f64;
         for t in &wan {
             tuner.observe(TransferObservation {
                 goodput: t.goodput(),

@@ -17,7 +17,11 @@ fn main() {
         ..Default::default()
     });
     let dax = to_dax(&workflow);
-    println!("exported {} jobs to DAX ({} bytes). First lines:\n", workflow.len(), dax.len());
+    println!(
+        "exported {} jobs to DAX ({} bytes). First lines:\n",
+        workflow.len(),
+        dax.len()
+    );
     for line in dax.lines().take(8) {
         println!("  {line}");
     }

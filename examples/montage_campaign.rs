@@ -60,11 +60,7 @@ fn main() {
     );
 
     // Detailed pegasus-statistics-style report for the greedy-50 run.
-    let exp = MontageExperiment::paper_setup(
-        mb(extra_mb),
-        8,
-        PolicyMode::Greedy { threshold: 50 },
-    );
+    let exp = MontageExperiment::paper_setup(mb(extra_mb), 8, PolicyMode::Greedy { threshold: 50 });
     let stats = exp.run_once(42);
     let (_topo, gridftp, apache, nfs) = paper_testbed();
     let site = ComputeSite {

@@ -8,8 +8,7 @@
 
 use pwm_core::transport::{InProcessTransport, NoPolicyTransport, PolicyTransport};
 use pwm_core::{
-    AllocationPolicy, PolicyConfig, PolicyController, PriorityAlgorithm,
-    DEFAULT_SESSION,
+    AllocationPolicy, PolicyConfig, PolicyController, PriorityAlgorithm, DEFAULT_SESSION,
 };
 use pwm_montage::{fork_join, single_source_replicas};
 use pwm_net::{paper_testbed, Network, StreamModel};
@@ -30,11 +29,12 @@ fn main() {
     let rc = single_source_replicas(&wf, "gridftp-vm", gridftp);
 
     println!("fork-join(32 workers × 100 MB WAN input) on the paper testbed\n");
-    println!("{:<26}{:>13}{:>10}", "configuration", "makespan(s)", "skipped");
+    println!(
+        "{:<26}{:>13}{:>10}",
+        "configuration", "makespan(s)", "skipped"
+    );
 
-    let run = |label: &str,
-                   planner: PlannerConfig,
-                   transport: Box<dyn PolicyTransport>| {
+    let run = |label: &str, planner: PlannerConfig, transport: Box<dyn PolicyTransport>| {
         let p = plan(&wf, &site, &rc, &planner).expect("plan");
         let network = Network::with_seed(topo.clone(), StreamModel::default(), 9);
         let exec = WorkflowExecutor::new(

@@ -6,8 +6,8 @@
 //! ```
 
 use pwm_core::{
-    AllocationPolicy, CleanupSpec, PolicyConfig, PolicyService, TransferOutcome, TransferSpec,
-    Url, WorkflowId,
+    AllocationPolicy, CleanupSpec, PolicyConfig, PolicyService, TransferOutcome, TransferSpec, Url,
+    WorkflowId,
 };
 
 fn main() {
@@ -47,13 +47,20 @@ fn main() {
     println!("submitting {} transfer requests...\n", batch.len());
     let advice = service.evaluate_transfers(batch);
 
-    println!("{:<6}{:<34}{:<10}{:>8}{:>8}", "order", "source", "action", "streams", "group");
+    println!(
+        "{:<6}{:<34}{:<10}{:>8}{:>8}",
+        "order", "source", "action", "streams", "group"
+    );
     for a in &advice {
         println!(
             "{:<6}{:<34}{:<10}{:>8}{:>8}",
             a.order,
             a.source.to_string(),
-            if a.should_execute() { "execute" } else { "skip" },
+            if a.should_execute() {
+                "execute"
+            } else {
+                "skip"
+            },
             a.streams,
             a.group.0,
         );

@@ -9,9 +9,7 @@
 //! ```
 
 use pwm_core::transport::PolicyTransport;
-use pwm_core::{
-    PolicyConfig, PolicyController, TransferOutcome, TransferSpec, Url, WorkflowId,
-};
+use pwm_core::{PolicyConfig, PolicyController, TransferOutcome, TransferSpec, Url, WorkflowId};
 use pwm_rest::{PolicyRestClient, PolicyRestServer};
 
 fn main() {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "CI OK"

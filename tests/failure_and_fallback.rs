@@ -17,7 +17,10 @@ fn injected_failures_are_retried_and_absorbed() {
     exp.transfer_failure_prob = 0.15;
     let stats = exp.run_once(11);
     assert!(stats.transfer_retries > 0, "15% failure rate must retry");
-    assert!(stats.success, "retries (budget 5/job) should absorb 15% failures");
+    assert!(
+        stats.success,
+        "retries (budget 5/job) should absorb 15% failures"
+    );
     // Retried bytes were eventually delivered.
     assert!(stats.bytes_staged >= 89.0 * 10.0e6);
 }

@@ -125,8 +125,7 @@ fn fig5_shape_size_dominates_streams() {
 #[test]
 fn table4_bounds_hold_in_simulation() {
     for (threshold, default, bound) in [(50, 8, 63), (50, 12, 65), (100, 10, 110)] {
-        let exp =
-            MontageExperiment::paper_setup(mb(10), default, PolicyMode::Greedy { threshold });
+        let exp = MontageExperiment::paper_setup(mb(10), default, PolicyMode::Greedy { threshold });
         let stats = exp.run_once(1);
         let peak = stats.peak_wan_streams.unwrap();
         assert!(

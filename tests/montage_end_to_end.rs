@@ -8,7 +8,9 @@ use pwm_montage::{montage_replicas, montage_workflow, MontageConfig};
 use pwm_net::{paper_testbed, Network, StreamModel};
 use pwm_rest::{PolicyRestClient, PolicyRestServer};
 use pwm_sim::SimDuration;
-use pwm_workflow::{plan, ComputeSite, ExecutorConfig, PlanJobKind, PlannerConfig, WorkflowExecutor};
+use pwm_workflow::{
+    plan, ComputeSite, ExecutorConfig, PlanJobKind, PlannerConfig, WorkflowExecutor,
+};
 
 fn obelix(nfs: pwm_net::HostId) -> ComputeSite {
     ComputeSite {
@@ -84,7 +86,10 @@ fn montage_runs_to_completion_with_the_policy_service() {
     // Policy memory is fully cleaned up afterwards (cleanup jobs ran).
     let snap = controller.snapshot(DEFAULT_SESSION).unwrap();
     assert_eq!(snap.in_progress_transfers, 0);
-    assert_eq!(snap.staged_files, 0, "cleanup should have removed all resources");
+    assert_eq!(
+        snap.staged_files, 0,
+        "cleanup should have removed all resources"
+    );
     // The greedy ledger peaked within the Table IV bound for (50, 8): 63.
     assert!(stats.peak_wan_streams.unwrap() <= 63);
 }

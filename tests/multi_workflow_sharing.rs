@@ -75,11 +75,15 @@ fn concurrent_request_for_in_flight_file_is_skipped_and_protected() {
     let mut wf2 = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
 
     // wf1's transfer is in progress (not yet reported).
-    let advice1 = wf1.evaluate_transfers(vec![spec("inflight.dat", 1)]).unwrap();
+    let advice1 = wf1
+        .evaluate_transfers(vec![spec("inflight.dat", 1)])
+        .unwrap();
     assert!(advice1[0].should_execute());
 
     // wf2 asks for the same file while it is in flight → skipped.
-    let advice2 = wf2.evaluate_transfers(vec![spec("inflight.dat", 2)]).unwrap();
+    let advice2 = wf2
+        .evaluate_transfers(vec![spec("inflight.dat", 2)])
+        .unwrap();
     assert!(!advice2[0].should_execute());
 
     // wf1 completes; wf2's cleanup request is still blocked by... nobody:
@@ -89,13 +93,17 @@ fn concurrent_request_for_in_flight_file_is_skipped_and_protected() {
         success: true,
     }])
     .unwrap();
-    let c2 = wf2.evaluate_cleanups(vec![cleanup("inflight.dat", 2)]).unwrap();
+    let c2 = wf2
+        .evaluate_cleanups(vec![cleanup("inflight.dat", 2)])
+        .unwrap();
     assert!(
         !c2[0].should_execute(),
         "wf1 still uses the file; wf2's cleanup must be suppressed"
     );
 
-    let c1 = wf1.evaluate_cleanups(vec![cleanup("inflight.dat", 1)]).unwrap();
+    let c1 = wf1
+        .evaluate_cleanups(vec![cleanup("inflight.dat", 1)])
+        .unwrap();
     assert!(c1[0].should_execute(), "last user's cleanup proceeds");
 }
 
@@ -124,7 +132,9 @@ fn failed_staging_does_not_poison_sharing() {
 fn many_workflows_one_transfer() {
     let controller = PolicyController::new(PolicyConfig::default());
     let mut first = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
-    let advice = first.evaluate_transfers(vec![spec("popular.dat", 0)]).unwrap();
+    let advice = first
+        .evaluate_transfers(vec![spec("popular.dat", 0)])
+        .unwrap();
     first
         .report_transfers(vec![TransferOutcome {
             id: advice[0].id,
@@ -135,7 +145,10 @@ fn many_workflows_one_transfer() {
     for wf in 1..=10 {
         let mut t = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
         let a = t.evaluate_transfers(vec![spec("popular.dat", wf)]).unwrap();
-        assert!(!a[0].should_execute(), "wf{wf} should reuse the staged file");
+        assert!(
+            !a[0].should_execute(),
+            "wf{wf} should reuse the staged file"
+        );
     }
     let stats = controller.stats(DEFAULT_SESSION).unwrap();
     assert_eq!(stats.transfers_executed, 1);
@@ -145,10 +158,17 @@ fn many_workflows_one_transfer() {
     // after wf0 and wf1..=9 detach one by one) executes.
     for wf in 0..=9 {
         let mut t = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
-        let c = t.evaluate_cleanups(vec![cleanup("popular.dat", wf)]).unwrap();
-        assert!(!c[0].should_execute(), "wf{wf}'s cleanup should be suppressed");
+        let c = t
+            .evaluate_cleanups(vec![cleanup("popular.dat", wf)])
+            .unwrap();
+        assert!(
+            !c[0].should_execute(),
+            "wf{wf}'s cleanup should be suppressed"
+        );
     }
     let mut last = InProcessTransport::new(controller.clone(), DEFAULT_SESSION);
-    let c = last.evaluate_cleanups(vec![cleanup("popular.dat", 10)]).unwrap();
+    let c = last
+        .evaluate_cleanups(vec![cleanup("popular.dat", 10)])
+        .unwrap();
     assert!(c[0].should_execute(), "the final user's cleanup executes");
 }

@@ -63,8 +63,7 @@ fn json_and_xml_clients_share_one_session() {
     let controller = PolicyController::new(PolicyConfig::default());
     let server = PolicyRestServer::start(controller).unwrap();
     let mut json = PolicyRestClient::new(server.addr(), "default");
-    let mut xml =
-        PolicyRestClient::new(server.addr(), "default").with_format(WireFormat::Xml);
+    let mut xml = PolicyRestClient::new(server.addr(), "default").with_format(WireFormat::Xml);
 
     // The JSON client stages a file; the XML client's duplicate is skipped —
     // one policy session, two wire formats.
@@ -77,8 +76,7 @@ fn json_and_xml_clients_share_one_session() {
 #[test]
 fn audit_log_can_be_polled_incrementally() {
     let controller = PolicyController::new(PolicyConfig::default());
-    let mut t =
-        pwm_core::transport::InProcessTransport::new(controller.clone(), "default");
+    let mut t = pwm_core::transport::InProcessTransport::new(controller.clone(), "default");
 
     t.evaluate_transfers(vec![spec(1)]).unwrap();
     let first_batch = controller.audit_since("default", 0).unwrap();

@@ -1,0 +1,99 @@
+//! Offline substitute for `bytes`: the `BytesMut` subset this workspace
+//! uses (append-and-split buffering for the HTTP reader).
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer with `split_off` semantics matching the real
+/// crate: `split_off(at)` returns the tail `[at, len)` and keeps `[0, at)`.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append bytes.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Split the buffer at `at`: self keeps `[0, at)`, the returned buffer
+    /// holds `[at, len)`. Panics if `at > len`, like the real crate.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            data: self.data.split_off(at),
+        }
+    }
+
+    /// Shorten to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Copy out as a plain vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_off_keeps_head() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(b"headBODY");
+        let tail = b.split_off(4);
+        assert_eq!(&b[..], b"head");
+        assert_eq!(&tail[..], b"BODY");
+    }
+
+    #[test]
+    fn windows_via_deref() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"ab\r\n\r\ncd");
+        let pos = b.windows(4).position(|w| w == b"\r\n\r\n");
+        assert_eq!(pos, Some(2));
+    }
+}

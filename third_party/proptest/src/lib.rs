@@ -1,0 +1,533 @@
+//! Offline substitute for `proptest`.
+//!
+//! Implements the strategy surface this workspace's property tests use:
+//! integer/float range strategies, tuple strategies, `collection::vec`,
+//! `any::<T>()`, `prop_map`/`prop_flat_map`, simple regex string strategies
+//! (literal chars, `[...]` classes, `\PC`, `{m,n}` repetition), the
+//! `proptest!` macro with optional `#![proptest_config(...)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Sampling is driven by a fixed-seed SplitMix64 generator, so runs are
+//! deterministic. There is no shrinking: a failing case panics with the
+//! standard assertion message (bound values are visible via `{var:?}` in
+//! assertion messages, as the tests already do).
+
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed generator for one test function.
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a dependent strategy from each value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty sample range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty sample range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty sample range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// --- any::<T>() ------------------------------------------------------------
+
+/// Types with a canonical "anything" strategy.
+pub trait ArbitraryValue: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2.0e9 - 1.0e9
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- collections -----------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of `element` values, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Optional-value strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` ~25% of the time, else `Some(inner)`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` of the inner strategy's values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// --- regex-ish string strategies -------------------------------------------
+
+enum Piece {
+    Lit(char),
+    Class(Vec<char>),
+    AnyPrintable,
+}
+
+struct PatternPiece {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+/// `&str` acts as a regex-subset strategy for `String`, like real proptest.
+/// Supported: literal chars, escaped chars, `[...]` classes with ranges,
+/// `\PC` (any printable), and an optional `{m,n}`/`{m}` repetition suffix.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let reps = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                match &p.piece {
+                    Piece::Lit(c) => out.push(*c),
+                    Piece::Class(chars) => out.push(chars[rng.below(chars.len() as u64) as usize]),
+                    Piece::AnyPrintable => {
+                        // Printable ASCII plus a few multibyte chars to
+                        // exercise UTF-8 handling.
+                        const EXTRA: [char; 6] = ['é', 'λ', '√', '漢', '🦀', 'ß'];
+                        let n = 95 + EXTRA.len() as u64;
+                        let i = rng.below(n);
+                        out.push(if i < 95 {
+                            (b' ' + i as u8) as char
+                        } else {
+                            EXTRA[(i - 95) as usize]
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in `{pattern}`"));
+                    match c {
+                        ']' => {
+                            if let Some(p) = prev.take() {
+                                set.push(p);
+                            }
+                            break;
+                        }
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            for code in lo as u32..=hi as u32 {
+                                if let Some(c) = char::from_u32(code) {
+                                    set.push(c);
+                                }
+                            }
+                        }
+                        '\\' => {
+                            if let Some(p) = prev.replace(chars.next().unwrap()) {
+                                set.push(p);
+                            }
+                        }
+                        other => {
+                            if let Some(p) = prev.replace(other) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                Piece::Class(set)
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: anything outside the Control category.
+                    let c = chars.next();
+                    assert_eq!(c, Some('C'), "unsupported \\P class in `{pattern}`");
+                    Piece::AnyPrintable
+                }
+                Some(escaped) => Piece::Lit(escaped),
+                None => panic!("trailing backslash in `{pattern}`"),
+            },
+            other => Piece::Lit(other),
+        };
+        // Optional {m,n} / {m} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition"),
+                    n.trim().parse().expect("bad repetition"),
+                ),
+                None => {
+                    let m = spec.trim().parse().expect("bad repetition");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatternPiece { piece, min, max });
+    }
+    pieces
+}
+
+// --- config + macros -------------------------------------------------------
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Run each property function `cases` times over sampled strategy values.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($var:pat_param in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::deterministic();
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $var = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assert within a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(pair in (0u64..10, 1usize..4), x in -5i32..5) {
+            prop_assert!(pair.0 < 10 && (1..4).contains(&pair.1));
+            prop_assert!((-5..5).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_map(xs in crate::collection::vec(0u32..100, 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn regex_classes(s in "[a-z0-9_-]{1,8}", p in "/[a-z]{0,4}") {
+            prop_assert!((1..=8).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit() || c == '_' || c == '-'));
+            prop_assert!(p.starts_with('/'));
+        }
+
+        #[test]
+        fn printable_strings(s in "\\PC{0,16}") {
+            prop_assert!(s.chars().count() <= 16);
+            prop_assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_honored(_x in 0u8..2) {
+            // Runs exactly 7 times; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_sizes() {
+        let strat = (2usize..6).prop_flat_map(|n| crate::collection::vec(0usize..n, 1..10));
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..100 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(v.iter().all(|&x| x < 6));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline substitute for `rand`: the seeded-RNG subset this workspace uses
+//! (`rngs::StdRng`, `SeedableRng::seed_from_u64`, `RngExt::random_range`).
+//!
+//! The generator is SplitMix64 — statistically fine for simulation jitter
+//! and fully deterministic per seed, but its stream differs from the real
+//! crate's ChaCha-based `StdRng`. Experiments remain reproducible
+//! run-to-run; absolute numbers differ from runs made against real `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: produce raw 64-bit outputs.
+pub trait RngCore {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The default seeded generator (SplitMix64 here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ranges a value type can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draw a value in the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform in `[0, 1)` with 53 random bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        // Guard against end-inclusion from floating rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty u64 sample range");
+        sample_span(rng, self.start, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty u64 sample range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        sample_span(rng, lo, span + 1)
+    }
+}
+
+/// Uniform in `[lo, lo + span)` via 128-bit widening multiply (no modulo
+/// bias to speak of at simulation scales).
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: u64, span: u64) -> u64 {
+    let wide = (rng.next_u64() as u128) * (span as u128);
+    lo + (wide >> 64) as u64
+}
+
+/// Extension methods over any [`RngCore`] (the rand 0.10 `Rng`/`RngExt`
+/// surface this workspace calls).
+pub trait RngExt: RngCore {
+    /// Uniform draw from a range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = r.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&f));
+            let n = r.random_range(10u64..=20);
+            assert!((10..=20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn unit_interval_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..20_000).map(|_| r.random_range(0.0..1.0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,437 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde substitute.
+//!
+//! Implemented directly over `proc_macro` token trees (no syn/quote, which
+//! are unavailable offline). Supports the shapes this workspace uses:
+//!
+//! * named-field structs (externally a JSON object, declaration order),
+//! * newtype structs (transparent),
+//! * tuple structs (JSON array),
+//! * enums with unit / newtype / tuple / struct variants (externally tagged,
+//!   like real serde's default),
+//! * field attributes `#[serde(with = "module")]` (module exports
+//!   `serialize(&T) -> Value` and `deserialize(&Value) -> Result<T, Error>`)
+//!   and `#[serde(default)]`,
+//! * `Option<T>` fields absent from the input deserialize to `None`.
+//!
+//! Generics are not supported (the workspace derives on concrete types only).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    is_option: bool,
+    with: Option<String>,
+    default: bool,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive substitute generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive substitute generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume leading attributes; return the serde `with` path and `default`
+/// flag if present among them.
+fn take_attrs(it: &mut Tokens) -> (Option<String>, bool) {
+    let mut with = None;
+    let mut default = false;
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("expected attribute body, found {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) => g.stream(),
+            _ => continue,
+        };
+        let mut args = args.into_iter().peekable();
+        while let Some(tok) = args.next() {
+            if let TokenTree::Ident(id) = &tok {
+                match id.to_string().as_str() {
+                    "with" => {
+                        args.next(); // `=`
+                        if let Some(TokenTree::Literal(lit)) = args.next() {
+                            let s = lit.to_string();
+                            with = Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                    "default" => default = true,
+                    other => panic!("serde substitute: unsupported attribute `{other}`"),
+                }
+            }
+        }
+    }
+    (with, default)
+}
+
+fn skip_visibility(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, capturing serde attrs and whether
+/// the type's head identifier is `Option`.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (with, default) = take_attrs(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type up to a comma outside angle brackets.
+        let mut angle = 0i32;
+        let mut head: Option<String> = None;
+        while let Some(tok) = it.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Ident(id) if head.is_none() => head = Some(id.to_string()),
+                _ => {}
+            }
+            it.next();
+        }
+        fields.push(Field {
+            name,
+            is_option: head.as_deref() == Some("Option"),
+            with,
+            default,
+        });
+    }
+    fields
+}
+
+/// Count tuple-struct fields: top-level comma-separated segments.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_segment = false,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {
+                if !in_segment {
+                    count += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let data = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                it.next();
+                VariantData::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                it.next();
+                VariantData::Named(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    take_attrs(&mut it);
+    skip_visibility(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde substitute: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde substitute cannot derive for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `__fields.push((name, value))` statements for named fields read from
+/// `{access}` (e.g. `&self.x` or a bound variable `x`).
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        let value = match &f.with {
+            Some(path) => format!("{path}::serialize({expr})"),
+            None => format!("::serde::Serialize::to_value({expr})"),
+        };
+        out.push_str(&format!(
+            "__fields.push((String::from(\"{}\"), {value}));\n",
+            f.name
+        ));
+    }
+    out
+}
+
+/// Field initializers `name: match ...` for a named-field constructor, read
+/// from the object binding `{obj}`.
+fn de_named_fields(fields: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let present = match &f.with {
+            Some(path) => format!("{path}::deserialize(__f)?"),
+            None => "::serde::Deserialize::from_value(__f)?".to_string(),
+        };
+        let absent = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::field({obj}, \"{name}\") {{ Some(__f) => {present}, None => {absent} }},\n",
+            name = f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes = ser_named_fields(fields, |f| format!("&self.{f}"));
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantData::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(__fields))]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits = de_named_fields(fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\nOk({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Array(__a) if __a.len() == {n} => Ok({name}({})), _ => Err(::serde::Error::custom(\"expected {n}-element array for {name}\")) }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantData::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __val {{ ::serde::Value::Array(__a) if __a.len() == {n} => Ok({name}::{vn}({})), _ => Err(::serde::Error::custom(\"expected {n}-element array for variant {vn}\")) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let inits = de_named_fields(fields, "__obj");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __val.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {vn}\"))?; Ok({name}::{vn} {{\n{inits}}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            let str_arm = if unit_arms.is_empty() {
+                format!("::serde::Value::Str(_) => Err(::serde::Error::custom(\"unexpected string for enum {name}\")),\n")
+            } else {
+                format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}_ => Err(::serde::Error::custom(\"unknown variant of {name}\")),\n}},\n"
+                )
+            };
+            let obj_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(__o) if __o.len() == 1 => {{ let (__k, __val) = &__o[0]; match __k.as_str() {{\n{data_arms}_ => Err(::serde::Error::custom(\"unknown variant of {name}\")),\n}} }},\n"
+                )
+            };
+            format!(
+                "match __v {{\n{str_arm}{obj_arm}_ => Err(::serde::Error::custom(\"invalid value for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
