@@ -6,11 +6,13 @@
 //! repro fig6..fig9        # threshold comparisons at 10/100/500/1000 MB
 //! repro all [seeds]       # everything (default 5 seeds per point)
 //! repro shapes [seeds]    # the headline shape comparisons only (fast)
+//! repro chaos [seed]      # fault-injection scenario + per-fault-class ablation
 //! ```
 
 use pwm_bench::{
-    fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render_csv, render_figure, render_table4,
-    table4_analytic, table4_via_service, Figure,
+    chaos_ablation, fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render_ablation, render_csv,
+    render_figure, render_table4, run_chaos, table4_analytic, table4_via_service, ChaosConfig,
+    Figure,
 };
 
 fn main() {
@@ -27,6 +29,7 @@ fn main() {
         "fig9" => figure(fig9(seeds)),
         "figb" => figure(fig_balanced(seeds)),
         "timeline" => timeline(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100)),
+        "chaos" => chaos(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
         "shapes" => shapes(seeds),
         "all" => {
             table4();
@@ -56,7 +59,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|all [seeds]"
+                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|chaos|all [seeds]"
             );
             std::process::exit(2);
         }
@@ -102,6 +105,36 @@ fn timeline(extra_mb: u64) {
             turb
         );
     }
+    println!();
+}
+
+/// Chaos scenario: one full fault-injected run plus the per-class ablation.
+fn chaos(seed: u64) {
+    let cfg = ChaosConfig::default();
+    let report = run_chaos(&cfg, seed);
+    println!(
+        "Chaos scenario, seed {seed}: Montage under WAN flaps/degradations and a policy-service outage"
+    );
+    println!("  injected faults:");
+    for ev in &report.fault_events {
+        println!("    {ev}");
+    }
+    println!(
+        "  outcome: success={} makespan {:.0}s  transfer retries {}  failovers {}",
+        report.stats.success,
+        report.makespan_secs(),
+        report.stats.transfer_retries,
+        report.failovers
+    );
+    println!(
+        "  policy service: {} calls passed, {} failures injected; final scratch {:.0} bytes",
+        report.service_calls_passed,
+        report.injected_service_failures,
+        report.stats.final_scratch_bytes
+    );
+    println!();
+    println!("Ablation (same seed, fault classes toggled; inflation vs fault-free):");
+    print!("{}", render_ablation(&chaos_ablation(&cfg, seed)));
     println!();
 }
 

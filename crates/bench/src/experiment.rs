@@ -177,6 +177,7 @@ impl MontageExperiment {
             watch_link: wan,
             watch_timeline: true,
             cleanup_job_limit: None,
+            ..ExecutorConfig::default()
         };
         let executor = WorkflowExecutor::new(&executable, &site, network, transport, exec_cfg);
         let (stats, network) = executor.run();

@@ -10,6 +10,9 @@
 //!   with the no-policy comparator.
 //! * [`experiment`] — the shared runner (paper testbed topology, 89-staging-
 //!   job Montage, staging-job limit 20, retries 5, cleanup on, seeded ≥ 5×).
+//! * [`chaos`] — the fault-injection scenario: the same Montage run under
+//!   seeded WAN flaps/degradations and policy-service outages, with a
+//!   per-fault-class ablation of the makespan inflation.
 //!
 //! Entry points: `cargo run --release -p pwm-bench --bin repro -- all`
 //! prints every table/figure; `cargo bench` runs the Criterion benches that
@@ -17,10 +20,12 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod figures;
 pub mod table4;
 
+pub use chaos::{chaos_ablation, render_ablation, run_chaos, ChaosConfig, ChaosReport, ChaosRow};
 pub use experiment::{default_seeds, mb, MontageExperiment, PolicyMode};
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv, Figure,

@@ -352,4 +352,60 @@ mod tests {
         let gs: Vec<u32> = grants.iter().map(|&(_, g)| g).collect();
         assert_eq!(gs, vec![8, 2]);
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        // The Table III invariants over arbitrary interleaved batches:
+        // every transfer is granted at least one stream and never more than
+        // it requested, and each cluster's grant sequence equals replaying
+        // its own arrivals alone against `balanced_grant` — so the
+        // per-cluster share is never exceeded before saturation and traffic
+        // from other clusters never steals a cluster's unused share.
+        #[test]
+        fn balanced_grants_are_cluster_isolated(
+            threshold in 1u32..100,
+            clusters in 1u32..6,
+            default in 1u32..16,
+            arrivals in proptest::collection::vec(
+                (0u32..5, proptest::option::of(1u32..12)),
+                1..32,
+            ),
+        ) {
+            let cfg = balanced_cfg(threshold, clusters, default);
+            let share = cfg.cluster_share("tacc", "isi");
+            let mut specs = Vec::new();
+            for (i, &(cluster, requested)) in arrivals.iter().enumerate() {
+                let mut sp = spec(i as u32, cluster % clusters);
+                sp.requested_streams = requested;
+                specs.push(sp);
+            }
+            let grants = run_batch(cfg, specs);
+            prop_assert_eq!(grants.len(), arrivals.len());
+            for (&(_, g), &(_, requested)) in grants.iter().zip(&arrivals) {
+                let requested = requested.unwrap_or(default);
+                prop_assert!(g >= 1, "no transfer is starved below one stream");
+                prop_assert!(g <= requested.max(1), "never granted more than requested");
+            }
+            for c in 0..clusters {
+                let mut allocated = 0u32;
+                for (&(gc, g), &(_, requested)) in grants.iter().zip(&arrivals) {
+                    if gc != c {
+                        continue;
+                    }
+                    let requested = requested.unwrap_or(default);
+                    let expect = crate::ledger::balanced_grant(allocated, requested, share);
+                    prop_assert_eq!(g, expect, "cluster {} grant diverges from its isolated replay", c);
+                    if allocated < share {
+                        prop_assert!(
+                            allocated + g <= share,
+                            "pre-saturation grants stay within the cluster share"
+                        );
+                    }
+                    allocated += g;
+                }
+            }
+        }
+    }
 }

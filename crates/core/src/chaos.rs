@@ -1,0 +1,309 @@
+//! Deterministic policy-service fault injection.
+//!
+//! Two pieces turn the advisory-transport stack into a chaos testbed:
+//!
+//! * [`SharedSimClock`] — a cloneable handle onto the driver's virtual
+//!   clock. The workflow executor publishes its current [`SimTime`] into
+//!   the clock each scheduling step, so transports deep inside a
+//!   `Box<dyn PolicyTransport>` chain can evaluate time-windowed faults
+//!   without threading the clock through every call signature.
+//! * [`ChaosTransport`] — wraps any [`PolicyTransport`] and consults a
+//!   [`FaultPlan`] of [`ServiceFault`] windows against that clock. While a
+//!   window is active every call fails with a [`TransportError`], which is
+//!   exactly what a crashed replica or timed-out advice call looks like to
+//!   the client. Wrapping one replica of a
+//!   [`FailoverTransport`](crate::FailoverTransport) chain models replica
+//!   crash/recovery; wrapping the only transport models a full outage the
+//!   executor must ride out on fallback advice.
+//!
+//! Everything is plain data plus an atomic clock read: with the same fault
+//! plan and the same executor seed, the injected failure sequence — and
+//! therefore the makespan — reproduces bit-for-bit.
+
+use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
+use crate::model::{CleanupSpec, TransferSpec};
+use crate::transport::{PolicyTransport, TransportError};
+use parking_lot::Mutex;
+use pwm_sim::{FaultPlan, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable view of the simulation clock, readable from inside boxed
+/// transports. The owner (the workflow executor) publishes time with
+/// [`SharedSimClock::set`]; consumers read it with [`SharedSimClock::now`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedSimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SharedSimClock {
+    /// A clock starting at `t = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish the current simulation time.
+    pub fn set(&self, now: SimTime) {
+        self.micros.store(now.as_micros(), Ordering::Relaxed);
+    }
+
+    /// The most recently published simulation time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::Relaxed))
+    }
+}
+
+/// How the policy service misbehaves during a fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The replica is down: connections are refused outright.
+    Outage,
+    /// The replica accepts the connection but advice never arrives in
+    /// time; the client sees a timeout. Indistinguishable from `Outage`
+    /// in effect, but labelled separately in fault logs and reports.
+    Timeout,
+}
+
+/// One injected failure: when it happened and what it looked like.
+pub type InjectedFailure = (SimTime, ServiceFault);
+
+/// Shared observation state between a [`ChaosTransport`] and its probe.
+#[derive(Debug, Default)]
+struct ChaosState {
+    injected: AtomicU64,
+    passed: AtomicU64,
+    log: Mutex<Vec<InjectedFailure>>,
+}
+
+/// A cloneable handle for reading what a [`ChaosTransport`] injected,
+/// available after the transport itself moves into an executor.
+#[derive(Clone)]
+pub struct ChaosProbe {
+    state: Arc<ChaosState>,
+}
+
+impl ChaosProbe {
+    /// Calls that were failed by an active fault window.
+    pub fn injected_failures(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// Calls that passed through to the wrapped transport.
+    pub fn calls_passed(&self) -> u64 {
+        self.state.passed.load(Ordering::Relaxed)
+    }
+
+    /// The full injection log: one `(time, kind)` entry per failed call,
+    /// in call order. A deterministic run reproduces this exactly.
+    pub fn fault_log(&self) -> Vec<InjectedFailure> {
+        self.state.log.lock().clone()
+    }
+}
+
+/// Wraps a transport and fails calls during scheduled fault windows.
+pub struct ChaosTransport {
+    inner: Box<dyn PolicyTransport>,
+    clock: SharedSimClock,
+    plan: FaultPlan<ServiceFault>,
+    state: Arc<ChaosState>,
+}
+
+impl ChaosTransport {
+    /// Wrap `inner`, failing calls whenever `plan` has a window active at
+    /// the time currently published on `clock`.
+    pub fn new(
+        inner: Box<dyn PolicyTransport>,
+        clock: SharedSimClock,
+        plan: FaultPlan<ServiceFault>,
+    ) -> Self {
+        ChaosTransport {
+            inner,
+            clock,
+            plan,
+            state: Arc::new(ChaosState::default()),
+        }
+    }
+
+    /// A probe for reading injection statistics after the transport moves.
+    pub fn probe(&self) -> ChaosProbe {
+        ChaosProbe {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Fail if a fault window is active right now.
+    fn check(&self) -> Result<(), TransportError> {
+        let now = self.clock.now();
+        if let Some(ev) = self.plan.active_at(now).next() {
+            self.state.injected.fetch_add(1, Ordering::Relaxed);
+            self.state.log.lock().push((now, ev.kind));
+            return Err(match ev.kind {
+                ServiceFault::Outage => {
+                    TransportError::Io(format!("injected outage: connection refused at {now}"))
+                }
+                ServiceFault::Timeout => {
+                    TransportError::Io(format!("injected advice timeout at {now}"))
+                }
+            });
+        }
+        self.state.passed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl PolicyTransport for ChaosTransport {
+    fn evaluate_transfers(
+        &mut self,
+        batch: Vec<TransferSpec>,
+    ) -> Result<Vec<TransferAdvice>, TransportError> {
+        self.check()?;
+        self.inner.evaluate_transfers(batch)
+    }
+
+    fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) -> Result<(), TransportError> {
+        self.check()?;
+        self.inner.report_transfers(outcomes)
+    }
+
+    fn evaluate_cleanups(
+        &mut self,
+        batch: Vec<CleanupSpec>,
+    ) -> Result<Vec<CleanupAdvice>, TransportError> {
+        self.check()?;
+        self.inner.evaluate_cleanups(batch)
+    }
+
+    fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError> {
+        self.check()?;
+        self.inner.report_cleanups(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyConfig;
+    use crate::controller::{PolicyController, DEFAULT_SESSION};
+    use crate::failover::FailoverTransport;
+    use crate::model::{Url, WorkflowId};
+    use crate::transport::InProcessTransport;
+    use pwm_sim::SimDuration;
+
+    fn spec(n: u32) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "s", format!("/f{n}")),
+            dest: Url::new("file", "d", format!("/f{n}")),
+            bytes: 1,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    fn live() -> Box<dyn PolicyTransport> {
+        let c = PolicyController::new(PolicyConfig::default());
+        Box::new(InProcessTransport::new(c, DEFAULT_SESSION))
+    }
+
+    fn outage_plan(start_s: u64, dur_s: u64) -> FaultPlan<ServiceFault> {
+        let mut plan = FaultPlan::new();
+        plan.add(
+            SimTime::from_secs(start_s),
+            SimDuration::from_secs(dur_s),
+            ServiceFault::Outage,
+        );
+        plan
+    }
+
+    #[test]
+    fn calls_pass_outside_fault_windows() {
+        let clock = SharedSimClock::new();
+        let mut t = ChaosTransport::new(live(), clock.clone(), outage_plan(100, 50));
+        let probe = t.probe();
+        clock.set(SimTime::from_secs(10));
+        assert!(t.evaluate_transfers(vec![spec(1)]).is_ok());
+        clock.set(SimTime::from_secs(200));
+        assert!(t.evaluate_transfers(vec![spec(2)]).is_ok());
+        assert_eq!(probe.calls_passed(), 2);
+        assert_eq!(probe.injected_failures(), 0);
+    }
+
+    #[test]
+    fn calls_fail_inside_the_window_and_are_logged() {
+        let clock = SharedSimClock::new();
+        let mut t = ChaosTransport::new(live(), clock.clone(), outage_plan(100, 50));
+        let probe = t.probe();
+        clock.set(SimTime::from_secs(120));
+        let err = t.evaluate_transfers(vec![spec(1)]).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+        assert!(t.report_transfers(vec![]).is_err());
+        assert_eq!(probe.injected_failures(), 2);
+        assert_eq!(
+            probe.fault_log(),
+            vec![
+                (SimTime::from_secs(120), ServiceFault::Outage),
+                (SimTime::from_secs(120), ServiceFault::Outage),
+            ]
+        );
+    }
+
+    #[test]
+    fn timeout_faults_are_distinguishable_in_the_log() {
+        let clock = SharedSimClock::new();
+        let mut plan = FaultPlan::new();
+        plan.add(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(1),
+            ServiceFault::Timeout,
+        );
+        let mut t = ChaosTransport::new(live(), clock.clone(), plan);
+        let probe = t.probe();
+        clock.set(SimTime::from_secs(5));
+        let err = t.evaluate_cleanups(vec![]).unwrap_err();
+        assert!(err.to_string().contains("timeout"), "{err}");
+        assert_eq!(probe.fault_log()[0].1, ServiceFault::Timeout);
+    }
+
+    #[test]
+    fn replica_crash_drives_failover_and_recovery_is_possible() {
+        // Primary crashes during [10, 60); a failover chain rides it out on
+        // the backup and sticks there.
+        let clock = SharedSimClock::new();
+        let chaotic = ChaosTransport::new(live(), clock.clone(), outage_plan(10, 50));
+        let probe = chaotic.probe();
+        let mut chain = FailoverTransport::new(vec![Box::new(chaotic), live()]);
+        let fo_probe = chain.probe();
+
+        clock.set(SimTime::from_secs(1));
+        chain.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert_eq!(chain.active_replica(), 0);
+
+        clock.set(SimTime::from_secs(30));
+        chain.evaluate_transfers(vec![spec(2)]).unwrap();
+        assert_eq!(chain.active_replica(), 1, "crash fails over to backup");
+        assert_eq!(fo_probe.failovers(), 1);
+        assert_eq!(probe.injected_failures(), 1);
+
+        // After the window the primary has recovered and can serve again,
+        // but sticky failover keeps the backup active (no flap-back churn).
+        clock.set(SimTime::from_secs(120));
+        chain.evaluate_transfers(vec![spec(3)]).unwrap();
+        assert_eq!(chain.active_replica(), 1);
+    }
+
+    #[test]
+    fn same_plan_and_call_sequence_reproduces_the_fault_log() {
+        let run = || {
+            let clock = SharedSimClock::new();
+            let mut t = ChaosTransport::new(live(), clock.clone(), outage_plan(10, 10));
+            let probe = t.probe();
+            for s in [5u64, 12, 15, 25] {
+                clock.set(SimTime::from_secs(s));
+                let _ = t.evaluate_transfers(vec![spec(s as u32)]);
+            }
+            probe.fault_log()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -18,12 +18,30 @@
 use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
 use crate::model::{CleanupSpec, TransferSpec};
 use crate::transport::{PolicyTransport, TransportError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A transport that fails over across policy-service replicas.
 pub struct FailoverTransport {
     replicas: Vec<Box<dyn PolicyTransport>>,
     active: usize,
-    failovers: u64,
+    failovers: Arc<AtomicU64>,
+}
+
+/// A cloneable handle onto a [`FailoverTransport`]'s failover counter.
+///
+/// The transport itself is typically moved into an executor; the probe lets
+/// chaos harnesses read how many failovers happened after the run.
+#[derive(Debug, Clone)]
+pub struct FailoverProbe {
+    failovers: Arc<AtomicU64>,
+}
+
+impl FailoverProbe {
+    /// How many failovers have occurred so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
 }
 
 impl FailoverTransport {
@@ -36,7 +54,7 @@ impl FailoverTransport {
         FailoverTransport {
             replicas,
             active: 0,
-            failovers: 0,
+            failovers: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -47,7 +65,14 @@ impl FailoverTransport {
 
     /// How many failovers have occurred.
     pub fn failovers(&self) -> u64 {
-        self.failovers
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// A probe that keeps counting after the transport is moved elsewhere.
+    pub fn probe(&self) -> FailoverProbe {
+        FailoverProbe {
+            failovers: Arc::clone(&self.failovers),
+        }
     }
 
     /// Try the active replica, then fail over through the rest. `op` is
@@ -63,7 +88,7 @@ impl FailoverTransport {
             match op(self.replicas[ix].as_mut()) {
                 Ok(r) => {
                     if ix != self.active {
-                        self.failovers += 1;
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
                         self.active = ix;
                     }
                     return Ok(r);
@@ -180,6 +205,17 @@ mod tests {
         t.evaluate_transfers(vec![spec(2)]).unwrap();
         assert_eq!(t.failovers(), 1, "no second failover");
         assert_eq!(c2.stats(DEFAULT_SESSION).unwrap().transfer_requests, 2);
+    }
+
+    #[test]
+    fn probe_observes_failovers_after_the_transport_moves() {
+        let (backup, _c) = live();
+        let t = FailoverTransport::new(vec![Box::new(Dead), backup]);
+        let probe = t.probe();
+        // Move the transport behind a trait object, as the executor does.
+        let mut boxed: Box<dyn PolicyTransport> = Box::new(t);
+        boxed.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert_eq!(probe.failovers(), 1);
     }
 
     #[test]

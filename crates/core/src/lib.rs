@@ -44,6 +44,7 @@ pub mod adaptive;
 pub mod advice;
 pub mod audit;
 pub mod balanced;
+pub mod chaos;
 pub mod config;
 pub mod controller;
 pub mod ctx;
@@ -61,10 +62,11 @@ pub use advice::{
     CleanupAction, CleanupAdvice, CleanupOutcome, TransferAction, TransferAdvice, TransferOutcome,
 };
 pub use audit::{AuditLog, AuditRecord, PolicyEvent};
+pub use chaos::{ChaosProbe, ChaosTransport, ServiceFault, SharedSimClock};
 pub use config::{AllocationPolicy, OrderingPolicy, PolicyConfig};
 pub use controller::{ControllerError, PolicyController, DEFAULT_SESSION};
 pub use ctx::PolicyCtx;
-pub use failover::FailoverTransport;
+pub use failover::{FailoverProbe, FailoverTransport};
 pub use ledger::{balanced_grant, greedy_grant, greedy_total_for_concurrent_jobs, no_policy_total};
 pub use model::{
     CleanupId, CleanupSpec, ClusterId, GroupId, SuppressReason, TransferId, TransferSpec, Url,

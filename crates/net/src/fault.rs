@@ -1,0 +1,41 @@
+//! Link-level fault kinds for the fluid-flow network.
+//!
+//! A [`LinkFault`] is the payload carried by a [`pwm_sim::FaultPlan`]
+//! installed on a [`crate::Network`]: while a fault window is active the
+//! affected link's effective capacity is scaled (to zero for an outage),
+//! which forces the weighted max-min allocator to re-share every in-flight
+//! flow crossing that link. Overlapping faults on the same link compose
+//! multiplicatively.
+
+use crate::topology::LinkId;
+
+/// What happens to a link while a fault window is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFaultKind {
+    /// The link is down: effective capacity is zero, flows crossing it
+    /// stall (and resume when the window closes — a "flap" is a short
+    /// `Down` window).
+    Down,
+    /// The link's capacity is multiplied by the given factor in `(0, 1)`
+    /// (e.g. `0.3` models severe congestion or a failed bonded member).
+    Degrade(f64),
+}
+
+/// A fault on one specific link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// The affected link.
+    pub link: LinkId,
+    /// How the link misbehaves.
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFault {
+    /// The multiplier this fault applies to the link's capacity.
+    pub fn capacity_factor(&self) -> f64 {
+        match self.kind {
+            LinkFaultKind::Down => 0.0,
+            LinkFaultKind::Degrade(f) => f.clamp(0.0, 1.0),
+        }
+    }
+}

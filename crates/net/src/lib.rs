@@ -17,7 +17,8 @@
 //! Module map: [`topology`] (hosts/links/routes), [`model`] (the stream
 //! performance model and its knobs), [`sharing`] (weighted max-min fair
 //! allocation), [`flow`] (transfer state and records), [`network`] (the
-//! engine), [`metrics`] (post-run aggregation).
+//! engine), [`metrics`] (post-run aggregation), [`fault`] (deterministic
+//! link outages and degradations driven by a [`pwm_sim::FaultPlan`]).
 //!
 //! ```
 //! use pwm_net::{paper_testbed, FlowSpec, Network, StreamModel};
@@ -35,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod flow;
 pub mod metrics;
 pub mod model;
@@ -43,6 +45,7 @@ pub mod sharing;
 pub mod timeline;
 pub mod topology;
 
+pub use fault::{LinkFault, LinkFaultKind};
 pub use flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
 pub use metrics::TransferLedger;
 pub use model::{LinkState, StreamModel};

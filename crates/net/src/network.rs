@@ -14,12 +14,13 @@
 //! [`FlowId`], so iteration order — and therefore every floating-point
 //! reduction — is identical across runs with the same schedule.
 
+use crate::fault::LinkFault;
 use crate::flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
 use crate::model::{LinkState, StreamModel};
 use crate::sharing::{max_min_rates, FlowDemand};
 use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::topology::{LinkId, Topology};
-use pwm_sim::{SimDuration, SimRng, SimTime};
+use pwm_sim::{FaultPlan, SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Completion slop: a flow whose remaining bytes drop below this is done.
@@ -41,6 +42,8 @@ pub struct Network {
     host_active: Vec<u32>,
     /// Opt-in utilization recorders, keyed by watched link.
     timelines: std::collections::BTreeMap<LinkId, LinkTimeline>,
+    /// Scheduled link faults; capacities scale while a window is active.
+    faults: FaultPlan<LinkFault>,
 }
 
 impl Network {
@@ -69,7 +72,36 @@ impl Network {
             rng: SimRng::for_component(seed, "network-weights"),
             host_active,
             timelines: std::collections::BTreeMap::new(),
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Install a full fault plan (replacing any existing one). Must be
+    /// called before the affected windows open; fault effects apply from
+    /// the next rate recomputation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan<LinkFault>) {
+        self.faults = plan;
+    }
+
+    /// Schedule one link fault active over `[start, start + duration)`.
+    pub fn inject_link_fault(&mut self, start: SimTime, duration: SimDuration, fault: LinkFault) {
+        self.faults.add(start, duration, fault);
+    }
+
+    /// The installed fault plan (empty when no faults are scheduled).
+    pub fn fault_plan(&self) -> &FaultPlan<LinkFault> {
+        &self.faults
+    }
+
+    /// Capacity multiplier for `link` at `at` under the active fault
+    /// windows (overlapping faults compose multiplicatively; 1.0 when the
+    /// link is healthy).
+    fn fault_capacity_factor(&self, link: LinkId, at: SimTime) -> f64 {
+        self.faults
+            .active_at(at)
+            .filter(|e| e.kind.link == link)
+            .map(|e| e.kind.capacity_factor())
+            .product()
     }
 
     /// Start recording a utilization timeline for `link`.
@@ -236,6 +268,14 @@ impl Network {
         if needs_refresh {
             bump(self.now + self.model.refresh_interval);
         }
+        // Fault boundaries change effective capacities discontinuously. A
+        // flow stalled on a downed link has rate 0 and therefore no ETA, so
+        // the fault-clear boundary is the only wakeup that lets it progress.
+        if !self.flows.is_empty() {
+            if let Some(b) = self.faults.next_boundary_after(self.now) {
+                bump(b);
+            }
+        }
         earliest
     }
 
@@ -267,6 +307,13 @@ impl Network {
                         }
                     }
                     FlowPhase::Queued | FlowPhase::Done => {}
+                }
+            }
+            // Capacities change discontinuously at fault boundaries: stop
+            // the constant-rate segment there and recompute.
+            if let Some(b) = self.faults.next_boundary_after(self.now) {
+                if b < seg_end {
+                    seg_end = b;
                 }
             }
 
@@ -402,6 +449,11 @@ impl Network {
     /// Weighted max-min over effective link capacities.
     fn recompute_rates(&mut self) {
         let now = self.now;
+        // Fault multipliers first: the state loop below borrows link_states
+        // mutably, and faults depend only on the plan and the clock.
+        let fault_factors: Vec<f64> = (0..self.link_states.len())
+            .map(|idx| self.fault_capacity_factor(LinkId(idx as u32), now))
+            .collect();
         // Effective capacity per link under current occupancy/turbulence.
         let mut capacities = Vec::with_capacity(self.link_states.len());
         for (idx, ls) in self.link_states.iter_mut().enumerate() {
@@ -411,7 +463,7 @@ impl Network {
             let factor = self
                 .model
                 .capacity_factor(ls.streams as f64, knee, ls.turbulence);
-            capacities.push(link.capacity * factor);
+            capacities.push(link.capacity * factor * fault_factors[idx]);
         }
 
         let mut ids = Vec::new();
@@ -685,6 +737,182 @@ mod tests {
             thrashing > healthy * 1.1,
             "healthy {healthy}s vs thrashing {thrashing}s"
         );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{LinkFault, LinkFaultKind};
+
+    /// Two hosts joined by their access links with clean physics, so fault
+    /// arithmetic is exact.
+    fn clean_pair() -> (Network, crate::HostId, crate::HostId) {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 100.0e6);
+        let b = t.add_host("b", 100.0e6);
+        let mut model = StreamModel::default();
+        model.setup_base = SimDuration::ZERO;
+        model.setup_per_stream = SimDuration::ZERO;
+        model.setup_rtts = 0.0;
+        model.ramp_tau = SimDuration::ZERO;
+        model.turbulence_per_event = 0.0;
+        model.flow_weight_jitter = 0.0;
+        (Network::new(t, model), a, b)
+    }
+
+    fn spec(src: crate::HostId, dst: crate::HostId, bytes: f64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            streams: 2,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn mid_transfer_outage_extends_completion_by_its_duration() {
+        let (mut net, a, b) = clean_pair();
+        let link = net.topology().host(a).access_link;
+        // 100 MB over 100 MB/s finishes at 1s unfaulted. A 2s outage in the
+        // middle of the transfer stalls it and shifts completion to ~3s.
+        net.inject_link_fault(
+            SimTime::from_millis(500),
+            SimDuration::from_secs(2),
+            LinkFault {
+                link,
+                kind: LinkFaultKind::Down,
+            },
+        );
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 1);
+        let end = recs[0].completed_at.as_secs_f64();
+        assert!(
+            (end - 3.0).abs() < 0.02,
+            "completed at {end}s, expected ~3s"
+        );
+    }
+
+    #[test]
+    fn degradation_slows_the_window_proportionally() {
+        let (mut net, a, b) = clean_pair();
+        let link = net.topology().host(a).access_link;
+        // Half capacity for the whole transfer: 1s of work takes ~2s.
+        net.inject_link_fault(
+            SimTime::ZERO,
+            SimDuration::from_secs(100),
+            LinkFault {
+                link,
+                kind: LinkFaultKind::Degrade(0.5),
+            },
+        );
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        let end = recs[0].completed_at.as_secs_f64();
+        assert!(
+            (end - 2.0).abs() < 0.02,
+            "completed at {end}s, expected ~2s"
+        );
+    }
+
+    #[test]
+    fn flap_sequence_is_deterministic_per_plan() {
+        let run = || {
+            let (mut net, a, b) = clean_pair();
+            let link = net.topology().host(a).access_link;
+            for i in 0..4u64 {
+                net.inject_link_fault(
+                    SimTime::from_millis(200 + 400 * i),
+                    SimDuration::from_millis(150),
+                    LinkFault {
+                        link,
+                        kind: LinkFaultKind::Down,
+                    },
+                );
+            }
+            net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6));
+            net.run_to_completion(SimTime::from_secs(100));
+            (
+                net.fault_plan().describe(),
+                net.take_completed()[0].completed_at,
+            )
+        };
+        let (desc1, end1) = run();
+        let (desc2, end2) = run();
+        assert_eq!(desc1, desc2, "fault fingerprints must match");
+        assert_eq!(end1, end2, "same plan must give bit-identical completion");
+        // 4 flaps × 150 ms stall the 1s transfer by 600 ms.
+        let end = end1.as_secs_f64();
+        assert!(
+            (end - 1.6).abs() < 0.02,
+            "completed at {end}s, expected ~1.6s"
+        );
+    }
+
+    #[test]
+    fn faults_on_other_links_are_harmless() {
+        // Fault a link the flow never crosses: a third host's access link.
+        let mut t = Topology::new();
+        let x = t.add_host("x", 100.0e6);
+        let y = t.add_host("y", 100.0e6);
+        let z = t.add_host("z", 100.0e6);
+        let unused = t.host(z).access_link;
+        let mut model = StreamModel::default();
+        model.setup_base = SimDuration::ZERO;
+        model.setup_per_stream = SimDuration::ZERO;
+        model.setup_rtts = 0.0;
+        model.ramp_tau = SimDuration::ZERO;
+        model.turbulence_per_event = 0.0;
+        model.flow_weight_jitter = 0.0;
+        let mut net = Network::new(t, model);
+        net.inject_link_fault(
+            SimTime::ZERO,
+            SimDuration::from_secs(50),
+            LinkFault {
+                link: unused,
+                kind: LinkFaultKind::Down,
+            },
+        );
+        net.start_flow(SimTime::ZERO, spec(x, y, 100.0e6));
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        let end = recs[0].completed_at.as_secs_f64();
+        assert!(
+            (end - 1.0).abs() < 0.02,
+            "unrelated fault changed makespan: {end}s"
+        );
+    }
+
+    #[test]
+    fn in_flight_flows_reshare_when_capacity_drops() {
+        let (mut net, a, b) = clean_pair();
+        let link = net.topology().host(a).access_link;
+        // Two equal flows share 100 MB/s; at t=1s the link degrades to 20%,
+        // so the remaining bytes drain 5× slower.
+        net.inject_link_fault(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(100),
+            LinkFault {
+                link,
+                kind: LinkFaultKind::Degrade(0.2),
+            },
+        );
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6));
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6));
+        net.run_to_completion(SimTime::from_secs(1000));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 2);
+        // 200 MB total: 100 MB done in the first second, the remaining
+        // 100 MB at 20 MB/s → ~6s overall.
+        for r in &recs {
+            let end = r.completed_at.as_secs_f64();
+            assert!((end - 6.0).abs() < 0.1, "completed at {end}s, expected ~6s");
+        }
     }
 }
 

@@ -281,6 +281,47 @@ mod tests {
         assert_eq!(status, 400);
     }
 
+    fn call_xml(addr: SocketAddr, method: Method, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        use crate::http::{write_request_in, WireFormat};
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_request_in(&mut stream, WireFormat::Xml, method, path, body).unwrap();
+        read_response(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn malformed_xml_bodies_are_400() {
+        let (_server, addr) = start();
+        for body in [
+            &b"not xml at all"[..],
+            b"<transferRequest>",
+            b"<wrongRoot></wrongRoot>",
+            b"<transferRequest><transfer source=\"x\"/></transferRequest>",
+            b"<transferRequest><bogus/></transferRequest>",
+        ] {
+            let (status, _) = call_xml(addr, Method::Post, "/sessions/default/transfers", body);
+            assert_eq!(status, 400, "body {:?} must be rejected", body);
+        }
+        let (status, _) = call_xml(
+            addr,
+            Method::Post,
+            "/sessions/default/cleanups",
+            b"<cleanupRequest><cleanup/></cleanupRequest>",
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn non_utf8_xml_body_is_400() {
+        let (_server, addr) = start();
+        let (status, _) = call_xml(
+            addr,
+            Method::Post,
+            "/sessions/default/transfers",
+            &[0xff, 0xfe, 0x80, 0x00, 0x12],
+        );
+        assert_eq!(status, 400);
+    }
+
     #[test]
     fn unknown_session_is_404() {
         let (_server, addr) = start();

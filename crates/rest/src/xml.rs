@@ -566,4 +566,158 @@ mod tests {
         assert_eq!(ack_xml(), "<ack status=\"ok\"/>\n");
         assert!(error_xml("no such \"session\"").contains("&quot;session&quot;"));
     }
+
+    use proptest::prelude::*;
+
+    /// URLs whose paths exercise every escaped character plus slashes.
+    fn url_strategy() -> impl Strategy<Value = Url> {
+        (
+            "[a-z]{2,6}",
+            "[a-zA-Z0-9.-]{1,12}",
+            "/[a-zA-Z0-9 ._&<>\"'/-]{0,20}",
+        )
+            .prop_map(|(scheme, host, path)| Url::new(scheme, host, path))
+    }
+
+    fn spec_strategy() -> impl Strategy<Value = TransferSpec> {
+        (
+            (url_strategy(), url_strategy()),
+            any::<u64>(),
+            proptest::option::of(0u32..64),
+            any::<u64>(),
+            proptest::option::of(0u32..16),
+            proptest::option::of(-100i32..100),
+        )
+            .prop_map(|((source, dest), bytes, streams, wf, cluster, priority)| {
+                TransferSpec {
+                    source,
+                    dest,
+                    bytes,
+                    requested_streams: streams,
+                    workflow: WorkflowId(wf),
+                    cluster: cluster.map(pwm_core::ClusterId),
+                    priority,
+                }
+            })
+    }
+
+    fn reason_strategy() -> impl Strategy<Value = SuppressReason> {
+        (0u32..5).prop_map(|i| {
+            [
+                SuppressReason::DuplicateInBatch,
+                SuppressReason::AlreadyInProgress,
+                SuppressReason::AlreadyStaged,
+                SuppressReason::DuplicateCleanup,
+                SuppressReason::ResourceInUse,
+            ][i as usize]
+        })
+    }
+
+    fn transfer_advice_strategy() -> impl Strategy<Value = TransferAdvice> {
+        (
+            (url_strategy(), url_strategy()),
+            any::<u64>(),
+            proptest::option::of(reason_strategy()),
+            1u32..64,
+            any::<u64>(),
+            0u32..100,
+        )
+            .prop_map(
+                |((source, dest), id, skip, streams, group, order)| TransferAdvice {
+                    id: TransferId(id),
+                    source,
+                    dest,
+                    action: match skip {
+                        None => TransferAction::Execute,
+                        Some(reason) => TransferAction::Skip(reason),
+                    },
+                    streams,
+                    group: GroupId(group),
+                    order,
+                },
+            )
+    }
+
+    fn cleanup_advice_strategy() -> impl Strategy<Value = CleanupAdvice> {
+        (
+            url_strategy(),
+            any::<u64>(),
+            proptest::option::of(reason_strategy()),
+        )
+            .prop_map(|(file, id, skip)| CleanupAdvice {
+                id: CleanupId(id),
+                file,
+                action: match skip {
+                    None => CleanupAction::Execute,
+                    Some(reason) => CleanupAction::Skip(reason),
+                },
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        // Every envelope survives an encode/decode round trip for arbitrary
+        // payloads: attribute escaping, optional fields, negative
+        // priorities, and full-range 64-bit ids included.
+        #[test]
+        fn transfer_request_roundtrips(
+            specs in proptest::collection::vec(spec_strategy(), 0..8),
+        ) {
+            let back = transfer_request_from_xml(&transfer_request_to_xml(&specs)).unwrap();
+            prop_assert_eq!(specs, back);
+        }
+
+        #[test]
+        fn transfer_response_roundtrips(
+            advice in proptest::collection::vec(transfer_advice_strategy(), 0..8),
+        ) {
+            let back = transfer_response_from_xml(&transfer_response_to_xml(&advice)).unwrap();
+            prop_assert_eq!(advice, back);
+        }
+
+        #[test]
+        fn transfer_completion_roundtrips(
+            raw in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..8),
+        ) {
+            let outcomes: Vec<TransferOutcome> = raw
+                .into_iter()
+                .map(|(id, success)| TransferOutcome { id: TransferId(id), success })
+                .collect();
+            let back =
+                transfer_completion_from_xml(&transfer_completion_to_xml(&outcomes)).unwrap();
+            prop_assert_eq!(outcomes, back);
+        }
+
+        #[test]
+        fn cleanup_request_roundtrips(
+            raw in proptest::collection::vec((url_strategy(), any::<u64>()), 0..8),
+        ) {
+            let cleanups: Vec<CleanupSpec> = raw
+                .into_iter()
+                .map(|(file, wf)| CleanupSpec { file, workflow: WorkflowId(wf) })
+                .collect();
+            let back = cleanup_request_from_xml(&cleanup_request_to_xml(&cleanups)).unwrap();
+            prop_assert_eq!(cleanups, back);
+        }
+
+        #[test]
+        fn cleanup_response_roundtrips(
+            advice in proptest::collection::vec(cleanup_advice_strategy(), 0..8),
+        ) {
+            let back = cleanup_response_from_xml(&cleanup_response_to_xml(&advice)).unwrap();
+            prop_assert_eq!(advice, back);
+        }
+
+        #[test]
+        fn cleanup_completion_roundtrips(
+            raw in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..8),
+        ) {
+            let outcomes: Vec<CleanupOutcome> = raw
+                .into_iter()
+                .map(|(id, success)| CleanupOutcome { id: CleanupId(id), success })
+                .collect();
+            let back = cleanup_completion_from_xml(&cleanup_completion_to_xml(&outcomes)).unwrap();
+            prop_assert_eq!(outcomes, back);
+        }
+    }
 }

@@ -1,0 +1,266 @@
+//! Deterministic fault plans for the discrete-event simulator.
+//!
+//! A [`FaultPlan`] is an ordered, immutable-once-built schedule of fault
+//! windows: each window has a start instant, a duration, and a
+//! component-specific payload describing *what* fails (a network link, a
+//! policy replica, ...). Plans are plain data — no clocks, no randomness —
+//! so the same plan replayed against the same simulation seed reproduces
+//! the same fault sequence and the same makespan bit-for-bit. Seeded
+//! construction helpers derive window placements from a [`SimRng`], which
+//! keeps chaos scenarios reproducible from a single `u64` master seed.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A half-open window of simulated time `[start, start + duration)` during
+/// which a fault is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultWindow {
+    /// Instant at which the fault begins.
+    pub start: SimTime,
+    /// How long the fault lasts.
+    pub duration: SimDuration,
+}
+
+impl FaultWindow {
+    /// Construct a window starting at `start` and lasting `duration`.
+    pub fn new(start: SimTime, duration: SimDuration) -> Self {
+        FaultWindow { start, duration }
+    }
+
+    /// The instant the fault clears (saturating).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// True when `t` falls inside the half-open window `[start, end)`.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+}
+
+impl fmt::Display for FaultWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+/// One scheduled fault: a window plus a component-specific payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent<K> {
+    /// When the fault is active.
+    pub window: FaultWindow,
+    /// What fails (interpreted by the consuming subsystem).
+    pub kind: K,
+}
+
+/// An ordered schedule of fault events.
+///
+/// The payload type `K` is defined by the consuming layer: `pwm-net` uses
+/// link faults, `pwm-core` uses policy-service faults. Events are kept
+/// sorted by start time (stable within equal starts), so
+/// [`FaultPlan::events`] is a deterministic fingerprint of the scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan<K> {
+    events: Vec<FaultEvent<K>>,
+}
+
+impl<K> Default for FaultPlan<K> {
+    fn default() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+}
+
+impl<K> FaultPlan<K> {
+    /// An empty plan (no faults ever fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a fault of `kind` active over `[start, start + duration)`.
+    pub fn add(&mut self, start: SimTime, duration: SimDuration, kind: K) {
+        self.events.push(FaultEvent {
+            window: FaultWindow::new(start, duration),
+            kind,
+        });
+        // Stable sort: equal starts keep insertion order, so plans built in
+        // the same order compare equal and replay identically.
+        self.events.sort_by_key(|e| e.window.start);
+    }
+
+    /// All scheduled events in start order.
+    pub fn events(&self) -> &[FaultEvent<K>] {
+        &self.events
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Iterate over the events whose window contains `t`.
+    pub fn active_at(&self, t: SimTime) -> impl Iterator<Item = &FaultEvent<K>> {
+        self.events.iter().filter(move |e| e.window.contains(t))
+    }
+
+    /// The earliest window boundary (start or end) strictly after `t`, if
+    /// any. Simulation kernels use this as a wakeup so piecewise-constant
+    /// fault effects are integrated exactly — a flow stalled on a downed
+    /// link has no completion ETA, so the fault-clear boundary is the only
+    /// event that can make progress.
+    pub fn next_boundary_after(&self, t: SimTime) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for e in &self.events {
+            for b in [e.window.start, e.window.end()] {
+                if b > t && best.is_none_or(|cur| b < cur) {
+                    best = Some(b);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl<K: fmt::Debug> FaultPlan<K> {
+    /// Render the plan as one line per event — a stable, human-readable
+    /// fingerprint used to assert that two same-seed runs injected the same
+    /// fault sequence.
+    pub fn describe(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| format!("{} {:?}", e.window, e.kind))
+            .collect()
+    }
+}
+
+/// Draw `count` fault windows with starts uniform over `[0, horizon)` and
+/// durations uniform over `[min_duration, max_duration]`, sorted by start.
+///
+/// Determinism: given the same `rng` state the same windows come back, so
+/// deriving the rng via [`SimRng::for_component`] from a master seed makes
+/// the whole chaos scenario a pure function of that seed.
+pub fn seeded_windows(
+    rng: &mut SimRng,
+    count: usize,
+    horizon: SimDuration,
+    min_duration: SimDuration,
+    max_duration: SimDuration,
+) -> Vec<FaultWindow> {
+    let lo = min_duration.as_micros();
+    let hi = max_duration.as_micros().max(lo);
+    let mut windows: Vec<FaultWindow> = (0..count)
+        .map(|_| {
+            // uniform_u64 is inclusive of its upper bound.
+            let start =
+                SimTime::from_micros(rng.uniform_u64(0, horizon.as_micros().saturating_sub(1)));
+            let dur = SimDuration::from_micros(rng.uniform_u64(lo, hi));
+            FaultWindow::new(start, dur)
+        })
+        .collect();
+    windows.sort();
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_containment_is_half_open() {
+        let w = FaultWindow::new(SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert!(!w.contains(SimTime::from_micros(9_999_999)));
+        assert!(w.contains(SimTime::from_secs(10)));
+        assert!(w.contains(SimTime::from_micros(14_999_999)));
+        assert!(!w.contains(SimTime::from_secs(15)));
+        assert_eq!(w.end(), SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn plan_keeps_events_sorted_by_start() {
+        let mut plan = FaultPlan::new();
+        plan.add(SimTime::from_secs(30), SimDuration::from_secs(1), "late");
+        plan.add(SimTime::from_secs(5), SimDuration::from_secs(1), "early");
+        plan.add(SimTime::from_secs(5), SimDuration::from_secs(2), "early2");
+        let kinds: Vec<_> = plan.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["early", "early2", "late"]);
+    }
+
+    #[test]
+    fn active_at_reports_overlapping_events() {
+        let mut plan = FaultPlan::new();
+        plan.add(SimTime::from_secs(0), SimDuration::from_secs(10), "a");
+        plan.add(SimTime::from_secs(5), SimDuration::from_secs(10), "b");
+        let at_7: Vec<_> = plan
+            .active_at(SimTime::from_secs(7))
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(at_7, vec!["a", "b"]);
+        let at_12: Vec<_> = plan
+            .active_at(SimTime::from_secs(12))
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(at_12, vec!["b"]);
+        assert_eq!(plan.active_at(SimTime::from_secs(20)).count(), 0);
+    }
+
+    #[test]
+    fn next_boundary_walks_starts_and_ends() {
+        let mut plan = FaultPlan::new();
+        plan.add(SimTime::from_secs(10), SimDuration::from_secs(5), ());
+        plan.add(SimTime::from_secs(40), SimDuration::from_secs(1), ());
+        assert_eq!(
+            plan.next_boundary_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(
+            plan.next_boundary_after(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(15))
+        );
+        assert_eq!(
+            plan.next_boundary_after(SimTime::from_secs(15)),
+            Some(SimTime::from_secs(40))
+        );
+        assert_eq!(plan.next_boundary_after(SimTime::from_secs(41)), None);
+        assert_eq!(
+            FaultPlan::<()>::new().next_boundary_after(SimTime::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn describe_is_a_stable_fingerprint() {
+        let mut a = FaultPlan::new();
+        a.add(SimTime::from_secs(1), SimDuration::from_secs(2), "x");
+        let mut b = FaultPlan::new();
+        b.add(SimTime::from_secs(1), SimDuration::from_secs(2), "x");
+        assert_eq!(a.describe(), b.describe());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_windows_are_reproducible_and_sorted() {
+        let horizon = SimDuration::from_secs(600);
+        let lo = SimDuration::from_secs(5);
+        let hi = SimDuration::from_secs(30);
+        let mut r1 = SimRng::for_component(42, "faults");
+        let mut r2 = SimRng::for_component(42, "faults");
+        let w1 = seeded_windows(&mut r1, 8, horizon, lo, hi);
+        let w2 = seeded_windows(&mut r2, 8, horizon, lo, hi);
+        assert_eq!(w1, w2);
+        assert!(w1.windows(2).all(|p| p[0].start <= p[1].start));
+        for w in &w1 {
+            assert!(w.start < SimTime::ZERO + horizon);
+            assert!(w.duration >= lo && w.duration <= hi);
+        }
+
+        let mut r3 = SimRng::for_component(43, "faults");
+        let w3 = seeded_windows(&mut r3, 8, horizon, lo, hi);
+        assert_ne!(w1, w3, "different seeds should give different windows");
+    }
+}

@@ -8,6 +8,9 @@
 //!   insertion-order tie-breaking and O(log n) scheduling.
 //! * [`rng`] — seed-derivable random streams ([`SimRng`]) so experiments are
 //!   reproducible run-to-run and component-to-component.
+//! * [`fault`] — deterministic fault plans ([`FaultPlan`]): seeded,
+//!   schedulable fault windows that turn the simulator into a reliability
+//!   testbed without sacrificing bit-for-bit reproducibility.
 //! * [`stats`] — Welford accumulators and summaries for the mean ± stddev
 //!   points the benchmark harness reports.
 //! * [`trace`] — bounded in-memory trace log for post-mortems and tests.
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod histogram;
 pub mod rng;
 pub mod stats;
@@ -40,6 +44,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
+pub use fault::{seeded_windows, FaultEvent, FaultPlan, FaultWindow};
 pub use histogram::Histogram;
 pub use rng::{derive_seed, SimRng};
 pub use stats::{percentile, OnlineStats, Summary};

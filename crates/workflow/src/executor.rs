@@ -19,6 +19,7 @@
 use crate::catalog::ComputeSite;
 use crate::planner::{ExecutablePlan, PlanJobKind, PlannedTransfer};
 use crate::stats::RunStats;
+use pwm_core::chaos::SharedSimClock;
 use pwm_core::transport::PolicyTransport;
 use pwm_core::{
     CleanupOutcome, CleanupSpec, ClusterId, TransferAdvice, TransferOutcome, TransferSpec,
@@ -51,6 +52,29 @@ pub struct ExecutorConfig {
     pub cleanup_duration: SimDuration,
     /// Probability an executed transfer fails (failure injection).
     pub transfer_failure_prob: f64,
+    /// Probability a *failed* transfer is fatal (non-transient: a missing
+    /// source file, a permission error). Fatal failures are not retried —
+    /// the staging job reports `Failed` immediately.
+    pub fatal_failure_prob: f64,
+    /// Streams per transfer when the executor falls back to executing its
+    /// submitted list because the policy service is unreachable. The
+    /// paper's fail-safe used 1; chaos scenarios set this to the site's
+    /// default streams so an outage degrades to default-stream advice.
+    pub fallback_streams: u32,
+    /// First retry's extra delay (beyond the policy round-trip).
+    pub retry_backoff_base: SimDuration,
+    /// Multiplier applied to the backoff per additional attempt.
+    pub retry_backoff_factor: f64,
+    /// Upper bound on the exponential backoff delay.
+    pub retry_backoff_cap: SimDuration,
+    /// Multiplicative seeded jitter (±fraction) on each backoff delay, so
+    /// retry storms decorrelate without losing determinism.
+    pub retry_jitter: f64,
+    /// When set, the executor publishes its virtual clock here each
+    /// scheduling step, so time-windowed fault injectors (e.g.
+    /// `pwm_core::chaos::ChaosTransport`) deep in the transport chain see
+    /// the current simulation time.
+    pub clock: Option<SharedSimClock>,
     /// Workflow identity presented to the policy service.
     pub workflow_id: WorkflowId,
     /// Link whose peak concurrent streams are reported in the run stats
@@ -76,6 +100,13 @@ impl Default for ExecutorConfig {
             inter_transfer_gap: SimDuration::from_millis(100),
             cleanup_duration: SimDuration::from_millis(500),
             transfer_failure_prob: 0.0,
+            fatal_failure_prob: 0.0,
+            fallback_streams: 1,
+            retry_backoff_base: SimDuration::from_millis(500),
+            retry_backoff_factor: 2.0,
+            retry_backoff_cap: SimDuration::from_secs(30),
+            retry_jitter: 0.1,
+            clock: None,
             workflow_id: WorkflowId(0),
             watch_link: None,
             watch_timeline: false,
@@ -240,6 +271,9 @@ impl<'p> WorkflowExecutor<'p> {
             peak_scratch_bytes: 0.0,
             config,
         };
+        if let Some(clock) = &exec.config.clock {
+            clock.set(SimTime::ZERO);
+        }
         for i in 0..n {
             if exec.pending_parents[i] == 0 {
                 exec.mark_ready(i);
@@ -269,6 +303,9 @@ impl<'p> WorkflowExecutor<'p> {
                 (Some(a), Some(b)) => a.min(b),
             };
             self.now = t;
+            if let Some(clock) = &self.config.clock {
+                clock.set(t);
+            }
             self.network.advance(t);
             self.drain_network_completions();
             if let Some((_, ev)) = self.events.pop_until(t) {
@@ -445,14 +482,17 @@ impl<'p> WorkflowExecutor<'p> {
                     }
                     Err(_) => {
                         // Policy service unreachable: fall back to executing
-                        // the submitted list as-is with one stream each
-                        // (fail-safe, not fail-stop).
+                        // the submitted list as-is with the configured
+                        // default stream count (fail-safe, not fail-stop).
+                        let streams = self.config.fallback_streams.max(1);
                         self.trace.warn(
                             self.now,
                             "ptt",
                             format!(
-                                "policy service unreachable for job {}; executing submitted list",
-                                self.plan.jobs()[job].name
+                                "policy service unreachable for job {}; executing submitted list \
+                                 with {} stream(s)",
+                                self.plan.jobs()[job].name,
+                                streams
                             ),
                         );
                         let run = self.staging_runs.get_mut(&job).expect("staging run state");
@@ -465,7 +505,7 @@ impl<'p> WorkflowExecutor<'p> {
                                 source: s.source.clone(),
                                 dest: s.dest.clone(),
                                 action: pwm_core::TransferAction::Execute,
-                                streams: 1,
+                                streams,
                                 group: pwm_core::GroupId(0),
                                 order: i as u32,
                             })
@@ -476,13 +516,19 @@ impl<'p> WorkflowExecutor<'p> {
             }
             Ev::TransferStart(job) => self.start_next_transfer(job),
             Ev::RetryEvaluate(job) => {
-                self.policy_calls += 1;
-                let run = self.staging_runs.get_mut(&job).expect("staging run state");
-                let advice_ix = run.retrying.take().expect("retry state");
+                // The job may have failed fatally while this retry was in
+                // flight; its run state is gone and there is nothing to do.
+                let Some(run) = self.staging_runs.get_mut(&job) else {
+                    return;
+                };
+                let Some(advice_ix) = run.retrying.take() else {
+                    return;
+                };
                 let prior = run.advice[advice_ix].clone();
                 let key = (prior.source.to_string(), prior.dest.to_string());
                 let spec_ix = run.by_urls[&key];
                 let spec = run.specs[spec_ix].clone();
+                self.policy_calls += 1;
                 match self.transport.evaluate_transfers(vec![spec]) {
                     Ok(mut advice) if !advice.is_empty() => {
                         let fresh = advice.remove(0);
@@ -515,7 +561,34 @@ impl<'p> WorkflowExecutor<'p> {
                     .into_iter()
                     .map(|(file, _bytes)| CleanupSpec { file, workflow })
                     .collect();
-                let advice = self.transport.evaluate_cleanups(specs).unwrap_or_default();
+                let advice = match self.transport.evaluate_cleanups(specs.clone()) {
+                    Ok(advice) => advice,
+                    Err(_) => {
+                        // Policy service unreachable: delete the submitted
+                        // list as-is. Fail-safe mirrors the staging path —
+                        // scratch must drain even during an outage; the
+                        // worst case is deleting a file another workflow
+                        // could have reused (a lost optimization, never a
+                        // correctness issue).
+                        self.trace.warn(
+                            self.now,
+                            "ptt",
+                            format!(
+                                "policy service unreachable for cleanup {}; deleting submitted list",
+                                self.plan.jobs()[job].name
+                            ),
+                        );
+                        specs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| pwm_core::CleanupAdvice {
+                                id: pwm_core::CleanupId(u64::MAX - i as u64),
+                                file: s.file.clone(),
+                                action: pwm_core::CleanupAction::Execute,
+                            })
+                            .collect()
+                    }
+                };
                 let any_work = advice.iter().any(|a| a.should_execute());
                 self.cleanup_advice.insert(job, advice);
                 let delay = if any_work {
@@ -652,12 +725,21 @@ impl<'p> WorkflowExecutor<'p> {
                 .expect("staging run state");
             if failed {
                 self.transfer_retries += 1;
+                // Transient failures (lost connection, timeout) are worth
+                // retrying; fatal ones (missing source, permissions) never
+                // succeed no matter how many attempts remain.
+                let fatal = self.rng.chance(self.config.fatal_failure_prob);
                 self.trace.warn(
                     self.now,
                     "ptt",
                     format!(
-                        "transfer failed for job {}; retrying",
-                        self.plan.jobs()[job].name
+                        "transfer failed for job {} ({})",
+                        self.plan.jobs()[job].name,
+                        if fatal {
+                            "fatal"
+                        } else {
+                            "transient; retrying"
+                        }
                     ),
                 );
                 self.policy_calls += 1;
@@ -666,15 +748,32 @@ impl<'p> WorkflowExecutor<'p> {
                     success: false,
                 }]);
                 let run = self.staging_runs.get_mut(&job).expect("staging run state");
-                if run.attempts_left == 0 {
-                    // Retries exhausted: the job fails permanently.
+                if fatal || run.attempts_left == 0 {
+                    // Fatal error or retries exhausted: clear any retry
+                    // state so the job reports Failed instead of waiting on
+                    // a re-evaluation that will never be scheduled.
+                    run.retrying = None;
                     self.fail_job(job);
                     continue;
                 }
                 run.attempts_left -= 1;
                 run.retrying = Some(advice_ix);
+                // Exponential backoff with seeded jitter: the first retry
+                // waits base, each further one doubles (factor), capped.
+                let attempt = self.config.retries.saturating_sub(run.attempts_left);
+                let backoff = self
+                    .config
+                    .retry_backoff_base
+                    .mul_f64(
+                        self.config
+                            .retry_backoff_factor
+                            .max(1.0)
+                            .powi(attempt.saturating_sub(1) as i32),
+                    )
+                    .min(self.config.retry_backoff_cap)
+                    .mul_f64(self.rng.jitter(self.config.retry_jitter));
                 self.events.schedule_at(
-                    self.now + self.config.policy_call_latency,
+                    self.now + self.config.policy_call_latency + backoff,
                     Ev::RetryEvaluate(job),
                 );
             } else {
@@ -926,6 +1025,92 @@ mod tests {
         assert!(stats.failed_jobs > 0);
         // Each job makes retries+1 attempts, every one failing: 2 jobs × 3.
         assert_eq!(stats.transfer_retries, 2 * 3);
+    }
+
+    #[test]
+    fn fatal_failures_fail_fast_without_exhausting_retries() {
+        // Every failure is fatal: each staging job dies on its first
+        // attempt and reports Failed — no retry budget is consumed, the run
+        // terminates, and retrying state never dangles.
+        let mut cfg = ExecutorConfig::default();
+        cfg.transfer_failure_prob = 1.0;
+        cfg.fatal_failure_prob = 1.0;
+        cfg.retries = 5;
+        let (stats, _net, _c) = run_with_policy(3, 1_000_000, PolicyConfig::default(), cfg);
+        assert!(!stats.success);
+        assert_eq!(stats.failed_jobs, 3, "every staging job fails");
+        // One attempt per job — fatal means no retries.
+        assert_eq!(stats.transfer_retries, 3);
+        assert!(stats.makespan_secs() > 0.0, "the run still terminates");
+    }
+
+    #[test]
+    fn retry_backoff_delays_grow_the_makespan() {
+        // Same failure pattern, hugely different backoff: the slow-backoff
+        // run must take visibly longer, proving the delay is applied.
+        let run = |base_ms: u64| {
+            let mut cfg = ExecutorConfig::default();
+            cfg.transfer_failure_prob = 1.0;
+            cfg.retries = 3;
+            cfg.seed = 9;
+            cfg.retry_backoff_base = SimDuration::from_millis(base_ms);
+            cfg.retry_backoff_cap = SimDuration::from_secs(300);
+            let (stats, _net, _c) = run_with_policy(2, 1_000_000, PolicyConfig::default(), cfg);
+            stats.makespan_secs()
+        };
+        let quick = run(1);
+        let slow = run(20_000);
+        // 3 retries with base 20 s and factor 2 add ≥ 20+40+80 s per job.
+        assert!(
+            slow > quick + 60.0,
+            "slow backoff {slow}s vs quick {quick}s"
+        );
+    }
+
+    #[test]
+    fn fallback_streams_are_configurable() {
+        struct Dead;
+        impl PolicyTransport for Dead {
+            fn evaluate_transfers(
+                &mut self,
+                _b: Vec<TransferSpec>,
+            ) -> Result<Vec<TransferAdvice>, pwm_core::TransportError> {
+                Err(pwm_core::TransportError::Io("down".into()))
+            }
+            fn report_transfers(
+                &mut self,
+                _o: Vec<TransferOutcome>,
+            ) -> Result<(), pwm_core::TransportError> {
+                Err(pwm_core::TransportError::Io("down".into()))
+            }
+            fn evaluate_cleanups(
+                &mut self,
+                _b: Vec<CleanupSpec>,
+            ) -> Result<Vec<pwm_core::CleanupAdvice>, pwm_core::TransportError> {
+                Err(pwm_core::TransportError::Io("down".into()))
+            }
+            fn report_cleanups(
+                &mut self,
+                _o: Vec<CleanupOutcome>,
+            ) -> Result<(), pwm_core::TransportError> {
+                Err(pwm_core::TransportError::Io("down".into()))
+            }
+        }
+        let (network, site, mut rc, gridftp) = testbed();
+        register_inputs(&mut rc, 3, gridftp);
+        let wf = wide_workflow(3, 2_000_000);
+        let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+        let mut cfg = ExecutorConfig::default();
+        cfg.fallback_streams = 4;
+        let exec = WorkflowExecutor::new(&p, &site, network, Box::new(Dead), cfg);
+        let (stats, _net, trace) = exec.run_traced();
+        assert!(stats.success, "dead service must not stop the workflow");
+        assert!(
+            !trace.grep("with 4 stream(s)").is_empty(),
+            "fallback should advertise the configured stream count"
+        );
+        // The cleanup fail-safe drained scratch even with the service down.
+        assert_eq!(stats.final_scratch_bytes, 0.0, "scratch drained fail-safe");
     }
 
     #[test]

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+# Chaos job: the fault-injection suite in release mode with fixed seeds
+# (the seeds are baked into tests/chaos_faults.rs; release catches
+# timing-sensitive determinism regressions the debug run might mask).
+echo "== cargo test --release (chaos) =="
+cargo test -q --release --offline --test chaos_faults
+
 echo "CI OK"
