@@ -3,11 +3,13 @@
 //! figure shapes match the paper. Not part of the reproduction output.
 
 use pwm_bench::{mb, MontageExperiment, PolicyMode};
+use pwm_obs::global_logger;
 
 fn main() {
+    let log = global_logger();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let size_mb: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
-    println!("extra file size: {size_mb} MB");
+    log.info(&format!("calibrating with {size_mb} MB extra files"));
     for (label, mode, streams) in [
         ("no-policy @4", PolicyMode::NoPolicy, 4),
         ("greedy-50 @4", PolicyMode::Greedy { threshold: 50 }, 4),
@@ -16,6 +18,7 @@ fn main() {
         ("greedy-200 @8", PolicyMode::Greedy { threshold: 200 }, 8),
         ("greedy-200 @12", PolicyMode::Greedy { threshold: 200 }, 12),
     ] {
+        log.debug(&format!("running {label}"));
         let exp = MontageExperiment::paper_setup(mb(size_mb), streams, mode);
         let stats = exp.run_once(1);
         let wan_transfers: Vec<_> = stats.transfers.iter().filter(|t| t.bytes > 1.0e6).collect();

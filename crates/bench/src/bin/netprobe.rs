@@ -7,15 +7,18 @@
 //! `StreamModel` defaults documented in DESIGN.md.
 
 use pwm_net::{paper_testbed, FlowSpec, Network, StreamModel};
+use pwm_obs::global_logger;
 use pwm_sim::SimTime;
 
 fn main() {
+    let log = global_logger();
     if std::env::args().nth(1).as_deref() == Some("turb") {
         turbulence_sample();
         return;
     }
     // 20 concurrent flows, replenished to 89 total, varying streams each.
     for streams in [3u32, 4, 5, 8, 10] {
+        log.debug(&format!("probing {streams} streams/flow"));
         let (topo, g, _a, n) = paper_testbed();
         let wan = topo
             .links()

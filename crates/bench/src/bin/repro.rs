@@ -7,16 +7,36 @@
 //! repro all [seeds]       # everything (default 5 seeds per point)
 //! repro shapes [seeds]    # the headline shape comparisons only (fast)
 //! repro chaos [seed]      # fault-injection scenario + per-fault-class ablation
+//! repro --trace <out.json> [seed]   # traced paper-setup run → Chrome-trace JSON
+//! repro validate-trace <path>       # check a Chrome-trace export (CI gate)
+//! repro scrape-metrics              # run + scrape /metrics over HTTP (CI gate)
 //! ```
+//!
+//! Progress and diagnostics go to stderr through the `pwm-obs` leveled
+//! logger (`PWM_LOG=error|warn|info|debug`); result tables stay on stdout.
 
 use pwm_bench::{
     chaos_ablation, fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render_ablation, render_csv,
     render_figure, render_table4, run_chaos, table4_analytic, table4_via_service, ChaosConfig,
     Figure,
 };
+use pwm_obs::global_logger;
 
 fn main() {
+    let log = global_logger();
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `repro --trace <out.json> [seed]`: one traced run, exported and exit.
+    if let Some(ix) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(ix + 1) else {
+            log.error("--trace requires an output path");
+            std::process::exit(2);
+        };
+        let seed: u64 = args.get(ix + 2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        traced_run(path, seed);
+        return;
+    }
+
     let what = args.first().map(String::as_str).unwrap_or("all");
     let seeds: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
 
@@ -31,16 +51,25 @@ fn main() {
         "timeline" => timeline(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100)),
         "chaos" => chaos(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
         "shapes" => shapes(seeds),
+        "validate-trace" => {
+            let Some(path) = args.get(1) else {
+                log.error("validate-trace requires a path");
+                std::process::exit(2);
+            };
+            validate_trace(path);
+        }
+        "scrape-metrics" => scrape_metrics(),
         "all" => {
             table4();
-            for f in [
-                fig5(seeds),
-                fig6(seeds),
-                fig7(seeds),
-                fig8(seeds),
-                fig9(seeds),
-                fig_balanced(seeds),
+            for (name, f) in [
+                ("fig5", fig5(seeds)),
+                ("fig6", fig6(seeds)),
+                ("fig7", fig7(seeds)),
+                ("fig8", fig8(seeds)),
+                ("fig9", fig9(seeds)),
+                ("figb", fig_balanced(seeds)),
             ] {
+                log.info(&format!("rendering {name} ({seeds} seeds per point)"));
                 figure(f);
             }
         }
@@ -58,12 +87,108 @@ fn main() {
             }
         }
         other => {
-            eprintln!(
-                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|chaos|all [seeds]"
-            );
+            log.error(&format!(
+                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|chaos|validate-trace|scrape-metrics|all [seeds]"
+            ));
             std::process::exit(2);
         }
     }
+}
+
+/// One traced paper-setup run (greedy-50 @8 streams, 100 MB extras),
+/// exported as Chrome-trace JSON for Perfetto / `chrome://tracing`.
+fn traced_run(path: &str, seed: u64) {
+    use pwm_bench::{mb, MontageExperiment, PolicyMode};
+    let log = global_logger();
+    log.info(&format!(
+        "traced run: greedy-50 @8 streams, 100 MB extras, seed {seed}"
+    ));
+    let exp = MontageExperiment::paper_setup(mb(100), 8, PolicyMode::Greedy { threshold: 50 });
+    let (stats, obs) = exp.run_once_traced(seed);
+    let trace = obs.tracer.chrome_trace_json();
+    let events = match pwm_obs::validate_chrome_trace(&trace) {
+        Ok(n) => n,
+        Err(e) => {
+            log.error(&format!("exported trace failed validation: {e}"));
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(path, &trace) {
+        log.error(&format!("cannot write {path}: {e}"));
+        std::process::exit(1);
+    }
+    log.info(&format!("wrote {events} events to {path}"));
+    log.debug(&format!(
+        "metrics after run:\n{}",
+        obs.registry.render_prometheus()
+    ));
+    println!(
+        "trace {path} events {events} makespan_s {:.0} success {}",
+        stats.makespan_secs(),
+        stats.success
+    );
+}
+
+/// Validate a Chrome-trace export on disk; nonzero exit on failure.
+fn validate_trace(path: &str) {
+    let log = global_logger();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            log.error(&format!("cannot read {path}: {e}"));
+            std::process::exit(1);
+        }
+    };
+    match pwm_obs::validate_chrome_trace(&text) {
+        Ok(events) => println!("valid {path} events {events}"),
+        Err(e) => {
+            log.error(&format!("invalid trace {path}: {e}"));
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Drive a few policy calls through the REST stack and scrape `/metrics`;
+/// nonzero exit when the scrape fails or lacks the expected families.
+fn scrape_metrics() {
+    use pwm_core::{PolicyConfig, PolicyController, PolicyTransport, DEFAULT_SESSION};
+    use pwm_rest::{PolicyRestClient, PolicyRestServer};
+    let log = global_logger();
+    let controller = PolicyController::new(PolicyConfig::default());
+    let server = match PolicyRestServer::start(controller) {
+        Ok(s) => s,
+        Err(e) => {
+            log.error(&format!("cannot start REST server: {e}"));
+            std::process::exit(1);
+        }
+    };
+    let mut client = PolicyRestClient::new(server.addr(), DEFAULT_SESSION);
+    let spec = pwm_core::TransferSpec {
+        source: pwm_core::Url::new("gsiftp", "gridftp-vm", "/data/f1"),
+        dest: pwm_core::Url::new("file", "obelix-nfs", "/scratch/f1"),
+        bytes: 1_000_000,
+        requested_streams: None,
+        workflow: pwm_core::WorkflowId(1),
+        cluster: None,
+        priority: None,
+    };
+    if let Err(e) = client.evaluate_transfers(vec![spec]) {
+        log.error(&format!("policy call failed: {e}"));
+        std::process::exit(1);
+    }
+    let text = match client.metrics() {
+        Ok(t) => t,
+        Err(e) => {
+            log.error(&format!("/metrics scrape failed: {e}"));
+            std::process::exit(1);
+        }
+    };
+    if !text.contains("pwm_policy_transfer_requests_total{session=\"default\"} 1") {
+        log.error(&format!("scrape missing expected counter:\n{text}"));
+        std::process::exit(1);
+    }
+    log.info("scrape ok");
+    print!("{text}");
 }
 
 /// WAN utilization timeline for one greedy-50 run at the given extra size.

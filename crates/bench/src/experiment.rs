@@ -9,11 +9,12 @@
 
 use pwm_core::transport::{InProcessTransport, NoPolicyTransport, PolicyTransport};
 use pwm_core::{
-    AllocationPolicy, PolicyConfig, PolicyController, PriorityAlgorithm, WorkflowId,
-    DEFAULT_SESSION,
+    AllocationPolicy, PolicyConfig, PolicyController, PriorityAlgorithm, SharedSimClock,
+    WorkflowId, DEFAULT_SESSION,
 };
 use pwm_montage::{montage_replicas, montage_workflow, MontageConfig};
 use pwm_net::{paper_testbed, LinkId, Network, StreamModel};
+use pwm_obs::Obs;
 use pwm_sim::{SimDuration, Summary};
 use pwm_workflow::{plan, ComputeSite, ExecutorConfig, PlannerConfig, RunStats, WorkflowExecutor};
 
@@ -96,10 +97,25 @@ impl MontageExperiment {
         self.run_once_detailed(seed).0
     }
 
+    /// Run one seed with full span tracing: the executor, the network, and
+    /// the policy service all share one [`Obs`] handle, so the returned
+    /// tracer holds the whole run as a nested flame timeline (job spans →
+    /// advice RPCs → transfer spans → flow segments → retries). All span
+    /// timestamps are sim time, so the same seed exports an identical trace.
+    pub fn run_once_traced(&self, seed: u64) -> (RunStats, Obs) {
+        let obs = Obs::new();
+        let (stats, _, _) = self.run_inner(seed, Some(obs.clone()));
+        (stats, obs)
+    }
+
     /// Run one seed, additionally returning the post-run [`Network`] (with a
     /// utilization timeline recorded on the WAN bottleneck) and the WAN link
     /// id.
     pub fn run_once_detailed(&self, seed: u64) -> (RunStats, Network, Option<LinkId>) {
+        self.run_inner(seed, None)
+    }
+
+    fn run_inner(&self, seed: u64, obs: Option<Obs>) -> (RunStats, Network, Option<LinkId>) {
         let (topo, gridftp, apache, nfs) = paper_testbed();
         let wan: Option<LinkId> = topo
             .links()
@@ -130,6 +146,20 @@ impl MontageExperiment {
             plan(&workflow, &site, &replicas, &planner_cfg).expect("montage plan must succeed");
 
         let network = Network::with_seed(topo, StreamModel::default(), seed);
+        // Traced runs share one Obs across executor, network, and policy
+        // service; the shared clock lets the service stamp its evaluation
+        // instants with the executor's virtual time.
+        let clock = obs.as_ref().map(|_| SharedSimClock::new());
+        let attach = |controller: &PolicyController| {
+            if let (Some(obs), Some(clock)) = (&obs, &clock) {
+                controller
+                    .attach_obs(DEFAULT_SESSION, obs.clone())
+                    .expect("default session exists");
+                controller
+                    .set_sim_clock(DEFAULT_SESSION, clock.clone())
+                    .expect("default session exists");
+            }
+        };
         let (transport, latency): (Box<dyn PolicyTransport>, SimDuration) = match self.mode {
             PolicyMode::NoPolicy => (
                 Box::new(NoPolicyTransport::new(self.default_streams)),
@@ -141,6 +171,7 @@ impl MontageExperiment {
                     .with_threshold(threshold)
                     .with_allocation(AllocationPolicy::Greedy);
                 let controller = PolicyController::new(config);
+                attach(&controller);
                 (
                     Box::new(InProcessTransport::new(controller, DEFAULT_SESSION)),
                     self.policy_call_latency,
@@ -156,6 +187,7 @@ impl MontageExperiment {
                     .with_cluster_factor(cluster_factor)
                     .with_allocation(AllocationPolicy::Balanced);
                 let controller = PolicyController::new(config);
+                attach(&controller);
                 (
                     Box::new(InProcessTransport::new(controller, DEFAULT_SESSION)),
                     self.policy_call_latency,
@@ -177,6 +209,8 @@ impl MontageExperiment {
             watch_link: wan,
             watch_timeline: true,
             cleanup_job_limit: None,
+            clock,
+            obs,
             ..ExecutorConfig::default()
         };
         let executor = WorkflowExecutor::new(&executable, &site, network, transport, exec_cfg);
@@ -308,6 +342,42 @@ mod tests {
         let b = exp.run_once(3);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.policy_calls, b.policy_calls);
+    }
+
+    #[test]
+    fn traced_run_exports_a_full_flame_timeline() {
+        let exp = MontageExperiment::paper_setup(mb(1), 4, PolicyMode::Greedy { threshold: 50 });
+        let (stats, obs) = exp.run_once_traced(1);
+        assert!(stats.success);
+        let trace = obs.tracer.chrome_trace_json();
+        let events = pwm_obs::validate_chrome_trace(&trace).expect("valid Chrome trace");
+        assert!(events > 100, "a Montage run should export many spans");
+        // Every instrumented layer contributes its own category row.
+        for cat in [
+            "stage_in",
+            "compute",
+            "cleanup",
+            "transfer",
+            "net",
+            "policy_rpc",
+            "policy",
+        ] {
+            assert!(
+                trace.contains(&format!("\"cat\":\"{cat}\"")),
+                "missing category {cat}"
+            );
+        }
+        // The shared registry carries policy- and workflow-layer counters.
+        let metrics = obs.registry.render_prometheus();
+        assert!(metrics.contains("pwm_policy_transfer_requests_total"));
+        assert!(metrics.contains("pwm_workflow_jobs_total"));
+    }
+
+    #[test]
+    fn traced_run_is_deterministic() {
+        let exp = MontageExperiment::paper_setup(0, 4, PolicyMode::Greedy { threshold: 50 });
+        let mk = || exp.run_once_traced(7).1.tracer.chrome_trace_json();
+        assert_eq!(mk(), mk(), "same seed must export an identical trace");
     }
 
     #[test]

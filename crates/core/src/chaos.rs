@@ -106,6 +106,7 @@ pub struct ChaosTransport {
     clock: SharedSimClock,
     plan: FaultPlan<ServiceFault>,
     state: Arc<ChaosState>,
+    obs: Option<pwm_obs::Obs>,
 }
 
 impl ChaosTransport {
@@ -121,7 +122,16 @@ impl ChaosTransport {
             clock,
             plan,
             state: Arc::new(ChaosState::default()),
+            obs: None,
         }
+    }
+
+    /// Attach observability: every injected failure increments
+    /// `pwm_chaos_injected_failures_total{kind}` and emits a sim-time trace
+    /// instant; passed calls increment `pwm_chaos_calls_passed_total`.
+    pub fn with_obs(mut self, obs: pwm_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// A probe for reading injection statistics after the transport moves.
@@ -137,6 +147,21 @@ impl ChaosTransport {
         if let Some(ev) = self.plan.active_at(now).next() {
             self.state.injected.fetch_add(1, Ordering::Relaxed);
             self.state.log.lock().push((now, ev.kind));
+            if let Some(obs) = &self.obs {
+                let kind = match ev.kind {
+                    ServiceFault::Outage => "outage",
+                    ServiceFault::Timeout => "timeout",
+                };
+                obs.registry
+                    .counter(
+                        "pwm_chaos_injected_failures_total",
+                        "Policy-transport calls failed by an active fault window",
+                        &[("kind", kind)],
+                    )
+                    .inc();
+                obs.tracer
+                    .instant("chaos_fault", "chaos", now, &[("kind", kind.to_string())]);
+            }
             return Err(match ev.kind {
                 ServiceFault::Outage => {
                     TransportError::Io(format!("injected outage: connection refused at {now}"))
@@ -147,6 +172,15 @@ impl ChaosTransport {
             });
         }
         self.state.passed.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.registry
+                .counter(
+                    "pwm_chaos_calls_passed_total",
+                    "Policy-transport calls that passed through to the wrapped transport",
+                    &[],
+                )
+                .inc();
+        }
         Ok(())
     }
 }
@@ -290,6 +324,28 @@ mod tests {
         clock.set(SimTime::from_secs(120));
         chain.evaluate_transfers(vec![spec(3)]).unwrap();
         assert_eq!(chain.active_replica(), 1);
+    }
+
+    #[test]
+    fn obs_counts_injections_and_records_instants() {
+        let clock = SharedSimClock::new();
+        let obs = pwm_obs::Obs::new();
+        let mut t =
+            ChaosTransport::new(live(), clock.clone(), outage_plan(100, 50)).with_obs(obs.clone());
+        clock.set(SimTime::from_secs(10));
+        t.evaluate_transfers(vec![spec(1)]).unwrap();
+        clock.set(SimTime::from_secs(120));
+        let _ = t.evaluate_transfers(vec![spec(2)]);
+        let text = obs.registry.render_prometheus();
+        assert!(
+            text.contains("pwm_chaos_injected_failures_total{kind=\"outage\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pwm_chaos_calls_passed_total 1"), "{text}");
+        let events = obs.tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "chaos_fault");
+        assert_eq!(events[0].start, SimTime::from_secs(120));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::config::PolicyConfig;
 use crate::model::{CleanupSpec, TransferSpec};
 use crate::service::{MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
 use parking_lot::Mutex;
+use pwm_obs::Obs;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -37,23 +38,67 @@ impl std::error::Error for ControllerError {}
 #[derive(Clone)]
 pub struct PolicyController {
     inner: Arc<Mutex<BTreeMap<String, PolicyService>>>,
+    /// Shared metrics registry for all sessions. Each session gets its own
+    /// tracer (via [`Obs::with_fresh_tracer`]) so trace dumps are
+    /// per-session while `/metrics` exposition is controller-wide.
+    obs: Obs,
 }
 
 impl PolicyController {
     /// A controller with a single `default` session using `config`.
     pub fn new(config: PolicyConfig) -> Self {
-        let mut sessions = BTreeMap::new();
-        sessions.insert(DEFAULT_SESSION.to_string(), PolicyService::new(config));
-        PolicyController {
-            inner: Arc::new(Mutex::new(sessions)),
-        }
+        let controller = PolicyController {
+            inner: Arc::new(Mutex::new(BTreeMap::new())),
+            obs: Obs::new(),
+        };
+        controller.create_session(DEFAULT_SESSION, config);
+        controller
     }
 
-    /// Create (or replace) a named session.
+    /// Create (or replace) a named session. The session shares the
+    /// controller's metrics registry (labeled `session=<name>`) and gets a
+    /// fresh tracer.
     pub fn create_session(&self, name: impl Into<String>, config: PolicyConfig) {
-        self.inner
-            .lock()
-            .insert(name.into(), PolicyService::new(config));
+        let name = name.into();
+        let mut service = PolicyService::new(config);
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.inner.lock().insert(name, service);
+    }
+
+    /// The controller-wide observability handle (registry shared by all
+    /// sessions; its tracer is unused — sessions trace separately).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Render the shared metrics registry in Prometheus text format.
+    pub fn render_metrics(&self) -> String {
+        self.obs.registry.render_prometheus()
+    }
+
+    /// Chrome-trace JSON for one session's tracer.
+    pub fn trace_chrome_json(&self, session: &str) -> Result<String, ControllerError> {
+        self.with_session(session, |s| {
+            s.trace_chrome_json()
+                .unwrap_or_else(|| pwm_obs::Tracer::default().chrome_trace_json())
+        })
+    }
+
+    /// Redirect a session's observability onto an external handle — shared
+    /// registry *and* tracer. Traced bench runs use this to merge policy
+    /// spans into the same export as the executor's and network's spans.
+    pub fn attach_obs(&self, session: &str, obs: Obs) -> Result<(), ControllerError> {
+        self.with_session(session, |s| s.set_obs(obs, session))
+    }
+
+    /// Attach a shared sim clock to a session so its evaluations emit
+    /// sim-time trace instants (see [`PolicyService::set_sim_clock`]).
+    pub fn set_sim_clock(
+        &self,
+        session: &str,
+        clock: crate::chaos::SharedSimClock,
+    ) -> Result<(), ControllerError> {
+        self.with_session(session, |s| s.set_sim_clock(clock))
     }
 
     /// Delete a named session; returns whether it existed.
@@ -206,6 +251,36 @@ mod tests {
         c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)])
             .unwrap();
         assert_eq!(c2.stats(DEFAULT_SESSION).unwrap().transfer_requests, 1);
+    }
+
+    #[test]
+    fn metrics_exposition_covers_all_sessions() {
+        let c = PolicyController::new(PolicyConfig::default());
+        c.create_session("other", PolicyConfig::default());
+        c.evaluate_transfers(DEFAULT_SESSION, vec![spec(1)])
+            .unwrap();
+        c.evaluate_transfers("other", vec![spec(2)]).unwrap();
+        let text = c.render_metrics();
+        assert!(
+            text.contains("pwm_policy_transfer_requests_total{session=\"default\"} 1"),
+            "default session counters missing:\n{text}"
+        );
+        assert!(
+            text.contains("pwm_policy_transfer_requests_total{session=\"other\"} 1"),
+            "named session counters missing:\n{text}"
+        );
+        assert!(text.contains("# TYPE pwm_policy_advice_latency_micros histogram"));
+    }
+
+    #[test]
+    fn session_trace_is_valid_chrome_json_even_when_empty() {
+        let c = PolicyController::new(PolicyConfig::default());
+        let trace = c.trace_chrome_json(DEFAULT_SESSION).unwrap();
+        assert!(
+            pwm_obs::JsonValue::parse(&trace).is_ok(),
+            "not JSON: {trace}"
+        );
+        assert!(c.trace_chrome_json("nope").is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! service must not stop science (see the executor's fail-safe fallback).
 
 use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
+use crate::chaos::SharedSimClock;
 use crate::model::{CleanupSpec, TransferSpec};
 use crate::transport::{PolicyTransport, TransportError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +27,7 @@ pub struct FailoverTransport {
     replicas: Vec<Box<dyn PolicyTransport>>,
     active: usize,
     failovers: Arc<AtomicU64>,
+    obs: Option<(pwm_obs::Obs, Option<SharedSimClock>)>,
 }
 
 /// A cloneable handle onto a [`FailoverTransport`]'s failover counter.
@@ -55,7 +57,16 @@ impl FailoverTransport {
             replicas,
             active: 0,
             failovers: Arc::new(AtomicU64::new(0)),
+            obs: None,
         }
+    }
+
+    /// Attach observability: each failover increments
+    /// `pwm_failover_total` and, when a sim clock is supplied, emits a
+    /// sim-time trace instant naming the replica taking over.
+    pub fn with_obs(mut self, obs: pwm_obs::Obs, clock: Option<SharedSimClock>) -> Self {
+        self.obs = Some((obs, clock));
+        self
     }
 
     /// Index of the replica currently serving requests.
@@ -90,6 +101,23 @@ impl FailoverTransport {
                     if ix != self.active {
                         self.failovers.fetch_add(1, Ordering::Relaxed);
                         self.active = ix;
+                        if let Some((obs, clock)) = &self.obs {
+                            obs.registry
+                                .counter(
+                                    "pwm_failover_total",
+                                    "Failovers to another policy-service replica",
+                                    &[],
+                                )
+                                .inc();
+                            if let Some(clock) = clock {
+                                obs.tracer.instant(
+                                    "failover",
+                                    "chaos",
+                                    clock.now(),
+                                    &[("replica", ix.to_string())],
+                                );
+                            }
+                        }
                     }
                     return Ok(r);
                 }
@@ -216,6 +244,25 @@ mod tests {
         let mut boxed: Box<dyn PolicyTransport> = Box::new(t);
         boxed.evaluate_transfers(vec![spec(1)]).unwrap();
         assert_eq!(probe.failovers(), 1);
+    }
+
+    #[test]
+    fn obs_counts_failovers_with_sim_time_instant() {
+        let clock = SharedSimClock::new();
+        clock.set(pwm_sim::SimTime::from_secs(42));
+        let obs = pwm_obs::Obs::new();
+        let (backup, _c) = live();
+        let mut t =
+            FailoverTransport::new(vec![Box::new(Dead), backup]).with_obs(obs.clone(), Some(clock));
+        t.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert!(obs
+            .registry
+            .render_prometheus()
+            .contains("pwm_failover_total 1"));
+        let events = obs.tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "failover");
+        assert_eq!(events[0].start, pwm_sim::SimTime::from_secs(42));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::advice::{
 };
 use crate::audit::{AuditLog, AuditRecord, PolicyEvent};
 use crate::balanced::install_balanced_rules;
+use crate::chaos::SharedSimClock;
 use crate::config::{OrderingPolicy, PolicyConfig};
 use crate::ctx::PolicyCtx;
 use crate::greedy::install_greedy_rules;
@@ -20,8 +21,10 @@ use crate::model::{
     TransferFact, TransferId, TransferSpec, TransferState,
 };
 use crate::rules_base::install_base_rules;
+use pwm_obs::{Counter, Gauge, Histogram, Obs};
 use pwm_rules::Session;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Counters the service keeps for monitoring and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +111,112 @@ pub struct HostPairSnapshot {
     pub peak_allocated: u32,
 }
 
+/// Observability attachment for one service: shared metrics registry plus a
+/// per-session tracer, with the delta baseline for publishing [`ServiceStats`]
+/// as monotone counters.
+struct ServiceObs {
+    obs: Obs,
+    /// Base label set identifying this service (`session="..."`).
+    session: String,
+    /// Optional sim clock: when present, evaluations also emit trace
+    /// instants stamped with simulated time (deterministic across runs).
+    clock: Option<SharedSimClock>,
+    /// Stats as of the previous publish, so counters receive deltas.
+    last: ServiceStats,
+}
+
+impl ServiceObs {
+    /// Advice latency histogram for one request kind (wall-clock, metrics
+    /// only — never written into traces, which must stay deterministic).
+    fn advice_latency(&self, kind: &'static str) -> Histogram {
+        self.obs.registry.histogram(
+            "pwm_policy_advice_latency_micros",
+            "Wall-clock latency of one policy evaluation (rule firing pass), microseconds",
+            &[("session", &self.session), ("kind", kind)],
+        )
+    }
+
+    fn counter(&self, name: &str, help: &str) -> Counter {
+        self.obs
+            .registry
+            .counter(name, help, &[("session", &self.session)])
+    }
+
+    fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.obs
+            .registry
+            .gauge(name, help, &[("session", &self.session)])
+    }
+
+    /// Publish the delta between `stats` and the last published snapshot
+    /// onto the registry's counters.
+    fn publish_stats(&mut self, stats: ServiceStats) {
+        let pairs: [(&str, &str, u64, u64); 9] = [
+            (
+                "pwm_policy_transfer_requests_total",
+                "Transfer requests received",
+                stats.transfer_requests,
+                self.last.transfer_requests,
+            ),
+            (
+                "pwm_policy_transfers_executed_total",
+                "Transfers advised to execute",
+                stats.transfers_executed,
+                self.last.transfers_executed,
+            ),
+            (
+                "pwm_policy_transfers_suppressed_total",
+                "Transfers removed from the request list",
+                stats.transfers_suppressed,
+                self.last.transfers_suppressed,
+            ),
+            (
+                "pwm_policy_transfers_completed_total",
+                "Transfer completions reported",
+                stats.transfers_completed,
+                self.last.transfers_completed,
+            ),
+            (
+                "pwm_policy_transfers_failed_total",
+                "Transfer failures reported",
+                stats.transfers_failed,
+                self.last.transfers_failed,
+            ),
+            (
+                "pwm_policy_cleanup_requests_total",
+                "Cleanup requests received",
+                stats.cleanup_requests,
+                self.last.cleanup_requests,
+            ),
+            (
+                "pwm_policy_cleanups_executed_total",
+                "Cleanups advised to execute",
+                stats.cleanups_executed,
+                self.last.cleanups_executed,
+            ),
+            (
+                "pwm_policy_cleanups_suppressed_total",
+                "Cleanups removed from the request list",
+                stats.cleanups_suppressed,
+                self.last.cleanups_suppressed,
+            ),
+            (
+                "pwm_policy_rule_firings_total",
+                "Rule firings across all evaluations",
+                stats.rule_firings,
+                self.last.rule_firings,
+            ),
+        ];
+        for (name, help, now, then) in pairs {
+            let delta = now.saturating_sub(then);
+            if delta > 0 {
+                self.counter(name, help).add(delta);
+            }
+        }
+        self.last = stats;
+    }
+}
+
 /// The policy engine: rule session + policy memory + request orchestration.
 pub struct PolicyService {
     session: Session<PolicyCtx>,
@@ -116,6 +225,7 @@ pub struct PolicyService {
     next_cleanup: u64,
     stats: ServiceStats,
     audit: AuditLog,
+    obs: Option<ServiceObs>,
 }
 
 impl PolicyService {
@@ -134,6 +244,130 @@ impl PolicyService {
             next_cleanup: 0,
             stats: ServiceStats::default(),
             audit: AuditLog::default(),
+            obs: None,
+        }
+    }
+
+    /// Attach observability: service counters, gauges, and advice-latency
+    /// histograms go to `obs.registry` labeled `session=<session>`; trace
+    /// instants go to `obs.tracer` once a sim clock is attached with
+    /// [`PolicyService::set_sim_clock`]. Per-rule engine counters are
+    /// published to the same registry.
+    pub fn set_obs(&mut self, obs: Obs, session: &str) {
+        self.session
+            .set_obs(obs.registry.clone(), &[("session", session)]);
+        self.obs = Some(ServiceObs {
+            obs,
+            session: session.to_string(),
+            clock: None,
+            last: self.stats,
+        });
+    }
+
+    /// Attach a shared simulated clock. Evaluations then emit trace
+    /// instants stamped with sim time (kept out of traces otherwise, since
+    /// a wall-clock stamp would break same-seed trace determinism).
+    pub fn set_sim_clock(&mut self, clock: SharedSimClock) {
+        if let Some(o) = &mut self.obs {
+            o.clock = Some(clock);
+        }
+    }
+
+    /// Record one evaluation pass on the attached observability sinks:
+    /// latency histogram, stats counter deltas, occupancy gauges, and (with
+    /// a sim clock) a trace instant.
+    fn note_evaluation(&mut self, kind: &'static str, micros: u64, batch: usize, firings: usize) {
+        let stats = self.stats;
+        let snapshot_counts = {
+            let wm = &self.session.wm;
+            [
+                wm.iter::<TransferFact>()
+                    .filter(|(_, t)| t.state == TransferState::InProgress)
+                    .count(),
+                wm.iter::<ResourceFact>()
+                    .filter(|(_, r)| r.state == ResourceState::Staged)
+                    .count(),
+                wm.iter::<ResourceFact>()
+                    .filter(|(_, r)| r.state == ResourceState::Staging)
+                    .count(),
+                wm.iter::<CleanupFact>()
+                    .filter(|(_, c)| c.state == CleanupState::InProgress)
+                    .count(),
+            ]
+        };
+        let pair_allocations: Vec<(String, String, u32, u32)> = self
+            .session
+            .wm
+            .iter::<HostPairFact>()
+            .map(|(_, p)| {
+                (
+                    p.src_host.clone(),
+                    p.dst_host.clone(),
+                    p.allocated,
+                    p.peak_allocated,
+                )
+            })
+            .collect();
+        let Some(o) = &mut self.obs else { return };
+        o.advice_latency(kind).record(micros);
+        o.publish_stats(stats);
+        for (name, help, value) in [
+            (
+                "pwm_policy_in_progress_transfers",
+                "Transfers handed out and not yet reported",
+                snapshot_counts[0],
+            ),
+            (
+                "pwm_policy_staged_files",
+                "Files known to be staged at their destination",
+                snapshot_counts[1],
+            ),
+            (
+                "pwm_policy_staging_files",
+                "Files currently being staged",
+                snapshot_counts[2],
+            ),
+            (
+                "pwm_policy_in_progress_cleanups",
+                "Cleanups handed out and not yet reported",
+                snapshot_counts[3],
+            ),
+        ] {
+            o.gauge(name, help).set(value as f64);
+        }
+        for (src, dst, allocated, peak) in &pair_allocations {
+            let labels = [
+                ("session", o.session.as_str()),
+                ("src", src.as_str()),
+                ("dst", dst.as_str()),
+            ];
+            o.obs
+                .registry
+                .gauge(
+                    "pwm_policy_allocated_streams",
+                    "Streams currently allocated between a host pair",
+                    &labels,
+                )
+                .set(f64::from(*allocated));
+            o.obs
+                .registry
+                .gauge(
+                    "pwm_policy_peak_allocated_streams",
+                    "High-water mark of streams allocated between a host pair",
+                    &labels,
+                )
+                .set(f64::from(*peak));
+        }
+        if let Some(clock) = &o.clock {
+            o.obs.tracer.instant(
+                kind,
+                "policy",
+                clock.now(),
+                &[
+                    ("batch", batch.to_string()),
+                    ("firings", firings.to_string()),
+                ],
+            );
         }
     }
 
@@ -201,7 +435,10 @@ impl PolicyService {
             handles.push(h);
         }
 
+        let batch_len = handles.len();
+        let eval_start = Instant::now();
         let report = self.session.fire_all(&mut self.ctx);
+        let eval_micros = eval_start.elapsed().as_micros() as u64;
         self.stats.rule_firings += report.firings as u64;
         debug_assert!(!report.budget_exhausted, "policy rules did not converge");
 
@@ -285,6 +522,7 @@ impl PolicyService {
             out.push(row.advice);
         }
         self.session.maybe_gc_refraction();
+        self.note_evaluation("evaluate_transfers", eval_micros, batch_len, report.firings);
         out
     }
 
@@ -293,6 +531,7 @@ impl PolicyService {
     /// drop the half-staged resource so retries are not treated as
     /// duplicates.
     pub fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) {
+        let batch_len = outcomes.len();
         for outcome in outcomes {
             if let Some((h, _)) = self.session.wm.find::<TransferFact>(|t| t.id == outcome.id) {
                 self.session.wm.update::<TransferFact>(h, |t| {
@@ -313,9 +552,12 @@ impl PolicyService {
                 });
             }
         }
+        let eval_start = Instant::now();
         let report = self.session.fire_all(&mut self.ctx);
+        let eval_micros = eval_start.elapsed().as_micros() as u64;
         self.stats.rule_firings += report.firings as u64;
         self.session.maybe_gc_refraction();
+        self.note_evaluation("report_transfers", eval_micros, batch_len, report.firings);
     }
 
     /// Evaluate a list of cleanup requests; duplicates and in-use files are
@@ -334,7 +576,10 @@ impl PolicyService {
                 suppressed: None,
             }));
         }
+        let batch_len = handles.len();
+        let eval_start = Instant::now();
         let report = self.session.fire_all(&mut self.ctx);
+        let eval_micros = eval_start.elapsed().as_micros() as u64;
         self.stats.rule_firings += report.firings as u64;
 
         let mut out = Vec::with_capacity(handles.len());
@@ -373,6 +618,7 @@ impl PolicyService {
             out.push(advice);
         }
         self.session.maybe_gc_refraction();
+        self.note_evaluation("evaluate_cleanups", eval_micros, batch_len, report.firings);
         out
     }
 
@@ -380,6 +626,7 @@ impl PolicyService {
     /// its resource from policy memory; failed ones are forgotten so the
     /// client may retry.
     pub fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) {
+        let batch_len = outcomes.len();
         for outcome in outcomes {
             if let Some((h, _)) = self.session.wm.find::<CleanupFact>(|c| c.id == outcome.id) {
                 if outcome.success {
@@ -395,9 +642,12 @@ impl PolicyService {
                 });
             }
         }
+        let eval_start = Instant::now();
         let report = self.session.fire_all(&mut self.ctx);
+        let eval_micros = eval_start.elapsed().as_micros() as u64;
         self.stats.rule_firings += report.firings as u64;
         self.session.maybe_gc_refraction();
+        self.note_evaluation("report_cleanups", eval_micros, batch_len, report.firings);
     }
 
     /// Streams currently allocated between a host pair.
@@ -416,6 +666,18 @@ impl PolicyService {
             .find::<HostPairFact>(|p| p.src_host == src_host && p.dst_host == dst_host)
             .map(|(_, p)| p.peak_allocated)
             .unwrap_or(0)
+    }
+
+    /// Chrome-trace JSON of this service's tracer, or `None` when no
+    /// observability is attached.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.obs.tracer.chrome_trace_json())
+    }
+
+    /// JSONL dump of this service's tracer (one event object per line), or
+    /// `None` when no observability is attached.
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.obs.tracer.jsonl())
     }
 
     /// Snapshot of policy memory for monitoring.

@@ -4,6 +4,10 @@
 //! questions the experiment harness asks: how long did staging take in
 //! aggregate, what goodput did transfers of a given tag class achieve, what
 //! did the completion timeline look like.
+//!
+//! This is *post-run analysis* over owned records; live instrumentation
+//! (per-link gauges, flow spans, fault instants) goes through the shared
+//! `pwm-obs` handle attached with `Network::set_obs`.
 
 use crate::flow::TransferRecord;
 use pwm_sim::{OnlineStats, SimTime, Summary};

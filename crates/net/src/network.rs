@@ -14,13 +14,14 @@
 //! [`FlowId`], so iteration order — and therefore every floating-point
 //! reduction — is identical across runs with the same schedule.
 
-use crate::fault::LinkFault;
+use crate::fault::{LinkFault, LinkFaultKind};
 use crate::flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
 use crate::model::{LinkState, StreamModel};
 use crate::sharing::{max_min_rates, FlowDemand};
 use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::topology::{LinkId, Topology};
-use pwm_sim::{FaultPlan, SimDuration, SimRng, SimTime};
+use pwm_obs::{Gauge, Obs, SpanId};
+use pwm_sim::{FaultEvent, FaultPlan, SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Completion slop: a flow whose remaining bytes drop below this is done.
@@ -44,6 +45,20 @@ pub struct Network {
     timelines: std::collections::BTreeMap<LinkId, LinkTimeline>,
     /// Scheduled link faults; capacities scale while a window is active.
     faults: FaultPlan<LinkFault>,
+    /// Opt-in observability sinks (see [`Network::set_obs`]).
+    obs: Option<NetObs>,
+}
+
+/// Observability state attached by [`Network::set_obs`]: the shared handle
+/// plus per-link gauge handles cached so the rate-recompute hot path never
+/// touches the registry's name table.
+struct NetObs {
+    obs: Obs,
+    /// Per-link `(streams, throughput_bps)` gauges, indexed by `LinkId`.
+    link_gauges: Vec<(Gauge, Gauge)>,
+    /// Trace-span parents for in-flight flows (see
+    /// [`Network::set_flow_span_parent`]).
+    flow_parents: BTreeMap<FlowId, SpanId>,
 }
 
 impl Network {
@@ -73,6 +88,71 @@ impl Network {
             host_active,
             timelines: std::collections::BTreeMap::new(),
             faults: FaultPlan::new(),
+            obs: None,
+        }
+    }
+
+    /// Attach observability: completed flows become trace spans (category
+    /// `net`, timed `activated_at → completed_at`), link fault windows
+    /// become trace instants, and every rate recomputation refreshes
+    /// per-link `pwm_net_link_streams` / `pwm_net_link_throughput_bps`
+    /// gauges labeled with the link name.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let link_gauges = (0..self.topology.link_count())
+            .map(|ix| {
+                let name = self.topology.link(LinkId(ix as u32)).name.clone();
+                (
+                    obs.registry.gauge(
+                        "pwm_net_link_streams",
+                        "Concurrent streams currently on the link",
+                        &[("link", &name)],
+                    ),
+                    obs.registry.gauge(
+                        "pwm_net_link_throughput_bps",
+                        "Aggregate throughput currently allocated across the link, bytes/sec",
+                        &[("link", &name)],
+                    ),
+                )
+            })
+            .collect();
+        let net_obs = NetObs {
+            obs,
+            link_gauges,
+            flow_parents: BTreeMap::new(),
+        };
+        self.emit_fault_instants(&net_obs, self.faults.events());
+        self.obs = Some(net_obs);
+    }
+
+    /// Parent the trace span of `flow` (emitted when the flow completes)
+    /// under an existing span — typically the workflow executor's transfer
+    /// span. No-op without observability attached.
+    pub fn set_flow_span_parent(&mut self, flow: FlowId, parent: SpanId) {
+        if let Some(o) = &mut self.obs {
+            o.flow_parents.insert(flow, parent);
+        }
+    }
+
+    /// Trace instants marking each scheduled fault window's open and close.
+    fn emit_fault_instants(&self, obs: &NetObs, events: &[FaultEvent<LinkFault>]) {
+        for ev in events {
+            let link = self.topology.link(ev.kind.link).name.clone();
+            let kind = match ev.kind.kind {
+                LinkFaultKind::Down => "down".to_string(),
+                LinkFaultKind::Degrade(f) => format!("degrade:{f}"),
+            };
+            obs.obs.tracer.instant(
+                "link_fault_start",
+                "net",
+                ev.window.start,
+                &[("link", link.clone()), ("kind", kind.clone())],
+            );
+            obs.obs.tracer.instant(
+                "link_fault_end",
+                "net",
+                ev.window.end(),
+                &[("link", link), ("kind", kind)],
+            );
         }
     }
 
@@ -81,11 +161,22 @@ impl Network {
     /// the next rate recomputation.
     pub fn set_fault_plan(&mut self, plan: FaultPlan<LinkFault>) {
         self.faults = plan;
+        if let Some(o) = &self.obs {
+            self.emit_fault_instants(o, self.faults.events());
+        }
     }
 
     /// Schedule one link fault active over `[start, start + duration)`.
     pub fn inject_link_fault(&mut self, start: SimTime, duration: SimDuration, fault: LinkFault) {
         self.faults.add(start, duration, fault);
+        if let Some(o) = &self.obs {
+            // The plan re-sorts on add, so describe the new window directly.
+            let added = [FaultEvent {
+                window: pwm_sim::FaultWindow::new(start, duration),
+                kind: fault,
+            }];
+            self.emit_fault_instants(o, &added);
+        }
     }
 
     /// The installed fault plan (empty when no faults are scheduled).
@@ -432,6 +523,23 @@ impl Network {
             }
             self.total_bytes_completed += flow.spec.bytes;
             self.total_flows_completed += 1;
+            if let Some(o) = &mut self.obs {
+                let parent = o.flow_parents.remove(&id);
+                let src = self.topology.host(flow.spec.src).name.clone();
+                let dst = self.topology.host(flow.spec.dst).name.clone();
+                o.obs.tracer.complete_span(
+                    format!("flow {src}->{dst}"),
+                    "net",
+                    parent,
+                    activated_at,
+                    now,
+                    &[
+                        ("bytes", format!("{:.0}", flow.spec.bytes)),
+                        ("streams", streams.to_string()),
+                        ("tag", flow.spec.tag.to_string()),
+                    ],
+                );
+            }
             self.completed.push(TransferRecord {
                 flow: id,
                 tag: flow.spec.tag,
@@ -489,6 +597,19 @@ impl Network {
                 if let FlowPhase::Active { rate, .. } = &mut flow.phase {
                     *rate = *new_rate;
                 }
+            }
+        }
+        // Refresh per-link gauges with the fresh allocation.
+        if let Some(o) = &self.obs {
+            for (ix, (streams_gauge, throughput_gauge)) in o.link_gauges.iter().enumerate() {
+                streams_gauge.set(f64::from(self.link_states[ix].streams));
+                let throughput: f64 = demands
+                    .iter()
+                    .zip(rates.iter())
+                    .filter(|(d, _)| d.links.contains(&ix))
+                    .map(|(_, r)| *r)
+                    .sum();
+                throughput_gauge.set(throughput);
             }
         }
         // Feed watched timelines with the fresh rates.
@@ -560,6 +681,41 @@ mod tests {
             streams,
             tag: 0,
         }
+    }
+
+    #[test]
+    fn obs_emits_flow_spans_fault_instants_and_link_gauges() {
+        let (mut net, a, b) = lan_pair();
+        let obs = pwm_obs::Obs::new();
+        net.set_obs(obs.clone());
+        net.inject_link_fault(
+            SimTime::from_secs(50),
+            SimDuration::from_secs(5),
+            LinkFault {
+                link: LinkId(0),
+                kind: LinkFaultKind::Down,
+            },
+        );
+        let id = net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6, 2));
+        let parent = obs
+            .tracer
+            .start_span("transfer", "workflow", None, SimTime::ZERO);
+        net.set_flow_span_parent(id, parent);
+        net.run_to_completion(SimTime::from_secs(100));
+        obs.tracer.end_span(parent, net.now());
+
+        let events = obs.tracer.events();
+        let span = events
+            .iter()
+            .find(|e| e.name == "flow a->b")
+            .expect("flow span");
+        assert!(span.dur.is_some());
+        assert_eq!(span.parent, Some(parent.0));
+        assert!(events.iter().any(|e| e.name == "link_fault_start"));
+        assert!(events.iter().any(|e| e.name == "link_fault_end"));
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("pwm_net_link_streams"), "{text}");
+        assert!(text.contains("pwm_net_link_throughput_bps"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! A tiny leveled stderr logger for the CLI binaries.
+//!
+//! Progress and diagnostics go to **stderr** at a level chosen by the
+//! `PWM_LOG` environment variable (`error`, `warn`, `info`, `debug`;
+//! default `info`), so machine-readable result lines keep stdout to
+//! themselves and `repro ... > results.txt` stays clean.
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Verbosity levels, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems.
+    Error,
+    /// Suspicious but survivable conditions.
+    Warn,
+    /// Progress messages (the default).
+    Info,
+    /// Verbose diagnostics.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse a level name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A stderr logger filtering by [`Level`].
+#[derive(Debug, Clone)]
+pub struct Logger {
+    level: Level,
+}
+
+impl Logger {
+    /// A logger at an explicit level.
+    pub fn with_level(level: Level) -> Logger {
+        Logger { level }
+    }
+
+    /// A logger at the level named by `PWM_LOG` (default `info`).
+    pub fn from_env() -> Logger {
+        let level = std::env::var("PWM_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info);
+        Logger { level }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Whether a message at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level
+    }
+
+    /// Log at an explicit level.
+    pub fn log(&self, level: Level, message: &str) {
+        if self.enabled(level) {
+            // Failure to write progress output is not worth crashing over.
+            let _ = writeln!(std::io::stderr(), "[{}] {}", level.as_str(), message);
+        }
+    }
+
+    /// Log an error.
+    pub fn error(&self, message: &str) {
+        self.log(Level::Error, message);
+    }
+
+    /// Log a warning.
+    pub fn warn(&self, message: &str) {
+        self.log(Level::Warn, message);
+    }
+
+    /// Log progress.
+    pub fn info(&self, message: &str) {
+        self.log(Level::Info, message);
+    }
+
+    /// Log verbose diagnostics.
+    pub fn debug(&self, message: &str) {
+        self.log(Level::Debug, message);
+    }
+}
+
+/// The process-wide logger, initialized from `PWM_LOG` on first use.
+pub fn global() -> &'static Logger {
+    static GLOBAL: OnceLock<Logger> = OnceLock::new();
+    GLOBAL.get_or_init(Logger::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_messages() {
+        let l = Logger::with_level(Level::Warn);
+        assert!(l.enabled(Level::Error));
+        assert!(l.enabled(Level::Warn));
+        assert!(!l.enabled(Level::Info));
+        assert!(!l.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_garbage() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" trace "), Some(Level::Debug));
+        assert_eq!(Level::parse("loud"), None);
+    }
+}

@@ -123,6 +123,21 @@ impl PolicyRestClient {
         Ok(())
     }
 
+    /// GET `/metrics` — the Prometheus text exposition covering every
+    /// session on the server.
+    pub fn metrics(&self) -> Result<String, TransportError> {
+        let body = self.call_raw(WireFormat::Json, Method::Get, "/metrics", b"")?;
+        String::from_utf8(body).map_err(|e| TransportError::Io(format!("non-utf8 metrics: {e}")))
+    }
+
+    /// GET the session's span trace as Chrome-trace JSON (viewable in
+    /// Perfetto / `chrome://tracing`).
+    pub fn trace(&self) -> Result<String, TransportError> {
+        let path = format!("/sessions/{}/trace", self.session);
+        let body = self.call_raw(WireFormat::Json, Method::Get, &path, b"")?;
+        String::from_utf8(body).map_err(|e| TransportError::Io(format!("non-utf8 trace: {e}")))
+    }
+
     /// GET the session's status (snapshot + stats).
     pub fn status(&self) -> Result<StatusEnvelope, TransportError> {
         self.call(
@@ -140,7 +155,7 @@ impl PolicyTransport for PolicyRestClient {
     ) -> Result<Vec<TransferAdvice>, TransportError> {
         let path = format!("/sessions/{}/transfers", self.session);
         match self.format {
-            WireFormat::Json => {
+            WireFormat::Json | WireFormat::Text => {
                 let resp: TransferResponseEnvelope = self.call(
                     Method::Post,
                     &path,
@@ -160,7 +175,7 @@ impl PolicyTransport for PolicyRestClient {
     fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) -> Result<(), TransportError> {
         let path = format!("/sessions/{}/transfers/complete", self.session);
         match self.format {
-            WireFormat::Json => {
+            WireFormat::Json | WireFormat::Text => {
                 let _: AckEnvelope = self.call(
                     Method::Post,
                     &path,
@@ -185,7 +200,7 @@ impl PolicyTransport for PolicyRestClient {
     ) -> Result<Vec<CleanupAdvice>, TransportError> {
         let path = format!("/sessions/{}/cleanups", self.session);
         match self.format {
-            WireFormat::Json => {
+            WireFormat::Json | WireFormat::Text => {
                 let resp: CleanupResponseEnvelope = self.call(
                     Method::Post,
                     &path,
@@ -205,7 +220,7 @@ impl PolicyTransport for PolicyRestClient {
     fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError> {
         let path = format!("/sessions/{}/cleanups/complete", self.session);
         match self.format {
-            WireFormat::Json => {
+            WireFormat::Json | WireFormat::Text => {
                 let _: AckEnvelope =
                     self.call(Method::Post, &path, &CleanupCompletionEnvelope { outcomes })?;
             }

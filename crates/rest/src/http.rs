@@ -50,6 +50,9 @@ pub enum WireFormat {
     Json,
     /// `application/xml`.
     Xml,
+    /// `text/plain` — Prometheus exposition format (`/metrics` responses
+    /// only; request bodies are never parsed as text).
+    Text,
 }
 
 impl WireFormat {
@@ -58,6 +61,7 @@ impl WireFormat {
         match self {
             WireFormat::Json => "application/json",
             WireFormat::Xml => "application/xml",
+            WireFormat::Text => "text/plain; version=0.0.4; charset=utf-8",
         }
     }
 
@@ -113,6 +117,15 @@ impl Response {
         }
     }
 
+    /// 200 with a plain-text body (Prometheus exposition format).
+    pub fn ok_text(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            format: WireFormat::Text,
+        }
+    }
+
     /// An error status with an error envelope in the given format.
     pub fn error_in(format: WireFormat, status: u16, message: &str) -> Response {
         let body = match format {
@@ -121,6 +134,7 @@ impl Response {
             })
             .unwrap_or_else(|_| b"{\"error\":\"internal\"}".to_vec()),
             WireFormat::Xml => crate::xml::error_xml(message).into_bytes(),
+            WireFormat::Text => message.as_bytes().to_vec(),
         };
         Response {
             status,

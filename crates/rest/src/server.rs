@@ -17,6 +17,8 @@
 //! | POST   | `/sessions/{s}/cleanups/complete` | CleanupCompletionEnvelope → Ack |
 //! | GET    | `/sessions/{s}/status` | — → StatusEnvelope |
 //! | GET    | `/sessions/{s}/log` | — → `[AuditRecord]` (the monitoring log) |
+//! | GET    | `/sessions/{s}/trace` | — → Chrome-trace JSON (load in Perfetto) |
+//! | GET    | `/metrics` | — → Prometheus text exposition (all sessions) |
 //! | PUT    | `/sessions/{s}/config` | PolicyConfig → Ack (creates the session if absent) |
 
 use crate::http::{read_request, write_response, Method, Request, Response, WireFormat};
@@ -103,11 +105,20 @@ fn route(request: &Request, controller: &PolicyController) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method, segments.as_slice()) {
         (Method::Get, ["health"]) => Response::ok_json(br#"{"status":"ok"}"#.to_vec()),
+        (Method::Get, ["metrics"]) => Response::ok_text(controller.render_metrics().into_bytes()),
+        (Method::Get, ["sessions", session, "trace"]) => {
+            match controller.trace_chrome_json(session) {
+                Ok(json) => Response::ok_json(json.into_bytes()),
+                Err(e) => controller_error(e),
+            }
+        }
         (Method::Post, ["sessions", session, "transfers"]) => match request.format {
-            WireFormat::Json => with_body::<TransferRequestEnvelope>(request, |env| {
-                let advice = controller.evaluate_transfers(session, env.transfers)?;
-                Ok(json_response(&TransferResponseEnvelope { advice }))
-            }),
+            WireFormat::Json | WireFormat::Text => {
+                with_body::<TransferRequestEnvelope>(request, |env| {
+                    let advice = controller.evaluate_transfers(session, env.transfers)?;
+                    Ok(json_response(&TransferResponseEnvelope { advice }))
+                })
+            }
             WireFormat::Xml => {
                 with_xml_body(request, xml::transfer_request_from_xml, |transfers| {
                     let advice = controller.evaluate_transfers(session, transfers)?;
@@ -116,10 +127,12 @@ fn route(request: &Request, controller: &PolicyController) -> Response {
             }
         },
         (Method::Post, ["sessions", session, "transfers", "complete"]) => match request.format {
-            WireFormat::Json => with_body::<TransferCompletionEnvelope>(request, |env| {
-                controller.report_transfers(session, env.outcomes)?;
-                Ok(json_response(&AckEnvelope::ok()))
-            }),
+            WireFormat::Json | WireFormat::Text => {
+                with_body::<TransferCompletionEnvelope>(request, |env| {
+                    controller.report_transfers(session, env.outcomes)?;
+                    Ok(json_response(&AckEnvelope::ok()))
+                })
+            }
             WireFormat::Xml => {
                 with_xml_body(request, xml::transfer_completion_from_xml, |outcomes| {
                     controller.report_transfers(session, outcomes)?;
@@ -128,20 +141,24 @@ fn route(request: &Request, controller: &PolicyController) -> Response {
             }
         },
         (Method::Post, ["sessions", session, "cleanups"]) => match request.format {
-            WireFormat::Json => with_body::<CleanupRequestEnvelope>(request, |env| {
-                let advice = controller.evaluate_cleanups(session, env.cleanups)?;
-                Ok(json_response(&CleanupResponseEnvelope { advice }))
-            }),
+            WireFormat::Json | WireFormat::Text => {
+                with_body::<CleanupRequestEnvelope>(request, |env| {
+                    let advice = controller.evaluate_cleanups(session, env.cleanups)?;
+                    Ok(json_response(&CleanupResponseEnvelope { advice }))
+                })
+            }
             WireFormat::Xml => with_xml_body(request, xml::cleanup_request_from_xml, |cleanups| {
                 let advice = controller.evaluate_cleanups(session, cleanups)?;
                 Ok(xml::cleanup_response_to_xml(&advice))
             }),
         },
         (Method::Post, ["sessions", session, "cleanups", "complete"]) => match request.format {
-            WireFormat::Json => with_body::<CleanupCompletionEnvelope>(request, |env| {
-                controller.report_cleanups(session, env.outcomes)?;
-                Ok(json_response(&AckEnvelope::ok()))
-            }),
+            WireFormat::Json | WireFormat::Text => {
+                with_body::<CleanupCompletionEnvelope>(request, |env| {
+                    controller.report_cleanups(session, env.outcomes)?;
+                    Ok(json_response(&AckEnvelope::ok()))
+                })
+            }
             WireFormat::Xml => {
                 with_xml_body(request, xml::cleanup_completion_from_xml, |outcomes| {
                     controller.report_cleanups(session, outcomes)?;
@@ -378,6 +395,73 @@ mod tests {
             pwm_core::PolicyEvent::TransferEvaluated { .. }
         ));
         let (status, _) = call(addr, Method::Get, "/sessions/missing/log", b"");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (_server, addr) = start();
+        let env = TransferRequestEnvelope {
+            transfers: vec![pwm_core::TransferSpec {
+                source: pwm_core::Url::new("gsiftp", "s", "/f1"),
+                dest: pwm_core::Url::new("file", "d", "/f1"),
+                bytes: 1,
+                requested_streams: None,
+                workflow: pwm_core::WorkflowId(1),
+                cluster: None,
+                priority: None,
+            }],
+        };
+        call(
+            addr,
+            Method::Post,
+            "/sessions/default/transfers",
+            &serde_json::to_vec(&env).unwrap(),
+        );
+        let (status, body) = call(addr, Method::Get, "/metrics", b"");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("# TYPE pwm_policy_transfer_requests_total counter"));
+        assert!(
+            text.contains("pwm_policy_transfer_requests_total{session=\"default\"} 1"),
+            "scrape missing session counter:\n{text}"
+        );
+    }
+
+    #[test]
+    fn trace_endpoint_serves_chrome_trace_json() {
+        let controller = PolicyController::new(PolicyConfig::default());
+        // A sim clock makes evaluations emit trace instants.
+        controller
+            .set_sim_clock(
+                pwm_core::DEFAULT_SESSION,
+                pwm_core::SharedSimClock::default(),
+            )
+            .unwrap();
+        let server = PolicyRestServer::start(controller).unwrap();
+        let addr = server.addr();
+        let env = TransferRequestEnvelope {
+            transfers: vec![pwm_core::TransferSpec {
+                source: pwm_core::Url::new("gsiftp", "s", "/f1"),
+                dest: pwm_core::Url::new("file", "d", "/f1"),
+                bytes: 1,
+                requested_streams: None,
+                workflow: pwm_core::WorkflowId(1),
+                cluster: None,
+                priority: None,
+            }],
+        };
+        call(
+            addr,
+            Method::Post,
+            "/sessions/default/transfers",
+            &serde_json::to_vec(&env).unwrap(),
+        );
+        let (status, body) = call(addr, Method::Get, "/sessions/default/trace", b"");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        pwm_obs::validate_chrome_trace(&text).expect("trace must be valid Chrome-trace JSON");
+        let (status, _) = call(addr, Method::Get, "/sessions/missing/trace", b"");
         assert_eq!(status, 404);
     }
 

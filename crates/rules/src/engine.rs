@@ -36,6 +36,7 @@
 
 use crate::memory::{FactHandle, WorkingMemory};
 use crate::rule::{Match, Rule};
+use pwm_obs::{Counter, Registry};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -171,6 +172,81 @@ impl RuleState {
     }
 }
 
+/// Registry handles for one rule's counter series, created lazily the
+/// first time the rule appears in a published report.
+struct RuleMetrics {
+    evaluations: Counter,
+    matches: Counter,
+    firings: Counter,
+    eval_nanos: Counter,
+}
+
+/// Metrics hookup for a session: the shared registry, base labels stamped
+/// onto every series (e.g. the policy session name), and cached per-rule
+/// handles so the hot path pays atomic adds, not registry lookups.
+struct SessionObs {
+    registry: Registry,
+    labels: Vec<(String, String)>,
+    per_rule: Vec<Option<RuleMetrics>>,
+}
+
+impl SessionObs {
+    fn rule_metrics(&mut self, idx: usize, rule_name: &str) -> &RuleMetrics {
+        if self.per_rule.len() <= idx {
+            self.per_rule.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.per_rule[idx];
+        if slot.is_none() {
+            let mut labels: Vec<(&str, &str)> = self
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            labels.push(("rule", rule_name));
+            *slot = Some(RuleMetrics {
+                evaluations: self.registry.counter(
+                    "pwm_rules_evaluations_total",
+                    "Matcher (re-)evaluations per rule",
+                    &labels,
+                ),
+                matches: self.registry.counter(
+                    "pwm_rules_matches_total",
+                    "Fact tuples returned by matchers per rule",
+                    &labels,
+                ),
+                firings: self.registry.counter(
+                    "pwm_rules_firings_total",
+                    "Rule action firings per rule",
+                    &labels,
+                ),
+                eval_nanos: self.registry.counter(
+                    "pwm_rules_eval_nanos_total",
+                    "Cumulative wall-clock nanoseconds spent in matchers per rule",
+                    &labels,
+                ),
+            });
+        }
+        slot.as_ref().expect("slot just filled")
+    }
+
+    fn publish(&mut self, stats: &[RuleStats]) {
+        for (idx, s) in stats.iter().enumerate() {
+            if s.evaluations == 0 && s.matches == 0 && s.firings == 0 && s.eval_nanos == 0 {
+                // Nothing moved; skip the handle lookup entirely for clean
+                // rules (the common case under incremental matching).
+                if self.per_rule.get(idx).map(Option::is_some) == Some(true) {
+                    continue;
+                }
+            }
+            let m = self.rule_metrics(idx, &s.name);
+            m.evaluations.add(s.evaluations);
+            m.matches.add(s.matches);
+            m.firings.add(s.firings);
+            m.eval_nanos.add(s.eval_nanos);
+        }
+    }
+}
+
 /// A rule session: working memory + rules + refraction state.
 pub struct Session<Ctx> {
     /// The fact store. Public so callers can insert/inspect facts directly,
@@ -186,6 +262,7 @@ pub struct Session<Ctx> {
     max_firings: usize,
     log_firings: bool,
     gc_watermark: usize,
+    obs: Option<SessionObs>,
 }
 
 impl<Ctx> Session<Ctx> {
@@ -201,7 +278,24 @@ impl<Ctx> Session<Ctx> {
             max_firings: 100_000,
             log_firings: false,
             gc_watermark: GC_MIN_WATERMARK,
+            obs: None,
         }
+    }
+
+    /// Publish per-rule counters (`pwm_rules_evaluations_total`,
+    /// `pwm_rules_matches_total`, `pwm_rules_firings_total`,
+    /// `pwm_rules_eval_nanos_total`) to `registry` at the end of every
+    /// [`Session::fire_all`], each series labeled with the rule name plus
+    /// the given base labels (e.g. the owning policy session).
+    pub fn set_obs(&mut self, registry: Registry, base_labels: &[(&str, &str)]) {
+        self.obs = Some(SessionObs {
+            registry,
+            labels: base_labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            per_rule: Vec::new(),
+        });
     }
 
     /// Override the firing budget.
@@ -334,7 +428,10 @@ impl<Ctx> Session<Ctx> {
                 firings: state.firings - fi0,
                 eval_nanos: state.eval_nanos - ns0,
             })
-            .collect();
+            .collect::<Vec<_>>();
+        if let Some(obs) = &mut self.obs {
+            obs.publish(&rule_stats);
+        }
         FiringReport {
             firings,
             log,
@@ -782,6 +879,28 @@ mod tests {
             .iter()
             .all(|k| matches!(k, RefractionKey::Heap { .. })));
         assert_eq!(s.fired.iter().next().unwrap().facts().len(), 3);
+    }
+
+    #[test]
+    fn registry_counters_track_rule_activity() {
+        let registry = Registry::new();
+        let mut s: Session<()> = Session::new();
+        s.set_obs(registry.clone(), &[("session", "default")]);
+        s.wm.insert(Counter(0));
+        s.add_rule(
+            Rule::new("observe")
+                .when_each::<Counter>(|_, _| true)
+                .then(|_, _, _| {}),
+        );
+        s.fire_all(&mut ());
+        s.fire_all(&mut ()); // quiescent: no new firings
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("pwm_rules_firings_total{rule=\"observe\",session=\"default\"} 1"),
+            "unexpected exposition:\n{text}"
+        );
+        assert!(text.contains("pwm_rules_evaluations_total{rule=\"observe\",session=\"default\"}"));
+        assert!(text.contains("pwm_rules_matches_total{rule=\"observe\",session=\"default\"} 1"));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //!
 //! Used by the workflow run reports (`pwm-workflow::report`) to show the
 //! spread of transfer durations and goodputs the way `pegasus-statistics`
-//! summarizes job runtimes.
+//! summarizes job runtimes. For live, mergeable, Prometheus-exposable
+//! histograms (hot-path metrics) use `pwm-obs`'s log-bucketed `Histogram`
+//! instead — this type is for shaping a known finite range into a
+//! human-readable report after the run.
 
 /// A histogram over `[lo, hi)` with uniform buckets plus under/overflow.
 #[derive(Debug, Clone)]

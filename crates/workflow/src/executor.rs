@@ -26,6 +26,7 @@ use pwm_core::{
     WorkflowId,
 };
 use pwm_net::{FlowSpec, LinkId, Network};
+use pwm_obs::{Obs, SpanId};
 use pwm_sim::{EventQueue, SimDuration, SimRng, SimTime, Trace};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -86,6 +87,12 @@ pub struct ExecutorConfig {
     /// Max concurrent cleanup jobs (DAGMan category throttle); `None` =
     /// unlimited, matching Pegasus' default cleanup category.
     pub cleanup_job_limit: Option<usize>,
+    /// Observability sinks. When set, the executor emits job / advice-RPC /
+    /// transfer / retry-backoff spans onto the tracer (all timestamps are
+    /// sim time, so same-seed runs export identical traces), publishes job
+    /// lifecycle counters, and attaches the same handle to the network so
+    /// flow spans nest under their transfer spans.
+    pub obs: Option<Obs>,
 }
 
 impl Default for ExecutorConfig {
@@ -111,6 +118,7 @@ impl Default for ExecutorConfig {
             watch_link: None,
             watch_timeline: false,
             cleanup_job_limit: None,
+            obs: None,
         }
     }
 }
@@ -202,6 +210,13 @@ pub struct WorkflowExecutor<'p> {
     flow_owner: HashMap<u64, (usize, usize)>,
     next_tag: u64,
 
+    // observability bookkeeping (all None/empty without config.obs)
+    job_spans: Vec<Option<SpanId>>,
+    /// flow tag → transfer span.
+    transfer_spans: HashMap<u64, SpanId>,
+    /// job → when its in-flight policy callout was issued.
+    rpc_started: HashMap<usize, SimTime>,
+
     // stats accumulation
     stats_transfers: Vec<pwm_net::TransferRecord>,
     bytes_staged: f64,
@@ -236,6 +251,11 @@ impl<'p> WorkflowExecutor<'p> {
                 network.watch_link(link);
             }
         }
+        if let Some(obs) = &config.obs {
+            // Share the tracer with the network so flow spans can nest
+            // under the executor's transfer spans.
+            network.set_obs(obs.clone());
+        }
         let mut exec = WorkflowExecutor {
             plan,
             transport,
@@ -256,6 +276,9 @@ impl<'p> WorkflowExecutor<'p> {
             cleanup_advice: HashMap::new(),
             flow_owner: HashMap::new(),
             next_tag: 0,
+            job_spans: vec![None; n],
+            transfer_spans: HashMap::new(),
+            rpc_started: HashMap::new(),
             stats_transfers: Vec::new(),
             bytes_staged: 0.0,
             transfers_skipped: 0,
@@ -339,6 +362,93 @@ impl<'p> WorkflowExecutor<'p> {
         (stats, self.network, self.trace)
     }
 
+    /// The job's kind as a metric label / trace category value.
+    fn job_kind(&self, job: usize) -> &'static str {
+        match self.plan.jobs()[job].kind {
+            PlanJobKind::Compute { .. } => "compute",
+            PlanJobKind::StageIn { .. } => "stage_in",
+            PlanJobKind::StageOut { .. } => "stage_out",
+            PlanJobKind::Cleanup { .. } => "cleanup",
+        }
+    }
+
+    /// Open the job's lifecycle trace span (no-op without observability).
+    fn open_job_span(&mut self, job: usize) {
+        let Some(obs) = &self.config.obs else { return };
+        let id = obs.tracer.start_span(
+            self.plan.jobs()[job].name.clone(),
+            self.job_kind(job),
+            None,
+            self.now,
+        );
+        self.job_spans[job] = Some(id);
+    }
+
+    /// Close the job's span and count its terminal state.
+    fn close_job_span(&mut self, job: usize, state: &str) {
+        let Some(obs) = &self.config.obs else { return };
+        if let Some(id) = self.job_spans[job].take() {
+            obs.tracer.span_arg(id, "state", state);
+            obs.tracer.end_span(id, self.now);
+        }
+        obs.registry
+            .counter(
+                "pwm_workflow_jobs_total",
+                "Jobs reaching a terminal state, by kind and state",
+                &[("kind", self.job_kind(job)), ("state", state)],
+            )
+            .inc();
+    }
+
+    /// Count one policy-service callout.
+    fn note_policy_call(&mut self) {
+        self.policy_calls += 1;
+        if let Some(obs) = &self.config.obs {
+            obs.registry
+                .counter(
+                    "pwm_workflow_policy_calls_total",
+                    "Policy-service callouts issued by the executor",
+                    &[],
+                )
+                .inc();
+        }
+    }
+
+    /// Record the advice round-trip that just landed as a span under the
+    /// job's span (no-op without observability or a recorded callout start).
+    fn close_rpc_span(&mut self, job: usize, name: &'static str) {
+        let Some(obs) = &self.config.obs else { return };
+        if let Some(started) = self.rpc_started.remove(&job) {
+            obs.tracer.complete_span(
+                name,
+                "policy_rpc",
+                self.job_spans[job],
+                started,
+                self.now,
+                &[("job", self.plan.jobs()[job].name.clone())],
+            );
+        }
+    }
+
+    /// Count a fail-safe fallback (policy service unreachable) and mark it
+    /// on the trace.
+    fn note_fallback(&mut self, job: usize) {
+        let Some(obs) = &self.config.obs else { return };
+        obs.registry
+            .counter(
+                "pwm_workflow_policy_fallbacks_total",
+                "Callouts answered by the fail-safe fallback because the service was unreachable",
+                &[],
+            )
+            .inc();
+        obs.tracer.instant(
+            "policy_fallback",
+            "policy_rpc",
+            self.now,
+            &[("job", self.plan.jobs()[job].name.clone())],
+        );
+    }
+
     fn mark_ready(&mut self, job: usize) {
         debug_assert_eq!(self.state[job], JobState::Waiting);
         self.state[job] = JobState::Ready;
@@ -360,6 +470,7 @@ impl<'p> WorkflowExecutor<'p> {
             };
             self.compute_slots_free -= 1;
             self.state[job] = JobState::Running;
+            self.open_job_span(job);
             self.trace.info(
                 self.now,
                 "executor",
@@ -390,6 +501,7 @@ impl<'p> WorkflowExecutor<'p> {
             };
             self.staging_in_flight += 1;
             self.state[job] = JobState::Running;
+            self.open_job_span(job);
             self.staging_jobs_run += 1;
             self.trace.info(
                 self.now,
@@ -414,7 +526,9 @@ impl<'p> WorkflowExecutor<'p> {
             };
             self.cleanup_in_flight += 1;
             self.state[job] = JobState::Running;
+            self.open_job_span(job);
             self.cleanup_jobs_run += 1;
+            self.rpc_started.insert(job, self.now);
             self.events.schedule_at(
                 self.now + self.config.policy_call_latency,
                 Ev::CleanupAdvice(job),
@@ -466,13 +580,15 @@ impl<'p> WorkflowExecutor<'p> {
                 );
                 // The callout happens now; the advice lands after a
                 // round-trip.
+                self.rpc_started.insert(job, self.now);
                 self.events.schedule_at(
                     self.now + self.config.policy_call_latency,
                     Ev::StagingAdvice(job),
                 );
             }
             Ev::StagingAdvice(job) => {
-                self.policy_calls += 1;
+                self.note_policy_call();
+                self.close_rpc_span(job, "advice_rpc");
                 let run = self.staging_runs.get_mut(&job).expect("staging run state");
                 let specs = run.specs.clone();
                 match self.transport.evaluate_transfers(specs) {
@@ -484,6 +600,7 @@ impl<'p> WorkflowExecutor<'p> {
                         // Policy service unreachable: fall back to executing
                         // the submitted list as-is with the configured
                         // default stream count (fail-safe, not fail-stop).
+                        self.note_fallback(job);
                         let streams = self.config.fallback_streams.max(1);
                         self.trace.warn(
                             self.now,
@@ -528,7 +645,7 @@ impl<'p> WorkflowExecutor<'p> {
                 let key = (prior.source.to_string(), prior.dest.to_string());
                 let spec_ix = run.by_urls[&key];
                 let spec = run.specs[spec_ix].clone();
-                self.policy_calls += 1;
+                self.note_policy_call();
                 match self.transport.evaluate_transfers(vec![spec]) {
                     Ok(mut advice) if !advice.is_empty() => {
                         let fresh = advice.remove(0);
@@ -549,7 +666,8 @@ impl<'p> WorkflowExecutor<'p> {
                 self.finish_job(job);
             }
             Ev::CleanupAdvice(job) => {
-                self.policy_calls += 1;
+                self.note_policy_call();
+                self.close_rpc_span(job, "cleanup_rpc");
                 let files = match &self.plan.jobs()[job].kind {
                     PlanJobKind::Cleanup { files } => files.clone(),
                     _ => unreachable!("cleanup event for non-cleanup job"),
@@ -564,6 +682,7 @@ impl<'p> WorkflowExecutor<'p> {
                 let advice = match self.transport.evaluate_cleanups(specs.clone()) {
                     Ok(advice) => advice,
                     Err(_) => {
+                        self.note_fallback(job);
                         // Policy service unreachable: delete the submitted
                         // list as-is. Fail-safe mirrors the staging path —
                         // scratch must drain even during an outage; the
@@ -620,7 +739,7 @@ impl<'p> WorkflowExecutor<'p> {
                     })
                     .collect();
                 if !outcomes.is_empty() {
-                    self.policy_calls += 1;
+                    self.note_policy_call();
                     let _ = self.transport.report_cleanups(outcomes);
                 }
                 self.events.schedule_at(
@@ -666,7 +785,7 @@ impl<'p> WorkflowExecutor<'p> {
                 let delay = if outcomes.is_empty() {
                     SimDuration::ZERO
                 } else {
-                    self.policy_calls += 1;
+                    self.note_policy_call();
                     let _ = self.transport.report_transfers(outcomes);
                     self.config.policy_call_latency
                 };
@@ -707,7 +826,20 @@ impl<'p> WorkflowExecutor<'p> {
                     pt.source, pt.dest, advice.streams
                 ),
             );
-            self.network.start_flow(self.now, flow);
+            let flow_id = self.network.start_flow(self.now, flow);
+            if let Some(obs) = &self.config.obs {
+                let span = obs.tracer.start_span(
+                    format!("xfer {}", pt.file),
+                    "transfer",
+                    self.job_spans[job],
+                    self.now,
+                );
+                obs.tracer
+                    .span_arg(span, "streams", advice.streams.to_string());
+                obs.tracer.span_arg(span, "bytes", pt.bytes.to_string());
+                self.transfer_spans.insert(tag, span);
+                self.network.set_flow_span_parent(flow_id, span);
+            }
             return;
         }
     }
@@ -725,6 +857,19 @@ impl<'p> WorkflowExecutor<'p> {
                 .expect("staging run state");
             if failed {
                 self.transfer_retries += 1;
+                if let Some(obs) = &self.config.obs {
+                    obs.registry
+                        .counter(
+                            "pwm_workflow_transfer_failures_total",
+                            "Transfers that failed (injected) and were reported to the service",
+                            &[],
+                        )
+                        .inc();
+                    if let Some(span) = self.transfer_spans.remove(&record.tag) {
+                        obs.tracer.span_arg(span, "result", "failed");
+                        obs.tracer.end_span(span, self.now);
+                    }
+                }
                 // Transient failures (lost connection, timeout) are worth
                 // retrying; fatal ones (missing source, permissions) never
                 // succeed no matter how many attempts remain.
@@ -742,7 +887,7 @@ impl<'p> WorkflowExecutor<'p> {
                         }
                     ),
                 );
-                self.policy_calls += 1;
+                self.note_policy_call();
                 let _ = self.transport.report_transfers(vec![TransferOutcome {
                     id: advice_id,
                     success: false,
@@ -772,6 +917,23 @@ impl<'p> WorkflowExecutor<'p> {
                     )
                     .min(self.config.retry_backoff_cap)
                     .mul_f64(self.rng.jitter(self.config.retry_jitter));
+                if let Some(obs) = &self.config.obs {
+                    obs.registry
+                        .counter(
+                            "pwm_workflow_transfer_retries_total",
+                            "Transfer retry attempts scheduled after transient failures",
+                            &[],
+                        )
+                        .inc();
+                    obs.tracer.complete_span(
+                        "retry_backoff",
+                        "transfer",
+                        self.job_spans[job],
+                        self.now,
+                        self.now + self.config.policy_call_latency + backoff,
+                        &[("attempt", attempt.to_string())],
+                    );
+                }
                 self.events.schedule_at(
                     self.now + self.config.policy_call_latency + backoff,
                     Ev::RetryEvaluate(job),
@@ -779,6 +941,12 @@ impl<'p> WorkflowExecutor<'p> {
             } else {
                 self.bytes_staged += record.bytes;
                 self.grow_scratch(record.bytes);
+                if let Some(obs) = &self.config.obs {
+                    if let Some(span) = self.transfer_spans.remove(&record.tag) {
+                        obs.tracer.span_arg(span, "result", "ok");
+                        obs.tracer.end_span(span, self.now);
+                    }
+                }
                 self.stats_transfers.push(record);
                 let run = self.staging_runs.get_mut(&job).expect("staging run state");
                 run.outcomes.push(TransferOutcome {
@@ -804,6 +972,7 @@ impl<'p> WorkflowExecutor<'p> {
         }
         self.state[job] = JobState::Done;
         self.jobs_done += 1;
+        self.close_job_span(job, "done");
         self.trace.info(
             self.now,
             "executor",
@@ -827,12 +996,14 @@ impl<'p> WorkflowExecutor<'p> {
         }
         self.state[job] = JobState::Failed;
         self.jobs_failed += 1;
+        self.close_job_span(job, "failed");
         // Abandon every transitive descendant that can no longer run.
         let mut stack: Vec<usize> = self.plan.jobs()[job].children.iter().map(|c| c.0).collect();
         while let Some(j) = stack.pop() {
             if matches!(self.state[j], JobState::Waiting | JobState::Ready) {
                 self.state[j] = JobState::Abandoned;
                 self.jobs_abandoned += 1;
+                self.close_job_span(j, "abandoned");
                 stack.extend(self.plan.jobs()[j].children.iter().map(|c| c.0));
             }
         }
@@ -1126,6 +1297,49 @@ mod tests {
             )
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn obs_traces_jobs_transfers_and_rpcs() {
+        let obs = pwm_obs::Obs::new();
+        let mut cfg = ExecutorConfig::default();
+        cfg.seed = 7;
+        cfg.obs = Some(obs.clone());
+        let (stats, _, _) = run_with_policy(4, 10_000_000, PolicyConfig::default(), cfg);
+        assert!(stats.success);
+        let trace = obs.tracer.chrome_trace_json();
+        pwm_obs::validate_chrome_trace(&trace).expect("exported trace is valid");
+        for needle in [
+            "\"cat\":\"stage_in\"",
+            "\"cat\":\"compute\"",
+            "\"cat\":\"cleanup\"",
+            "\"cat\":\"transfer\"",
+            "\"cat\":\"net\"",
+            "\"cat\":\"policy_rpc\"",
+        ] {
+            assert!(trace.contains(needle), "missing {needle} in:\n{trace}");
+        }
+        let metrics = obs.registry.render_prometheus();
+        assert!(
+            metrics.contains("pwm_workflow_jobs_total{kind=\"compute\",state=\"done\"} 4"),
+            "job counters missing:\n{metrics}"
+        );
+        assert!(metrics.contains("pwm_workflow_policy_calls_total"));
+        assert!(metrics.contains("pwm_net_link_streams"));
+    }
+
+    #[test]
+    fn obs_trace_is_deterministic_given_seed() {
+        let mk = || {
+            let obs = pwm_obs::Obs::new();
+            let mut cfg = ExecutorConfig::default();
+            cfg.seed = 42;
+            cfg.obs = Some(obs.clone());
+            let (stats, _, _) = run_with_policy(6, 10_000_000, PolicyConfig::default(), cfg);
+            assert!(stats.success);
+            obs.tracer.chrome_trace_json()
+        };
+        assert_eq!(mk(), mk(), "same seed must export an identical trace");
     }
 
     #[test]

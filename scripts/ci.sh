@@ -19,4 +19,16 @@ cargo test -q --workspace --offline
 echo "== cargo test --release (chaos) =="
 cargo test -q --release --offline --test chaos_faults
 
+# Observability job: a traced paper-setup run must export a valid,
+# non-empty Chrome trace, and a live /metrics scrape over the REST
+# interface must succeed. Both commands exit nonzero on failure.
+echo "== repro --trace + /metrics scrape =="
+cargo build -q --release --offline -p pwm-bench --bin repro
+TRACE_OUT="$(mktemp /tmp/pwm-trace.XXXXXX.json)"
+trap 'rm -f "$TRACE_OUT"' EXIT
+./target/release/repro --trace "$TRACE_OUT" 1
+test -s "$TRACE_OUT" || { echo "trace export is empty" >&2; exit 1; }
+./target/release/repro validate-trace "$TRACE_OUT"
+./target/release/repro scrape-metrics > /dev/null
+
 echo "CI OK"
