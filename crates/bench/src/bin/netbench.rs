@@ -1,0 +1,68 @@
+//! Allocator throughput benchmark — see `pwm_bench::netbench`.
+//!
+//! ```text
+//! netbench [smoke] [--out PATH]
+//! ```
+//!
+//! Runs the standard scenario suite (100 / 1k / 10k concurrent flows, plus
+//! turbulent and shared-backbone honesty checks), comparing the incremental
+//! component-local allocator against the pre-change full-recompute baseline.
+//! `smoke` runs only the 1k-flow configuration with reduced step budgets
+//! (the CI job). Progress goes to stderr through the `pwm-obs` leveled
+//! logger (`PWM_LOG=debug` for more); the machine-readable JSON report is
+//! printed to stdout and, with `--out`, also written to PATH
+//! (conventionally `BENCH_net.json`).
+
+use pwm_bench::netbench::{report_json, run_scenario, smoke_suite, standard_suite};
+use pwm_obs::global_logger;
+
+fn main() {
+    let log = global_logger();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p.clone()),
+                    None => {
+                        log.error("--out requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                log.error(&format!("unknown argument: {other}"));
+                eprintln!("usage: netbench [smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let suite = if smoke {
+        smoke_suite()
+    } else {
+        standard_suite()
+    };
+    log.info(&format!(
+        "netbench: running {} scenario(s){}",
+        suite.len(),
+        if smoke { " (smoke)" } else { "" }
+    ));
+    let reports: Vec<_> = suite.iter().map(run_scenario).collect();
+    let doc = report_json(&reports);
+    let text = doc.render();
+    println!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            log.error(&format!("failed to write {path}: {e}"));
+            std::process::exit(1);
+        }
+        log.info(&format!("netbench: report written to {path}"));
+    }
+}

@@ -23,6 +23,7 @@
 pub mod chaos;
 pub mod experiment;
 pub mod figures;
+pub mod netbench;
 pub mod table4;
 
 pub use chaos::{chaos_ablation, render_ablation, run_chaos, ChaosConfig, ChaosReport, ChaosRow};

@@ -1,0 +1,470 @@
+//! Allocator throughput benchmark (`netbench` bin).
+//!
+//! Drives `pwm-net` end-to-end — flow churn, setup, rate recomputation,
+//! completion — at 100 / 1 000 / 10 000 concurrent flows and measures how
+//! many simulator events and rate recomputations per wall-clock second the
+//! engine sustains, once with the incremental component-local allocator
+//! (the default) and once with the pre-change full-recompute path
+//! (`Network::set_full_recompute`). The ratio between the two is the
+//! headline number recorded in `BENCH_net.json`; DESIGN.md §8 explains how
+//! to read it.
+//!
+//! Scenarios:
+//!
+//! * `clustered-clean-*` — many disjoint host-pair clusters (the grouped
+//!   transfer pattern of the paper's testbed and of multi-workflow runs)
+//!   with turbulence, weight jitter, and slow-start disabled so the only
+//!   recompute triggers are membership changes. This is the best case for
+//!   component locality and the scenario the ≥5× acceptance bar is set on.
+//! * `clustered-turbulent-1k` — same topology with the default stream
+//!   model: turbulence keeps every active cluster dirty between refreshes,
+//!   so the gain shrinks to the allocator-level improvements (decremental
+//!   link weights, scratch reuse, cached routes).
+//! * `shared-backbone-1k` — every flow crosses one backbone link, forming a
+//!   single connected component: the honest worst case where incremental
+//!   degenerates to a (faster) full recompute.
+
+use pwm_net::{AllocStats, FlowSpec, HostId, Network, StreamModel, Topology};
+use pwm_obs::{global_logger, JsonValue};
+use pwm_sim::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// One benchmark configuration: a topology shape plus per-mode step budgets.
+#[derive(Debug, Clone)]
+pub struct NetbenchScenario {
+    /// Scenario name as it appears in `BENCH_net.json`.
+    pub label: String,
+    /// Number of disjoint host-pair clusters.
+    pub clusters: usize,
+    /// Concurrent flows per cluster (kept constant by churn).
+    pub flows_per_cluster: usize,
+    /// Route every cluster over one shared backbone link (single component).
+    pub shared_backbone: bool,
+    /// Use the default (turbulent, jittered, ramping) stream model instead
+    /// of the clean one.
+    pub turbulent: bool,
+    /// Simulator events to measure in incremental mode.
+    pub steps_incremental: u64,
+    /// Simulator events to measure in full-recompute mode (smaller: each
+    /// event costs O(flows × links) there).
+    pub steps_full: u64,
+    /// Seed for the network RNG and the workload generator.
+    pub seed: u64,
+}
+
+impl NetbenchScenario {
+    /// Total concurrent flows the scenario sustains.
+    pub fn flows(&self) -> usize {
+        self.clusters * self.flows_per_cluster
+    }
+}
+
+/// The standard suite: the three clustered-clean sizes the acceptance bar
+/// quotes, plus the turbulent and shared-backbone honesty checks.
+pub fn standard_suite() -> Vec<NetbenchScenario> {
+    let base = |label: &str, clusters: usize, si: u64, sf: u64| NetbenchScenario {
+        label: label.to_string(),
+        clusters,
+        flows_per_cluster: 10,
+        shared_backbone: false,
+        turbulent: false,
+        steps_incremental: si,
+        steps_full: sf,
+        seed: 42,
+    };
+    vec![
+        base("clustered-clean-100", 10, 4000, 2000),
+        base("clustered-clean-1k", 100, 4000, 500),
+        base("clustered-clean-10k", 1000, 1500, 40),
+        NetbenchScenario {
+            turbulent: true,
+            ..base("clustered-turbulent-1k", 100, 1500, 300)
+        },
+        NetbenchScenario {
+            shared_backbone: true,
+            ..base("shared-backbone-1k", 100, 400, 300)
+        },
+    ]
+}
+
+/// The CI smoke configuration: the 1k-flow clustered-clean scenario with
+/// reduced step budgets so the job finishes in seconds.
+pub fn smoke_suite() -> Vec<NetbenchScenario> {
+    vec![NetbenchScenario {
+        label: "clustered-clean-1k".to_string(),
+        clusters: 100,
+        flows_per_cluster: 10,
+        shared_backbone: false,
+        turbulent: false,
+        steps_incremental: 1500,
+        steps_full: 200,
+        seed: 42,
+    }]
+}
+
+/// What one (scenario, mode) run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeResult {
+    /// Simulator events processed inside the timed window.
+    pub events: u64,
+    /// Transfer completions (and thus replacement starts) in the window.
+    pub completions: u64,
+    /// Wall-clock seconds for the window.
+    pub wall_secs: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Rate recomputations per wall-clock second — the headline throughput.
+    pub recomputes_per_sec: f64,
+    /// Allocator counters accumulated inside the window.
+    pub stats: AllocStats,
+}
+
+/// Both modes of one scenario plus the derived speedups.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The configuration that produced this report.
+    pub scenario: NetbenchScenario,
+    /// The pre-change full-recompute baseline.
+    pub full: ModeResult,
+    /// The incremental component-local engine.
+    pub incremental: ModeResult,
+    /// `incremental.events_per_sec / full.events_per_sec`.
+    pub speedup_events: f64,
+    /// `incremental.recomputes_per_sec / full.recomputes_per_sec`.
+    pub speedup_recomputes: f64,
+}
+
+/// Deterministic workload generator (splitmix-style); no external RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+}
+
+/// Stream model with every background recompute trigger disabled: no
+/// turbulence, no weight jitter, no slow-start. Only membership changes
+/// dirty a link, which isolates the component-locality win.
+fn clean_model() -> StreamModel {
+    StreamModel {
+        turbulence_per_event: 0.0,
+        flow_weight_jitter: 0.0,
+        ramp_tau: SimDuration::ZERO,
+        ..StreamModel::default()
+    }
+}
+
+/// Build the scenario topology: `clusters` disjoint host pairs with
+/// heterogeneous NIC/transit capacities (so progressive filling sees many
+/// distinct bottleneck levels), optionally all routed over one backbone.
+fn build_topology(s: &NetbenchScenario) -> (Topology, Vec<(HostId, HostId)>) {
+    let mut t = Topology::new();
+    let backbone = if s.shared_backbone {
+        Some(t.add_link("backbone", 400.0e6, SimDuration::from_millis(20)))
+    } else {
+        None
+    };
+    let mut pairs = Vec::with_capacity(s.clusters);
+    for i in 0..s.clusters {
+        let src = t.add_host(format!("src{i}"), 40.0e6 + (i % 7) as f64 * 15.0e6);
+        let dst = t.add_host(format!("dst{i}"), 30.0e6 + (i % 5) as f64 * 20.0e6);
+        match backbone {
+            Some(bb) => t.set_route(src, dst, vec![bb]),
+            None => {
+                let wan = t.add_link(
+                    format!("wan{i}"),
+                    2.0e6 + (i % 5) as f64 * 1.5e6,
+                    SimDuration::from_millis(10 + (i as u64 % 4) * 10),
+                );
+                t.set_route(src, dst, vec![wan]);
+            }
+        }
+        pairs.push((src, dst));
+    }
+    (t, pairs)
+}
+
+fn flow_spec(cluster: usize, src: HostId, dst: HostId, rng: &mut Lcg) -> FlowSpec {
+    FlowSpec {
+        src,
+        dst,
+        bytes: 20.0e6 + (rng.next() % 100) as f64 * 1.0e6,
+        streams: 1 + (rng.next() % 8) as u32,
+        tag: cluster as u64,
+    }
+}
+
+fn diff_stats(before: AllocStats, after: AllocStats) -> AllocStats {
+    AllocStats {
+        recomputes: after.recomputes - before.recomputes,
+        skipped: after.skipped - before.skipped,
+        component_runs: after.component_runs - before.component_runs,
+        flows_allocated: after.flows_allocated - before.flows_allocated,
+        links_allocated: after.links_allocated - before.links_allocated,
+        unchanged_writes: after.unchanged_writes - before.unchanged_writes,
+    }
+}
+
+/// Run one scenario in one mode and measure the timed window.
+pub fn run_mode(s: &NetbenchScenario, full: bool) -> ModeResult {
+    let (topo, pairs) = build_topology(s);
+    let model = if s.turbulent {
+        StreamModel::default()
+    } else {
+        clean_model()
+    };
+    let mut net = Network::with_seed(topo, model, s.seed);
+    net.set_full_recompute(full);
+    let mut rng = Lcg::new(s.seed ^ 0xdead_beef);
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        for _ in 0..s.flows_per_cluster {
+            net.start_flow(net.now(), flow_spec(i, src, dst, &mut rng));
+        }
+    }
+    // Warmup: carry every flow through connection setup (< ~2 simulated
+    // seconds) so the timed window observes steady-state churn only.
+    net.advance(SimTime::from_secs(5));
+    for r in net.take_completed() {
+        let (src, dst) = pairs[r.tag as usize];
+        net.start_flow(net.now(), flow_spec(r.tag as usize, src, dst, &mut rng));
+    }
+
+    let steps = if full {
+        s.steps_full
+    } else {
+        s.steps_incremental
+    };
+    let stats_before = net.alloc_stats();
+    let started = Instant::now();
+    let mut events = 0u64;
+    let mut completions = 0u64;
+    while events < steps {
+        let Some(t) = net.next_wakeup() else { break };
+        net.advance(t);
+        events += 1;
+        for r in net.take_completed() {
+            completions += 1;
+            let (src, dst) = pairs[r.tag as usize];
+            net.start_flow(net.now(), flow_spec(r.tag as usize, src, dst, &mut rng));
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let stats = diff_stats(stats_before, net.alloc_stats());
+    ModeResult {
+        events,
+        completions,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+        recomputes_per_sec: stats.recomputes as f64 / wall_secs,
+        stats,
+    }
+}
+
+/// Run one scenario in both modes and derive the speedups.
+pub fn run_scenario(s: &NetbenchScenario) -> ScenarioReport {
+    let log = global_logger();
+    log.info(&format!(
+        "netbench: {} ({} flows, {} clusters{}{}) — full-recompute baseline",
+        s.label,
+        s.flows(),
+        s.clusters,
+        if s.shared_backbone { ", shared" } else { "" },
+        if s.turbulent { ", turbulent" } else { "" },
+    ));
+    let full = run_mode(s, true);
+    log.info(&format!(
+        "netbench: {} full: {:.0} events/s, {:.0} recomputes/s ({} events in {:.2}s)",
+        s.label, full.events_per_sec, full.recomputes_per_sec, full.events, full.wall_secs
+    ));
+    log.info(&format!("netbench: {} — incremental engine", s.label));
+    let incremental = run_mode(s, false);
+    log.info(&format!(
+        "netbench: {} incremental: {:.0} events/s, {:.0} recomputes/s, mean {:.1} flows/run, {} skipped",
+        s.label,
+        incremental.events_per_sec,
+        incremental.recomputes_per_sec,
+        incremental.stats.mean_flows_per_run(),
+        incremental.stats.skipped,
+    ));
+    let speedup_events = incremental.events_per_sec / full.events_per_sec.max(1e-9);
+    let speedup_recomputes = incremental.recomputes_per_sec / full.recomputes_per_sec.max(1e-9);
+    log.info(&format!(
+        "netbench: {} speedup: {:.1}× events/s, {:.1}× recomputes/s",
+        s.label, speedup_events, speedup_recomputes
+    ));
+    ScenarioReport {
+        scenario: s.clone(),
+        full,
+        incremental,
+        speedup_events,
+        speedup_recomputes,
+    }
+}
+
+fn mode_json(m: &ModeResult) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("events".into(), JsonValue::Int(m.events as i64)),
+        ("completions".into(), JsonValue::Int(m.completions as i64)),
+        ("wall_secs".into(), JsonValue::Float(m.wall_secs)),
+        ("events_per_sec".into(), JsonValue::Float(m.events_per_sec)),
+        (
+            "recomputes_per_sec".into(),
+            JsonValue::Float(m.recomputes_per_sec),
+        ),
+        (
+            "recomputes".into(),
+            JsonValue::Int(m.stats.recomputes as i64),
+        ),
+        ("skipped".into(), JsonValue::Int(m.stats.skipped as i64)),
+        (
+            "component_runs".into(),
+            JsonValue::Int(m.stats.component_runs as i64),
+        ),
+        (
+            "flows_allocated".into(),
+            JsonValue::Int(m.stats.flows_allocated as i64),
+        ),
+        (
+            "links_allocated".into(),
+            JsonValue::Int(m.stats.links_allocated as i64),
+        ),
+        (
+            "unchanged_writes".into(),
+            JsonValue::Int(m.stats.unchanged_writes as i64),
+        ),
+        (
+            "mean_flows_per_run".into(),
+            JsonValue::Float(m.stats.mean_flows_per_run()),
+        ),
+    ])
+}
+
+/// Render a full report as the `BENCH_net.json` document.
+pub fn report_json(reports: &[ScenarioReport]) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("netbench".into())),
+        (
+            "units".into(),
+            JsonValue::Str("events_per_sec, recomputes_per_sec: wall-clock throughput".into()),
+        ),
+        (
+            "scenarios".into(),
+            JsonValue::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Obj(vec![
+                            ("label".into(), JsonValue::Str(r.scenario.label.clone())),
+                            (
+                                "concurrent_flows".into(),
+                                JsonValue::Int(r.scenario.flows() as i64),
+                            ),
+                            (
+                                "clusters".into(),
+                                JsonValue::Int(r.scenario.clusters as i64),
+                            ),
+                            (
+                                "shared_backbone".into(),
+                                JsonValue::Bool(r.scenario.shared_backbone),
+                            ),
+                            ("turbulent".into(), JsonValue::Bool(r.scenario.turbulent)),
+                            ("full_recompute".into(), mode_json(&r.full)),
+                            ("incremental".into(), mode_json(&r.incremental)),
+                            (
+                                "speedup_events_per_sec".into(),
+                                JsonValue::Float(r.speedup_events),
+                            ),
+                            (
+                                "speedup_recomputes_per_sec".into(),
+                                JsonValue::Float(r.speedup_recomputes),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn topology_shapes() {
+        let mut s = smoke_suite().pop().unwrap();
+        s.clusters = 4;
+        let (t, pairs) = build_topology(&s);
+        assert_eq!(pairs.len(), 4);
+        // 2 access links + 1 transit link per cluster.
+        assert_eq!(t.link_count(), 12);
+        s.shared_backbone = true;
+        let (t, _) = build_topology(&s);
+        // 2 access links per cluster + 1 shared backbone.
+        assert_eq!(t.link_count(), 9);
+    }
+
+    #[test]
+    fn tiny_scenario_runs_both_modes() {
+        let s = NetbenchScenario {
+            label: "tiny".into(),
+            clusters: 3,
+            flows_per_cluster: 2,
+            shared_backbone: false,
+            turbulent: false,
+            steps_incremental: 20,
+            steps_full: 20,
+            seed: 7,
+        };
+        let inc = run_mode(&s, false);
+        let full = run_mode(&s, true);
+        assert!(inc.events > 0 && full.events > 0);
+        assert!(inc.stats.recomputes > 0 && full.stats.recomputes > 0);
+        // Incremental never allocates more flow-slots than the full pass
+        // would over the same event count.
+        assert!(inc.stats.mean_flows_per_run() <= s.flows() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn report_renders_valid_json() {
+        let s = NetbenchScenario {
+            label: "tiny".into(),
+            clusters: 2,
+            flows_per_cluster: 2,
+            shared_backbone: false,
+            turbulent: false,
+            steps_incremental: 10,
+            steps_full: 10,
+            seed: 3,
+        };
+        let rep = run_scenario(&s);
+        let doc = report_json(&[rep]);
+        let text = doc.render();
+        let parsed = JsonValue::parse(&text).expect("netbench JSON must parse");
+        assert_eq!(
+            parsed
+                .get("scenarios")
+                .and_then(|s| s.as_arr())
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

@@ -56,6 +56,12 @@ pub struct Flow {
     pub phase: FlowPhase,
     /// Links the flow occupies when active.
     pub route: Vec<LinkId>,
+    /// `route` projected to raw link indices — cached at creation so the
+    /// rate-recompute hot path never rebuilds it.
+    pub links: Vec<usize>,
+    /// Round-trip time of `route`, cached at creation (the route is fixed
+    /// for the flow's lifetime, and therefore so is its RTT).
+    pub route_rtt: SimDuration,
     /// When `start_flow` was called.
     pub requested_at: SimTime,
     /// Per-flow fair-share multiplier (TCP unfairness), drawn at start.
@@ -78,7 +84,7 @@ impl Flow {
 }
 
 /// The completed-transfer record handed back to callers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferRecord {
     /// The finished flow.
     pub flow: FlowId,
@@ -167,6 +173,8 @@ mod tests {
             },
             phase: FlowPhase::Done,
             route: vec![],
+            links: vec![],
+            route_rtt: SimDuration::ZERO,
             requested_at: SimTime::ZERO,
             weight_factor: 1.0,
         };
@@ -187,6 +195,8 @@ mod tests {
                 until: SimTime::from_secs(3),
             },
             route: vec![],
+            links: vec![],
+            route_rtt: SimDuration::ZERO,
             requested_at: SimTime::ZERO,
             weight_factor: 1.0,
         };
@@ -209,6 +219,8 @@ mod tests {
                 rate: 0.0,
             },
             route: vec![],
+            links: vec![],
+            route_rtt: SimDuration::ZERO,
             requested_at: SimTime::ZERO,
             weight_factor: 1.0,
         };

@@ -47,10 +47,10 @@ pub mod topology;
 
 pub use fault::{LinkFault, LinkFaultKind};
 pub use flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
-pub use metrics::TransferLedger;
+pub use metrics::{AllocStats, TransferLedger};
 pub use model::{LinkState, StreamModel};
 pub use network::Network;
-pub use sharing::{max_min_rates, FlowDemand};
+pub use sharing::{max_min_rates, FlowDemand, RateAllocator};
 pub use timeline::{LinkTimeline, UtilizationSample};
 pub use topology::{paper_testbed, Host, HostId, Link, LinkId, Topology};
 

@@ -12,6 +12,40 @@
 use crate::flow::TransferRecord;
 use pwm_sim::{OnlineStats, SimTime, Summary};
 
+/// Counters describing how much work the rate allocator actually did —
+/// the observable difference between the full-recompute baseline and the
+/// incremental, component-local engine (see `DESIGN.md` §8).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AllocStats {
+    /// Rate-recomputation entry points taken (one per integration step with
+    /// live flows).
+    pub recomputes: u64,
+    /// Recomputes that found no dirty links and skipped allocation entirely.
+    pub skipped: u64,
+    /// Component-local progressive-filling runs performed.
+    pub component_runs: u64,
+    /// Flows passed through progressive filling, summed over all runs. Under
+    /// full recompute this is `recomputes × live flows`; component-local
+    /// allocation only pays for flows in dirty components.
+    pub flows_allocated: u64,
+    /// Links touched by progressive filling, summed over all runs.
+    pub links_allocated: u64,
+    /// Rate writes suppressed because the fresh allocation matched the
+    /// previous one within epsilon (no ETA churn, no wakeup cascade).
+    pub unchanged_writes: u64,
+}
+
+impl AllocStats {
+    /// Mean flows per progressive-filling run (0 when none ran).
+    pub fn mean_flows_per_run(&self) -> f64 {
+        if self.component_runs == 0 {
+            0.0
+        } else {
+            self.flows_allocated as f64 / self.component_runs as f64
+        }
+    }
+}
+
 /// Accumulates completed transfers for post-run analysis.
 #[derive(Debug, Default)]
 pub struct TransferLedger {

@@ -16,16 +16,23 @@
 
 use crate::fault::{LinkFault, LinkFaultKind};
 use crate::flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
+use crate::metrics::AllocStats;
 use crate::model::{LinkState, StreamModel};
-use crate::sharing::{max_min_rates, FlowDemand};
+use crate::sharing::{max_min_rates, FlowDemand, RateAllocator};
 use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::topology::{LinkId, Topology};
 use pwm_obs::{Gauge, Obs, SpanId};
 use pwm_sim::{FaultEvent, FaultPlan, SimDuration, SimRng, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Completion slop: a flow whose remaining bytes drop below this is done.
 const BYTE_EPS: f64 = 0.5;
+
+/// Relative rate-change threshold below which a freshly computed rate is
+/// discarded in favor of the flow's current one: sub-epsilon churn would
+/// only perturb completion ETAs in their last bits and cascade pointless
+/// wakeups through the driver.
+const RATE_EPS: f64 = 1e-9;
 
 /// The live network simulation.
 pub struct Network {
@@ -47,6 +54,52 @@ pub struct Network {
     faults: FaultPlan<LinkFault>,
     /// Opt-in observability sinks (see [`Network::set_obs`]).
     obs: Option<NetObs>,
+
+    // --- Incremental allocation engine ------------------------------------
+    // A persistent flow↔link bipartite index plus a dirty-link set lets a
+    // membership change re-run progressive filling over only the connected
+    // component of links/flows it can actually affect; disjoint host-pair
+    // clusters never pay for each other's churn.
+    /// Active flows per link, sorted by `FlowId` (the flow side of the
+    /// bipartite index is each flow's cached `links` list).
+    link_flows: Vec<Vec<FlowId>>,
+    /// True iff the link's membership or effective capacity changed since
+    /// the last recompute.
+    link_dirty: Vec<bool>,
+    /// The links with `link_dirty` set (insertion-ordered, deduplicated).
+    dirty_links: Vec<usize>,
+    /// Effective capacity per link as of the last recompute; a change marks
+    /// the link dirty (covers turbulence decay, stream-count knees, and
+    /// fault-window boundaries in one comparison).
+    capacities: Vec<f64>,
+    /// Running per-link allocated throughput, maintained at each component
+    /// reallocation — replaces the O(flows × links) sums the gauge and
+    /// timeline paths used to pay per recompute.
+    link_throughput: Vec<f64>,
+    /// Active flows still in slow-start; their caps move every recompute,
+    /// so their links stay dirty until the ramp completes.
+    ramping: BTreeSet<FlowId>,
+    /// Number of flows currently in [`FlowPhase::Active`].
+    active_count: usize,
+    /// Reusable progressive-filling scratch (see [`RateAllocator`]).
+    alloc: RateAllocator,
+    /// Scratch: flows of the dirty component(s), sorted before allocation.
+    comp_flows: Vec<FlowId>,
+    /// Scratch: links of the dirty component(s).
+    comp_links: Vec<usize>,
+    /// Scratch: per-link BFS visited marker (cleared via `comp_links`).
+    link_seen: Vec<bool>,
+    /// Scratch: per-flow BFS visited marker (membership checks only).
+    flow_seen: HashSet<FlowId>,
+    /// Scratch: BFS work stack of link indices.
+    bfs_stack: Vec<usize>,
+    /// Scratch: ramping-flow ids being examined this recompute.
+    ramp_scratch: Vec<FlowId>,
+    /// Allocation-work counters (see [`AllocStats`]).
+    stats: AllocStats,
+    /// Benchmark/testing escape hatch: when true, every recompute takes the
+    /// pre-incremental full path (all flows, all links, fresh buffers).
+    full_recompute: bool,
 }
 
 /// Observability state attached by [`Network::set_obs`]: the shared handle
@@ -70,9 +123,8 @@ impl Network {
 
     /// Build a network with an explicit seed for per-flow weight jitter.
     pub fn with_seed(topology: Topology, model: StreamModel, seed: u64) -> Self {
-        let link_states = (0..topology.link_count())
-            .map(|_| LinkState::new())
-            .collect();
+        let link_count = topology.link_count();
+        let link_states = (0..link_count).map(|_| LinkState::new()).collect();
         let host_active = vec![0; topology.host_count()];
         Network {
             topology,
@@ -89,7 +141,36 @@ impl Network {
             timelines: std::collections::BTreeMap::new(),
             faults: FaultPlan::new(),
             obs: None,
+            link_flows: vec![Vec::new(); link_count],
+            link_dirty: vec![false; link_count],
+            dirty_links: Vec::new(),
+            capacities: vec![0.0; link_count],
+            link_throughput: vec![0.0; link_count],
+            ramping: BTreeSet::new(),
+            active_count: 0,
+            alloc: RateAllocator::new(),
+            comp_flows: Vec::new(),
+            comp_links: Vec::new(),
+            link_seen: vec![false; link_count],
+            flow_seen: HashSet::new(),
+            bfs_stack: Vec::new(),
+            ramp_scratch: Vec::new(),
+            stats: AllocStats::default(),
+            full_recompute: false,
         }
+    }
+
+    /// Force every rate recomputation down the pre-incremental full path
+    /// (every flow, every link, fresh buffers). Benchmark baseline and
+    /// equivalence-testing escape hatch; choose a mode before starting
+    /// flows and keep it for the network's lifetime.
+    pub fn set_full_recompute(&mut self, on: bool) {
+        self.full_recompute = on;
+    }
+
+    /// Allocation-work counters accumulated since construction.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.stats
     }
 
     /// Attach observability: completed flows become trace spans (category
@@ -289,6 +370,7 @@ impl Network {
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
         let route = self.topology.route(spec.src, spec.dst);
+        let links: Vec<usize> = route.iter().map(|l| l.0 as usize).collect();
         let rtt = self.topology.route_rtt(spec.src, spec.dst);
         let setup = self.model.setup_time(spec.streams.max(1), rtt);
         let weight_factor = self.rng.jitter(self.model.flow_weight_jitter);
@@ -298,6 +380,8 @@ impl Network {
                 spec,
                 phase: FlowPhase::Connecting { until: now + setup },
                 route,
+                links,
+                route_rtt: rtt,
                 requested_at: now,
                 weight_factor,
             },
@@ -480,16 +564,30 @@ impl Network {
             }
         }
         for (id, streams) in joins {
-            let route = self.flows[&id].route.clone();
-            for link in route {
-                let knee = self.knee(link);
-                self.link_states[link.0 as usize].membership_change(
-                    &self.model,
-                    now,
-                    streams,
-                    knee,
-                );
+            let route_len = self.flows[&id].links.len();
+            for i in 0..route_len {
+                let ix = self.flows[&id].links[i];
+                let knee = self.knee(LinkId(ix as u32));
+                self.link_states[ix].membership_change(&self.model, now, streams, knee);
+                let members = &mut self.link_flows[ix];
+                if let Err(pos) = members.binary_search(&id) {
+                    members.insert(pos, id);
+                }
+                self.mark_link_dirty(ix);
             }
+            self.active_count += 1;
+            if !self.model.ramp_done(SimDuration::ZERO) {
+                self.ramping.insert(id);
+            }
+        }
+    }
+
+    /// Record that a link's membership or capacity changed since the last
+    /// recompute.
+    fn mark_link_dirty(&mut self, ix: usize) {
+        if !self.link_dirty[ix] {
+            self.link_dirty[ix] = true;
+            self.dirty_links.push(ix);
         }
     }
 
@@ -512,14 +610,15 @@ impl Network {
                 _ => unreachable!("collect_done only sees active flows"),
             };
             let streams = flow.streams();
-            for link in &flow.route {
-                let knee = self.knee(*link);
-                self.link_states[link.0 as usize].membership_change(
-                    &self.model,
-                    now,
-                    -(streams as i64),
-                    knee,
-                );
+            self.active_count -= 1;
+            self.ramping.remove(&id);
+            for &ix in &flow.links {
+                let knee = self.knee(LinkId(ix as u32));
+                self.link_states[ix].membership_change(&self.model, now, -(streams as i64), knee);
+                if let Ok(pos) = self.link_flows[ix].binary_search(&id) {
+                    self.link_flows[ix].remove(pos);
+                }
+                self.mark_link_dirty(ix);
             }
             self.total_bytes_completed += flow.spec.bytes;
             self.total_flows_completed += 1;
@@ -554,9 +653,215 @@ impl Network {
         }
     }
 
-    /// Weighted max-min over effective link capacities.
+    /// Weighted max-min over effective link capacities, incremental and
+    /// allocation-local.
+    ///
+    /// The recompute decomposes into:
+    /// 1. an O(links) settle/capacity pass — any link whose effective
+    ///    capacity moved (turbulence decay, occupancy knee, fault boundary)
+    ///    is marked dirty;
+    /// 2. promotion of slow-start flows — a ramping flow's cap changes with
+    ///    age, so its links stay dirty until the ramp completes;
+    /// 3. if nothing is dirty, the previous allocation is provably still
+    ///    the max-min solution and the whole recompute is skipped;
+    /// 4. otherwise a BFS over the flow↔link bipartite index collects the
+    ///    connected component(s) reachable from dirty links, and progressive
+    ///    filling re-runs over exactly those flows and links — flows in
+    ///    untouched components keep their rates (max-min allocations of
+    ///    disjoint components are independent).
+    ///
+    /// Rates that move by less than [`RATE_EPS`] (relative) keep their old
+    /// value, so numerically-unchanged allocations cannot cascade wakeups.
     fn recompute_rates(&mut self) {
+        if self.full_recompute {
+            self.recompute_rates_full();
+            return;
+        }
         let now = self.now;
+        self.stats.recomputes += 1;
+
+        // 1. Settle turbulence and refresh effective capacities.
+        let have_faults = !self.faults.events().is_empty();
+        for ix in 0..self.link_states.len() {
+            let fault_factor = if have_faults {
+                self.fault_capacity_factor(LinkId(ix as u32), now)
+            } else {
+                1.0
+            };
+            let link = self.topology.link(LinkId(ix as u32));
+            let knee = link.knee_override.unwrap_or(self.model.knee_streams);
+            let ls = &mut self.link_states[ix];
+            ls.settle(&self.model, now);
+            let factor = self
+                .model
+                .capacity_factor(ls.streams as f64, knee, ls.turbulence);
+            let cap = link.capacity * factor * fault_factor;
+            if cap != self.capacities[ix] {
+                self.capacities[ix] = cap;
+                self.mark_link_dirty(ix);
+            }
+        }
+
+        // 2. Ramping flows: caps move with age until the ramp is done.
+        let mut scratch = std::mem::take(&mut self.ramp_scratch);
+        scratch.clear();
+        scratch.extend(self.ramping.iter().copied());
+        for &id in &scratch {
+            let Some(flow) = self.flows.get(&id) else {
+                self.ramping.remove(&id);
+                continue;
+            };
+            let FlowPhase::Active { activated_at, .. } = flow.phase else {
+                continue; // still queued/connecting: cap not in play yet
+            };
+            if self.model.ramp_done(now.since(activated_at)) {
+                self.ramping.remove(&id);
+            }
+            // Mark dirty either way: the final recompute settles the flow
+            // at its (near-)asymptotic cap.
+            let route_len = self.flows[&id].links.len();
+            for i in 0..route_len {
+                let ix = self.flows[&id].links[i];
+                self.mark_link_dirty(ix);
+            }
+        }
+        self.ramp_scratch = scratch;
+
+        // 3. Nothing dirty → the previous allocation still stands.
+        if self.dirty_links.is_empty() {
+            self.stats.skipped += 1;
+            self.record_timelines();
+            return;
+        }
+
+        // 4. Collect the connected component(s) around the dirty links.
+        self.comp_flows.clear();
+        self.comp_links.clear();
+        self.flow_seen.clear();
+        self.bfs_stack.clear();
+        for i in 0..self.dirty_links.len() {
+            let seed = self.dirty_links[i];
+            if !self.link_seen[seed] {
+                self.link_seen[seed] = true;
+                self.bfs_stack.push(seed);
+            }
+        }
+        while let Some(ix) = self.bfs_stack.pop() {
+            self.comp_links.push(ix);
+            let members = &self.link_flows[ix];
+            for &fid in members {
+                if self.flow_seen.insert(fid) {
+                    self.comp_flows.push(fid);
+                    for &other in &self.flows[&fid].links {
+                        if !self.link_seen[other] {
+                            self.link_seen[other] = true;
+                            self.bfs_stack.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        // Deterministic iteration orders: flows ascending by id (matching
+        // the BTreeMap order the full pass uses), links ascending by index.
+        self.comp_flows.sort_unstable();
+        self.comp_links.sort_unstable();
+        for &ix in &self.comp_links {
+            self.link_seen[ix] = false;
+        }
+
+        // 5. Progressive filling over the component only.
+        if !self.comp_flows.is_empty() {
+            self.stats.component_runs += 1;
+            self.stats.flows_allocated += self.comp_flows.len() as u64;
+            self.stats.links_allocated += self.comp_links.len() as u64;
+            let mut alloc = std::mem::take(&mut self.alloc);
+            alloc.begin(self.capacities.len());
+            for &fid in &self.comp_flows {
+                let flow = &self.flows[&fid];
+                let FlowPhase::Active { activated_at, .. } = flow.phase else {
+                    unreachable!("bipartite index only holds active flows");
+                };
+                let age = now.since(activated_at);
+                alloc.push_flow(
+                    flow.streams() as f64 * flow.weight_factor,
+                    self.model.flow_cap(flow.streams(), age, flow.route_rtt),
+                    &flow.links,
+                );
+            }
+            let rates = alloc.allocate(&self.capacities);
+
+            // 6. Write rates back and rebuild the component's running
+            //    throughput totals (links outside the component are exact
+            //    already — nothing on them changed).
+            for &ix in &self.comp_links {
+                self.link_throughput[ix] = 0.0;
+            }
+            for (&fid, &new_rate) in self.comp_flows.iter().zip(rates) {
+                let flow = self.flows.get_mut(&fid).expect("component flow");
+                if let FlowPhase::Active { rate, .. } = &mut flow.phase {
+                    if (new_rate - *rate).abs() > RATE_EPS * rate.abs().max(1.0) {
+                        *rate = new_rate;
+                    } else {
+                        self.stats.unchanged_writes += 1;
+                    }
+                    let effective = *rate;
+                    for &ix in &flow.links {
+                        self.link_throughput[ix] += effective;
+                    }
+                }
+            }
+            self.alloc = alloc;
+        } else {
+            // Dirty links with no remaining flows (e.g. the last flow on a
+            // cluster finished): their allocation drops to zero.
+            for i in 0..self.comp_links.len() {
+                let ix = self.comp_links[i];
+                self.link_throughput[ix] = 0.0;
+            }
+        }
+
+        // 7. Refresh gauges for the touched links only.
+        if let Some(o) = &self.obs {
+            for &ix in &self.comp_links {
+                let (streams_gauge, throughput_gauge) = &o.link_gauges[ix];
+                streams_gauge.set(f64::from(self.link_states[ix].streams));
+                throughput_gauge.set(self.link_throughput[ix]);
+            }
+        }
+
+        // 8. Consume the dirty set.
+        for i in 0..self.dirty_links.len() {
+            let ix = self.dirty_links[i];
+            self.link_dirty[ix] = false;
+        }
+        self.dirty_links.clear();
+        self.record_timelines();
+    }
+
+    /// Feed watched timelines from the running per-link totals (O(watched),
+    /// replacing the per-recompute O(flows × links) sums).
+    fn record_timelines(&mut self) {
+        if self.timelines.is_empty() || self.active_count == 0 {
+            return;
+        }
+        let now = self.now;
+        for (link, timeline) in self.timelines.iter_mut() {
+            let ix = link.0 as usize;
+            timeline.record(UtilizationSample {
+                at: now,
+                streams: self.link_states[ix].streams,
+                turbulence: self.link_states[ix].turbulence,
+                throughput: self.link_throughput[ix],
+            });
+        }
+    }
+
+    /// The pre-incremental recompute: every flow, every link, fresh buffers
+    /// on each call. Kept verbatim as the benchmark baseline (`netbench
+    /// --full`) and the reference side of the equivalence tests.
+    fn recompute_rates_full(&mut self) {
+        let now = self.now;
+        self.stats.recomputes += 1;
         // Fault multipliers first: the state loop below borrows link_states
         // mutably, and faults depend only on the plan and the clock.
         let fault_factors: Vec<f64> = (0..self.link_states.len())
@@ -573,6 +878,13 @@ impl Network {
                 .capacity_factor(ls.streams as f64, knee, ls.turbulence);
             capacities.push(link.capacity * factor * fault_factors[idx]);
         }
+
+        // Full pass consumes all accumulated dirt.
+        for i in 0..self.dirty_links.len() {
+            let ix = self.dirty_links[i];
+            self.link_dirty[ix] = false;
+        }
+        self.dirty_links.clear();
 
         let mut ids = Vec::new();
         let mut demands = Vec::new();
@@ -591,6 +903,9 @@ impl Network {
         if ids.is_empty() {
             return;
         }
+        self.stats.component_runs += 1;
+        self.stats.flows_allocated += ids.len() as u64;
+        self.stats.links_allocated += capacities.len() as u64;
         let rates = max_min_rates(&capacities, &demands);
         for (id, new_rate) in ids.into_iter().zip(rates.iter()) {
             if let Some(flow) = self.flows.get_mut(&id) {
@@ -599,37 +914,25 @@ impl Network {
                 }
             }
         }
+        // Keep the running totals coherent in full mode too, so timelines
+        // and gauges read from one source of truth.
+        for t in self.link_throughput.iter_mut() {
+            *t = 0.0;
+        }
+        for (d, r) in demands.iter().zip(rates.iter()) {
+            for &ix in &d.links {
+                self.link_throughput[ix] += *r;
+            }
+        }
         // Refresh per-link gauges with the fresh allocation.
         if let Some(o) = &self.obs {
             for (ix, (streams_gauge, throughput_gauge)) in o.link_gauges.iter().enumerate() {
                 streams_gauge.set(f64::from(self.link_states[ix].streams));
-                let throughput: f64 = demands
-                    .iter()
-                    .zip(rates.iter())
-                    .filter(|(d, _)| d.links.contains(&ix))
-                    .map(|(_, r)| *r)
-                    .sum();
-                throughput_gauge.set(throughput);
+                throughput_gauge.set(self.link_throughput[ix]);
             }
         }
         // Feed watched timelines with the fresh rates.
-        if !self.timelines.is_empty() {
-            for (link, timeline) in self.timelines.iter_mut() {
-                let ix = link.0 as usize;
-                let throughput: f64 = demands
-                    .iter()
-                    .zip(rates.iter())
-                    .filter(|(d, _)| d.links.contains(&ix))
-                    .map(|(_, r)| *r)
-                    .sum();
-                timeline.record(UtilizationSample {
-                    at: now,
-                    streams: self.link_states[ix].streams,
-                    turbulence: self.link_states[ix].turbulence,
-                    throughput,
-                });
-            }
-        }
+        self.record_timelines();
     }
 
     fn knee(&self, link: LinkId) -> f64 {

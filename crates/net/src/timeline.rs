@@ -49,14 +49,13 @@ impl LinkTimeline {
             return;
         }
         if self.samples.len() == self.capacity {
-            // Decimate: keep every other sample, double the stride.
-            let mut keep = Vec::with_capacity(self.capacity / 2 + 1);
-            for (i, s) in self.samples.drain(..).enumerate() {
-                if i % 2 == 0 {
-                    keep.push(s);
-                }
-            }
-            self.samples = keep;
+            // Decimate in place: keep every other sample, double the stride.
+            let mut i = 0;
+            self.samples.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
             self.stride *= 2;
         }
         self.samples.push(sample);

@@ -6,9 +6,13 @@
 //! orders — a prerequisite for seeded reproducibility of every experiment in
 //! the benchmark harness.
 //!
-//! Events may be cancelled by [`EventHandle`] without scanning the heap:
+//! Events may be cancelled by [`EventHandle`] without restructuring the heap:
 //! cancellation marks the handle dead and the entry is skipped lazily when it
-//! reaches the top (the standard "lazy deletion" trick).
+//! reaches the top (the standard "lazy deletion" trick). To keep the heap from
+//! filling up with corpses under cancel-heavy workloads (ETA reschedules in
+//! the network layer cancel far more events than they fire), the queue
+//! compacts itself whenever cancelled entries outnumber live ones — dead
+//! entries never exceed half the heap.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
@@ -127,10 +131,33 @@ impl<E> EventQueue<E> {
         // An already-fired event's seq is no longer in the heap; inserting it
         // into `cancelled` would leak, so only record when plausibly pending.
         if self.is_pending_seq(handle.0) {
-            self.cancelled.insert(handle.0)
+            self.cancelled.insert(handle.0);
+            self.maybe_compact();
+            true
         } else {
             false
         }
+    }
+
+    /// Number of cancelled entries still buried in the heap awaiting lazy
+    /// removal (diagnostic). Bounded by [`len`](Self::len) thanks to
+    /// compaction.
+    pub fn backlog(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// Rebuild the heap without dead entries once they outnumber live ones.
+    /// O(n) but amortized free: n/2 cancellations paid for each rebuild.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() <= self.heap.len() / 2 {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|e| !cancelled.contains(&e.seq))
+            .collect();
     }
 
     fn is_pending_seq(&self, seq: u64) -> bool {
@@ -295,6 +322,50 @@ mod tests {
         assert_eq!(q.now(), SimTime::from_secs(4));
         q.schedule_in(SimDuration::from_secs(1), "x");
         assert_eq!(q.pop().unwrap().0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_heavy_workload_keeps_len_honest_and_heap_compact() {
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for i in 0..4_000u64 {
+            handles.push(q.schedule_at(SimTime::from_micros(i), i));
+        }
+        // Cancel 99% of the queue without popping anything — the old lazy
+        // deletion kept every corpse until it surfaced at the top.
+        let mut live = 4_000usize;
+        for (i, h) in handles.iter().enumerate() {
+            if i % 100 != 0 {
+                assert!(q.cancel(*h));
+                live -= 1;
+                assert_eq!(q.len(), live);
+            }
+        }
+        assert_eq!(q.len(), 40);
+        // Compaction invariant: dead entries never outnumber live ones.
+        assert!(q.backlog() <= q.len(), "backlog {} leaked", q.backlog());
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 40);
+        assert_eq!(q.backlog(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_cancel_semantics() {
+        let mut q = q();
+        let t = SimTime::from_secs(1);
+        let doomed: Vec<_> = (0..8).map(|_| q.schedule_at(t, "dead")).collect();
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        for h in &doomed {
+            assert!(q.cancel(*h));
+        }
+        // Cancelling after compaction must still report "already dead".
+        assert!(!q.cancel(doomed[0]));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b"]);
     }
 
     #[test]

@@ -4,7 +4,11 @@ use pwm_net::TransferRecord;
 use pwm_sim::{SimDuration, SimTime};
 
 /// Everything the experiment harness wants to know about one run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (floats exactly): two same-seed runs of
+/// a deterministic experiment must produce `==` stats, and the determinism
+/// suite asserts exactly that.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Wall-clock (virtual) time from release of the first job to completion
     /// of the last — the quantity plotted in Figures 5–9.

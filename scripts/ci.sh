@@ -31,4 +31,15 @@ test -s "$TRACE_OUT" || { echo "trace export is empty" >&2; exit 1; }
 ./target/release/repro validate-trace "$TRACE_OUT"
 ./target/release/repro scrape-metrics > /dev/null
 
+# Netbench job: the 1k-flow allocator-throughput smoke in release mode.
+# The run itself takes ~1 s; the generous bound catches order-of-magnitude
+# regressions (e.g. the incremental engine silently falling back to full
+# recomputes). The JSON report is recorded as a build artifact next to the
+# committed BENCH_net.json (full suite).
+echo "== netbench smoke (1k flows) =="
+cargo build -q --release --offline -p pwm-bench --bin netbench
+mkdir -p target/netbench
+timeout 120 ./target/release/netbench smoke --out target/netbench/BENCH_net.json > /dev/null
+test -s target/netbench/BENCH_net.json || { echo "netbench report is empty" >&2; exit 1; }
+
 echo "CI OK"
