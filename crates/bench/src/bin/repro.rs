@@ -7,6 +7,7 @@
 //! repro all [seeds]       # everything (default 5 seeds per point)
 //! repro shapes [seeds]    # the headline shape comparisons only (fast)
 //! repro chaos [seed]      # fault-injection scenario + per-fault-class ablation
+//! repro crash [seed]      # mid-run policy-service crash: cold vs warm recovery
 //! repro --trace <out.json> [seed]   # traced paper-setup run → Chrome-trace JSON
 //! repro validate-trace <path>       # check a Chrome-trace export (CI gate)
 //! repro scrape-metrics              # run + scrape /metrics over HTTP (CI gate)
@@ -16,9 +17,9 @@
 //! logger (`PWM_LOG=error|warn|info|debug`); result tables stay on stdout.
 
 use pwm_bench::{
-    chaos_ablation, fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render_ablation, render_csv,
-    render_figure, render_table4, run_chaos, table4_analytic, table4_via_service, ChaosConfig,
-    Figure,
+    chaos_ablation, fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render_ablation,
+    render_crash, render_csv, render_figure, render_table4, run_chaos, run_crash, table4_analytic,
+    table4_via_service, ChaosConfig, CrashConfig, Figure,
 };
 use pwm_obs::global_logger;
 
@@ -50,6 +51,7 @@ fn main() {
         "figb" => figure(fig_balanced(seeds)),
         "timeline" => timeline(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100)),
         "chaos" => chaos(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
+        "crash" => crash(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
         "shapes" => shapes(seeds),
         "validate-trace" => {
             let Some(path) = args.get(1) else {
@@ -88,7 +90,7 @@ fn main() {
         }
         other => {
             log.error(&format!(
-                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|chaos|validate-trace|scrape-metrics|all [seeds]"
+                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|chaos|crash|validate-trace|scrape-metrics|all [seeds]"
             ));
             std::process::exit(2);
         }
@@ -261,6 +263,29 @@ fn chaos(seed: u64) {
     println!("Ablation (same seed, fault classes toggled; inflation vs fault-free):");
     print!("{}", render_ablation(&chaos_ablation(&cfg, seed)));
     println!();
+}
+
+/// Crash scenario: mid-run policy-service death, cold vs warm recovery.
+/// Exits nonzero if any recovery invariant is violated (CI gate).
+fn crash(seed: u64) {
+    let cfg = CrashConfig::default();
+    let report = run_crash(&cfg, seed);
+    println!(
+        "Crash scenario, seed {seed}: primary policy service dies mid-run; \
+         backup takes over cold (empty memory) vs warm (log-shipped)"
+    );
+    print!("{}", render_crash(&report));
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!("recovery invariants: all hold");
+        println!();
+    } else {
+        let log = global_logger();
+        for v in &violations {
+            log.error(&format!("recovery invariant violated: {v}"));
+        }
+        std::process::exit(1);
+    }
 }
 
 fn table4() {

@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crash;
 pub mod experiment;
 pub mod figures;
 pub mod netbench;
 pub mod table4;
 
 pub use chaos::{chaos_ablation, render_ablation, run_chaos, ChaosConfig, ChaosReport, ChaosRow};
+pub use crash::{render_crash, run_crash, CrashConfig, CrashReport, CrashRunReport};
 pub use experiment::{default_seeds, mb, MontageExperiment, PolicyMode};
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv, Figure,

@@ -111,6 +111,32 @@ impl AuditLog {
         self.next_seq
     }
 
+    /// The retention bound in force.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many records the retention ring has evicted over its lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.records.len() as u64
+    }
+
+    /// Rebuild a log from recovered state (durability): retained records
+    /// plus the sequence counter, so post-recovery events keep numbering
+    /// where the crashed session stopped.
+    pub fn restore(capacity: usize, next_seq: u64, records: Vec<AuditRecord>) -> Self {
+        AuditLog {
+            records: records.into(),
+            capacity: capacity.max(1),
+            next_seq,
+        }
+    }
+
+    /// Retained records, oldest first (snapshot export).
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.records.iter().cloned().collect()
+    }
+
     /// Currently retained records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -175,6 +201,31 @@ mod tests {
         let seqs: Vec<u64> = t.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9]);
         assert_eq!(log.tail(100).len(), 10);
+    }
+
+    #[test]
+    fn dropped_counts_lifetime_evictions() {
+        let mut log = AuditLog::with_capacity(3);
+        assert_eq!(log.dropped(), 0);
+        for n in 0..10 {
+            log.record(ev(n));
+        }
+        assert_eq!(log.capacity(), 3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+    }
+
+    #[test]
+    fn restore_resumes_sequence_numbering() {
+        let mut log = AuditLog::with_capacity(4);
+        for n in 0..6 {
+            log.record(ev(n));
+        }
+        let back = AuditLog::restore(log.capacity(), log.total_recorded(), log.records());
+        assert_eq!(back.tail(10), log.tail(10));
+        assert_eq!(back.dropped(), log.dropped());
+        let mut back = back;
+        assert_eq!(back.record(ev(6)), 6);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct PolicyConfig {
     /// Whether duplicate-transfer removal is enabled (Table I). Disabled
     /// only by ablation experiments.
     pub dedup: bool,
+    /// Retention of the in-memory audit ring, in records; `None` keeps the
+    /// built-in default so configurations from before this field existed
+    /// still decode.
+    #[serde(default)]
+    pub audit_retention: Option<usize>,
 }
 
 impl Default for PolicyConfig {
@@ -75,9 +80,14 @@ impl Default for PolicyConfig {
             ordering: OrderingPolicy::ByUrl,
             cluster_factor: 1,
             dedup: true,
+            audit_retention: None,
         }
     }
 }
+
+/// Default audit-ring retention when [`PolicyConfig::audit_retention`] is
+/// unset.
+pub const DEFAULT_AUDIT_RETENTION: usize = 4096;
 
 impl PolicyConfig {
     /// Threshold in force for a specific host pair.
@@ -127,6 +137,19 @@ impl PolicyConfig {
     /// Builder-style: set the clustering factor.
     pub fn with_cluster_factor(mut self, f: u32) -> Self {
         self.cluster_factor = f.max(1);
+        self
+    }
+
+    /// Audit-ring retention in force (configured or default).
+    pub fn audit_retention(&self) -> usize {
+        self.audit_retention
+            .unwrap_or(DEFAULT_AUDIT_RETENTION)
+            .max(1)
+    }
+
+    /// Builder-style: bound the audit ring to `n` records.
+    pub fn with_audit_retention(mut self, n: usize) -> Self {
+        self.audit_retention = Some(n.max(1));
         self
     }
 
@@ -234,9 +257,28 @@ mod tests {
     fn config_serde_roundtrip() {
         let c = PolicyConfig::default()
             .with_pair_threshold("x", "y", 9)
-            .with_allocation(AllocationPolicy::Balanced);
+            .with_allocation(AllocationPolicy::Balanced)
+            .with_audit_retention(128);
         let json = serde_json::to_string(&c).unwrap();
         let back: PolicyConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn audit_retention_defaults_and_clamps() {
+        let c = PolicyConfig::default();
+        assert_eq!(c.audit_retention(), DEFAULT_AUDIT_RETENTION);
+        assert_eq!(c.with_audit_retention(0).audit_retention(), 1);
+    }
+
+    #[test]
+    fn config_without_audit_field_still_decodes() {
+        // A pre-retention config on the wire must keep decoding (the field
+        // carries #[serde(default)]).
+        let json = serde_json::to_string(&PolicyConfig::default()).unwrap();
+        let stripped = json.replace(",\"audit_retention\":null", "");
+        assert!(!stripped.contains("audit_retention"));
+        let back: PolicyConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, PolicyConfig::default());
     }
 }

@@ -8,11 +8,14 @@
 
 use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
 use crate::config::PolicyConfig;
+use crate::durable::DurabilityConfig;
 use crate::model::{CleanupSpec, TransferSpec};
 use crate::service::{MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
 use parking_lot::Mutex;
 use pwm_obs::Obs;
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The default session name used when a client does not specify one.
@@ -63,6 +66,53 @@ impl PolicyController {
         let mut service = PolicyService::new(config);
         service.set_obs(self.obs.with_fresh_tracer(), &name);
         self.inner.lock().insert(name, service);
+    }
+
+    /// Create (or replace) a durable session: like
+    /// [`PolicyController::create_session`], but every state-mutating
+    /// request is write-ahead logged and snapshotted under `dcfg.dir` for
+    /// crash recovery.
+    pub fn create_durable_session(
+        &self,
+        name: impl Into<String>,
+        config: PolicyConfig,
+        dcfg: DurabilityConfig,
+    ) -> io::Result<()> {
+        let name = name.into();
+        let mut service = PolicyService::new(config);
+        service.enable_durability(dcfg)?;
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.inner.lock().insert(name, service);
+        Ok(())
+    }
+
+    /// Recover a session from a durability directory (snapshot + log
+    /// replay) without resuming logging — the warm-failover path, where a
+    /// successor replica replays the failed primary's log. Use
+    /// [`PolicyController::resume_durable_session`] when the recovered
+    /// session should keep persisting itself.
+    pub fn recover_session(&self, name: impl Into<String>, dir: &Path) -> io::Result<()> {
+        let name = name.into();
+        let mut service = PolicyService::recover_from(dir)?;
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.inner.lock().insert(name, service);
+        Ok(())
+    }
+
+    /// Recover a session from `dcfg.dir` and resume durable operation.
+    /// Re-enabling compacts naturally: the resumed log starts from a fresh
+    /// snapshot of the recovered state.
+    pub fn resume_durable_session(
+        &self,
+        name: impl Into<String>,
+        dcfg: DurabilityConfig,
+    ) -> io::Result<()> {
+        let name = name.into();
+        let mut service = PolicyService::recover_from(&dcfg.dir)?;
+        service.enable_durability(dcfg)?;
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.inner.lock().insert(name, service);
+        Ok(())
     }
 
     /// The controller-wide observability handle (registry shared by all
@@ -281,6 +331,52 @@ mod tests {
             "not JSON: {trace}"
         );
         assert!(c.trace_chrome_json("nope").is_err());
+    }
+
+    #[test]
+    fn durable_session_survives_controller_restart() {
+        let dir = crate::durable::scratch_dir("ctl-restart");
+        let c = PolicyController::new(PolicyConfig::default());
+        c.create_durable_session(
+            "durable",
+            PolicyConfig::default(),
+            DurabilityConfig::new(&dir),
+        )
+        .unwrap();
+        let advice = c.evaluate_transfers("durable", vec![spec(1)]).unwrap();
+        c.report_transfers(
+            "durable",
+            vec![TransferOutcome {
+                id: advice[0].id,
+                success: true,
+            }],
+        )
+        .unwrap();
+        let before = c.snapshot("durable").unwrap();
+
+        // A brand-new controller (the restarted process) recovers it.
+        let c2 = PolicyController::new(PolicyConfig::default());
+        c2.resume_durable_session("durable", DurabilityConfig::new(&dir))
+            .unwrap();
+        assert_eq!(c2.snapshot("durable").unwrap(), before);
+        // Dedup memory survived the restart.
+        let again = c2.evaluate_transfers("durable", vec![spec(1)]).unwrap();
+        assert!(!again[0].should_execute());
+        // And the resumed session keeps logging: a third controller can
+        // recover the post-restart state too.
+        let c3 = PolicyController::new(PolicyConfig::default());
+        c3.recover_session("durable", &dir).unwrap();
+        assert_eq!(c3.stats("durable").unwrap(), c2.stats("durable").unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_session_from_empty_dir_errors() {
+        let dir = crate::durable::scratch_dir("ctl-empty");
+        let c = PolicyController::new(PolicyConfig::default());
+        assert!(c.recover_session("x", &dir).is_err());
+        assert!(!c.session_names().contains(&"x".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,6 +24,12 @@ impl PolicyCtx {
         }
     }
 
+    /// Rebuild a context from recovered state (durability): the group-id
+    /// allocator resumes exactly where the crashed session left it.
+    pub fn restore(config: PolicyConfig, next_group: u64) -> Self {
+        PolicyCtx { config, next_group }
+    }
+
     /// Mint a fresh group id (one per newly seen host pair).
     pub fn fresh_group(&mut self) -> GroupId {
         let g = GroupId(self.next_group);

@@ -14,6 +14,17 @@
 //! restaged, thresholds start empty) but never correctness. That is exactly
 //! the failure philosophy of the original system, where a dead policy
 //! service must not stop science (see the executor's fail-safe fallback).
+//!
+//! With [`FailoverTransport::with_warm_recovery`] the transport upgrades to
+//! *warm* failover by log shipping: just before a replica serves its first
+//! request, a caller-supplied hook replays the failed primary's durability
+//! log into it (typically `controller.recover_session(session, dir)` over
+//! the primary's WAL directory). Each replica is warmed at most once —
+//! re-replaying a stale log over a replica that has since served requests
+//! of its own would clobber newer state. A warmed successor inherits the
+//! primary's allocation ledgers and dedup memory, so it never grants past
+//! the per-host-pair threshold on top of surviving allocations and never
+//! re-advises a transfer the ledger already marked staged.
 
 use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
 use crate::chaos::SharedSimClock;
@@ -28,6 +39,12 @@ pub struct FailoverTransport {
     active: usize,
     failovers: Arc<AtomicU64>,
     obs: Option<(pwm_obs::Obs, Option<SharedSimClock>)>,
+    /// Which replicas have already been warmed (or started warm, like the
+    /// initial primary).
+    warmed: Vec<bool>,
+    /// Warm-recovery hook: called with a replica index once, just before
+    /// that replica's first request.
+    warm_hook: Option<Box<dyn FnMut(usize) + Send>>,
 }
 
 /// A cloneable handle onto a [`FailoverTransport`]'s failover counter.
@@ -53,12 +70,26 @@ impl FailoverTransport {
     /// Panics if `replicas` is empty.
     pub fn new(replicas: Vec<Box<dyn PolicyTransport>>) -> Self {
         assert!(!replicas.is_empty(), "failover needs at least one replica");
+        let mut warmed = vec![false; replicas.len()];
+        warmed[0] = true; // the initial primary is authoritative by definition
         FailoverTransport {
             replicas,
             active: 0,
             failovers: Arc::new(AtomicU64::new(0)),
             obs: None,
+            warmed,
+            warm_hook: None,
         }
+    }
+
+    /// Upgrade to warm failover by log shipping: `hook(ix)` runs once per
+    /// replica, just before its first request, and is expected to replay
+    /// the primary's durability log into replica `ix` (e.g. via
+    /// [`crate::PolicyController::recover_session`] over the primary's WAL
+    /// directory). See the module docs for the warm-failover invariants.
+    pub fn with_warm_recovery(mut self, hook: impl FnMut(usize) + Send + 'static) -> Self {
+        self.warm_hook = Some(Box::new(hook));
+        self
     }
 
     /// Attach observability: each failover increments
@@ -96,6 +127,15 @@ impl FailoverTransport {
         let mut last_err = None;
         for attempt in 0..n {
             let ix = (self.active + attempt) % n;
+            if !self.warmed[ix] {
+                // Warm exactly once, even if this attempt then fails — a
+                // later re-replay could overwrite state the replica built
+                // up serving its own requests.
+                self.warmed[ix] = true;
+                if let Some(hook) = &mut self.warm_hook {
+                    hook(ix);
+                }
+            }
             match op(self.replicas[ix].as_mut()) {
                 Ok(r) => {
                     if ix != self.active {
@@ -292,6 +332,83 @@ mod tests {
         let mut after = FailoverTransport::new(vec![Box::new(Dead), backup2]);
         let again = after.evaluate_transfers(vec![spec(1)]).unwrap();
         assert!(again[0].should_execute(), "fresh backup re-stages safely");
+    }
+
+    #[test]
+    fn warm_hook_fires_once_per_replica() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&calls);
+        let (backup, _c) = live();
+        let mut t =
+            FailoverTransport::new(vec![Box::new(Dead), backup]).with_warm_recovery(move |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        t.evaluate_transfers(vec![spec(1)]).unwrap();
+        t.evaluate_transfers(vec![spec(2)]).unwrap();
+        // The initial primary starts warm, so only the backup triggered the
+        // hook — and only before its first request.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn warm_failover_restores_primary_memory_from_its_log() {
+        let dir = crate::durable::scratch_dir("warm-failover");
+        let config = PolicyConfig::default()
+            .with_default_streams(8)
+            .with_threshold(10);
+        let primary = PolicyController::new(config.clone());
+        primary
+            .create_durable_session(
+                DEFAULT_SESSION,
+                config.clone(),
+                crate::durable::DurabilityConfig::new(&dir),
+            )
+            .unwrap();
+        let mut live = InProcessTransport::new(primary.clone(), DEFAULT_SESSION);
+        // Stage f1 to completion and leave f2 in flight, holding 8 of the
+        // 10 streams allowed between the hosts.
+        let a = live.evaluate_transfers(vec![spec(1)]).unwrap();
+        live.report_transfers(vec![TransferOutcome {
+            id: a[0].id,
+            success: true,
+        }])
+        .unwrap();
+        let b = live.evaluate_transfers(vec![spec(2)]).unwrap();
+        assert_eq!(b[0].streams, 8);
+
+        // The primary dies; the backup warms itself from the primary's log
+        // just before serving its first request.
+        let backup = PolicyController::new(config.clone());
+        let hook_backup = backup.clone();
+        let hook_dir = dir.clone();
+        let mut t = FailoverTransport::new(vec![
+            Box::new(Dead),
+            Box::new(InProcessTransport::new(backup.clone(), DEFAULT_SESSION)),
+        ])
+        .with_warm_recovery(move |_ix| {
+            hook_backup
+                .recover_session(DEFAULT_SESSION, &hook_dir)
+                .unwrap();
+        });
+
+        // Dedup memory survived: the staged f1 is not re-advised.
+        let again = t.evaluate_transfers(vec![spec(1)]).unwrap();
+        assert!(
+            !again[0].should_execute(),
+            "warm backup skips a staged file"
+        );
+        // The allocation ledger survived: f2 still holds 8 streams, so a
+        // new transfer on the same host pair never pushes the pair past
+        // the threshold.
+        let c = t.evaluate_transfers(vec![spec(3)]).unwrap();
+        assert!(
+            c[0].streams + b[0].streams <= 10,
+            "threshold continuity across failover: {} + {} > 10",
+            c[0].streams,
+            b[0].streams
+        );
+        assert_eq!(t.failovers(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod chaos;
 pub mod config;
 pub mod controller;
 pub mod ctx;
+pub mod durable;
 pub mod failover;
 pub mod greedy;
 pub mod ledger;
@@ -66,6 +67,10 @@ pub use chaos::{ChaosProbe, ChaosTransport, ServiceFault, SharedSimClock};
 pub use config::{AllocationPolicy, OrderingPolicy, PolicyConfig};
 pub use controller::{ControllerError, PolicyController, DEFAULT_SESSION};
 pub use ctx::PolicyCtx;
+pub use durable::{
+    crc32, decode_frames, encode_frame, read_recovery, CrashPoint, Durability, DurabilityConfig,
+    DurableFact, DurableState, Recovered, WalCommand, WalRecord,
+};
 pub use failover::{FailoverProbe, FailoverTransport};
 pub use ledger::{balanced_grant, greedy_grant, greedy_total_for_concurrent_jobs, no_policy_total};
 pub use model::{

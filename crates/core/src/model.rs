@@ -161,7 +161,7 @@ pub enum TransferState {
 }
 
 /// A transfer fact in policy memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransferFact {
     /// Service-assigned id.
     pub id: TransferId,
@@ -212,13 +212,14 @@ pub enum ResourceState {
 
 /// A staged-file resource: tracks which workflows use a file so duplicate
 /// staging is avoided and premature cleanup is suppressed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceFact {
     /// Canonical destination URL of the staged file.
     pub dest: Url,
     /// Where it was staged from.
     pub source: Url,
     /// Workflows currently using the staged file.
+    #[serde(with = "workflow_set_serde")]
     pub users: BTreeSet<WorkflowId>,
     /// Staging vs staged.
     pub state: ResourceState,
@@ -247,7 +248,7 @@ pub struct CleanupSpec {
 }
 
 /// A cleanup fact in policy memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CleanupFact {
     /// Service-assigned id.
     pub id: CleanupId,
@@ -264,7 +265,7 @@ pub struct CleanupFact {
 /// The per-(source host, destination host) allocation ledger fact used by
 /// the greedy and balanced policies ("Generate a unique group ID for a
 /// source and destination host pair").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HostPairFact {
     /// Source host name.
     pub src_host: String,
@@ -279,7 +280,7 @@ pub struct HostPairFact {
 }
 
 /// Per-(host pair, cluster) ledger used by the balanced policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterAllocFact {
     /// The host-pair group this cluster ledger belongs to.
     pub group: GroupId,
@@ -287,6 +288,27 @@ pub struct ClusterAllocFact {
     pub cluster: ClusterId,
     /// Streams currently allocated to this cluster's transfers.
     pub allocated: u32,
+}
+
+/// `#[serde(with)]` adapter for `BTreeSet<WorkflowId>`: the vendored serde
+/// has no set impls, so the set crosses the wire as a sorted id array.
+mod workflow_set_serde {
+    use super::WorkflowId;
+    use serde::{Deserialize, Serialize, Value};
+    use std::collections::BTreeSet;
+
+    /// Set → sorted array of raw workflow ids.
+    pub fn serialize(set: &BTreeSet<WorkflowId>) -> Value {
+        set.iter().map(|w| w.0).collect::<Vec<u64>>().to_value()
+    }
+
+    /// Array of raw ids → set (duplicates collapse).
+    pub fn deserialize(value: &Value) -> Result<BTreeSet<WorkflowId>, serde::Error> {
+        Ok(Vec::<u64>::from_value(value)?
+            .into_iter()
+            .map(WorkflowId)
+            .collect())
+    }
 }
 
 #[cfg(test)]

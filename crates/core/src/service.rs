@@ -15,15 +15,20 @@ use crate::balanced::install_balanced_rules;
 use crate::chaos::SharedSimClock;
 use crate::config::{OrderingPolicy, PolicyConfig};
 use crate::ctx::PolicyCtx;
+use crate::durable::{
+    read_recovery, Durability, DurabilityConfig, DurableFact, DurableState, WalCommand, WalRecord,
+};
 use crate::greedy::install_greedy_rules;
 use crate::model::{
-    CleanupFact, CleanupId, CleanupSpec, CleanupState, HostPairFact, ResourceFact, ResourceState,
-    TransferFact, TransferId, TransferSpec, TransferState,
+    CleanupFact, CleanupId, CleanupSpec, CleanupState, ClusterAllocFact, HostPairFact,
+    ResourceFact, ResourceState, TransferFact, TransferId, TransferSpec, TransferState,
 };
 use crate::rules_base::install_base_rules;
 use pwm_obs::{Counter, Gauge, Histogram, Obs};
 use pwm_rules::Session;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
 use std::time::Instant;
 
 /// Counters the service keeps for monitoring and tests.
@@ -123,6 +128,8 @@ struct ServiceObs {
     clock: Option<SharedSimClock>,
     /// Stats as of the previous publish, so counters receive deltas.
     last: ServiceStats,
+    /// Audit-ring evictions as of the previous publish.
+    last_audit_dropped: u64,
 }
 
 impl ServiceObs {
@@ -226,6 +233,7 @@ pub struct PolicyService {
     stats: ServiceStats,
     audit: AuditLog,
     obs: Option<ServiceObs>,
+    durability: Option<Durability>,
 }
 
 impl PolicyService {
@@ -237,14 +245,16 @@ impl PolicyService {
         install_base_rules(&mut session);
         install_greedy_rules(&mut session);
         install_balanced_rules(&mut session);
+        let audit = AuditLog::with_capacity(config.audit_retention());
         PolicyService {
             session,
             ctx: PolicyCtx::new(config),
             next_transfer: 0,
             next_cleanup: 0,
             stats: ServiceStats::default(),
-            audit: AuditLog::default(),
+            audit,
             obs: None,
+            durability: None,
         }
     }
 
@@ -261,7 +271,181 @@ impl PolicyService {
             session: session.to_string(),
             clock: None,
             last: self.stats,
+            last_audit_dropped: self.audit.dropped(),
         });
+    }
+
+    /// Turn on durability: a base snapshot of the current state is written
+    /// to `cfg.dir` and every state-mutating request is logged there
+    /// before it is applied. Enabling on a recovered service compacts
+    /// naturally — the resumed log starts from the fresh snapshot.
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) -> io::Result<()> {
+        // Drop any previous sink first so the snapshot's applied_seq
+        // describes a fresh log epoch.
+        self.durability = None;
+        let state = self.durable_state();
+        self.durability = Some(Durability::create(cfg, &state)?);
+        Ok(())
+    }
+
+    /// True when an injected crash point has frozen the durability sink.
+    pub fn durability_crashed(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.crashed())
+    }
+
+    /// Rebuild a service from a durability directory: load the last
+    /// snapshot and replay the surviving log suffix through the
+    /// deterministic engine. The result is `PartialEq`-identical (facts,
+    /// ids, ledgers, stats, audit numbering) to the uninterrupted service
+    /// at the last durable command. Durability is *not* re-enabled; call
+    /// [`PolicyService::enable_durability`] to resume logging.
+    pub fn recover_from(dir: &Path) -> io::Result<PolicyService> {
+        let recovered = read_recovery(dir)?;
+        let mut svc = PolicyService::from_durable_state(recovered.state);
+        for record in recovered.records {
+            svc.apply_command(record.cmd);
+        }
+        Ok(svc)
+    }
+
+    /// Append a mutating command to the WAL before applying it (redo
+    /// logging). A write failure disables durability rather than failing
+    /// the advisory service.
+    fn log_command(&mut self, cmd: WalCommand) {
+        if let Some(d) = &mut self.durability {
+            let record = WalRecord {
+                seq: d.next_seq(),
+                cmd,
+            };
+            if let Err(e) = d.append(&record) {
+                pwm_obs::global_logger()
+                    .error(&format!("WAL append failed; durability disabled: {e}"));
+                self.durability = None;
+            }
+        }
+    }
+
+    /// Snapshot + compact if the sink says one is due. Runs at the *end*
+    /// of each mutating method, after the logged command's effects are in
+    /// the state — a snapshot taken at log time would stamp an
+    /// `applied_seq` for effects not yet applied.
+    fn maybe_snapshot(&mut self) {
+        if !self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.snapshot_pending())
+        {
+            return;
+        }
+        let state = self.durable_state();
+        if let Some(d) = &mut self.durability {
+            if let Err(e) = d.write_snapshot(&state) {
+                pwm_obs::global_logger()
+                    .error(&format!("snapshot write failed; durability disabled: {e}"));
+                self.durability = None;
+            }
+        }
+    }
+
+    /// Replay one logged command (advice output is discarded — the crashed
+    /// process already delivered it).
+    fn apply_command(&mut self, cmd: WalCommand) {
+        match cmd {
+            WalCommand::EvaluateTransfers(batch) => {
+                self.evaluate_transfers(batch);
+            }
+            WalCommand::ReportTransfers(outcomes) => self.report_transfers(outcomes),
+            WalCommand::EvaluateCleanups(batch) => {
+                self.evaluate_cleanups(batch);
+            }
+            WalCommand::ReportCleanups(outcomes) => self.report_cleanups(outcomes),
+            WalCommand::SetConfig(config) => self.set_config(config),
+        }
+    }
+
+    /// The complete serializable state of this session (snapshot payload).
+    /// Facts are captured in global insertion order, which working-memory
+    /// iteration — and therefore advice ordering — observes.
+    pub fn durable_state(&self) -> DurableState {
+        let wm = &self.session.wm;
+        let mut facts: Vec<(pwm_rules::FactHandle, DurableFact)> = Vec::new();
+        facts.extend(
+            wm.iter::<TransferFact>()
+                .map(|(h, f)| (h, DurableFact::Transfer(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<ResourceFact>()
+                .map(|(h, f)| (h, DurableFact::Resource(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<CleanupFact>()
+                .map(|(h, f)| (h, DurableFact::Cleanup(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<HostPairFact>()
+                .map(|(h, f)| (h, DurableFact::HostPair(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<ClusterAllocFact>()
+                .map(|(h, f)| (h, DurableFact::ClusterAlloc(f.clone()))),
+        );
+        facts.sort_by_key(|(h, _)| *h);
+        DurableState {
+            applied_seq: self.durability.as_ref().map_or(0, |d| d.next_seq() - 1),
+            config: self.ctx.config.clone(),
+            next_transfer: self.next_transfer,
+            next_cleanup: self.next_cleanup,
+            next_group: self.ctx.groups_minted(),
+            stats: self.stats,
+            audit_capacity: self.audit.capacity(),
+            audit_next_seq: self.audit.total_recorded(),
+            audit_records: self.audit.records(),
+            facts: facts.into_iter().map(|(_, f)| f).collect(),
+            summary: self.snapshot(),
+        }
+    }
+
+    /// Rebuild a service from a snapshot. Facts are re-inserted in their
+    /// original global order, so the fresh handles preserve iteration
+    /// order. The restored memory is quiescent: every rule guard requires
+    /// an in-batch or just-reported fact, so the next `fire_all` fires
+    /// nothing until new requests arrive.
+    pub fn from_durable_state(state: DurableState) -> Self {
+        let mut svc = PolicyService::new(state.config.clone());
+        svc.ctx = PolicyCtx::restore(state.config, state.next_group);
+        svc.next_transfer = state.next_transfer;
+        svc.next_cleanup = state.next_cleanup;
+        svc.stats = state.stats;
+        svc.audit = AuditLog::restore(
+            state.audit_capacity,
+            state.audit_next_seq,
+            state.audit_records,
+        );
+        for fact in state.facts {
+            match fact {
+                DurableFact::Transfer(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::Resource(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::Cleanup(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::HostPair(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::ClusterAlloc(f) => {
+                    svc.session.wm.insert(f);
+                }
+            }
+        }
+        debug_assert_eq!(
+            svc.snapshot(),
+            state.summary,
+            "restored memory must reproduce the snapshot summary"
+        );
+        svc
     }
 
     /// Attach a shared simulated clock. Evaluations then emit trace
@@ -278,6 +462,7 @@ impl PolicyService {
     /// a sim clock) a trace instant.
     fn note_evaluation(&mut self, kind: &'static str, micros: u64, batch: usize, firings: usize) {
         let stats = self.stats;
+        let audit_dropped = self.audit.dropped();
         let snapshot_counts = {
             let wm = &self.session.wm;
             [
@@ -311,6 +496,15 @@ impl PolicyService {
         let Some(o) = &mut self.obs else { return };
         o.advice_latency(kind).record(micros);
         o.publish_stats(stats);
+        let dropped_delta = audit_dropped.saturating_sub(o.last_audit_dropped);
+        if dropped_delta > 0 {
+            o.counter(
+                "pwm_policy_audit_dropped_total",
+                "Audit records evicted by the retention ring",
+            )
+            .add(dropped_delta);
+            o.last_audit_dropped = audit_dropped;
+        }
         for (name, help, value) in [
             (
                 "pwm_policy_in_progress_transfers",
@@ -379,12 +573,23 @@ impl PolicyService {
     /// Replace the configuration (an administrator reconfiguring the
     /// service between workflows).
     pub fn set_config(&mut self, config: PolicyConfig) {
+        if self.durability.is_some() {
+            self.log_command(WalCommand::SetConfig(config.clone()));
+        }
+        if config.audit_retention() != self.audit.capacity() {
+            // Resize the retention ring in place, keeping the newest
+            // records and the lifetime sequence counter.
+            let capacity = config.audit_retention();
+            let records = self.audit.tail(capacity);
+            self.audit = AuditLog::restore(capacity, self.audit.total_recorded(), records);
+        }
         self.ctx.config = config;
         // Rule matchers read the config through ctx, which the engine (like
         // Drools globals) does not watch — flush the cached agenda so the
         // new config is observed.
         self.session.invalidate_agenda();
         self.audit.record(PolicyEvent::ConfigChanged);
+        self.maybe_snapshot();
     }
 
     /// Audit records with sequence ≥ `since` (the monitoring log).
@@ -416,6 +621,9 @@ impl PolicyService {
     /// get stream/group advice, and the list is ordered per the ordering
     /// policy.
     pub fn evaluate_transfers(&mut self, batch: Vec<TransferSpec>) -> Vec<TransferAdvice> {
+        if self.durability.is_some() {
+            self.log_command(WalCommand::EvaluateTransfers(batch.clone()));
+        }
         self.stats.transfer_requests += batch.len() as u64;
         let mut handles = Vec::with_capacity(batch.len());
         for spec in batch {
@@ -523,6 +731,7 @@ impl PolicyService {
         }
         self.session.maybe_gc_refraction();
         self.note_evaluation("evaluate_transfers", eval_micros, batch_len, report.firings);
+        self.maybe_snapshot();
         out
     }
 
@@ -531,6 +740,9 @@ impl PolicyService {
     /// drop the half-staged resource so retries are not treated as
     /// duplicates.
     pub fn report_transfers(&mut self, outcomes: Vec<TransferOutcome>) {
+        if self.durability.is_some() {
+            self.log_command(WalCommand::ReportTransfers(outcomes.clone()));
+        }
         let batch_len = outcomes.len();
         for outcome in outcomes {
             if let Some((h, _)) = self.session.wm.find::<TransferFact>(|t| t.id == outcome.id) {
@@ -558,11 +770,15 @@ impl PolicyService {
         self.stats.rule_firings += report.firings as u64;
         self.session.maybe_gc_refraction();
         self.note_evaluation("report_transfers", eval_micros, batch_len, report.firings);
+        self.maybe_snapshot();
     }
 
     /// Evaluate a list of cleanup requests; duplicates and in-use files are
     /// marked skipped.
     pub fn evaluate_cleanups(&mut self, batch: Vec<CleanupSpec>) -> Vec<CleanupAdvice> {
+        if self.durability.is_some() {
+            self.log_command(WalCommand::EvaluateCleanups(batch.clone()));
+        }
         self.stats.cleanup_requests += batch.len() as u64;
         let mut handles = Vec::with_capacity(batch.len());
         for spec in batch {
@@ -619,6 +835,7 @@ impl PolicyService {
         }
         self.session.maybe_gc_refraction();
         self.note_evaluation("evaluate_cleanups", eval_micros, batch_len, report.firings);
+        self.maybe_snapshot();
         out
     }
 
@@ -626,6 +843,9 @@ impl PolicyService {
     /// its resource from policy memory; failed ones are forgotten so the
     /// client may retry.
     pub fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) {
+        if self.durability.is_some() {
+            self.log_command(WalCommand::ReportCleanups(outcomes.clone()));
+        }
         let batch_len = outcomes.len();
         for outcome in outcomes {
             if let Some((h, _)) = self.session.wm.find::<CleanupFact>(|c| c.id == outcome.id) {
@@ -648,6 +868,7 @@ impl PolicyService {
         self.stats.rule_firings += report.firings as u64;
         self.session.maybe_gc_refraction();
         self.note_evaluation("report_cleanups", eval_micros, batch_len, report.firings);
+        self.maybe_snapshot();
     }
 
     /// Streams currently allocated between a host pair.
@@ -988,6 +1209,72 @@ mod tests {
         svc.report_transfers(vec![outcome]);
         assert_eq!(svc.allocated("tacc", "isi"), 0);
         assert_eq!(svc.stats().transfers_completed, 1);
+    }
+
+    #[test]
+    fn durable_state_roundtrip_is_identity() {
+        let mut svc = greedy_service(4, 50);
+        let a = svc.evaluate_transfers(vec![spec_n(1, 1), spec_n(2, 1), spec_n(1, 2)]);
+        let staged = a.iter().find(|x| x.should_execute()).unwrap().id;
+        svc.report_transfers(vec![TransferOutcome {
+            id: staged,
+            success: true,
+        }]);
+        svc.evaluate_cleanups(vec![CleanupSpec {
+            file: Url::new("file", "isi", "/scratch/f002.dat"),
+            workflow: WorkflowId(1),
+        }]);
+
+        let state = svc.durable_state();
+        let mut rebuilt = PolicyService::from_durable_state(state.clone());
+        assert_eq!(rebuilt.durable_state(), state);
+        // And the rebuilt service behaves identically on new requests.
+        assert_eq!(
+            svc.evaluate_transfers(vec![spec_n(9, 1), spec_n(1, 3)]),
+            rebuilt.evaluate_transfers(vec![spec_n(9, 1), spec_n(1, 3)]),
+        );
+        assert_eq!(svc.snapshot(), rebuilt.snapshot());
+        assert_eq!(svc.stats(), rebuilt.stats());
+        assert_eq!(svc.audit_tail(50), rebuilt.audit_tail(50));
+    }
+
+    #[test]
+    fn durable_session_recovers_from_disk() {
+        let dir = crate::durable::scratch_dir("svc-recover");
+        let mut svc = greedy_service(4, 50);
+        svc.enable_durability(crate::durable::DurabilityConfig::new(&dir).with_snapshot_every(2))
+            .unwrap();
+        let a = svc.evaluate_transfers(vec![spec_n(1, 1), spec_n(2, 1)]);
+        svc.report_transfers(vec![TransferOutcome {
+            id: a[0].id,
+            success: true,
+        }]);
+        svc.evaluate_transfers(vec![spec_n(3, 1)]);
+
+        let mut recovered = PolicyService::recover_from(&dir).unwrap();
+        assert_eq!(recovered.snapshot(), svc.snapshot());
+        assert_eq!(recovered.stats(), svc.stats());
+        assert_eq!(recovered.durable_state(), {
+            let mut s = svc.durable_state();
+            s.applied_seq = 0; // the live service stamps its log position
+            s
+        });
+        // Dedup memory survived: the staged file is not re-advised.
+        let again = recovered.evaluate_transfers(vec![spec_n(1, 2)]);
+        assert!(!again[0].should_execute());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_retention_config_bounds_the_ring() {
+        let mut svc = PolicyService::new(PolicyConfig::default().with_audit_retention(4));
+        for i in 0..10 {
+            svc.evaluate_transfers(vec![spec_n(i, 1)]);
+        }
+        assert_eq!(svc.audit_tail(100).len(), 4);
+        // Reconfiguring the retention resizes the ring in place.
+        svc.set_config(PolicyConfig::default().with_audit_retention(2));
+        assert!(svc.audit_tail(100).len() <= 2);
     }
 
     #[test]

@@ -154,6 +154,8 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
             500 => "Internal Server Error",
             _ => "Unknown",
         }
@@ -167,6 +169,14 @@ pub enum HttpError {
     Io(std::io::Error),
     /// Malformed request line/headers/body.
     Malformed(String),
+    /// Declared or observed size exceeds the configured cap (HTTP 413).
+    /// Raised before the body is read, so an attacker cannot make the
+    /// server buffer it.
+    TooLarge(String),
+    /// The peer stalled past the socket read deadline (HTTP 408). This is
+    /// the slow-loris guard: without a deadline a client trickling one
+    /// byte per minute pins a server thread forever.
+    Timeout,
 }
 
 impl std::fmt::Display for HttpError {
@@ -174,6 +184,8 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::Io(e) => write!(f, "http io error: {e}"),
             HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Timeout => write!(f, "read timed out"),
         }
     }
 }
@@ -181,15 +193,27 @@ impl std::error::Error for HttpError {}
 
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
-        HttpError::Io(e)
+        // `set_read_timeout` expiry surfaces as WouldBlock on Unix and
+        // TimedOut on Windows; both mean "peer too slow", not "socket bad".
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
     }
 }
 
 /// Upper bound on header + body size (sanity guard, 64 MiB).
 const MAX_REQUEST: usize = 64 << 20;
 
-/// Read one request from a stream.
+/// Read one request from a stream with the default 64 MiB cap.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    read_request_limited(stream, MAX_REQUEST)
+}
+
+/// Read one request, rejecting bodies over `max_body` bytes with
+/// [`HttpError::TooLarge`] *before* reading them (the declared
+/// Content-Length is checked first).
+pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
     let (head, mut buffered_body) = read_head(stream)?;
     let head_text = String::from_utf8(head)
         .map_err(|_| HttpError::Malformed("non-utf8 header block".into()))?;
@@ -221,8 +245,11 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
             }
         }
     }
-    if content_length > MAX_REQUEST {
-        return Err(HttpError::Malformed("body too large".into()));
+    if content_length > max_body.min(MAX_REQUEST) {
+        return Err(HttpError::TooLarge(format!(
+            "content-length {content_length} exceeds cap {}",
+            max_body.min(MAX_REQUEST)
+        )));
     }
     while buffered_body.len() < content_length {
         let mut chunk = [0u8; 8192];
@@ -253,7 +280,7 @@ fn read_head(stream: &mut impl Read) -> Result<(Vec<u8>, BytesMut), HttpError> {
             return Ok((head, body));
         }
         if buf.len() > MAX_REQUEST {
-            return Err(HttpError::Malformed("headers too large".into()));
+            return Err(HttpError::TooLarge("headers too large".into()));
         }
         let mut chunk = [0u8; 8192];
         let n = stream.read(&mut chunk)?;
@@ -437,7 +464,73 @@ mod tests {
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             1usize << 40
         );
-        assert!(read_request(&mut Cursor::new(wire.into_bytes())).is_err());
+        assert!(matches!(
+            read_request(&mut Cursor::new(wire.into_bytes())),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn body_cap_rejects_before_reading_the_body() {
+        // A reader that panics if the parser tries to pull body bytes: the
+        // declared Content-Length alone must trigger the rejection.
+        struct HeadOnly(Option<Vec<u8>>);
+        impl Read for HeadOnly {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.take() {
+                    Some(head) => {
+                        buf[..head.len()].copy_from_slice(&head);
+                        Ok(head.len())
+                    }
+                    None => panic!("body was read despite oversized Content-Length"),
+                }
+            }
+        }
+        let head = b"POST /x HTTP/1.1\r\nContent-Length: 2048\r\n\r\n".to_vec();
+        let err = read_request_limited(&mut HeadOnly(Some(head)), 1024).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)));
+    }
+
+    #[test]
+    fn body_cap_allows_requests_under_the_limit() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, Method::Post, "/x", b"small").unwrap();
+        let r = read_request_limited(&mut Cursor::new(wire), 1024).unwrap();
+        assert_eq!(r.body, b"small");
+    }
+
+    #[test]
+    fn stalled_socket_classifies_as_timeout() {
+        struct Stalled;
+        impl Read for Stalled {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        assert!(matches!(
+            read_request(&mut Stalled),
+            Err(HttpError::Timeout)
+        ));
+        struct TimedOut;
+        impl Read for TimedOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::TimedOut))
+            }
+        }
+        assert!(matches!(
+            read_request(&mut TimedOut),
+            Err(HttpError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn timeout_status_lines_render() {
+        for (status, text) in [(408u16, "Request Timeout"), (413, "Payload Too Large")] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &Response::error(status, "x")).unwrap();
+            let head = String::from_utf8_lossy(&wire).to_string();
+            assert!(head.starts_with(&format!("HTTP/1.1 {status} {text}\r\n")));
+        }
     }
 
     #[test]

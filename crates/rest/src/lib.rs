@@ -35,8 +35,9 @@ pub mod wire;
 pub mod xml;
 
 pub use client::PolicyRestClient;
+pub use http::HttpError;
 pub use http::{Method, Request, Response, WireFormat};
-pub use server::PolicyRestServer;
+pub use server::{PolicyRestServer, ServerLimits};
 pub use wire::{
     AckEnvelope, CleanupCompletionEnvelope, CleanupRequestEnvelope, CleanupResponseEnvelope,
     ErrorEnvelope, StatusEnvelope, TransferCompletionEnvelope, TransferRequestEnvelope,

@@ -139,6 +139,74 @@ impl<K: fmt::Debug> FaultPlan<K> {
     }
 }
 
+/// A deterministic crash point for durability testing: *where* in the
+/// write-ahead-log append sequence a simulated process dies. Crash points
+/// are counted in appends rather than wall-clock instants, so the same
+/// point replayed against the same command stream tears the log at the
+/// same byte, bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die immediately after the `n`-th append (1-based) is fully written:
+    /// the log ends on a record boundary.
+    AfterAppend(u64),
+    /// The `append`-th write is torn: only the first `keep` bytes of the
+    /// frame reach stable storage before the crash. Consumers clamp `keep`
+    /// below the frame length so the tail is genuinely partial.
+    TornAppend {
+        /// 1-based ordinal of the append that tears.
+        append: u64,
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// Die inside the snapshot triggered after the `append`-th write: the
+    /// temporary snapshot file exists but was never renamed over the live
+    /// one, and the log was not compacted.
+    MidSnapshot {
+        /// 1-based ordinal of the append whose follow-up snapshot tears.
+        append: u64,
+    },
+}
+
+impl CrashPoint {
+    /// The 1-based append ordinal at which this crash point fires.
+    pub fn append(&self) -> u64 {
+        match *self {
+            CrashPoint::AfterAppend(n) => n,
+            CrashPoint::TornAppend { append, .. } => append,
+            CrashPoint::MidSnapshot { append } => append,
+        }
+    }
+
+    /// Draw a crash point from a seeded rng: the append ordinal is uniform
+    /// over `[1, max_append]` and the flavor (clean cut, torn write,
+    /// mid-snapshot) is chosen uniformly. Same rng state, same point.
+    pub fn seeded(rng: &mut SimRng, max_append: u64) -> CrashPoint {
+        let append = rng.uniform_u64(1, max_append.max(1));
+        match rng.uniform_u64(0, 2) {
+            0 => CrashPoint::AfterAppend(append),
+            1 => CrashPoint::TornAppend {
+                append,
+                keep: rng.uniform_u64(0, 64) as usize,
+            },
+            _ => CrashPoint::MidSnapshot { append },
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CrashPoint::AfterAppend(n) => write!(f, "crash after append {n}"),
+            CrashPoint::TornAppend { append, keep } => {
+                write!(f, "torn write at append {append} (keep {keep} B)")
+            }
+            CrashPoint::MidSnapshot { append } => {
+                write!(f, "crash mid-snapshot after append {append}")
+            }
+        }
+    }
+}
+
 /// Draw `count` fault windows with starts uniform over `[0, horizon)` and
 /// durations uniform over `[min_duration, max_duration]`, sorted by start.
 ///
@@ -241,6 +309,24 @@ mod tests {
         b.add(SimTime::from_secs(1), SimDuration::from_secs(2), "x");
         assert_eq!(a.describe(), b.describe());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_crash_points_are_reproducible_and_bounded() {
+        let mut r1 = SimRng::for_component(7, "crash");
+        let mut r2 = SimRng::for_component(7, "crash");
+        let a: Vec<CrashPoint> = (0..32).map(|_| CrashPoint::seeded(&mut r1, 20)).collect();
+        let b: Vec<CrashPoint> = (0..32).map(|_| CrashPoint::seeded(&mut r2, 20)).collect();
+        assert_eq!(a, b);
+        for p in &a {
+            assert!(p.append() >= 1 && p.append() <= 20, "{p}");
+        }
+        // All three flavors show up over 32 draws.
+        assert!(a.iter().any(|p| matches!(p, CrashPoint::AfterAppend(_))));
+        assert!(a.iter().any(|p| matches!(p, CrashPoint::TornAppend { .. })));
+        assert!(a
+            .iter()
+            .any(|p| matches!(p, CrashPoint::MidSnapshot { .. })));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
-pub use fault::{seeded_windows, FaultEvent, FaultPlan, FaultWindow};
+pub use fault::{seeded_windows, CrashPoint, FaultEvent, FaultPlan, FaultWindow};
 pub use histogram::Histogram;
 pub use rng::{derive_seed, SimRng};
 pub use stats::{percentile, OnlineStats, Summary};

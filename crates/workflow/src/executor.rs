@@ -206,6 +206,11 @@ pub struct WorkflowExecutor<'p> {
     cleanup_in_flight: usize,
     staging_runs: HashMap<usize, StagingRun>,
     cleanup_advice: HashMap<usize, Vec<pwm_core::CleanupAdvice>>,
+    /// Completion reports the transport failed to deliver, queued for
+    /// resend at the next policy interaction (resync on reconnect).
+    pending_transfer_reports: Vec<TransferOutcome>,
+    /// Cleanup reports queued the same way.
+    pending_cleanup_reports: Vec<CleanupOutcome>,
     /// flow tag → (job, advice index)
     flow_owner: HashMap<u64, (usize, usize)>,
     next_tag: u64,
@@ -274,6 +279,8 @@ impl<'p> WorkflowExecutor<'p> {
             cleanup_in_flight: 0,
             staging_runs: HashMap::new(),
             cleanup_advice: HashMap::new(),
+            pending_transfer_reports: Vec::new(),
+            pending_cleanup_reports: Vec::new(),
             flow_owner: HashMap::new(),
             next_tag: 0,
             job_spans: vec![None; n],
@@ -591,6 +598,7 @@ impl<'p> WorkflowExecutor<'p> {
                 self.close_rpc_span(job, "advice_rpc");
                 let run = self.staging_runs.get_mut(&job).expect("staging run state");
                 let specs = run.specs.clone();
+                self.flush_pending_reports();
                 match self.transport.evaluate_transfers(specs) {
                     Ok(advice) => {
                         let run = self.staging_runs.get_mut(&job).expect("staging run state");
@@ -646,6 +654,7 @@ impl<'p> WorkflowExecutor<'p> {
                 let spec_ix = run.by_urls[&key];
                 let spec = run.specs[spec_ix].clone();
                 self.note_policy_call();
+                self.flush_pending_reports();
                 match self.transport.evaluate_transfers(vec![spec]) {
                     Ok(mut advice) if !advice.is_empty() => {
                         let fresh = advice.remove(0);
@@ -679,6 +688,7 @@ impl<'p> WorkflowExecutor<'p> {
                     .into_iter()
                     .map(|(file, _bytes)| CleanupSpec { file, workflow })
                     .collect();
+                self.flush_pending_reports();
                 let advice = match self.transport.evaluate_cleanups(specs.clone()) {
                     Ok(advice) => advice,
                     Err(_) => {
@@ -740,7 +750,7 @@ impl<'p> WorkflowExecutor<'p> {
                     .collect();
                 if !outcomes.is_empty() {
                     self.note_policy_call();
-                    let _ = self.transport.report_cleanups(outcomes);
+                    self.report_cleanups_or_queue(outcomes);
                 }
                 self.events.schedule_at(
                     self.now + self.config.policy_call_latency,
@@ -760,6 +770,45 @@ impl<'p> WorkflowExecutor<'p> {
                 }
                 self.finish_job(job);
             }
+        }
+    }
+
+    /// Resend queued completion reports before the next policy
+    /// interaction. Without this, outcomes from an outage window are lost
+    /// forever: a service that recovers (or a warm successor) would never
+    /// learn which files finished staging and would re-advise them. The
+    /// resync is synchronous and adds no simulated latency, so runs stay
+    /// deterministic for a given seed.
+    fn flush_pending_reports(&mut self) {
+        if !self.pending_transfer_reports.is_empty() {
+            let queued = std::mem::take(&mut self.pending_transfer_reports);
+            if self.transport.report_transfers(queued.clone()).is_err() {
+                self.pending_transfer_reports = queued;
+            }
+        }
+        if !self.pending_cleanup_reports.is_empty() {
+            let queued = std::mem::take(&mut self.pending_cleanup_reports);
+            if self.transport.report_cleanups(queued.clone()).is_err() {
+                self.pending_cleanup_reports = queued;
+            }
+        }
+    }
+
+    /// Report transfer outcomes, queueing them for resync if the policy
+    /// service is unreachable.
+    fn report_transfers_or_queue(&mut self, outcomes: Vec<TransferOutcome>) {
+        self.flush_pending_reports();
+        if self.transport.report_transfers(outcomes.clone()).is_err() {
+            self.pending_transfer_reports.extend(outcomes);
+        }
+    }
+
+    /// Report cleanup outcomes, queueing them for resync if the policy
+    /// service is unreachable.
+    fn report_cleanups_or_queue(&mut self, outcomes: Vec<CleanupOutcome>) {
+        self.flush_pending_reports();
+        if self.transport.report_cleanups(outcomes.clone()).is_err() {
+            self.pending_cleanup_reports.extend(outcomes);
         }
     }
 
@@ -786,7 +835,7 @@ impl<'p> WorkflowExecutor<'p> {
                     SimDuration::ZERO
                 } else {
                     self.note_policy_call();
-                    let _ = self.transport.report_transfers(outcomes);
+                    self.report_transfers_or_queue(outcomes);
                     self.config.policy_call_latency
                 };
                 self.events
@@ -888,7 +937,7 @@ impl<'p> WorkflowExecutor<'p> {
                     ),
                 );
                 self.note_policy_call();
-                let _ = self.transport.report_transfers(vec![TransferOutcome {
+                self.report_transfers_or_queue(vec![TransferOutcome {
                     id: advice_id,
                     success: false,
                 }]);
@@ -1282,6 +1331,64 @@ mod tests {
         );
         // The cleanup fail-safe drained scratch even with the service down.
         assert_eq!(stats.final_scratch_bytes, 0.0, "scratch drained fail-safe");
+    }
+
+    #[test]
+    fn failed_completion_reports_are_resynced_on_reconnect() {
+        // The transport drops the first few completion reports (a policy
+        // outage window), then recovers. The executor must queue and
+        // resend them so the service's memory converges anyway.
+        struct FlakyReports {
+            inner: InProcessTransport,
+            failures_left: usize,
+        }
+        impl PolicyTransport for FlakyReports {
+            fn evaluate_transfers(
+                &mut self,
+                b: Vec<TransferSpec>,
+            ) -> Result<Vec<TransferAdvice>, pwm_core::TransportError> {
+                self.inner.evaluate_transfers(b)
+            }
+            fn report_transfers(
+                &mut self,
+                o: Vec<TransferOutcome>,
+            ) -> Result<(), pwm_core::TransportError> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    return Err(pwm_core::TransportError::Io("outage".into()));
+                }
+                self.inner.report_transfers(o)
+            }
+            fn evaluate_cleanups(
+                &mut self,
+                b: Vec<CleanupSpec>,
+            ) -> Result<Vec<pwm_core::CleanupAdvice>, pwm_core::TransportError> {
+                self.inner.evaluate_cleanups(b)
+            }
+            fn report_cleanups(
+                &mut self,
+                o: Vec<CleanupOutcome>,
+            ) -> Result<(), pwm_core::TransportError> {
+                self.inner.report_cleanups(o)
+            }
+        }
+        let (network, site, mut rc, gridftp) = testbed();
+        register_inputs(&mut rc, 4, gridftp);
+        let wf = wide_workflow(4, 1_000_000);
+        let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+        let controller = PolicyController::new(PolicyConfig::default());
+        let transport = Box::new(FlakyReports {
+            inner: InProcessTransport::new(controller.clone(), DEFAULT_SESSION),
+            failures_left: 2,
+        });
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, ExecutorConfig::default());
+        let (stats, _net) = exec.run();
+        assert!(stats.success);
+        let snap = controller.snapshot(DEFAULT_SESSION).unwrap();
+        assert_eq!(
+            snap.in_progress_transfers, 0,
+            "resynced reports must close every transfer the outage orphaned"
+        );
     }
 
     #[test]

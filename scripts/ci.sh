@@ -31,6 +31,15 @@ test -s "$TRACE_OUT" || { echo "trace export is empty" >&2; exit 1; }
 ./target/release/repro validate-trace "$TRACE_OUT"
 ./target/release/repro scrape-metrics > /dev/null
 
+# Crash-recovery job: the durability acceptance suite in release mode
+# (seeded WAL crash points, warm-failover invariants, recovery
+# determinism), then the cold-vs-warm recovery scenario through the repro
+# binary — it exits nonzero if any recovery invariant is violated.
+echo "== cargo test --release (crash recovery) =="
+cargo test -q --release --offline --test crash_recovery
+echo "== repro crash =="
+./target/release/repro crash 7 > /dev/null
+
 # Netbench job: the 1k-flow allocator-throughput smoke in release mode.
 # The run itself takes ~1 s; the generous bound catches order-of-magnitude
 # regressions (e.g. the incremental engine silently falling back to full
