@@ -25,6 +25,7 @@ pub mod crash;
 pub mod experiment;
 pub mod figures;
 pub mod netbench;
+pub mod svcbench;
 pub mod table4;
 
 pub use chaos::{chaos_ablation, render_ablation, run_chaos, ChaosConfig, ChaosReport, ChaosRow};

@@ -12,6 +12,7 @@ use crate::config::AllocationPolicy;
 use crate::ctx::PolicyCtx;
 use crate::ledger::balanced_grant;
 use crate::model::{ClusterAllocFact, ClusterId, HostPairFact, TransferFact};
+use crate::rules_base::batch_transfers;
 use pwm_rules::{Rule, Session};
 
 /// Install the balanced allocation rules.
@@ -29,8 +30,8 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
                 }
                 let mut out = Vec::new();
                 let mut pending: Vec<(crate::model::GroupId, ClusterId)> = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
                         continue;
                     }
                     let (Some(group), cluster) = (t.group, t.cluster_or_default()) else {
@@ -82,12 +83,8 @@ pub fn install_balanced_rules(session: &mut Session<PolicyCtx>) {
                     return Vec::new();
                 }
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch
-                        || t.suppressed.is_some()
-                        || t.charged_streams > 0
-                        || t.streams.is_none()
-                    {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() || t.charged_streams > 0 || t.streams.is_none() {
                         continue;
                     }
                     let Some(group) = t.group else { continue };

@@ -11,7 +11,8 @@ use crate::config::PolicyConfig;
 use crate::durable::DurabilityConfig;
 use crate::model::{CleanupSpec, TransferSpec};
 use crate::service::{MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
-use parking_lot::Mutex;
+use crate::shard::ShardedPolicyService;
+use parking_lot::{Mutex, RwLock};
 use pwm_obs::Obs;
 use std::collections::BTreeMap;
 use std::io;
@@ -37,10 +38,25 @@ impl std::fmt::Display for ControllerError {
 }
 impl std::error::Error for ControllerError {}
 
+/// One live session behind the controller: either a single policy engine
+/// behind its own lock, or a sharded engine with per-shard locks. Cloning
+/// clones the `Arc`, so the session map's lock is never held while a
+/// request runs — sessions contend only on their own locks.
+#[derive(Clone)]
+enum SessionEntry {
+    Single(Arc<Mutex<PolicyService>>),
+    Sharded(Arc<ShardedPolicyService>),
+}
+
 /// Thread-safe front door to one or more policy sessions.
+///
+/// Lock domains are per session (and, for sharded sessions, per shard):
+/// the controller-level map lock is a read-mostly `RwLock` held only long
+/// enough to clone a session handle, so traffic on one session never
+/// blocks another.
 #[derive(Clone)]
 pub struct PolicyController {
-    inner: Arc<Mutex<BTreeMap<String, PolicyService>>>,
+    inner: Arc<RwLock<BTreeMap<String, SessionEntry>>>,
     /// Shared metrics registry for all sessions. Each session gets its own
     /// tracer (via [`Obs::with_fresh_tracer`]) so trace dumps are
     /// per-session while `/metrics` exposition is controller-wide.
@@ -51,11 +67,15 @@ impl PolicyController {
     /// A controller with a single `default` session using `config`.
     pub fn new(config: PolicyConfig) -> Self {
         let controller = PolicyController {
-            inner: Arc::new(Mutex::new(BTreeMap::new())),
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
             obs: Obs::new(),
         };
         controller.create_session(DEFAULT_SESSION, config);
         controller
+    }
+
+    fn insert(&self, name: String, entry: SessionEntry) {
+        self.inner.write().insert(name, entry);
     }
 
     /// Create (or replace) a named session. The session shares the
@@ -65,7 +85,55 @@ impl PolicyController {
         let name = name.into();
         let mut service = PolicyService::new(config);
         service.set_obs(self.obs.with_fresh_tracer(), &name);
-        self.inner.lock().insert(name, service);
+        self.insert(name, SessionEntry::Single(Arc::new(Mutex::new(service))));
+    }
+
+    /// Create (or replace) a sharded session: policy memory is split over
+    /// `shards` independent engines by `(source, dest)` host pair (see
+    /// [`ShardedPolicyService`]). Metrics carry `session=<name>` plus a
+    /// per-shard `shard="N"` label.
+    pub fn create_sharded_session(
+        &self,
+        name: impl Into<String>,
+        config: PolicyConfig,
+        shards: u16,
+    ) {
+        let name = name.into();
+        let service = ShardedPolicyService::new(config, shards);
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.insert(name, SessionEntry::Sharded(Arc::new(service)));
+    }
+
+    /// Create (or replace) a sharded session whose shards each write-ahead
+    /// log and snapshot under `dcfg.dir/shard-N`.
+    pub fn create_sharded_durable_session(
+        &self,
+        name: impl Into<String>,
+        config: PolicyConfig,
+        shards: u16,
+        dcfg: DurabilityConfig,
+    ) -> io::Result<()> {
+        let name = name.into();
+        let service = ShardedPolicyService::new(config, shards);
+        service.enable_durability(&dcfg)?;
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.insert(name, SessionEntry::Sharded(Arc::new(service)));
+        Ok(())
+    }
+
+    /// Recover a sharded session from per-shard durability directories
+    /// under `dir` (the warm-failover path; logging is not resumed).
+    pub fn recover_sharded_session(
+        &self,
+        name: impl Into<String>,
+        shards: u16,
+        dir: &Path,
+    ) -> io::Result<()> {
+        let name = name.into();
+        let service = ShardedPolicyService::recover_from(dir, shards)?;
+        service.set_obs(self.obs.with_fresh_tracer(), &name);
+        self.insert(name, SessionEntry::Sharded(Arc::new(service)));
+        Ok(())
     }
 
     /// Create (or replace) a durable session: like
@@ -82,7 +150,7 @@ impl PolicyController {
         let mut service = PolicyService::new(config);
         service.enable_durability(dcfg)?;
         service.set_obs(self.obs.with_fresh_tracer(), &name);
-        self.inner.lock().insert(name, service);
+        self.insert(name, SessionEntry::Single(Arc::new(Mutex::new(service))));
         Ok(())
     }
 
@@ -95,7 +163,7 @@ impl PolicyController {
         let name = name.into();
         let mut service = PolicyService::recover_from(dir)?;
         service.set_obs(self.obs.with_fresh_tracer(), &name);
-        self.inner.lock().insert(name, service);
+        self.insert(name, SessionEntry::Single(Arc::new(Mutex::new(service))));
         Ok(())
     }
 
@@ -111,7 +179,7 @@ impl PolicyController {
         let mut service = PolicyService::recover_from(&dcfg.dir)?;
         service.enable_durability(dcfg)?;
         service.set_obs(self.obs.with_fresh_tracer(), &name);
-        self.inner.lock().insert(name, service);
+        self.insert(name, SessionEntry::Single(Arc::new(Mutex::new(service))));
         Ok(())
     }
 
@@ -126,19 +194,25 @@ impl PolicyController {
         self.obs.registry.render_prometheus()
     }
 
-    /// Chrome-trace JSON for one session's tracer.
+    /// Chrome-trace JSON for one session's tracer (shard 0's tracer for a
+    /// sharded session).
     pub fn trace_chrome_json(&self, session: &str) -> Result<String, ControllerError> {
-        self.with_session(session, |s| {
-            s.trace_chrome_json()
-                .unwrap_or_else(|| pwm_obs::Tracer::default().chrome_trace_json())
-        })
+        let fallback = || pwm_obs::Tracer::default().chrome_trace_json();
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().trace_chrome_json().unwrap_or_else(fallback)),
+            SessionEntry::Sharded(s) => Ok(s.trace_chrome_json().unwrap_or_else(fallback)),
+        }
     }
 
     /// Redirect a session's observability onto an external handle — shared
     /// registry *and* tracer. Traced bench runs use this to merge policy
     /// spans into the same export as the executor's and network's spans.
     pub fn attach_obs(&self, session: &str, obs: Obs) -> Result<(), ControllerError> {
-        self.with_session(session, |s| s.set_obs(obs, session))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => s.lock().set_obs(obs, session),
+            SessionEntry::Sharded(s) => s.set_obs(obs, session),
+        }
+        Ok(())
     }
 
     /// Attach a shared sim clock to a session so its evaluations emit
@@ -148,29 +222,40 @@ impl PolicyController {
         session: &str,
         clock: crate::chaos::SharedSimClock,
     ) -> Result<(), ControllerError> {
-        self.with_session(session, |s| s.set_sim_clock(clock))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => s.lock().set_sim_clock(clock),
+            SessionEntry::Sharded(s) => s.set_sim_clock(clock),
+        }
+        Ok(())
     }
 
     /// Delete a named session; returns whether it existed.
     pub fn drop_session(&self, name: &str) -> bool {
-        self.inner.lock().remove(name).is_some()
+        self.inner.write().remove(name).is_some()
     }
 
     /// Names of all live sessions.
     pub fn session_names(&self) -> Vec<String> {
-        self.inner.lock().keys().cloned().collect()
+        self.inner.read().keys().cloned().collect()
     }
 
-    fn with_session<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&mut PolicyService) -> R,
-    ) -> Result<R, ControllerError> {
-        let mut sessions = self.inner.lock();
-        match sessions.get_mut(name) {
-            Some(s) => Ok(f(s)),
-            None => Err(ControllerError::NoSuchSession(name.to_string())),
+    /// Shard count of a session (1 for unsharded sessions).
+    pub fn session_shards(&self, session: &str) -> Result<u16, ControllerError> {
+        match self.entry(session)? {
+            SessionEntry::Single(_) => Ok(1),
+            SessionEntry::Sharded(s) => Ok(s.shard_count()),
         }
+    }
+
+    /// Clone a session handle out of the map. The map's read lock is
+    /// released before the caller touches the session, so requests only
+    /// contend on their own session's (or shard's) lock.
+    fn entry(&self, name: &str) -> Result<SessionEntry, ControllerError> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ControllerError::NoSuchSession(name.to_string()))
     }
 
     /// Delegate a transfer-request list to a session.
@@ -179,7 +264,26 @@ impl PolicyController {
         session: &str,
         batch: Vec<TransferSpec>,
     ) -> Result<Vec<TransferAdvice>, ControllerError> {
-        self.with_session(session, |s| s.evaluate_transfers(batch))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().evaluate_transfers(batch)),
+            SessionEntry::Sharded(s) => Ok(s.evaluate_transfers(batch)),
+        }
+    }
+
+    /// Delegate several pipelined request groups to a session in one
+    /// batched rules pass per lock domain (see
+    /// [`PolicyService::evaluate_transfer_groups`] and
+    /// [`ShardedPolicyService::evaluate_transfer_groups`]). The result
+    /// aligns 1:1 with `groups`.
+    pub fn evaluate_transfer_groups(
+        &self,
+        session: &str,
+        groups: Vec<Vec<TransferSpec>>,
+    ) -> Result<Vec<Vec<TransferAdvice>>, ControllerError> {
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().evaluate_transfer_groups(groups)),
+            SessionEntry::Sharded(s) => Ok(s.evaluate_transfer_groups(groups)),
+        }
     }
 
     /// Delegate transfer outcomes to a session.
@@ -188,7 +292,11 @@ impl PolicyController {
         session: &str,
         outcomes: Vec<TransferOutcome>,
     ) -> Result<(), ControllerError> {
-        self.with_session(session, |s| s.report_transfers(outcomes))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => s.lock().report_transfers(outcomes),
+            SessionEntry::Sharded(s) => s.report_transfers(outcomes),
+        }
+        Ok(())
     }
 
     /// Delegate a cleanup-request list to a session.
@@ -197,7 +305,10 @@ impl PolicyController {
         session: &str,
         batch: Vec<CleanupSpec>,
     ) -> Result<Vec<CleanupAdvice>, ControllerError> {
-        self.with_session(session, |s| s.evaluate_cleanups(batch))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().evaluate_cleanups(batch)),
+            SessionEntry::Sharded(s) => Ok(s.evaluate_cleanups(batch)),
+        }
     }
 
     /// Delegate cleanup outcomes to a session.
@@ -206,36 +317,58 @@ impl PolicyController {
         session: &str,
         outcomes: Vec<CleanupOutcome>,
     ) -> Result<(), ControllerError> {
-        self.with_session(session, |s| s.report_cleanups(outcomes))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => s.lock().report_cleanups(outcomes),
+            SessionEntry::Sharded(s) => s.report_cleanups(outcomes),
+        }
+        Ok(())
     }
 
-    /// Snapshot a session's policy memory.
+    /// Snapshot a session's policy memory (merged across shards).
     pub fn snapshot(&self, session: &str) -> Result<MemorySnapshot, ControllerError> {
-        self.with_session(session, |s| s.snapshot())
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().snapshot()),
+            SessionEntry::Sharded(s) => Ok(s.snapshot()),
+        }
     }
 
-    /// A session's monitoring counters.
+    /// A session's monitoring counters (summed across shards).
     pub fn stats(&self, session: &str) -> Result<ServiceStats, ControllerError> {
-        self.with_session(session, |s| s.stats())
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().stats()),
+            SessionEntry::Sharded(s) => Ok(s.stats()),
+        }
     }
 
-    /// A session's per-rule engine counters.
+    /// A session's per-rule engine counters (summed across shards).
     pub fn rule_stats(&self, session: &str) -> Result<Vec<RuleCounters>, ControllerError> {
-        self.with_session(session, |s| s.rule_stats())
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().rule_stats()),
+            SessionEntry::Sharded(s) => Ok(s.rule_stats()),
+        }
     }
 
-    /// A session's audit records with sequence ≥ `since`.
+    /// A session's audit records with sequence ≥ `since` (concatenated
+    /// shard by shard for sharded sessions — each shard numbers its own
+    /// ring).
     pub fn audit_since(
         &self,
         session: &str,
         since: u64,
     ) -> Result<Vec<crate::audit::AuditRecord>, ControllerError> {
-        self.with_session(session, |s| s.audit_since(since))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => Ok(s.lock().audit_since(since)),
+            SessionEntry::Sharded(s) => Ok(s.audit_since(since)),
+        }
     }
 
-    /// Reconfigure a session in place.
+    /// Reconfigure a session in place (all shards for sharded sessions).
     pub fn set_config(&self, session: &str, config: PolicyConfig) -> Result<(), ControllerError> {
-        self.with_session(session, |s| s.set_config(config))
+        match self.entry(session)? {
+            SessionEntry::Single(s) => s.lock().set_config(config),
+            SessionEntry::Sharded(s) => s.set_config(config),
+        }
+        Ok(())
     }
 }
 

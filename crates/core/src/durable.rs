@@ -126,6 +126,11 @@ pub fn decode_frames(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
 pub enum WalCommand {
     /// A transfer-request batch was evaluated.
     EvaluateTransfers(Vec<TransferSpec>),
+    /// Several pipelined transfer-request groups were evaluated in one
+    /// rules pass (the event loop's batched advice path). Logged as a
+    /// single command so replay reproduces the same single `fire_all`
+    /// and therefore identical engine statistics.
+    EvaluateTransferGroups(Vec<Vec<TransferSpec>>),
     /// Transfer outcomes were reported.
     ReportTransfers(Vec<TransferOutcome>),
     /// A cleanup-request batch was evaluated.

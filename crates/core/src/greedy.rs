@@ -10,7 +10,7 @@
 use crate::ctx::PolicyCtx;
 use crate::ledger::greedy_grant;
 use crate::model::{HostPairFact, TransferFact};
-use crate::rules_base::host_pair_for;
+use crate::rules_base::{batch_transfers, host_pair_for};
 use pwm_rules::{Rule, Session};
 
 /// Install the greedy allocation rules (salience 50, i.e. after all Table I
@@ -30,12 +30,8 @@ pub fn install_greedy_rules(session: &mut Session<PolicyCtx>) {
                     return Vec::new();
                 }
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch
-                        || t.suppressed.is_some()
-                        || t.charged_streams > 0
-                        || t.streams.is_none()
-                    {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() || t.charged_streams > 0 || t.streams.is_none() {
                         continue;
                     }
                     if let Some((ph, _)) = host_pair_for(wm, &t.spec.source.host, &t.spec.dest.host)

@@ -56,6 +56,7 @@ pub mod model;
 pub mod priority;
 pub mod rules_base;
 pub mod service;
+pub mod shard;
 pub mod transport;
 
 pub use adaptive::{ThresholdTuner, TransferObservation};
@@ -78,5 +79,8 @@ pub use model::{
     WorkflowId,
 };
 pub use priority::{assign_priorities, PriorityAlgorithm, WorkflowGraph};
-pub use service::{HostPairSnapshot, MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
+pub use service::{
+    HostPairSnapshot, MemorySnapshot, PolicyService, RuleCounters, ServiceStats, SHARD_ID_BITS,
+};
+pub use shard::{fnv1a64, HashRing, ShardedPolicyService, RING_VNODES};
 pub use transport::{InProcessTransport, NoPolicyTransport, PolicyTransport, TransportError};

@@ -21,6 +21,37 @@ pub(crate) fn resource_for<'a>(
     wm.find_by::<ResourceFact, Url>(dest)
 }
 
+/// FNV-1a key of a transfer's (source, destination) URL pair. Transfer
+/// facts are indexed by this so the dedup rules probe a tiny hash bucket
+/// instead of scanning every resident transfer; bucket hits re-verify the
+/// actual URLs, so a collision costs a compare, never a wrong match.
+pub(crate) fn transfer_pair_key(source: &Url, dest: &Url) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        }
+        hash ^= 0x1f;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    };
+    for url in [source, dest] {
+        eat(url.scheme.as_bytes());
+        eat(url.host.as_bytes());
+        eat(url.path.as_bytes());
+    }
+    hash
+}
+
+/// Iterate only the transfers of the batch currently under evaluation —
+/// the indexed equivalent of `iter::<TransferFact>()` + an
+/// `in_current_batch` filter, O(batch) instead of O(resident transfers).
+pub(crate) fn batch_transfers<'a>(
+    wm: &'a WorkingMemory,
+) -> impl Iterator<Item = (FactHandle, &'a TransferFact)> + 'a {
+    wm.iter_by::<TransferFact, bool>(&true)
+}
+
 /// Indexed probe: the allocation ledger for a (source, destination) host
 /// pair, if any. Pairs are unique ("generate a unique group ID" guards).
 pub(crate) fn host_pair_for<'a>(
@@ -44,6 +75,16 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
         .register_index::<HostPairFact, (String, String)>(|p| {
             (p.src_host.clone(), p.dst_host.clone())
         });
+    // Dedup support: transfers bucketed by (source, dest) pair hash so the
+    // duplicate / already-in-progress rules compare against the handful of
+    // transfers sharing a pair instead of the whole population, and by the
+    // current-batch flag so every batch-scoped rule walks O(batch) facts.
+    session
+        .wm
+        .register_index::<TransferFact, u64>(|t| transfer_pair_key(&t.spec.source, &t.spec.dest));
+    session
+        .wm
+        .register_index::<TransferFact, bool>(|t| t.in_current_batch);
     // "Remove duplicate transfers from the transfer list": a batch transfer
     // whose (source, dest) already appears earlier in the same batch is
     // suppressed.
@@ -53,11 +94,12 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .watches::<TransferFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
                         continue;
                     }
-                    let earlier_dup = wm.iter::<TransferFact>().any(|(uh, u)| {
+                    let key = transfer_pair_key(&t.spec.source, &t.spec.dest);
+                    let earlier_dup = wm.iter_by::<TransferFact, u64>(&key).any(|(uh, u)| {
                         uh < h
                             && u.in_current_batch
                             && u.suppressed.is_none()
@@ -87,11 +129,12 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .watches::<TransferFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
                         continue;
                     }
-                    let in_progress = wm.iter::<TransferFact>().any(|(uh, u)| {
+                    let key = transfer_pair_key(&t.spec.source, &t.spec.dest);
+                    let in_progress = wm.iter_by::<TransferFact, u64>(&key).any(|(uh, u)| {
                         uh != h
                             && !u.in_current_batch
                             && u.state == TransferState::InProgress
@@ -123,8 +166,8 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
                         continue;
                     }
                     let staged = resource_for(wm, &t.spec.dest)
@@ -153,8 +196,8 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
                         continue;
                     }
                     let exists = resource_for(wm, &t.spec.dest).is_some();
@@ -196,10 +239,7 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .watches::<ResourceFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch {
-                        continue;
-                    }
+                for (h, t) in batch_transfers(wm) {
                     if let Some((rh, r)) = resource_for(wm, &t.spec.dest) {
                         if !r.users.contains(&t.spec.workflow) {
                             out.push(vec![h, rh]);
@@ -229,8 +269,8 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
                 let mut seen: Vec<(String, String)> = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
                         continue;
                     }
                     let key = (t.spec.source.host.clone(), t.spec.dest.host.clone());
@@ -271,8 +311,8 @@ pub fn install_base_rules(session: &mut Session<PolicyCtx>) {
             .watches::<HostPairFact>()
             .when(|wm, _: &PolicyCtx| {
                 let mut out = Vec::new();
-                for (h, t) in wm.iter::<TransferFact>() {
-                    if !t.in_current_batch || t.group.is_some() || t.suppressed.is_some() {
+                for (h, t) in batch_transfers(wm) {
+                    if t.group.is_some() || t.suppressed.is_some() {
                         continue;
                     }
                     if let Some((ph, _)) = host_pair_for(wm, &t.spec.source.host, &t.spec.dest.host)

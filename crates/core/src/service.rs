@@ -19,17 +19,18 @@ use crate::durable::{
     read_recovery, Durability, DurabilityConfig, DurableFact, DurableState, WalCommand, WalRecord,
 };
 use crate::greedy::install_greedy_rules;
+use crate::model::SuppressReason;
 use crate::model::{
     CleanupFact, CleanupId, CleanupSpec, CleanupState, ClusterAllocFact, HostPairFact,
     ResourceFact, ResourceState, TransferFact, TransferId, TransferSpec, TransferState,
 };
-use crate::rules_base::install_base_rules;
+use crate::rules_base::{install_base_rules, resource_for, transfer_pair_key};
 use pwm_obs::{Counter, Gauge, Histogram, Obs};
 use pwm_rules::Session;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Counters the service keeps for monitoring and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,8 +122,9 @@ pub struct HostPairSnapshot {
 /// as monotone counters.
 struct ServiceObs {
     obs: Obs,
-    /// Base label set identifying this service (`session="..."`).
-    session: String,
+    /// Base label set identifying this service: `session="..."` plus, for
+    /// a shard of a sharded session, `shard="N"`.
+    labels: Vec<(String, String)>,
     /// Optional sim clock: when present, evaluations also emit trace
     /// instants stamped with simulated time (deterministic across runs).
     clock: Option<SharedSimClock>,
@@ -133,26 +135,32 @@ struct ServiceObs {
 }
 
 impl ServiceObs {
+    /// The base labels as the borrowed slice shape the registry expects.
+    fn label_refs(&self) -> Vec<(&str, &str)> {
+        self.labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+
     /// Advice latency histogram for one request kind (wall-clock, metrics
     /// only — never written into traces, which must stay deterministic).
     fn advice_latency(&self, kind: &'static str) -> Histogram {
+        let mut labels = self.label_refs();
+        labels.push(("kind", kind));
         self.obs.registry.histogram(
             "pwm_policy_advice_latency_micros",
             "Wall-clock latency of one policy evaluation (rule firing pass), microseconds",
-            &[("session", &self.session), ("kind", kind)],
+            &labels,
         )
     }
 
     fn counter(&self, name: &str, help: &str) -> Counter {
-        self.obs
-            .registry
-            .counter(name, help, &[("session", &self.session)])
+        self.obs.registry.counter(name, help, &self.label_refs())
     }
 
     fn gauge(&self, name: &str, help: &str) -> Gauge {
-        self.obs
-            .registry
-            .gauge(name, help, &[("session", &self.session)])
+        self.obs.registry.gauge(name, help, &self.label_refs())
     }
 
     /// Publish the delta between `stats` and the last published snapshot
@@ -234,7 +242,33 @@ pub struct PolicyService {
     audit: AuditLog,
     obs: Option<ServiceObs>,
     durability: Option<Durability>,
+    /// When the occupancy gauges were last swept (throttling clock; not
+    /// part of durable state — it only paces metric publication).
+    last_gauge_sweep: Option<Instant>,
+    /// Whether the already-staged-duplicate short circuit is taken (see
+    /// [`PolicyService::try_fast_staged_duplicate`]). Always on in
+    /// production; tests flip it off to prove the short circuit and the
+    /// full rules pass agree.
+    fast_path: bool,
 }
+
+/// Shard ids are packed into the top bits of transfer/cleanup/group ids so
+/// each shard of a sharded session mints from a disjoint namespace and
+/// outcome reports can be routed back by id alone. Shard 0's base is 0, so
+/// a single-shard service is bit-identical to an unsharded one.
+pub const SHARD_ID_BITS: u32 = 48;
+
+/// Resident-fact count up to which occupancy gauges are refreshed on every
+/// evaluation pass, so unit tests and small sessions always scrape fresh
+/// values (above it the sweep is time-throttled — see
+/// [`GAUGE_SWEEP_INTERVAL`]).
+const GAUGE_SWEEP_RESIDENT_CAP: usize = 512;
+
+/// Once policy memory outgrows [`GAUGE_SWEEP_RESIDENT_CAP`], the O(memory)
+/// gauge sweep runs at most once per this interval. Gauges feed scrapes,
+/// which arrive on a seconds cadence — refreshing them per evaluation
+/// would put an O(resident facts) sweep on every advice request.
+const GAUGE_SWEEP_INTERVAL: Duration = Duration::from_millis(100);
 
 impl PolicyService {
     /// Build a service enforcing `config`. All rule sets are installed; the
@@ -255,7 +289,41 @@ impl PolicyService {
             audit,
             obs: None,
             durability: None,
+            last_gauge_sweep: None,
+            fast_path: true,
         }
+    }
+
+    /// Build one shard of a sharded session: like [`PolicyService::new`],
+    /// but transfer/cleanup/group ids are minted from the shard's disjoint
+    /// namespace (`shard << `[`SHARD_ID_BITS`]). Shard 0 behaves exactly
+    /// like an unsharded service.
+    pub fn with_shard(config: PolicyConfig, shard: u16) -> Self {
+        let mut svc = PolicyService::new(config);
+        let base = u64::from(shard) << SHARD_ID_BITS;
+        svc.next_transfer = base;
+        svc.next_cleanup = base;
+        svc.ctx = PolicyCtx::restore(svc.ctx.config.clone(), base);
+        svc
+    }
+
+    /// Which shard minted a transfer id (outcome-report routing).
+    pub fn shard_of_transfer(id: TransferId) -> u16 {
+        (id.0 >> SHARD_ID_BITS) as u16
+    }
+
+    /// Which shard minted a cleanup id (outcome-report routing).
+    pub fn shard_of_cleanup(id: CleanupId) -> u16 {
+        (id.0 >> SHARD_ID_BITS) as u16
+    }
+
+    /// True when policy memory holds a staging/staged resource for `file`
+    /// (used to route cleanup requests to the shard that owns the file).
+    pub fn has_resource(&self, file: &crate::model::Url) -> bool {
+        self.session
+            .wm
+            .find::<ResourceFact>(|r| r.dest == *file)
+            .is_some()
     }
 
     /// Attach observability: service counters, gauges, and advice-latency
@@ -264,11 +332,30 @@ impl PolicyService {
     /// [`PolicyService::set_sim_clock`]. Per-rule engine counters are
     /// published to the same registry.
     pub fn set_obs(&mut self, obs: Obs, session: &str) {
-        self.session
-            .set_obs(obs.registry.clone(), &[("session", session)]);
+        self.set_obs_labeled(obs, vec![("session".to_string(), session.to_string())]);
+    }
+
+    /// Like [`PolicyService::set_obs`], but for one shard of a sharded
+    /// session: every metric additionally carries `shard="N"`.
+    pub fn set_obs_sharded(&mut self, obs: Obs, session: &str, shard: u16) {
+        self.set_obs_labeled(
+            obs,
+            vec![
+                ("session".to_string(), session.to_string()),
+                ("shard".to_string(), shard.to_string()),
+            ],
+        );
+    }
+
+    fn set_obs_labeled(&mut self, obs: Obs, labels: Vec<(String, String)>) {
+        let refs: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        self.session.set_obs(obs.registry.clone(), &refs);
         self.obs = Some(ServiceObs {
             obs,
-            session: session.to_string(),
+            labels,
             clock: None,
             last: self.stats,
             last_audit_dropped: self.audit.dropped(),
@@ -353,6 +440,9 @@ impl PolicyService {
         match cmd {
             WalCommand::EvaluateTransfers(batch) => {
                 self.evaluate_transfers(batch);
+            }
+            WalCommand::EvaluateTransferGroups(groups) => {
+                self.evaluate_transfer_groups(groups);
             }
             WalCommand::ReportTransfers(outcomes) => self.report_transfers(outcomes),
             WalCommand::EvaluateCleanups(batch) => {
@@ -461,9 +551,25 @@ impl PolicyService {
     /// latency histogram, stats counter deltas, occupancy gauges, and (with
     /// a sim clock) a trace instant.
     fn note_evaluation(&mut self, kind: &'static str, micros: u64, batch: usize, firings: usize) {
+        if self.obs.is_none() {
+            return;
+        }
         let stats = self.stats;
         let audit_dropped = self.audit.dropped();
-        let snapshot_counts = {
+        // Occupancy gauges require a sweep over every resident fact (plus a
+        // label-set lookup per host pair), which is O(memory) work per
+        // evaluation — the dominant cost once policy memory holds tens of
+        // thousands of facts. Publish them on every pass while memory is
+        // small (so tests and small sessions observe fresh gauges), then
+        // decimate. Counters and latency histograms stay per-pass.
+        let publish_gauges = self.session.wm.len() <= GAUGE_SWEEP_RESIDENT_CAP
+            || self
+                .last_gauge_sweep
+                .is_none_or(|t| t.elapsed() >= GAUGE_SWEEP_INTERVAL);
+        if publish_gauges {
+            self.last_gauge_sweep = Some(Instant::now());
+        }
+        let snapshot_counts = publish_gauges.then(|| {
             let wm = &self.session.wm;
             [
                 wm.iter::<TransferFact>()
@@ -479,20 +585,23 @@ impl PolicyService {
                     .filter(|(_, c)| c.state == CleanupState::InProgress)
                     .count(),
             ]
+        });
+        let pair_allocations: Vec<(String, String, u32, u32)> = if publish_gauges {
+            self.session
+                .wm
+                .iter::<HostPairFact>()
+                .map(|(_, p)| {
+                    (
+                        p.src_host.clone(),
+                        p.dst_host.clone(),
+                        p.allocated,
+                        p.peak_allocated,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
         };
-        let pair_allocations: Vec<(String, String, u32, u32)> = self
-            .session
-            .wm
-            .iter::<HostPairFact>()
-            .map(|(_, p)| {
-                (
-                    p.src_host.clone(),
-                    p.dst_host.clone(),
-                    p.allocated,
-                    p.peak_allocated,
-                )
-            })
-            .collect();
         let Some(o) = &mut self.obs else { return };
         o.advice_latency(kind).record(micros);
         o.publish_stats(stats);
@@ -505,36 +614,36 @@ impl PolicyService {
             .add(dropped_delta);
             o.last_audit_dropped = audit_dropped;
         }
-        for (name, help, value) in [
-            (
-                "pwm_policy_in_progress_transfers",
-                "Transfers handed out and not yet reported",
-                snapshot_counts[0],
-            ),
-            (
-                "pwm_policy_staged_files",
-                "Files known to be staged at their destination",
-                snapshot_counts[1],
-            ),
-            (
-                "pwm_policy_staging_files",
-                "Files currently being staged",
-                snapshot_counts[2],
-            ),
-            (
-                "pwm_policy_in_progress_cleanups",
-                "Cleanups handed out and not yet reported",
-                snapshot_counts[3],
-            ),
-        ] {
-            o.gauge(name, help).set(value as f64);
+        if let Some(counts) = snapshot_counts {
+            for (name, help, value) in [
+                (
+                    "pwm_policy_in_progress_transfers",
+                    "Transfers handed out and not yet reported",
+                    counts[0],
+                ),
+                (
+                    "pwm_policy_staged_files",
+                    "Files known to be staged at their destination",
+                    counts[1],
+                ),
+                (
+                    "pwm_policy_staging_files",
+                    "Files currently being staged",
+                    counts[2],
+                ),
+                (
+                    "pwm_policy_in_progress_cleanups",
+                    "Cleanups handed out and not yet reported",
+                    counts[3],
+                ),
+            ] {
+                o.gauge(name, help).set(value as f64);
+            }
         }
         for (src, dst, allocated, peak) in &pair_allocations {
-            let labels = [
-                ("session", o.session.as_str()),
-                ("src", src.as_str()),
-                ("dst", dst.as_str()),
-            ];
+            let mut labels = o.label_refs();
+            labels.push(("src", src.as_str()));
+            labels.push(("dst", dst.as_str()));
             o.obs
                 .registry
                 .gauge(
@@ -624,115 +733,240 @@ impl PolicyService {
         if self.durability.is_some() {
             self.log_command(WalCommand::EvaluateTransfers(batch.clone()));
         }
-        self.stats.transfer_requests += batch.len() as u64;
-        let mut handles = Vec::with_capacity(batch.len());
-        for spec in batch {
-            let id = TransferId(self.next_transfer);
-            self.next_transfer += 1;
-            let h = self.session.wm.insert(TransferFact {
-                id,
-                spec,
-                state: TransferState::Pending,
-                streams: None,
-                charged_streams: 0,
-                group: None,
-                in_current_batch: true,
-                suppressed: None,
-                cluster_released: false,
-            });
-            handles.push(h);
+        self.evaluate_groups_inner(vec![batch])
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Evaluate several pipelined request groups in **one** call.
+    ///
+    /// This is the event loop's batched advice path: a connection's
+    /// pipelined requests (or several connections' requests bound for the
+    /// same shard) are drained into a single service call instead of N
+    /// lock-and-log round trips. Each inner list is one client request and
+    /// gets its own independently ordered advice list back.
+    ///
+    /// Pipelining requires responses identical to sending the requests one
+    /// at a time, so the groups are evaluated as back-to-back rule passes —
+    /// a later group sees earlier groups' transfers as already in progress,
+    /// exactly as separate calls would. What the batch shares is the
+    /// per-call overhead: one WAL record, one lock hold, one metrics/audit
+    /// flush for the whole window.
+    pub fn evaluate_transfer_groups(
+        &mut self,
+        groups: Vec<Vec<TransferSpec>>,
+    ) -> Vec<Vec<TransferAdvice>> {
+        if self.durability.is_some() {
+            self.log_command(WalCommand::EvaluateTransferGroups(groups.clone()));
         }
+        self.evaluate_groups_inner(groups)
+    }
 
-        let batch_len = handles.len();
-        let eval_start = Instant::now();
-        let report = self.session.fire_all(&mut self.ctx);
-        let eval_micros = eval_start.elapsed().as_micros() as u64;
-        self.stats.rule_firings += report.firings as u64;
-        debug_assert!(!report.budget_exhausted, "policy rules did not converge");
+    /// Shared core of the single-batch and grouped evaluation paths: each
+    /// group is inserted, evaluated, and committed as its own rules pass
+    /// (so pipelined groups observe exactly the sequential semantics),
+    /// while the call-level bookkeeping — WAL record, latency histogram,
+    /// refraction GC, snapshot check — happens once for the whole window.
+    fn evaluate_groups_inner(
+        &mut self,
+        groups: Vec<Vec<TransferSpec>>,
+    ) -> Vec<Vec<TransferAdvice>> {
+        let total: usize = groups.iter().map(Vec::len).sum();
+        self.stats.transfer_requests += total as u64;
 
-        // Snapshot the batch facts for advice building.
         struct Row {
             handle: pwm_rules::FactHandle,
             advice: TransferAdvice,
             priority: i32,
         }
-        let mut rows: Vec<Row> = Vec::with_capacity(handles.len());
-        for h in &handles {
-            let t = self
-                .session
-                .wm
-                .get::<TransferFact>(*h)
-                .expect("batch fact vanished during evaluation");
-            let action = match t.suppressed {
-                Some(reason) => TransferAction::Skip(reason),
-                None => TransferAction::Execute,
-            };
-            rows.push(Row {
-                handle: *h,
-                advice: TransferAdvice {
-                    id: t.id,
-                    source: t.spec.source.clone(),
-                    dest: t.spec.dest.clone(),
-                    action,
-                    streams: t.streams.unwrap_or(1).max(1),
-                    group: t.group.unwrap_or_default(),
-                    order: 0,
-                },
-                priority: t.spec.priority.unwrap_or(0),
-            });
-        }
-
-        // Ordering policy: executing transfers first (sorted), skips after.
         let by_priority = self.ctx.config.ordering == OrderingPolicy::ByPriority;
-        rows.sort_by(|a, b| {
-            let exec_a = a.advice.should_execute();
-            let exec_b = b.advice.should_execute();
-            exec_b
-                .cmp(&exec_a)
-                .then_with(|| {
-                    if by_priority {
-                        b.priority.cmp(&a.priority)
-                    } else {
-                        std::cmp::Ordering::Equal
-                    }
-                })
-                .then_with(|| {
-                    (&a.advice.source, &a.advice.dest).cmp(&(&b.advice.source, &b.advice.dest))
-                })
-                .then_with(|| a.advice.id.cmp(&b.advice.id))
-        });
-
-        // Commit states: executing facts leave the batch as InProgress;
-        // suppressed facts are removed (their bookkeeping side effects —
-        // resource refcounts — already happened).
-        let mut out = Vec::with_capacity(rows.len());
-        for (i, mut row) in rows.into_iter().enumerate() {
-            row.advice.order = i as u32;
-            let skipped = match row.advice.action {
-                TransferAction::Execute => None,
-                TransferAction::Skip(reason) => Some(reason),
-            };
-            self.audit.record(PolicyEvent::TransferEvaluated {
-                id: row.advice.id,
-                streams: row.advice.streams,
-                skipped,
-            });
-            if row.advice.should_execute() {
-                self.stats.transfers_executed += 1;
-                self.session.wm.update::<TransferFact>(row.handle, |t| {
-                    t.state = TransferState::InProgress;
-                    t.in_current_batch = false;
-                });
-            } else {
-                self.stats.transfers_suppressed += 1;
-                self.session.wm.retract(row.handle);
+        let eval_start = Instant::now();
+        let mut total_firings = 0usize;
+        let mut out_groups = Vec::with_capacity(groups.len());
+        for batch in groups {
+            // Steady-state short circuit: a single already-staged duplicate
+            // — the dominant request once a workload's files are staged —
+            // has a rules outcome that is fully determined by indexed
+            // probes, so it skips the insert/fire/retract cycle entirely.
+            if self.fast_path && batch.len() == 1 {
+                if let Some(advice) = self.try_fast_staged_duplicate(&batch[0]) {
+                    out_groups.push(vec![advice]);
+                    continue;
+                }
             }
-            out.push(row.advice);
+            let mut handles = Vec::with_capacity(batch.len());
+            for spec in batch {
+                let id = TransferId(self.next_transfer);
+                self.next_transfer += 1;
+                let h = self.session.wm.insert(TransferFact {
+                    id,
+                    spec,
+                    state: TransferState::Pending,
+                    streams: None,
+                    charged_streams: 0,
+                    group: None,
+                    in_current_batch: true,
+                    suppressed: None,
+                    cluster_released: false,
+                });
+                handles.push(h);
+            }
+
+            let report = self.session.fire_all(&mut self.ctx);
+            total_firings += report.firings;
+            debug_assert!(!report.budget_exhausted, "policy rules did not converge");
+
+            // Snapshot the group's facts for advice building.
+            let mut rows: Vec<Row> = Vec::with_capacity(handles.len());
+            for h in &handles {
+                let t = self
+                    .session
+                    .wm
+                    .get::<TransferFact>(*h)
+                    .expect("batch fact vanished during evaluation");
+                let action = match t.suppressed {
+                    Some(reason) => TransferAction::Skip(reason),
+                    None => TransferAction::Execute,
+                };
+                rows.push(Row {
+                    handle: *h,
+                    advice: TransferAdvice {
+                        id: t.id,
+                        source: t.spec.source.clone(),
+                        dest: t.spec.dest.clone(),
+                        action,
+                        streams: t.streams.unwrap_or(1).max(1),
+                        group: t.group.unwrap_or_default(),
+                        order: 0,
+                    },
+                    priority: t.spec.priority.unwrap_or(0),
+                });
+            }
+
+            // Ordering policy: executing transfers first (sorted), skips
+            // after — applied within each group independently.
+            rows.sort_by(|a, b| {
+                let exec_a = a.advice.should_execute();
+                let exec_b = b.advice.should_execute();
+                exec_b
+                    .cmp(&exec_a)
+                    .then_with(|| {
+                        if by_priority {
+                            b.priority.cmp(&a.priority)
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                    .then_with(|| {
+                        (&a.advice.source, &a.advice.dest).cmp(&(&b.advice.source, &b.advice.dest))
+                    })
+                    .then_with(|| a.advice.id.cmp(&b.advice.id))
+            });
+
+            // Commit states: executing facts leave the batch as InProgress;
+            // suppressed facts are removed (their bookkeeping side effects —
+            // resource refcounts — already happened).
+            let mut out = Vec::with_capacity(rows.len());
+            for (i, mut row) in rows.into_iter().enumerate() {
+                row.advice.order = i as u32;
+                let skipped = match row.advice.action {
+                    TransferAction::Execute => None,
+                    TransferAction::Skip(reason) => Some(reason),
+                };
+                self.audit.record(PolicyEvent::TransferEvaluated {
+                    id: row.advice.id,
+                    streams: row.advice.streams,
+                    skipped,
+                });
+                if row.advice.should_execute() {
+                    self.stats.transfers_executed += 1;
+                    self.session.wm.update::<TransferFact>(row.handle, |t| {
+                        t.state = TransferState::InProgress;
+                        t.in_current_batch = false;
+                    });
+                } else {
+                    self.stats.transfers_suppressed += 1;
+                    self.session.wm.retract(row.handle);
+                }
+                out.push(row.advice);
+            }
+            out_groups.push(out);
         }
+        let eval_micros = eval_start.elapsed().as_micros() as u64;
+        self.stats.rule_firings += total_firings as u64;
         self.session.maybe_gc_refraction();
-        self.note_evaluation("evaluate_transfers", eval_micros, batch_len, report.firings);
+        self.note_evaluation("evaluate_transfers", eval_micros, total, total_firings);
         self.maybe_snapshot();
-        out
+        out_groups
+    }
+
+    /// The steady-state short circuit: answer a single-transfer request
+    /// whose file is already staged **for this workflow** without a rules
+    /// pass.
+    ///
+    /// Once a workload's files are staged, the overwhelming share of
+    /// requests are duplicates that Table I's "already staged" rule
+    /// suppresses while mutating nothing — the insert/fire/retract cycle
+    /// exists only to discover that. When every condition below holds, the
+    /// rules outcome is fully determined and byte-identical advice can be
+    /// built from three indexed probes; any doubt falls through to the
+    /// authoritative rules pass:
+    ///
+    /// - dedup is enabled (otherwise no suppression happens at all);
+    /// - no resident in-progress transfer has the same (source, dest) —
+    ///   the higher-salience "already in progress" rule would win and mark
+    ///   `AlreadyInProgress` instead;
+    /// - the destination's resource is `Staged` (a `Staging` resource
+    ///   again means the in-progress rule territory, or a half-made state
+    ///   the rules must arbitrate);
+    /// - the requesting workflow is already a user of the resource — else
+    ///   the "associate" rule would mutate the resource's user set.
+    ///
+    /// The replicated effects match the full pass exactly: a fresh id is
+    /// minted, streams are the requested-or-default value floored to one
+    /// (Table I's default + at-least-one rules fire even for suppressed
+    /// transfers), no group is assigned, and the same audit record and
+    /// suppression counter are written. Rule firing counters stay at zero
+    /// — honestly, since no rule ran.
+    fn try_fast_staged_duplicate(&mut self, spec: &TransferSpec) -> Option<TransferAdvice> {
+        if !self.ctx.config.dedup {
+            return None;
+        }
+        let wm = &self.session.wm;
+        let key = transfer_pair_key(&spec.source, &spec.dest);
+        let busy = wm.iter_by::<TransferFact, u64>(&key).any(|(_, u)| {
+            u.state == TransferState::InProgress
+                && u.spec.source == spec.source
+                && u.spec.dest == spec.dest
+        });
+        if busy {
+            return None;
+        }
+        let (_, r) = resource_for(wm, &spec.dest)?;
+        if r.state != ResourceState::Staged || !r.users.contains(&spec.workflow) {
+            return None;
+        }
+        let id = TransferId(self.next_transfer);
+        self.next_transfer += 1;
+        let streams = spec
+            .requested_streams
+            .unwrap_or(self.ctx.config.default_streams)
+            .max(1);
+        self.stats.transfers_suppressed += 1;
+        self.audit.record(PolicyEvent::TransferEvaluated {
+            id,
+            streams,
+            skipped: Some(SuppressReason::AlreadyStaged),
+        });
+        Some(TransferAdvice {
+            id,
+            source: spec.source.clone(),
+            dest: spec.dest.clone(),
+            action: TransferAction::Skip(SuppressReason::AlreadyStaged),
+            streams,
+            group: Default::default(),
+            order: 0,
+        })
     }
 
     /// Report transfer outcomes. Completed transfers release their streams
@@ -1296,5 +1530,62 @@ mod tests {
         let mut streams: Vec<u32> = advice.iter().map(|a| a.streams).collect();
         streams.sort_unstable();
         assert_eq!(streams, vec![4, 8, 8], "20-share: 8+8+4");
+    }
+
+    /// Drive the same request history through a service with the
+    /// already-staged short circuit on and one with it forced off; every
+    /// advice row, the audit trail, and the memory snapshot must agree —
+    /// the fast path is an optimization, never a behavior change.
+    #[test]
+    fn fast_staged_duplicate_path_matches_full_rules_pass() {
+        let mut fast = greedy_service(4, 50);
+        let mut slow = greedy_service(4, 50);
+        slow.fast_path = false;
+
+        let mut histories: Vec<Vec<Vec<TransferSpec>>> = Vec::new();
+        // Stage two files, complete them, then hammer duplicates: the
+        // same workflow (pure fast path), another workflow (associate
+        // rule must run -> slow), requested_streams edge cases, and an
+        // in-progress duplicate (in-progress rule must win -> slow).
+        histories.push(vec![vec![spec_n(1, 1)], vec![spec_n(2, 1)]]);
+        let mut zero = spec_n(1, 1);
+        zero.requested_streams = Some(0);
+        let mut six = spec_n(2, 1);
+        six.requested_streams = Some(6);
+        histories.push(vec![
+            vec![spec_n(1, 1)],
+            vec![spec_n(1, 2)],
+            vec![zero],
+            vec![six],
+            vec![spec_n(3, 1)], // still staging: not eligible
+            vec![spec_n(3, 2)], // duplicate of an in-progress transfer
+        ]);
+
+        for (round, groups) in histories.into_iter().enumerate() {
+            let a = fast.evaluate_transfer_groups(groups.clone());
+            let b = slow.evaluate_transfer_groups(groups);
+            assert_eq!(a, b, "advice must match in round {round}");
+            if round == 0 {
+                // Complete the staged files on both services identically.
+                for adv in a.iter().flatten().filter(|a| a.should_execute()) {
+                    let outcome = vec![TransferOutcome {
+                        id: adv.id,
+                        success: true,
+                    }];
+                    fast.report_transfers(outcome.clone());
+                    slow.report_transfers(outcome);
+                }
+            }
+        }
+        assert_eq!(fast.snapshot(), slow.snapshot());
+        assert_eq!(fast.audit_tail(100), slow.audit_tail(100));
+        assert_eq!(
+            fast.stats().transfers_suppressed,
+            slow.stats().transfers_suppressed
+        );
+        assert_eq!(
+            fast.stats().transfer_requests,
+            slow.stats().transfer_requests
+        );
     }
 }

@@ -1,0 +1,626 @@
+//! Sharded policy memory: a consistent-hash ring over `(source, dest)`
+//! host pairs, with one [`PolicyService`] per shard.
+//!
+//! The paper's centralized Policy Service is the broker every staging
+//! decision flows through, which makes its single lock domain the
+//! scalability ceiling of the whole system. Every base rule, ledger, and
+//! dedup structure is keyed by destination URL or by `(source host,
+//! destination host)` pair, so transfers on different host pairs never
+//! read each other's facts — they can live in disjoint rule sessions.
+//! [`ShardedPolicyService`] exploits exactly that: requests are routed by
+//! host pair over a [`HashRing`], each shard owns its facts, rules agenda,
+//! audit ring, and (optionally) its own WAL directory, and independent
+//! transfers never contend on one lock.
+//!
+//! Identifier namespacing: shard `s` mints transfer/cleanup/group ids from
+//! base `s << `[`SHARD_ID_BITS`], so ids stay globally unique and outcome
+//! reports route back by id alone. Shard 0's base is 0 — a one-shard
+//! sharded service assigns exactly the ids an unsharded service would.
+
+use crate::advice::{CleanupAdvice, CleanupOutcome, TransferAdvice, TransferOutcome};
+use crate::config::{OrderingPolicy, PolicyConfig};
+use crate::durable::DurabilityConfig;
+use crate::model::{CleanupSpec, TransferSpec, Url};
+use crate::service::{HostPairSnapshot, MemorySnapshot, PolicyService, RuleCounters, ServiceStats};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Virtual nodes per shard on the ring. More vnodes smooth the key
+/// distribution; the count is fixed so assignments are stable across
+/// processes and releases.
+pub const RING_VNODES: u32 = 64;
+
+/// FNV-1a 64-bit hash — deterministic, dependency-free, and stable across
+/// platforms (never use `std`'s `DefaultHasher` for placement: its seed
+/// changes per process).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A consistent-hash ring mapping string keys to shard indices.
+///
+/// Each shard contributes [`RING_VNODES`] points whose positions depend
+/// only on the shard's own index — so growing the ring from `n` to `n+1`
+/// shards moves only the keys captured by the new shard's points (~K/(n+1)
+/// of them), and removing a shard moves only that shard's keys.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, shard)` pairs.
+    points: Vec<(u64, u16)>,
+    shards: u16,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards` is 0.
+    pub fn new(shards: u16) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards as usize * RING_VNODES as usize);
+        for s in 0..shards {
+            for v in 0..RING_VNODES {
+                let point = fnv1a64(format!("shard-{s}/vnode-{v}").as_bytes());
+                points.push((point, s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or after the key's
+    /// hash, wrapping at the top.
+    pub fn shard_for_key(&self, key: &str) -> u16 {
+        let h = fnv1a64(key.as_bytes());
+        let ix = self.points.partition_point(|(p, _)| *p < h);
+        self.points[ix % self.points.len()].1
+    }
+
+    /// The shard owning a `(source host, destination host)` pair.
+    pub fn shard_for_pair(&self, src_host: &str, dst_host: &str) -> u16 {
+        self.shard_for_key(&format!("{src_host}\u{1f}{dst_host}"))
+    }
+}
+
+/// A policy session sharded by host pair: N independent [`PolicyService`]s
+/// behind per-shard locks, with request routing, advice merging, and
+/// monitoring aggregation on top.
+pub struct ShardedPolicyService {
+    ring: HashRing,
+    shards: Vec<Mutex<PolicyService>>,
+}
+
+impl ShardedPolicyService {
+    /// Build `shards` policy engines, each enforcing `config` and minting
+    /// ids from its own namespace.
+    pub fn new(config: PolicyConfig, shards: u16) -> Self {
+        let ring = HashRing::new(shards);
+        let shards = (0..shards)
+            .map(|s| Mutex::new(PolicyService::with_shard(config.clone(), s)))
+            .collect();
+        ShardedPolicyService { ring, shards }
+    }
+
+    /// Rebuild every shard from its durability directory under `base`
+    /// (see [`ShardedPolicyService::shard_dir`]). Durability is *not*
+    /// re-enabled on the recovered shards.
+    pub fn recover_from(base: &Path, shards: u16) -> io::Result<Self> {
+        assert!(shards > 0, "a sharded service needs at least one shard");
+        let ring = HashRing::new(shards);
+        let mut recovered = Vec::with_capacity(shards as usize);
+        for s in 0..shards {
+            recovered.push(Mutex::new(PolicyService::recover_from(&Self::shard_dir(
+                base, s,
+            ))?));
+        }
+        Ok(ShardedPolicyService {
+            ring,
+            shards: recovered,
+        })
+    }
+
+    /// The durability directory of shard `s` under `base`.
+    pub fn shard_dir(base: &Path, s: u16) -> PathBuf {
+        base.join(format!("shard-{s}"))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u16 {
+        self.ring.shards
+    }
+
+    /// The routing ring (exposed for tests and monitoring).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Run `f` against one shard's engine (test and admin access).
+    pub fn with_shard<R>(&self, s: u16, f: impl FnOnce(&mut PolicyService) -> R) -> R {
+        f(&mut self.shards[s as usize].lock())
+    }
+
+    /// Enable per-shard durability: shard `s` logs and snapshots under
+    /// `cfg.dir/shard-s`, inheriting `cfg`'s compaction period and crash
+    /// injection.
+    pub fn enable_durability(&self, cfg: &DurabilityConfig) -> io::Result<()> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut scfg = cfg.clone();
+            scfg.dir = Self::shard_dir(&cfg.dir, s as u16);
+            shard.lock().enable_durability(scfg)?;
+        }
+        Ok(())
+    }
+
+    /// True when any shard's injected crash point has fired.
+    pub fn durability_crashed(&self) -> bool {
+        self.shards.iter().any(|s| s.lock().durability_crashed())
+    }
+
+    /// Attach observability: shard `s`'s metrics carry
+    /// `session=<session>, shard="s"`; all shards share `obs`'s registry
+    /// and tracer.
+    pub fn set_obs(&self, obs: pwm_obs::Obs, session: &str) {
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.lock().set_obs_sharded(obs.clone(), session, s as u16);
+        }
+    }
+
+    /// Attach a shared sim clock to every shard.
+    pub fn set_sim_clock(&self, clock: crate::chaos::SharedSimClock) {
+        for shard in &self.shards {
+            shard.lock().set_sim_clock(clock.clone());
+        }
+    }
+
+    /// Which shard owns a transfer spec (by its host pair).
+    pub fn shard_for_transfer(&self, spec: &TransferSpec) -> u16 {
+        self.ring.shard_for_pair(&spec.source.host, &spec.dest.host)
+    }
+
+    /// Which shard owns a cleanup for `file`: the shard whose policy
+    /// memory holds the staged resource, if any — otherwise (unknown file:
+    /// the cleanup will execute unsuppressed wherever it lands) a
+    /// deterministic ring fallback on the file's host.
+    pub fn shard_for_cleanup(&self, file: &Url) -> u16 {
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.lock().has_resource(file) {
+                return s as u16;
+            }
+        }
+        self.ring.shard_for_key(&file.host)
+    }
+
+    /// Evaluate one request list: route by host pair, run each involved
+    /// shard's rules once, and merge the per-shard advice into one list
+    /// (see [`merge_advice`]).
+    pub fn evaluate_transfers(&self, batch: Vec<TransferSpec>) -> Vec<TransferAdvice> {
+        self.evaluate_transfer_groups(vec![batch])
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Batched advice: evaluate several pipelined request groups with at
+    /// most **one rules pass per involved shard** (each shard sees its
+    /// slice of every group as one
+    /// [`PolicyService::evaluate_transfer_groups`] call). Group boundaries
+    /// are preserved: the result aligns 1:1 with `groups`.
+    pub fn evaluate_transfer_groups(
+        &self,
+        groups: Vec<Vec<TransferSpec>>,
+    ) -> Vec<Vec<TransferAdvice>> {
+        let by_priority = self.shards[0].lock().config().ordering == OrderingPolicy::ByPriority;
+        // Priorities for the cross-shard merge comparator (advice does not
+        // carry the spec's priority).
+        let mut priorities: BTreeMap<(Url, Url), i32> = BTreeMap::new();
+        if by_priority {
+            for g in &groups {
+                for spec in g {
+                    priorities.insert(
+                        (spec.source.clone(), spec.dest.clone()),
+                        spec.priority.unwrap_or(0),
+                    );
+                }
+            }
+        }
+
+        // Partition every group across shards, preserving in-group order.
+        // sub_groups[s] holds (group index, specs) pairs for shard s.
+        let n = self.shards.len();
+        let mut sub_groups: Vec<Vec<(usize, Vec<TransferSpec>)>> = vec![Vec::new(); n];
+        for (gi, group) in groups.into_iter().enumerate() {
+            let mut per_shard: Vec<Vec<TransferSpec>> = vec![Vec::new(); n];
+            for spec in group {
+                per_shard[self.shard_for_transfer(&spec) as usize].push(spec);
+            }
+            for (s, specs) in per_shard.into_iter().enumerate() {
+                if !specs.is_empty() {
+                    sub_groups[s].push((gi, specs));
+                }
+            }
+        }
+        let group_count = sub_groups
+            .iter()
+            .flat_map(|g| g.iter().map(|(gi, _)| gi + 1))
+            .max()
+            .unwrap_or(0);
+
+        // One batched pass per involved shard, then stitch each group's
+        // per-shard slices back together.
+        let mut merged: Vec<Vec<Vec<TransferAdvice>>> = vec![Vec::new(); group_count];
+        for (s, subs) in sub_groups.into_iter().enumerate() {
+            if subs.is_empty() {
+                continue;
+            }
+            let (indices, specs): (Vec<usize>, Vec<Vec<TransferSpec>>) = subs.into_iter().unzip();
+            let advice = self.shards[s].lock().evaluate_transfer_groups(specs);
+            for (gi, slice) in indices.into_iter().zip(advice) {
+                merged[gi].push(slice);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|slices| merge_advice(slices, by_priority, &priorities))
+            .collect()
+    }
+
+    /// Report transfer outcomes, routed back to the minting shard by the
+    /// id's namespace bits. Ids outside every shard's namespace are
+    /// dropped, matching the single service's treatment of unknown ids.
+    pub fn report_transfers(&self, outcomes: Vec<TransferOutcome>) {
+        let mut per_shard: Vec<Vec<TransferOutcome>> = vec![Vec::new(); self.shards.len()];
+        for o in outcomes {
+            let s = PolicyService::shard_of_transfer(o.id) as usize;
+            if let Some(bucket) = per_shard.get_mut(s) {
+                bucket.push(o);
+            }
+        }
+        for (s, bucket) in per_shard.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.shards[s].lock().report_transfers(bucket);
+            }
+        }
+    }
+
+    /// Evaluate cleanups: each request is routed to the shard owning the
+    /// file's resource; results come back in request order.
+    pub fn evaluate_cleanups(&self, batch: Vec<CleanupSpec>) -> Vec<CleanupAdvice> {
+        let mut per_shard: Vec<Vec<CleanupSpec>> = vec![Vec::new(); self.shards.len()];
+        // remember (shard, position) per original index
+        let mut route = Vec::with_capacity(batch.len());
+        for spec in batch {
+            let s = self.shard_for_cleanup(&spec.file) as usize;
+            route.push((s, per_shard[s].len()));
+            per_shard[s].push(spec);
+        }
+        let mut results: Vec<Vec<CleanupAdvice>> = Vec::with_capacity(per_shard.len());
+        for (s, bucket) in per_shard.into_iter().enumerate() {
+            results.push(if bucket.is_empty() {
+                Vec::new()
+            } else {
+                self.shards[s].lock().evaluate_cleanups(bucket)
+            });
+        }
+        route
+            .into_iter()
+            .map(|(s, pos)| results[s][pos].clone())
+            .collect()
+    }
+
+    /// Report cleanup outcomes, routed by id namespace.
+    pub fn report_cleanups(&self, outcomes: Vec<CleanupOutcome>) {
+        let mut per_shard: Vec<Vec<CleanupOutcome>> = vec![Vec::new(); self.shards.len()];
+        for o in outcomes {
+            let s = PolicyService::shard_of_cleanup(o.id) as usize;
+            if let Some(bucket) = per_shard.get_mut(s) {
+                bucket.push(o);
+            }
+        }
+        for (s, bucket) in per_shard.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.shards[s].lock().report_cleanups(bucket);
+            }
+        }
+    }
+
+    /// Monitoring counters summed across shards.
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.transfer_requests += s.transfer_requests;
+            total.transfers_executed += s.transfers_executed;
+            total.transfers_suppressed += s.transfers_suppressed;
+            total.transfers_completed += s.transfers_completed;
+            total.transfers_failed += s.transfers_failed;
+            total.cleanup_requests += s.cleanup_requests;
+            total.cleanups_executed += s.cleanups_executed;
+            total.cleanups_suppressed += s.cleanups_suppressed;
+            total.rule_firings += s.rule_firings;
+        }
+        total
+    }
+
+    /// Memory snapshot merged across shards: occupancy counts summed, host
+    /// pairs concatenated and sorted by `(src, dst)` for a deterministic
+    /// view.
+    pub fn snapshot(&self) -> MemorySnapshot {
+        let mut merged = MemorySnapshot {
+            in_progress_transfers: 0,
+            staged_files: 0,
+            staging_files: 0,
+            in_progress_cleanups: 0,
+            host_pairs: Vec::new(),
+        };
+        for shard in &self.shards {
+            let s = shard.lock().snapshot();
+            merged.in_progress_transfers += s.in_progress_transfers;
+            merged.staged_files += s.staged_files;
+            merged.staging_files += s.staging_files;
+            merged.in_progress_cleanups += s.in_progress_cleanups;
+            merged.host_pairs.extend(s.host_pairs);
+        }
+        merged
+            .host_pairs
+            .sort_by(|a, b| (&a.src_host, &a.dst_host).cmp(&(&b.src_host, &b.dst_host)));
+        merged
+    }
+
+    /// Per-rule counters summed across shards, in shard 0's installation
+    /// order.
+    pub fn rule_stats(&self) -> Vec<RuleCounters> {
+        let mut merged: Vec<RuleCounters> = self.shards[0].lock().rule_stats();
+        for shard in &self.shards[1..] {
+            for c in shard.lock().rule_stats() {
+                if let Some(m) = merged.iter_mut().find(|m| m.name == c.name) {
+                    m.evaluations += c.evaluations;
+                    m.matches += c.matches;
+                    m.firings += c.firings;
+                    m.eval_nanos += c.eval_nanos;
+                }
+            }
+        }
+        merged
+    }
+
+    /// Audit records with sequence ≥ `since`, concatenated shard by shard
+    /// (each shard numbers its own ring).
+    pub fn audit_since(&self, since: u64) -> Vec<crate::audit::AuditRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().audit_since(since));
+        }
+        out
+    }
+
+    /// Replace every shard's configuration.
+    pub fn set_config(&self, config: PolicyConfig) {
+        for shard in &self.shards {
+            shard.lock().set_config(config.clone());
+        }
+    }
+
+    /// Streams currently allocated between a host pair (routed).
+    pub fn allocated(&self, src_host: &str, dst_host: &str) -> u32 {
+        let s = self.ring.shard_for_pair(src_host, dst_host) as usize;
+        self.shards[s].lock().allocated(src_host, dst_host)
+    }
+
+    /// Peak streams allocated between a host pair (routed).
+    pub fn peak_allocated(&self, src_host: &str, dst_host: &str) -> u32 {
+        let s = self.ring.shard_for_pair(src_host, dst_host) as usize;
+        self.shards[s].lock().peak_allocated(src_host, dst_host)
+    }
+
+    /// Shard 0's Chrome-trace JSON (per-shard tracers stay separate; the
+    /// merged flame view comes from attaching one shared tracer via
+    /// [`ShardedPolicyService::set_obs`]).
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        self.shards[0].lock().trace_chrome_json()
+    }
+}
+
+/// Merge per-shard advice slices of one request group into a single list
+/// ordered like the single-domain service orders a batch: executing
+/// transfers first, then (under the priority policy) priority descending,
+/// then `(source, dest)`, then id. Each shard's slice is already
+/// internally ordered this way, so the merge re-sorts the concatenation
+/// and renumbers `order`.
+fn merge_advice(
+    slices: Vec<Vec<TransferAdvice>>,
+    by_priority: bool,
+    priorities: &BTreeMap<(Url, Url), i32>,
+) -> Vec<TransferAdvice> {
+    let mut all: Vec<TransferAdvice> = slices.into_iter().flatten().collect();
+    let prio = |a: &TransferAdvice| -> i32 {
+        *priorities
+            .get(&(a.source.clone(), a.dest.clone()))
+            .unwrap_or(&0)
+    };
+    all.sort_by(|a, b| {
+        b.should_execute()
+            .cmp(&a.should_execute())
+            .then_with(|| {
+                if by_priority {
+                    prio(b).cmp(&prio(a))
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .then_with(|| (&a.source, &a.dest).cmp(&(&b.source, &b.dest)))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    for (i, a) in all.iter_mut().enumerate() {
+        a.order = i as u32;
+    }
+    all
+}
+
+/// Sort host-pair snapshots the way [`ShardedPolicyService::snapshot`]
+/// does (helper for tests comparing sharded and single-domain views).
+pub fn sort_host_pairs(pairs: &mut [HostPairSnapshot]) {
+    pairs.sort_by(|a, b| (&a.src_host, &a.dst_host).cmp(&(&b.src_host, &b.dst_host)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkflowId;
+
+    fn spec(src: &str, dst: &str, n: u64, wf: u64) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", src, format!("/d/f{n}.dat")),
+            dest: Url::new("file", dst, format!("/s/f{n}.dat")),
+            bytes: 1_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(wf),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    #[test]
+    fn ring_assignment_is_stable_across_constructions() {
+        let a = HashRing::new(8);
+        let b = HashRing::new(8);
+        for i in 0..200 {
+            let key = format!("host-{i}");
+            assert_eq!(a.shard_for_key(&key), b.shard_for_key(&key));
+        }
+    }
+
+    #[test]
+    fn ring_uses_every_shard() {
+        let ring = HashRing::new(4);
+        let mut seen = [false; 4];
+        for i in 0..400 {
+            seen[ring.shard_for_pair(&format!("src{i}"), &format!("dst{i}")) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "400 keys must hit all 4 shards");
+    }
+
+    #[test]
+    fn one_shard_matches_unsharded_service_exactly() {
+        let config = PolicyConfig::default();
+        let sharded = ShardedPolicyService::new(config.clone(), 1);
+        let mut single = PolicyService::new(config);
+        let batch = vec![
+            spec("a", "x", 1, 1),
+            spec("b", "y", 2, 1),
+            spec("a", "x", 1, 2),
+        ];
+        assert_eq!(
+            sharded.evaluate_transfers(batch.clone()),
+            single.evaluate_transfers(batch),
+        );
+        assert_eq!(sharded.stats(), single.stats());
+        assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn ids_are_namespaced_per_shard_and_reports_route_back() {
+        let sharded = ShardedPolicyService::new(PolicyConfig::default(), 4);
+        let batch: Vec<TransferSpec> = (0..16)
+            .map(|i| spec(&format!("src{i}"), &format!("dst{i}"), i, 1))
+            .collect();
+        let advice = sharded.evaluate_transfers(batch);
+        assert_eq!(advice.len(), 16);
+        // Every id carries its shard in the top bits.
+        for a in &advice {
+            assert!(PolicyService::shard_of_transfer(a.id) < 4);
+        }
+        let outcomes: Vec<TransferOutcome> = advice
+            .iter()
+            .map(|a| TransferOutcome {
+                id: a.id,
+                success: true,
+            })
+            .collect();
+        sharded.report_transfers(outcomes);
+        let stats = sharded.stats();
+        assert_eq!(stats.transfers_completed, 16);
+        assert_eq!(sharded.snapshot().staged_files, 16);
+        assert_eq!(sharded.snapshot().in_progress_transfers, 0);
+    }
+
+    #[test]
+    fn dedup_works_within_a_shard_across_groups() {
+        let sharded = ShardedPolicyService::new(PolicyConfig::default(), 4);
+        // Same file twice in one batched call, in different groups: one
+        // executes, one is suppressed (both land on the same shard).
+        let out = sharded
+            .evaluate_transfer_groups(vec![vec![spec("a", "x", 1, 1)], vec![spec("a", "x", 1, 2)]]);
+        assert_eq!(out.len(), 2);
+        let executing: usize = out.iter().flatten().filter(|a| a.should_execute()).count();
+        assert_eq!(executing, 1);
+        assert_eq!(sharded.stats().transfers_suppressed, 1);
+    }
+
+    #[test]
+    fn cleanups_route_to_the_owning_shard() {
+        let sharded = ShardedPolicyService::new(PolicyConfig::default(), 4);
+        let advice = sharded.evaluate_transfers(vec![spec("a", "x", 1, 1)]);
+        sharded.report_transfers(vec![TransferOutcome {
+            id: advice[0].id,
+            success: true,
+        }]);
+        let cleanups = sharded.evaluate_cleanups(vec![CleanupSpec {
+            file: Url::new("file", "x", "/s/f1.dat"),
+            workflow: WorkflowId(1),
+        }]);
+        assert!(cleanups[0].should_execute());
+        sharded.report_cleanups(vec![CleanupOutcome {
+            id: cleanups[0].id,
+            success: true,
+        }]);
+        assert_eq!(sharded.snapshot().staged_files, 0);
+    }
+
+    #[test]
+    fn per_shard_durability_recovers_every_shard() {
+        let base = crate::durable::scratch_dir("sharded-wal");
+        let sharded = ShardedPolicyService::new(PolicyConfig::default(), 3);
+        sharded
+            .enable_durability(&DurabilityConfig::new(&base).with_snapshot_every(2))
+            .unwrap();
+        let batch: Vec<TransferSpec> = (0..12)
+            .map(|i| spec(&format!("s{i}"), &format!("d{i}"), i, 1))
+            .collect();
+        let advice = sharded.evaluate_transfers(batch);
+        sharded.report_transfers(
+            advice
+                .iter()
+                .take(6)
+                .map(|a| TransferOutcome {
+                    id: a.id,
+                    success: true,
+                })
+                .collect(),
+        );
+
+        let recovered = ShardedPolicyService::recover_from(&base, 3).unwrap();
+        assert_eq!(recovered.stats(), sharded.stats());
+        assert_eq!(recovered.snapshot(), sharded.snapshot());
+        for s in 0..3 {
+            let live = sharded.with_shard(s, |svc| {
+                let mut st = svc.durable_state();
+                st.applied_seq = 0;
+                st
+            });
+            let rec = recovered.with_shard(s, |svc| svc.durable_state());
+            assert_eq!(rec, live, "shard {s} must recover identically");
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -5,24 +5,115 @@
 //! the Policy Service, and deserializes the advice. It also implements
 //! [`PolicyTransport`], so the workflow substrate can swap between
 //! in-process and over-the-wire policy callouts without code changes.
+//!
+//! The client keeps one HTTP/1.1 connection alive across calls and
+//! reconnects transparently when the server has closed it (one retry).
+//! [`PolicyRestClient::evaluate_transfers_pipelined`] writes a whole window
+//! of requests before reading any response — the server batches such a
+//! window into a single rules pass, which is the mechanism svcbench
+//! measures.
 
-use crate::http::{read_response, write_request_in, Method, WireFormat};
+use crate::http::{render_request, try_parse_response, HttpError, Method, WireFormat};
 use crate::wire::*;
 use pwm_core::transport::{PolicyTransport, TransportError};
 use pwm_core::{
     CleanupAdvice, CleanupOutcome, CleanupSpec, PolicyConfig, TransferAdvice, TransferOutcome,
     TransferSpec,
 };
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// A blocking JSON-over-HTTP client for the policy API.
-#[derive(Debug, Clone)]
+/// A keep-alive connection with a buffered reader: pipelined responses may
+/// arrive packed into one segment, so leftovers after one parsed response
+/// must carry over to the next.
+struct ClientConn {
+    stream: TcpStream,
+    leftover: Vec<u8>,
+}
+
+impl ClientConn {
+    fn connect(addr: SocketAddr, timeout: Duration) -> Result<ClientConn, TransportError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| TransportError::Io(format!("connect {addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|_| stream.set_write_timeout(Some(timeout)))
+            .and_then(|_| stream.set_nodelay(true))
+            .map_err(|e| TransportError::Io(format!("socket setup: {e}")))?;
+        Ok(ClientConn {
+            stream,
+            leftover: Vec::new(),
+        })
+    }
+
+    fn send(&mut self, wire: &[u8]) -> Result<(), TransportError> {
+        self.stream
+            .write_all(wire)
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| TransportError::Io(format!("send: {e}")))
+    }
+
+    /// Read one response, preserving any bytes of the next pipelined
+    /// response that arrived in the same segment.
+    fn read_one(&mut self) -> Result<(u16, Vec<u8>), TransportError> {
+        loop {
+            match try_parse_response(&self.leftover) {
+                Ok(Some((status, body, consumed))) => {
+                    self.leftover.drain(..consumed);
+                    return Ok((status, body));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(TransportError::Io(format!("recv: {e}"))),
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| TransportError::Io(format!("recv: {}", HttpError::from(e))))?;
+            if n == 0 {
+                return Err(TransportError::Io("recv: connection closed".into()));
+            }
+            self.leftover.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// A blocking JSON-over-HTTP client for the policy API with a persistent
+/// keep-alive connection.
 pub struct PolicyRestClient {
     addr: SocketAddr,
     session: String,
     timeout: Duration,
     format: WireFormat,
+    conn: Mutex<Option<ClientConn>>,
+}
+
+impl std::fmt::Debug for PolicyRestClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyRestClient")
+            .field("addr", &self.addr)
+            .field("session", &self.session)
+            .field("timeout", &self.timeout)
+            .field("format", &self.format)
+            .finish()
+    }
+}
+
+impl Clone for PolicyRestClient {
+    /// Clones share configuration but not the connection — each clone
+    /// opens its own keep-alive socket on first use (connections are not
+    /// safely shareable across threads interleaving requests).
+    fn clone(&self) -> Self {
+        PolicyRestClient {
+            addr: self.addr,
+            session: self.session.clone(),
+            timeout: self.timeout,
+            format: self.format,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 impl PolicyRestClient {
@@ -33,6 +124,7 @@ impl PolicyRestClient {
             session: session.into(),
             timeout: Duration::from_secs(10),
             format: WireFormat::Json,
+            conn: Mutex::new(None),
         }
     }
 
@@ -49,7 +141,38 @@ impl PolicyRestClient {
         self
     }
 
-    /// Raw round-trip in a specific wire format.
+    /// Run `op` against the persistent connection. A reused connection may
+    /// be stale (the server timed it out between calls), so an I/O failure
+    /// on a reused connection is retried once on a fresh one.
+    fn with_conn<R>(
+        &self,
+        op: impl Fn(&mut ClientConn) -> Result<R, TransportError>,
+    ) -> Result<R, TransportError> {
+        let mut slot = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let reused = slot.is_some();
+        if slot.is_none() {
+            *slot = Some(ClientConn::connect(self.addr, self.timeout)?);
+        }
+        match op(slot.as_mut().expect("connection just ensured")) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                *slot = None;
+                if !reused {
+                    return Err(e);
+                }
+                // Stale keep-alive connection: reconnect and retry once.
+                let mut fresh = ClientConn::connect(self.addr, self.timeout)?;
+                let result = op(&mut fresh);
+                if result.is_ok() {
+                    *slot = Some(fresh);
+                }
+                result
+            }
+        }
+    }
+
+    /// Raw round-trip in a specific wire format over the persistent
+    /// connection.
     fn call_raw(
         &self,
         format: WireFormat,
@@ -57,16 +180,11 @@ impl PolicyRestClient {
         path: &str,
         body: &[u8],
     ) -> Result<Vec<u8>, TransportError> {
-        let mut stream = TcpStream::connect(self.addr)
-            .map_err(|e| TransportError::Io(format!("connect {}: {e}", self.addr)))?;
-        stream
-            .set_read_timeout(Some(self.timeout))
-            .and_then(|_| stream.set_write_timeout(Some(self.timeout)))
-            .map_err(|e| TransportError::Io(format!("timeout setup: {e}")))?;
-        write_request_in(&mut stream, format, method, path, body)
-            .map_err(|e| TransportError::Io(format!("send: {e}")))?;
-        let (status, response_body) =
-            read_response(&mut stream).map_err(|e| TransportError::Io(format!("recv: {e}")))?;
+        let wire = render_request(format, method, path, body, true);
+        let (status, response_body) = self.with_conn(|conn| {
+            conn.send(&wire)?;
+            conn.read_one()
+        })?;
         if status != 200 {
             let message = serde_json::from_slice::<ErrorEnvelope>(&response_body)
                 .map(|e| e.error)
@@ -74,6 +192,56 @@ impl PolicyRestClient {
             return Err(TransportError::Service(message));
         }
         Ok(response_body)
+    }
+
+    /// Evaluate several request groups in one pipelined window: all
+    /// requests are written back to back before any response is read, so
+    /// the event-driven server drains them into a single batched rules
+    /// pass. Returns one advice list per group, in order.
+    pub fn evaluate_transfers_pipelined(
+        &self,
+        groups: &[Vec<TransferSpec>],
+    ) -> Result<Vec<Vec<TransferAdvice>>, TransportError> {
+        if groups.is_empty() {
+            return Ok(Vec::new());
+        }
+        let path = format!("/sessions/{}/transfers", self.session);
+        let mut wire = Vec::new();
+        for group in groups {
+            let body = serde_json::to_vec(&TransferRequestEnvelope {
+                transfers: group.clone(),
+            })
+            .map_err(|e| TransportError::Io(format!("encode: {e}")))?;
+            wire.extend_from_slice(&render_request(
+                WireFormat::Json,
+                Method::Post,
+                &path,
+                &body,
+                true,
+            ));
+        }
+        let responses = self.with_conn(|conn| {
+            conn.send(&wire)?;
+            let mut responses = Vec::with_capacity(groups.len());
+            for _ in groups {
+                responses.push(conn.read_one()?);
+            }
+            Ok(responses)
+        })?;
+        responses
+            .into_iter()
+            .map(|(status, body)| {
+                if status != 200 {
+                    let message = serde_json::from_slice::<ErrorEnvelope>(&body)
+                        .map(|e| e.error)
+                        .unwrap_or_else(|_| String::from_utf8_lossy(&body).to_string());
+                    return Err(TransportError::Service(message));
+                }
+                serde_json::from_slice::<TransferResponseEnvelope>(&body)
+                    .map(|env| env.advice)
+                    .map_err(|e| TransportError::Io(format!("decode: {e}")))
+            })
+            .collect()
     }
 
     fn call<Req: serde::Serialize, Resp: serde::de::DeserializeOwned>(
@@ -400,6 +568,39 @@ mod tests {
             PolicyRestClient::new(server.addr(), "missing").with_format(WireFormat::Xml);
         let err = client.evaluate_transfers(vec![spec(1)]).unwrap_err();
         assert!(matches!(err, TransportError::Service(_)), "{err:?}");
+    }
+
+    #[test]
+    fn keep_alive_connection_is_reused_across_calls() {
+        let (_server, mut client) = start();
+        // Several sequential calls over one client: all ride the same
+        // keep-alive socket (reconnect-on-stale covers the rest).
+        for n in 0..5 {
+            client.evaluate_transfers(vec![spec(n)]).unwrap();
+        }
+        assert_eq!(client.status().unwrap().stats.transfer_requests, 5);
+    }
+
+    #[test]
+    fn pipelined_evaluate_returns_group_aligned_advice() {
+        let (_server, client) = start();
+        let groups: Vec<Vec<TransferSpec>> = (0..8).map(|n| vec![spec(n)]).collect();
+        let advice = client.evaluate_transfers_pipelined(&groups).unwrap();
+        assert_eq!(advice.len(), 8);
+        assert!(advice.iter().all(|g| g.len() == 1 && g[0].should_execute()));
+        // A second pipelined window: every transfer is now a duplicate.
+        let advice = client.evaluate_transfers_pipelined(&groups).unwrap();
+        assert!(advice.iter().all(|g| !g[0].should_execute()));
+        assert_eq!(client.status().unwrap().stats.transfer_requests, 16);
+    }
+
+    #[test]
+    fn pipelined_window_deduplicates_within_itself() {
+        let (_server, client) = start();
+        let groups = vec![vec![spec(1)], vec![spec(1)], vec![spec(1)]];
+        let advice = client.evaluate_transfers_pipelined(&groups).unwrap();
+        let executed = advice.iter().filter(|g| g[0].should_execute()).count();
+        assert_eq!(executed, 1, "same file three times in one window");
     }
 
     #[test]

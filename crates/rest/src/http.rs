@@ -1,8 +1,21 @@
 //! A minimal HTTP/1.1 implementation over `std::net`.
 //!
-//! Exactly what the loopback REST interface needs and nothing more: one
-//! request per connection, `Content-Length` bodies, no chunked encoding, no
-//! TLS. Stands in for the paper's Apache Tomcat container.
+//! Exactly what the loopback REST interface needs and nothing more:
+//! `Content-Length` bodies, keep-alive and pipelining (HTTP/1.1 defaults),
+//! no chunked encoding, no TLS. Stands in for the paper's Apache Tomcat
+//! container.
+//!
+//! Two API styles share one grammar:
+//!
+//! * **Blocking readers** ([`read_request`], [`read_response`]) pull from a
+//!   stream until one message is complete — the original one-message-per-
+//!   connection path.
+//! * **Pure incremental parsers** ([`try_parse_request`],
+//!   [`try_parse_response`]) inspect a byte buffer and either yield a
+//!   complete message plus its consumed length, report "incomplete", or
+//!   reject. The event-driven server and the pipelining client run these
+//!   over per-connection accumulation buffers, so several pipelined
+//!   messages parse out of one buffer back to back.
 
 use bytes::BytesMut;
 use std::io::{Read, Write};
@@ -85,6 +98,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Negotiated body encoding (from the Content-Type header).
     pub format: WireFormat,
+    /// Whether the client wants the connection kept open after the
+    /// response (HTTP/1.1 default unless `Connection: close`; HTTP/1.0
+    /// default unless `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 /// An HTTP response to serialize.
@@ -157,6 +174,7 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -214,8 +232,39 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
 /// [`HttpError::TooLarge`] *before* reading them (the declared
 /// Content-Length is checked first).
 pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
-    let (head, mut buffered_body) = read_head(stream)?;
-    let head_text = String::from_utf8(head)
+    let mut buf = BytesMut::with_capacity(4096);
+    loop {
+        if let Some((request, _consumed)) = try_parse_request(&buf, max_body)? {
+            return Ok(request);
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-request".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Try to parse one complete request off the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, `Ok(Some((request,
+/// consumed)))` when a full request (head + declared body) is present —
+/// `consumed` is how many bytes the caller must drop from the buffer — and
+/// an error for malformed or oversized input. A declared Content-Length
+/// over `max_body` is rejected as soon as the head is complete, before any
+/// body bytes are waited for.
+pub fn try_parse_request(
+    buf: &[u8],
+    max_body: usize,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_end) = find_separator(buf) else {
+        if buf.len() > MAX_REQUEST {
+            return Err(HttpError::TooLarge("headers too large".into()));
+        }
+        return Ok(None);
+    };
+    let head_text = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::Malformed("non-utf8 header block".into()))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines
@@ -230,6 +279,9 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> Result<R
         .next()
         .ok_or_else(|| HttpError::Malformed("missing path".into()))?
         .to_string();
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; the Connection
+    // header overrides either way.
+    let mut keep_alive = parts.next() != Some("HTTP/1.0");
 
     let mut content_length = 0usize;
     let mut format = WireFormat::Json;
@@ -242,6 +294,8 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> Result<R
                     .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
             } else if name.eq_ignore_ascii_case("content-type") {
                 format = WireFormat::from_content_type(value);
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.trim().eq_ignore_ascii_case("close");
             }
         }
     }
@@ -251,21 +305,69 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> Result<R
             max_body.min(MAX_REQUEST)
         )));
     }
-    while buffered_body.len() < content_length {
-        let mut chunk = [0u8; 8192];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(HttpError::Malformed("truncated body".into()));
-        }
-        buffered_body.extend_from_slice(&chunk[..n]);
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
     }
-    buffered_body.truncate(content_length);
-    Ok(Request {
-        method,
-        path,
-        body: buffered_body.to_vec(),
-        format,
-    })
+    Ok(Some((
+        Request {
+            method,
+            path,
+            body: buf[body_start..body_start + content_length].to_vec(),
+            format,
+            keep_alive,
+        },
+        body_start + content_length,
+    )))
+}
+
+/// Try to parse one complete response off the front of `buf` (client side
+/// of a keep-alive/pipelined connection).
+///
+/// Returns `Ok(None)` when more bytes are needed and `Ok(Some((status,
+/// body, consumed)))` for a full response. Responses must carry a
+/// Content-Length (every response this server writes does); connection-
+/// close framing is only supported by the blocking [`read_response`].
+pub fn try_parse_response(buf: &[u8]) -> Result<Option<(u16, Vec<u8>, usize)>, HttpError> {
+    let Some(head_end) = find_separator(buf) else {
+        if buf.len() > MAX_REQUEST {
+            return Err(HttpError::Malformed("response head too large".into()));
+        }
+        return Ok(None);
+    };
+    let head_text = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 response head".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty response".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let len = content_length
+        .ok_or_else(|| HttpError::Malformed("pipelined response without content-length".into()))?;
+    if len > MAX_REQUEST {
+        return Err(HttpError::Malformed("response too large".into()));
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + len {
+        return Ok(None);
+    }
+    Ok(Some((
+        status,
+        buf[body_start..body_start + len].to_vec(),
+        body_start + len,
+    )))
 }
 
 /// Read until the header/body separator; returns (head bytes, extra body
@@ -305,7 +407,8 @@ pub fn write_request(
     write_request_in(stream, WireFormat::Json, method, path, body)
 }
 
-/// Write one request with an explicit body format.
+/// Write one request with an explicit body format (single-shot,
+/// `Connection: close`).
 pub fn write_request_in(
     stream: &mut impl Write,
     format: WireFormat,
@@ -313,30 +416,58 @@ pub fn write_request_in(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    write!(
-        stream,
-        "{} {} HTTP/1.1\r\nHost: localhost\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        method.as_str(),
-        path,
-        format.content_type(),
-        body.len()
-    )?;
-    stream.write_all(body)?;
+    let wire = render_request(format, method, path, body, false);
+    stream.write_all(&wire)?;
     stream.flush()
 }
 
-/// Write one response to a stream (server side).
+/// Serialize one request to bytes. `keep_alive` selects the Connection
+/// header; pipelining clients render several keep-alive requests into one
+/// buffer and write them with a single syscall.
+pub fn render_request(
+    format: WireFormat,
+    method: Method,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(160 + body.len());
+    let _ = write!(
+        wire,
+        "{} {} HTTP/1.1\r\nHost: localhost\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        method.as_str(),
+        path,
+        format.content_type(),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// Write one response to a stream (server side, `Connection: close`).
 pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let wire = render_response(response, false);
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Serialize one response to bytes. The event-driven server appends these
+/// to a connection's write buffer, so pipelined responses flush in one
+/// write.
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(128 + response.body.len());
+    let _ = write!(
+        wire,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         response.status_text(),
         response.format.content_type(),
-        response.body.len()
-    )?;
-    stream.write_all(&response.body)?;
-    stream.flush()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    wire.extend_from_slice(&response.body);
+    wire
 }
 
 /// Read one response from a stream (client side). Returns (status, body).

@@ -6,15 +6,23 @@
 //! crate is that layer, built from scratch on `std::net`:
 //!
 //! * [`wire`] — the JSON envelopes of the API,
+//! * [`fastjson`] — a hand-rolled codec for the hot transfer-advice
+//!   envelopes (strict-subset parser with serde fallback, byte-identical
+//!   renderer),
 //! * [`xml`] — the XML wire encoding (the paper: "XML or JSON"), selected
 //!   per request by the Content-Type header,
-//! * [`http`] — a minimal HTTP/1.1 reader/writer (the Tomcat substitute),
-//! * [`server`] — [`PolicyRestServer`], a loopback TCP server delegating to
-//!   a `pwm_core::PolicyController`,
-//! * [`client`] — [`PolicyRestClient`], the blocking client the modified
-//!   Pegasus Transfer Tool uses; it implements
+//! * [`http`] — a minimal HTTP/1.1 reader/writer with incremental parsers
+//!   for keep-alive pipelining (the Tomcat substitute),
+//! * [`poller`] — the `poll(2)` readiness shim and self-pipe waker behind
+//!   the event loop,
+//! * [`server`] — [`PolicyRestServer`], a nonblocking event-driven loopback
+//!   TCP server delegating to a `pwm_core::PolicyController`; pipelined
+//!   same-session transfer requests collapse into one batched rules pass,
+//! * [`client`] — [`PolicyRestClient`], the blocking keep-alive client the
+//!   modified Pegasus Transfer Tool uses; it implements
 //!   `pwm_core::transport::PolicyTransport` so the workflow substrate can
-//!   switch between in-process and over-the-wire callouts.
+//!   switch between in-process and over-the-wire callouts, and offers a
+//!   pipelined batch API for high-throughput callers.
 //!
 //! ```
 //! use pwm_core::{PolicyConfig, PolicyController, PolicyTransport, DEFAULT_SESSION};
@@ -29,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fastjson;
 pub mod http;
+pub mod poller;
 pub mod server;
 pub mod wire;
 pub mod xml;

@@ -2,9 +2,17 @@
 //!
 //! [`PolicyRestServer`] binds a loopback TCP listener and serves the policy
 //! API, delegating every request to a [`PolicyController`] exactly as the
-//! paper's web interface delegates to the Policy Controller. One thread per
-//! connection (requests are short and the policy engine itself is serialized
-//! behind the controller lock, so fancier concurrency buys nothing).
+//! paper's web interface delegates to the Policy Controller.
+//!
+//! The server is a single-threaded nonblocking event loop driven by
+//! `poll(2)` (see [`crate::poller`]): every connection is a small state
+//! machine with a read buffer, a write buffer, and a deadline. HTTP/1.1
+//! keep-alive and pipelining are supported, and consecutive pipelined
+//! transfer-evaluate requests for the same session are drained into one
+//! batched `evaluate_transfer_groups` call — one rules pass serves a whole
+//! pipeline window, which is where the svcbench throughput comes from.
+//! Graceful shutdown uses the poller's self-pipe: requests fully received
+//! before shutdown are answered, partial requests get a clean 503.
 //!
 //! Routes:
 //!
@@ -22,22 +30,27 @@
 //! | PUT    | `/sessions/{s}/config` | PolicyConfig → Ack (creates the session if absent) |
 
 use crate::http::{
-    read_request_limited, write_response, HttpError, Method, Request, Response, WireFormat,
+    render_response, try_parse_request, HttpError, Method, Request, Response, WireFormat,
 };
+use crate::poller::{poll_fds, PollFd, WakePipe, Waker, POLL_IN, POLL_OUT};
 use crate::wire::*;
 use crate::xml;
-use pwm_core::{ControllerError, PolicyConfig, PolicyController};
+use pwm_core::{ControllerError, PolicyConfig, PolicyController, TransferSpec};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection resource limits (slow-loris and memory-bomb guards).
 #[derive(Debug, Clone, Copy)]
 pub struct ServerLimits {
-    /// Socket read deadline: a client that stalls past this gets 408 and
-    /// the connection thread is reclaimed.
+    /// Read deadline: a connection with an unfinished request that stalls
+    /// past this gets 408 and is closed. (Idle keep-alive connections that
+    /// already served a request are closed silently.) Also the grace
+    /// period a graceful shutdown allows for flushing responses.
     pub read_timeout: Duration,
     /// Maximum request-body size: a larger declared Content-Length gets
     /// 413 without the body ever being read.
@@ -53,12 +66,12 @@ impl Default for ServerLimits {
     }
 }
 
-/// A running policy REST server.
+/// A running policy REST server (event-driven, single loop thread).
 pub struct PolicyRestServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    waker: Waker,
+    loop_thread: Option<JoinHandle<()>>,
 }
 
 impl PolicyRestServer {
@@ -75,42 +88,17 @@ impl PolicyRestServer {
     ) -> std::io::Result<PolicyRestServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        let (wake, waker) = WakePipe::new()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = shutdown.clone();
-        let connections = Arc::new(Mutex::new(Vec::new()));
-        let accept_connections = connections.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("policy-rest-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match stream {
-                        Ok(stream) => {
-                            let controller = controller.clone();
-                            // One thread per connection; connections are
-                            // single-request (Connection: close).
-                            let handle = std::thread::Builder::new()
-                                .name("policy-rest-conn".into())
-                                .spawn(move || handle_connection(stream, controller, limits));
-                            if let Ok(handle) = handle {
-                                let mut conns = accept_connections.lock().unwrap();
-                                // Prune finished threads so the list does
-                                // not grow with server lifetime.
-                                conns.retain(|h: &JoinHandle<()>| !h.is_finished());
-                                conns.push(handle);
-                            }
-                        }
-                        Err(_) => continue,
-                    }
-                }
-            })?;
+        let loop_shutdown = shutdown.clone();
+        let loop_thread = std::thread::Builder::new()
+            .name("policy-rest-loop".into())
+            .spawn(move || event_loop(listener, wake, controller, limits, loop_shutdown))?;
         Ok(PolicyRestServer {
             addr,
             shutdown,
-            accept_thread: Some(accept_thread),
-            connections,
+            waker,
+            loop_thread: Some(loop_thread),
         })
     }
 
@@ -119,21 +107,16 @@ impl PolicyRestServer {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting connections, join the accept
-    /// thread, then drain in-flight connection threads (each finishes its
-    /// one request or hits the read deadline). After this returns, no
-    /// request is mid-flight — safe to recover the controller's state
+    /// Graceful shutdown: wake the event loop via the self-pipe, stop
+    /// accepting, answer every request that was fully received, 503 the
+    /// partial ones, flush, and join the loop thread. After this returns,
+    /// no request is mid-flight — safe to recover the controller's state
     /// elsewhere (see `recover_session` / `resume_durable_session`).
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.waker.wake();
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
-        }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock().unwrap());
-        for h in handles {
-            let _ = h.join();
         }
     }
 }
@@ -144,15 +127,399 @@ impl Drop for PolicyRestServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, controller: PolicyController, limits: ServerLimits) {
-    let _ = stream.set_read_timeout(Some(limits.read_timeout));
-    let response = match read_request_limited(&mut stream, limits.max_body) {
-        Ok(request) => route(&request, &controller),
-        Err(HttpError::Timeout) => Response::error(408, "request read timed out"),
-        Err(e @ HttpError::TooLarge(_)) => Response::error(413, &e.to_string()),
-        Err(e) => Response::error(400, &format!("bad request: {e}")),
+/// Event-loop counters and gauges, published on the controller's shared
+/// `/metrics` registry alongside the per-session policy metrics.
+struct LoopMetrics {
+    wakeups: pwm_obs::Counter,
+    requests: pwm_obs::Counter,
+    batched: pwm_obs::Counter,
+    open_connections: pwm_obs::Gauge,
+    write_backlog: pwm_obs::Gauge,
+}
+
+impl LoopMetrics {
+    fn register(controller: &PolicyController) -> LoopMetrics {
+        let r = &controller.obs().registry;
+        LoopMetrics {
+            wakeups: r.counter(
+                "pwm_rest_event_loop_wakeups_total",
+                "Times the server's poll loop woke up (readiness, timeout, or self-pipe)",
+                &[],
+            ),
+            requests: r.counter(
+                "pwm_rest_requests_total",
+                "HTTP requests parsed by the event loop",
+                &[],
+            ),
+            batched: r.counter(
+                "pwm_rest_batched_requests_total",
+                "Requests answered via a batched evaluate_transfer_groups rules pass",
+                &[],
+            ),
+            open_connections: r.gauge(
+                "pwm_rest_open_connections",
+                "Connections currently registered with the event loop",
+                &[],
+            ),
+            write_backlog: r.gauge(
+                "pwm_rest_write_backlog_bytes",
+                "Response bytes queued across all connections (event-loop queue depth)",
+                &[],
+            ),
+        }
+    }
+}
+
+enum ConnState {
+    /// Reading and serving requests.
+    Open,
+    /// No more reads; flush the write buffer, then close.
+    Closing,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes.
+    rbuf: Vec<u8>,
+    /// Unflushed response bytes.
+    wbuf: Vec<u8>,
+    /// Requests answered on this connection (distinguishes a never-spoke
+    /// stall, which deserves 408, from an idle keep-alive connection,
+    /// which is closed silently).
+    served: u64,
+    deadline: Instant,
+    state: ConnState,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant, limits: &ServerLimits) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            served: 0,
+            deadline: now + limits.read_timeout,
+            state: ConnState::Open,
+        }
+    }
+
+    fn push_response(&mut self, response: &Response, keep_alive: bool) {
+        self.wbuf
+            .extend_from_slice(&render_response(response, keep_alive));
+        if !keep_alive {
+            self.state = ConnState::Closing;
+        }
+    }
+
+    /// Read until `WouldBlock`; true when the peer closed its write side.
+    fn drain_read(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return true,
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// Write as much of `wbuf` as the socket accepts.
+    fn drain_write(&mut self) {
+        let mut written = 0;
+        while written < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[written..]) {
+                Ok(0) => break,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer is gone; nothing left to flush.
+                    written = self.wbuf.len();
+                    self.state = ConnState::Closing;
+                    break;
+                }
+            }
+        }
+        self.wbuf.drain(..written);
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self.state, ConnState::Closing) && self.wbuf.is_empty()
+    }
+}
+
+fn event_loop(
+    listener: TcpListener,
+    mut wake: WakePipe,
+    controller: PolicyController,
+    limits: ServerLimits,
+    shutdown: Arc<AtomicBool>,
+) {
+    let metrics = LoopMetrics::register(&controller);
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+
+    loop {
+        // Poll set: [wake, listener?, conns...]. Indices into `fds` for
+        // the connection entries start at `conn_base`.
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd::new(wake.fd(), POLL_IN));
+        let listener_slot = (!draining).then(|| {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLL_IN));
+            fds.len() - 1
+        });
+        let conn_base = fds.len();
+        for c in &conns {
+            let mut events = 0i16;
+            if matches!(c.state, ConnState::Open) {
+                events |= POLL_IN;
+            }
+            if !c.wbuf.is_empty() {
+                events |= POLL_OUT;
+            }
+            fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+        }
+
+        // Sleep until the nearest deadline (connection read deadlines, or
+        // the drain grace deadline), capped so gauge refreshes stay live.
+        let now = Instant::now();
+        let mut next_deadline = now + Duration::from_secs(1);
+        for c in &conns {
+            if matches!(c.state, ConnState::Open) {
+                next_deadline = next_deadline.min(c.deadline);
+            }
+        }
+        if draining {
+            next_deadline = next_deadline.min(drain_deadline);
+        }
+        let timeout = next_deadline.saturating_duration_since(now);
+        let _ = poll_fds(&mut fds, Some(timeout));
+        metrics.wakeups.inc();
+        let now = Instant::now();
+
+        if fds[0].readable() {
+            wake.drain();
+        }
+
+        // Serve readable connections (indices still aligned with `fds`;
+        // new connections are accepted after this pass).
+        if !draining {
+            for (i, c) in conns.iter_mut().enumerate() {
+                if matches!(c.state, ConnState::Open) && fds[conn_base + i].readable() {
+                    let eof = c.drain_read();
+                    c.deadline = now + limits.read_timeout;
+                    serve_buffered(c, &controller, &limits, &metrics);
+                    if eof {
+                        c.state = ConnState::Closing;
+                    }
+                }
+            }
+        }
+
+        // Accept new connections.
+        if let Some(slot) = listener_slot {
+            if fds[slot].readable() {
+                while let Ok((stream, _)) = listener.accept() {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn::new(stream, now, &limits));
+                }
+            }
+        }
+
+        // Shutdown requested: stop reading, answer everything already on
+        // the wire, 503 the partials, then flush within the grace period.
+        if shutdown.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            drain_deadline = now + limits.read_timeout;
+            for c in conns.iter_mut() {
+                if matches!(c.state, ConnState::Open) {
+                    c.drain_read();
+                    serve_buffered(c, &controller, &limits, &metrics);
+                    if !c.rbuf.is_empty() {
+                        c.push_response(&Response::error(503, "server shutting down"), false);
+                        c.rbuf.clear();
+                    }
+                    c.state = ConnState::Closing;
+                }
+            }
+        }
+
+        // Read-deadline enforcement.
+        for c in conns.iter_mut() {
+            if matches!(c.state, ConnState::Open) && now >= c.deadline {
+                if !c.rbuf.is_empty() || c.served == 0 {
+                    // Mid-request stall (slow loris) or a connection that
+                    // never spoke: answer 408 and close.
+                    c.push_response(&Response::error(408, "request read timed out"), false);
+                } else {
+                    // Idle keep-alive connection: close silently.
+                    c.state = ConnState::Closing;
+                }
+            }
+        }
+
+        // Flush pending writes, then reap finished connections.
+        for c in conns.iter_mut() {
+            if !c.wbuf.is_empty() {
+                c.drain_write();
+            }
+        }
+        conns.retain(|c| !c.finished());
+
+        metrics.open_connections.set(conns.len() as f64);
+        metrics
+            .write_backlog
+            .set(conns.iter().map(|c| c.wbuf.len()).sum::<usize>() as f64);
+
+        if draining && (conns.is_empty() || now >= drain_deadline) {
+            metrics.open_connections.set(0.0);
+            metrics.write_backlog.set(0.0);
+            break;
+        }
+    }
+}
+
+/// Parse every complete request out of a connection's read buffer and
+/// queue the responses. Runs of ≥ 2 consecutive pipelined JSON
+/// transfer-evaluate requests for the same session collapse into one
+/// batched `evaluate_transfer_groups` controller call.
+fn serve_buffered(
+    c: &mut Conn,
+    controller: &PolicyController,
+    limits: &ServerLimits,
+    metrics: &LoopMetrics,
+) {
+    let mut parsed: Vec<Request> = Vec::new();
+    let mut fatal: Option<Response> = None;
+    loop {
+        match try_parse_request(&c.rbuf, limits.max_body) {
+            Ok(Some((request, consumed))) => {
+                c.rbuf.drain(..consumed);
+                parsed.push(request);
+            }
+            Ok(None) => break,
+            Err(e @ HttpError::TooLarge(_)) => {
+                fatal = Some(Response::error(413, &e.to_string()));
+                break;
+            }
+            Err(e) => {
+                fatal = Some(Response::error(400, &format!("bad request: {e}")));
+                break;
+            }
+        }
+    }
+
+    metrics.requests.add(parsed.len() as u64);
+    let mut i = 0;
+    while i < parsed.len() {
+        // A pipelined run: maximal stretch of batchable transfer-evaluate
+        // requests addressed to one session.
+        if let Some(session) = batchable_session(&parsed[i]) {
+            let mut j = i + 1;
+            while j < parsed.len() && batchable_session(&parsed[j]).as_deref() == Some(&session) {
+                j += 1;
+            }
+            if j - i >= 2 {
+                serve_batched(c, &parsed[i..j], &session, controller, metrics);
+                c.served += (j - i) as u64;
+                i = j;
+                continue;
+            }
+        }
+        let request = &parsed[i];
+        let response = route(request, controller);
+        c.push_response(&response, request.keep_alive);
+        c.served += 1;
+        i += 1;
+        if !request.keep_alive {
+            // Pipelined bytes after an explicit close are undefined
+            // behavior per HTTP; drop them.
+            c.rbuf.clear();
+            return;
+        }
+    }
+
+    if let Some(response) = fatal {
+        c.push_response(&response, false);
+        c.rbuf.clear();
+    }
+}
+
+/// Is this request eligible for the batched advice path? JSON POSTs to
+/// `/sessions/{s}/transfers` on a keep-alive connection; returns the
+/// session name.
+fn batchable_session(request: &Request) -> Option<String> {
+    if request.method != Method::Post || !request.keep_alive {
+        return None;
+    }
+    if !matches!(request.format, WireFormat::Json | WireFormat::Text) {
+        return None;
+    }
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["sessions", session, "transfers"] => Some(session.to_string()),
+        _ => None,
+    }
+}
+
+/// Answer a run of pipelined transfer-evaluate requests with one batched
+/// rules pass. Requests whose bodies fail to decode get their own 400
+/// without disturbing the rest of the run; response order matches request
+/// order (HTTP pipelining contract).
+fn serve_batched(
+    c: &mut Conn,
+    run: &[Request],
+    session: &str,
+    controller: &PolicyController,
+    metrics: &LoopMetrics,
+) {
+    let decoded: Vec<Result<Vec<TransferSpec>, String>> = run
+        .iter()
+        .map(|r| {
+            // The fast codec only accepts the canonical envelope shape; any
+            // unusual body falls back to the reference decoder (and its
+            // error messages).
+            if let Some(transfers) = crate::fastjson::parse_transfer_request(&r.body) {
+                return Ok(transfers);
+            }
+            serde_json::from_slice::<TransferRequestEnvelope>(&r.body)
+                .map(|env| env.transfers)
+                .map_err(|e| format!("bad json: {e}"))
+        })
+        .collect();
+    let groups: Vec<Vec<TransferSpec>> = decoded
+        .iter()
+        .filter_map(|d| d.as_ref().ok().cloned())
+        .collect();
+    let mut advice_groups = match controller.evaluate_transfer_groups(session, groups) {
+        Ok(groups) => groups.into_iter(),
+        Err(e) => {
+            let response = controller_error(e);
+            for _ in run {
+                c.push_response(&response, true);
+            }
+            return;
+        }
     };
-    let _ = write_response(&mut stream, &response);
+    metrics.batched.add(run.len() as u64);
+    for d in decoded {
+        let response = match d {
+            Ok(_) => {
+                let advice = advice_groups.next().unwrap_or_default();
+                Response::ok_json(crate::fastjson::render_transfer_response(&advice))
+            }
+            Err(message) => Response::error(400, &message),
+        };
+        c.push_response(&response, true);
+    }
 }
 
 fn route(request: &Request, controller: &PolicyController) -> Response {
@@ -168,10 +535,21 @@ fn route(request: &Request, controller: &PolicyController) -> Response {
         }
         (Method::Post, ["sessions", session, "transfers"]) => match request.format {
             WireFormat::Json | WireFormat::Text => {
-                with_body::<TransferRequestEnvelope>(request, |env| {
-                    let advice = controller.evaluate_transfers(session, env.transfers)?;
-                    Ok(json_response(&TransferResponseEnvelope { advice }))
-                })
+                // Canonical bodies take the allocation-light codec; anything
+                // else falls back to the reference serde path.
+                if let Some(transfers) = crate::fastjson::parse_transfer_request(&request.body) {
+                    match controller.evaluate_transfers(session, transfers) {
+                        Ok(advice) => {
+                            Response::ok_json(crate::fastjson::render_transfer_response(&advice))
+                        }
+                        Err(e) => controller_error(e),
+                    }
+                } else {
+                    with_body::<TransferRequestEnvelope>(request, |env| {
+                        let advice = controller.evaluate_transfers(session, env.transfers)?;
+                        Ok(json_response(&TransferResponseEnvelope { advice }))
+                    })
+                }
             }
             WireFormat::Xml => {
                 with_xml_body(request, xml::transfer_request_from_xml, |transfers| {
@@ -323,6 +701,27 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         write_request(&mut stream, method, path, body).unwrap();
         read_response(&mut stream).unwrap()
+    }
+
+    /// Read `n` pipelined responses off one stream. The blocking
+    /// `read_response` would discard bytes of the next response that
+    /// arrive in the same segment, so this accumulates and parses
+    /// incrementally like a real pipelining client.
+    fn read_pipelined(stream: &mut TcpStream, n: usize) -> Vec<(u16, Vec<u8>)> {
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        while out.len() < n {
+            if let Some((status, body, consumed)) = crate::http::try_parse_response(&buf).unwrap() {
+                buf.drain(..consumed);
+                out.push((status, body));
+                continue;
+            }
+            let mut chunk = [0u8; 8192];
+            let got = stream.read(&mut chunk).unwrap();
+            assert!(got > 0, "server closed mid-pipeline");
+            buf.extend_from_slice(&chunk[..got]);
+        }
+        out
     }
 
     #[test]
@@ -601,16 +1000,112 @@ mod tests {
         )
         .unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        use std::io::Write;
         stream.write_all(b"POST /x HTTP/1.1\r\n").unwrap();
-        // Let the accept loop hand the connection to a worker thread.
+        // Let the event loop register the connection and its partial bytes.
         std::thread::sleep(Duration::from_millis(100));
         server.shutdown();
-        // Shutdown joined the worker, which answered 408 before exiting
-        // (or the connection was never accepted under scheduling races).
+        // The drain answered the partial request with a clean 503 before
+        // closing (or the connection was never registered under scheduling
+        // races).
         if let Ok((status, _)) = read_response(&mut stream) {
-            assert_eq!(status, 408);
+            assert_eq!(status, 503);
         }
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (_server, addr) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Three pipelined keep-alive requests in one write: two JSON
+        // transfer-evaluates (the batched path) and a health check.
+        let env = TransferRequestEnvelope {
+            transfers: vec![pwm_core::TransferSpec {
+                source: pwm_core::Url::new("gsiftp", "s", "/f1"),
+                dest: pwm_core::Url::new("file", "d", "/f1"),
+                bytes: 1,
+                requested_streams: None,
+                workflow: pwm_core::WorkflowId(1),
+                cluster: None,
+                priority: None,
+            }],
+        };
+        let body = serde_json::to_vec(&env).unwrap();
+        let mut wire = Vec::new();
+        for _ in 0..2 {
+            wire.extend_from_slice(&crate::http::render_request(
+                WireFormat::Json,
+                Method::Post,
+                "/sessions/default/transfers",
+                &body,
+                true,
+            ));
+        }
+        wire.extend_from_slice(&crate::http::render_request(
+            WireFormat::Json,
+            Method::Get,
+            "/health",
+            b"",
+            true,
+        ));
+        stream.write_all(&wire).unwrap();
+        stream.flush().unwrap();
+
+        let responses = read_pipelined(&mut stream, 3);
+        assert!(responses.iter().all(|(status, _)| *status == 200));
+        let first: TransferResponseEnvelope = serde_json::from_slice(&responses[0].1).unwrap();
+        assert!(first.advice[0].should_execute());
+        let second: TransferResponseEnvelope = serde_json::from_slice(&responses[1].1).unwrap();
+        assert!(
+            !second.advice[0].should_execute(),
+            "duplicate in the same pipeline window must still be suppressed"
+        );
+        assert_eq!(responses[2].1, br#"{"status":"ok"}"#);
+    }
+
+    #[test]
+    fn bad_json_mid_pipeline_gets_its_own_400() {
+        let (_server, addr) = start();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let env = TransferRequestEnvelope {
+            transfers: vec![pwm_core::TransferSpec {
+                source: pwm_core::Url::new("gsiftp", "s", "/f9"),
+                dest: pwm_core::Url::new("file", "d", "/f9"),
+                bytes: 1,
+                requested_streams: None,
+                workflow: pwm_core::WorkflowId(1),
+                cluster: None,
+                priority: None,
+            }],
+        };
+        let good = serde_json::to_vec(&env).unwrap();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&crate::http::render_request(
+            WireFormat::Json,
+            Method::Post,
+            "/sessions/default/transfers",
+            &good,
+            true,
+        ));
+        wire.extend_from_slice(&crate::http::render_request(
+            WireFormat::Json,
+            Method::Post,
+            "/sessions/default/transfers",
+            b"{broken",
+            true,
+        ));
+        wire.extend_from_slice(&crate::http::render_request(
+            WireFormat::Json,
+            Method::Post,
+            "/sessions/default/transfers",
+            &good,
+            true,
+        ));
+        stream.write_all(&wire).unwrap();
+        let responses = read_pipelined(&mut stream, 3);
+        let statuses: Vec<u16> = responses.iter().map(|(s, _)| *s).collect();
+        assert_eq!(statuses, [200, 400, 200]);
+        let third: TransferResponseEnvelope = serde_json::from_slice(&responses[2].1).unwrap();
+        assert!(!third.advice[0].should_execute(), "dedup across the batch");
     }
 
     #[test]

@@ -440,6 +440,68 @@ impl<Ctx> Session<Ctx> {
         }
     }
 
+    /// Try to refresh a stale `when_each` match cache by re-probing only the
+    /// handles mutated since the cache was computed, instead of re-scanning
+    /// every fact of the watched type. Returns `false` when the rule is a
+    /// join rule, the cache was never computed, or the per-type change log
+    /// has been compacted past the cache's generation — the caller then
+    /// falls back to a full matcher run.
+    ///
+    /// The merge walks the cached matches (ascending handle order — exactly
+    /// what a full scan produces) and the sorted changed handles together,
+    /// so the refreshed cache is byte-identical to a full re-scan.
+    fn delta_refresh(
+        rule: &Rule<Ctx>,
+        state: &mut RuleState,
+        wm: &WorkingMemory,
+        ctx: &Ctx,
+    ) -> bool {
+        if !state.computed {
+            return false;
+        }
+        let Some(each) = rule.each() else {
+            return false;
+        };
+        let Some(changes) = wm.changed_since(each.type_id, state.valid_at) else {
+            return false;
+        };
+        let mut changed: Vec<FactHandle> = changes.iter().map(|&(_, h)| h).collect();
+        changed.sort_unstable();
+        changed.dedup();
+        if changed.is_empty() {
+            return true;
+        }
+        let probe = &each.probe;
+        let pass: Vec<bool> = changed.iter().map(|&h| (probe)(wm, ctx, h)).collect();
+        let mut merged = Vec::with_capacity(state.matches.len() + changed.len());
+        let mut ci = 0;
+        for m in &state.matches {
+            let h = m[0];
+            while ci < changed.len() && changed[ci] < h {
+                if pass[ci] {
+                    merged.push(vec![changed[ci]]);
+                }
+                ci += 1;
+            }
+            if ci < changed.len() && changed[ci] == h {
+                if pass[ci] {
+                    merged.push(vec![h]);
+                }
+                ci += 1;
+                continue;
+            }
+            merged.push(m.clone());
+        }
+        while ci < changed.len() {
+            if pass[ci] {
+                merged.push(vec![changed[ci]]);
+            }
+            ci += 1;
+        }
+        state.matches = merged;
+        true
+    }
+
     /// Rebuild the salience order if `add_rule` invalidated it.
     fn ensure_order(&mut self) {
         if !self.order_valid {
@@ -463,7 +525,9 @@ impl<Ctx> Session<Ctx> {
             let state = &mut self.states[idx];
             if !state.computed || rule.watch().is_dirty(&self.wm, state.valid_at) {
                 let started = Instant::now();
-                state.matches = rule.matches(&self.wm, ctx);
+                if !Self::delta_refresh(rule, state, &self.wm, ctx) {
+                    state.matches = rule.matches(&self.wm, ctx);
+                }
                 state.eval_nanos += started.elapsed().as_nanos() as u64;
                 state.evaluations += 1;
                 state.matched += state.matches.len() as u64;

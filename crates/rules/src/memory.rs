@@ -50,7 +50,11 @@ struct Slot {
 /// [`WorkingMemory`] hold indexes over arbitrary fact/key type pairs.
 trait ErasedIndex: Send {
     fn on_insert(&mut self, handle: FactHandle, fact: &dyn Fact);
-    fn on_remove(&mut self, handle: FactHandle, fact: &dyn Fact);
+    fn on_remove(&mut self, handle: FactHandle);
+    /// Re-key after an in-place mutation. The index keeps a reverse map of
+    /// each handle's current key, so an update whose key did not change is a
+    /// cheap compare instead of a remove + insert.
+    fn on_update(&mut self, handle: FactHandle, fact: &dyn Fact);
     fn as_any(&self) -> &dyn Any;
 }
 
@@ -61,30 +65,97 @@ trait ErasedIndex: Send {
 struct KeyIndex<T: Fact, K: Eq + Hash + Clone + Send + 'static> {
     extract: fn(&T) -> K,
     map: HashMap<K, BTreeSet<FactHandle>>,
+    /// Each indexed handle's current key, so removals and no-op re-keys
+    /// never re-extract from a stale fact value.
+    back: HashMap<FactHandle, K>,
+}
+
+impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> KeyIndex<T, K> {
+    fn link(&mut self, handle: FactHandle, key: K) {
+        self.map.entry(key.clone()).or_default().insert(handle);
+        self.back.insert(handle, key);
+    }
+
+    fn unlink(&mut self, handle: FactHandle) {
+        if let Some(key) = self.back.remove(&handle) {
+            if let Some(set) = self.map.get_mut(&key) {
+                set.remove(&handle);
+                if set.is_empty() {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
 }
 
 impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> ErasedIndex for KeyIndex<T, K> {
     fn on_insert(&mut self, handle: FactHandle, fact: &dyn Fact) {
         let t = fact.as_any().downcast_ref::<T>().expect("index fact type");
-        self.map
-            .entry((self.extract)(t))
-            .or_default()
-            .insert(handle);
+        self.link(handle, (self.extract)(t));
     }
 
-    fn on_remove(&mut self, handle: FactHandle, fact: &dyn Fact) {
+    fn on_remove(&mut self, handle: FactHandle) {
+        self.unlink(handle);
+    }
+
+    fn on_update(&mut self, handle: FactHandle, fact: &dyn Fact) {
         let t = fact.as_any().downcast_ref::<T>().expect("index fact type");
         let key = (self.extract)(t);
-        if let Some(set) = self.map.get_mut(&key) {
-            set.remove(&handle);
-            if set.is_empty() {
-                self.map.remove(&key);
-            }
+        if self.back.get(&handle) == Some(&key) {
+            return;
         }
+        self.unlink(handle);
+        self.link(handle, key);
     }
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+/// Per-type log of recently mutated handles, driving the engine's delta
+/// re-evaluation of single-type rules: instead of re-scanning every fact of
+/// a watched type after a mutation, a rule asks which handles changed since
+/// its cache was computed and re-probes only those.
+#[derive(Default)]
+struct TypeLog {
+    /// `(generation, handle)` in ascending generation order. A handle may
+    /// appear many times; readers dedup.
+    entries: Vec<(u64, FactHandle)>,
+    /// Highest generation already compacted away. A reader whose cache
+    /// predates the floor must fall back to a full re-scan.
+    floor: u64,
+}
+
+/// Entries a [`TypeLog`] holds before compaction drops its older half.
+const TYPE_LOG_CAP: usize = 1024;
+
+impl TypeLog {
+    fn push(&mut self, gen: u64, handle: FactHandle) {
+        // Collapse repeated mutations of the same fact (the common shape:
+        // one fact updated several times in a firing cascade).
+        if let Some(last) = self.entries.last_mut() {
+            if last.1 == handle {
+                last.0 = gen;
+                return;
+            }
+        }
+        if self.entries.len() >= TYPE_LOG_CAP {
+            let drop = self.entries.len() / 2;
+            self.floor = self.entries[drop - 1].0;
+            self.entries.drain(..drop);
+        }
+        self.entries.push((gen, handle));
+    }
+
+    /// Handles mutated at generations strictly after `gen`, oldest first, or
+    /// `None` if the log no longer reaches back that far.
+    fn since(&self, gen: u64) -> Option<&[(u64, FactHandle)]> {
+        if gen < self.floor {
+            return None;
+        }
+        let start = self.entries.partition_point(|&(g, _)| g <= gen);
+        Some(&self.entries[start..])
     }
 }
 
@@ -104,6 +175,8 @@ pub struct WorkingMemory {
     type_gen: HashMap<TypeId, u64>,
     /// Secondary indexes, keyed by (fact type, key type).
     indexes: HashMap<(TypeId, TypeId), Box<dyn ErasedIndex>>,
+    /// Per-type mutation logs (see [`TypeLog`]).
+    type_log: HashMap<TypeId, TypeLog>,
 }
 
 impl fmt::Debug for WorkingMemory {
@@ -144,6 +217,10 @@ impl WorkingMemory {
         self.by_type.entry(type_id).or_default().insert(handle);
         self.generation += 1;
         self.type_gen.insert(type_id, self.generation);
+        self.type_log
+            .entry(type_id)
+            .or_default()
+            .push(self.generation, handle);
         handle
     }
 
@@ -160,10 +237,14 @@ impl WorkingMemory {
                     .iter_mut()
                     .filter(|((ft, _), _)| *ft == type_id)
                 {
-                    idx.on_remove(handle, slot.fact.as_ref());
+                    idx.on_remove(handle);
                 }
                 self.generation += 1;
-                self.type_gen.insert(slot.type_id, self.generation);
+                self.type_gen.insert(type_id, self.generation);
+                self.type_log
+                    .entry(type_id)
+                    .or_default()
+                    .push(self.generation, handle);
                 true
             }
             None => false,
@@ -188,26 +269,24 @@ impl WorkingMemory {
             Some(slot) => match slot.fact.as_mut().as_any_mut().downcast_mut::<T>() {
                 Some(value) => {
                     let type_id = TypeId::of::<T>();
-                    // Unkey under the pre-update value, rekey under the new
-                    // one — the closure may change indexed fields.
-                    for (_, idx) in self
-                        .indexes
-                        .iter_mut()
-                        .filter(|((ft, _), _)| *ft == type_id)
-                    {
-                        idx.on_remove(handle, &*value);
-                    }
                     f(value);
+                    // Re-key under the post-update value — the closure may
+                    // have changed indexed fields. The index compares against
+                    // its reverse map, so an unchanged key costs one extract.
                     for (_, idx) in self
                         .indexes
                         .iter_mut()
                         .filter(|((ft, _), _)| *ft == type_id)
                     {
-                        idx.on_insert(handle, &*value);
+                        idx.on_update(handle, &*value);
                     }
                     slot.version += 1;
                     self.generation += 1;
-                    self.type_gen.insert(slot.type_id, self.generation);
+                    self.type_gen.insert(type_id, self.generation);
+                    self.type_log
+                        .entry(type_id)
+                        .or_default()
+                        .push(self.generation, handle);
                     true
                 }
                 None => false,
@@ -274,9 +353,12 @@ impl WorkingMemory {
         let mut index = KeyIndex::<T, K> {
             extract,
             map: HashMap::new(),
+            back: HashMap::new(),
         };
-        for (h, t) in self.iter::<T>() {
-            index.map.entry(extract(t)).or_default().insert(h);
+        let existing: Vec<(FactHandle, K)> =
+            self.iter::<T>().map(|(h, t)| (h, extract(t))).collect();
+        for (h, key) in existing {
+            index.link(h, key);
         }
         self.indexes
             .insert((TypeId::of::<T>(), TypeId::of::<K>()), Box::new(index));
@@ -308,6 +390,35 @@ impl WorkingMemory {
             .get(key)
             .map(|set| set.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// Iterate facts of type `T` whose indexed key equals `key`, in
+    /// insertion order, without allocating. Panics if no such index was
+    /// registered. This is the allocation-free hot-path variant of
+    /// [`WorkingMemory::lookup_by`] for matchers that probe per evaluation.
+    pub fn iter_by<'a, T: Fact, K: Eq + Hash + Clone + Send + 'static>(
+        &'a self,
+        key: &K,
+    ) -> impl Iterator<Item = (FactHandle, &'a T)> + 'a {
+        self.key_index::<T, K>()
+            .map
+            .get(key)
+            .into_iter()
+            .flat_map(|set| set.iter())
+            .filter_map(move |h| self.get::<T>(*h).map(|t| (*h, t)))
+    }
+
+    /// Handles of facts of `type_id` mutated (inserted, updated or
+    /// retracted) at generations strictly after `gen`, oldest first, or
+    /// `None` if the per-type log has been compacted past `gen` (the caller
+    /// must then fall back to a full scan). Retracted handles appear in the
+    /// result; callers filter with [`WorkingMemory::contains`].
+    pub fn changed_since(&self, type_id: TypeId, gen: u64) -> Option<&[(u64, FactHandle)]> {
+        match self.type_log.get(&type_id) {
+            Some(log) => log.since(gen),
+            // Type never mutated: nothing changed since any generation.
+            None => Some(&[]),
+        }
     }
 
     /// First (lowest-handle) fact of type `T` whose indexed key equals

@@ -26,6 +26,16 @@ pub type Match = Vec<FactHandle>;
 
 type Matcher<Ctx> = Box<dyn Fn(&WorkingMemory, &Ctx) -> Vec<Match> + Send>;
 type Action<Ctx> = Box<dyn FnMut(&mut WorkingMemory, &mut Ctx, &Match) + Send>;
+type EachProbe<Ctx> = Box<dyn Fn(&WorkingMemory, &Ctx, FactHandle) -> bool + Send>;
+
+/// Delta-evaluation support for single-type predicate rules: the watched
+/// type plus a per-handle re-probe of the `when_each` predicate. The engine
+/// uses this to refresh a stale match cache by re-probing only the handles
+/// that actually changed instead of re-scanning every fact of the type.
+pub(crate) struct EachMatch<Ctx> {
+    pub(crate) type_id: TypeId,
+    pub(crate) probe: EachProbe<Ctx>,
+}
 
 /// Which fact types a rule's matcher reads.
 ///
@@ -58,6 +68,7 @@ pub struct Rule<Ctx> {
     matcher: Matcher<Ctx>,
     action: Action<Ctx>,
     watch: Watch,
+    each: Option<EachMatch<Ctx>>,
 }
 
 impl<Ctx> Rule<Ctx> {
@@ -70,6 +81,7 @@ impl<Ctx> Rule<Ctx> {
             matcher: None,
             action: None,
             watched_types: None,
+            each: None,
         }
     }
 
@@ -98,6 +110,11 @@ impl<Ctx> Rule<Ctx> {
         (self.matcher)(wm, ctx)
     }
 
+    /// Delta-evaluation hook for `when_each` rules (None for join rules).
+    pub(crate) fn each(&self) -> Option<&EachMatch<Ctx>> {
+        self.each.as_ref()
+    }
+
     pub(crate) fn fire(&mut self, wm: &mut WorkingMemory, ctx: &mut Ctx, m: &Match) {
         (self.action)(wm, ctx, m)
     }
@@ -122,6 +139,7 @@ pub struct RuleBuilder<Ctx> {
     /// `None` = never declared (→ [`Watch::All`] unless `when_each` infers);
     /// `Some(types)` = explicit subscription list.
     watched_types: Option<Vec<TypeId>>,
+    each: Option<EachMatch<Ctx>>,
 }
 
 impl<Ctx> RuleBuilder<Ctx> {
@@ -161,14 +179,22 @@ impl<Ctx> RuleBuilder<Ctx> {
     /// subscribes the rule to type `T` (dirty-set propagation).
     pub fn when_each<T: crate::memory::Fact>(
         mut self,
-        pred: impl Fn(&T, &Ctx) -> bool + Send + 'static,
+        pred: impl Fn(&T, &Ctx) -> bool + Send + Sync + 'static,
     ) -> Self {
+        let pred = Arc::new(pred);
+        let scan_pred = Arc::clone(&pred);
         self.matcher = Some(Box::new(move |wm, ctx| {
             wm.iter::<T>()
-                .filter(|(_, t)| pred(t, ctx))
+                .filter(|(_, t)| scan_pred(t, ctx))
                 .map(|(h, _)| vec![h])
                 .collect()
         }));
+        // The same predicate, re-runnable for one handle: the engine's
+        // delta path refreshes a stale cache by probing only changed facts.
+        self.each = Some(EachMatch {
+            type_id: TypeId::of::<T>(),
+            probe: Box::new(move |wm, ctx, h| wm.get::<T>(h).is_some_and(|t| pred(t, ctx))),
+        });
         self.watches::<T>()
     }
 
@@ -207,6 +233,7 @@ impl<Ctx> RuleBuilder<Ctx> {
                 Some(types) => Watch::Types(types),
                 None => Watch::All,
             },
+            each: self.each,
         }
     }
 }
@@ -280,6 +307,7 @@ mod tests {
             matcher: None,
             action: None,
             watched_types: None,
+            each: None,
         }
         .then(|_, _, _| {});
     }

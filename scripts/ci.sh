@@ -51,4 +51,18 @@ mkdir -p target/netbench
 timeout 120 ./target/release/netbench smoke --out target/netbench/BENCH_net.json > /dev/null
 test -s target/netbench/BENCH_net.json || { echo "netbench report is empty" >&2; exit 1; }
 
+# Svcbench job: the Policy Service front-end smoke grid in release mode —
+# three cells (connect-per-request baseline, pipelined/batched, sharded)
+# against the live event-driven REST server. `--min-speedup 2` makes the
+# run exit nonzero unless the batched path beats the pre-change
+# connect-per-request client by at least 2x (the full grid in the
+# committed BENCH_svc.json shows >5x); this catches regressions that
+# silently knock the event loop back to request-per-round-trip economics.
+echo "== svcbench smoke (policy front end) =="
+cargo build -q --release --offline -p pwm-bench --bin svcbench
+mkdir -p target/svcbench
+timeout 300 ./target/release/svcbench smoke --min-speedup 2 \
+  --out target/svcbench/BENCH_svc.json > /dev/null
+test -s target/svcbench/BENCH_svc.json || { echo "svcbench report is empty" >&2; exit 1; }
+
 echo "CI OK"

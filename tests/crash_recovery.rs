@@ -116,6 +116,9 @@ fn apply(svc: &mut PolicyService, cmd: &WalCommand) {
         WalCommand::EvaluateTransfers(batch) => {
             svc.evaluate_transfers(batch);
         }
+        WalCommand::EvaluateTransferGroups(groups) => {
+            svc.evaluate_transfer_groups(groups);
+        }
         WalCommand::ReportTransfers(outcomes) => svc.report_transfers(outcomes),
         WalCommand::EvaluateCleanups(batch) => {
             svc.evaluate_cleanups(batch);

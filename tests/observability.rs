@@ -112,9 +112,88 @@ fn metrics_scrape_reflects_rest_traffic() {
     assert!(text.contains("# TYPE pwm_policy_advice_latency_micros histogram"));
     assert!(text.contains("pwm_rules_firings_total"));
 
+    // The event loop publishes its own readiness/queue-depth series on the
+    // same scrape.
+    for metric in [
+        "pwm_rest_event_loop_wakeups_total",
+        "pwm_rest_requests_total",
+        "pwm_rest_batched_requests_total",
+        "pwm_rest_open_connections",
+        "pwm_rest_write_backlog_bytes",
+    ] {
+        assert!(text.contains(metric), "scrape missing {metric}:\n{text}");
+    }
+
     // The per-session trace dump validates too (evaluation instants were
     // stamped with the attached sim clock).
     let trace = client.trace().unwrap();
     let events = validate_chrome_trace(&trace).expect("session trace validates");
     assert!(events >= 3, "one instant per evaluation, got {events}");
+}
+
+/// A sharded session's counters appear once per shard under a `shard="N"`
+/// label, and pipelined traffic drives the event loop's batched counter.
+#[test]
+fn sharded_session_metrics_carry_per_shard_labels() {
+    let controller = PolicyController::new(PolicyConfig::default());
+    controller.create_sharded_session("grid", PolicyConfig::default(), 4);
+    let server = PolicyRestServer::start(controller).unwrap();
+    let client = PolicyRestClient::new(server.addr(), "grid");
+
+    // 32 requests over 32 distinct host pairs, pipelined in one window so
+    // the event loop collapses them into batched rules passes.
+    let groups: Vec<Vec<TransferSpec>> = (0..32u32)
+        .map(|n| {
+            vec![TransferSpec {
+                source: Url::new("gsiftp", format!("gridftp-{n}"), format!("/d/f{n}.dat")),
+                dest: Url::new("file", format!("scratch-{n}"), format!("/s/f{n}.dat")),
+                bytes: 1_000_000,
+                requested_streams: None,
+                workflow: WorkflowId(1),
+                cluster: None,
+                priority: None,
+            }]
+        })
+        .collect();
+    let advice = client.evaluate_transfers_pipelined(&groups).unwrap();
+    assert_eq!(advice.len(), 32);
+
+    let text = client.metrics().unwrap();
+
+    // Every shard that saw traffic reports under its own label, and the
+    // per-shard counts add up to exactly the 32 requests issued — the
+    // series partition the session's traffic, they don't duplicate it.
+    let mut shards_seen = 0u32;
+    let mut sum = 0u64;
+    for line in text.lines() {
+        if let Some(rest) =
+            line.strip_prefix("pwm_policy_transfer_requests_total{session=\"grid\",shard=\"")
+        {
+            shards_seen += 1;
+            let count = rest
+                .split_once("\"} ")
+                .expect("well-formed series line")
+                .1
+                .parse::<u64>()
+                .expect("counter value");
+            sum += count;
+        }
+    }
+    assert!(
+        shards_seen >= 2,
+        "32 host pairs must spread over several shards:\n{text}"
+    );
+    assert_eq!(sum, 32, "per-shard request counters must sum to the total");
+
+    // The batched path served the pipelined window.
+    let batched = text
+        .lines()
+        .find(|l| l.starts_with("pwm_rest_batched_requests_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("batched counter present");
+    assert!(
+        batched >= 32,
+        "a 32-deep pipelined window must be served by the batched path, got {batched}"
+    );
 }

@@ -1,6 +1,7 @@
 //! Integration: multi-session REST lifecycle — per-experiment sessions with
-//! different configurations, mixed JSON/XML clients against one server, and
-//! incremental audit-log polling.
+//! different configurations, mixed JSON/XML clients against one server,
+//! incremental audit-log polling, and graceful shutdown of the event loop
+//! under pipelined load.
 
 use pwm_core::transport::PolicyTransport;
 use pwm_core::{PolicyConfig, PolicyController, TransferSpec, Url, WorkflowId};
@@ -71,6 +72,155 @@ fn json_and_xml_clients_share_one_session() {
     assert!(first[0].should_execute());
     let second = xml.evaluate_transfers(vec![spec(7)]).unwrap();
     assert!(!second[0].should_execute());
+}
+
+/// Graceful shutdown under pipelined load: while several connections are
+/// mid-window, `shutdown()` must answer every fully-received request (200),
+/// 503 the partially-received one, flush whole frames, and only then close
+/// — no truncated responses, no drops before the drain begins, and no new
+/// connections afterwards.
+#[test]
+fn graceful_shutdown_under_pipelined_load() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const DEPTH: usize = 8;
+
+    let controller = PolicyController::new(PolicyConfig::default());
+    let mut server = PolicyRestServer::start(controller).unwrap();
+    let addr = server.addr();
+
+    let draining = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+
+    let render = |t: u32, n: u32| {
+        let body = serde_json::to_vec(&pwm_rest::TransferRequestEnvelope {
+            transfers: vec![spec(1000 * t + n)],
+        })
+        .unwrap();
+        pwm_rest::http::render_request(
+            WireFormat::Json,
+            pwm_rest::Method::Post,
+            "/sessions/default/transfers",
+            &body,
+            true,
+        )
+    };
+
+    // A connection parked with half a request on the wire: the drain must
+    // answer it with a clean 503, not silence or a torn frame.
+    let mut parked = TcpStream::connect(addr).unwrap();
+    parked.set_nodelay(true).ok();
+    let half = render(9, 0);
+    parked.write_all(&half[..half.len() / 2]).unwrap();
+
+    // Load threads, each pipelining windows of DEPTH distinct requests.
+    let mut threads = Vec::new();
+    for t in 0..3u32 {
+        let draining = Arc::clone(&draining);
+        let answered = Arc::clone(&answered);
+        let reqs: Vec<Vec<u8>> = (0..64).map(|n| render(t, n)).collect();
+        threads.push(std::thread::spawn(move || -> u64 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            let mut ok200 = 0u64;
+            let mut cursor = 0usize;
+            let mut rbuf: Vec<u8> = Vec::new();
+            let mut chunk = [0u8; 8192];
+            loop {
+                let mut window = Vec::new();
+                for _ in 0..DEPTH {
+                    window.extend_from_slice(&reqs[cursor % reqs.len()]);
+                    cursor += 1;
+                }
+                if stream.write_all(&window).is_err() {
+                    assert!(
+                        draining.load(Ordering::SeqCst),
+                        "write failed before shutdown began"
+                    );
+                    break;
+                }
+                let mut got = 0usize;
+                let mut closed = false;
+                while got < DEPTH {
+                    while let Some((status, _body, consumed)) =
+                        pwm_rest::http::try_parse_response(&rbuf).expect("well-formed frame")
+                    {
+                        rbuf.drain(..consumed);
+                        got += 1;
+                        assert!(
+                            status == 200 || status == 503,
+                            "unexpected status {status} during drain"
+                        );
+                        if status == 200 {
+                            ok200 += 1;
+                        }
+                        answered.fetch_add(1, Ordering::SeqCst);
+                        if got == DEPTH {
+                            break;
+                        }
+                    }
+                    if got == DEPTH {
+                        break;
+                    }
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => {
+                            closed = true;
+                            break;
+                        }
+                        Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                if closed {
+                    assert!(
+                        draining.load(Ordering::SeqCst),
+                        "server closed a connection before shutdown began"
+                    );
+                    assert!(
+                        rbuf.is_empty(),
+                        "connection closed with a truncated response in flight"
+                    );
+                    break;
+                }
+                if draining.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            ok200
+        }));
+    }
+
+    // Let the load demonstrably flow, then pull the plug mid-traffic.
+    while answered.load(Ordering::SeqCst) < 200 {
+        std::thread::yield_now();
+    }
+    draining.store(true, Ordering::SeqCst);
+    server.shutdown();
+
+    for t in threads {
+        let ok200 = t.join().expect("load thread");
+        assert!(
+            ok200 > 0,
+            "every connection served requests before shutdown"
+        );
+    }
+
+    // The parked half-request got its clean 503 before the close.
+    let mut tail = Vec::new();
+    parked.read_to_end(&mut tail).expect("read parked tail");
+    let (status, _body, consumed) = pwm_rest::http::try_parse_response(&tail)
+        .expect("well-formed frame")
+        .expect("partial request must be answered, not dropped");
+    assert_eq!(status, 503, "partial request gets a clean 503");
+    assert_eq!(consumed, tail.len(), "nothing after the 503 frame");
+
+    // The listener is gone: no new connections after shutdown returns.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "shutdown must close the listener"
+    );
 }
 
 #[test]
