@@ -1,0 +1,275 @@
+//! Struct-of-arrays storage for live flows.
+//!
+//! The old engine kept flows in a `BTreeMap<FlowId, Flow>` with an enum
+//! phase; every hot-path touch (rate write-back, remaining-bytes math, BFS
+//! membership checks) paid a tree walk plus an enum match across a ~200-byte
+//! record. [`FlowTable`] splits the flow into slot-indexed *columns*: the hot
+//! scalars (`phase`, `rate`, `remaining`, …) are dense parallel vectors the
+//! allocator walks with plain indexing, while the per-flow constants live in
+//! a [`FlowCold`] row touched only at activation and completion.
+//!
+//! Slots are stable for a flow's lifetime (event payloads and the link
+//! bipartite index carry raw `u32` slots), recycled through a free list after
+//! completion. Determinism is preserved by a `FlowId → slot` `BTreeMap`:
+//! every order-sensitive iteration (candidate activation, full recompute,
+//! component sorting) goes through id order, never slot order.
+
+use crate::flow::{FlowId, FlowSpec};
+use crate::topology::LinkId;
+use pwm_sim::{EventHandle, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Lifecycle phase of a slot. Mirrors [`crate::flow::FlowPhase`] minus the
+/// payload fields, which live in their own columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Slot is on the free list.
+    Vacant,
+    /// Connection setup in progress; a `Connect` event is pending.
+    Connecting,
+    /// Setup finished but an endpoint's connection limit defers activation.
+    Queued,
+    /// Moving bytes.
+    Active,
+}
+
+/// Per-flow constants, written once at `start_flow` and read at activation,
+/// allocation, and completion.
+#[derive(Debug, Clone)]
+pub struct FlowCold {
+    /// Immutable request.
+    pub spec: FlowSpec,
+    /// Links of the route, as `LinkId`s (for record/obs paths).
+    pub route: Vec<LinkId>,
+    /// `route` projected to raw link indices for the allocator.
+    pub links: Vec<usize>,
+    /// Round-trip time of the (fixed) route.
+    pub route_rtt: SimDuration,
+    /// When `start_flow` was called.
+    pub requested_at: SimTime,
+    /// Per-flow fair-share multiplier (TCP unfairness), drawn at start.
+    pub weight_factor: f64,
+}
+
+impl FlowCold {
+    /// Effective stream count (floor of 1).
+    pub fn streams(&self) -> u32 {
+        self.spec.streams.max(1)
+    }
+}
+
+/// Slot-indexed columns of live-flow state.
+///
+/// Columns are `pub` so the engine can split borrows across them (e.g. sort
+/// a slot list by the `id_of` column while mutating another column).
+pub struct FlowTable {
+    /// Lifecycle phase per slot.
+    pub phase: Vec<Phase>,
+    /// When the flow activated (ramp age anchor). Valid while `Active`.
+    pub activated_at: Vec<SimTime>,
+    /// Anchor instant of the linear motion below. Valid while `Active`.
+    pub rate_since: Vec<SimTime>,
+    /// Bytes remaining *as of* `rate_since`; the engine integrates lazily:
+    /// `remaining(t) = remaining - rate · (t - rate_since)`.
+    pub remaining: Vec<f64>,
+    /// Allocated rate, bytes/sec. Valid while `Active`.
+    pub rate: Vec<f64>,
+    /// Fair-share weight: `streams × weight_factor`, precomputed at insert.
+    pub weight: Vec<f64>,
+    /// True when the last allocation left the flow bound by its own cap
+    /// (rather than a saturated link) — the gate for ramp recomputes.
+    pub cap_bound: Vec<bool>,
+    /// Pending completion-ETA event, if the flow has a nonzero rate.
+    pub eta: Vec<Option<EventHandle>>,
+    /// Owning flow id per slot (stale for vacant slots).
+    pub id_of: Vec<FlowId>,
+    /// Per-flow constants (stale for vacant slots; overwritten on reuse).
+    pub cold: Vec<FlowCold>,
+    /// Deterministic id → slot index over live flows.
+    slot_of: BTreeMap<FlowId, u32>,
+    /// Vacant slots available for reuse.
+    free: Vec<u32>,
+}
+
+impl FlowTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        FlowTable {
+            phase: Vec::new(),
+            activated_at: Vec::new(),
+            rate_since: Vec::new(),
+            remaining: Vec::new(),
+            rate: Vec::new(),
+            weight: Vec::new(),
+            cap_bound: Vec::new(),
+            eta: Vec::new(),
+            id_of: Vec::new(),
+            cold: Vec::new(),
+            slot_of: BTreeMap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Steal the `route`/`links` buffers of the next slot `insert` would
+    /// recycle, emptied but with their capacity intact. Hot callers fill
+    /// these in place and hand them back inside the [`FlowCold`] they pass
+    /// to `insert`, making steady-state flow turnover allocation-free.
+    /// Returns fresh (unallocated) buffers when no vacant slot exists.
+    pub fn take_vacant_cold(&mut self) -> (Vec<LinkId>, Vec<usize>) {
+        match self.free.last() {
+            Some(&s) => {
+                let c = &mut self.cold[s as usize];
+                let mut route = std::mem::take(&mut c.route);
+                let mut links = std::mem::take(&mut c.links);
+                route.clear();
+                links.clear();
+                (route, links)
+            }
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Insert a new flow in `Connecting` phase; returns its slot.
+    pub fn insert(&mut self, id: FlowId, cold: FlowCold) -> u32 {
+        let weight = cold.streams() as f64 * cold.weight_factor;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let si = s as usize;
+                self.phase[si] = Phase::Connecting;
+                self.activated_at[si] = SimTime::ZERO;
+                self.rate_since[si] = SimTime::ZERO;
+                self.remaining[si] = 0.0;
+                self.rate[si] = 0.0;
+                self.weight[si] = weight;
+                self.cap_bound[si] = false;
+                self.eta[si] = None;
+                self.id_of[si] = id;
+                self.cold[si] = cold;
+                s
+            }
+            None => {
+                let s = self.phase.len() as u32;
+                self.phase.push(Phase::Connecting);
+                self.activated_at.push(SimTime::ZERO);
+                self.rate_since.push(SimTime::ZERO);
+                self.remaining.push(0.0);
+                self.rate.push(0.0);
+                self.weight.push(weight);
+                self.cap_bound.push(false);
+                self.eta.push(None);
+                self.id_of.push(id);
+                self.cold.push(cold);
+                s
+            }
+        };
+        let prev = self.slot_of.insert(id, slot);
+        debug_assert!(prev.is_none(), "flow id inserted twice");
+        slot
+    }
+
+    /// Free a flow's slot for reuse. The cold row is left stale (it is
+    /// overwritten on the next reuse); callers must read any fields they
+    /// need *before* removing.
+    pub fn remove(&mut self, id: FlowId) {
+        let slot = self.slot_of.remove(&id).expect("removing unknown flow");
+        let si = slot as usize;
+        self.phase[si] = Phase::Vacant;
+        self.eta[si] = None;
+        self.free.push(slot);
+    }
+
+    /// Live flows in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, u32)> + '_ {
+        self.slot_of.iter().map(|(&id, &s)| (id, s))
+    }
+
+    /// Number of live flows.
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// True when no flows are live.
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
+    /// Total slots ever allocated (live + vacant); the bound for any
+    /// slot-indexed scratch vector.
+    pub fn slot_count(&self) -> usize {
+        self.phase.len()
+    }
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::HostId;
+
+    fn cold(bytes: f64, streams: u32) -> FlowCold {
+        FlowCold {
+            spec: FlowSpec {
+                src: HostId(0),
+                dst: HostId(1),
+                bytes,
+                streams,
+                tag: 0,
+            },
+            route: vec![LinkId(0)],
+            links: vec![0],
+            route_rtt: SimDuration::from_millis(1),
+            requested_at: SimTime::ZERO,
+            weight_factor: 1.5,
+        }
+    }
+
+    #[test]
+    fn insert_precomputes_weight_with_stream_floor() {
+        let mut t = FlowTable::new();
+        let s = t.insert(FlowId(1), cold(10.0, 0));
+        assert_eq!(t.weight[s as usize], 1.5, "0 streams coerces to 1");
+        let s2 = t.insert(FlowId(2), cold(10.0, 4));
+        assert_eq!(t.weight[s2 as usize], 6.0);
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo_and_ids_stay_deterministic() {
+        let mut t = FlowTable::new();
+        let a = t.insert(FlowId(1), cold(1.0, 1));
+        let b = t.insert(FlowId(2), cold(2.0, 1));
+        assert_ne!(a, b);
+        t.remove(FlowId(1));
+        assert_eq!(t.len(), 1);
+        assert!(t.iter().all(|(id, _)| id != FlowId(1)));
+        let c = t.insert(FlowId(3), cold(3.0, 1));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(t.slot_count(), 2, "no growth on reuse");
+        // Iteration is id-ordered regardless of slot assignment.
+        let order: Vec<FlowId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![FlowId(2), FlowId(3)]);
+        assert_eq!(t.cold[c as usize].spec.bytes, 3.0, "cold row overwritten");
+    }
+
+    #[test]
+    fn remove_clears_phase_and_eta() {
+        let mut t = FlowTable::new();
+        let s = t.insert(FlowId(7), cold(1.0, 2));
+        t.phase[s as usize] = Phase::Active;
+        t.remove(FlowId(7));
+        assert_eq!(t.phase[s as usize], Phase::Vacant);
+        assert!(t.eta[s as usize].is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "removing unknown flow")]
+    fn removing_unknown_flow_panics() {
+        let mut t = FlowTable::new();
+        t.remove(FlowId(9));
+    }
+}

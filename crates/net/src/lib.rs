@@ -38,6 +38,7 @@
 
 pub mod fault;
 pub mod flow;
+mod flow_table;
 pub mod metrics;
 pub mod model;
 pub mod network;

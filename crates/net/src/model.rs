@@ -147,7 +147,7 @@ impl StreamModel {
     /// Turbulence remaining after `dt` of decay from level `t0`.
     pub fn decay_turbulence(&self, t0: f64, dt: SimDuration) -> f64 {
         let tau = self.turbulence_tau.as_secs_f64();
-        if tau <= 0.0 {
+        if tau <= 0.0 || t0 == 0.0 {
             return 0.0;
         }
         let t = t0 * (-dt.as_secs_f64() / tau).exp();

@@ -4,26 +4,48 @@
 //! flows. It is a *passive* component: a driver (the workflow executor, or a
 //! test) interleaves its own events with the network's by asking
 //! [`Network::next_wakeup`] for the earliest instant anything interesting
-//! happens — a connection finishing setup, a flow draining, a turbulence or
-//! ramp refresh — and calling [`Network::advance`] to integrate flow progress
-//! up to its chosen time. Rates are recomputed (weighted max-min, see
-//! [`crate::sharing`]) at every flow membership change and at periodic
-//! refresh points while flows ramp or links are turbulent.
+//! happens and calling [`Network::advance`] to move the engine there. Rates
+//! are recomputed (weighted max-min, see [`crate::sharing`]) at every flow
+//! membership change and at periodic refresh points while flows ramp or
+//! links are turbulent.
 //!
-//! Determinism: flows live in a `BTreeMap` keyed by monotonically increasing
-//! [`FlowId`], so iteration order — and therefore every floating-point
-//! reduction — is identical across runs with the same schedule.
+//! # Event-driven core
+//!
+//! The engine's own discontinuities — a connection finishing setup, a flow
+//! draining at its current rate — live in an indexed [`EventQueue`] rather
+//! than being rediscovered by per-flow scans. Flow state is a
+//! struct-of-arrays [`FlowTable`]; byte progress is integrated *lazily*
+//! (each slot stores `(remaining, rate, rate_since)` and the engine
+//! evaluates the linear motion on demand), so advancing time is O(1) in the
+//! number of flows. When an allocation actually changes a flow's rate, its
+//! completion-ETA event is cancelled and rescheduled — the cancel-heavy
+//! workload the indexed queue's O(1)-locate cancellation exists for. A rate
+//! that moves by less than [`RATE_EPS`] keeps both its value and its
+//! pending ETA event untouched.
+//!
+//! Per-event cost is therefore O(affected component + log live-flows):
+//! popping the event, updating link membership, and re-running progressive
+//! filling over the connected component the membership change can reach.
+//! Disjoint host-pair clusters never pay for each other's churn, and a
+//! 100k-flow network costs no more per event than a 100-flow one with the
+//! same cluster size.
+//!
+//! Determinism: every order-sensitive iteration (activation candidates,
+//! completion processing, component allocation, the full-recompute baseline)
+//! sorts by monotonically increasing [`FlowId`], so floating-point
+//! reductions are identical across runs with the same schedule.
 
 use crate::fault::{LinkFault, LinkFaultKind};
-use crate::flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
+use crate::flow::{FlowId, FlowSpec, TransferRecord};
+use crate::flow_table::{FlowCold, FlowTable, Phase};
 use crate::metrics::AllocStats;
 use crate::model::{LinkState, StreamModel};
 use crate::sharing::{max_min_rates, FlowDemand, RateAllocator};
 use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::topology::{LinkId, Topology};
 use pwm_obs::{Gauge, Obs, SpanId};
-use pwm_sim::{FaultEvent, FaultPlan, SimDuration, SimRng, SimTime};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use pwm_sim::{EventQueue, FaultEvent, FaultPlan, SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
 
 /// Completion slop: a flow whose remaining bytes drop below this is done.
 const BYTE_EPS: f64 = 0.5;
@@ -31,15 +53,55 @@ const BYTE_EPS: f64 = 0.5;
 /// Relative rate-change threshold below which a freshly computed rate is
 /// discarded in favor of the flow's current one: sub-epsilon churn would
 /// only perturb completion ETAs in their last bits and cascade pointless
-/// wakeups through the driver.
+/// event reschedules through the queue.
 const RATE_EPS: f64 = 1e-9;
+
+/// Relative slack when deciding whether an allocation left a flow bound by
+/// its own cap (`rate ≈ cap`) rather than by a saturated link.
+const CAP_BOUND_SLACK: f64 = 1e-6;
+
+/// The engine's internal discontinuities, keyed by flow slot.
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    /// Connection setup finishes for the flow in this slot.
+    Connect(u32),
+    /// Completion ETA of the flow in this slot at its scheduled rate.
+    /// Cancelled and rescheduled whenever the rate genuinely changes.
+    Complete(u32),
+}
+
+/// Per-link hot state: everything the engine touches when a flow joins or
+/// leaves a link or its effective capacity refreshes, packed into one row
+/// (~one cache line). These fields used to live in five parallel arrays
+/// plus the topology's link table; at 100k-flow scale every membership
+/// event then paid ~5 scattered cache misses per link touched, which
+/// dominated the event loop.
+struct LinkHot {
+    /// Occupancy and turbulence (streams, peak, turbulence, updated_at).
+    state: LinkState,
+    /// Congestion knee with any per-link override resolved at build time
+    /// (the topology and model are fixed for the network's lifetime).
+    knee: f64,
+    /// Nominal capacity from the topology; turbulence, stream counts, and
+    /// faults scale it into `Network::capacities`.
+    base_capacity: f64,
+    /// Membership or effective capacity changed since the last recompute
+    /// (membership flag for `Network::dirty_links`).
+    dirty: bool,
+    /// Membership flag for `Network::turb_links`.
+    turb: bool,
+}
 
 /// The live network simulation.
 pub struct Network {
     topology: Topology,
     model: StreamModel,
-    flows: BTreeMap<FlowId, Flow>,
-    link_states: Vec<LinkState>,
+    /// Struct-of-arrays live-flow state (see [`FlowTable`]).
+    flows: FlowTable,
+    /// Connect/Complete discontinuities, indexed for O(1)-locate cancel.
+    sched: EventQueue<NetEvent>,
+    /// Per-link hot state, one row per link (see [`LinkHot`]).
+    links: Vec<LinkHot>,
     next_flow_id: u64,
     now: SimTime,
     completed: Vec<TransferRecord>,
@@ -49,7 +111,7 @@ pub struct Network {
     /// Active connections per host (enforces per-host connection limits).
     host_active: Vec<u32>,
     /// Opt-in utilization recorders, keyed by watched link.
-    timelines: std::collections::BTreeMap<LinkId, LinkTimeline>,
+    timelines: BTreeMap<LinkId, LinkTimeline>,
     /// Scheduled link faults; capacities scale while a window is active.
     faults: FaultPlan<LinkFault>,
     /// Opt-in observability sinks (see [`Network::set_obs`]).
@@ -60,45 +122,60 @@ pub struct Network {
     // membership change re-run progressive filling over only the connected
     // component of links/flows it can actually affect; disjoint host-pair
     // clusters never pay for each other's churn.
-    /// Active flows per link, sorted by `FlowId` (the flow side of the
-    /// bipartite index is each flow's cached `links` list).
-    link_flows: Vec<Vec<FlowId>>,
-    /// True iff the link's membership or effective capacity changed since
-    /// the last recompute.
-    link_dirty: Vec<bool>,
-    /// The links with `link_dirty` set (insertion-ordered, deduplicated).
+    /// Active flow slots per link, sorted by the owning `FlowId`.
+    link_flows: Vec<Vec<u32>>,
+    /// The links with `LinkHot::dirty` set (insertion-ordered, dedup'd).
     dirty_links: Vec<usize>,
     /// Effective capacity per link as of the last recompute; a change marks
     /// the link dirty (covers turbulence decay, stream-count knees, and
     /// fault-window boundaries in one comparison).
     capacities: Vec<f64>,
     /// Running per-link allocated throughput, maintained at each component
-    /// reallocation — replaces the O(flows × links) sums the gauge and
-    /// timeline paths used to pay per recompute.
+    /// reallocation.
     link_throughput: Vec<f64>,
-    /// Active flows still in slow-start; their caps move every recompute,
-    /// so their links stay dirty until the ramp completes.
-    ramping: BTreeSet<FlowId>,
-    /// Number of flows currently in [`FlowPhase::Active`].
+    /// Active flows still in slow-start, id → slot. Their caps rise with
+    /// age, but a recompute is only forced while a flow's cap is actually
+    /// binding (see `recompute_rates` step 2).
+    ramping: BTreeMap<FlowId, u32>,
+    /// Flows waiting for a connection slot, id → slot (FIFO = id order).
+    queued: BTreeMap<FlowId, u32>,
+    /// Links with nonzero stored turbulence (membership flag: `LinkHot::
+    /// turb`). Invariant: any link whose stored turbulence is positive is
+    /// in this list — turbulence is only injected by membership changes,
+    /// which enlist the link; it leaves once settling clips the level to
+    /// zero.
+    turb_links: Vec<usize>,
+    /// Slots that became Active already drained (zero-byte payloads): they
+    /// complete in the same advance step, without a Complete event.
+    done_now: Vec<u32>,
+    /// Number of flows currently in [`Phase::Active`].
     active_count: usize,
     /// Reusable progressive-filling scratch (see [`RateAllocator`]).
     alloc: RateAllocator,
-    /// Scratch: flows of the dirty component(s), sorted before allocation.
-    comp_flows: Vec<FlowId>,
+    /// Scratch: flow slots of the dirty component(s), sorted by id.
+    comp_flows: Vec<u32>,
+    /// Scratch: per-component flow caps, parallel to `comp_flows`.
+    comp_caps: Vec<f64>,
     /// Scratch: links of the dirty component(s).
     comp_links: Vec<usize>,
     /// Scratch: per-link BFS visited marker (cleared via `comp_links`).
     link_seen: Vec<bool>,
-    /// Scratch: per-flow BFS visited marker (membership checks only).
-    flow_seen: HashSet<FlowId>,
+    /// Scratch: per-slot BFS visited marker (cleared via `comp_flows`).
+    flow_seen: Vec<bool>,
     /// Scratch: BFS work stack of link indices.
     bfs_stack: Vec<usize>,
-    /// Scratch: ramping-flow ids being examined this recompute.
-    ramp_scratch: Vec<FlowId>,
+    /// Scratch: ramping (id, slot) pairs being examined this recompute.
+    ramp_scratch: Vec<(FlowId, u32)>,
+    /// Scratch: Connect events drained in the current `advance` segment.
+    connect_scratch: Vec<(FlowId, u32)>,
+    /// Scratch: Complete events drained in the current `advance` segment.
+    complete_scratch: Vec<(FlowId, u32)>,
+    /// Scratch: (slot, stream-delta) pairs joining links in `activate_due`.
+    join_scratch: Vec<(u32, i64)>,
     /// Allocation-work counters (see [`AllocStats`]).
     stats: AllocStats,
     /// Benchmark/testing escape hatch: when true, every recompute takes the
-    /// pre-incremental full path (all flows, all links, fresh buffers).
+    /// full path (all flows, all links, fresh buffers).
     full_recompute: bool,
 }
 
@@ -124,13 +201,25 @@ impl Network {
     /// Build a network with an explicit seed for per-flow weight jitter.
     pub fn with_seed(topology: Topology, model: StreamModel, seed: u64) -> Self {
         let link_count = topology.link_count();
-        let link_states = (0..link_count).map(|_| LinkState::new()).collect();
+        let links = (0..link_count)
+            .map(|ix| {
+                let l = topology.link(LinkId(ix as u32));
+                LinkHot {
+                    state: LinkState::new(),
+                    knee: l.knee_override.unwrap_or(model.knee_streams),
+                    base_capacity: l.capacity,
+                    dirty: false,
+                    turb: false,
+                }
+            })
+            .collect();
         let host_active = vec![0; topology.host_count()];
         Network {
             topology,
             model,
-            flows: BTreeMap::new(),
-            link_states,
+            flows: FlowTable::new(),
+            sched: EventQueue::new(),
+            links,
             next_flow_id: 0,
             now: SimTime::ZERO,
             completed: Vec::new(),
@@ -138,32 +227,38 @@ impl Network {
             total_flows_completed: 0,
             rng: SimRng::for_component(seed, "network-weights"),
             host_active,
-            timelines: std::collections::BTreeMap::new(),
+            timelines: BTreeMap::new(),
             faults: FaultPlan::new(),
             obs: None,
             link_flows: vec![Vec::new(); link_count],
-            link_dirty: vec![false; link_count],
             dirty_links: Vec::new(),
             capacities: vec![0.0; link_count],
             link_throughput: vec![0.0; link_count],
-            ramping: BTreeSet::new(),
+            ramping: BTreeMap::new(),
+            queued: BTreeMap::new(),
+            turb_links: Vec::new(),
+            done_now: Vec::new(),
             active_count: 0,
             alloc: RateAllocator::new(),
             comp_flows: Vec::new(),
+            comp_caps: Vec::new(),
             comp_links: Vec::new(),
             link_seen: vec![false; link_count],
-            flow_seen: HashSet::new(),
+            flow_seen: Vec::new(),
             bfs_stack: Vec::new(),
             ramp_scratch: Vec::new(),
+            connect_scratch: Vec::new(),
+            complete_scratch: Vec::new(),
+            join_scratch: Vec::new(),
             stats: AllocStats::default(),
             full_recompute: false,
         }
     }
 
-    /// Force every rate recomputation down the pre-incremental full path
-    /// (every flow, every link, fresh buffers). Benchmark baseline and
-    /// equivalence-testing escape hatch; choose a mode before starting
-    /// flows and keep it for the network's lifetime.
+    /// Force every rate recomputation down the full path (every flow, every
+    /// link, fresh buffers). Benchmark baseline and equivalence-testing
+    /// escape hatch; choose a mode before starting flows and keep it for
+    /// the network's lifetime.
     pub fn set_full_recompute(&mut self, on: bool) {
         self.full_recompute = on;
     }
@@ -339,17 +434,19 @@ impl Network {
 
     /// Peak concurrent streams ever observed on `link` (Table IV check).
     pub fn peak_streams(&self, link: LinkId) -> u32 {
-        self.link_states[link.0 as usize].peak_streams
+        self.links[link.0 as usize].state.peak_streams
     }
 
     /// Current concurrent streams on `link`.
     pub fn current_streams(&self, link: LinkId) -> u32 {
-        self.link_states[link.0 as usize].streams
+        self.links[link.0 as usize].state.streams
     }
 
-    /// Current turbulence level of `link` (diagnostic).
+    /// Current turbulence level of `link`, decayed to `now` (diagnostic).
     pub fn link_turbulence(&self, link: LinkId) -> f64 {
-        self.link_states[link.0 as usize].turbulence
+        let ls = &self.links[link.0 as usize].state;
+        self.model
+            .decay_turbulence(ls.turbulence, self.now.since(ls.updated_at))
     }
 
     /// Total bytes delivered by completed flows.
@@ -362,23 +459,32 @@ impl Network {
         self.total_flows_completed
     }
 
+    /// Bytes remaining for the flow in slot `si`, integrated lazily to
+    /// `now` from the slot's `(remaining, rate, rate_since)` anchor.
+    fn remaining_at(&self, si: usize, now: SimTime) -> f64 {
+        let dt = now.since(self.flows.rate_since[si]).as_secs_f64();
+        (self.flows.remaining[si] - self.flows.rate[si] * dt).max(0.0)
+    }
+
     /// Begin a transfer at time `now` (which must not precede the engine's
     /// clock). The flow first spends the model's connection-setup time in
-    /// [`FlowPhase::Connecting`], then joins the bandwidth-sharing set.
+    /// [`Phase::Connecting`], then joins the bandwidth-sharing set.
     pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
         self.advance(now);
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
-        let route = self.topology.route(spec.src, spec.dst);
-        let links: Vec<usize> = route.iter().map(|l| l.0 as usize).collect();
-        let rtt = self.topology.route_rtt(spec.src, spec.dst);
+        // Recycle the route buffers of the slot the insert below will
+        // reuse: steady-state flow turnover then allocates nothing.
+        let (mut route, mut links) = self.flows.take_vacant_cold();
+        self.topology.route_into(spec.src, spec.dst, &mut route);
+        links.extend(route.iter().map(|l| l.0 as usize));
+        let rtt = self.topology.path_rtt(&route);
         let setup = self.model.setup_time(spec.streams.max(1), rtt);
         let weight_factor = self.rng.jitter(self.model.flow_weight_jitter);
-        self.flows.insert(
+        let slot = self.flows.insert(
             id,
-            Flow {
+            FlowCold {
                 spec,
-                phase: FlowPhase::Connecting { until: now + setup },
                 route,
                 links,
                 route_rtt: rtt,
@@ -386,6 +492,10 @@ impl Network {
                 weight_factor,
             },
         );
+        if self.flow_seen.len() < self.flows.slot_count() {
+            self.flow_seen.resize(self.flows.slot_count(), false);
+        }
+        self.sched.schedule_at(now + setup, NetEvent::Connect(slot));
         id
     }
 
@@ -394,9 +504,20 @@ impl Network {
         std::mem::take(&mut self.completed)
     }
 
+    /// Like [`Self::take_completed`], but appends into a caller-owned
+    /// buffer, preserving both sides' capacity — the allocation-free
+    /// variant for drivers that drain every step.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<TransferRecord>) {
+        out.append(&mut self.completed);
+    }
+
     /// Earliest instant at which the network's state changes discontinuously:
     /// a connection opens, a flow drains at current rates, or a refresh is
     /// due because something is ramping or turbulent. `None` when idle.
+    ///
+    /// O(pending-turbulent-links), not O(flows): connect/complete instants
+    /// come from the event queue's peek, ramp refreshes from the `ramping`
+    /// set's emptiness, turbulence refreshes from the turbulent-link list.
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
         // Wakeups must be strictly in the future: a completion ETA that
@@ -410,35 +531,20 @@ impl Network {
             });
         };
 
-        let mut needs_refresh = false;
-        for flow in self.flows.values() {
-            match &flow.phase {
-                FlowPhase::Connecting { until } => bump(*until),
-                FlowPhase::Active {
-                    activated_at,
-                    remaining,
-                    rate,
-                } => {
-                    if *rate > 0.0 {
-                        let secs = remaining / rate;
-                        bump(self.now + SimDuration::from_secs_f64(secs));
-                    }
-                    if !self.model.ramp_done(self.now.since(*activated_at)) {
-                        needs_refresh = true;
-                    }
-                }
-                FlowPhase::Queued => {
-                    // Promoted by a completion event; no intrinsic wakeup.
-                }
-                FlowPhase::Done => {}
-            }
+        if let Some(t) = self.sched.peek_time() {
+            bump(t);
         }
+        let mut needs_refresh = !self.ramping.is_empty();
         if !needs_refresh && !self.flows.is_empty() {
             // Turbulent links also change effective rates over time.
-            needs_refresh = self
-                .link_states
-                .iter()
-                .any(|ls| ls.streams > 0 && ls.turbulence > 0.02);
+            needs_refresh = self.turb_links.iter().any(|&ix| {
+                let ls = &self.links[ix].state;
+                ls.streams > 0
+                    && self
+                        .model
+                        .decay_turbulence(ls.turbulence, self.now.since(ls.updated_at))
+                        > 0.02
+            });
         }
         if needs_refresh {
             bump(self.now + self.model.refresh_interval);
@@ -454,214 +560,356 @@ impl Network {
         earliest
     }
 
-    /// Integrate flow progress up to `to`, handling activations and
-    /// completions at their exact instants, and leave rates freshly computed.
+    /// Advance the engine to `to`, handling activations and completions at
+    /// their exact instants, and leave rates freshly computed.
     ///
     /// # Panics
     /// Panics if `to` precedes the engine clock.
     pub fn advance(&mut self, to: SimTime) {
         assert!(to >= self.now, "network clock cannot move backwards");
         while self.now < to {
-            // Next discontinuity within (now, to]: activation or completion.
+            // Next discontinuity within (now, to]: the earliest pending
+            // event or fault boundary. Byte progress needs no integration
+            // stop — it is evaluated lazily per flow.
             let mut seg_end = to;
-            for flow in self.flows.values() {
-                match &flow.phase {
-                    FlowPhase::Connecting { until } => {
-                        if *until > self.now && *until < seg_end {
-                            seg_end = *until;
-                        }
-                    }
-                    FlowPhase::Active {
-                        remaining, rate, ..
-                    } => {
-                        if *rate > 0.0 {
-                            let eta = self.now + SimDuration::from_secs_f64(remaining / rate);
-                            if eta > self.now && eta < seg_end {
-                                seg_end = eta;
-                            }
-                        }
-                    }
-                    FlowPhase::Queued | FlowPhase::Done => {}
+            if let Some(t) = self.sched.peek_time() {
+                if t > self.now && t < seg_end {
+                    seg_end = t;
                 }
             }
-            // Capacities change discontinuously at fault boundaries: stop
-            // the constant-rate segment there and recompute.
             if let Some(b) = self.faults.next_boundary_after(self.now) {
                 if b < seg_end {
                     seg_end = b;
                 }
             }
-
-            self.integrate(seg_end);
             self.now = seg_end;
-            self.activate_due();
-            self.collect_done();
+
+            let mut connects = std::mem::take(&mut self.connect_scratch);
+            let mut completes = std::mem::take(&mut self.complete_scratch);
+            connects.clear();
+            completes.clear();
+            while let Some((_, ev)) = self.sched.pop_until(self.now) {
+                match ev {
+                    NetEvent::Connect(slot) => {
+                        connects.push((self.flows.id_of[slot as usize], slot));
+                    }
+                    NetEvent::Complete(slot) => {
+                        self.flows.eta[slot as usize] = None;
+                        completes.push((self.flows.id_of[slot as usize], slot));
+                    }
+                }
+            }
+            self.activate_due(&mut connects);
+            self.collect_done(&mut completes);
             // Completions free connection slots: promote queued flows now.
-            self.activate_due();
-            self.recompute_rates();
+            connects.clear();
+            self.activate_due(&mut connects);
+            self.connect_scratch = connects;
+            self.complete_scratch = completes;
+            self.recompute_or_skip();
         }
         // `to` may equal `now` on entry (pure rate refresh): still recompute
         // so callers starting flows see current conditions.
-        if self
-            .flows
-            .values()
-            .any(|f| matches!(f.phase, FlowPhase::Active { .. }))
-        {
+        if self.active_count > 0 {
+            self.recompute_or_skip();
+        }
+    }
+
+    /// Recompute rates unless it is provably a no-op (counted as a skip).
+    fn recompute_or_skip(&mut self) {
+        if self.recompute_is_noop() {
+            self.stats.skipped += 1;
+        } else {
             self.recompute_rates();
         }
     }
 
-    /// Move bytes at the current constant rates until `seg_end`.
-    fn integrate(&mut self, seg_end: SimTime) {
-        let dt = seg_end.since(self.now).as_secs_f64();
-        if dt <= 0.0 {
-            return;
-        }
-        for flow in self.flows.values_mut() {
-            if let FlowPhase::Active {
-                remaining, rate, ..
-            } = &mut flow.phase
-            {
-                *remaining = (*remaining - *rate * dt).max(0.0);
-            }
-        }
+    /// True when an immediate incremental recompute would provably leave
+    /// every rate, capacity, and timeline untouched: no dirty links, no
+    /// ramping flows (rising caps), no turbulent links (decaying factors),
+    /// no fault plan (discontinuous capacities), and no watched timelines
+    /// to sample. Full-recompute mode never short-circuits — it is the
+    /// pre-change baseline and must keep the old engine's cost profile.
+    fn recompute_is_noop(&self) -> bool {
+        !self.full_recompute
+            && self.dirty_links.is_empty()
+            && self.ramping.is_empty()
+            && self.turb_links.is_empty()
+            && self.faults.events().is_empty()
+            && self.timelines.is_empty()
     }
 
-    /// Flip Connecting flows whose setup completed into Active (or Queued
-    /// when an endpoint's transfer server is at its connection limit), and
-    /// promote Queued flows into freed slots in FIFO order.
-    fn activate_due(&mut self) {
+    /// Activate setup-complete flows (or queue them when an endpoint's
+    /// transfer server is at its connection limit), and promote queued
+    /// flows into freed slots in FIFO (= id) order. `fresh` carries the
+    /// flows whose Connect event fired this step.
+    fn activate_due(&mut self, candidates: &mut Vec<(FlowId, u32)>) {
         let now = self.now;
-        // Candidates in FlowId (FIFO) order: setup-complete and queued flows.
-        let candidates: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| match &f.phase {
-                FlowPhase::Connecting { until } => *until <= now,
-                FlowPhase::Queued => true,
-                _ => false,
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        let mut joins: Vec<(FlowId, i64)> = Vec::new();
-        for id in candidates {
+        candidates.extend(self.queued.iter().map(|(&id, &s)| (id, s)));
+        if candidates.is_empty() {
+            return;
+        }
+        candidates.sort_unstable_by_key(|&(id, _)| id);
+        let mut joins = std::mem::take(&mut self.join_scratch);
+        joins.clear();
+        for &(id, slot) in candidates.iter() {
+            let si = slot as usize;
             let (src, dst) = {
-                let f = &self.flows[&id];
-                (f.spec.src, f.spec.dst)
+                let spec = &self.flows.cold[si].spec;
+                (spec.src, spec.dst)
             };
             if self.slots_available(src, dst) {
                 self.occupy_slots(src, dst, 1);
-                let flow = self.flows.get_mut(&id).expect("candidate flow");
-                flow.phase = FlowPhase::Active {
-                    activated_at: now,
-                    remaining: flow.spec.bytes.max(0.0),
-                    rate: 0.0,
-                };
-                joins.push((id, flow.streams() as i64));
+                self.queued.remove(&id);
+                let bytes = self.flows.cold[si].spec.bytes.max(0.0);
+                self.flows.phase[si] = Phase::Active;
+                self.flows.activated_at[si] = now;
+                self.flows.rate_since[si] = now;
+                self.flows.remaining[si] = bytes;
+                self.flows.rate[si] = 0.0;
+                self.flows.cap_bound[si] = false;
+                if bytes <= BYTE_EPS {
+                    // Nothing to move: complete in this same step, without
+                    // waiting for a rate or an ETA event.
+                    self.done_now.push(slot);
+                }
+                joins.push((slot, self.flows.cold[si].streams() as i64));
             } else {
-                let flow = self.flows.get_mut(&id).expect("candidate flow");
-                flow.phase = FlowPhase::Queued;
+                self.flows.phase[si] = Phase::Queued;
+                self.queued.insert(id, slot);
             }
         }
-        for (id, streams) in joins {
-            let route_len = self.flows[&id].links.len();
-            for i in 0..route_len {
-                let ix = self.flows[&id].links[i];
-                let knee = self.knee(LinkId(ix as u32));
-                self.link_states[ix].membership_change(&self.model, now, streams, knee);
-                let members = &mut self.link_flows[ix];
-                if let Err(pos) = members.binary_search(&id) {
-                    members.insert(pos, id);
+        for &(slot, streams) in joins.iter() {
+            let si = slot as usize;
+            let id = self.flows.id_of[si];
+            let nlinks = self.flows.cold[si].links.len();
+            for k in 0..nlinks {
+                let ix = self.flows.cold[si].links[k];
+                let lh = &mut self.links[ix];
+                lh.state
+                    .membership_change(&self.model, now, streams, lh.knee);
+                self.note_turbulence(ix);
+                let pos = {
+                    let ids = &self.flows.id_of;
+                    self.link_flows[ix].binary_search_by_key(&id, |&s| ids[s as usize])
+                };
+                if let Err(p) = pos {
+                    self.link_flows[ix].insert(p, slot);
                 }
                 self.mark_link_dirty(ix);
             }
             self.active_count += 1;
             if !self.model.ramp_done(SimDuration::ZERO) {
-                self.ramping.insert(id);
+                self.ramping.insert(id, slot);
             }
         }
+        self.join_scratch = joins;
     }
 
     /// Record that a link's membership or capacity changed since the last
     /// recompute.
     fn mark_link_dirty(&mut self, ix: usize) {
-        if !self.link_dirty[ix] {
-            self.link_dirty[ix] = true;
+        let lh = &mut self.links[ix];
+        if !lh.dirty {
+            lh.dirty = true;
             self.dirty_links.push(ix);
         }
     }
 
-    /// Retire drained flows, record them, release their streams.
-    fn collect_done(&mut self) {
+    /// Enlist `ix` in the turbulent-link list if its stored turbulence is
+    /// positive (call after any `membership_change`).
+    fn note_turbulence(&mut self, ix: usize) {
+        let lh = &mut self.links[ix];
+        if lh.state.turbulence > 0.0 && !lh.turb {
+            lh.turb = true;
+            self.turb_links.push(ix);
+        }
+    }
+
+    /// Retire drained flows, record them, release their streams. `fired`
+    /// carries the flows whose Complete event popped this step; zero-byte
+    /// activations arrive via `done_now`.
+    fn collect_done(&mut self, fired: &mut Vec<(FlowId, u32)>) {
+        if !self.done_now.is_empty() {
+            let drained = std::mem::take(&mut self.done_now);
+            for slot in drained {
+                fired.push((self.flows.id_of[slot as usize], slot));
+            }
+        }
+        if fired.is_empty() {
+            return;
+        }
+        fired.sort_unstable_by_key(|&(id, _)| id);
         let now = self.now;
-        let done_ids: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| {
-                matches!(&f.phase, FlowPhase::Active { remaining, .. } if *remaining <= BYTE_EPS)
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in done_ids {
-            let flow = self.flows.remove(&id).expect("flow disappeared");
-            self.occupy_slots(flow.spec.src, flow.spec.dst, -1);
-            let activated_at = match &flow.phase {
-                FlowPhase::Active { activated_at, .. } => *activated_at,
-                _ => unreachable!("collect_done only sees active flows"),
+        for &(id, slot) in fired.iter() {
+            let si = slot as usize;
+            if self.flows.phase[si] != Phase::Active || self.flows.id_of[si] != id {
+                debug_assert!(false, "completion event for a non-active slot");
+                continue;
+            }
+            let rem = self.remaining_at(si, now);
+            if rem > BYTE_EPS {
+                // The microsecond-rounded ETA fired a hair early; push the
+                // event forward and drain the last bytes next step.
+                let rate = self.flows.rate[si];
+                debug_assert!(rate > 0.0, "early ETA with zero rate");
+                let eta = (now + SimDuration::from_secs_f64(rem / rate))
+                    .max(now + SimDuration::from_micros(1));
+                self.flows.eta[si] = Some(self.sched.schedule_at(eta, NetEvent::Complete(slot)));
+                continue;
+            }
+            if let Some(h) = self.flows.eta[si].take() {
+                // Zero-byte completions may still carry a pending ETA.
+                self.sched.cancel(h);
+            }
+            let (src, dst, bytes, streams, tag, requested_at) = {
+                let cold = &self.flows.cold[si];
+                (
+                    cold.spec.src,
+                    cold.spec.dst,
+                    cold.spec.bytes,
+                    cold.streams(),
+                    cold.spec.tag,
+                    cold.requested_at,
+                )
             };
-            let streams = flow.streams();
+            let activated_at = self.flows.activated_at[si];
+            self.occupy_slots(src, dst, -1);
             self.active_count -= 1;
             self.ramping.remove(&id);
-            for &ix in &flow.links {
-                let knee = self.knee(LinkId(ix as u32));
-                self.link_states[ix].membership_change(&self.model, now, -(streams as i64), knee);
-                if let Ok(pos) = self.link_flows[ix].binary_search(&id) {
-                    self.link_flows[ix].remove(pos);
+            let nlinks = self.flows.cold[si].links.len();
+            for k in 0..nlinks {
+                let ix = self.flows.cold[si].links[k];
+                let lh = &mut self.links[ix];
+                lh.state
+                    .membership_change(&self.model, now, -(streams as i64), lh.knee);
+                self.note_turbulence(ix);
+                let pos = {
+                    let ids = &self.flows.id_of;
+                    self.link_flows[ix].binary_search_by_key(&id, |&s| ids[s as usize])
+                };
+                if let Ok(p) = pos {
+                    self.link_flows[ix].remove(p);
                 }
                 self.mark_link_dirty(ix);
             }
-            self.total_bytes_completed += flow.spec.bytes;
+            self.total_bytes_completed += bytes;
             self.total_flows_completed += 1;
             if let Some(o) = &mut self.obs {
                 let parent = o.flow_parents.remove(&id);
-                let src = self.topology.host(flow.spec.src).name.clone();
-                let dst = self.topology.host(flow.spec.dst).name.clone();
+                let src_name = self.topology.host(src).name.clone();
+                let dst_name = self.topology.host(dst).name.clone();
                 o.obs.tracer.complete_span(
-                    format!("flow {src}->{dst}"),
+                    format!("flow {src_name}->{dst_name}"),
                     "net",
                     parent,
                     activated_at,
                     now,
                     &[
-                        ("bytes", format!("{:.0}", flow.spec.bytes)),
+                        ("bytes", format!("{bytes:.0}")),
                         ("streams", streams.to_string()),
-                        ("tag", flow.spec.tag.to_string()),
+                        ("tag", tag.to_string()),
                     ],
                 );
             }
             self.completed.push(TransferRecord {
                 flow: id,
-                tag: flow.spec.tag,
-                src: flow.spec.src,
-                dst: flow.spec.dst,
-                bytes: flow.spec.bytes,
+                tag,
+                src,
+                dst,
+                bytes,
                 streams,
-                requested_at: flow.requested_at,
+                requested_at,
                 activated_at,
                 completed_at: now,
             });
+            self.flows.remove(id);
         }
+    }
+
+    /// Settle turbulence and refresh the effective capacity of one link,
+    /// marking it dirty when the capacity moved.
+    fn refresh_capacity(&mut self, ix: usize, now: SimTime, have_faults: bool) {
+        let fault_factor = if have_faults {
+            self.fault_capacity_factor(LinkId(ix as u32), now)
+        } else {
+            1.0
+        };
+        let lh = &mut self.links[ix];
+        lh.state.settle(&self.model, now);
+        let factor =
+            self.model
+                .capacity_factor(lh.state.streams as f64, lh.knee, lh.state.turbulence);
+        let cap = lh.base_capacity * factor * fault_factor;
+        if cap != self.capacities[ix] {
+            self.capacities[ix] = cap;
+            self.mark_link_dirty(ix);
+        }
+    }
+
+    /// Drop settled-out links from the turbulent list (stored turbulence
+    /// must be fresh, i.e. the list's links were just settled).
+    fn prune_turbulent(&mut self) {
+        let mut i = 0;
+        while i < self.turb_links.len() {
+            let ix = self.turb_links[i];
+            if self.links[ix].state.turbulence == 0.0 {
+                self.links[ix].turb = false;
+                self.turb_links.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Write an allocated rate back to a flow: on a genuine change (beyond
+    /// [`RATE_EPS`] relative), re-anchor the lazy integrator at `now` and
+    /// reschedule the completion-ETA event; otherwise leave both the rate
+    /// and the pending event untouched. Always refreshes the cap-bound
+    /// flag used to gate ramp recomputes.
+    fn apply_rate(&mut self, slot: u32, now: SimTime, new_rate: f64, cap: f64) {
+        let si = slot as usize;
+        let old = self.flows.rate[si];
+        if (new_rate - old).abs() > RATE_EPS * old.abs().max(1.0) {
+            let rem = self.remaining_at(si, now);
+            self.flows.remaining[si] = rem;
+            self.flows.rate_since[si] = now;
+            self.flows.rate[si] = new_rate;
+            if new_rate > 0.0 {
+                let eta = now + SimDuration::from_secs_f64(rem / new_rate);
+                // Re-key the pending completion in place when one exists;
+                // a fresh event is only needed after a zero-rate stall.
+                match self.flows.eta[si] {
+                    Some(h) if self.sched.reschedule(h, eta) => {}
+                    _ => {
+                        self.flows.eta[si] =
+                            Some(self.sched.schedule_at(eta, NetEvent::Complete(slot)));
+                    }
+                }
+            } else if let Some(h) = self.flows.eta[si].take() {
+                self.sched.cancel(h);
+            }
+        } else {
+            self.stats.unchanged_writes += 1;
+        }
+        self.flows.cap_bound[si] = new_rate >= cap * (1.0 - CAP_BOUND_SLACK);
     }
 
     /// Weighted max-min over effective link capacities, incremental and
     /// allocation-local.
     ///
     /// The recompute decomposes into:
-    /// 1. an O(links) settle/capacity pass — any link whose effective
-    ///    capacity moved (turbulence decay, occupancy knee, fault boundary)
-    ///    is marked dirty;
-    /// 2. promotion of slow-start flows — a ramping flow's cap changes with
-    ///    age, so its links stay dirty until the ramp completes;
+    /// 1. a capacity refresh over only the links whose effective capacity
+    ///    can have moved: dirty links (membership changed) and turbulent
+    ///    links (decay changes the factor). Links that are neither have
+    ///    zero turbulence and unchanged occupancy, so their capacity is
+    ///    provably unchanged. When a fault plan is installed every link is
+    ///    scanned instead, keeping fault-boundary arithmetic exact;
+    /// 2. promotion of slow-start flows — but only when a flow's rising
+    ///    cap is actually *binding* (`cap_bound`). A link-limited ramping
+    ///    flow's cap is monotonically rising yet non-binding, so the
+    ///    previous max-min solution is still exact and nothing needs to be
+    ///    marked — not even when the ramp finishes;
     /// 3. if nothing is dirty, the previous allocation is provably still
     ///    the max-min solution and the whole recompute is skipped;
     /// 4. otherwise a BFS over the flow↔link bipartite index collects the
@@ -671,7 +919,8 @@ impl Network {
     ///    disjoint components are independent).
     ///
     /// Rates that move by less than [`RATE_EPS`] (relative) keep their old
-    /// value, so numerically-unchanged allocations cannot cascade wakeups.
+    /// value *and their pending ETA event*, so numerically-unchanged
+    /// allocations cannot cascade queue churn.
     fn recompute_rates(&mut self) {
         if self.full_recompute {
             self.recompute_rates_full();
@@ -680,49 +929,47 @@ impl Network {
         let now = self.now;
         self.stats.recomputes += 1;
 
-        // 1. Settle turbulence and refresh effective capacities.
+        // 1. Refresh effective capacities where they can have moved.
         let have_faults = !self.faults.events().is_empty();
-        for ix in 0..self.link_states.len() {
-            let fault_factor = if have_faults {
-                self.fault_capacity_factor(LinkId(ix as u32), now)
-            } else {
-                1.0
-            };
-            let link = self.topology.link(LinkId(ix as u32));
-            let knee = link.knee_override.unwrap_or(self.model.knee_streams);
-            let ls = &mut self.link_states[ix];
-            ls.settle(&self.model, now);
-            let factor = self
-                .model
-                .capacity_factor(ls.streams as f64, knee, ls.turbulence);
-            let cap = link.capacity * factor * fault_factor;
-            if cap != self.capacities[ix] {
-                self.capacities[ix] = cap;
-                self.mark_link_dirty(ix);
+        if have_faults {
+            for ix in 0..self.links.len() {
+                self.refresh_capacity(ix, now, true);
+            }
+        } else {
+            // `refresh_capacity` may grow `dirty_links`; bound the loop by
+            // the count of pre-existing dirt.
+            let n_dirty = self.dirty_links.len();
+            for i in 0..n_dirty {
+                let ix = self.dirty_links[i];
+                self.refresh_capacity(ix, now, false);
+            }
+            for i in 0..self.turb_links.len() {
+                let ix = self.turb_links[i];
+                self.refresh_capacity(ix, now, false);
             }
         }
+        self.prune_turbulent();
 
-        // 2. Ramping flows: caps move with age until the ramp is done.
+        // 2. Ramping flows: caps rise with age, but only a binding cap can
+        //    change the allocation — and a cap that was not binding cannot
+        //    start binding by rising further, so even the ramp-done settle
+        //    is skipped for link-limited flows (their last max-min solution
+        //    is still exact). Finished ramps just retire from the set.
         let mut scratch = std::mem::take(&mut self.ramp_scratch);
         scratch.clear();
-        scratch.extend(self.ramping.iter().copied());
-        for &id in &scratch {
-            let Some(flow) = self.flows.get(&id) else {
-                self.ramping.remove(&id);
-                continue;
-            };
-            let FlowPhase::Active { activated_at, .. } = flow.phase else {
-                continue; // still queued/connecting: cap not in play yet
-            };
-            if self.model.ramp_done(now.since(activated_at)) {
+        scratch.extend(self.ramping.iter().map(|(&id, &s)| (id, s)));
+        for &(id, slot) in &scratch {
+            let si = slot as usize;
+            debug_assert_eq!(self.flows.phase[si], Phase::Active);
+            if self.model.ramp_done(now.since(self.flows.activated_at[si])) {
                 self.ramping.remove(&id);
             }
-            // Mark dirty either way: the final recompute settles the flow
-            // at its (near-)asymptotic cap.
-            let route_len = self.flows[&id].links.len();
-            for i in 0..route_len {
-                let ix = self.flows[&id].links[i];
-                self.mark_link_dirty(ix);
+            if self.flows.cap_bound[si] {
+                let nlinks = self.flows.cold[si].links.len();
+                for k in 0..nlinks {
+                    let ix = self.flows.cold[si].links[k];
+                    self.mark_link_dirty(ix);
+                }
             }
         }
         self.ramp_scratch = scratch;
@@ -737,7 +984,6 @@ impl Network {
         // 4. Collect the connected component(s) around the dirty links.
         self.comp_flows.clear();
         self.comp_links.clear();
-        self.flow_seen.clear();
         self.bfs_stack.clear();
         for i in 0..self.dirty_links.len() {
             let seed = self.dirty_links[i];
@@ -748,11 +994,15 @@ impl Network {
         }
         while let Some(ix) = self.bfs_stack.pop() {
             self.comp_links.push(ix);
-            let members = &self.link_flows[ix];
-            for &fid in members {
-                if self.flow_seen.insert(fid) {
-                    self.comp_flows.push(fid);
-                    for &other in &self.flows[&fid].links {
+            for m in 0..self.link_flows[ix].len() {
+                let slot = self.link_flows[ix][m];
+                let si = slot as usize;
+                if !self.flow_seen[si] {
+                    self.flow_seen[si] = true;
+                    self.comp_flows.push(slot);
+                    let nlinks = self.flows.cold[si].links.len();
+                    for k in 0..nlinks {
+                        let other = self.flows.cold[si].links[k];
                         if !self.link_seen[other] {
                             self.link_seen[other] = true;
                             self.bfs_stack.push(other);
@@ -762,11 +1012,17 @@ impl Network {
             }
         }
         // Deterministic iteration orders: flows ascending by id (matching
-        // the BTreeMap order the full pass uses), links ascending by index.
-        self.comp_flows.sort_unstable();
+        // the order the full pass uses), links ascending by index.
+        {
+            let ids = &self.flows.id_of;
+            self.comp_flows.sort_unstable_by_key(|&s| ids[s as usize]);
+        }
         self.comp_links.sort_unstable();
-        for &ix in &self.comp_links {
-            self.link_seen[ix] = false;
+        for i in 0..self.comp_links.len() {
+            self.link_seen[self.comp_links[i]] = false;
+        }
+        for i in 0..self.comp_flows.len() {
+            self.flow_seen[self.comp_flows[i] as usize] = false;
         }
 
         // 5. Progressive filling over the component only.
@@ -775,48 +1031,44 @@ impl Network {
             self.stats.flows_allocated += self.comp_flows.len() as u64;
             self.stats.links_allocated += self.comp_links.len() as u64;
             let mut alloc = std::mem::take(&mut self.alloc);
+            let mut caps = std::mem::take(&mut self.comp_caps);
             alloc.begin(self.capacities.len());
-            for &fid in &self.comp_flows {
-                let flow = &self.flows[&fid];
-                let FlowPhase::Active { activated_at, .. } = flow.phase else {
-                    unreachable!("bipartite index only holds active flows");
-                };
-                let age = now.since(activated_at);
-                alloc.push_flow(
-                    flow.streams() as f64 * flow.weight_factor,
-                    self.model.flow_cap(flow.streams(), age, flow.route_rtt),
-                    &flow.links,
-                );
+            caps.clear();
+            for i in 0..self.comp_flows.len() {
+                let si = self.comp_flows[i] as usize;
+                debug_assert_eq!(self.flows.phase[si], Phase::Active);
+                let age = now.since(self.flows.activated_at[si]);
+                let cold = &self.flows.cold[si];
+                let cap = self.model.flow_cap(cold.streams(), age, cold.route_rtt);
+                alloc.push_flow(self.flows.weight[si], cap, &cold.links);
+                caps.push(cap);
             }
             let rates = alloc.allocate(&self.capacities);
 
             // 6. Write rates back and rebuild the component's running
             //    throughput totals (links outside the component are exact
             //    already — nothing on them changed).
-            for &ix in &self.comp_links {
-                self.link_throughput[ix] = 0.0;
+            for i in 0..self.comp_links.len() {
+                self.link_throughput[self.comp_links[i]] = 0.0;
             }
-            for (&fid, &new_rate) in self.comp_flows.iter().zip(rates) {
-                let flow = self.flows.get_mut(&fid).expect("component flow");
-                if let FlowPhase::Active { rate, .. } = &mut flow.phase {
-                    if (new_rate - *rate).abs() > RATE_EPS * rate.abs().max(1.0) {
-                        *rate = new_rate;
-                    } else {
-                        self.stats.unchanged_writes += 1;
-                    }
-                    let effective = *rate;
-                    for &ix in &flow.links {
-                        self.link_throughput[ix] += effective;
-                    }
+            for i in 0..self.comp_flows.len() {
+                let slot = self.comp_flows[i];
+                self.apply_rate(slot, now, rates[i], caps[i]);
+                let si = slot as usize;
+                let effective = self.flows.rate[si];
+                let nlinks = self.flows.cold[si].links.len();
+                for k in 0..nlinks {
+                    let ix = self.flows.cold[si].links[k];
+                    self.link_throughput[ix] += effective;
                 }
             }
+            self.comp_caps = caps;
             self.alloc = alloc;
         } else {
             // Dirty links with no remaining flows (e.g. the last flow on a
             // cluster finished): their allocation drops to zero.
             for i in 0..self.comp_links.len() {
-                let ix = self.comp_links[i];
-                self.link_throughput[ix] = 0.0;
+                self.link_throughput[self.comp_links[i]] = 0.0;
             }
         }
 
@@ -824,7 +1076,7 @@ impl Network {
         if let Some(o) = &self.obs {
             for &ix in &self.comp_links {
                 let (streams_gauge, throughput_gauge) = &o.link_gauges[ix];
-                streams_gauge.set(f64::from(self.link_states[ix].streams));
+                streams_gauge.set(f64::from(self.links[ix].state.streams));
                 throughput_gauge.set(self.link_throughput[ix]);
             }
         }
@@ -832,14 +1084,15 @@ impl Network {
         // 8. Consume the dirty set.
         for i in 0..self.dirty_links.len() {
             let ix = self.dirty_links[i];
-            self.link_dirty[ix] = false;
+            self.links[ix].dirty = false;
         }
         self.dirty_links.clear();
         self.record_timelines();
     }
 
     /// Feed watched timelines from the running per-link totals (O(watched),
-    /// replacing the per-recompute O(flows × links) sums).
+    /// with turbulence decayed to `now` non-mutatingly — unwatched state is
+    /// never touched).
     fn record_timelines(&mut self) {
         if self.timelines.is_empty() || self.active_count == 0 {
             return;
@@ -847,72 +1100,114 @@ impl Network {
         let now = self.now;
         for (link, timeline) in self.timelines.iter_mut() {
             let ix = link.0 as usize;
+            let ls = &self.links[ix].state;
             timeline.record(UtilizationSample {
                 at: now,
-                streams: self.link_states[ix].streams,
-                turbulence: self.link_states[ix].turbulence,
+                streams: ls.streams,
+                turbulence: self
+                    .model
+                    .decay_turbulence(ls.turbulence, now.since(ls.updated_at)),
                 throughput: self.link_throughput[ix],
             });
         }
     }
 
-    /// The pre-incremental recompute: every flow, every link, fresh buffers
-    /// on each call. Kept verbatim as the benchmark baseline (`netbench
-    /// --full`) and the reference side of the equivalence tests.
+    /// Write-back for the full path: rates land unconditionally, but the
+    /// ETA event and lazy-integration anchor are only disturbed when the
+    /// rate's bits actually changed.
+    fn write_rate_full(&mut self, slot: u32, now: SimTime, new_rate: f64) {
+        let si = slot as usize;
+        if new_rate != self.flows.rate[si] {
+            let rem = self.remaining_at(si, now);
+            self.flows.remaining[si] = rem;
+            self.flows.rate_since[si] = now;
+            self.flows.rate[si] = new_rate;
+            if new_rate > 0.0 {
+                let eta = now + SimDuration::from_secs_f64(rem / new_rate);
+                // Re-key the pending completion in place when one exists;
+                // a fresh event is only needed after a zero-rate stall.
+                match self.flows.eta[si] {
+                    Some(h) if self.sched.reschedule(h, eta) => {}
+                    _ => {
+                        self.flows.eta[si] =
+                            Some(self.sched.schedule_at(eta, NetEvent::Complete(slot)));
+                    }
+                }
+            } else if let Some(h) = self.flows.eta[si].take() {
+                self.sched.cancel(h);
+            }
+        }
+    }
+
+    /// The full recompute: every flow, every link, fresh buffers on each
+    /// call. Kept as the benchmark baseline (`netbench --full`) and the
+    /// reference side of the equivalence tests.
     fn recompute_rates_full(&mut self) {
         let now = self.now;
         self.stats.recomputes += 1;
-        // Fault multipliers first: the state loop below borrows link_states
-        // mutably, and faults depend only on the plan and the clock.
-        let fault_factors: Vec<f64> = (0..self.link_states.len())
+        // Fault multipliers first: the state loop below borrows the link
+        // rows mutably, and faults depend only on the plan and the clock.
+        let fault_factors: Vec<f64> = (0..self.links.len())
             .map(|idx| self.fault_capacity_factor(LinkId(idx as u32), now))
             .collect();
         // Effective capacity per link under current occupancy/turbulence.
-        let mut capacities = Vec::with_capacity(self.link_states.len());
-        for (idx, ls) in self.link_states.iter_mut().enumerate() {
-            ls.settle(&self.model, now);
-            let link = self.topology.link(LinkId(idx as u32));
-            let knee = link.knee_override.unwrap_or(self.model.knee_streams);
-            let factor = self
-                .model
-                .capacity_factor(ls.streams as f64, knee, ls.turbulence);
-            capacities.push(link.capacity * factor * fault_factors[idx]);
+        let mut capacities = Vec::with_capacity(self.links.len());
+        let model = &self.model;
+        for (idx, lh) in self.links.iter_mut().enumerate() {
+            lh.state.settle(model, now);
+            let factor =
+                model.capacity_factor(lh.state.streams as f64, lh.knee, lh.state.turbulence);
+            capacities.push(lh.base_capacity * factor * fault_factors[idx]);
         }
+        self.prune_turbulent();
 
         // Full pass consumes all accumulated dirt.
         for i in 0..self.dirty_links.len() {
             let ix = self.dirty_links[i];
-            self.link_dirty[ix] = false;
+            self.links[ix].dirty = false;
         }
         self.dirty_links.clear();
 
-        let mut ids = Vec::new();
+        // Retire finished ramps so `next_wakeup`'s refresh signal converges
+        // in full mode too.
+        let mut scratch = std::mem::take(&mut self.ramp_scratch);
+        scratch.clear();
+        scratch.extend(self.ramping.iter().map(|(&id, &s)| (id, s)));
+        for &(id, slot) in &scratch {
+            if self
+                .model
+                .ramp_done(now.since(self.flows.activated_at[slot as usize]))
+            {
+                self.ramping.remove(&id);
+            }
+        }
+        self.ramp_scratch = scratch;
+
+        let mut slots: Vec<u32> = Vec::new();
         let mut demands = Vec::new();
-        for (id, flow) in self.flows.iter() {
-            if let FlowPhase::Active { activated_at, .. } = &flow.phase {
-                let rtt = self.topology.route_rtt(flow.spec.src, flow.spec.dst);
-                let age = now.since(*activated_at);
-                ids.push(*id);
+        for (_, slot) in self.flows.iter() {
+            let si = slot as usize;
+            if self.flows.phase[si] == Phase::Active {
+                let cold = &self.flows.cold[si];
+                let rtt = self.topology.route_rtt(cold.spec.src, cold.spec.dst);
+                let age = now.since(self.flows.activated_at[si]);
+                slots.push(slot);
                 demands.push(FlowDemand {
-                    weight: flow.streams() as f64 * flow.weight_factor,
-                    cap: self.model.flow_cap(flow.streams(), age, rtt),
-                    links: flow.route.iter().map(|l| l.0 as usize).collect(),
+                    weight: self.flows.weight[si],
+                    cap: self.model.flow_cap(cold.streams(), age, rtt),
+                    links: cold.route.iter().map(|l| l.0 as usize).collect(),
                 });
             }
         }
-        if ids.is_empty() {
+        if slots.is_empty() {
             return;
         }
         self.stats.component_runs += 1;
-        self.stats.flows_allocated += ids.len() as u64;
+        self.stats.flows_allocated += slots.len() as u64;
         self.stats.links_allocated += capacities.len() as u64;
         let rates = max_min_rates(&capacities, &demands);
-        for (id, new_rate) in ids.into_iter().zip(rates.iter()) {
-            if let Some(flow) = self.flows.get_mut(&id) {
-                if let FlowPhase::Active { rate, .. } = &mut flow.phase {
-                    *rate = *new_rate;
-                }
-            }
+        for (i, &slot) in slots.iter().enumerate() {
+            self.write_rate_full(slot, now, rates[i]);
         }
         // Keep the running totals coherent in full mode too, so timelines
         // and gauges read from one source of truth.
@@ -927,19 +1222,12 @@ impl Network {
         // Refresh per-link gauges with the fresh allocation.
         if let Some(o) = &self.obs {
             for (ix, (streams_gauge, throughput_gauge)) in o.link_gauges.iter().enumerate() {
-                streams_gauge.set(f64::from(self.link_states[ix].streams));
+                streams_gauge.set(f64::from(self.links[ix].state.streams));
                 throughput_gauge.set(self.link_throughput[ix]);
             }
         }
         // Feed watched timelines with the fresh rates.
         self.record_timelines();
-    }
-
-    fn knee(&self, link: LinkId) -> f64 {
-        self.topology
-            .link(link)
-            .knee_override
-            .unwrap_or(self.model.knee_streams)
     }
 
     /// Run the network by itself until all flows complete or `horizon` is

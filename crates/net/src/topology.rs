@@ -140,26 +140,37 @@ impl Topology {
     /// Transfers between a host and itself use only that host's access link
     /// (a local copy still consumes NIC/NFS bandwidth).
     pub fn route(&self, src: HostId, dst: HostId) -> Vec<LinkId> {
+        let mut path = Vec::new();
+        self.route_into(src, dst, &mut path);
+        path
+    }
+
+    /// [`Self::route`] into a caller-owned buffer (cleared first), so hot
+    /// paths can recycle capacity instead of allocating per flow.
+    pub fn route_into(&self, src: HostId, dst: HostId, out: &mut Vec<LinkId>) {
+        out.clear();
         let src_access = self.hosts[src.0 as usize].access_link;
         let dst_access = self.hosts[dst.0 as usize].access_link;
+        out.push(src_access);
         if src == dst {
-            return vec![src_access];
+            return;
         }
-        let mut path = vec![src_access];
         if let Some(middle) = self.routes.get(&(src, dst)) {
-            path.extend_from_slice(middle);
+            out.extend_from_slice(middle);
         }
-        path.push(dst_access);
-        path
+        out.push(dst_access);
+    }
+
+    /// Sum of RTTs along an already-computed route.
+    pub fn path_rtt(&self, route: &[LinkId]) -> crate::SimDuration {
+        route.iter().fold(crate::SimDuration::ZERO, |acc, l| {
+            acc + self.links[l.0 as usize].rtt
+        })
     }
 
     /// Sum of RTTs along the route — the base latency a new connection pays.
     pub fn route_rtt(&self, src: HostId, dst: HostId) -> crate::SimDuration {
-        self.route(src, dst)
-            .into_iter()
-            .fold(crate::SimDuration::ZERO, |acc, l| {
-                acc + self.links[l.0 as usize].rtt
-            })
+        self.path_rtt(&self.route(src, dst))
     }
 
     /// Look up a link.

@@ -1,4 +1,4 @@
-//! Typed working memory.
+//! Typed working memory, arena edition.
 //!
 //! Drools sessions hold *facts*; rules pattern-match over them and mutate
 //! them. [`WorkingMemory`] is the Rust equivalent: a deterministic store of
@@ -6,14 +6,27 @@
 //! version counters that drive the engine's refraction logic (a rule does
 //! not re-fire on a fact tuple until one of its facts changes).
 //!
-//! Facts are ordinary Rust values (`'static + Debug`). Iteration order is
-//! insertion order (handles are monotonically increasing and stored in a
-//! `BTreeMap`), so rule evaluation is reproducible.
+//! Facts live in *typed slabs*: one generational arena per fact type, each
+//! slot carrying the value inline plus an intrusive insertion-order list, so
+//! iteration and indexed lookups walk contiguous typed storage with **one**
+//! `TypeId` dispatch per call instead of one `Box<dyn Fact>` pointer chase
+//! and `downcast_ref` per fact. Slots are recycled through a free list; every
+//! recycle bumps the slot's generation, which is what makes [`FactId`] — a
+//! typed `(slot, generation)` pair — immune to the ABA problem: a probe
+//! through a stale id sees the generation mismatch and returns `None`, never
+//! another fact that happens to reuse the slot.
+//!
+//! Iteration order is insertion order (handles are monotonically increasing
+//! and the per-slab list appends at the tail), so rule evaluation is
+//! reproducible and exactly matches the legacy `BTreeMap` store, which is
+//! preserved as [`crate::legacy::LegacyWorkingMemory`] behind the
+//! `legacy-facts` feature to serve as the differential-test oracle.
 
 use std::any::{Any, TypeId};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
 
 /// Marker trait for values storable in working memory.
 ///
@@ -39,40 +52,316 @@ impl<T: Any + fmt::Debug + Send> Fact for T {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FactHandle(pub u64);
 
-struct Slot {
-    fact: Box<dyn Fact>,
+/// Sentinel slot index for "no slot" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Typed generational id of one fact: arena slot plus the slot's generation
+/// at issue time. Unlike [`FactHandle`] (which routes through a hash lookup
+/// and works for any type), a `FactId<T>` indexes its typed slab directly —
+/// and it can never resurrect: retracting the fact bumps the slot
+/// generation, so probing a stale id returns `None` even after the slot is
+/// recycled for a new fact.
+pub struct FactId<T> {
+    slot: u32,
+    gen: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: derives would demand `T: Copy` etc., but the id itself is
+// always a plain (u32, u32) regardless of the fact type.
+impl<T> Clone for FactId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for FactId<T> {}
+impl<T> PartialEq for FactId<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.slot == other.slot && self.gen == other.gen
+    }
+}
+impl<T> Eq for FactId<T> {}
+impl<T> Hash for FactId<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.slot.hash(state);
+        self.gen.hash(state);
+    }
+}
+impl<T> fmt::Debug for FactId<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FactId<{}>({}g{})",
+            std::any::type_name::<T>(),
+            self.slot,
+            self.gen
+        )
+    }
+}
+
+/// One arena slot: either a live fact with its intrusive-list links or a
+/// link in the free list. `gen` increments each time the slot is vacated.
+struct ArenaSlot<T> {
+    gen: u32,
+    state: SlotState<T>,
+}
+
+enum SlotState<T> {
+    Occupied {
+        value: T,
+        handle: FactHandle,
+        version: u64,
+        prev: u32,
+        next: u32,
+    },
+    Free {
+        next_free: u32,
+    },
+}
+
+/// Generational arena of all facts of one type, threaded with an intrusive
+/// doubly-linked list in insertion order (appends at the tail). Handles are
+/// monotone, facts are never re-inserted under an old handle, so list order
+/// is also ascending-handle order — the iteration contract the engine's
+/// match caches rely on.
+struct TypedSlab<T> {
+    slots: Vec<ArenaSlot<T>>,
+    free_head: u32,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> TypedSlab<T> {
+    fn new() -> Self {
+        TypedSlab {
+            slots: Vec::new(),
+            free_head: NIL,
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Place `value` in a slot (recycling the free list) and link it at the
+    /// tail of the insertion-order list.
+    fn alloc(&mut self, value: T, handle: FactHandle) -> u32 {
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            let SlotState::Free { next_free } = self.slots[slot as usize].state else {
+                unreachable!("free list points at occupied slot");
+            };
+            self.free_head = next_free;
+            self.slots[slot as usize].state = SlotState::Occupied {
+                value,
+                handle,
+                version: 0,
+                prev: self.tail,
+                next: NIL,
+            };
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            assert!(slot != NIL, "typed slab exhausted u32 slot space");
+            self.slots.push(ArenaSlot {
+                gen: 0,
+                state: SlotState::Occupied {
+                    value,
+                    handle,
+                    version: 0,
+                    prev: self.tail,
+                    next: NIL,
+                },
+            });
+            slot
+        };
+        if self.tail != NIL {
+            let SlotState::Occupied { next, .. } = &mut self.slots[self.tail as usize].state else {
+                unreachable!("tail points at free slot");
+            };
+            *next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.len += 1;
+        slot
+    }
+
+    /// Unlink and vacate `slot`, bumping its generation so stale
+    /// [`FactId`]s miss. Returns the evicted value.
+    fn remove(&mut self, slot: u32) -> T {
+        let state = std::mem::replace(
+            &mut self.slots[slot as usize].state,
+            SlotState::Free {
+                next_free: self.free_head,
+            },
+        );
+        let SlotState::Occupied {
+            value, prev, next, ..
+        } = state
+        else {
+            unreachable!("remove of free slot");
+        };
+        if prev != NIL {
+            let SlotState::Occupied { next: n, .. } = &mut self.slots[prev as usize].state else {
+                unreachable!("prev points at free slot");
+            };
+            *n = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            let SlotState::Occupied { prev: p, .. } = &mut self.slots[next as usize].state else {
+                unreachable!("next points at free slot");
+            };
+            *p = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot as usize].gen = self.slots[slot as usize].gen.wrapping_add(1);
+        self.free_head = slot;
+        self.len -= 1;
+        value
+    }
+
+    fn value(&self, slot: u32) -> &T {
+        match &self.slots[slot as usize].state {
+            SlotState::Occupied { value, .. } => value,
+            SlotState::Free { .. } => unreachable!("value of free slot"),
+        }
+    }
+
+    fn value_mut(&mut self, slot: u32) -> &mut T {
+        match &mut self.slots[slot as usize].state {
+            SlotState::Occupied { value, .. } => value,
+            SlotState::Free { .. } => unreachable!("value_mut of free slot"),
+        }
+    }
+
+    fn version(&self, slot: u32) -> u64 {
+        match &self.slots[slot as usize].state {
+            SlotState::Occupied { version, .. } => *version,
+            SlotState::Free { .. } => unreachable!("version of free slot"),
+        }
+    }
+
+    fn bump_version(&mut self, slot: u32) {
+        match &mut self.slots[slot as usize].state {
+            SlotState::Occupied { version, .. } => *version += 1,
+            SlotState::Free { .. } => unreachable!("bump_version of free slot"),
+        }
+    }
+
+    fn generation_of(&self, slot: u32) -> u32 {
+        self.slots[slot as usize].gen
+    }
+
+    /// Generation-checked probe: `Some` only while the slot still holds the
+    /// fact the id was issued for.
+    fn value_checked(&self, slot: u32, gen: u32) -> Option<&T> {
+        let s = self.slots.get(slot as usize)?;
+        if s.gen != gen {
+            return None;
+        }
+        match &s.state {
+            SlotState::Occupied { value, .. } => Some(value),
+            SlotState::Free { .. } => None,
+        }
+    }
+
+    /// Insertion-order walk yielding `(handle, slot, &value)`.
+    fn iter_slots(&self) -> impl Iterator<Item = (FactHandle, u32, &T)> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let slot = cur;
+            let SlotState::Occupied {
+                value,
+                handle,
+                next,
+                ..
+            } = &self.slots[slot as usize].state
+            else {
+                unreachable!("insertion list points at free slot");
+            };
+            cur = *next;
+            Some((*handle, slot, value))
+        })
+    }
+}
+
+/// Object-safe face of a [`TypedSlab`], so [`WorkingMemory`] can hold slabs
+/// of arbitrary fact types and service untyped operations (retract,
+/// version queries) without knowing `T`.
+trait ErasedSlab: Send {
+    fn remove_slot(&mut self, slot: u32);
+    fn version_of(&self, slot: u32) -> u64;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Fact> ErasedSlab for TypedSlab<T> {
+    fn remove_slot(&mut self, slot: u32) {
+        let _ = self.remove(slot);
+    }
+    fn version_of(&self, slot: u32) -> u64 {
+        self.version(slot)
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Where one handle's fact lives: which typed slab, and which slot in it.
+#[derive(Clone, Copy)]
+struct HandleEntry {
     type_id: TypeId,
-    version: u64,
+    slot: u32,
 }
 
 /// Type-erased secondary index, maintained on every insert/update/retract.
 /// The concrete type is always [`KeyIndex<T, K>`]; erasure lets
-/// [`WorkingMemory`] hold indexes over arbitrary fact/key type pairs.
+/// [`WorkingMemory`] hold indexes over arbitrary fact/key type pairs. The
+/// callbacks carry the fact's arena slot so lookups can later jump straight
+/// into the typed slab.
 trait ErasedIndex: Send {
-    fn on_insert(&mut self, handle: FactHandle, fact: &dyn Fact);
+    fn on_insert(&mut self, handle: FactHandle, slot: u32, fact: &dyn Any);
     fn on_remove(&mut self, handle: FactHandle);
     /// Re-key after an in-place mutation. The index keeps a reverse map of
     /// each handle's current key, so an update whose key did not change is a
     /// cheap compare instead of a remove + insert.
-    fn on_update(&mut self, handle: FactHandle, fact: &dyn Fact);
+    fn on_update(&mut self, handle: FactHandle, slot: u32, fact: &dyn Any);
     fn as_any(&self) -> &dyn Any;
 }
 
-/// Hash index from an extracted key to the handles bearing it, the alpha
+/// Hash index from an extracted key to the handles bearing it — the alpha
 /// memory of a Rete network: equality joins probe this instead of scanning
-/// every fact of the type. Handle sets are ordered, so indexed lookups see
-/// facts in the same insertion order as [`WorkingMemory::iter`].
+/// every fact of the type. Each posting also records the fact's arena slot,
+/// so [`WorkingMemory::iter_by`] resolves facts by direct slab indexing:
+/// one slab downcast per *call*, zero downcasts per fact. Postings are
+/// handle-ordered, so indexed lookups see facts in the same insertion order
+/// as [`WorkingMemory::iter`].
 struct KeyIndex<T: Fact, K: Eq + Hash + Clone + Send + 'static> {
     extract: fn(&T) -> K,
-    map: HashMap<K, BTreeSet<FactHandle>>,
+    /// key → (handle → slot), handle-ascending.
+    map: HashMap<K, BTreeMap<FactHandle, u32>>,
     /// Each indexed handle's current key, so removals and no-op re-keys
     /// never re-extract from a stale fact value.
     back: HashMap<FactHandle, K>,
 }
 
 impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> KeyIndex<T, K> {
-    fn link(&mut self, handle: FactHandle, key: K) {
-        self.map.entry(key.clone()).or_default().insert(handle);
+    fn link(&mut self, handle: FactHandle, slot: u32, key: K) {
+        self.map
+            .entry(key.clone())
+            .or_default()
+            .insert(handle, slot);
         self.back.insert(handle, key);
     }
 
@@ -89,23 +378,23 @@ impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> KeyIndex<T, K> {
 }
 
 impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> ErasedIndex for KeyIndex<T, K> {
-    fn on_insert(&mut self, handle: FactHandle, fact: &dyn Fact) {
-        let t = fact.as_any().downcast_ref::<T>().expect("index fact type");
-        self.link(handle, (self.extract)(t));
+    fn on_insert(&mut self, handle: FactHandle, slot: u32, fact: &dyn Any) {
+        let t = fact.downcast_ref::<T>().expect("index fact type");
+        self.link(handle, slot, (self.extract)(t));
     }
 
     fn on_remove(&mut self, handle: FactHandle) {
         self.unlink(handle);
     }
 
-    fn on_update(&mut self, handle: FactHandle, fact: &dyn Fact) {
-        let t = fact.as_any().downcast_ref::<T>().expect("index fact type");
+    fn on_update(&mut self, handle: FactHandle, slot: u32, fact: &dyn Any) {
+        let t = fact.downcast_ref::<T>().expect("index fact type");
         let key = (self.extract)(t);
         if self.back.get(&handle) == Some(&key) {
             return;
         }
         self.unlink(handle);
-        self.link(handle, key);
+        self.link(handle, slot, key);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -118,7 +407,7 @@ impl<T: Fact, K: Eq + Hash + Clone + Send + 'static> ErasedIndex for KeyIndex<T,
 /// a watched type after a mutation, a rule asks which handles changed since
 /// its cache was computed and re-probes only those.
 #[derive(Default)]
-struct TypeLog {
+pub(crate) struct TypeLog {
     /// `(generation, handle)` in ascending generation order. A handle may
     /// appear many times; readers dedup.
     entries: Vec<(u64, FactHandle)>,
@@ -131,7 +420,7 @@ struct TypeLog {
 const TYPE_LOG_CAP: usize = 1024;
 
 impl TypeLog {
-    fn push(&mut self, gen: u64, handle: FactHandle) {
+    pub(crate) fn push(&mut self, gen: u64, handle: FactHandle) {
         // Collapse repeated mutations of the same fact (the common shape:
         // one fact updated several times in a firing cascade).
         if let Some(last) = self.entries.last_mut() {
@@ -150,7 +439,7 @@ impl TypeLog {
 
     /// Handles mutated at generations strictly after `gen`, oldest first, or
     /// `None` if the log no longer reaches back that far.
-    fn since(&self, gen: u64) -> Option<&[(u64, FactHandle)]> {
+    pub(crate) fn since(&self, gen: u64) -> Option<&[(u64, FactHandle)]> {
         if gen < self.floor {
             return None;
         }
@@ -162,9 +451,14 @@ impl TypeLog {
 /// The fact store.
 #[derive(Default)]
 pub struct WorkingMemory {
-    slots: BTreeMap<FactHandle, Slot>,
-    by_type: HashMap<TypeId, BTreeSet<FactHandle>>,
+    /// One generational arena per fact type.
+    slabs: HashMap<TypeId, Box<dyn ErasedSlab>>,
+    /// handle → (slab, slot). Entries are removed on retract, so membership
+    /// doubles as liveness and the map never grows past the live fact count.
+    handle_index: HashMap<u64, HandleEntry>,
     next_handle: u64,
+    /// Live facts across all slabs.
+    live: usize,
     /// Bumped on every insert/update/retract; engines watch it to detect
     /// quiescence.
     generation: u64,
@@ -182,7 +476,7 @@ pub struct WorkingMemory {
 impl fmt::Debug for WorkingMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WorkingMemory")
-            .field("facts", &self.slots.len())
+            .field("facts", &self.live)
             .field("generation", &self.generation)
             .finish()
     }
@@ -194,27 +488,38 @@ impl WorkingMemory {
         Self::default()
     }
 
+    fn slab<T: Fact>(&self) -> Option<&TypedSlab<T>> {
+        self.slabs.get(&TypeId::of::<T>()).map(|s| {
+            s.as_any()
+                .downcast_ref::<TypedSlab<T>>()
+                .expect("slab type")
+        })
+    }
+
     /// Insert a fact, returning its handle.
     pub fn insert<T: Fact>(&mut self, fact: T) -> FactHandle {
         let handle = FactHandle(self.next_handle);
         self.next_handle += 1;
         let type_id = TypeId::of::<T>();
+        let slab = self
+            .slabs
+            .entry(type_id)
+            .or_insert_with(|| Box::new(TypedSlab::<T>::new()))
+            .as_any_mut()
+            .downcast_mut::<TypedSlab<T>>()
+            .expect("slab type");
+        let slot = slab.alloc(fact, handle);
+        let value: &T = slab.value(slot);
         for (_, idx) in self
             .indexes
             .iter_mut()
             .filter(|((ft, _), _)| *ft == type_id)
         {
-            idx.on_insert(handle, &fact);
+            idx.on_insert(handle, slot, value);
         }
-        self.slots.insert(
-            handle,
-            Slot {
-                fact: Box::new(fact),
-                type_id,
-                version: 0,
-            },
-        );
-        self.by_type.entry(type_id).or_default().insert(handle);
+        self.handle_index
+            .insert(handle.0, HandleEntry { type_id, slot });
+        self.live += 1;
         self.generation += 1;
         self.type_gen.insert(type_id, self.generation);
         self.type_log
@@ -226,79 +531,128 @@ impl WorkingMemory {
 
     /// Remove a fact. Returns `true` if it existed.
     pub fn retract(&mut self, handle: FactHandle) -> bool {
-        match self.slots.remove(&handle) {
-            Some(slot) => {
-                if let Some(set) = self.by_type.get_mut(&slot.type_id) {
-                    set.remove(&handle);
-                }
-                let type_id = slot.type_id;
-                for (_, idx) in self
-                    .indexes
-                    .iter_mut()
-                    .filter(|((ft, _), _)| *ft == type_id)
-                {
-                    idx.on_remove(handle);
-                }
-                self.generation += 1;
-                self.type_gen.insert(type_id, self.generation);
-                self.type_log
-                    .entry(type_id)
-                    .or_default()
-                    .push(self.generation, handle);
-                true
-            }
-            None => false,
+        let Some(entry) = self.handle_index.remove(&handle.0) else {
+            return false;
+        };
+        self.slabs
+            .get_mut(&entry.type_id)
+            .expect("handle entry implies slab")
+            .remove_slot(entry.slot);
+        for (_, idx) in self
+            .indexes
+            .iter_mut()
+            .filter(|((ft, _), _)| *ft == entry.type_id)
+        {
+            idx.on_remove(handle);
         }
+        self.live -= 1;
+        self.generation += 1;
+        self.type_gen.insert(entry.type_id, self.generation);
+        self.type_log
+            .entry(entry.type_id)
+            .or_default()
+            .push(self.generation, handle);
+        true
     }
 
     /// Immutable access to a fact of known type.
     pub fn get<T: Fact>(&self, handle: FactHandle) -> Option<&T> {
-        // `as_ref()` is load-bearing: calling `as_any()` directly on the Box
-        // would resolve the blanket `Fact` impl for `Box<dyn Fact>` itself
-        // and downcasting would always fail.
-        self.slots
-            .get(&handle)
-            .and_then(|s| s.fact.as_ref().as_any().downcast_ref::<T>())
+        let entry = self.handle_index.get(&handle.0)?;
+        if entry.type_id != TypeId::of::<T>() {
+            return None;
+        }
+        Some(
+            self.slab::<T>()
+                .expect("handle entry implies slab")
+                .value(entry.slot),
+        )
+    }
+
+    /// Typed generational id of a live fact, or `None` if the handle is
+    /// stale or names a different type. The id supports direct slab probes
+    /// via [`WorkingMemory::get_id`] with ABA-safe staleness detection.
+    pub fn fact_id<T: Fact>(&self, handle: FactHandle) -> Option<FactId<T>> {
+        let entry = self.handle_index.get(&handle.0)?;
+        if entry.type_id != TypeId::of::<T>() {
+            return None;
+        }
+        let slab = self.slab::<T>().expect("handle entry implies slab");
+        Some(FactId {
+            slot: entry.slot,
+            gen: slab.generation_of(entry.slot),
+            _marker: PhantomData,
+        })
+    }
+
+    /// Probe by typed id: direct slab indexing, no hash lookup, no
+    /// downcast-per-fact. Returns `None` once the fact has been retracted —
+    /// the slot generation was bumped, so even a recycled slot cannot serve
+    /// a stale id.
+    pub fn get_id<T: Fact>(&self, id: FactId<T>) -> Option<&T> {
+        self.slab::<T>()?.value_checked(id.slot, id.gen)
     }
 
     /// Mutate a fact in place; bumps its version (making rules eligible to
     /// re-fire on it). Returns `false` if the handle is stale or the type is
     /// wrong.
     pub fn update<T: Fact>(&mut self, handle: FactHandle, f: impl FnOnce(&mut T)) -> bool {
-        match self.slots.get_mut(&handle) {
-            Some(slot) => match slot.fact.as_mut().as_any_mut().downcast_mut::<T>() {
-                Some(value) => {
-                    let type_id = TypeId::of::<T>();
-                    f(value);
-                    // Re-key under the post-update value — the closure may
-                    // have changed indexed fields. The index compares against
-                    // its reverse map, so an unchanged key costs one extract.
-                    for (_, idx) in self
-                        .indexes
-                        .iter_mut()
-                        .filter(|((ft, _), _)| *ft == type_id)
-                    {
-                        idx.on_update(handle, &*value);
-                    }
-                    slot.version += 1;
-                    self.generation += 1;
-                    self.type_gen.insert(type_id, self.generation);
-                    self.type_log
-                        .entry(type_id)
-                        .or_default()
-                        .push(self.generation, handle);
-                    true
-                }
-                None => false,
-            },
-            None => false,
+        let type_id = TypeId::of::<T>();
+        let Some(&HandleEntry {
+            type_id: actual,
+            slot,
+        }) = self.handle_index.get(&handle.0)
+        else {
+            return false;
+        };
+        if actual != type_id {
+            return false;
         }
+        let slab = self
+            .slabs
+            .get_mut(&type_id)
+            .expect("handle entry implies slab")
+            .as_any_mut()
+            .downcast_mut::<TypedSlab<T>>()
+            .expect("slab type");
+        f(slab.value_mut(slot));
+        slab.bump_version(slot);
+        // Re-key under the post-update value — the closure may have changed
+        // indexed fields. The index compares against its reverse map, so an
+        // unchanged key costs one extract.
+        let value: &T = self
+            .slabs
+            .get(&type_id)
+            .expect("slab persists")
+            .as_any()
+            .downcast_ref::<TypedSlab<T>>()
+            .expect("slab type")
+            .value(slot);
+        for (_, idx) in self
+            .indexes
+            .iter_mut()
+            .filter(|((ft, _), _)| *ft == type_id)
+        {
+            idx.on_update(handle, slot, value);
+        }
+        self.generation += 1;
+        self.type_gen.insert(type_id, self.generation);
+        self.type_log
+            .entry(type_id)
+            .or_default()
+            .push(self.generation, handle);
+        true
     }
 
     /// Current version of a fact (None if retracted). Handles start at 0 and
     /// bump on each [`WorkingMemory::update`].
     pub fn version(&self, handle: FactHandle) -> Option<u64> {
-        self.slots.get(&handle).map(|s| s.version)
+        let entry = self.handle_index.get(&handle.0)?;
+        Some(
+            self.slabs
+                .get(&entry.type_id)
+                .expect("handle entry implies slab")
+                .version_of(entry.slot),
+        )
     }
 
     /// Monotone counter over all mutations.
@@ -319,13 +673,13 @@ impl WorkingMemory {
         self.type_generation(TypeId::of::<T>())
     }
 
-    /// Iterate all facts of type `T` in handle (= insertion) order.
+    /// Iterate all facts of type `T` in handle (= insertion) order. Walks
+    /// the typed slab's intrusive list: contiguous storage, one downcast
+    /// for the whole call.
     pub fn iter<T: Fact>(&self) -> impl Iterator<Item = (FactHandle, &T)> {
-        self.by_type
-            .get(&TypeId::of::<T>())
+        self.slab::<T>()
             .into_iter()
-            .flat_map(|set| set.iter())
-            .filter_map(move |h| self.get::<T>(*h).map(|t| (*h, t)))
+            .flat_map(|slab| slab.iter_slots().map(|(h, _, t)| (h, t)))
     }
 
     /// Handles of all facts of type `T`, insertion order.
@@ -355,10 +709,10 @@ impl WorkingMemory {
             map: HashMap::new(),
             back: HashMap::new(),
         };
-        let existing: Vec<(FactHandle, K)> =
-            self.iter::<T>().map(|(h, t)| (h, extract(t))).collect();
-        for (h, key) in existing {
-            index.link(h, key);
+        if let Some(slab) = self.slab::<T>() {
+            for (h, slot, t) in slab.iter_slots() {
+                index.link(h, slot, extract(t));
+            }
         }
         self.indexes
             .insert((TypeId::of::<T>(), TypeId::of::<K>()), Box::new(index));
@@ -388,24 +742,29 @@ impl WorkingMemory {
         self.key_index::<T, K>()
             .map
             .get(key)
-            .map(|set| set.iter().copied().collect())
+            .map(|set| set.keys().copied().collect())
             .unwrap_or_default()
     }
 
     /// Iterate facts of type `T` whose indexed key equals `key`, in
     /// insertion order, without allocating. Panics if no such index was
-    /// registered. This is the allocation-free hot-path variant of
-    /// [`WorkingMemory::lookup_by`] for matchers that probe per evaluation.
+    /// registered. This is the alpha-memory join path: the index posting
+    /// carries each fact's arena slot, so resolution is direct typed-slab
+    /// indexing — one downcast per call, not per fact.
     pub fn iter_by<'a, T: Fact, K: Eq + Hash + Clone + Send + 'static>(
         &'a self,
         key: &K,
     ) -> impl Iterator<Item = (FactHandle, &'a T)> + 'a {
+        let slab = self.slab::<T>();
         self.key_index::<T, K>()
             .map
             .get(key)
             .into_iter()
             .flat_map(|set| set.iter())
-            .filter_map(move |h| self.get::<T>(*h).map(|t| (*h, t)))
+            .map(move |(&h, &slot)| {
+                let slab = slab.expect("indexed fact implies slab");
+                (h, slab.value(slot))
+            })
     }
 
     /// Handles of facts of `type_id` mutated (inserted, updated or
@@ -428,31 +787,29 @@ impl WorkingMemory {
         &self,
         key: &K,
     ) -> Option<(FactHandle, &T)> {
-        let handle = *self.key_index::<T, K>().map.get(key)?.iter().next()?;
-        Some((handle, self.get::<T>(handle).expect("indexed fact is live")))
+        let (&handle, &slot) = self.key_index::<T, K>().map.get(key)?.iter().next()?;
+        let slab = self.slab::<T>().expect("indexed fact implies slab");
+        Some((handle, slab.value(slot)))
     }
 
     /// Number of facts of type `T`.
     pub fn count<T: Fact>(&self) -> usize {
-        self.by_type
-            .get(&TypeId::of::<T>())
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.slab::<T>().map(|s| s.len).unwrap_or(0)
     }
 
     /// Total facts of all types.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.live
     }
 
     /// True when no facts are stored.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.live == 0
     }
 
     /// True if the handle refers to a live fact.
     pub fn contains(&self, handle: FactHandle) -> bool {
-        self.slots.contains_key(&handle)
+        self.handle_index.contains_key(&handle.0)
     }
 
     /// Retract every fact of type `T`; returns how many were removed.
@@ -659,5 +1016,47 @@ mod tests {
         wm.retract(h1);
         assert!(wm.contains(h2));
         assert_eq!(wm.get::<Transfer>(h2).unwrap().id, 2);
+    }
+
+    #[test]
+    fn fact_id_probes_directly_and_dies_with_the_fact() {
+        let mut wm = WorkingMemory::new();
+        let h = wm.insert(Transfer { id: 9, streams: 1 });
+        let id = wm.fact_id::<Transfer>(h).unwrap();
+        assert_eq!(wm.get_id(id).unwrap().id, 9);
+        // Wrong-type ids are refused at issue time.
+        assert!(wm.fact_id::<Cleanup>(h).is_none());
+        wm.retract(h);
+        assert!(wm.get_id(id).is_none(), "stale id must not resolve");
+        assert!(wm.fact_id::<Transfer>(h).is_none());
+    }
+
+    #[test]
+    fn stale_fact_id_misses_even_after_slot_reuse() {
+        let mut wm = WorkingMemory::new();
+        let h1 = wm.insert(Transfer { id: 1, streams: 0 });
+        let id1 = wm.fact_id::<Transfer>(h1).unwrap();
+        wm.retract(h1);
+        // The freed slot is recycled by the next insert of the same type.
+        let h2 = wm.insert(Transfer { id: 2, streams: 0 });
+        let id2 = wm.fact_id::<Transfer>(h2).unwrap();
+        assert_eq!(wm.get_id(id2).unwrap().id, 2);
+        assert_ne!(id1, id2, "recycled slot must carry a new generation");
+        assert!(
+            wm.get_id(id1).is_none(),
+            "ABA: stale id resolved to a recycled slot"
+        );
+    }
+
+    #[test]
+    fn slot_reuse_preserves_insertion_order_and_handles() {
+        let mut wm = WorkingMemory::new();
+        let h1 = wm.insert(Transfer { id: 1, streams: 0 });
+        let h2 = wm.insert(Transfer { id: 2, streams: 0 });
+        wm.retract(h1);
+        let h3 = wm.insert(Transfer { id: 3, streams: 0 });
+        assert!(h3 > h2, "handles stay monotone across slot reuse");
+        let order: Vec<u32> = wm.iter::<Transfer>().map(|(_, t)| t.id).collect();
+        assert_eq!(order, vec![2, 3], "reused slot must append at the tail");
     }
 }

@@ -6,48 +6,73 @@
 //! orders — a prerequisite for seeded reproducibility of every experiment in
 //! the benchmark harness.
 //!
-//! Events may be cancelled by [`EventHandle`] without restructuring the heap:
-//! cancellation marks the handle dead and the entry is skipped lazily when it
-//! reaches the top (the standard "lazy deletion" trick). To keep the heap from
-//! filling up with corpses under cancel-heavy workloads (ETA reschedules in
-//! the network layer cancel far more events than they fire), the queue
-//! compacts itself whenever cancelled entries outnumber live ones — dead
-//! entries never exceed half the heap.
+//! The queue is an *indexed* 4-ary heap: alongside the heap array it keeps a
+//! handle → heap-position slab that is maintained through every sift, so
+//! [`EventQueue::cancel`] locates its entry in O(1) and removes it in
+//! O(log n). There is no lazy-deletion corpse pile and no compaction pause —
+//! a cancelled event leaves the heap immediately, `len` is always exact, and
+//! cancel-heavy workloads (ETA reschedules in the network layer cancel far
+//! more events than they fire) pay the same logarithmic cost as scheduling.
+//!
+//! Hot-path engineering, sized for ~100k pending events:
+//!
+//! * **Slab position index, not a hash map.** A handle is a `(slot,
+//!   generation)` pair packed in a `u64`; the slot indexes a dense
+//!   `Vec<Slot>` holding the entry's current heap position. Every sift swap
+//!   updates two plain array words — no hashing, no probing, no growth
+//!   rehash. Generations make stale handles (already fired or cancelled)
+//!   detectably dead, so `cancel` keeps its exact true/false contract even
+//!   though slots are recycled.
+//! * **4-ary layout.** Quartering the depth halves the levels a pop's
+//!   sift-down walks, and the four children sit in at most two cache lines.
+//! * **In-place [`EventQueue::reschedule`].** Moving an event to a new time
+//!   — the dominant operation under ETA churn — re-keys the entry where it
+//!   sits and restores the invariant with a single sift, instead of paying
+//!   a full remove plus a fresh insert.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
-/// Identifies a scheduled event so it can be cancelled later.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Heap arity.
+const D: usize = 4;
+/// `Slot::pos` value meaning "not currently pending".
+const NO_POS: u32 = u32::MAX;
+
+/// Identifies a scheduled event so it can be cancelled or rescheduled
+/// later. Opaque; a handle outlives its event harmlessly (operations on a
+/// fired or cancelled handle report failure instead of aliasing a newer
+/// event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle(u64);
+
+impl EventHandle {
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    #[inline]
+    fn pack(slot: u32, gen: u32) -> Self {
+        EventHandle(u64::from(gen) << 32 | u64::from(slot))
+    }
+}
+
+/// Per-handle-slot bookkeeping: the liveness generation and, while pending,
+/// the entry's current heap index.
+struct Slot {
+    gen: u32,
+    pos: u32,
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A deterministic discrete-event queue with a virtual clock.
@@ -55,8 +80,12 @@ impl<E> PartialOrd for Entry<E> {
 /// The clock advances only when events are popped; scheduling in the past is
 /// a logic error and panics, as it would silently reorder causality.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// 4-ary min-heap ordered by `(at, seq)`; earliest entry at index 0.
+    heap: Vec<Entry<E>>,
+    /// Handle-slot slab; `slots[s].pos` is the heap index while pending.
+    slots: Vec<Slot>,
+    /// Retired handle slots available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -72,8 +101,9 @@ impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -90,14 +120,15 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Number of live (non-cancelled) events still pending.
+    /// Number of live events still pending. Exact: cancelled events leave
+    /// the heap immediately.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.heap.is_empty()
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -113,8 +144,27 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        EventHandle(seq)
+        let ix = self.heap.len() as u32;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].pos = ix;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, pos: ix });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            payload,
+        });
+        self.sift_up(ix as usize);
+        EventHandle::pack(slot, gen)
     }
 
     /// Schedule `payload` after a relative delay from now.
@@ -122,63 +172,94 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
+    /// Heap index of `handle`'s entry, if the event is still pending.
+    #[inline]
+    fn live_pos(&self, handle: EventHandle) -> Option<usize> {
+        let s = handle.slot();
+        match self.slots.get(s) {
+            Some(slot) if slot.gen == handle.gen() && slot.pos != NO_POS => Some(slot.pos as usize),
+            _ => None,
+        }
+    }
+
+    /// Retire a handle slot once its event fired or was cancelled: bump the
+    /// generation (staling any outstanding handles) and recycle the slot.
+    #[inline]
+    fn retire(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.pos = NO_POS;
+        self.free.push(slot);
+    }
+
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. this call actually prevented it from firing).
+    /// Already-fired, already-cancelled, and never-issued handles all return
+    /// `false`. O(log n); the position slab makes the lookup O(1).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+        let Some(ix) = self.live_pos(handle) else {
             return false;
-        }
-        // An already-fired event's seq is no longer in the heap; inserting it
-        // into `cancelled` would leak, so only record when plausibly pending.
-        if self.is_pending_seq(handle.0) {
-            self.cancelled.insert(handle.0);
-            self.maybe_compact();
-            true
+        };
+        let entry = self.take_at(ix);
+        self.retire(entry.slot);
+        true
+    }
+
+    /// Move a still-pending event to a new firing time, keeping its payload
+    /// and handle. Exactly equivalent to a cancel plus a fresh
+    /// `schedule_at` (the entry is re-keyed with a fresh sequence number,
+    /// so it fires after anything already scheduled at the same instant),
+    /// but restores the heap invariant with a single sift from the entry's
+    /// current position instead of a remove plus an insert. Returns `false`
+    /// — without scheduling anything — if the handle is no longer pending.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> bool {
+        let Some(ix) = self.live_pos(handle) else {
+            return false;
+        };
+        assert!(
+            at >= self.now,
+            "cannot reschedule into the past: now={} requested={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let old_at = self.heap[ix].at;
+        self.heap[ix].at = at;
+        self.heap[ix].seq = seq;
+        // The fresh seq makes the new key strictly larger at equal `at`, so
+        // the entry can only move one way: up for a strictly earlier time,
+        // down otherwise. One sift, not two.
+        if at < old_at {
+            self.sift_up(ix);
         } else {
-            false
+            self.sift_down(ix);
         }
+        true
     }
 
-    /// Number of cancelled entries still buried in the heap awaiting lazy
-    /// removal (diagnostic). Bounded by [`len`](Self::len) thanks to
-    /// compaction.
+    /// Number of cancelled entries still buried in the heap (diagnostic).
+    /// Always zero for the indexed heap — removal is eager — kept so
+    /// monitoring call sites compile unchanged.
     pub fn backlog(&self) -> usize {
-        self.cancelled.len()
-    }
-
-    /// Rebuild the heap without dead entries once they outnumber live ones.
-    /// O(n) but amortized free: n/2 cancellations paid for each rebuild.
-    fn maybe_compact(&mut self) {
-        if self.cancelled.len() <= self.heap.len() / 2 {
-            return;
-        }
-        let cancelled = std::mem::take(&mut self.cancelled);
-        let entries = std::mem::take(&mut self.heap).into_vec();
-        self.heap = entries
-            .into_iter()
-            .filter(|e| !cancelled.contains(&e.seq))
-            .collect();
-    }
-
-    fn is_pending_seq(&self, seq: u64) -> bool {
-        // Pending iff not yet popped and not already cancelled. We cannot ask
-        // the heap directly without a scan, so track via the cancelled set
-        // plus a conservative check against the pop watermark: since events
-        // may pop out of seq order, do the O(n) scan only here (cancel is a
-        // rare operation compared to schedule/pop).
-        !self.cancelled.contains(&seq) && self.heap.iter().any(|e| e.seq == seq)
+        0
     }
 
     /// Time of the next live event, if any, without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.at)
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.at)
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
-        let entry = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.take_at(0);
+        self.retire(entry.slot);
         debug_assert!(entry.at >= self.now, "event queue produced time travel");
         self.now = entry.at;
         self.popped += 1;
@@ -200,14 +281,70 @@ impl<E> EventQueue<E> {
         self.now = at;
     }
 
-    fn skip_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq) {
-                self.heap.pop();
+    /// True when entry `a` orders strictly before entry `b` in pop order.
+    #[inline]
+    fn before(&self, a: usize, b: usize) -> bool {
+        let (ea, eb) = (&self.heap[a], &self.heap[b]);
+        (ea.at, ea.seq) < (eb.at, eb.seq)
+    }
+
+    /// Swap two heap entries and keep the position slab consistent.
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a].slot as usize].pos = a as u32;
+        self.slots[self.heap[b].slot as usize].pos = b as u32;
+    }
+
+    fn sift_up(&mut self, mut ix: usize) {
+        while ix > 0 {
+            let parent = (ix - 1) / D;
+            if self.before(ix, parent) {
+                self.swap(ix, parent);
+                ix = parent;
             } else {
                 break;
             }
         }
+    }
+
+    fn sift_down(&mut self, mut ix: usize) {
+        loop {
+            let first = D * ix + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + D).min(self.heap.len());
+            let mut smallest = first;
+            for child in first + 1..last {
+                if self.before(child, smallest) {
+                    smallest = child;
+                }
+            }
+            if self.before(smallest, ix) {
+                self.swap(ix, smallest);
+                ix = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Remove and return the entry at heap index `ix`, restoring the heap
+    /// invariant. The caller is responsible for retiring the entry's handle
+    /// slot (both `cancel` and `pop` do).
+    fn take_at(&mut self, ix: usize) -> Entry<E> {
+        let last = self.heap.len() - 1;
+        self.heap.swap(ix, last);
+        let entry = self.heap.pop().expect("take_at on empty heap");
+        if ix < self.heap.len() {
+            self.slots[self.heap[ix].slot as usize].pos = ix as u32;
+            // The swapped-in tail element can violate the invariant in either
+            // direction relative to its new parent.
+            self.sift_up(ix);
+            self.sift_down(ix);
+        }
+        entry
     }
 }
 
@@ -331,8 +468,8 @@ mod tests {
         for i in 0..4_000u64 {
             handles.push(q.schedule_at(SimTime::from_micros(i), i));
         }
-        // Cancel 99% of the queue without popping anything — the old lazy
-        // deletion kept every corpse until it surfaced at the top.
+        // Cancel 99% of the queue without popping anything — removal is
+        // eager, so `len` tracks every cancellation exactly.
         let mut live = 4_000usize;
         for (i, h) in handles.iter().enumerate() {
             if i % 100 != 0 {
@@ -342,8 +479,8 @@ mod tests {
             }
         }
         assert_eq!(q.len(), 40);
-        // Compaction invariant: dead entries never outnumber live ones.
-        assert!(q.backlog() <= q.len(), "backlog {} leaked", q.backlog());
+        // Eager-removal invariant: no dead entries linger, ever.
+        assert_eq!(q.backlog(), 0);
         let mut popped = 0;
         while q.pop().is_some() {
             popped += 1;
@@ -362,10 +499,64 @@ mod tests {
         for h in &doomed {
             assert!(q.cancel(*h));
         }
-        // Cancelling after compaction must still report "already dead".
+        // Cancelling a second time must still report "already dead".
         assert!(!q.cancel(doomed[0]));
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn reschedule_moves_event_and_keeps_handle() {
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "moved");
+        q.schedule_at(SimTime::from_secs(2), "fixed");
+        assert!(q.reschedule(h, SimTime::from_secs(3)));
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_secs(2), "fixed"),
+                (SimTime::from_secs(3), "moved"),
+            ]
+        );
+    }
+
+    #[test]
+    fn reschedule_to_same_instant_fires_after_existing_ties() {
+        // Re-keying takes a fresh sequence number, exactly as a cancel +
+        // schedule would: the moved event loses its FIFO seniority.
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "moved");
+        q.schedule_at(SimTime::from_secs(1), "stayed");
+        assert!(q.reschedule(h, SimTime::from_secs(1)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["stayed", "moved"]);
+    }
+
+    #[test]
+    fn reschedule_of_dead_handle_is_rejected() {
+        let mut q = q();
+        let h = q.schedule_at(SimTime::from_secs(1), "x");
+        assert!(q.cancel(h));
+        assert!(!q.reschedule(h, SimTime::from_secs(2)));
+        assert_eq!(q.len(), 0);
+        let h2 = q.schedule_at(SimTime::from_secs(3), "y");
+        q.pop();
+        assert!(!q.reschedule(h2, SimTime::from_secs(4)), "fired handle");
+    }
+
+    #[test]
+    fn stale_handle_does_not_alias_recycled_slot() {
+        // Slot recycling must not let an old handle cancel a newer event.
+        let mut q = q();
+        let dead = q.schedule_at(SimTime::from_secs(1), "first");
+        assert!(q.cancel(dead));
+        let _alive = q.schedule_at(SimTime::from_secs(2), "second");
+        assert!(!q.cancel(dead), "stale handle hit the recycled slot");
+        assert!(!q.reschedule(dead, SimTime::from_secs(9)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "second");
     }
 
     #[test]
@@ -376,6 +567,30 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 5);
+    }
+
+    #[test]
+    fn interleaved_cancel_schedule_pop_keeps_exact_order() {
+        // Remove-from-middle exercises both sift directions of `take_at`.
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for i in 0..64u64 {
+            // Zig-zag times so heap layout differs from pop order.
+            let t = if i % 2 == 0 { 1000 - i } else { i };
+            handles.push((t, q.schedule_at(SimTime::from_micros(t), (t, i))));
+        }
+        // Cancel every third event.
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for (i, (t, h)) in handles.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*h));
+            } else {
+                expect.push((*t, i as u64));
+            }
+        }
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(got, expect);
     }
 }
 

@@ -1,0 +1,239 @@
+//! Differential harness: the indexed-heap [`EventQueue`] model-checked
+//! against a naive sorted-`Vec` reference.
+//!
+//! The reference keeps every pending event in a plain `Vec` and does an
+//! O(n log n) sort per pop — slow, but so simple its correctness is evident
+//! by inspection. Random schedule/cancel/pop interleavings (including
+//! cancel-of-popped and double-cancel) must observe identical behaviour from
+//! both: same pop stream, same cancel return values, same `len`, same
+//! `peek_time`. A cancel-heavy regression test then pins the performance
+//! claim the indexed heap was built for: no O(n)-per-cancel scans and no
+//! compaction stalls, while pop order stays exactly `(time, seq)`.
+
+use proptest::prelude::*;
+use pwm_sim::{EventQueue, SimTime};
+
+/// Naive reference queue: unsorted `Vec` of `(time, seq, payload)`, linear
+/// scans everywhere. `seq` is assigned in schedule order, so min-by
+/// `(time, seq)` reproduces the FIFO-within-ties contract.
+struct RefQueue {
+    pending: Vec<(SimTime, u64, u32)>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl RefQueue {
+    fn new() -> Self {
+        RefQueue {
+            pending: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the seq, which doubles as the cancel key.
+    fn schedule_at(&mut self, at: SimTime, payload: u32) -> u64 {
+        assert!(at >= self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((at, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|&(_, s, _)| s == seq) {
+            Some(ix) => {
+                self.pending.remove(ix);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.pending
+            .iter()
+            .map(|&(at, seq, _)| (at, seq))
+            .min()
+            .map(|(at, _)| at)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        let ix = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))
+            .map(|(ix, _)| ix)?;
+        let (at, _, payload) = self.pending.remove(ix);
+        self.now = at;
+        Some((at, payload))
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// One step of the random interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + dt` microseconds.
+    Schedule(u64),
+    /// Cancel the `k`-th handle ever issued (mod issued count) — may target
+    /// a pending, already-popped, or already-cancelled event.
+    Cancel(usize),
+    /// Double-cancel: cancel the same handle twice back to back.
+    DoubleCancel(usize),
+    Pop,
+    PopUntil(u64),
+    Peek,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..10_000).prop_map(Op::Schedule),
+        2 => any::<usize>().prop_map(Op::Cancel),
+        1 => any::<usize>().prop_map(Op::DoubleCancel),
+        2 => Just(Op::Pop),
+        1 => (0u64..10_000).prop_map(Op::PopUntil),
+        1 => Just(Op::Peek),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: option_env!("PWM_PROPTEST_CASES")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256),
+    })]
+
+    /// Lockstep execution: every observable of the indexed queue matches the
+    /// sorted-Vec reference after every operation.
+    #[test]
+    fn indexed_queue_matches_reference(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut r = RefQueue::new();
+        // Parallel handle arrays: handles[i] and seqs[i] name the same event.
+        let mut handles = Vec::new();
+        let mut seqs = Vec::new();
+        let mut next_payload = 0u32;
+        for op in ops {
+            match op {
+                Op::Schedule(dt) => {
+                    let at = q.now() + pwm_sim::SimDuration::from_micros(dt);
+                    handles.push(q.schedule_at(at, next_payload));
+                    seqs.push(r.schedule_at(at, next_payload));
+                    next_payload += 1;
+                }
+                Op::Cancel(k) | Op::DoubleCancel(k) if handles.is_empty() => {
+                    let _ = k; // nothing issued yet; skip
+                }
+                Op::Cancel(k) => {
+                    let ix = k % handles.len();
+                    prop_assert_eq!(q.cancel(handles[ix]), r.cancel(seqs[ix]));
+                }
+                Op::DoubleCancel(k) => {
+                    let ix = k % handles.len();
+                    prop_assert_eq!(q.cancel(handles[ix]), r.cancel(seqs[ix]));
+                    // The second attempt must be a no-op `false` on both.
+                    prop_assert_eq!(q.cancel(handles[ix]), r.cancel(seqs[ix]));
+                    prop_assert!(!q.cancel(handles[ix]));
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.pop(), r.pop());
+                }
+                Op::PopUntil(dt) => {
+                    let horizon = q.now() + pwm_sim::SimDuration::from_micros(dt);
+                    let expect = match r.peek_time() {
+                        Some(t) if t <= horizon => r.pop(),
+                        _ => None,
+                    };
+                    prop_assert_eq!(q.pop_until(horizon), expect);
+                }
+                Op::Peek => {
+                    prop_assert_eq!(q.peek_time(), r.peek_time());
+                }
+            }
+            prop_assert_eq!(q.len(), r.len());
+            prop_assert_eq!(q.is_empty(), r.len() == 0);
+        }
+        // Drain both: the tails must agree event for event.
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Cancelling a popped event returns `false` and never resurrects it.
+    #[test]
+    fn cancel_of_popped_is_inert(times in proptest::collection::vec(0u64..1_000, 1..60)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule_at(SimTime::from_micros(t), i))
+            .collect();
+        let total = times.len();
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, total);
+        // Every handle's event has fired; all must refuse the cancel.
+        for h in &handles {
+            prop_assert!(!q.cancel(*h), "cancel of popped event returned true");
+        }
+        prop_assert!(q.is_empty());
+    }
+}
+
+/// Regression: 100k schedules and ~99k cancels must complete in bounded
+/// time. The previous lazy-deletion queue did an O(n) heap scan per cancel
+/// (≈5·10⁹ comparisons for this workload — minutes in a debug build); the
+/// indexed heap does ~log n work per operation (&lt;10⁷ total). The generous
+/// wall-clock bound fails the old implementation by orders of magnitude
+/// while staying robust to CI noise, and the surviving events must still
+/// pop in exact (time, seq) order.
+#[test]
+fn cancel_heavy_workload_has_no_compaction_stalls() {
+    const N: u64 = 100_000;
+    let started = std::time::Instant::now();
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut handles = Vec::with_capacity(N as usize);
+    for i in 0..N {
+        // Reversed times: the next event to fire is the last scheduled, so
+        // cancels hit entries buried at every heap depth.
+        handles.push(q.schedule_at(SimTime::from_micros(N - i), i));
+    }
+    let mut survivors = Vec::new();
+    for (i, h) in handles.iter().enumerate() {
+        if i % 100 == 7 {
+            survivors.push((N - i as u64, i as u64));
+        } else {
+            assert!(q.cancel(*h));
+        }
+    }
+    assert_eq!(q.len(), survivors.len());
+    assert_eq!(q.backlog(), 0, "indexed heap must not keep corpses");
+    survivors.sort();
+    let mut got = Vec::new();
+    let mut last = SimTime::ZERO;
+    while let Some((t, payload)) = q.pop() {
+        assert!(t >= last, "pop order regressed in time");
+        last = t;
+        got.push((t.as_micros(), payload));
+    }
+    assert_eq!(
+        got, survivors,
+        "surviving events must pop in (time, seq) order"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "cancel-heavy workload stalled: took {:?}",
+        started.elapsed()
+    );
+}

@@ -1,0 +1,105 @@
+//! Ignored-by-default micro-probe for `EventQueue` throughput at the 100k
+//! pending-event population the netbench 100k scenario sustains. Run with:
+//!
+//! ```text
+//! cargo test --release -p pwm-sim --test heap_micro -- --ignored --nocapture
+//! ```
+
+use pwm_sim::{EventQueue, SimDuration, SimTime};
+use std::time::Instant;
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+#[ignore = "timing probe, not a correctness test"]
+fn cancel_reschedule_at_100k_population() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = Lcg(7);
+    let now = SimTime::ZERO;
+    let mut handles = Vec::with_capacity(100_000);
+    for i in 0..100_000u32 {
+        let t = now + SimDuration::from_micros(1 + rng.next() % 600_000_000);
+        handles.push(q.schedule_at(t, i));
+    }
+    let rounds = 1_000_000u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let k = (rng.next() % 100_000) as usize;
+        q.cancel(handles[k]);
+        let t = now + SimDuration::from_micros(1 + rng.next() % 600_000_000);
+        handles[k] = q.schedule_at(t, k as u32);
+    }
+    let el = started.elapsed().as_secs_f64();
+    println!(
+        "cancel+reschedule: {:.0} ops/s ({:.0} ns/op)",
+        rounds as f64 / el,
+        el / rounds as f64 * 1e9
+    );
+}
+
+#[test]
+#[ignore = "timing probe, not a correctness test"]
+fn reschedule_in_place_at_100k_population() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = Lcg(7);
+    let now = SimTime::ZERO;
+    let mut handles = Vec::with_capacity(100_000);
+    for i in 0..100_000u32 {
+        let t = now + SimDuration::from_micros(1 + rng.next() % 600_000_000);
+        handles.push(q.schedule_at(t, i));
+    }
+    let rounds = 1_000_000u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let k = (rng.next() % 100_000) as usize;
+        let t = now + SimDuration::from_micros(1 + rng.next() % 600_000_000);
+        assert!(q.reschedule(handles[k], t));
+    }
+    let el = started.elapsed().as_secs_f64();
+    println!(
+        "reschedule in place: {:.0} ops/s ({:.0} ns/op)",
+        rounds as f64 / el,
+        el / rounds as f64 * 1e9
+    );
+}
+
+#[test]
+#[ignore = "timing probe, not a correctness test"]
+fn pop_push_cycle_at_100k_population() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = Lcg(42);
+    let mut now = SimTime::ZERO;
+    for i in 0..100_000u32 {
+        let t = now + SimDuration::from_micros(1 + rng.next() % 600_000_000);
+        q.schedule_at(t, i);
+    }
+    let rounds = 1_000_000u64;
+    let started = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let t = q.peek_time().unwrap();
+        now = t;
+        let (_, v) = q.pop_until(now).unwrap();
+        acc = acc.wrapping_add(u64::from(v));
+        // One near event (a respun ETA) and one far (a replacement flow).
+        q.schedule_at(
+            now + SimDuration::from_micros(1 + rng.next() % 2_000_000),
+            v,
+        );
+    }
+    let el = started.elapsed().as_secs_f64();
+    println!(
+        "pop+push cycle: {:.0} ops/s ({:.0} ns/op, acc {acc})",
+        rounds as f64 / el,
+        el / rounds as f64 * 1e9
+    );
+}
