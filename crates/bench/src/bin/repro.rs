@@ -6,6 +6,7 @@
 //! repro fig6..fig9        # threshold comparisons at 10/100/500/1000 MB
 //! repro all [seeds]       # everything (default 5 seeds per point)
 //! repro shapes [seeds]    # the headline shape comparisons only (fast)
+//! repro storage           # storage-backend makespan-vs-cost frontier
 //! repro chaos [seed]      # fault-injection scenario + per-fault-class ablation
 //! repro crash [seed]      # mid-run policy-service crash: cold vs warm recovery
 //! repro --trace <out.json> [seed]   # traced paper-setup run → Chrome-trace JSON
@@ -53,6 +54,7 @@ fn main() {
         "chaos" => chaos(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
         "crash" => crash(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
         "shapes" => shapes(seeds),
+        "storage" => storage(),
         "validate-trace" => {
             let Some(path) = args.get(1) else {
                 log.error("validate-trace requires a path");
@@ -90,7 +92,7 @@ fn main() {
         }
         other => {
             log.error(&format!(
-                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|chaos|crash|validate-trace|scrape-metrics|all [seeds]"
+                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|storage|chaos|crash|validate-trace|scrape-metrics|all [seeds]"
             ));
             std::process::exit(2);
         }
@@ -318,6 +320,36 @@ fn headline(f: &Figure) {
             "  greedy-200 @8 vs greedy-50 @8: {:+.1}%  (positive = 200 slower)",
             (g200.mean / g50.mean - 1.0) * 100.0
         );
+    }
+}
+
+/// The storage-backend makespan-vs-cost frontier as a text table (the
+/// `storagebench` bin emits the JSON form).
+fn storage() {
+    use pwm_bench::{check_invariants, pareto_frontier, run_storagebench, storagebench_standard};
+    let s = storagebench_standard();
+    let points = run_storagebench(&s);
+    let frontier = pareto_frontier(&points);
+    println!("== storage frontier: {} ==", s.label);
+    println!(
+        "  {:<24} {:>12} {:>12}  frontier",
+        "run", "makespan", "dollars"
+    );
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "  {:<24} {:>11.2}s {:>12.6}  {}",
+            p.label,
+            p.makespan_secs,
+            p.dollars,
+            if frontier.contains(&i) { "*" } else { "" }
+        );
+    }
+    let violations = check_invariants(&points);
+    for v in &violations {
+        global_logger().error(&format!("invariant violated: {v}"));
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,83 @@
+//! Storage-backend frontier benchmark — see `pwm_bench::storagebench`.
+//!
+//! ```text
+//! storagebench [smoke] [--out PATH]
+//! ```
+//!
+//! Runs the makespan-versus-dollar-cost frontier for one staging-heavy
+//! workflow: three fixed-backend comparators (NFS / parallel FS / object
+//! store, pinned via a single registered profile) against three
+//! policy-picked runs (greedy-cheapest, latency-floor, budget-capped) over
+//! the full backend trio. `smoke` runs the reduced CI scenario. Progress
+//! goes to stderr; the machine-readable JSON report is printed to stdout
+//! and, with `--out`, also written to PATH (conventionally
+//! `BENCH_storage.json`).
+//!
+//! Exit is nonzero when any figure-shape invariant is violated: a failed
+//! run, inconsistent cost accounting (component sums, metered bytes ≠
+//! staged bytes), a non-monotone Pareto frontier, or no policy run beating
+//! the worst fixed backend on cost at equal-or-better makespan.
+
+use pwm_bench::storagebench::{
+    check_invariants, report_json, run_suite, smoke_scenario, standard_scenario,
+};
+use pwm_obs::global_logger;
+
+fn main() {
+    let log = global_logger();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p.clone()),
+                    None => {
+                        log.error("--out requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                log.error(&format!("unknown argument: {other}"));
+                eprintln!("usage: storagebench [smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scenario = if smoke {
+        smoke_scenario()
+    } else {
+        standard_scenario()
+    };
+    log.info(&format!(
+        "storagebench: scenario {}{}",
+        scenario.label,
+        if smoke { " (smoke)" } else { "" }
+    ));
+    let points = run_suite(&scenario);
+    let doc = report_json(&scenario, &points);
+    let text = doc.render();
+    println!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            log.error(&format!("failed to write {path}: {e}"));
+            std::process::exit(1);
+        }
+        log.info(&format!("storagebench: report written to {path}"));
+    }
+
+    let violations = check_invariants(&points);
+    if !violations.is_empty() {
+        for v in &violations {
+            log.error(&format!("storagebench: invariant violated: {v}"));
+        }
+        std::process::exit(1);
+    }
+}

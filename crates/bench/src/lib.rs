@@ -13,6 +13,10 @@
 //! * [`chaos`] — the fault-injection scenario: the same Montage run under
 //!   seeded WAN flaps/degradations and policy-service outages, with a
 //!   per-fault-class ablation of the makespan inflation.
+//! * [`storagebench`] — the makespan-versus-dollar-cost frontier over the
+//!   `pwm-storage` backend trio: fixed-backend comparators against
+//!   policy-picked (greedy-cheapest / latency-floor / budget-capped)
+//!   staging, recorded in `BENCH_storage.json`.
 //!
 //! Entry points: `cargo run --release -p pwm-bench --bin repro -- all`
 //! prints every table/figure; `cargo bench` runs the Criterion benches that
@@ -25,6 +29,7 @@ pub mod crash;
 pub mod experiment;
 pub mod figures;
 pub mod netbench;
+pub mod storagebench;
 pub mod svcbench;
 pub mod table4;
 
@@ -34,5 +39,10 @@ pub use experiment::{default_seeds, mb, MontageExperiment, PolicyMode};
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv, Figure,
     Series,
+};
+pub use storagebench::{
+    check_invariants, pareto_frontier, policy_beats_worst_fixed, run_suite as run_storagebench,
+    smoke_scenario as storagebench_smoke, standard_scenario as storagebench_standard,
+    FrontierPoint, StoragebenchScenario,
 };
 pub use table4::{render as render_table4, table4_analytic, table4_via_service, Table4Row};

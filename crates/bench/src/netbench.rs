@@ -19,9 +19,10 @@
 //!   The 100k-flow size sets `steps_full: 0`: a single full recompute at
 //!   that scale walks every flow × every link (~10⁹ link-touches per
 //!   event), so the baseline run would take hours for a number that the
-//!   smaller sizes already extrapolate. Its report carries a zeroed
-//!   `full_recompute` block, `full_baseline_skipped: true`, and 0.0
-//!   speedups; the acceptance bar there is the *absolute* incremental
+//!   smaller sizes already extrapolate. Its report carries
+//!   `full_baseline_skipped: true` with `null` for the `full_recompute`
+//!   block and both speedups (not-measured, distinct from measured-as-
+//!   zero); the acceptance bar there is the *absolute* incremental
 //!   `events_per_sec` (≥1M), not a ratio.
 //! * `clustered-turbulent-1k` — same topology with the default stream
 //!   model: turbulence keeps every active cluster dirty between refreshes,
@@ -451,15 +452,34 @@ pub fn report_json(reports: &[ScenarioReport]) -> JsonValue {
                                 "full_baseline_skipped".into(),
                                 JsonValue::Bool(r.scenario.steps_full == 0),
                             ),
-                            ("full_recompute".into(), mode_json(&r.full)),
+                            // A skipped baseline is `null`, not an all-zero
+                            // block: a zero-filled `full_recompute` row is
+                            // indistinguishable from a measured-as-zero run
+                            // and a 0.0 "speedup" reads as a regression.
+                            (
+                                "full_recompute".into(),
+                                if r.scenario.steps_full == 0 {
+                                    JsonValue::Null
+                                } else {
+                                    mode_json(&r.full)
+                                },
+                            ),
                             ("incremental".into(), mode_json(&r.incremental)),
                             (
                                 "speedup_events_per_sec".into(),
-                                JsonValue::Float(r.speedup_events),
+                                if r.scenario.steps_full == 0 {
+                                    JsonValue::Null
+                                } else {
+                                    JsonValue::Float(r.speedup_events)
+                                },
                             ),
                             (
                                 "speedup_recomputes_per_sec".into(),
-                                JsonValue::Float(r.speedup_recomputes),
+                                if r.scenario.steps_full == 0 {
+                                    JsonValue::Null
+                                } else {
+                                    JsonValue::Float(r.speedup_recomputes)
+                                },
                             ),
                         ])
                     })
@@ -544,7 +564,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_steps_full_skips_baseline_and_zeroes_speedups() {
+    fn zero_steps_full_skips_baseline_and_nulls_speedups() {
         let s = NetbenchScenario {
             label: "tiny-skip".into(),
             clusters: 2,
@@ -573,6 +593,17 @@ mod tests {
                 .get("full_baseline_skipped")
                 .and_then(|v| v.as_bool()),
             Some(true)
+        );
+        // The skipped baseline reports as null, not zeroed rows: a reader
+        // must not mistake "not measured" for "measured at zero".
+        assert_eq!(scenario.get("full_recompute"), Some(&JsonValue::Null));
+        assert_eq!(
+            scenario.get("speedup_events_per_sec"),
+            Some(&JsonValue::Null)
+        );
+        assert_eq!(
+            scenario.get("speedup_recomputes_per_sec"),
+            Some(&JsonValue::Null)
         );
     }
 

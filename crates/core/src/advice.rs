@@ -32,6 +32,10 @@ pub struct TransferAdvice {
     pub group: GroupId,
     /// Position in the advised execution order (0-based, across the batch).
     pub order: u32,
+    /// Storage backend to stage through, when the storage policy family
+    /// picked one (None = stage directly to the destination as before).
+    #[serde(default)]
+    pub backend: Option<String>,
 }
 
 impl TransferAdvice {
@@ -100,6 +104,7 @@ mod tests {
             streams: 4,
             group: GroupId(0),
             order: 0,
+            backend: None,
         };
         assert!(a.should_execute());
         a.action = TransferAction::Skip(SuppressReason::AlreadyStaged);
@@ -128,6 +133,7 @@ mod tests {
             streams: 1,
             group: GroupId(3),
             order: 7,
+            backend: Some("obj-s3".into()),
         };
         let json = serde_json::to_string(&a).unwrap();
         let back: TransferAdvice = serde_json::from_str(&json).unwrap();

@@ -220,6 +220,8 @@ mod tests {
                 in_current_batch: true,
                 suppressed: None,
                 cluster_released: false,
+                backend: None,
+                backend_released: false,
             });
         }
         s.fire_all(&mut ctx);
@@ -285,6 +287,8 @@ mod tests {
                 in_current_batch: true,
                 suppressed: None,
                 cluster_released: false,
+                backend: None,
+                backend_released: false,
             });
         }
         s.wm.insert(TransferFact {
@@ -297,6 +301,8 @@ mod tests {
             in_current_batch: true,
             suppressed: None,
             cluster_released: false,
+            backend: None,
+            backend_released: false,
         });
         s.fire_all(&mut ctx);
         let late =
@@ -323,6 +329,8 @@ mod tests {
             in_current_batch: true,
             suppressed: None,
             cluster_released: false,
+            backend: None,
+            backend_released: false,
         });
         s.fire_all(&mut ctx);
         let (_, c) = s.wm.find::<ClusterAllocFact>(|_| true).unwrap();

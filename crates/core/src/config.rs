@@ -24,6 +24,45 @@ pub enum AllocationPolicy {
     Balanced,
 }
 
+/// Which storage-backend selection policy the storage rule family applies
+/// to transfers whose destination site has registered backend profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum StoragePolicy {
+    /// The family is disabled: no backend advice, byte-identical behavior
+    /// to a service built before the storage layer existed.
+    #[default]
+    Off,
+    /// Pick the backend with the lowest estimated dollar cost for the
+    /// transfer (requests + residency estimate + egress), ties broken by
+    /// name.
+    GreedyCheapest,
+    /// Cheapest backend whose envelope meets a performance floor; when
+    /// none qualifies, the fastest (highest effective bandwidth) wins.
+    LatencyFloor {
+        /// Maximum acceptable fixed setup (request overhead), seconds.
+        max_setup_s: f64,
+        /// Minimum acceptable effective bandwidth, bytes/second.
+        min_bandwidth_bps: f64,
+    },
+    /// Greedy-cheapest on performance-first order: fastest backend whose
+    /// projected cumulative committed spend stays within the budget;
+    /// falls back to the cheapest backend once the budget is exhausted.
+    BudgetCapped {
+        /// Total dollars the selection rules may commit across the run.
+        budget_dollars: f64,
+    },
+}
+
+/// One storage backend made visible to policy memory: the envelope plus the
+/// destination-site host it serves (mirrored into a `BackendProfileFact`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendProfileCfg {
+    /// Performance + cost envelope (shared with the simulator layer).
+    pub profile: pwm_storage::BackendSpec,
+    /// Host name of the destination site this backend serves.
+    pub site: String,
+}
+
 /// How the returned transfer list is ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum OrderingPolicy {
@@ -66,6 +105,13 @@ pub struct PolicyConfig {
     /// still decode.
     #[serde(default)]
     pub audit_retention: Option<usize>,
+    /// Storage backends visible to the storage rule family (empty = none
+    /// registered; pre-storage configurations still decode).
+    #[serde(default)]
+    pub backends: Vec<BackendProfileCfg>,
+    /// Storage-backend selection policy in force.
+    #[serde(default)]
+    pub storage: StoragePolicy,
 }
 
 impl Default for PolicyConfig {
@@ -81,6 +127,8 @@ impl Default for PolicyConfig {
             cluster_factor: 1,
             dedup: true,
             audit_retention: None,
+            backends: Vec::new(),
+            storage: StoragePolicy::Off,
         }
     }
 }
@@ -150,6 +198,25 @@ impl PolicyConfig {
     /// Builder-style: bound the audit ring to `n` records.
     pub fn with_audit_retention(mut self, n: usize) -> Self {
         self.audit_retention = Some(n.max(1));
+        self
+    }
+
+    /// Builder-style: register a storage backend at `site`.
+    pub fn with_backend(
+        mut self,
+        profile: pwm_storage::BackendSpec,
+        site: impl Into<String>,
+    ) -> Self {
+        self.backends.push(BackendProfileCfg {
+            profile,
+            site: site.into(),
+        });
+        self
+    }
+
+    /// Builder-style: set the storage-backend selection policy.
+    pub fn with_storage(mut self, p: StoragePolicy) -> Self {
+        self.storage = p;
         self
     }
 
@@ -269,6 +336,32 @@ mod tests {
         let c = PolicyConfig::default();
         assert_eq!(c.audit_retention(), DEFAULT_AUDIT_RETENTION);
         assert_eq!(c.with_audit_retention(0).audit_retention(), 1);
+    }
+
+    #[test]
+    fn storage_config_roundtrips_and_defaults_off() {
+        assert_eq!(PolicyConfig::default().storage, StoragePolicy::Off);
+        let c = PolicyConfig::default()
+            .with_backend(pwm_storage::ec2_trio().remove(0), "obelix-nfs")
+            .with_storage(StoragePolicy::BudgetCapped {
+                budget_dollars: 2.5,
+            });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PolicyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn config_without_storage_fields_still_decodes() {
+        // A pre-storage config on the wire must keep decoding (both fields
+        // carry #[serde(default)]).
+        let json = serde_json::to_string(&PolicyConfig::default()).unwrap();
+        let stripped = json
+            .replace(",\"backends\":[]", "")
+            .replace(",\"storage\":\"Off\"", "");
+        assert!(!stripped.contains("backends"), "strip failed: {stripped}");
+        let back: PolicyConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, PolicyConfig::default());
     }
 
     #[test]

@@ -28,8 +28,8 @@ use crate::advice::{CleanupOutcome, TransferOutcome};
 use crate::audit::AuditRecord;
 use crate::config::PolicyConfig;
 use crate::model::{
-    CleanupFact, CleanupSpec, ClusterAllocFact, HostPairFact, ResourceFact, TransferFact,
-    TransferSpec,
+    BackendLoadFact, CleanupFact, CleanupSpec, ClusterAllocFact, HostPairFact, ResourceFact,
+    StagedOnFact, TransferFact, TransferSpec,
 };
 use crate::service::{MemorySnapshot, ServiceStats};
 pub use pwm_sim::CrashPoint;
@@ -167,6 +167,10 @@ pub enum DurableFact {
     HostPair(HostPairFact),
     /// A per-cluster allocation ledger fact (balanced policy).
     ClusterAlloc(ClusterAllocFact),
+    /// A file-landed-on-backend fact (storage policy family).
+    StagedOn(StagedOnFact),
+    /// A per-backend allocation ledger fact (storage policy family).
+    BackendLoad(BackendLoadFact),
 }
 
 /// The complete serializable state of one policy session.

@@ -106,6 +106,8 @@ mod tests {
                 in_current_batch: true,
                 suppressed: None,
                 cluster_released: false,
+                backend: None,
+                backend_released: false,
             });
         }
         s.fire_all(ctx);
@@ -212,6 +214,8 @@ mod tests {
             in_current_batch: true,
             suppressed: None,
             cluster_released: false,
+            backend: None,
+            backend_released: false,
         });
         s.fire_all(&mut ctx);
         let (_, t) =

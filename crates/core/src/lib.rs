@@ -57,6 +57,7 @@ pub mod priority;
 pub mod rules_base;
 pub mod service;
 pub mod shard;
+pub mod storage_rules;
 pub mod transport;
 
 pub use adaptive::{ThresholdTuner, TransferObservation};
@@ -65,7 +66,9 @@ pub use advice::{
 };
 pub use audit::{AuditLog, AuditRecord, PolicyEvent};
 pub use chaos::{ChaosProbe, ChaosTransport, ServiceFault, SharedSimClock};
-pub use config::{AllocationPolicy, OrderingPolicy, PolicyConfig};
+pub use config::{
+    AllocationPolicy, BackendProfileCfg, OrderingPolicy, PolicyConfig, StoragePolicy,
+};
 pub use controller::{ControllerError, PolicyController, DEFAULT_SESSION};
 pub use ctx::PolicyCtx;
 pub use durable::{
@@ -75,12 +78,13 @@ pub use durable::{
 pub use failover::{FailoverProbe, FailoverTransport};
 pub use ledger::{balanced_grant, greedy_grant, greedy_total_for_concurrent_jobs, no_policy_total};
 pub use model::{
-    CleanupId, CleanupSpec, ClusterId, GroupId, SuppressReason, TransferId, TransferSpec, Url,
-    WorkflowId,
+    BackendLoadFact, BackendProfileFact, CleanupId, CleanupSpec, ClusterId, GroupId, StagedOnFact,
+    SuppressReason, TransferId, TransferSpec, Url, WorkflowId,
 };
 pub use priority::{assign_priorities, PriorityAlgorithm, WorkflowGraph};
 pub use service::{
     HostPairSnapshot, MemorySnapshot, PolicyService, RuleCounters, ServiceStats, SHARD_ID_BITS,
 };
 pub use shard::{fnv1a64, HashRing, ShardedPolicyService, RING_VNODES};
+pub use storage_rules::{estimated_dollars, estimated_seconds, install_storage_rules};
 pub use transport::{InProcessTransport, NoPolicyTransport, PolicyTransport, TransportError};

@@ -184,6 +184,14 @@ pub struct TransferFact {
     /// charge exactly once (the host-pair charge is released separately by
     /// the Table I completion/failure rules).
     pub cluster_released: bool,
+    /// Staging backend the storage policy family picked (None when the
+    /// family is off or no backend profile matches the destination site).
+    #[serde(default)]
+    pub backend: Option<String>,
+    /// Guard so the storage family releases the backend-load charge and
+    /// records the `StagedOn` fact exactly once.
+    #[serde(default)]
+    pub backend_released: bool,
 }
 
 /// Why a request was removed from the list returned to the client.
@@ -288,6 +296,48 @@ pub struct ClusterAllocFact {
     pub cluster: ClusterId,
     /// Streams currently allocated to this cluster's transfers.
     pub allocated: u32,
+}
+
+/// A storage backend available at a site, as policy memory sees it — the
+/// Table-I-style "what exists" fact of the storage family. One fact per
+/// backend, inserted from [`crate::PolicyConfig::backends`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendProfileFact {
+    /// Performance + cost envelope (shared with the simulator layer).
+    pub profile: pwm_storage::BackendSpec,
+    /// Destination-site host name the backend serves; a transfer is
+    /// eligible for this backend iff its dest URL names this host.
+    pub site: String,
+}
+
+/// A file staged onto a specific backend (storage-family bookkeeping,
+/// recorded when the producing transfer completes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedOnFact {
+    /// Canonical destination URL of the staged file.
+    pub file: Url,
+    /// Backend name it landed on.
+    pub backend: String,
+    /// Size hint from the producing transfer.
+    pub bytes: u64,
+    /// Workflow that staged it.
+    pub workflow: WorkflowId,
+}
+
+/// Running per-backend allocation ledger for the storage family: how much
+/// in-flight staging the selection rules have already committed to each
+/// backend (released when transfers complete or fail).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendLoadFact {
+    /// Backend name.
+    pub backend: String,
+    /// Transfers currently assigned and not yet released.
+    pub active: u32,
+    /// Bytes assigned and not yet released.
+    pub bytes_assigned: f64,
+    /// Estimated dollars committed so far (monotone; budget-capped
+    /// selection compares this against its cap).
+    pub dollars_committed: f64,
 }
 
 /// `#[serde(with)]` adapter for `BTreeSet<WorkflowId>`: the vendored serde

@@ -586,6 +586,8 @@ mod tests {
             in_current_batch: true,
             suppressed: None,
             cluster_released: false,
+            backend: None,
+            backend_released: false,
         }
     }
 

@@ -21,10 +21,12 @@ use crate::durable::{
 use crate::greedy::install_greedy_rules;
 use crate::model::SuppressReason;
 use crate::model::{
-    CleanupFact, CleanupId, CleanupSpec, CleanupState, ClusterAllocFact, HostPairFact,
-    ResourceFact, ResourceState, TransferFact, TransferId, TransferSpec, TransferState,
+    BackendLoadFact, BackendProfileFact, CleanupFact, CleanupId, CleanupSpec, CleanupState,
+    ClusterAllocFact, HostPairFact, ResourceFact, ResourceState, StagedOnFact, TransferFact,
+    TransferId, TransferSpec, TransferState,
 };
 use crate::rules_base::{install_base_rules, resource_for, transfer_pair_key};
+use crate::storage_rules::install_storage_rules;
 use pwm_obs::{Counter, Gauge, Histogram, Obs};
 use pwm_rules::Session;
 use serde::{Deserialize, Serialize};
@@ -279,8 +281,9 @@ impl PolicyService {
         install_base_rules(&mut session);
         install_greedy_rules(&mut session);
         install_balanced_rules(&mut session);
+        install_storage_rules(&mut session);
         let audit = AuditLog::with_capacity(config.audit_retention());
-        PolicyService {
+        let mut svc = PolicyService {
             session,
             ctx: PolicyCtx::new(config),
             next_transfer: 0,
@@ -291,6 +294,24 @@ impl PolicyService {
             durability: None,
             last_gauge_sweep: None,
             fast_path: true,
+        };
+        svc.sync_backend_profiles();
+        svc
+    }
+
+    /// Mirror [`PolicyConfig::backends`] into policy memory as
+    /// `BackendProfileFact`s (retract-and-reinsert, so reconfiguration
+    /// replaces the set). Profile facts are config-derived, never
+    /// snapshotted: recovery re-derives them from the restored config.
+    fn sync_backend_profiles(&mut self) {
+        for h in self.session.wm.handles::<BackendProfileFact>() {
+            self.session.wm.retract(h);
+        }
+        for b in self.ctx.config.backends.clone() {
+            self.session.wm.insert(BackendProfileFact {
+                profile: b.profile,
+                site: b.site,
+            });
         }
     }
 
@@ -479,6 +500,14 @@ impl PolicyService {
             wm.iter::<ClusterAllocFact>()
                 .map(|(h, f)| (h, DurableFact::ClusterAlloc(f.clone()))),
         );
+        facts.extend(
+            wm.iter::<StagedOnFact>()
+                .map(|(h, f)| (h, DurableFact::StagedOn(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<BackendLoadFact>()
+                .map(|(h, f)| (h, DurableFact::BackendLoad(f.clone()))),
+        );
         facts.sort_by_key(|(h, _)| *h);
         DurableState {
             applied_seq: self.durability.as_ref().map_or(0, |d| d.next_seq() - 1),
@@ -526,6 +555,12 @@ impl PolicyService {
                     svc.session.wm.insert(f);
                 }
                 DurableFact::ClusterAlloc(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::StagedOn(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::BackendLoad(f) => {
                     svc.session.wm.insert(f);
                 }
             }
@@ -693,6 +728,7 @@ impl PolicyService {
             self.audit = AuditLog::restore(capacity, self.audit.total_recorded(), records);
         }
         self.ctx.config = config;
+        self.sync_backend_profiles();
         // Rule matchers read the config through ctx, which the engine (like
         // Drools globals) does not watch — flush the cached agenda so the
         // new config is observed.
@@ -808,6 +844,8 @@ impl PolicyService {
                     in_current_batch: true,
                     suppressed: None,
                     cluster_released: false,
+                    backend: None,
+                    backend_released: false,
                 });
                 handles.push(h);
             }
@@ -838,6 +876,7 @@ impl PolicyService {
                         streams: t.streams.unwrap_or(1).max(1),
                         group: t.group.unwrap_or_default(),
                         order: 0,
+                        backend: t.backend.clone(),
                     },
                     priority: t.spec.priority.unwrap_or(0),
                 });
@@ -966,6 +1005,7 @@ impl PolicyService {
             streams,
             group: Default::default(),
             order: 0,
+            backend: None,
         })
     }
 

@@ -511,6 +511,75 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_ring_owns_every_key() {
+        // The degenerate ring: every key maps to shard 0, and keys route
+        // identically no matter where their hashes land relative to the
+        // vnode points (including past the top of the ring, which wraps).
+        let ring = HashRing::new(1);
+        assert_eq!(ring.shards(), 1);
+        for i in 0..500 {
+            assert_eq!(ring.shard_for_key(&format!("key-{i}")), 0);
+            assert_eq!(ring.shard_for_pair(&format!("s{i}"), &format!("d{i}")), 0);
+        }
+    }
+
+    #[test]
+    fn wide_ring_covers_all_64_shards_roughly_evenly() {
+        // 64 shards × 64 vnodes = 4096 ring points. Every shard must own
+        // keys (no starved shard), and no shard may capture a grossly
+        // outsized fraction — the consistent-hash spread the router's
+        // contention-avoidance story rests on.
+        let ring = HashRing::new(64);
+        let keys = 64 * 200;
+        let mut counts = [0u32; 64];
+        for i in 0..keys {
+            counts[ring.shard_for_pair(&format!("host-a{i}"), &format!("host-b{i}")) as usize] += 1;
+        }
+        let expected = keys as u32 / 64;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "shard {s} owns no keys out of {keys}");
+            assert!(
+                c < expected * 4,
+                "shard {s} owns {c} of {keys} keys (> 4x the even share)"
+            );
+        }
+    }
+
+    #[test]
+    fn namespaced_ids_never_collide_across_shards() {
+        // Regression guard on the `shard << SHARD_ID_BITS` namespace: ids
+        // minted concurrently by every shard of a wide ring must be
+        // globally unique and must decode back to their minting shard —
+        // a collision would route an outcome report to the wrong shard's
+        // ledger.
+        let shards = 64u16;
+        let sharded = ShardedPolicyService::new(PolicyConfig::default(), shards);
+        let batch: Vec<TransferSpec> = (0..512)
+            .map(|i| spec(&format!("src{i}"), &format!("dst{i}"), i, 1))
+            .collect();
+        let advice = sharded.evaluate_transfers(batch);
+        assert_eq!(advice.len(), 512);
+        let mut seen = std::collections::HashSet::new();
+        for a in &advice {
+            assert!(seen.insert(a.id), "duplicate transfer id {:?}", a.id);
+            let shard = PolicyService::shard_of_transfer(a.id);
+            assert!(shard < shards, "id {:?} decodes to shard {shard}", a.id);
+        }
+        // The ids must be usable as routing keys: reporting every outcome
+        // lands each on its own shard and the aggregate ledger balances.
+        sharded.report_transfers(
+            advice
+                .iter()
+                .map(|a| TransferOutcome {
+                    id: a.id,
+                    success: true,
+                })
+                .collect(),
+        );
+        assert_eq!(sharded.stats().transfers_completed, 512);
+    }
+
+    #[test]
     fn one_shard_matches_unsharded_service_exactly() {
         let config = PolicyConfig::default();
         let sharded = ShardedPolicyService::new(config.clone(), 1);

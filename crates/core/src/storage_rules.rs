@@ -1,0 +1,370 @@
+//! The storage policy family: backend selection for staged data.
+//!
+//! A site can expose several staging backends (shared NFS, parallel FS,
+//! object store) with very different performance and dollar-cost envelopes;
+//! *Data Sharing Options for Scientific Workflows on Amazon EC2* shows the
+//! choice dominates both makespan and cost. This family extends the paper's
+//! Table I/II pattern with three fact types —
+//! [`BackendProfileFact`] (what exists, mirrored from configuration),
+//! [`BackendLoadFact`] (a running allocation ledger per backend), and
+//! [`StagedOnFact`] (where each staged file landed) — and two rules:
+//!
+//! * **selection** (salience 40, after the stream-allocation families):
+//!   every executing batch transfer whose destination site has registered
+//!   profiles is assigned a backend per the configured
+//!   [`StoragePolicy`] variant, and the pick is charged against the
+//!   backend's load ledger;
+//! * **release** (salience 72, before the Table I removal rules at 70
+//!   retract the fact): a finished transfer releases its load charge and —
+//!   on success — records the `StagedOn` fact.
+//!
+//! With [`StoragePolicy::Off`] (the default) the selection guard returns no
+//! matches and, with no profiles configured, neither rule can ever fire:
+//! the family is inert and pre-storage behavior is byte-identical.
+
+use crate::config::StoragePolicy;
+use crate::ctx::PolicyCtx;
+use crate::model::{
+    BackendLoadFact, BackendProfileFact, StagedOnFact, TransferFact, TransferState,
+};
+use crate::rules_base::batch_transfers;
+use pwm_rules::{Rule, Session};
+use pwm_storage::BackendSpec;
+
+/// Residency horizon assumed when estimating a transfer's $/GB·h component
+/// before the cleanup time is known (selection needs a forecast; the cost
+/// meter later bills actual residency).
+const EST_RESIDENT_HOURS: f64 = 1.0;
+
+/// Forecast dollars for staging `bytes` through `spec`: PUT + read-once GET
+/// requests, egress for the read-back, and [`EST_RESIDENT_HOURS`] of
+/// residency.
+pub fn estimated_dollars(spec: &BackendSpec, bytes: u64) -> f64 {
+    let gb = bytes as f64 / 1e9;
+    let requests = 2.0 * spec.requests_for(bytes) as f64;
+    requests * spec.cost.per_request
+        + gb * spec.cost.per_gb_egress
+        + gb * spec.cost.per_gb_hour * EST_RESIDENT_HOURS
+}
+
+/// Forecast seconds to land `bytes` on `spec` with the envelope to itself:
+/// fixed per-request setup plus the bandwidth-limited transfer time.
+pub fn estimated_seconds(spec: &BackendSpec, bytes: u64) -> f64 {
+    spec.extra_setup(bytes).as_secs_f64() + bytes as f64 / spec.effective_bandwidth().max(1.0)
+}
+
+/// Pick a backend from `candidates` (already sorted by name, so every
+/// tie-break is deterministic) for a transfer of `bytes`, under `policy`.
+/// `committed` is the estimated spend already committed across all backends
+/// (the budget-capped variant's running total).
+fn select_backend<'a>(
+    policy: &StoragePolicy,
+    candidates: &'a [BackendSpec],
+    bytes: u64,
+    committed: f64,
+) -> Option<&'a BackendSpec> {
+    let cheapest = || {
+        candidates.iter().min_by(|a, b| {
+            estimated_dollars(a, bytes)
+                .total_cmp(&estimated_dollars(b, bytes))
+                .then_with(|| a.name.cmp(&b.name))
+        })
+    };
+    let fastest = || {
+        candidates.iter().min_by(|a, b| {
+            estimated_seconds(a, bytes)
+                .total_cmp(&estimated_seconds(b, bytes))
+                .then_with(|| a.name.cmp(&b.name))
+        })
+    };
+    match *policy {
+        StoragePolicy::Off => None,
+        StoragePolicy::GreedyCheapest => cheapest(),
+        StoragePolicy::LatencyFloor {
+            max_setup_s,
+            min_bandwidth_bps,
+        } => {
+            let qualifying = candidates
+                .iter()
+                .filter(|s| {
+                    s.extra_setup(bytes).as_secs_f64() <= max_setup_s
+                        && s.effective_bandwidth() >= min_bandwidth_bps
+                })
+                .min_by(|a, b| {
+                    estimated_dollars(a, bytes)
+                        .total_cmp(&estimated_dollars(b, bytes))
+                        .then_with(|| a.name.cmp(&b.name))
+                });
+            qualifying.or_else(fastest)
+        }
+        StoragePolicy::BudgetCapped { budget_dollars } => candidates
+            .iter()
+            .filter(|s| committed + estimated_dollars(s, bytes) <= budget_dollars)
+            .min_by(|a, b| {
+                estimated_seconds(a, bytes)
+                    .total_cmp(&estimated_seconds(b, bytes))
+                    .then_with(|| a.name.cmp(&b.name))
+            })
+            .or_else(cheapest),
+    }
+}
+
+/// Install the storage policy family (selection + release rules and the
+/// alpha-memory indexes they probe). Always installed; inert until backend
+/// profiles are configured and a [`StoragePolicy`] other than `Off` is set.
+pub fn install_storage_rules(session: &mut Session<PolicyCtx>) {
+    // Profiles probed by destination site, ledgers and staged-on records by
+    // backend name / file URL: all equality joins, all indexed.
+    session
+        .wm
+        .register_index::<BackendProfileFact, String>(|b| b.site.clone());
+    session
+        .wm
+        .register_index::<BackendLoadFact, String>(|l| l.backend.clone());
+    session
+        .wm
+        .register_index::<StagedOnFact, crate::model::Url>(|s| s.file.clone());
+
+    // Selection: after dedup/grouping/allocation have settled (salience 40 <
+    // the allocation families' 50), assign each executing batch transfer a
+    // backend and charge the pick against the backend's load ledger.
+    session.add_rule(
+        Rule::new("storage: pick the staging backend for a transfer")
+            .salience(40)
+            .watches::<TransferFact>()
+            .watches::<BackendProfileFact>()
+            .when(|wm, ctx: &PolicyCtx| {
+                if ctx.config.storage == StoragePolicy::Off {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() || t.backend.is_some() {
+                        continue;
+                    }
+                    if wm
+                        .iter_by::<BackendProfileFact, String>(&t.spec.dest.host)
+                        .next()
+                        .is_some()
+                    {
+                        out.push(vec![h]);
+                    }
+                }
+                out
+            })
+            .then(|wm, ctx, m| {
+                let (site, bytes) = {
+                    let t = wm.get::<TransferFact>(m[0]).expect("matched transfer");
+                    (t.spec.dest.host.clone(), t.spec.bytes)
+                };
+                let mut candidates: Vec<BackendSpec> = wm
+                    .iter_by::<BackendProfileFact, String>(&site)
+                    .map(|(_, b)| b.profile.clone())
+                    .collect();
+                candidates.sort_by(|a, b| a.name.cmp(&b.name));
+                let committed: f64 = wm
+                    .iter::<BackendLoadFact>()
+                    .map(|(_, l)| l.dollars_committed)
+                    .sum();
+                let Some(pick) = select_backend(&ctx.config.storage, &candidates, bytes, committed)
+                else {
+                    return;
+                };
+                let name = pick.name.clone();
+                let est = estimated_dollars(pick, bytes);
+                if let Some((lh, _)) = wm.find_by::<BackendLoadFact, String>(&name) {
+                    wm.update::<BackendLoadFact>(lh, |l| {
+                        l.active += 1;
+                        l.bytes_assigned += bytes as f64;
+                        l.dollars_committed += est;
+                    });
+                } else {
+                    wm.insert(BackendLoadFact {
+                        backend: name.clone(),
+                        active: 1,
+                        bytes_assigned: bytes as f64,
+                        dollars_committed: est,
+                    });
+                }
+                wm.update::<TransferFact>(m[0], |t| t.backend = Some(name));
+            }),
+    );
+
+    // Release: a finished transfer gives its load charge back (dollars stay
+    // committed — the budget cap is a spend total, not a concurrency cap)
+    // and, on success, records where the file landed. Salience 72 puts this
+    // ahead of the Table I removal rules (70) that retract the fact.
+    session.add_rule(
+        Rule::new("storage: release the backend charge of a finished transfer")
+            .salience(72)
+            .when_each::<TransferFact>(|t, _: &PolicyCtx| {
+                t.backend.is_some()
+                    && !t.backend_released
+                    && matches!(t.state, TransferState::Completed | TransferState::Failed)
+            })
+            .then(|wm, _, m| {
+                let (backend, bytes, file, workflow, completed) = {
+                    let t = wm.get::<TransferFact>(m[0]).expect("matched transfer");
+                    (
+                        t.backend.clone().expect("guard: backend set"),
+                        t.spec.bytes,
+                        t.spec.dest.clone(),
+                        t.spec.workflow,
+                        t.state == TransferState::Completed,
+                    )
+                };
+                if let Some((lh, _)) = wm.find_by::<BackendLoadFact, String>(&backend) {
+                    wm.update::<BackendLoadFact>(lh, |l| {
+                        l.active = l.active.saturating_sub(1);
+                        l.bytes_assigned = (l.bytes_assigned - bytes as f64).max(0.0);
+                    });
+                }
+                if completed {
+                    if let Some((sh, _)) = wm.find_by::<StagedOnFact, crate::model::Url>(&file) {
+                        wm.update::<StagedOnFact>(sh, |s| {
+                            s.backend = backend.clone();
+                            s.bytes = bytes;
+                            s.workflow = workflow;
+                        });
+                    } else {
+                        wm.insert(StagedOnFact {
+                            file,
+                            backend: backend.clone(),
+                            bytes,
+                            workflow,
+                        });
+                    }
+                }
+                wm.update::<TransferFact>(m[0], |t| t.backend_released = true);
+            }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::TransferOutcome;
+    use crate::config::PolicyConfig;
+    use crate::model::{TransferSpec, Url, WorkflowId};
+    use crate::service::PolicyService;
+    use pwm_storage::ec2_trio;
+
+    fn spec_named(n: u32, bytes: u64) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", "gridftp-vm", format!("/data/f{n}.dat")),
+            dest: Url::new("file", "obelix-nfs", format!("/scratch/f{n}.dat")),
+            bytes,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    fn storage_service(policy: StoragePolicy) -> PolicyService {
+        let mut cfg = PolicyConfig::default().with_storage(policy);
+        for b in ec2_trio() {
+            cfg = cfg.with_backend(b, "obelix-nfs");
+        }
+        PolicyService::new(cfg)
+    }
+
+    #[test]
+    fn off_policy_assigns_no_backend() {
+        let mut svc = storage_service(StoragePolicy::Off);
+        let advice = svc.evaluate_transfers(vec![spec_named(0, 1_000_000)]);
+        assert_eq!(advice[0].backend, None);
+    }
+
+    #[test]
+    fn greedy_cheapest_picks_lowest_forecast_cost() {
+        let mut svc = storage_service(StoragePolicy::GreedyCheapest);
+        let advice = svc.evaluate_transfers(vec![spec_named(0, 100_000_000)]);
+        // nfs-std: no request/egress fees and the lowest residency rate
+        // after obj-s3 — but obj-s3 pays $0.09/GB egress, so NFS wins.
+        assert_eq!(advice[0].backend.as_deref(), Some("nfs-std"));
+    }
+
+    #[test]
+    fn latency_floor_excludes_slow_backends() {
+        // Floor of 100 MB/s effective bandwidth disqualifies nfs-std
+        // (60 MB/s); obj-s3 qualifies on bandwidth but its per-request
+        // setup exceeds the 10 ms cap, leaving pfs-lustre.
+        let mut svc = storage_service(StoragePolicy::LatencyFloor {
+            max_setup_s: 0.01,
+            min_bandwidth_bps: 100e6,
+        });
+        let advice = svc.evaluate_transfers(vec![spec_named(0, 100_000_000)]);
+        assert_eq!(advice[0].backend.as_deref(), Some("pfs-lustre"));
+    }
+
+    #[test]
+    fn budget_cap_degrades_from_fastest_to_cheapest() {
+        // Forecast cost of one 1 GB transfer on pfs-lustre (fastest) is
+        // 1 GB·h * $0.0012 = $0.0012; a $0.002 budget admits one such
+        // pick, then forces the cheapest backend.
+        let mut svc = storage_service(StoragePolicy::BudgetCapped {
+            budget_dollars: 0.002,
+        });
+        let advice = svc.evaluate_transfers(vec![
+            spec_named(0, 1_000_000_000),
+            spec_named(1, 1_000_000_000),
+        ]);
+        let picks: Vec<_> = advice.iter().map(|a| a.backend.clone().unwrap()).collect();
+        assert!(picks.contains(&"pfs-lustre".to_string()), "{picks:?}");
+        assert!(picks.contains(&"nfs-std".to_string()), "{picks:?}");
+    }
+
+    #[test]
+    fn no_profiles_for_site_leaves_backend_unset() {
+        let mut svc =
+            PolicyService::new(PolicyConfig::default().with_storage(StoragePolicy::GreedyCheapest));
+        let advice = svc.evaluate_transfers(vec![spec_named(0, 1_000_000)]);
+        assert_eq!(advice[0].backend, None);
+    }
+
+    #[test]
+    fn completion_releases_load_and_records_staged_on() {
+        let mut svc = storage_service(StoragePolicy::GreedyCheapest);
+        let advice = svc.evaluate_transfers(vec![spec_named(0, 5_000_000)]);
+        assert!(advice[0].backend.is_some());
+        svc.report_transfers(vec![TransferOutcome {
+            id: advice[0].id,
+            success: true,
+        }]);
+        let state = svc.durable_state();
+        let mut staged_on = 0;
+        let mut load_active = u32::MAX;
+        for f in &state.facts {
+            match f {
+                crate::durable::DurableFact::StagedOn(s) => {
+                    staged_on += 1;
+                    assert_eq!(s.backend, "nfs-std");
+                    assert_eq!(s.bytes, 5_000_000);
+                }
+                crate::durable::DurableFact::BackendLoad(l) => {
+                    load_active = l.active;
+                    assert_eq!(l.bytes_assigned, 0.0);
+                    assert!(l.dollars_committed > 0.0, "commitment is monotone");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(staged_on, 1, "one StagedOn fact recorded");
+        assert_eq!(load_active, 0, "load released on completion");
+
+        // The storage facts survive a snapshot/restore round trip.
+        let restored = PolicyService::from_durable_state(state.clone());
+        assert_eq!(restored.durable_state().facts, state.facts);
+    }
+
+    #[test]
+    fn reconfiguring_backends_replaces_profiles() {
+        let mut svc = storage_service(StoragePolicy::GreedyCheapest);
+        // Drop every backend: selection can no longer match.
+        let cfg = PolicyConfig::default().with_storage(StoragePolicy::GreedyCheapest);
+        svc.set_config(cfg);
+        let advice = svc.evaluate_transfers(vec![spec_named(7, 1_000_000)]);
+        assert_eq!(advice[0].backend, None);
+    }
+}

@@ -141,6 +141,7 @@ impl PolicyTransport for NoPolicyTransport {
                 streams: spec.requested_streams.unwrap_or(self.streams).max(1),
                 group: GroupId(0),
                 order: i as u32,
+                backend: None,
             })
             .collect())
     }

@@ -470,6 +470,20 @@ impl Network {
     /// clock). The flow first spends the model's connection-setup time in
     /// [`Phase::Connecting`], then joins the bandwidth-sharing set.
     pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        self.start_flow_with_setup(now, spec, SimDuration::ZERO)
+    }
+
+    /// [`Self::start_flow`] with `extra` added to the connection-setup
+    /// delay. Storage endpoint stages (object-store request round-trips,
+    /// multipart handshakes) model their fixed per-transfer overhead here
+    /// without perturbing the bandwidth-sharing phase; `extra == ZERO` is
+    /// byte-identical to `start_flow`.
+    pub fn start_flow_with_setup(
+        &mut self,
+        now: SimTime,
+        spec: FlowSpec,
+        extra: SimDuration,
+    ) -> FlowId {
         self.advance(now);
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
@@ -495,7 +509,8 @@ impl Network {
         if self.flow_seen.len() < self.flows.slot_count() {
             self.flow_seen.resize(self.flows.slot_count(), false);
         }
-        self.sched.schedule_at(now + setup, NetEvent::Connect(slot));
+        self.sched
+            .schedule_at(now + setup + extra, NetEvent::Connect(slot));
         id
     }
 

@@ -303,6 +303,7 @@ fn push_advice(out: &mut Vec<u8>, a: &TransferAdvice) {
         streams,
         group: GroupId(group),
         order,
+        backend,
     } = a;
     out.extend_from_slice(b"{\"id\":");
     push_u64(out, *id);
@@ -331,6 +332,11 @@ fn push_advice(out: &mut Vec<u8>, a: &TransferAdvice) {
     push_u64(out, *group);
     out.extend_from_slice(b",\"order\":");
     push_u64(out, u64::from(*order));
+    out.extend_from_slice(b",\"backend\":");
+    match backend {
+        Some(name) => push_string(out, name),
+        None => out.extend_from_slice(b"null"),
+    }
     out.push(b'}');
 }
 
@@ -496,6 +502,7 @@ mod tests {
             streams: 8,
             group: GroupId(i as u64),
             order: i as u32,
+            backend: (i % 2 == 0).then(|| format!("backend-\"{i}\"")),
         })
         .collect();
         for advice in [&advice[..], &[]] {
@@ -544,10 +551,15 @@ mod tests {
     fn arb_advice() -> impl Strategy<Value = TransferAdvice> {
         (
             (any::<u64>(), arb_url(), arb_url(), arb_action()),
-            (any::<u32>(), any::<u64>(), any::<u32>()),
+            (
+                any::<u32>(),
+                any::<u64>(),
+                any::<u32>(),
+                proptest::option::of(arb_string()),
+            ),
         )
-            .prop_map(|((id, source, dest, action), (streams, group, order))| {
-                TransferAdvice {
+            .prop_map(
+                |((id, source, dest, action), (streams, group, order, backend))| TransferAdvice {
                     id: TransferId(id),
                     source,
                     dest,
@@ -555,8 +567,9 @@ mod tests {
                     streams,
                     group: GroupId(group),
                     order,
-                }
-            })
+                    backend,
+                },
+            )
     }
 
     fn arb_spec() -> impl Strategy<Value = TransferSpec> {
@@ -593,6 +606,44 @@ mod tests {
             let reference =
                 serde_json::to_vec(&TransferResponseEnvelope { advice }).unwrap();
             prop_assert_eq!(fast, reference);
+        }
+
+        /// Trailing bytes after a valid strict-subset body: whitespace is
+        /// tolerated (still the canonical shape), but ANY non-whitespace
+        /// suffix must bail to the serde path, which 400s it — a silently
+        /// ignored suffix would let the fast path accept bodies the
+        /// reference decoder rejects.
+        #[test]
+        fn trailing_nonwhitespace_bytes_always_bail(
+            specs in proptest::collection::vec(arb_spec(), 0..3),
+            ws in proptest::collection::vec(
+                (0usize..4).prop_map(|i| [b' ', b'\t', b'\n', b'\r'][i]), 0..4),
+            junk in "\\PC{1,8}",
+        ) {
+            let canonical =
+                serde_json::to_vec(&TransferRequestEnvelope { transfers: specs.clone() })
+                    .unwrap();
+            let parses_clean = parse_transfer_request(&canonical).is_some();
+
+            // Whitespace-only suffix: same outcome as the clean body.
+            let mut padded = canonical.clone();
+            padded.extend_from_slice(&ws);
+            prop_assert_eq!(parse_transfer_request(&padded).is_some(), parses_clean);
+
+            // Any suffix with a non-whitespace byte: always None. \PC can
+            // generate all-whitespace strings; force a visible byte then.
+            let junk = match junk.trim() {
+                "" => "x",
+                j => j,
+            };
+            let mut trailing = padded;
+            trailing.extend_from_slice(junk.as_bytes());
+            prop_assert_eq!(parse_transfer_request(&trailing), None);
+            // And the serde fallback rejects it too, so the server 400s
+            // instead of silently accepting the prefix.
+            prop_assert!(
+                serde_json::from_slice::<TransferRequestEnvelope>(&trailing).is_err()
+            );
         }
 
         /// Serde-rendered request bodies either fast-parse to exactly what

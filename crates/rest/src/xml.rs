@@ -122,6 +122,9 @@ pub fn transfer_response_to_xml(advice: &[TransferAdvice]) -> String {
             a.group.0,
             a.order
         );
+        if let Some(backend) = &a.backend {
+            let _ = write!(out, " backend=\"{}\"", escape(backend));
+        }
         match a.action {
             TransferAction::Execute => out.push_str(" action=\"execute\""),
             TransferAction::Skip(reason) => {
@@ -357,6 +360,7 @@ pub fn transfer_response_from_xml(text: &str) -> Result<Vec<TransferAdvice>, Xml
                 streams: e.parse_attr("streams")?,
                 group: GroupId(e.parse_attr("group")?),
                 order: e.parse_attr("order")?,
+                backend: e.attr("backend"),
             })
         })
         .collect()
@@ -458,6 +462,7 @@ mod tests {
                 streams: 8,
                 group: GroupId(0),
                 order: 0,
+                backend: Some("obj-s3".into()),
             },
             TransferAdvice {
                 id: TransferId(2),
@@ -467,11 +472,13 @@ mod tests {
                 streams: 1,
                 group: GroupId(0),
                 order: 1,
+                backend: None,
             },
         ];
         let xml = transfer_response_to_xml(&advice);
         assert!(xml.contains("action=\"execute\""));
         assert!(xml.contains("reason=\"already-staged\""));
+        assert!(xml.contains("backend=\"obj-s3\""));
         let back = transfer_response_from_xml(&xml).unwrap();
         assert_eq!(advice, back);
     }
@@ -619,11 +626,11 @@ mod tests {
             any::<u64>(),
             proptest::option::of(reason_strategy()),
             1u32..64,
-            any::<u64>(),
-            0u32..100,
+            (any::<u64>(), 0u32..100),
+            proptest::option::of("[a-zA-Z0-9 ._&<>\"'-]{1,16}"),
         )
             .prop_map(
-                |((source, dest), id, skip, streams, group, order)| TransferAdvice {
+                |((source, dest), id, skip, streams, (group, order), backend)| TransferAdvice {
                     id: TransferId(id),
                     source,
                     dest,
@@ -634,6 +641,7 @@ mod tests {
                     streams,
                     group: GroupId(group),
                     order,
+                    backend,
                 },
             )
     }

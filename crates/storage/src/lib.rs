@@ -1,0 +1,614 @@
+//! Storage-backend envelopes and dollar-cost metering for staged data.
+//!
+//! The SC'12 Policy Service advises *how* a transfer runs (streams, order,
+//! suppression) but is blind to *where* the staged bytes land. *Data Sharing
+//! Options for Scientific Workflows on Amazon EC2* shows the staging backend
+//! — shared NFS vs parallel FS vs object store — dominates both makespan and
+//! dollar cost. This crate supplies the missing layer:
+//!
+//! - [`BackendSpec`]: a per-backend performance envelope (bandwidth, IOPS,
+//!   per-request overhead, multipart chunking) plus [`CostRates`]
+//!   ($/GB·h resident, $/request, $/GB egress).
+//! - [`StorageLayer`]: installs each backend into a [`Topology`] as a
+//!   dedicated host behind a capacity-limited link, so shared-filesystem
+//!   contention falls out of pwm-net's max-min fair sharing across every
+//!   concurrent reader/writer, and object-store request overhead rides the
+//!   flow's connection-setup phase (`Network::start_flow_with_setup`).
+//! - [`CostMeter`]: integrates residency ($/GB·h) in simulated time and
+//!   counts requests/egress, producing a [`StorageCostReport`] that the
+//!   workflow executor surfaces through `RunStats` and pwm-obs gauges.
+//!
+//! Everything here is deterministic: the meter advances on simulated
+//! timestamps only, and reports are plain serde structs safe to commit as
+//! benchmark artifacts.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use pwm_net::{HostId, LinkId, Topology};
+use pwm_obs::{Gauge, Obs};
+use pwm_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// NIC capacity given to the synthetic per-backend store hosts: effectively
+/// infinite so the backend *link* (the envelope) is the only bottleneck.
+const STORE_NIC_BPS: f64 = 1e12;
+
+/// Bytes per gigabyte in cost accounting (decimal GB, matching cloud bills).
+const GB: f64 = 1e9;
+
+/// The broad performance class of a staging backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// One NFS-style server: modest bandwidth, fair-shared by every client.
+    SharedFs,
+    /// Striped parallel filesystem (Lustre/GPFS-like): high aggregate
+    /// bandwidth, still fair-shared but rarely the bottleneck.
+    ParallelFs,
+    /// S3-like object store: per-request overhead and multipart chunking
+    /// dominate small objects; bandwidth is wide but metered per request.
+    ObjectStore,
+}
+
+/// Dollar rates for one backend, in the units cloud bills use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CostRates {
+    /// Dollars per gigabyte-hour of resident (staged, not yet cleaned)
+    /// data.
+    pub per_gb_hour: f64,
+    /// Dollars per request (PUT at staging time, GET at consumption time).
+    pub per_request: f64,
+    /// Dollars per gigabyte read back out of the backend by compute.
+    pub per_gb_egress: f64,
+}
+
+/// The performance + cost envelope of one staging backend.
+///
+/// Durations are plain `f64` seconds so the spec can ride serde into policy
+/// configuration and WAL snapshots (sim-time types are not serializable);
+/// they are converted to [`SimDuration`] at the network boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendSpec {
+    /// Unique backend name (also the policy-facts key), e.g. `"obj-s3"`.
+    pub name: String,
+    /// Performance class.
+    pub kind: BackendKind,
+    /// Sequential bandwidth ceiling, bytes/second.
+    pub bandwidth_bps: f64,
+    /// IO operations per second the backend sustains (0 = unlimited).
+    pub iops: f64,
+    /// Bytes moved per IO operation; with `iops` this caps effective
+    /// bandwidth at `iops * io_bytes`.
+    pub io_bytes: f64,
+    /// Fixed per-request service time in seconds (object-store request
+    /// round-trip; 0 for filesystems). Charged once per chunk.
+    pub request_overhead_s: f64,
+    /// Access latency in seconds — the RTT of the backend's link.
+    pub request_latency_s: f64,
+    /// Multipart chunk size in bytes for [`BackendKind::ObjectStore`]
+    /// (0 = single-request uploads regardless of size).
+    pub chunk_bytes: u64,
+    /// Dollar rates.
+    pub cost: CostRates,
+}
+
+impl BackendSpec {
+    /// Bandwidth after the IOPS envelope: `min(bandwidth, iops * io_bytes)`
+    /// when an IOPS limit is set.
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.iops > 0.0 && self.io_bytes > 0.0 {
+            self.bandwidth_bps.min(self.iops * self.io_bytes)
+        } else {
+            self.bandwidth_bps
+        }
+    }
+
+    /// Requests needed to move `bytes`: object stores chunk multipart
+    /// uploads, filesystems count one logical request per file.
+    pub fn requests_for(&self, bytes: u64) -> u64 {
+        match self.kind {
+            BackendKind::ObjectStore if self.chunk_bytes > 0 => {
+                bytes.div_ceil(self.chunk_bytes).max(1)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Fixed setup time a transfer of `bytes` pays before its flow joins
+    /// the bandwidth-sharing set: per-request overhead times request count.
+    pub fn extra_setup(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.request_overhead_s * self.requests_for(bytes) as f64)
+    }
+}
+
+/// A canonical three-backend site profile, shaped after the EC2 data-sharing
+/// study: cheap-but-modest shared NFS, fast-but-expensive parallel FS, and
+/// an object store whose per-request overhead and egress fees punish many
+/// small files. Used by the storagebench scenario and tests.
+pub fn ec2_trio() -> Vec<BackendSpec> {
+    vec![
+        BackendSpec {
+            name: "nfs-std".into(),
+            kind: BackendKind::SharedFs,
+            bandwidth_bps: 60e6,
+            iops: 4_000.0,
+            io_bytes: 65_536.0,
+            request_overhead_s: 0.0,
+            request_latency_s: 0.002,
+            chunk_bytes: 0,
+            cost: CostRates {
+                per_gb_hour: 0.000_1,
+                per_request: 0.0,
+                per_gb_egress: 0.0,
+            },
+        },
+        BackendSpec {
+            name: "pfs-lustre".into(),
+            kind: BackendKind::ParallelFs,
+            bandwidth_bps: 400e6,
+            iops: 0.0,
+            io_bytes: 0.0,
+            request_overhead_s: 0.0,
+            request_latency_s: 0.000_5,
+            chunk_bytes: 0,
+            cost: CostRates {
+                per_gb_hour: 0.001_2,
+                per_request: 0.0,
+                per_gb_egress: 0.0,
+            },
+        },
+        BackendSpec {
+            name: "obj-s3".into(),
+            kind: BackendKind::ObjectStore,
+            bandwidth_bps: 150e6,
+            iops: 0.0,
+            io_bytes: 0.0,
+            request_overhead_s: 0.05,
+            request_latency_s: 0.01,
+            chunk_bytes: 32 * 1024 * 1024,
+            cost: CostRates {
+                per_gb_hour: 0.000_05,
+                per_request: 0.000_5,
+                per_gb_egress: 0.09,
+            },
+        },
+    ]
+}
+
+/// One backend as installed in a topology.
+#[derive(Debug, Clone)]
+pub struct InstalledBackend {
+    /// The synthetic store host transfers are redirected to.
+    pub host: HostId,
+    /// The capacity-limited link modelling the backend envelope.
+    pub link: LinkId,
+    /// The envelope itself.
+    pub spec: BackendSpec,
+}
+
+/// Storage backends wired into a [`Topology`] as endpoint stages.
+///
+/// Each backend becomes a `store-{name}` host reachable from every
+/// pre-existing host through the gateway's route plus a `store:{name}` link
+/// capped at the backend's effective bandwidth. Concurrent transfers against
+/// one backend therefore fair-share its envelope exactly like any other
+/// bottleneck link (the shared-FS contention model), while object-store
+/// request overhead is added per transfer via [`BackendSpec::extra_setup`].
+#[derive(Debug, Clone, Default)]
+pub struct StorageLayer {
+    backends: BTreeMap<String, InstalledBackend>,
+}
+
+impl StorageLayer {
+    /// Install `specs` into `topo`, homed at `gateway` (the site's storage
+    /// frontend — routes to each store host extend existing routes to the
+    /// gateway). Call after all real hosts and routes exist.
+    pub fn install(topo: &mut Topology, gateway: HostId, specs: &[BackendSpec]) -> StorageLayer {
+        let existing: Vec<HostId> = (0..topo.host_count() as u32).map(HostId).collect();
+        let mut backends = BTreeMap::new();
+        for spec in specs {
+            let host = topo.add_host(format!("store-{}", spec.name), STORE_NIC_BPS);
+            let link = topo.add_link(
+                format!("store:{}", spec.name),
+                spec.effective_bandwidth(),
+                SimDuration::from_secs_f64(spec.request_latency_s),
+            );
+            for &h in &existing {
+                let mut fwd = middles(topo, h, gateway);
+                fwd.push(link);
+                topo.set_route(h, host, fwd);
+                let mut rev = vec![link];
+                rev.extend(middles(topo, gateway, h));
+                topo.set_route(host, h, rev);
+            }
+            assert!(
+                backends
+                    .insert(
+                        spec.name.clone(),
+                        InstalledBackend {
+                            host,
+                            link,
+                            spec: spec.clone(),
+                        },
+                    )
+                    .is_none(),
+                "duplicate backend name {}",
+                spec.name
+            );
+        }
+        StorageLayer { backends }
+    }
+
+    /// Look up an installed backend by name.
+    pub fn backend(&self, name: &str) -> Option<&InstalledBackend> {
+        self.backends.get(name)
+    }
+
+    /// Iterate installed backends in name order.
+    pub fn backends(&self) -> impl Iterator<Item = &InstalledBackend> {
+        self.backends.values()
+    }
+
+    /// Number of installed backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when no backends are installed.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+}
+
+/// Middle links (both access links excluded) of the current route
+/// `src → dst`; empty for self-routes and direct host pairs.
+fn middles(topo: &Topology, src: HostId, dst: HostId) -> Vec<LinkId> {
+    let route = topo.route(src, dst);
+    if route.len() > 2 {
+        route[1..route.len() - 1].to_vec()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Per-backend usage accumulated by the [`CostMeter`].
+#[derive(Debug, Clone, Default)]
+struct BackendUsage {
+    rates: CostRates,
+    resident_bytes: f64,
+    gb_hours: f64,
+    bytes_put: f64,
+    put_requests: u64,
+    get_requests: u64,
+    egress_gb: f64,
+    resident_gauge: Option<Gauge>,
+    dollars_gauge: Option<Gauge>,
+}
+
+impl BackendUsage {
+    fn dollars_resident(&self) -> f64 {
+        self.gb_hours * self.rates.per_gb_hour
+    }
+    fn dollars_requests(&self) -> f64 {
+        (self.put_requests + self.get_requests) as f64 * self.rates.per_request
+    }
+    fn dollars_egress(&self) -> f64 {
+        self.egress_gb * self.rates.per_gb_egress
+    }
+    fn dollars_total(&self) -> f64 {
+        self.dollars_resident() + self.dollars_requests() + self.dollars_egress()
+    }
+}
+
+/// Cost accounting for one backend in a [`StorageCostReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendCost {
+    /// Backend name.
+    pub backend: String,
+    /// Total bytes staged onto the backend.
+    pub bytes_put: f64,
+    /// PUT requests issued (object stores: one per multipart chunk).
+    pub put_requests: u64,
+    /// GET requests charged (read-once consumption model).
+    pub get_requests: u64,
+    /// Integrated residency, gigabyte-hours.
+    pub gb_hours: f64,
+    /// Gigabytes read back out by compute.
+    pub egress_gb: f64,
+    /// Residency dollars (`gb_hours * per_gb_hour`).
+    pub dollars_resident: f64,
+    /// Request dollars (`(put + get) * per_request`).
+    pub dollars_requests: f64,
+    /// Egress dollars (`egress_gb * per_gb_egress`).
+    pub dollars_egress: f64,
+    /// Sum of the three components.
+    pub dollars_total: f64,
+}
+
+/// The cost meter's summary: per-backend rows (name order) plus the total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StorageCostReport {
+    /// One row per backend that saw traffic or was registered.
+    pub backends: Vec<BackendCost>,
+    /// Total dollars across all backends and components.
+    pub dollars_total: f64,
+}
+
+impl StorageCostReport {
+    /// Row for `name`, if present.
+    pub fn backend(&self, name: &str) -> Option<&BackendCost> {
+        self.backends.iter().find(|b| b.backend == name)
+    }
+}
+
+/// Running dollar-cost meter over simulated time.
+///
+/// Residency is integrated lazily: every mutation first advances the
+/// gigabyte-hour integral to the event's timestamp, so interleaved puts and
+/// deletes across backends accumulate exactly regardless of call order at
+/// one instant. The consumption model is *read-once*: each staged file is
+/// charged one GET (per request chunk) and its bytes as egress at put time,
+/// matching the executor's stage-once/consume-once lifecycle.
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    usage: BTreeMap<String, BackendUsage>,
+    last: SimTime,
+}
+
+impl CostMeter {
+    /// A meter pre-registered for `specs` (rows appear in the report even
+    /// with zero traffic), starting its residency clock at time zero.
+    pub fn new(specs: &[BackendSpec]) -> CostMeter {
+        let mut usage = BTreeMap::new();
+        for s in specs {
+            usage.insert(
+                s.name.clone(),
+                BackendUsage {
+                    rates: s.cost,
+                    ..BackendUsage::default()
+                },
+            );
+        }
+        CostMeter {
+            usage,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Attach pwm-obs gauges (`storage_resident_bytes`,
+    /// `storage_cost_dollars`, labelled by backend) updated on every event.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        for (name, u) in self.usage.iter_mut() {
+            u.resident_gauge = Some(obs.registry.gauge(
+                "storage_resident_bytes",
+                "Bytes currently staged on the backend",
+                &[("backend", name)],
+            ));
+            u.dollars_gauge = Some(obs.registry.gauge(
+                "storage_cost_dollars",
+                "Accumulated dollar cost of the backend",
+                &[("backend", name)],
+            ));
+        }
+    }
+
+    /// Integrate residency up to `now` (no-op when time has not advanced).
+    pub fn advance(&mut self, now: SimTime) {
+        let dt_hours = now.since(self.last).as_secs_f64() / 3600.0;
+        if dt_hours > 0.0 {
+            for u in self.usage.values_mut() {
+                u.gb_hours += u.resident_bytes / GB * dt_hours;
+            }
+        }
+        self.last = self.last.max(now);
+    }
+
+    /// Record `bytes` staged onto `backend` at `now` according to `spec`:
+    /// starts residency, counts PUT requests, and charges the read-once
+    /// GET + egress for downstream consumption.
+    pub fn on_put(&mut self, spec: &BackendSpec, bytes: u64, now: SimTime) {
+        self.advance(now);
+        let requests = spec.requests_for(bytes);
+        let u = self
+            .usage
+            .entry(spec.name.clone())
+            .or_insert_with(|| BackendUsage {
+                rates: spec.cost,
+                ..BackendUsage::default()
+            });
+        u.resident_bytes += bytes as f64;
+        u.bytes_put += bytes as f64;
+        u.put_requests += requests;
+        u.get_requests += requests;
+        u.egress_gb += bytes as f64 / GB;
+        if let Some(g) = &u.resident_gauge {
+            g.set(u.resident_bytes);
+        }
+        if let Some(g) = &u.dollars_gauge {
+            g.set(u.dollars_total());
+        }
+    }
+
+    /// Record `bytes` deleted from `backend` at `now`, ending their
+    /// residency.
+    pub fn on_delete(&mut self, backend: &str, bytes: u64, now: SimTime) {
+        self.advance(now);
+        if let Some(u) = self.usage.get_mut(backend) {
+            u.resident_bytes = (u.resident_bytes - bytes as f64).max(0.0);
+            if let Some(g) = &u.resident_gauge {
+                g.set(u.resident_bytes);
+            }
+        }
+    }
+
+    /// Bytes currently resident on `backend`.
+    pub fn resident_bytes(&self, backend: &str) -> f64 {
+        self.usage.get(backend).map_or(0.0, |u| u.resident_bytes)
+    }
+
+    /// Snapshot the meter at `now` (advances residency first).
+    pub fn report(&mut self, now: SimTime) -> StorageCostReport {
+        self.advance(now);
+        let backends: Vec<BackendCost> = self
+            .usage
+            .iter()
+            .map(|(name, u)| BackendCost {
+                backend: name.clone(),
+                bytes_put: u.bytes_put,
+                put_requests: u.put_requests,
+                get_requests: u.get_requests,
+                gb_hours: u.gb_hours,
+                egress_gb: u.egress_gb,
+                dollars_resident: u.dollars_resident(),
+                dollars_requests: u.dollars_requests(),
+                dollars_egress: u.dollars_egress(),
+                dollars_total: u.dollars_total(),
+            })
+            .collect();
+        let dollars_total = backends.iter().map(|b| b.dollars_total).sum();
+        StorageCostReport {
+            backends,
+            dollars_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwm_net::{FlowSpec, Network};
+
+    fn object_store() -> BackendSpec {
+        ec2_trio().into_iter().find(|b| b.name == "obj-s3").unwrap()
+    }
+
+    #[test]
+    fn effective_bandwidth_honors_iops_envelope() {
+        let mut s = object_store();
+        assert_eq!(s.effective_bandwidth(), 150e6);
+        s.iops = 1000.0;
+        s.io_bytes = 65_536.0;
+        assert_eq!(s.effective_bandwidth(), 1000.0 * 65_536.0);
+    }
+
+    #[test]
+    fn multipart_chunking_counts_requests_and_setup() {
+        let s = object_store();
+        assert_eq!(s.requests_for(1), 1);
+        assert_eq!(s.requests_for(32 * 1024 * 1024), 1);
+        assert_eq!(s.requests_for(32 * 1024 * 1024 + 1), 2);
+        assert_eq!(s.requests_for(10 * 32 * 1024 * 1024), 10);
+        assert_eq!(
+            s.extra_setup(10 * 32 * 1024 * 1024),
+            SimDuration::from_secs_f64(0.5)
+        );
+        let nfs = &ec2_trio()[0];
+        assert_eq!(nfs.requests_for(u64::MAX), 1);
+        assert_eq!(nfs.extra_setup(u64::MAX), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn install_routes_every_host_to_every_backend() {
+        let (mut topo, gridftp, _, nfs) = pwm_net::paper_testbed();
+        let layer = StorageLayer::install(&mut topo, nfs, &ec2_trio());
+        assert_eq!(layer.len(), 3);
+        for b in layer.backends() {
+            // Remote host routes through the WAN + backend link; the
+            // backend link is always last inbound.
+            let route = topo.route(gridftp, b.host);
+            assert!(route.len() >= 3, "route must traverse the backend link");
+            assert_eq!(*route.last().unwrap(), topo.host(b.host).access_link);
+            assert_eq!(route[route.len() - 2], b.link);
+            // Reverse direction exists too.
+            let back = topo.route(b.host, gridftp);
+            assert_eq!(back[1], b.link);
+        }
+    }
+
+    #[test]
+    fn shared_backend_link_fair_shares_bandwidth() {
+        // Two concurrent writers into one 60 MB/s shared-FS backend from
+        // hosts with fast NICs must each settle near 30 MB/s: contention
+        // comes out of max-min sharing on the store link.
+        let mut topo = Topology::new();
+        let a = topo.add_host("client-a", 1e9);
+        let b = topo.add_host("client-b", 1e9);
+        let nfs = ec2_trio()
+            .into_iter()
+            .find(|s| s.name == "nfs-std")
+            .unwrap();
+        let layer = StorageLayer::install(&mut topo, a, std::slice::from_ref(&nfs));
+        let store = layer.backend("nfs-std").unwrap().host;
+        let mut net = Network::new(topo, pwm_net::StreamModel::default());
+        let bytes = 600e6; // 10 s alone, ~20 s shared
+        for (i, src) in [a, b].into_iter().enumerate() {
+            net.start_flow(
+                SimTime::ZERO,
+                FlowSpec {
+                    src,
+                    dst: store,
+                    bytes,
+                    streams: 1,
+                    tag: i as u64,
+                },
+            );
+        }
+        net.run_to_completion(SimTime::from_secs(10_000));
+        let records = net.take_completed();
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            let secs = r.transfer_duration().as_secs_f64();
+            let rate = bytes / secs;
+            assert!(
+                (25e6..35e6).contains(&rate),
+                "writer should fair-share ~30 MB/s, got {rate:.2e}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_meter_integrates_residency_and_requests() {
+        let trio = ec2_trio();
+        let mut meter = CostMeter::new(&trio);
+        let s3 = object_store();
+        // 64 MiB at t=0: 2 chunks -> 2 PUT + 2 GET requests.
+        let bytes = 64 * 1024 * 1024_u64;
+        meter.on_put(&s3, bytes, SimTime::ZERO);
+        // Resident for exactly one hour, then deleted; half an hour idle.
+        meter.on_delete("obj-s3", bytes, SimTime::from_secs(3600));
+        let report = meter.report(SimTime::from_secs(5400));
+        let row = report.backend("obj-s3").unwrap();
+        assert_eq!(row.put_requests, 2);
+        assert_eq!(row.get_requests, 2);
+        let gb = bytes as f64 / 1e9;
+        assert!(
+            (row.gb_hours - gb).abs() < 1e-9,
+            "one GB-hour per GB resident"
+        );
+        assert!((row.dollars_requests - 4.0 * 0.000_5).abs() < 1e-12);
+        assert!((row.dollars_egress - gb * 0.09).abs() < 1e-12);
+        assert!((row.dollars_resident - gb * 0.000_05).abs() < 1e-12);
+        assert!(
+            (row.dollars_total
+                - (row.dollars_resident + row.dollars_requests + row.dollars_egress))
+                .abs()
+                < 1e-12
+        );
+        assert!((report.dollars_total - row.dollars_total).abs() < 1e-12);
+        // Untouched backends report zero-cost rows, keeping frontier JSON
+        // shape stable.
+        assert_eq!(report.backends.len(), 3);
+        assert_eq!(report.backend("nfs-std").unwrap().dollars_total, 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let mut meter = CostMeter::new(&ec2_trio());
+        meter.on_put(&object_store(), 123_456_789, SimTime::from_secs(5));
+        let report = meter.report(SimTime::from_secs(7200));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StorageCostReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -28,7 +28,44 @@ use pwm_core::{
 use pwm_net::{FlowSpec, LinkId, Network};
 use pwm_obs::{Obs, SpanId};
 use pwm_sim::{EventQueue, SimDuration, SimRng, SimTime, Trace};
+use pwm_storage::{BackendSpec, CostMeter, StorageLayer};
 use std::collections::{BinaryHeap, HashMap};
+
+/// Wiring between policy backend advice and an installed [`StorageLayer`]:
+/// resolves advised backend names to store hosts, charges each backend's
+/// per-request setup on the flow, and meters the run in dollars.
+///
+/// Build the layer with [`StorageLayer::install`] on the topology *before*
+/// constructing the [`Network`], then hand the layer here.
+#[derive(Debug, Clone)]
+pub struct StorageRuntime {
+    layer: StorageLayer,
+    meter: CostMeter,
+}
+
+impl StorageRuntime {
+    /// Meter the backends of `layer`, starting the residency clock at zero.
+    pub fn new(layer: StorageLayer) -> Self {
+        let specs: Vec<BackendSpec> = layer.backends().map(|b| b.spec.clone()).collect();
+        let meter = CostMeter::new(&specs);
+        StorageRuntime { layer, meter }
+    }
+
+    /// The installed layer (host/link/spec per backend).
+    pub fn layer(&self) -> &StorageLayer {
+        &self.layer
+    }
+}
+
+/// A staged flow redirected to a storage backend, keyed by flow tag until
+/// the network reports completion.
+#[derive(Debug, Clone)]
+struct StagedFlow {
+    backend: String,
+    bytes: u64,
+    /// Destination URL string — the key cleanup jobs will delete by.
+    dest: String,
+}
 
 /// Executor tunables.
 #[derive(Debug, Clone)]
@@ -87,6 +124,12 @@ pub struct ExecutorConfig {
     /// Max concurrent cleanup jobs (DAGMan category throttle); `None` =
     /// unlimited, matching Pegasus' default cleanup category.
     pub cleanup_job_limit: Option<usize>,
+    /// Policy-aware storage staging. When set, transfer advice carrying a
+    /// backend name redirects the staged flow to that backend's store host
+    /// (paying its per-request overhead as extra connection setup) and the
+    /// run's storage dollars are metered into [`RunStats::storage`]. `None`
+    /// leaves every flow byte-identical to the pre-storage-layer executor.
+    pub storage: Option<StorageRuntime>,
     /// Observability sinks. When set, the executor emits job / advice-RPC /
     /// transfer / retry-backoff spans onto the tracer (all timestamps are
     /// sim time, so same-seed runs export identical traces), publishes job
@@ -118,6 +161,7 @@ impl Default for ExecutorConfig {
             watch_link: None,
             watch_timeline: false,
             cleanup_job_limit: None,
+            storage: None,
             obs: None,
         }
     }
@@ -214,6 +258,11 @@ pub struct WorkflowExecutor<'p> {
     /// flow tag → (job, advice index)
     flow_owner: HashMap<u64, (usize, usize)>,
     next_tag: u64,
+    /// flow tag → backend redirection in flight.
+    storage_flows: HashMap<u64, StagedFlow>,
+    /// dest URL → (backend, bytes) for files resident on a backend, so
+    /// cleanup jobs can end their residency in the cost meter.
+    staged_on_backend: HashMap<String, (String, u64)>,
 
     // observability bookkeeping (all None/empty without config.obs)
     job_spans: Vec<Option<SpanId>>,
@@ -256,10 +305,14 @@ impl<'p> WorkflowExecutor<'p> {
                 network.watch_link(link);
             }
         }
+        let mut config = config;
         if let Some(obs) = &config.obs {
             // Share the tracer with the network so flow spans can nest
             // under the executor's transfer spans.
             network.set_obs(obs.clone());
+            if let Some(storage) = &mut config.storage {
+                storage.meter.attach_obs(obs);
+            }
         }
         let mut exec = WorkflowExecutor {
             plan,
@@ -283,6 +336,8 @@ impl<'p> WorkflowExecutor<'p> {
             pending_cleanup_reports: Vec::new(),
             flow_owner: HashMap::new(),
             next_tag: 0,
+            storage_flows: HashMap::new(),
+            staged_on_backend: HashMap::new(),
             job_spans: vec![None; n],
             transfer_spans: HashMap::new(),
             rpc_started: HashMap::new(),
@@ -346,6 +401,11 @@ impl<'p> WorkflowExecutor<'p> {
         let total = self.plan.len();
         let finished = self.jobs_done + self.jobs_failed + self.jobs_abandoned;
         debug_assert_eq!(finished, total, "executor stalled with jobs outstanding");
+        let storage = self
+            .config
+            .storage
+            .as_mut()
+            .map(|rt| rt.meter.report(self.now));
         let stats = RunStats {
             makespan: self.now.since(SimTime::ZERO),
             success: self.jobs_failed == 0 && self.jobs_abandoned == 0 && finished == total,
@@ -365,6 +425,7 @@ impl<'p> WorkflowExecutor<'p> {
             peak_scratch_bytes: self.peak_scratch_bytes,
             final_scratch_bytes: self.scratch_bytes,
             finished_at: self.now,
+            storage,
         };
         (stats, self.network, self.trace)
     }
@@ -633,6 +694,7 @@ impl<'p> WorkflowExecutor<'p> {
                                 streams,
                                 group: pwm_core::GroupId(0),
                                 order: i as u32,
+                                backend: None,
                             })
                             .collect();
                     }
@@ -739,6 +801,16 @@ impl<'p> WorkflowExecutor<'p> {
                         }
                     }
                     self.scratch_bytes = (self.scratch_bytes - freed).max(0.0);
+                }
+                // Deleted files stop accruing residency dollars.
+                for a in advice.iter().filter(|a| a.should_execute()) {
+                    if let Some((backend, bytes)) =
+                        self.staged_on_backend.remove(&a.file.to_string())
+                    {
+                        if let Some(storage) = self.config.storage.as_mut() {
+                            storage.meter.on_delete(&backend, bytes, self.now);
+                        }
+                    }
                 }
                 let outcomes: Vec<CleanupOutcome> = advice
                     .iter()
@@ -859,9 +931,29 @@ impl<'p> WorkflowExecutor<'p> {
             let pt = self.planned_transfers(job)[spec_ix].clone();
             let tag = self.next_tag;
             self.next_tag += 1;
+            // Policy-advised backend: redirect the flow to the backend's
+            // store host and pay its per-request overhead as extra setup.
+            // Unknown names (stale advice after a reconfiguration) fall back
+            // to the planned destination.
+            let mut dst_host = pt.dst_host;
+            let mut extra_setup = SimDuration::ZERO;
+            if let (Some(name), Some(storage)) = (&advice.backend, &self.config.storage) {
+                if let Some(b) = storage.layer.backend(name) {
+                    dst_host = b.host;
+                    extra_setup = b.spec.extra_setup(pt.bytes);
+                    self.storage_flows.insert(
+                        tag,
+                        StagedFlow {
+                            backend: name.clone(),
+                            bytes: pt.bytes,
+                            dest: pt.dest.to_string(),
+                        },
+                    );
+                }
+            }
             let flow = FlowSpec {
                 src: pt.src_host,
-                dst: pt.dst_host,
+                dst: dst_host,
                 bytes: pt.bytes as f64,
                 streams: advice.streams,
                 tag,
@@ -871,11 +963,20 @@ impl<'p> WorkflowExecutor<'p> {
                 self.now,
                 "ptt",
                 format!(
-                    "transfer {} -> {} started with {} streams",
-                    pt.source, pt.dest, advice.streams
+                    "transfer {} -> {} started with {} streams{}",
+                    pt.source,
+                    pt.dest,
+                    advice.streams,
+                    match &advice.backend {
+                        Some(b) if self.storage_flows.contains_key(&tag) =>
+                            format!(" via backend {b}"),
+                        _ => String::new(),
+                    }
                 ),
             );
-            let flow_id = self.network.start_flow(self.now, flow);
+            let flow_id = self
+                .network
+                .start_flow_with_setup(self.now, flow, extra_setup);
             if let Some(obs) = &self.config.obs {
                 let span = obs.tracer.start_span(
                     format!("xfer {}", pt.file),
@@ -905,6 +1006,9 @@ impl<'p> WorkflowExecutor<'p> {
                 .map(|r| r.advice[advice_ix].id)
                 .expect("staging run state");
             if failed {
+                // Nothing landed on the backend; drop the redirection so a
+                // retry re-resolves whatever backend the fresh advice names.
+                self.storage_flows.remove(&record.tag);
                 self.transfer_retries += 1;
                 if let Some(obs) = &self.config.obs {
                     obs.registry
@@ -990,6 +1094,19 @@ impl<'p> WorkflowExecutor<'p> {
             } else {
                 self.bytes_staged += record.bytes;
                 self.grow_scratch(record.bytes);
+                if let Some(staged) = self.storage_flows.remove(&record.tag) {
+                    if let Some(storage) = self.config.storage.as_mut() {
+                        if let Some(spec) = storage
+                            .layer
+                            .backend(&staged.backend)
+                            .map(|b| b.spec.clone())
+                        {
+                            storage.meter.on_put(&spec, staged.bytes, self.now);
+                        }
+                    }
+                    self.staged_on_backend
+                        .insert(staged.dest, (staged.backend, staged.bytes));
+                }
                 if let Some(obs) = &self.config.obs {
                     if let Some(span) = self.transfer_spans.remove(&record.tag) {
                         obs.tracer.span_arg(span, "result", "ok");
@@ -1677,6 +1794,81 @@ mod tests {
         );
         assert!(with_cleanup.peak_scratch_bytes <= without.peak_scratch_bytes);
         assert!(with_cleanup.peak_scratch_bytes > 0.0);
+    }
+
+    #[test]
+    fn policy_chosen_backend_redirects_flows_and_meters_dollars() {
+        // Full stack: ec2 backends installed on the paper testbed, the
+        // policy service running GreedyCheapest storage selection, and the
+        // executor redirecting staged flows to the advised store host while
+        // the meter accumulates dollars that cleanup later caps.
+        let (mut topo, gridftp, _apache, nfs) = pwm_net::paper_testbed();
+        let trio = pwm_storage::ec2_trio();
+        let layer = StorageLayer::install(&mut topo, nfs, &trio);
+        let store_hosts: Vec<pwm_net::HostId> = layer.backends().map(|b| b.host).collect();
+        let site = ComputeSite {
+            name: "obelix".into(),
+            nodes: 9,
+            cores_per_node: 6,
+            storage_host: nfs,
+            storage_host_name: "obelix-nfs".into(),
+            scratch_dir: "/scratch".into(),
+        };
+        let network = Network::new(topo, StreamModel::default());
+        let mut rc = ReplicaCatalog::new();
+        register_inputs(&mut rc, 6, gridftp);
+        let wf = wide_workflow(6, 10_000_000);
+        let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+
+        let mut policy =
+            PolicyConfig::default().with_storage(pwm_core::StoragePolicy::GreedyCheapest);
+        for spec in &trio {
+            policy = policy.with_backend(spec.clone(), "obelix-nfs");
+        }
+        let controller = PolicyController::new(policy);
+        let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
+        let mut cfg = ExecutorConfig::default();
+        cfg.storage = Some(StorageRuntime::new(layer));
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, cfg);
+        let (stats, _net) = exec.run();
+        assert!(stats.success);
+
+        // Every staged flow landed on a store host, not the planned NFS.
+        assert!(!stats.transfers.is_empty());
+        for t in &stats.transfers {
+            assert!(
+                store_hosts.contains(&t.dst),
+                "flow should be redirected to a backend store host, went to {:?}",
+                t.dst
+            );
+        }
+        // The meter saw the bytes and priced them.
+        let report = stats.storage.as_ref().expect("storage metering attached");
+        let total_put: f64 = report.backends.iter().map(|b| b.bytes_put).sum();
+        assert!(
+            (total_put - stats.bytes_staged).abs() < 1.0,
+            "metered {} vs staged {}",
+            total_put,
+            stats.bytes_staged
+        );
+        assert!(report.dollars_total > 0.0);
+        // GreedyCheapest concentrates these small files on the cheapest
+        // forecast backend (shared NFS: no request or egress fees).
+        let nfs_row = report.backend("nfs-std").unwrap();
+        assert!(nfs_row.bytes_put > 0.0, "cheapest backend should win");
+        assert_eq!(report.backend("obj-s3").unwrap().bytes_put, 0.0);
+    }
+
+    #[test]
+    fn storage_disabled_runs_are_not_metered() {
+        let (stats, _net, _c) = run_with_policy(
+            3,
+            1_000_000,
+            PolicyConfig::default(),
+            ExecutorConfig::default(),
+        );
+        assert!(stats.success);
+        assert!(stats.storage.is_none(), "no layer, no cost report");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod stats;
 pub use catalog::{ComputeSite, Replica, ReplicaCatalog};
 pub use dag::{AbstractJob, AbstractWorkflow, JobIx, WorkflowError};
 pub use dax::{parse_dax, to_dax, DaxError};
-pub use executor::{ExecutorConfig, WorkflowExecutor};
+pub use executor::{ExecutorConfig, StorageRuntime, WorkflowExecutor};
 pub use multi::merge_plans;
 pub use planner::{
     plan, ExecutablePlan, PlanError, PlanJob, PlanJobId, PlanJobKind, PlannedTransfer,

@@ -2,6 +2,7 @@
 
 use pwm_net::TransferRecord;
 use pwm_sim::{SimDuration, SimTime};
+use pwm_storage::StorageCostReport;
 
 /// Everything the experiment harness wants to know about one run.
 ///
@@ -47,6 +48,9 @@ pub struct RunStats {
     pub final_scratch_bytes: f64,
     /// Virtual time the run finished.
     pub finished_at: SimTime,
+    /// Dollar-cost accounting of the storage backends (`None` when the run
+    /// had no storage layer attached).
+    pub storage: Option<StorageCostReport>,
 }
 
 impl RunStats {
@@ -103,6 +107,7 @@ mod tests {
             peak_scratch_bytes: 0.0,
             final_scratch_bytes: 0.0,
             finished_at: SimTime::from_secs(100),
+            storage: None,
         }
     }
 

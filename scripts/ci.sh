@@ -82,4 +82,19 @@ timeout 300 ./target/release/svcbench smoke --min-speedup 2 \
   --out target/svcbench/BENCH_svc.json > /dev/null
 test -s target/svcbench/BENCH_svc.json || { echo "svcbench report is empty" >&2; exit 1; }
 
+# Storagebench job: the storage-backend frontier smoke in release mode —
+# three fixed-backend comparators (NFS / parallel FS / object store)
+# against the three policy-picked runs over the same trio. The bin exits
+# nonzero on any cost-invariant violation: inconsistent accounting
+# (component sums, metered bytes != staged bytes), a non-monotone
+# makespan-vs-dollars Pareto frontier, or no policy-picked run beating
+# the worst fixed backend on cost at equal-or-better makespan. The full
+# suite's JSON is committed as BENCH_storage.json.
+echo "== storagebench smoke (backend cost frontier) =="
+cargo build -q --release --offline -p pwm-bench --bin storagebench
+mkdir -p target/storagebench
+timeout 120 ./target/release/storagebench smoke \
+  --out target/storagebench/BENCH_storage.json > /dev/null
+test -s target/storagebench/BENCH_storage.json || { echo "storagebench report is empty" >&2; exit 1; }
+
 echo "CI OK"
