@@ -29,6 +29,7 @@ pub mod crash;
 pub mod experiment;
 pub mod figures;
 pub mod netbench;
+pub mod queuebench;
 pub mod storagebench;
 pub mod svcbench;
 pub mod table4;

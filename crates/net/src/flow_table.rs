@@ -1,27 +1,36 @@
-//! Struct-of-arrays storage for live flows.
+//! Hot/cold split storage for live flows.
 //!
 //! The old engine kept flows in a `BTreeMap<FlowId, Flow>` with an enum
 //! phase; every hot-path touch (rate write-back, remaining-bytes math, BFS
 //! membership checks) paid a tree walk plus an enum match across a ~200-byte
-//! record. [`FlowTable`] splits the flow into slot-indexed *columns*: the hot
-//! scalars (`phase`, `rate`, `remaining`, …) are dense parallel vectors the
-//! allocator walks with plain indexing, while the per-flow constants live in
-//! a [`FlowCold`] row touched only at activation and completion.
+//! record. The first rewrite split the flow into slot-indexed parallel
+//! *columns* — which fixed the tree walks but left each event touching ~9
+//! separate arrays at a random slot index: at 100k live flows that is ~9
+//! cache misses per flow touched, and the misses, not the arithmetic,
+//! dominated the event loop.
+//!
+//! [`FlowTable`] therefore packs everything the per-event hot path reads or
+//! writes into one cache-line-sized [`FlowHot`] row (64 bytes: the lazy
+//! byte-integrator anchor, the allocated rate, the pending-ETA handle, the
+//! fair-share weight, the owning id, and the phase/cap-bound flags), so a
+//! flow touch is one line fill instead of nine. Per-flow constants stay in
+//! a separate [`FlowCold`] row read mostly at activation and completion.
 //!
 //! Slots are stable for a flow's lifetime (event payloads and the link
 //! bipartite index carry raw `u32` slots), recycled through a free list after
-//! completion. Determinism is preserved by a `FlowId → slot` `BTreeMap`:
-//! every order-sensitive iteration (candidate activation, full recompute,
-//! component sorting) goes through id order, never slot order.
+//! completion. Determinism is preserved by the [`IdSlotMap`] `FlowId → slot`
+//! index: every order-sensitive iteration (candidate activation, full
+//! recompute, component sorting) goes through id order, never slot order.
 
 use crate::flow::{FlowId, FlowSpec};
 use crate::topology::LinkId;
 use pwm_sim::{EventHandle, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Lifecycle phase of a slot. Mirrors [`crate::flow::FlowPhase`] minus the
-/// payload fields, which live in their own columns.
+/// payload fields, which live in the rest of the [`FlowHot`] row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 pub enum Phase {
     /// Slot is on the free list.
     Vacant,
@@ -33,137 +42,339 @@ pub enum Phase {
     Active,
 }
 
+/// Links a route can hold inline in the [`FlowCold`] row. Routes in this
+/// engine are access-link chains (source access, optional transit, destination
+/// access), so real routes are 1–3 links; longer ones spill to the heap.
+const ROUTE_INLINE: usize = 6;
+
 /// Per-flow constants, written once at `start_flow` and read at activation,
 /// allocation, and completion.
+///
+/// The route is stored *inline* as raw link indices (spilling to a `Vec`
+/// only past [`ROUTE_INLINE`] links): the membership loops at activation and
+/// completion, and the component BFS, all walk a flow's links right after
+/// reading the row — a heap-side `Vec` would cost an extra random cache line
+/// per walk, and the old `route: Vec<LinkId>` + `links: Vec<usize>` pair
+/// cost two.
 #[derive(Debug, Clone)]
 pub struct FlowCold {
     /// Immutable request.
     pub spec: FlowSpec,
-    /// Links of the route, as `LinkId`s (for record/obs paths).
-    pub route: Vec<LinkId>,
-    /// `route` projected to raw link indices for the allocator.
-    pub links: Vec<usize>,
     /// Round-trip time of the (fixed) route.
     pub route_rtt: SimDuration,
     /// When `start_flow` was called.
     pub requested_at: SimTime,
     /// Per-flow fair-share multiplier (TCP unfairness), drawn at start.
     pub weight_factor: f64,
+    /// Inline route storage (raw link indices); valid up to `route_len`.
+    route_inline: [u32; ROUTE_INLINE],
+    /// Links in the route. When it exceeds [`ROUTE_INLINE`], the whole
+    /// route lives in `route_spill` instead.
+    route_len: u8,
+    /// Heap overflow for routes longer than [`ROUTE_INLINE`] links.
+    route_spill: Vec<u32>,
 }
 
 impl FlowCold {
+    /// Build a cold row, copying `route` into inline storage (or the heap
+    /// spill when it is longer than [`ROUTE_INLINE`] links).
+    pub fn new(
+        spec: FlowSpec,
+        route: &[LinkId],
+        route_rtt: SimDuration,
+        requested_at: SimTime,
+        weight_factor: f64,
+    ) -> Self {
+        let mut route_inline = [0u32; ROUTE_INLINE];
+        let mut route_spill = Vec::new();
+        if route.len() <= ROUTE_INLINE {
+            for (cell, l) in route_inline.iter_mut().zip(route) {
+                *cell = l.0;
+            }
+        } else {
+            route_spill.extend(route.iter().map(|l| l.0));
+        }
+        FlowCold {
+            spec,
+            route_rtt,
+            requested_at,
+            weight_factor,
+            route_inline,
+            route_len: route.len().min(ROUTE_INLINE) as u8,
+            route_spill,
+        }
+    }
+
     /// Effective stream count (floor of 1).
     pub fn streams(&self) -> u32 {
         self.spec.streams.max(1)
     }
+
+    /// The route as raw link indices.
+    #[inline]
+    pub fn links(&self) -> &[u32] {
+        if self.route_spill.is_empty() {
+            &self.route_inline[..self.route_len as usize]
+        } else {
+            &self.route_spill
+        }
+    }
+
+    /// Links in the route.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        if self.route_spill.is_empty() {
+            self.route_len as usize
+        } else {
+            self.route_spill.len()
+        }
+    }
+
+    /// The `k`-th link of the route as a raw index. Indexed access (rather
+    /// than holding [`FlowCold::links`]) lets membership loops mutate other
+    /// engine state between reads.
+    #[inline]
+    pub fn link_at(&self, k: usize) -> usize {
+        if self.route_spill.is_empty() {
+            debug_assert!(k < self.route_len as usize);
+            self.route_inline[k] as usize
+        } else {
+            self.route_spill[k] as usize
+        }
+    }
 }
 
-/// Slot-indexed columns of live-flow state.
+/// Raw-`u64` sentinel for "no pending ETA event" in [`FlowHot::eta_raw`].
+/// Safe because no live [`EventHandle`] is ever all-ones (see
+/// [`EventHandle::raw`]).
+const NO_ETA: u64 = u64::MAX;
+
+/// Everything the per-event hot path touches for one flow, packed into a
+/// single 64-byte row so a flow touch costs one cache-line fill.
 ///
-/// Columns are `pub` so the engine can split borrows across them (e.g. sort
-/// a slot list by the `id_of` column while mutating another column).
-pub struct FlowTable {
-    /// Lifecycle phase per slot.
-    pub phase: Vec<Phase>,
-    /// When the flow activated (ramp age anchor). Valid while `Active`.
-    pub activated_at: Vec<SimTime>,
-    /// Anchor instant of the linear motion below. Valid while `Active`.
-    pub rate_since: Vec<SimTime>,
+/// The pending-ETA handle is stored raw (`u64`, [`NO_ETA`] when absent)
+/// rather than as `Option<EventHandle>`: the option's discriminant would
+/// push the row past a cache line. Use [`FlowHot::eta`] / [`FlowHot::
+/// set_eta`] / [`FlowHot::take_eta`] instead of the raw word.
+#[derive(Debug, Clone)]
+#[repr(C)]
+pub struct FlowHot {
     /// Bytes remaining *as of* `rate_since`; the engine integrates lazily:
     /// `remaining(t) = remaining - rate · (t - rate_since)`.
-    pub remaining: Vec<f64>,
+    pub remaining: f64,
     /// Allocated rate, bytes/sec. Valid while `Active`.
-    pub rate: Vec<f64>,
+    pub rate: f64,
+    /// Anchor instant of the lazy linear motion above. Valid while `Active`.
+    pub rate_since: SimTime,
+    /// When the flow activated (ramp age anchor). Valid while `Active`.
+    pub activated_at: SimTime,
     /// Fair-share weight: `streams × weight_factor`, precomputed at insert.
-    pub weight: Vec<f64>,
+    pub weight: f64,
+    /// Owning flow id (stale for vacant slots).
+    pub id: FlowId,
+    /// Pending completion-ETA event, raw ([`NO_ETA`] when none).
+    eta_raw: u64,
+    /// Lifecycle phase.
+    pub phase: Phase,
     /// True when the last allocation left the flow bound by its own cap
     /// (rather than a saturated link) — the gate for ramp recomputes.
-    pub cap_bound: Vec<bool>,
-    /// Pending completion-ETA event, if the flow has a nonzero rate.
-    pub eta: Vec<Option<EventHandle>>,
-    /// Owning flow id per slot (stale for vacant slots).
-    pub id_of: Vec<FlowId>,
+    pub cap_bound: bool,
+    /// Component-BFS visited marker. Living in the hot row (pad space, the
+    /// row stays one line) means the BFS pays no separate marker-array miss:
+    /// it reads the line it is about to touch anyway. Always false outside
+    /// a recompute's BFS phase.
+    pub seen: bool,
+}
+
+impl FlowHot {
+    /// The pending completion-ETA event, if any.
+    #[inline]
+    pub fn eta(&self) -> Option<EventHandle> {
+        if self.eta_raw == NO_ETA {
+            None
+        } else {
+            Some(EventHandle::from_raw(self.eta_raw))
+        }
+    }
+
+    /// Record (or clear) the pending completion-ETA event.
+    #[inline]
+    pub fn set_eta(&mut self, h: Option<EventHandle>) {
+        self.eta_raw = match h {
+            Some(h) => h.raw(),
+            None => NO_ETA,
+        };
+    }
+
+    /// Clear and return the pending completion-ETA event.
+    #[inline]
+    pub fn take_eta(&mut self) -> Option<EventHandle> {
+        let h = self.eta();
+        self.eta_raw = NO_ETA;
+        h
+    }
+}
+
+/// Slot-indexed live-flow state: one [`FlowHot`] row per slot plus the cold
+/// constants. Rows are `pub` so the engine can index them freely and split
+/// borrows against the cold column.
+pub struct FlowTable {
+    /// Hot per-flow state, one 64-byte row per slot.
+    pub hot: Vec<FlowHot>,
     /// Per-flow constants (stale for vacant slots; overwritten on reuse).
     pub cold: Vec<FlowCold>,
     /// Deterministic id → slot index over live flows.
-    slot_of: BTreeMap<FlowId, u32>,
+    slot_of: IdSlotMap,
     /// Vacant slots available for reuse.
     free: Vec<u32>,
+}
+
+/// `slot_of[id]` value meaning "no live flow with this id".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Windowed dense `FlowId → slot` map.
+///
+/// Flow ids come from one monotone counter and are never recycled, so the
+/// live ids always sit inside a moving window `[head, head + cells.len())`.
+/// That turns the id-order index — the structure DESIGN.md §11 fingered as
+/// the other half of the 100k-flow cache bill, a `BTreeMap` walk on every
+/// flow start and completion — into two array words: lookup is a subtract
+/// and an index, insert appends to the back, and remove blanks a cell and
+/// advances `head` past leading blanks. Id-ordered iteration (the
+/// determinism contract) is a linear walk of the window.
+///
+/// The window spans the oldest-live to newest-live id, so memory is
+/// proportional to the id spread of concurrently live flows (4 bytes per
+/// id), not to total flows ever started — the same churn bound as the slot
+/// free-list.
+struct IdSlotMap {
+    /// Id of `cells[0]`.
+    head: u64,
+    /// Slot per id offset; `NO_SLOT` marks dead ids inside the window.
+    cells: VecDeque<u32>,
+    /// Live entries (cells not equal to `NO_SLOT`).
+    live: usize,
+}
+
+impl IdSlotMap {
+    fn new() -> Self {
+        IdSlotMap {
+            head: 0,
+            cells: VecDeque::new(),
+            live: 0,
+        }
+    }
+
+    /// Insert a mapping; `id` must be at or beyond every id ever inserted
+    /// (flow ids are monotone) and not currently live.
+    fn insert(&mut self, id: FlowId, slot: u32) {
+        debug_assert_ne!(slot, NO_SLOT);
+        if self.cells.is_empty() {
+            self.head = id.0;
+        }
+        assert!(
+            id.0 >= self.head,
+            "flow ids must be assigned in increasing order"
+        );
+        let ix = (id.0 - self.head) as usize;
+        while self.cells.len() <= ix {
+            self.cells.push_back(NO_SLOT);
+        }
+        let cell = &mut self.cells[ix];
+        debug_assert_eq!(*cell, NO_SLOT, "flow id inserted twice");
+        *cell = slot;
+        self.live += 1;
+    }
+
+    /// Remove a mapping, returning its slot if it was live.
+    fn remove(&mut self, id: FlowId) -> Option<u32> {
+        if id.0 < self.head {
+            return None;
+        }
+        let ix = (id.0 - self.head) as usize;
+        if ix >= self.cells.len() {
+            return None;
+        }
+        let cell = &mut self.cells[ix];
+        if *cell == NO_SLOT {
+            return None;
+        }
+        let slot = *cell;
+        *cell = NO_SLOT;
+        self.live -= 1;
+        // Shrink the window from both ends so it tracks the live id span.
+        while self.cells.front() == Some(&NO_SLOT) {
+            self.cells.pop_front();
+            self.head += 1;
+        }
+        while self.cells.back() == Some(&NO_SLOT) {
+            self.cells.pop_back();
+        }
+        Some(slot)
+    }
+
+    /// Live `(id, slot)` pairs in ascending id order.
+    fn iter(&self) -> impl Iterator<Item = (FlowId, u32)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != NO_SLOT)
+            .map(move |(ix, &s)| (FlowId(self.head + ix as u64), s))
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
 }
 
 impl FlowTable {
     /// Empty table.
     pub fn new() -> Self {
+        const _: () = assert!(
+            std::mem::size_of::<FlowHot>() == 64,
+            "FlowHot must stay exactly one cache line"
+        );
         FlowTable {
-            phase: Vec::new(),
-            activated_at: Vec::new(),
-            rate_since: Vec::new(),
-            remaining: Vec::new(),
-            rate: Vec::new(),
-            weight: Vec::new(),
-            cap_bound: Vec::new(),
-            eta: Vec::new(),
-            id_of: Vec::new(),
+            hot: Vec::new(),
             cold: Vec::new(),
-            slot_of: BTreeMap::new(),
+            slot_of: IdSlotMap::new(),
             free: Vec::new(),
-        }
-    }
-
-    /// Steal the `route`/`links` buffers of the next slot `insert` would
-    /// recycle, emptied but with their capacity intact. Hot callers fill
-    /// these in place and hand them back inside the [`FlowCold`] they pass
-    /// to `insert`, making steady-state flow turnover allocation-free.
-    /// Returns fresh (unallocated) buffers when no vacant slot exists.
-    pub fn take_vacant_cold(&mut self) -> (Vec<LinkId>, Vec<usize>) {
-        match self.free.last() {
-            Some(&s) => {
-                let c = &mut self.cold[s as usize];
-                let mut route = std::mem::take(&mut c.route);
-                let mut links = std::mem::take(&mut c.links);
-                route.clear();
-                links.clear();
-                (route, links)
-            }
-            None => (Vec::new(), Vec::new()),
         }
     }
 
     /// Insert a new flow in `Connecting` phase; returns its slot.
     pub fn insert(&mut self, id: FlowId, cold: FlowCold) -> u32 {
-        let weight = cold.streams() as f64 * cold.weight_factor;
+        let row = FlowHot {
+            remaining: 0.0,
+            rate: 0.0,
+            rate_since: SimTime::ZERO,
+            activated_at: SimTime::ZERO,
+            weight: cold.streams() as f64 * cold.weight_factor,
+            id,
+            eta_raw: NO_ETA,
+            phase: Phase::Connecting,
+            cap_bound: false,
+            seen: false,
+        };
         let slot = match self.free.pop() {
             Some(s) => {
                 let si = s as usize;
-                self.phase[si] = Phase::Connecting;
-                self.activated_at[si] = SimTime::ZERO;
-                self.rate_since[si] = SimTime::ZERO;
-                self.remaining[si] = 0.0;
-                self.rate[si] = 0.0;
-                self.weight[si] = weight;
-                self.cap_bound[si] = false;
-                self.eta[si] = None;
-                self.id_of[si] = id;
+                self.hot[si] = row;
                 self.cold[si] = cold;
                 s
             }
             None => {
-                let s = self.phase.len() as u32;
-                self.phase.push(Phase::Connecting);
-                self.activated_at.push(SimTime::ZERO);
-                self.rate_since.push(SimTime::ZERO);
-                self.remaining.push(0.0);
-                self.rate.push(0.0);
-                self.weight.push(weight);
-                self.cap_bound.push(false);
-                self.eta.push(None);
-                self.id_of.push(id);
+                let s = self.hot.len() as u32;
+                self.hot.push(row);
                 self.cold.push(cold);
                 s
             }
         };
-        let prev = self.slot_of.insert(id, slot);
-        debug_assert!(prev.is_none(), "flow id inserted twice");
+        self.slot_of.insert(id, slot);
         slot
     }
 
@@ -171,16 +382,16 @@ impl FlowTable {
     /// overwritten on the next reuse); callers must read any fields they
     /// need *before* removing.
     pub fn remove(&mut self, id: FlowId) {
-        let slot = self.slot_of.remove(&id).expect("removing unknown flow");
-        let si = slot as usize;
-        self.phase[si] = Phase::Vacant;
-        self.eta[si] = None;
+        let slot = self.slot_of.remove(id).expect("removing unknown flow");
+        let row = &mut self.hot[slot as usize];
+        row.phase = Phase::Vacant;
+        row.eta_raw = NO_ETA;
         self.free.push(slot);
     }
 
     /// Live flows in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, u32)> + '_ {
-        self.slot_of.iter().map(|(&id, &s)| (id, s))
+        self.slot_of.iter()
     }
 
     /// Number of live flows.
@@ -191,12 +402,6 @@ impl FlowTable {
     /// True when no flows are live.
     pub fn is_empty(&self) -> bool {
         self.slot_of.is_empty()
-    }
-
-    /// Total slots ever allocated (live + vacant); the bound for any
-    /// slot-indexed scratch vector.
-    pub fn slot_count(&self) -> usize {
-        self.phase.len()
     }
 }
 
@@ -212,29 +417,33 @@ mod tests {
     use crate::topology::HostId;
 
     fn cold(bytes: f64, streams: u32) -> FlowCold {
-        FlowCold {
-            spec: FlowSpec {
+        FlowCold::new(
+            FlowSpec {
                 src: HostId(0),
                 dst: HostId(1),
                 bytes,
                 streams,
                 tag: 0,
             },
-            route: vec![LinkId(0)],
-            links: vec![0],
-            route_rtt: SimDuration::from_millis(1),
-            requested_at: SimTime::ZERO,
-            weight_factor: 1.5,
-        }
+            &[LinkId(0)],
+            SimDuration::from_millis(1),
+            SimTime::ZERO,
+            1.5,
+        )
+    }
+
+    #[test]
+    fn hot_row_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<FlowHot>(), 64);
     }
 
     #[test]
     fn insert_precomputes_weight_with_stream_floor() {
         let mut t = FlowTable::new();
         let s = t.insert(FlowId(1), cold(10.0, 0));
-        assert_eq!(t.weight[s as usize], 1.5, "0 streams coerces to 1");
+        assert_eq!(t.hot[s as usize].weight, 1.5, "0 streams coerces to 1");
         let s2 = t.insert(FlowId(2), cold(10.0, 4));
-        assert_eq!(t.weight[s2 as usize], 6.0);
+        assert_eq!(t.hot[s2 as usize].weight, 6.0);
     }
 
     #[test]
@@ -248,7 +457,7 @@ mod tests {
         assert!(t.iter().all(|(id, _)| id != FlowId(1)));
         let c = t.insert(FlowId(3), cold(3.0, 1));
         assert_eq!(c, a, "freed slot is reused");
-        assert_eq!(t.slot_count(), 2, "no growth on reuse");
+        assert_eq!(t.hot.len(), 2, "no growth on reuse");
         // Iteration is id-ordered regardless of slot assignment.
         let order: Vec<FlowId> = t.iter().map(|(id, _)| id).collect();
         assert_eq!(order, vec![FlowId(2), FlowId(3)]);
@@ -259,11 +468,66 @@ mod tests {
     fn remove_clears_phase_and_eta() {
         let mut t = FlowTable::new();
         let s = t.insert(FlowId(7), cold(1.0, 2));
-        t.phase[s as usize] = Phase::Active;
+        t.hot[s as usize].phase = Phase::Active;
+        t.hot[s as usize].set_eta(Some(EventHandle::from_raw(0)));
         t.remove(FlowId(7));
-        assert_eq!(t.phase[s as usize], Phase::Vacant);
-        assert!(t.eta[s as usize].is_none());
+        assert_eq!(t.hot[s as usize].phase, Phase::Vacant);
+        assert!(t.hot[s as usize].eta().is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn eta_round_trips_through_raw_storage() {
+        let mut t = FlowTable::new();
+        let s = t.insert(FlowId(1), cold(1.0, 1)) as usize;
+        assert!(t.hot[s].eta().is_none(), "fresh row has no ETA");
+        // Handle raw 0 (slot 0, generation 0) is a legal handle and must be
+        // distinguishable from the sentinel.
+        let h = EventHandle::from_raw(0);
+        t.hot[s].set_eta(Some(h));
+        assert_eq!(t.hot[s].eta(), Some(h));
+        assert_eq!(t.hot[s].take_eta(), Some(h));
+        assert!(t.hot[s].eta().is_none());
+        assert!(t.hot[s].take_eta().is_none());
+    }
+
+    #[test]
+    fn route_spills_past_inline_capacity() {
+        let mk = |n: u32| {
+            let route: Vec<LinkId> = (0..n).map(LinkId).collect();
+            FlowCold::new(
+                FlowSpec {
+                    src: HostId(0),
+                    dst: HostId(1),
+                    bytes: 1.0,
+                    streams: 1,
+                    tag: 0,
+                },
+                &route,
+                SimDuration::from_millis(1),
+                SimTime::ZERO,
+                1.0,
+            )
+        };
+        // Inline: typical short route.
+        let short = mk(3);
+        assert_eq!(short.links(), &[0, 1, 2]);
+        assert_eq!(short.link_count(), 3);
+        assert_eq!(short.link_at(2), 2);
+        // Exactly at capacity stays inline.
+        let full = mk(ROUTE_INLINE as u32);
+        assert_eq!(full.link_count(), ROUTE_INLINE);
+        assert!(full.route_spill.is_empty());
+        // Past capacity spills, preserving order and length.
+        let long = mk(9);
+        assert_eq!(long.link_count(), 9);
+        assert_eq!(long.link_at(8), 8);
+        assert_eq!(long.links().len(), 9);
+        assert_eq!(long.links(), (0..9).collect::<Vec<u32>>().as_slice());
+        // Empty route is legal (loopback with no links).
+        let none = mk(0);
+        assert_eq!(none.link_count(), 0);
+        assert!(none.links().is_empty());
     }
 
     #[test]
@@ -271,5 +535,41 @@ mod tests {
     fn removing_unknown_flow_panics() {
         let mut t = FlowTable::new();
         t.remove(FlowId(9));
+    }
+
+    #[test]
+    fn id_window_tracks_live_span_under_churn() {
+        let mut t = FlowTable::new();
+        // Interleave monotone inserts with out-of-order removals, the
+        // pattern the windowed id map must keep bounded and ordered.
+        for wave in 0u64..50 {
+            let base = wave * 10;
+            for k in 0..10 {
+                t.insert(FlowId(base + k), cold(1.0, 1));
+            }
+            // Remove newest-first, then some from the previous wave.
+            for k in (5..10).rev() {
+                t.remove(FlowId(base + k));
+            }
+            if wave > 0 {
+                for k in 0..5 {
+                    t.remove(FlowId((wave - 1) * 10 + k));
+                }
+            }
+        }
+        assert_eq!(t.len(), 5, "only the last wave's survivors remain");
+        assert_eq!(t.slot_of.cells.len(), 5, "window shrinks to live span");
+        let ids: Vec<u64> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![490, 491, 492, 493, 494]);
+        // Draining everything resets the window entirely.
+        for id in ids {
+            t.remove(FlowId(id));
+        }
+        assert!(t.is_empty());
+        assert!(t.slot_of.cells.is_empty());
+        // A later id restarts the window without growth.
+        t.insert(FlowId(10_000), cold(1.0, 1));
+        assert_eq!(t.slot_of.cells.len(), 1);
+        assert_eq!(t.iter().next().map(|(id, _)| id), Some(FlowId(10_000)));
     }
 }

@@ -43,8 +43,8 @@ use crate::model::{LinkState, StreamModel};
 use crate::sharing::{max_min_rates, FlowDemand, RateAllocator};
 use crate::timeline::{LinkTimeline, UtilizationSample};
 use crate::topology::{LinkId, Topology};
-use pwm_obs::{Gauge, Obs, SpanId};
-use pwm_sim::{EventQueue, FaultEvent, FaultPlan, SimDuration, SimRng, SimTime};
+use pwm_obs::{Counter, Gauge, Obs, SpanId};
+use pwm_sim::{DynQueue, FaultEvent, FaultPlan, QueueKind, SimDuration, SimQueue, SimRng, SimTime};
 use std::collections::BTreeMap;
 
 /// Completion slop: a flow whose remaining bytes drop below this is done.
@@ -70,26 +70,158 @@ enum NetEvent {
     Complete(u32),
 }
 
+/// Flow slots a link can hold inline in its [`LinkHot`] row before membership
+/// spills to the heap. Sized so the whole row is exactly two cache lines.
+const LINK_FLOWS_INLINE: usize = 10;
+
 /// Per-link hot state: everything the engine touches when a flow joins or
-/// leaves a link or its effective capacity refreshes, packed into one row
-/// (~one cache line). These fields used to live in five parallel arrays
-/// plus the topology's link table; at 100k-flow scale every membership
-/// event then paid ~5 scattered cache misses per link touched, which
-/// dominated the event loop.
+/// leaves a link or its effective capacity refreshes, packed into one
+/// 128-byte (two cache line) row. These fields used to live in five parallel
+/// arrays plus the topology's link table *plus* a `Vec<Vec<u32>>` membership
+/// index; at 100k-flow scale every membership event then paid ~5 scattered
+/// cache misses per link touched — two of them just to reach the membership
+/// list (spine entry, then heap data) — which dominated the event loop.
+///
+/// The first 64 bytes hold the capacity math; the second 64 hold the active
+/// flow membership inline (up to [`LINK_FLOWS_INLINE`] slots, covering the
+/// access links that dominate event traffic), adjacent to the line the
+/// engine just touched so the hardware prefetcher gets it nearly free.
+/// Fan-in links (a shared backbone with hundreds of flows) spill to a
+/// per-link heap `Vec` and behave like the old layout.
+#[repr(C, align(64))]
 struct LinkHot {
+    // --- line 1: capacity math -------------------------------------------
     /// Occupancy and turbulence (streams, peak, turbulence, updated_at).
     state: LinkState,
     /// Congestion knee with any per-link override resolved at build time
     /// (the topology and model are fixed for the network's lifetime).
     knee: f64,
     /// Nominal capacity from the topology; turbulence, stream counts, and
-    /// faults scale it into `Network::capacities`.
+    /// faults scale it into `capacity` below.
     base_capacity: f64,
+    /// Effective capacity as of the last recompute; a change marks the
+    /// link dirty (covers turbulence decay, stream-count knees, and
+    /// fault-window boundaries in one comparison). Kept inside the hot row
+    /// so the capacity refresh and the allocator's residual seeding read
+    /// the same cache line they already touched for `state`.
+    capacity: f64,
+    /// Running allocated throughput, rebuilt at each component
+    /// reallocation.
+    throughput: f64,
     /// Membership or effective capacity changed since the last recompute
     /// (membership flag for `Network::dirty_links`).
     dirty: bool,
     /// Membership flag for `Network::turb_links`.
     turb: bool,
+    /// Component-BFS visited marker; always false outside a recompute's
+    /// BFS phase.
+    seen: bool,
+    /// Flows in `flows_inline`, or [`FLOWS_SPILLED`] when membership lives
+    /// in `flows_spill`.
+    nflows: u8,
+    /// Explicit padding so the membership half starts on the second line.
+    _pad: [u8; 4],
+    // --- line 2: active-flow membership ----------------------------------
+    /// Inline membership: active flow slots on this link, sorted by the
+    /// owning `FlowId`. Valid up to `nflows`.
+    flows_inline: [u32; LINK_FLOWS_INLINE],
+    /// Heap overflow once membership exceeds [`LINK_FLOWS_INLINE`]; holds
+    /// the *entire* sorted list while active.
+    flows_spill: Vec<u32>,
+}
+
+/// `LinkHot::nflows` marker: membership has spilled to `flows_spill`.
+const FLOWS_SPILLED: u8 = u8::MAX;
+
+const _: () = assert!(
+    std::mem::size_of::<LinkHot>() == 128,
+    "LinkHot must stay exactly two cache lines"
+);
+
+impl LinkHot {
+    /// Active flow slots on this link, sorted by owning `FlowId`.
+    #[inline]
+    fn flows(&self) -> &[u32] {
+        if self.nflows == FLOWS_SPILLED {
+            &self.flows_spill
+        } else {
+            &self.flows_inline[..self.nflows as usize]
+        }
+    }
+
+    /// Flows currently on the link.
+    #[inline]
+    fn flow_count(&self) -> usize {
+        if self.nflows == FLOWS_SPILLED {
+            self.flows_spill.len()
+        } else {
+            self.nflows as usize
+        }
+    }
+
+    /// The `m`-th member slot. Indexed access (rather than holding
+    /// [`LinkHot::flows`]) lets the BFS mutate other links between reads.
+    #[inline]
+    fn flow_at(&self, m: usize) -> u32 {
+        if self.nflows == FLOWS_SPILLED {
+            self.flows_spill[m]
+        } else {
+            debug_assert!(m < self.nflows as usize);
+            self.flows_inline[m]
+        }
+    }
+
+    /// Insert `slot` at `pos` (from a binary search over `flows()`),
+    /// spilling to the heap when the inline array is full.
+    fn insert_flow_at(&mut self, pos: usize, slot: u32) {
+        if self.nflows == FLOWS_SPILLED {
+            self.flows_spill.insert(pos, slot);
+        } else if (self.nflows as usize) < LINK_FLOWS_INLINE {
+            let n = self.nflows as usize;
+            self.flows_inline.copy_within(pos..n, pos + 1);
+            self.flows_inline[pos] = slot;
+            self.nflows += 1;
+        } else {
+            // Crossing into spill: move the whole list to the heap. The
+            // spill Vec keeps its capacity across episodes, so links that
+            // oscillate around the boundary only pay a small memcpy.
+            self.flows_spill.clear();
+            self.flows_spill.extend_from_slice(&self.flows_inline);
+            self.flows_spill.insert(pos, slot);
+            self.nflows = FLOWS_SPILLED;
+        }
+    }
+
+    /// Remove the member at `pos` (from a binary search over `flows()`),
+    /// un-spilling once a drained list fits inline again with hysteresis.
+    fn remove_flow_at(&mut self, pos: usize) {
+        if self.nflows == FLOWS_SPILLED {
+            self.flows_spill.remove(pos);
+            if self.flows_spill.len() <= LINK_FLOWS_INLINE / 2 {
+                self.nflows = self.flows_spill.len() as u8;
+                for (cell, &s) in self.flows_inline.iter_mut().zip(&self.flows_spill) {
+                    *cell = s;
+                }
+                self.flows_spill.clear();
+            }
+        } else {
+            let n = self.nflows as usize;
+            debug_assert!(pos < n);
+            self.flows_inline.copy_within(pos + 1..n, pos);
+            self.nflows -= 1;
+        }
+    }
+}
+
+/// Per-host connection accounting, packed so the activation path's
+/// slot-availability check and occupancy bump touch one small row instead of
+/// a counter array plus the topology's (large, string-bearing) host record.
+#[derive(Clone, Copy)]
+struct HostSlot {
+    /// Connections currently open at the host.
+    active: u32,
+    /// Connection limit; `u32::MAX` when the host is unlimited.
+    max: u32,
 }
 
 /// The live network simulation.
@@ -99,7 +231,8 @@ pub struct Network {
     /// Struct-of-arrays live-flow state (see [`FlowTable`]).
     flows: FlowTable,
     /// Connect/Complete discontinuities, indexed for O(1)-locate cancel.
-    sched: EventQueue<NetEvent>,
+    /// Implementation chosen per run (see [`Network::with_seed_queue`]).
+    sched: DynQueue<NetEvent>,
     /// Per-link hot state, one row per link (see [`LinkHot`]).
     links: Vec<LinkHot>,
     next_flow_id: u64,
@@ -108,8 +241,19 @@ pub struct Network {
     total_bytes_completed: f64,
     total_flows_completed: u64,
     rng: SimRng,
-    /// Active connections per host (enforces per-host connection limits).
-    host_active: Vec<u32>,
+    /// Per-host connection accounting (enforces per-host limits).
+    hosts: Vec<HostSlot>,
+    /// Dense access-link index per host. The topology's `Host` rows carry
+    /// strings and options; routing every replacement flow through them
+    /// costs scattered cache misses, where this table packs 16 hosts per
+    /// line.
+    host_access: Vec<u32>,
+    /// Dense per-link RTT table (same motivation as `host_access`).
+    link_rtt: Vec<SimDuration>,
+    /// True when the topology has no explicit multi-hop routes, so every
+    /// route is `[src access, dst access]` and `start_flow` can skip the
+    /// route-map lookup entirely.
+    simple_routes: bool,
     /// Opt-in utilization recorders, keyed by watched link.
     timelines: BTreeMap<LinkId, LinkTimeline>,
     /// Scheduled link faults; capacities scale while a window is active.
@@ -118,21 +262,13 @@ pub struct Network {
     obs: Option<NetObs>,
 
     // --- Incremental allocation engine ------------------------------------
-    // A persistent flow↔link bipartite index plus a dirty-link set lets a
-    // membership change re-run progressive filling over only the connected
-    // component of links/flows it can actually affect; disjoint host-pair
-    // clusters never pay for each other's churn.
-    /// Active flow slots per link, sorted by the owning `FlowId`.
-    link_flows: Vec<Vec<u32>>,
+    // A persistent flow↔link bipartite index (inline in the `LinkHot` rows)
+    // plus a dirty-link set lets a membership change re-run progressive
+    // filling over only the connected component of links/flows it can
+    // actually affect; disjoint host-pair clusters never pay for each
+    // other's churn.
     /// The links with `LinkHot::dirty` set (insertion-ordered, dedup'd).
     dirty_links: Vec<usize>,
-    /// Effective capacity per link as of the last recompute; a change marks
-    /// the link dirty (covers turbulence decay, stream-count knees, and
-    /// fault-window boundaries in one comparison).
-    capacities: Vec<f64>,
-    /// Running per-link allocated throughput, maintained at each component
-    /// reallocation.
-    link_throughput: Vec<f64>,
     /// Active flows still in slow-start, id → slot. Their caps rise with
     /// age, but a recompute is only forced while a flow's cap is actually
     /// binding (see `recompute_rates` step 2).
@@ -158,14 +294,17 @@ pub struct Network {
     comp_caps: Vec<f64>,
     /// Scratch: links of the dirty component(s).
     comp_links: Vec<usize>,
-    /// Scratch: per-link BFS visited marker (cleared via `comp_links`).
-    link_seen: Vec<bool>,
-    /// Scratch: per-slot BFS visited marker (cleared via `comp_flows`).
-    flow_seen: Vec<bool>,
-    /// Scratch: BFS work stack of link indices.
+    /// Scratch: BFS work stack of link indices. (The visited markers live
+    /// as `seen` bits inside the `LinkHot`/`FlowHot` rows the BFS touches
+    /// anyway, cleared via `comp_links`/`comp_flows`.)
     bfs_stack: Vec<usize>,
+    /// Scratch: route buffer reused across `start_flow` calls.
+    route_scratch: Vec<LinkId>,
     /// Scratch: ramping (id, slot) pairs being examined this recompute.
     ramp_scratch: Vec<(FlowId, u32)>,
+    /// Scratch: raw events drained from the queue in one batched pass per
+    /// `advance` segment (same-timestamp coalescing).
+    drain_scratch: Vec<(SimTime, NetEvent)>,
     /// Scratch: Connect events drained in the current `advance` segment.
     connect_scratch: Vec<(FlowId, u32)>,
     /// Scratch: Complete events drained in the current `advance` segment.
@@ -186,9 +325,73 @@ struct NetObs {
     obs: Obs,
     /// Per-link `(streams, throughput_bps)` gauges, indexed by `LinkId`.
     link_gauges: Vec<(Gauge, Gauge)>,
+    /// Sim-loop queue health, refreshed after every `advance`.
+    queue: QueueObs,
     /// Trace-span parents for in-flight flows (see
     /// [`Network::set_flow_span_parent`]).
     flow_parents: BTreeMap<FlowId, SpanId>,
+}
+
+/// Cached handles for the sim-loop queue-health series, labeled with the
+/// queue kind. The occupancy gauges expose the ladder's geometry (current
+/// bucket / rungs / overflow); they read zero under the heap, which has no
+/// bucket structure.
+struct QueueObs {
+    depth: Gauge,
+    current_bucket: Gauge,
+    rung_events: Gauge,
+    overflow_events: Gauge,
+    active_rungs: Gauge,
+    cancelled: Counter,
+}
+
+impl QueueObs {
+    fn new(obs: &Obs, queue: QueueKind) -> Self {
+        let q = queue.name();
+        QueueObs {
+            depth: obs.registry.gauge(
+                "sim_queue_depth",
+                "Live events pending in the simulation event queue",
+                &[("queue", q)],
+            ),
+            current_bucket: obs.registry.gauge(
+                "sim_queue_current_bucket_events",
+                "Events in the ladder queue's sorted current bucket",
+                &[("queue", q)],
+            ),
+            rung_events: obs.registry.gauge(
+                "sim_queue_rung_events",
+                "Events bucketed in ladder-queue rungs",
+                &[("queue", q)],
+            ),
+            overflow_events: obs.registry.gauge(
+                "sim_queue_overflow_events",
+                "Far-future events staged in the ladder queue's overflow list",
+                &[("queue", q)],
+            ),
+            active_rungs: obs.registry.gauge(
+                "sim_queue_active_rungs",
+                "Ladder-queue rungs currently spawned",
+                &[("queue", q)],
+            ),
+            cancelled: obs.registry.counter(
+                "sim_queue_cancelled_total",
+                "Events cancelled before firing over the queue's lifetime",
+                &[("queue", q)],
+            ),
+        }
+    }
+
+    fn refresh(&self, health: pwm_sim::QueueHealth) {
+        self.depth.set(health.depth as f64);
+        self.current_bucket.set(health.current_bucket_events as f64);
+        self.rung_events.set(health.rung_events as f64);
+        self.overflow_events.set(health.overflow_events as f64);
+        self.active_rungs.set(health.active_rungs as f64);
+        let exported = self.cancelled.get();
+        self.cancelled
+            .add(health.cancelled_total.saturating_sub(exported));
+    }
 }
 
 impl Network {
@@ -200,6 +403,20 @@ impl Network {
 
     /// Build a network with an explicit seed for per-flow weight jitter.
     pub fn with_seed(topology: Topology, model: StreamModel, seed: u64) -> Self {
+        Self::with_seed_queue(topology, model, seed, QueueKind::default())
+    }
+
+    /// Build a network choosing the pending-event structure explicitly.
+    /// Both kinds produce bit-identical runs (the ladder preserves exact
+    /// `(time, seq)` order); the choice only trades queue-operation cost
+    /// profiles, so it is a benchmarking/validation knob, not a semantic
+    /// one.
+    pub fn with_seed_queue(
+        topology: Topology,
+        model: StreamModel,
+        seed: u64,
+        queue: QueueKind,
+    ) -> Self {
         let link_count = topology.link_count();
         let links = (0..link_count)
             .map(|ix| {
@@ -208,17 +425,42 @@ impl Network {
                     state: LinkState::new(),
                     knee: l.knee_override.unwrap_or(model.knee_streams),
                     base_capacity: l.capacity,
+                    capacity: 0.0,
+                    throughput: 0.0,
                     dirty: false,
                     turb: false,
+                    seen: false,
+                    nflows: 0,
+                    _pad: [0; 4],
+                    flows_inline: [0; LINK_FLOWS_INLINE],
+                    flows_spill: Vec::new(),
                 }
             })
             .collect();
-        let host_active = vec![0; topology.host_count()];
+        // Connection limits are fixed at build time (the topology is owned
+        // and never mutated after construction), so bake them into the
+        // per-host accounting rows.
+        let hosts = (0..topology.host_count())
+            .map(|h| HostSlot {
+                active: 0,
+                max: topology
+                    .host(crate::HostId(h as u32))
+                    .max_connections
+                    .unwrap_or(u32::MAX),
+            })
+            .collect();
+        let host_access = (0..topology.host_count())
+            .map(|h| topology.host(crate::HostId(h as u32)).access_link.0)
+            .collect();
+        let link_rtt = (0..link_count)
+            .map(|ix| topology.link(LinkId(ix as u32)).rtt)
+            .collect();
+        let simple_routes = topology.route_count() == 0;
         Network {
             topology,
             model,
             flows: FlowTable::new(),
-            sched: EventQueue::new(),
+            sched: DynQueue::new(queue),
             links,
             next_flow_id: 0,
             now: SimTime::ZERO,
@@ -226,14 +468,14 @@ impl Network {
             total_bytes_completed: 0.0,
             total_flows_completed: 0,
             rng: SimRng::for_component(seed, "network-weights"),
-            host_active,
+            hosts,
+            host_access,
+            link_rtt,
+            simple_routes,
             timelines: BTreeMap::new(),
             faults: FaultPlan::new(),
             obs: None,
-            link_flows: vec![Vec::new(); link_count],
             dirty_links: Vec::new(),
-            capacities: vec![0.0; link_count],
-            link_throughput: vec![0.0; link_count],
             ramping: BTreeMap::new(),
             queued: BTreeMap::new(),
             turb_links: Vec::new(),
@@ -243,10 +485,10 @@ impl Network {
             comp_flows: Vec::new(),
             comp_caps: Vec::new(),
             comp_links: Vec::new(),
-            link_seen: vec![false; link_count],
-            flow_seen: Vec::new(),
             bfs_stack: Vec::new(),
+            route_scratch: Vec::new(),
             ramp_scratch: Vec::new(),
+            drain_scratch: Vec::new(),
             connect_scratch: Vec::new(),
             complete_scratch: Vec::new(),
             join_scratch: Vec::new(),
@@ -291,9 +533,12 @@ impl Network {
                 )
             })
             .collect();
+        let queue = QueueObs::new(&obs, self.sched.kind());
+        queue.refresh(self.sched.health());
         let net_obs = NetObs {
             obs,
             link_gauges,
+            queue,
             flow_parents: BTreeMap::new(),
         };
         self.emit_fault_instants(&net_obs, self.faults.events());
@@ -381,35 +626,30 @@ impl Network {
         self.timelines.get(&link)
     }
 
-    /// Hosts whose connection slots a flow occupies (src and dst, once each).
-    fn flow_hosts(spec_src: crate::HostId, spec_dst: crate::HostId) -> Vec<crate::HostId> {
-        if spec_src == spec_dst {
-            vec![spec_src]
-        } else {
-            vec![spec_src, spec_dst]
-        }
-    }
-
-    /// True when both endpoints have a free connection slot.
+    /// True when both endpoints have a free connection slot. A loopback
+    /// flow (`src == dst`) occupies — and therefore checks — one host once.
     fn slots_available(&self, src: crate::HostId, dst: crate::HostId) -> bool {
-        Self::flow_hosts(src, dst).into_iter().all(|h| {
-            match self.topology.host(h).max_connections {
-                Some(max) => self.host_active[h.0 as usize] < max,
-                None => true,
-            }
-        })
+        let free = |h: crate::HostId| {
+            let s = self.hosts[h.0 as usize];
+            s.active < s.max
+        };
+        free(src) && (src == dst || free(dst))
     }
 
     fn occupy_slots(&mut self, src: crate::HostId, dst: crate::HostId, delta: i64) {
-        for h in Self::flow_hosts(src, dst) {
-            let slot = &mut self.host_active[h.0 as usize];
+        let mut bump = |h: crate::HostId| {
+            let slot = &mut self.hosts[h.0 as usize].active;
             *slot = (*slot as i64 + delta).max(0) as u32;
+        };
+        bump(src);
+        if src != dst {
+            bump(dst);
         }
     }
 
     /// Currently active connections at a host (diagnostic).
     pub fn host_connections(&self, host: crate::HostId) -> u32 {
-        self.host_active[host.0 as usize]
+        self.hosts[host.0 as usize].active
     }
 
     /// The topology this network runs over.
@@ -462,8 +702,9 @@ impl Network {
     /// Bytes remaining for the flow in slot `si`, integrated lazily to
     /// `now` from the slot's `(remaining, rate, rate_since)` anchor.
     fn remaining_at(&self, si: usize, now: SimTime) -> f64 {
-        let dt = now.since(self.flows.rate_since[si]).as_secs_f64();
-        (self.flows.remaining[si] - self.flows.rate[si] * dt).max(0.0)
+        let h = &self.flows.hot[si];
+        let dt = now.since(h.rate_since).as_secs_f64();
+        (h.remaining - h.rate * dt).max(0.0)
     }
 
     /// Begin a transfer at time `now` (which must not precede the engine's
@@ -487,28 +728,28 @@ impl Network {
         self.advance(now);
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
-        // Recycle the route buffers of the slot the insert below will
-        // reuse: steady-state flow turnover then allocates nothing.
-        let (mut route, mut links) = self.flows.take_vacant_cold();
-        self.topology.route_into(spec.src, spec.dst, &mut route);
-        links.extend(route.iter().map(|l| l.0 as usize));
-        let rtt = self.topology.path_rtt(&route);
+        // One reusable route buffer: the cold row stores the route inline,
+        // so steady-state flow turnover allocates nothing. Routes and RTTs
+        // come from the dense tables, not the topology's record rows.
+        let mut route = std::mem::take(&mut self.route_scratch);
+        route.clear();
+        if self.simple_routes {
+            route.push(LinkId(self.host_access[spec.src.0 as usize]));
+            if spec.src != spec.dst {
+                route.push(LinkId(self.host_access[spec.dst.0 as usize]));
+            }
+        } else {
+            self.topology.route_into(spec.src, spec.dst, &mut route);
+        }
+        let rtt = route.iter().fold(SimDuration::ZERO, |acc, l| {
+            acc + self.link_rtt[l.0 as usize]
+        });
         let setup = self.model.setup_time(spec.streams.max(1), rtt);
         let weight_factor = self.rng.jitter(self.model.flow_weight_jitter);
-        let slot = self.flows.insert(
-            id,
-            FlowCold {
-                spec,
-                route,
-                links,
-                route_rtt: rtt,
-                requested_at: now,
-                weight_factor,
-            },
-        );
-        if self.flow_seen.len() < self.flows.slot_count() {
-            self.flow_seen.resize(self.flows.slot_count(), false);
-        }
+        let slot = self
+            .flows
+            .insert(id, FlowCold::new(spec, &route, rtt, now, weight_factor));
+        self.route_scratch = route;
         self.sched
             .schedule_at(now + setup + extra, NetEvent::Connect(slot));
         id
@@ -601,19 +842,27 @@ impl Network {
 
             let mut connects = std::mem::take(&mut self.connect_scratch);
             let mut completes = std::mem::take(&mut self.complete_scratch);
+            let mut drained = std::mem::take(&mut self.drain_scratch);
             connects.clear();
             completes.clear();
-            while let Some((_, ev)) = self.sched.pop_until(self.now) {
+            drained.clear();
+            // One batched peel per segment: every event due at `now` comes
+            // off the queue in a single pass (the ladder serves this from
+            // its sorted current bucket's tail) before any application.
+            self.sched.drain_until(self.now, &mut drained);
+            for &(_, ev) in &drained {
                 match ev {
                     NetEvent::Connect(slot) => {
-                        connects.push((self.flows.id_of[slot as usize], slot));
+                        connects.push((self.flows.hot[slot as usize].id, slot));
                     }
                     NetEvent::Complete(slot) => {
-                        self.flows.eta[slot as usize] = None;
-                        completes.push((self.flows.id_of[slot as usize], slot));
+                        let row = &mut self.flows.hot[slot as usize];
+                        row.set_eta(None);
+                        completes.push((row.id, slot));
                     }
                 }
             }
+            self.drain_scratch = drained;
             self.activate_due(&mut connects);
             self.collect_done(&mut completes);
             // Completions free connection slots: promote queued flows now.
@@ -627,6 +876,9 @@ impl Network {
         // so callers starting flows see current conditions.
         if self.active_count > 0 {
             self.recompute_or_skip();
+        }
+        if let Some(o) = &self.obs {
+            o.queue.refresh(self.sched.health());
         }
     }
 
@@ -677,12 +929,13 @@ impl Network {
                 self.occupy_slots(src, dst, 1);
                 self.queued.remove(&id);
                 let bytes = self.flows.cold[si].spec.bytes.max(0.0);
-                self.flows.phase[si] = Phase::Active;
-                self.flows.activated_at[si] = now;
-                self.flows.rate_since[si] = now;
-                self.flows.remaining[si] = bytes;
-                self.flows.rate[si] = 0.0;
-                self.flows.cap_bound[si] = false;
+                let row = &mut self.flows.hot[si];
+                row.phase = Phase::Active;
+                row.activated_at = now;
+                row.rate_since = now;
+                row.remaining = bytes;
+                row.rate = 0.0;
+                row.cap_bound = false;
                 if bytes <= BYTE_EPS {
                     // Nothing to move: complete in this same step, without
                     // waiting for a rate or an ETA event.
@@ -690,26 +943,28 @@ impl Network {
                 }
                 joins.push((slot, self.flows.cold[si].streams() as i64));
             } else {
-                self.flows.phase[si] = Phase::Queued;
+                self.flows.hot[si].phase = Phase::Queued;
                 self.queued.insert(id, slot);
             }
         }
         for &(slot, streams) in joins.iter() {
             let si = slot as usize;
-            let id = self.flows.id_of[si];
-            let nlinks = self.flows.cold[si].links.len();
+            let id = self.flows.hot[si].id;
+            let nlinks = self.flows.cold[si].link_count();
             for k in 0..nlinks {
-                let ix = self.flows.cold[si].links[k];
+                let ix = self.flows.cold[si].link_at(k);
                 let lh = &mut self.links[ix];
                 lh.state
                     .membership_change(&self.model, now, streams, lh.knee);
                 self.note_turbulence(ix);
                 let pos = {
-                    let ids = &self.flows.id_of;
-                    self.link_flows[ix].binary_search_by_key(&id, |&s| ids[s as usize])
+                    let hot = &self.flows.hot;
+                    self.links[ix]
+                        .flows()
+                        .binary_search_by_key(&id, |&s| hot[s as usize].id)
                 };
                 if let Err(p) = pos {
-                    self.link_flows[ix].insert(p, slot);
+                    self.links[ix].insert_flow_at(p, slot);
                 }
                 self.mark_link_dirty(ix);
             }
@@ -748,7 +1003,7 @@ impl Network {
         if !self.done_now.is_empty() {
             let drained = std::mem::take(&mut self.done_now);
             for slot in drained {
-                fired.push((self.flows.id_of[slot as usize], slot));
+                fired.push((self.flows.hot[slot as usize].id, slot));
             }
         }
         if fired.is_empty() {
@@ -758,7 +1013,7 @@ impl Network {
         let now = self.now;
         for &(id, slot) in fired.iter() {
             let si = slot as usize;
-            if self.flows.phase[si] != Phase::Active || self.flows.id_of[si] != id {
+            if self.flows.hot[si].phase != Phase::Active || self.flows.hot[si].id != id {
                 debug_assert!(false, "completion event for a non-active slot");
                 continue;
             }
@@ -766,14 +1021,15 @@ impl Network {
             if rem > BYTE_EPS {
                 // The microsecond-rounded ETA fired a hair early; push the
                 // event forward and drain the last bytes next step.
-                let rate = self.flows.rate[si];
+                let rate = self.flows.hot[si].rate;
                 debug_assert!(rate > 0.0, "early ETA with zero rate");
                 let eta = (now + SimDuration::from_secs_f64(rem / rate))
                     .max(now + SimDuration::from_micros(1));
-                self.flows.eta[si] = Some(self.sched.schedule_at(eta, NetEvent::Complete(slot)));
+                let h = self.sched.schedule_at(eta, NetEvent::Complete(slot));
+                self.flows.hot[si].set_eta(Some(h));
                 continue;
             }
-            if let Some(h) = self.flows.eta[si].take() {
+            if let Some(h) = self.flows.hot[si].take_eta() {
                 // Zero-byte completions may still carry a pending ETA.
                 self.sched.cancel(h);
             }
@@ -788,23 +1044,25 @@ impl Network {
                     cold.requested_at,
                 )
             };
-            let activated_at = self.flows.activated_at[si];
+            let activated_at = self.flows.hot[si].activated_at;
             self.occupy_slots(src, dst, -1);
             self.active_count -= 1;
             self.ramping.remove(&id);
-            let nlinks = self.flows.cold[si].links.len();
+            let nlinks = self.flows.cold[si].link_count();
             for k in 0..nlinks {
-                let ix = self.flows.cold[si].links[k];
+                let ix = self.flows.cold[si].link_at(k);
                 let lh = &mut self.links[ix];
                 lh.state
                     .membership_change(&self.model, now, -(streams as i64), lh.knee);
                 self.note_turbulence(ix);
                 let pos = {
-                    let ids = &self.flows.id_of;
-                    self.link_flows[ix].binary_search_by_key(&id, |&s| ids[s as usize])
+                    let hot = &self.flows.hot;
+                    self.links[ix]
+                        .flows()
+                        .binary_search_by_key(&id, |&s| hot[s as usize].id)
                 };
                 if let Ok(p) = pos {
-                    self.link_flows[ix].remove(p);
+                    self.links[ix].remove_flow_at(p);
                 }
                 self.mark_link_dirty(ix);
             }
@@ -856,8 +1114,8 @@ impl Network {
             self.model
                 .capacity_factor(lh.state.streams as f64, lh.knee, lh.state.turbulence);
         let cap = lh.base_capacity * factor * fault_factor;
-        if cap != self.capacities[ix] {
-            self.capacities[ix] = cap;
+        if cap != lh.capacity {
+            lh.capacity = cap;
             self.mark_link_dirty(ix);
         }
     }
@@ -884,30 +1142,31 @@ impl Network {
     /// flag used to gate ramp recomputes.
     fn apply_rate(&mut self, slot: u32, now: SimTime, new_rate: f64, cap: f64) {
         let si = slot as usize;
-        let old = self.flows.rate[si];
+        let old = self.flows.hot[si].rate;
         if (new_rate - old).abs() > RATE_EPS * old.abs().max(1.0) {
             let rem = self.remaining_at(si, now);
-            self.flows.remaining[si] = rem;
-            self.flows.rate_since[si] = now;
-            self.flows.rate[si] = new_rate;
+            let row = &mut self.flows.hot[si];
+            row.remaining = rem;
+            row.rate_since = now;
+            row.rate = new_rate;
             if new_rate > 0.0 {
                 let eta = now + SimDuration::from_secs_f64(rem / new_rate);
                 // Re-key the pending completion in place when one exists;
                 // a fresh event is only needed after a zero-rate stall.
-                match self.flows.eta[si] {
+                match row.eta() {
                     Some(h) if self.sched.reschedule(h, eta) => {}
                     _ => {
-                        self.flows.eta[si] =
-                            Some(self.sched.schedule_at(eta, NetEvent::Complete(slot)));
+                        let h = self.sched.schedule_at(eta, NetEvent::Complete(slot));
+                        self.flows.hot[si].set_eta(Some(h));
                     }
                 }
-            } else if let Some(h) = self.flows.eta[si].take() {
+            } else if let Some(h) = row.take_eta() {
                 self.sched.cancel(h);
             }
         } else {
             self.stats.unchanged_writes += 1;
         }
-        self.flows.cap_bound[si] = new_rate >= cap * (1.0 - CAP_BOUND_SLACK);
+        self.flows.hot[si].cap_bound = new_rate >= cap * (1.0 - CAP_BOUND_SLACK);
     }
 
     /// Weighted max-min over effective link capacities, incremental and
@@ -975,14 +1234,17 @@ impl Network {
         scratch.extend(self.ramping.iter().map(|(&id, &s)| (id, s)));
         for &(id, slot) in &scratch {
             let si = slot as usize;
-            debug_assert_eq!(self.flows.phase[si], Phase::Active);
-            if self.model.ramp_done(now.since(self.flows.activated_at[si])) {
+            debug_assert_eq!(self.flows.hot[si].phase, Phase::Active);
+            if self
+                .model
+                .ramp_done(now.since(self.flows.hot[si].activated_at))
+            {
                 self.ramping.remove(&id);
             }
-            if self.flows.cap_bound[si] {
-                let nlinks = self.flows.cold[si].links.len();
+            if self.flows.hot[si].cap_bound {
+                let nlinks = self.flows.cold[si].link_count();
                 for k in 0..nlinks {
-                    let ix = self.flows.cold[si].links[k];
+                    let ix = self.flows.cold[si].link_at(k);
                     self.mark_link_dirty(ix);
                 }
             }
@@ -1002,24 +1264,24 @@ impl Network {
         self.bfs_stack.clear();
         for i in 0..self.dirty_links.len() {
             let seed = self.dirty_links[i];
-            if !self.link_seen[seed] {
-                self.link_seen[seed] = true;
+            if !self.links[seed].seen {
+                self.links[seed].seen = true;
                 self.bfs_stack.push(seed);
             }
         }
         while let Some(ix) = self.bfs_stack.pop() {
             self.comp_links.push(ix);
-            for m in 0..self.link_flows[ix].len() {
-                let slot = self.link_flows[ix][m];
+            for m in 0..self.links[ix].flow_count() {
+                let slot = self.links[ix].flow_at(m);
                 let si = slot as usize;
-                if !self.flow_seen[si] {
-                    self.flow_seen[si] = true;
+                if !self.flows.hot[si].seen {
+                    self.flows.hot[si].seen = true;
                     self.comp_flows.push(slot);
-                    let nlinks = self.flows.cold[si].links.len();
+                    let nlinks = self.flows.cold[si].link_count();
                     for k in 0..nlinks {
-                        let other = self.flows.cold[si].links[k];
-                        if !self.link_seen[other] {
-                            self.link_seen[other] = true;
+                        let other = self.flows.cold[si].link_at(k);
+                        if !self.links[other].seen {
+                            self.links[other].seen = true;
                             self.bfs_stack.push(other);
                         }
                     }
@@ -1029,52 +1291,88 @@ impl Network {
         // Deterministic iteration orders: flows ascending by id (matching
         // the order the full pass uses), links ascending by index.
         {
-            let ids = &self.flows.id_of;
-            self.comp_flows.sort_unstable_by_key(|&s| ids[s as usize]);
+            let hot = &self.flows.hot;
+            self.comp_flows
+                .sort_unstable_by_key(|&s| hot[s as usize].id);
         }
         self.comp_links.sort_unstable();
         for i in 0..self.comp_links.len() {
-            self.link_seen[self.comp_links[i]] = false;
+            self.links[self.comp_links[i]].seen = false;
         }
         for i in 0..self.comp_flows.len() {
-            self.flow_seen[self.comp_flows[i] as usize] = false;
+            self.flows.hot[self.comp_flows[i] as usize].seen = false;
         }
 
         // 5. Progressive filling over the component only.
-        if !self.comp_flows.is_empty() {
+        if self.comp_flows.len() == 1 {
+            // Single-flow component: by construction every link in the
+            // component carries only this flow (a second tenant would have
+            // been pulled in by the BFS), so max-min fairness degenerates
+            // to `min(flow cap, min link capacity)` — no allocator round.
+            // Over half the recomputes in a completion-driven workload are
+            // this shape (a cluster draining to its last flow).
+            self.stats.component_runs += 1;
+            self.stats.flows_allocated += 1;
+            self.stats.links_allocated += self.comp_links.len() as u64;
+            let slot = self.comp_flows[0];
+            let si = slot as usize;
+            debug_assert_eq!(self.flows.hot[si].phase, Phase::Active);
+            let age = now.since(self.flows.hot[si].activated_at);
+            let cold = &self.flows.cold[si];
+            let cap = self.model.flow_cap(cold.streams(), age, cold.route_rtt);
+            let links = &self.links;
+            let rate = RateAllocator::single_flow_rate(
+                self.flows.hot[si].weight,
+                cap,
+                cold.links().iter().map(|&l| links[l as usize].capacity),
+            );
+            self.apply_rate(slot, now, rate, cap);
+            // Same write-back shape as the allocator path: the component
+            // can contain dirty links with no flows at all (they zero),
+            // not just the flow's own route (which carries the rate).
+            let effective = self.flows.hot[si].rate;
+            for i in 0..self.comp_links.len() {
+                self.links[self.comp_links[i]].throughput = 0.0;
+            }
+            for k in 0..self.flows.cold[si].link_count() {
+                let ix = self.flows.cold[si].link_at(k);
+                self.links[ix].throughput += effective;
+            }
+        } else if !self.comp_flows.is_empty() {
             self.stats.component_runs += 1;
             self.stats.flows_allocated += self.comp_flows.len() as u64;
             self.stats.links_allocated += self.comp_links.len() as u64;
             let mut alloc = std::mem::take(&mut self.alloc);
             let mut caps = std::mem::take(&mut self.comp_caps);
-            alloc.begin(self.capacities.len());
+            alloc.begin(self.links.len());
             caps.clear();
             for i in 0..self.comp_flows.len() {
                 let si = self.comp_flows[i] as usize;
-                debug_assert_eq!(self.flows.phase[si], Phase::Active);
-                let age = now.since(self.flows.activated_at[si]);
+                debug_assert_eq!(self.flows.hot[si].phase, Phase::Active);
+                let age = now.since(self.flows.hot[si].activated_at);
                 let cold = &self.flows.cold[si];
                 let cap = self.model.flow_cap(cold.streams(), age, cold.route_rtt);
-                alloc.push_flow(self.flows.weight[si], cap, &cold.links);
+                alloc.push_flow(self.flows.hot[si].weight, cap, cold.links());
                 caps.push(cap);
             }
-            let rates = alloc.allocate(&self.capacities);
+            let links = &self.links;
+            let rates = alloc.allocate(|l| links[l].capacity);
 
             // 6. Write rates back and rebuild the component's running
             //    throughput totals (links outside the component are exact
             //    already — nothing on them changed).
             for i in 0..self.comp_links.len() {
-                self.link_throughput[self.comp_links[i]] = 0.0;
+                self.links[self.comp_links[i]].throughput = 0.0;
             }
             for i in 0..self.comp_flows.len() {
                 let slot = self.comp_flows[i];
                 self.apply_rate(slot, now, rates[i], caps[i]);
                 let si = slot as usize;
-                let effective = self.flows.rate[si];
-                let nlinks = self.flows.cold[si].links.len();
+                let effective = self.flows.hot[si].rate;
+                let nlinks = self.flows.cold[si].link_count();
                 for k in 0..nlinks {
-                    let ix = self.flows.cold[si].links[k];
-                    self.link_throughput[ix] += effective;
+                    let ix = self.flows.cold[si].link_at(k);
+                    self.links[ix].throughput += effective;
                 }
             }
             self.comp_caps = caps;
@@ -1083,7 +1381,7 @@ impl Network {
             // Dirty links with no remaining flows (e.g. the last flow on a
             // cluster finished): their allocation drops to zero.
             for i in 0..self.comp_links.len() {
-                self.link_throughput[self.comp_links[i]] = 0.0;
+                self.links[self.comp_links[i]].throughput = 0.0;
             }
         }
 
@@ -1092,7 +1390,7 @@ impl Network {
             for &ix in &self.comp_links {
                 let (streams_gauge, throughput_gauge) = &o.link_gauges[ix];
                 streams_gauge.set(f64::from(self.links[ix].state.streams));
-                throughput_gauge.set(self.link_throughput[ix]);
+                throughput_gauge.set(self.links[ix].throughput);
             }
         }
 
@@ -1114,15 +1412,14 @@ impl Network {
         }
         let now = self.now;
         for (link, timeline) in self.timelines.iter_mut() {
-            let ix = link.0 as usize;
-            let ls = &self.links[ix].state;
+            let lh = &self.links[link.0 as usize];
             timeline.record(UtilizationSample {
                 at: now,
-                streams: ls.streams,
+                streams: lh.state.streams,
                 turbulence: self
                     .model
-                    .decay_turbulence(ls.turbulence, now.since(ls.updated_at)),
-                throughput: self.link_throughput[ix],
+                    .decay_turbulence(lh.state.turbulence, now.since(lh.state.updated_at)),
+                throughput: lh.throughput,
             });
         }
     }
@@ -1132,23 +1429,24 @@ impl Network {
     /// rate's bits actually changed.
     fn write_rate_full(&mut self, slot: u32, now: SimTime, new_rate: f64) {
         let si = slot as usize;
-        if new_rate != self.flows.rate[si] {
+        if new_rate != self.flows.hot[si].rate {
             let rem = self.remaining_at(si, now);
-            self.flows.remaining[si] = rem;
-            self.flows.rate_since[si] = now;
-            self.flows.rate[si] = new_rate;
+            let row = &mut self.flows.hot[si];
+            row.remaining = rem;
+            row.rate_since = now;
+            row.rate = new_rate;
             if new_rate > 0.0 {
                 let eta = now + SimDuration::from_secs_f64(rem / new_rate);
                 // Re-key the pending completion in place when one exists;
                 // a fresh event is only needed after a zero-rate stall.
-                match self.flows.eta[si] {
+                match row.eta() {
                     Some(h) if self.sched.reschedule(h, eta) => {}
                     _ => {
-                        self.flows.eta[si] =
-                            Some(self.sched.schedule_at(eta, NetEvent::Complete(slot)));
+                        let h = self.sched.schedule_at(eta, NetEvent::Complete(slot));
+                        self.flows.hot[si].set_eta(Some(h));
                     }
                 }
-            } else if let Some(h) = self.flows.eta[si].take() {
+            } else if let Some(h) = row.take_eta() {
                 self.sched.cancel(h);
             }
         }
@@ -1191,7 +1489,7 @@ impl Network {
         for &(id, slot) in &scratch {
             if self
                 .model
-                .ramp_done(now.since(self.flows.activated_at[slot as usize]))
+                .ramp_done(now.since(self.flows.hot[slot as usize].activated_at))
             {
                 self.ramping.remove(&id);
             }
@@ -1202,15 +1500,15 @@ impl Network {
         let mut demands = Vec::new();
         for (_, slot) in self.flows.iter() {
             let si = slot as usize;
-            if self.flows.phase[si] == Phase::Active {
+            if self.flows.hot[si].phase == Phase::Active {
                 let cold = &self.flows.cold[si];
                 let rtt = self.topology.route_rtt(cold.spec.src, cold.spec.dst);
-                let age = now.since(self.flows.activated_at[si]);
+                let age = now.since(self.flows.hot[si].activated_at);
                 slots.push(slot);
                 demands.push(FlowDemand {
-                    weight: self.flows.weight[si],
+                    weight: self.flows.hot[si].weight,
                     cap: self.model.flow_cap(cold.streams(), age, rtt),
-                    links: cold.route.iter().map(|l| l.0 as usize).collect(),
+                    links: cold.links().iter().map(|&l| l as usize).collect(),
                 });
             }
         }
@@ -1226,19 +1524,19 @@ impl Network {
         }
         // Keep the running totals coherent in full mode too, so timelines
         // and gauges read from one source of truth.
-        for t in self.link_throughput.iter_mut() {
-            *t = 0.0;
+        for lh in self.links.iter_mut() {
+            lh.throughput = 0.0;
         }
         for (d, r) in demands.iter().zip(rates.iter()) {
             for &ix in &d.links {
-                self.link_throughput[ix] += *r;
+                self.links[ix].throughput += *r;
             }
         }
         // Refresh per-link gauges with the fresh allocation.
         if let Some(o) = &self.obs {
             for (ix, (streams_gauge, throughput_gauge)) in o.link_gauges.iter().enumerate() {
                 streams_gauge.set(f64::from(self.links[ix].state.streams));
-                throughput_gauge.set(self.link_throughput[ix]);
+                throughput_gauge.set(self.links[ix].throughput);
             }
         }
         // Feed watched timelines with the fresh rates.

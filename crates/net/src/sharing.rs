@@ -152,14 +152,13 @@ pub fn max_min_rates(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
 /// floating-point reduction), then [`RateAllocator::allocate`].
 #[derive(Debug, Default)]
 pub struct RateAllocator {
-    /// Per-link residual capacity; valid only for links in `touched`.
-    residual: Vec<f64>,
-    /// Per-link residual weight over unfrozen flows; valid for `touched`.
-    link_weight: Vec<f64>,
+    /// Per-link working state; valid only for links in `touched`. One row
+    /// per link rather than three parallel arrays: the filling loop indexes
+    /// links at random, so splitting residual/weight/touched across arrays
+    /// costs three cache lines per link touched where one row costs one.
+    scratch: Vec<LinkScratch>,
     /// Links referenced by at least one pushed flow this round.
     touched: Vec<usize>,
-    /// True iff the link is in `touched` (lazily reset).
-    is_touched: Vec<bool>,
     /// Per-flow weight, in push order.
     weights: Vec<f64>,
     /// Per-flow rate cap, in push order.
@@ -176,6 +175,18 @@ pub struct RateAllocator {
     active: Vec<usize>,
 }
 
+/// Per-link allocator working state, packed so the random-access filling
+/// loops pay one cache line per link instead of three.
+#[derive(Debug, Default, Clone, Copy)]
+struct LinkScratch {
+    /// Residual capacity, decremented as flows grow.
+    residual: f64,
+    /// Residual weight over unfrozen flows, decremented as flows freeze.
+    weight: f64,
+    /// True iff the link is in `touched` (lazily reset by `begin`).
+    touched: bool,
+}
+
 impl RateAllocator {
     /// Numerical slop shared with [`max_min_rates`].
     const EPS: f64 = 1e-9;
@@ -189,13 +200,11 @@ impl RateAllocator {
     pub fn begin(&mut self, link_count: usize) {
         // Lazily clear only what the previous round touched.
         for &l in &self.touched {
-            self.is_touched[l] = false;
+            self.scratch[l].touched = false;
         }
         self.touched.clear();
-        if self.is_touched.len() < link_count {
-            self.is_touched.resize(link_count, false);
-            self.residual.resize(link_count, 0.0);
-            self.link_weight.resize(link_count, 0.0);
+        if self.scratch.len() < link_count {
+            self.scratch.resize(link_count, LinkScratch::default());
         }
         self.weights.clear();
         self.caps.clear();
@@ -206,14 +215,16 @@ impl RateAllocator {
         self.active.clear();
     }
 
-    /// Add one flow. `links` indexes the capacities slice later given to
-    /// [`RateAllocator::allocate`].
-    pub fn push_flow(&mut self, weight: f64, cap: f64, links: &[usize]) {
+    /// Add one flow. `links` holds raw link indices into the capacity space
+    /// declared to [`RateAllocator::begin`] (`u32`, matching how callers
+    /// store routes in their packed per-flow rows).
+    pub fn push_flow(&mut self, weight: f64, cap: f64, links: &[u32]) {
         let start = self.links_flat.len() as u32;
         for &l in links {
-            self.links_flat.push(l as u32);
-            if !self.is_touched[l] {
-                self.is_touched[l] = true;
+            self.links_flat.push(l);
+            let l = l as usize;
+            if !self.scratch[l].touched {
+                self.scratch[l].touched = true;
                 self.touched.push(l);
             }
         }
@@ -222,10 +233,13 @@ impl RateAllocator {
         self.caps.push(cap);
     }
 
-    /// Run progressive filling over the pushed flows against `capacities`
-    /// and return one rate per flow, in push order. The returned slice is
-    /// valid until the next `begin`.
-    pub fn allocate(&mut self, capacities: &[f64]) -> &[f64] {
+    /// Run progressive filling over the pushed flows and return one rate
+    /// per flow, in push order. `capacity_of(l)` yields the effective
+    /// capacity of link `l` — an accessor rather than a slice so callers
+    /// can keep capacities packed inside their own per-link rows (it is
+    /// called once per touched link, when seeding residuals). The returned
+    /// slice is valid until the next `begin`.
+    pub fn allocate(&mut self, capacity_of: impl Fn(usize) -> f64) -> &[f64] {
         let n = self.weights.len();
         self.rates.resize(n, 0.0);
         self.fixed.resize(n, false);
@@ -236,8 +250,8 @@ impl RateAllocator {
             *f = false;
         }
         for &l in &self.touched {
-            self.residual[l] = capacities[l];
-            self.link_weight[l] = 0.0;
+            self.scratch[l].residual = capacity_of(l);
+            self.scratch[l].weight = 0.0;
         }
         // Capless/linkless flows take their cap; the rest seed link weights.
         for i in 0..n {
@@ -248,7 +262,7 @@ impl RateAllocator {
             } else {
                 self.active.push(i);
                 for &l in &self.links_flat[s as usize..e as usize] {
-                    self.link_weight[l as usize] += self.weights[i];
+                    self.scratch[l as usize].weight += self.weights[i];
                 }
             }
         }
@@ -260,9 +274,9 @@ impl RateAllocator {
             let mut limit_is_link = false;
             let mut limit_link = usize::MAX;
             for &l in &self.touched {
-                let w = self.link_weight[l];
+                let w = self.scratch[l].weight;
                 if w > Self::EPS {
-                    let share = self.residual[l].max(0.0) / w;
+                    let share = self.scratch[l].residual.max(0.0) / w;
                     if share < limit - Self::EPS {
                         limit = share;
                         limit_is_link = true;
@@ -287,7 +301,7 @@ impl RateAllocator {
                 self.rates[i] += inc;
                 let (s, e) = self.spans[i];
                 for &l in &self.links_flat[s as usize..e as usize] {
-                    self.residual[l as usize] -= inc;
+                    self.scratch[l as usize].residual -= inc;
                 }
             }
 
@@ -300,7 +314,7 @@ impl RateAllocator {
                 let on_saturated = limit_is_link && links.contains(&(limit_link as u32));
                 let on_any_saturated = links
                     .iter()
-                    .any(|&l| self.residual[l as usize] <= Self::EPS);
+                    .any(|&l| self.scratch[l as usize].residual <= Self::EPS);
                 if at_cap || on_saturated || on_any_saturated {
                     self.fixed[i] = true;
                     froze = true;
@@ -322,12 +336,12 @@ impl RateAllocator {
             let weights = &self.weights;
             let spans = &self.spans;
             let links_flat = &self.links_flat;
-            let link_weight = &mut self.link_weight;
+            let scratch = &mut self.scratch;
             self.active.retain(|&i| {
                 if fixed[i] {
                     let (s, e) = spans[i];
                     for &l in &links_flat[s as usize..e as usize] {
-                        link_weight[l as usize] -= weights[i];
+                        scratch[l as usize].weight -= weights[i];
                     }
                     false
                 } else {
@@ -341,6 +355,44 @@ impl RateAllocator {
     /// Number of flows pushed since the last `begin` (diagnostic).
     pub fn flow_count(&self) -> usize {
         self.weights.len()
+    }
+
+    /// Rate for a component containing exactly one flow: max-min fairness
+    /// degenerates to the binding constraint of the first (and only)
+    /// filling round. This mirrors [`RateAllocator::allocate`] *bit for
+    /// bit* — same `EPS` guards, same `weight * limit` rounding, same
+    /// iteration order over `capacities` as the `touched` list would have —
+    /// so callers can take this shortcut without perturbing a single ULP
+    /// relative to running the full allocator (the incremental-vs-full
+    /// equivalence suites compare rates exactly). `capacities` must yield
+    /// the flow's links in route order (the order `push_flow` would have
+    /// touched them).
+    pub fn single_flow_rate(
+        weight: f64,
+        cap: f64,
+        capacities: impl IntoIterator<Item = f64>,
+    ) -> f64 {
+        if weight <= 0.0 {
+            // `allocate` fixes non-positive-weight flows at their cap.
+            return cap.max(0.0);
+        }
+        let mut limit = f64::INFINITY;
+        if weight > Self::EPS {
+            for c in capacities {
+                let share = c.max(0.0) / weight;
+                if share < limit - Self::EPS {
+                    limit = share;
+                }
+            }
+        }
+        let cap_share = cap.max(0.0) / weight;
+        if cap_share < limit - Self::EPS {
+            limit = cap_share;
+        }
+        if !limit.is_finite() {
+            return 0.0;
+        }
+        weight * limit
     }
 }
 
@@ -490,13 +542,17 @@ mod tests {
         assert!((r[0] - 3.5).abs() < 1e-6);
     }
 
+    fn links_u32(links: &[usize]) -> Vec<u32> {
+        links.iter().map(|&l| l as u32).collect()
+    }
+
     fn alloc_rates(caps: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
         let mut alloc = RateAllocator::new();
         alloc.begin(caps.len());
         for f in flows {
-            alloc.push_flow(f.weight, f.cap, &f.links);
+            alloc.push_flow(f.weight, f.cap, &links_u32(&f.links));
         }
-        alloc.allocate(caps).to_vec()
+        alloc.allocate(|l| caps[l]).to_vec()
     }
 
     #[test]
@@ -540,15 +596,15 @@ mod tests {
         let mut alloc = RateAllocator::new();
         // Round 1: two flows on link 0.
         alloc.begin(3);
-        alloc.push_flow(1.0, 100.0, &[0]);
-        alloc.push_flow(1.0, 100.0, &[0]);
-        let r = alloc.allocate(&[12.0, 5.0, 7.0]);
+        alloc.push_flow(1.0, 100.0, &[0u32]);
+        alloc.push_flow(1.0, 100.0, &[0u32]);
+        let r = alloc.allocate(|l| [12.0, 5.0, 7.0][l]);
         assert!((r[0] - 6.0).abs() < 1e-9);
         // Round 2: different shape; stale state must not bleed through.
         alloc.begin(3);
-        alloc.push_flow(2.0, 100.0, &[1, 2]);
+        alloc.push_flow(2.0, 100.0, &[1u32, 2]);
         assert_eq!(alloc.flow_count(), 1);
-        let r = alloc.allocate(&[12.0, 5.0, 7.0]);
+        let r = alloc.allocate(|l| [12.0, 5.0, 7.0][l]);
         assert!((r[0] - 5.0).abs() < 1e-9, "{r:?}");
     }
 }
@@ -595,9 +651,10 @@ mod equivalence_proptests {
             let mut alloc = RateAllocator::new();
             alloc.begin(caps.len());
             for f in &flows {
-                alloc.push_flow(f.weight, f.cap, &f.links);
+                let links: Vec<u32> = f.links.iter().map(|&l| l as u32).collect();
+                alloc.push_flow(f.weight, f.cap, &links);
             }
-            let fast = alloc.allocate(&caps);
+            let fast = alloc.allocate(|l| caps[l]);
             for (i, (a, b)) in reference.iter().zip(fast).enumerate() {
                 let tol = 1e-6 * a.abs().max(1e-9);
                 prop_assert!(
@@ -630,17 +687,18 @@ mod equivalence_proptests {
             joint_flows.extend(shifted_b.iter().cloned());
             let joint = max_min_rates(&caps, &joint_flows);
 
+            let to_u32 = |links: &[usize]| links.iter().map(|&l| l as u32).collect::<Vec<u32>>();
             let mut alloc = RateAllocator::new();
             alloc.begin(caps.len());
             for f in &flows_a {
-                alloc.push_flow(f.weight, f.cap, &f.links);
+                alloc.push_flow(f.weight, f.cap, &to_u32(&f.links));
             }
-            let ra = alloc.allocate(&caps).to_vec();
+            let ra = alloc.allocate(|l| caps[l]).to_vec();
             alloc.begin(caps.len());
             for f in &shifted_b {
-                alloc.push_flow(f.weight, f.cap, &f.links);
+                alloc.push_flow(f.weight, f.cap, &to_u32(&f.links));
             }
-            let rb = alloc.allocate(&caps).to_vec();
+            let rb = alloc.allocate(|l| caps[l]).to_vec();
 
             for (i, (j, s)) in joint.iter().zip(ra.iter().chain(rb.iter())).enumerate() {
                 let tol = 1e-6 * j.abs().max(1e-9);

@@ -188,6 +188,14 @@ impl Topology {
         self.host_by_name.get(name).copied()
     }
 
+    /// Number of explicit (multi-hop) routes installed. Zero means every
+    /// route is the trivial `[src access, dst access]` chain — engines can
+    /// build routes from dense access-link tables without consulting the
+    /// route map.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
     /// Number of links (access + transit).
     pub fn link_count(&self) -> usize {
         self.links.len()

@@ -37,6 +37,117 @@ const D: usize = 4;
 /// `Slot::pos` value meaning "not currently pending".
 const NO_POS: u32 = u32::MAX;
 
+/// The operations every pending-event structure must provide, with the
+/// exact-order contract the simulator is built on: events pop in strict
+/// `(time, seq)` lexicographic order, where `seq` is assigned at schedule
+/// (and re-assigned by [`SimQueue::reschedule`]) from one monotone counter.
+///
+/// Two implementations ship: the indexed 4-ary heap [`EventQueue`]
+/// (O(log n) everywhere, kept as the differential-test oracle) and the
+/// [`crate::ladder::LadderQueue`] (amortized O(1) per operation via
+/// epoch-bucketed rungs). [`DynQueue`] selects between them at runtime.
+/// Both are *exact*: no binning ever reorders a pop, so a driver swapping
+/// one for the other is bit-identical, not just statistically close.
+pub trait SimQueue<E> {
+    /// Current virtual time (time of the most recently popped event).
+    fn now(&self) -> SimTime;
+    /// Number of events popped so far (diagnostic).
+    fn events_processed(&self) -> u64;
+    /// Number of live events still pending.
+    fn len(&self) -> usize;
+    /// True when no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Schedule `payload` at absolute time `at` (panics if in the past).
+    fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle;
+    /// Schedule `payload` after a relative delay from now.
+    fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventHandle {
+        let at = self.now() + delay;
+        self.schedule_at(at, payload)
+    }
+    /// Cancel a pending event; `true` iff this call prevented it firing.
+    fn cancel(&mut self, handle: EventHandle) -> bool;
+    /// Move a pending event to a new time with a fresh sequence number
+    /// (fires after existing same-instant ties); `false` if not pending.
+    fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> bool;
+    /// Cancelled entries still buried in the structure (0 for both
+    /// shipped implementations — removal is eager).
+    fn backlog(&self) -> usize {
+        0
+    }
+    /// Time of the next live event, if any, without popping it.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Pop the next live event, advancing the clock to its timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+    /// Pop the next live event only if it fires at or before `horizon`.
+    fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)>;
+    /// Drain every event firing at or before `horizon` into `out`, in pop
+    /// order. Semantically a `pop_until` loop; implementations with a
+    /// sorted current bucket override it to peel the whole batch off in
+    /// one pass (the same-timestamp coalescing the network engine's
+    /// `advance` leans on).
+    fn drain_until(&mut self, horizon: SimTime, out: &mut Vec<(SimTime, E)>) {
+        while let Some(ev) = self.pop_until(horizon) {
+            out.push(ev);
+        }
+    }
+    /// Advance the clock manually; panics if moving backwards.
+    fn advance_to(&mut self, at: SimTime);
+    /// Queue-health snapshot for observability exports.
+    fn health(&self) -> QueueHealth;
+}
+
+/// Which [`SimQueue`] implementation a [`DynQueue`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// The indexed 4-ary heap ([`EventQueue`]) — O(log n), the oracle.
+    Heap,
+    /// The ladder queue ([`crate::ladder::LadderQueue`]) — amortized O(1).
+    #[default]
+    Ladder,
+}
+
+impl QueueKind {
+    /// Stable lowercase name (`"heap"` / `"ladder"`), used in benchmark
+    /// reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Ladder => "ladder",
+        }
+    }
+
+    /// Parse a [`QueueKind::name`] string.
+    pub fn parse(s: &str) -> Option<QueueKind> {
+        match s {
+            "heap" => Some(QueueKind::Heap),
+            "ladder" => Some(QueueKind::Ladder),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time health snapshot of a pending-event structure, shaped
+/// for gauge export (`sim_queue_depth`, `sim_queue_cancelled_total`,
+/// bucket-occupancy gauges). The ladder-geometry fields are zero for the
+/// heap, which has no bucket structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueHealth {
+    /// Live events pending.
+    pub depth: usize,
+    /// Events cancelled over the queue's lifetime.
+    pub cancelled_total: u64,
+    /// Events in the sorted current bucket (ladder only).
+    pub current_bucket_events: usize,
+    /// Events bucketed in rungs (ladder only).
+    pub rung_events: usize,
+    /// Far-future events in the overflow staging area (ladder only).
+    pub overflow_events: usize,
+    /// Rungs currently spawned (ladder only).
+    pub active_rungs: usize,
+}
+
 /// Identifies a scheduled event so it can be cancelled or rescheduled
 /// later. Opaque; a handle outlives its event harmlessly (operations on a
 /// fired or cancelled handle report failure instead of aliasing a newer
@@ -46,18 +157,33 @@ pub struct EventHandle(u64);
 
 impl EventHandle {
     #[inline]
-    fn slot(self) -> usize {
+    pub(crate) fn slot(self) -> usize {
         (self.0 & 0xffff_ffff) as usize
     }
 
     #[inline]
-    fn gen(self) -> u32 {
+    pub(crate) fn gen(self) -> u32 {
         (self.0 >> 32) as u32
     }
 
     #[inline]
-    fn pack(slot: u32, gen: u32) -> Self {
+    pub(crate) fn pack(slot: u32, gen: u32) -> Self {
         EventHandle(u64::from(gen) << 32 | u64::from(slot))
+    }
+
+    /// Raw transport form, for callers that pack handles into dense rows
+    /// (see `pwm-net`'s flow table). No live handle is ever `u64::MAX` —
+    /// that would need 2³²−1 concurrently allocated queue slots — so the
+    /// all-ones word is safe as a "no handle" sentinel.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`EventHandle::raw`].
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        EventHandle(raw)
     }
 }
 
@@ -89,6 +215,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    cancelled: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -107,6 +234,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            cancelled: 0,
         }
     }
 
@@ -202,6 +330,7 @@ impl<E> EventQueue<E> {
         };
         let entry = self.take_at(ix);
         self.retire(entry.slot);
+        self.cancelled += 1;
         true
     }
 
@@ -345,6 +474,145 @@ impl<E> EventQueue<E> {
             self.sift_down(ix);
         }
         entry
+    }
+
+    /// Queue-health snapshot. The heap has no bucket geometry, so only the
+    /// depth and cancellation counters are populated.
+    pub fn health(&self) -> QueueHealth {
+        QueueHealth {
+            depth: self.heap.len(),
+            cancelled_total: self.cancelled,
+            ..QueueHealth::default()
+        }
+    }
+}
+
+impl<E> SimQueue<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn events_processed(&self) -> u64 {
+        EventQueue::events_processed(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle {
+        EventQueue::schedule_at(self, at, payload)
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        EventQueue::cancel(self, handle)
+    }
+    fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> bool {
+        EventQueue::reschedule(self, handle, at)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        EventQueue::pop_until(self, horizon)
+    }
+    fn advance_to(&mut self, at: SimTime) {
+        EventQueue::advance_to(self, at)
+    }
+    fn health(&self) -> QueueHealth {
+        EventQueue::health(self)
+    }
+}
+
+/// Runtime-selected pending-event structure: a two-variant enum instead of
+/// a generic parameter, so `Network` and the workflow executor can switch
+/// queues per run (benchmark head-to-heads, cross-queue determinism tests)
+/// without the type parameter infecting every downstream signature. The
+/// per-call variant branch is perfectly predicted in any single run and is
+/// noise next to the memory traffic either queue generates.
+pub enum DynQueue<E> {
+    /// Indexed 4-ary heap.
+    Heap(EventQueue<E>),
+    /// Ladder queue.
+    Ladder(crate::ladder::LadderQueue<E>),
+}
+
+impl<E> DynQueue<E> {
+    /// Create an empty queue of the requested kind, clock at
+    /// [`SimTime::ZERO`].
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => DynQueue::Heap(EventQueue::new()),
+            QueueKind::Ladder => DynQueue::Ladder(crate::ladder::LadderQueue::new()),
+        }
+    }
+
+    /// Which implementation this queue dispatches to.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            DynQueue::Heap(_) => QueueKind::Heap,
+            DynQueue::Ladder(_) => QueueKind::Ladder,
+        }
+    }
+}
+
+impl<E> Default for DynQueue<E> {
+    fn default() -> Self {
+        DynQueue::new(QueueKind::default())
+    }
+}
+
+macro_rules! dyn_dispatch {
+    ($self:ident, $q:ident => $body:expr) => {
+        match $self {
+            DynQueue::Heap($q) => $body,
+            DynQueue::Ladder($q) => $body,
+        }
+    };
+}
+
+impl<E> SimQueue<E> for DynQueue<E> {
+    fn now(&self) -> SimTime {
+        dyn_dispatch!(self, q => q.now())
+    }
+    fn events_processed(&self) -> u64 {
+        dyn_dispatch!(self, q => q.events_processed())
+    }
+    fn len(&self) -> usize {
+        dyn_dispatch!(self, q => q.len())
+    }
+    fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle {
+        dyn_dispatch!(self, q => q.schedule_at(at, payload))
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        dyn_dispatch!(self, q => q.cancel(handle))
+    }
+    fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> bool {
+        dyn_dispatch!(self, q => q.reschedule(handle, at))
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        dyn_dispatch!(self, q => q.peek_time())
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        dyn_dispatch!(self, q => q.pop())
+    }
+    fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        dyn_dispatch!(self, q => q.pop_until(horizon))
+    }
+    fn drain_until(&mut self, horizon: SimTime, out: &mut Vec<(SimTime, E)>) {
+        match self {
+            DynQueue::Heap(q) => {
+                while let Some(ev) = q.pop_until(horizon) {
+                    out.push(ev);
+                }
+            }
+            DynQueue::Ladder(q) => SimQueue::drain_until(q, horizon, out),
+        }
+    }
+    fn advance_to(&mut self, at: SimTime) {
+        dyn_dispatch!(self, q => q.advance_to(at))
+    }
+    fn health(&self) -> QueueHealth {
+        dyn_dispatch!(self, q => q.health())
     }
 }
 

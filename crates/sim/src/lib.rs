@@ -38,14 +38,16 @@
 pub mod event;
 pub mod fault;
 pub mod histogram;
+pub mod ladder;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventHandle, EventQueue};
+pub use event::{DynQueue, EventHandle, EventQueue, QueueHealth, QueueKind, SimQueue};
 pub use fault::{seeded_windows, CrashPoint, FaultEvent, FaultPlan, FaultWindow};
 pub use histogram::Histogram;
+pub use ladder::LadderQueue;
 pub use rng::{derive_seed, SimRng};
 pub use stats::{percentile, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -1,21 +1,31 @@
-//! Differential harness: the indexed-heap [`EventQueue`] model-checked
-//! against a naive sorted-`Vec` reference.
+//! Differential harness: both shipped event queues — the indexed 4-ary heap
+//! [`EventQueue`] and the epoch-bucketed [`LadderQueue`] — model-checked in
+//! lockstep against a naive sorted-`Vec` reference.
 //!
-//! The reference keeps every pending event in a plain `Vec` and does an
-//! O(n log n) sort per pop — slow, but so simple its correctness is evident
-//! by inspection. Random schedule/cancel/pop interleavings (including
-//! cancel-of-popped and double-cancel) must observe identical behaviour from
-//! both: same pop stream, same cancel return values, same `len`, same
-//! `peek_time`. A cancel-heavy regression test then pins the performance
-//! claim the indexed heap was built for: no O(n)-per-cancel scans and no
-//! compaction stalls, while pop order stays exactly `(time, seq)`.
+//! The reference keeps every pending event in a plain `Vec` and does a
+//! linear min-scan per pop — slow, but so simple its correctness is evident
+//! by inspection. Random schedule/cancel/reschedule/pop interleavings
+//! (including cancel-of-popped, double-cancel, reschedule-of-dead,
+//! same-timestamp bursts, and far-future outliers that land in the ladder's
+//! top rungs or overflow) must observe identical behaviour from all three:
+//! same pop stream, same cancel/reschedule return values, same `len`, same
+//! `peek_time`. The ladder additionally has its internal invariants checked
+//! as the interleaving runs. Storm regression tests then pin the performance
+//! claims: no O(n)-per-cancel scans in the heap, and no reordering or
+//! corpse leaks in the ladder under a cancel/reschedule storm, while pop
+//! order stays exactly `(time, seq)`.
 
 use proptest::prelude::*;
-use pwm_sim::{EventQueue, SimTime};
+use pwm_sim::{EventQueue, LadderQueue, SimDuration, SimQueue, SimTime};
 
-/// Naive reference queue: unsorted `Vec` of `(time, seq, payload)`, linear
-/// scans everywhere. `seq` is assigned in schedule order, so min-by
-/// `(time, seq)` reproduces the FIFO-within-ties contract.
+/// Naive reference queue: unsorted `Vec` of `(time, seq, key)`, linear scans
+/// everywhere. `seq` is assigned from one monotone counter at schedule *and*
+/// on successful reschedule — exactly the contract both real queues
+/// implement — so min-by `(time, seq)` reproduces the FIFO-within-ties
+/// contract, including reschedules re-joining the back of a same-instant
+/// tie group. `key` is the caller's stable name for the event (the real
+/// queues use their [`pwm_sim::EventHandle`]s; the reference uses the
+/// index into the test's parallel handle arrays).
 struct RefQueue {
     pending: Vec<(SimTime, u64, u32)>,
     next_seq: u64,
@@ -31,19 +41,32 @@ impl RefQueue {
         }
     }
 
-    /// Returns the seq, which doubles as the cancel key.
-    fn schedule_at(&mut self, at: SimTime, payload: u32) -> u64 {
+    fn schedule_at(&mut self, at: SimTime, key: u32) {
         assert!(at >= self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push((at, seq, payload));
-        seq
+        self.pending.push((at, seq, key));
     }
 
-    fn cancel(&mut self, seq: u64) -> bool {
-        match self.pending.iter().position(|&(_, s, _)| s == seq) {
+    fn cancel(&mut self, key: u32) -> bool {
+        match self.pending.iter().position(|&(_, _, k)| k == key) {
             Some(ix) => {
                 self.pending.remove(ix);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Move a pending event to `at` with a fresh seq (fires after existing
+    /// same-instant ties); `false` if the event is no longer pending.
+    fn reschedule(&mut self, key: u32, at: SimTime) -> bool {
+        assert!(at >= self.now);
+        match self.pending.iter().position(|&(_, _, k)| k == key) {
+            Some(ix) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.pending[ix] = (at, seq, key);
                 true
             }
             None => false,
@@ -65,9 +88,9 @@ impl RefQueue {
             .enumerate()
             .min_by_key(|(_, &(at, seq, _))| (at, seq))
             .map(|(ix, _)| ix)?;
-        let (at, _, payload) = self.pending.remove(ix);
+        let (at, _, key) = self.pending.remove(ix);
         self.now = at;
-        Some((at, payload))
+        Some((at, key))
     }
 
     fn len(&self) -> usize {
@@ -80,23 +103,48 @@ impl RefQueue {
 enum Op {
     /// Schedule at `now + dt` microseconds.
     Schedule(u64),
+    /// Schedule `n` events all at the same instant `now + dt` — a
+    /// same-timestamp burst that stresses tie-breaking and the ladder's
+    /// current-bucket batching.
+    Burst(u8, u64),
     /// Cancel the `k`-th handle ever issued (mod issued count) — may target
     /// a pending, already-popped, or already-cancelled event.
     Cancel(usize),
     /// Double-cancel: cancel the same handle twice back to back.
     DoubleCancel(usize),
+    /// Reschedule the `k`-th handle to `now + dt` — may move it across
+    /// rungs, into the current bucket, or target a dead event (no-op
+    /// `false` on all queues).
+    Reschedule(usize, u64),
     Pop,
     PopUntil(u64),
+    /// Batch-pop everything up to `now + dt` via `drain_until`.
+    Drain(u64),
     Peek,
+}
+
+/// Schedule/reschedule offsets mix dense near-term times (heavy
+/// same-instant tie pressure at small values), exact-zero delays, and
+/// far-future outliers minutes-to-days out — the latter land in the
+/// ladder's top rungs or overflow heap and must still pop in exact order.
+fn arb_dt() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        5 => 0u64..10_000,
+        2 => Just(0u64),
+        1 => 1_000_000_000u64..1_000_000_000_000,
+    ]
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        3 => (0u64..10_000).prop_map(Op::Schedule),
+        3 => arb_dt().prop_map(Op::Schedule),
+        1 => (2u8..9, arb_dt()).prop_map(|(n, dt)| Op::Burst(n, dt)),
         2 => any::<usize>().prop_map(Op::Cancel),
         1 => any::<usize>().prop_map(Op::DoubleCancel),
+        2 => (any::<usize>(), arb_dt()).prop_map(|(k, dt)| Op::Reschedule(k, dt)),
         2 => Just(Op::Pop),
         1 => (0u64..10_000).prop_map(Op::PopUntil),
+        1 => arb_dt().prop_map(Op::Drain),
         1 => Just(Op::Peek),
     ]
 }
@@ -108,86 +156,146 @@ proptest! {
             .unwrap_or(256),
     })]
 
-    /// Lockstep execution: every observable of the indexed queue matches the
-    /// sorted-Vec reference after every operation.
+    /// Lockstep execution: every observable of the indexed heap AND the
+    /// ladder matches the sorted-Vec reference after every operation, and
+    /// the ladder's internal invariants hold throughout.
     #[test]
-    fn indexed_queue_matches_reference(ops in proptest::collection::vec(arb_op(), 1..400)) {
-        let mut q: EventQueue<u32> = EventQueue::new();
+    fn both_queues_match_reference(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut h: EventQueue<u32> = EventQueue::new();
+        let mut l: LadderQueue<u32> = LadderQueue::new();
         let mut r = RefQueue::new();
-        // Parallel handle arrays: handles[i] and seqs[i] name the same event.
-        let mut handles = Vec::new();
-        let mut seqs = Vec::new();
-        let mut next_payload = 0u32;
-        for op in ops {
+        // Parallel handle arrays: hh[i], lh[i], and reference key i name the
+        // same logical event. Event payloads are the key, so pop streams
+        // compare by identity, not just by timestamp.
+        let mut hh = Vec::new();
+        let mut lh = Vec::new();
+        for (step, op) in ops.into_iter().enumerate() {
             match op {
-                Op::Schedule(dt) => {
-                    let at = q.now() + pwm_sim::SimDuration::from_micros(dt);
-                    handles.push(q.schedule_at(at, next_payload));
-                    seqs.push(r.schedule_at(at, next_payload));
-                    next_payload += 1;
+                Op::Schedule(dt) | Op::Burst(_, dt) => {
+                    let n = match op {
+                        Op::Burst(n, _) => n as usize,
+                        _ => 1,
+                    };
+                    let at = r.now + SimDuration::from_micros(dt);
+                    for _ in 0..n {
+                        let key = hh.len() as u32;
+                        hh.push(h.schedule_at(at, key));
+                        lh.push(l.schedule_at(at, key));
+                        r.schedule_at(at, key);
+                    }
                 }
-                Op::Cancel(k) | Op::DoubleCancel(k) if handles.is_empty() => {
+                Op::Cancel(k) | Op::DoubleCancel(k) | Op::Reschedule(k, _) if hh.is_empty() => {
                     let _ = k; // nothing issued yet; skip
                 }
                 Op::Cancel(k) => {
-                    let ix = k % handles.len();
-                    prop_assert_eq!(q.cancel(handles[ix]), r.cancel(seqs[ix]));
+                    let ix = k % hh.len();
+                    let want = r.cancel(ix as u32);
+                    prop_assert_eq!(h.cancel(hh[ix]), want);
+                    prop_assert_eq!(l.cancel(lh[ix]), want);
                 }
                 Op::DoubleCancel(k) => {
-                    let ix = k % handles.len();
-                    prop_assert_eq!(q.cancel(handles[ix]), r.cancel(seqs[ix]));
-                    // The second attempt must be a no-op `false` on both.
-                    prop_assert_eq!(q.cancel(handles[ix]), r.cancel(seqs[ix]));
-                    prop_assert!(!q.cancel(handles[ix]));
+                    let ix = k % hh.len();
+                    for _ in 0..2 {
+                        let want = r.cancel(ix as u32);
+                        prop_assert_eq!(h.cancel(hh[ix]), want);
+                        prop_assert_eq!(l.cancel(lh[ix]), want);
+                    }
+                    // The second attempt must have been a no-op `false`.
+                    prop_assert!(!l.cancel(lh[ix]));
+                }
+                Op::Reschedule(k, dt) => {
+                    let ix = k % hh.len();
+                    let at = r.now + SimDuration::from_micros(dt);
+                    let want = r.reschedule(ix as u32, at);
+                    prop_assert_eq!(h.reschedule(hh[ix], at), want);
+                    prop_assert_eq!(l.reschedule(lh[ix], at), want);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(q.pop(), r.pop());
+                    let want = r.pop();
+                    prop_assert_eq!(h.pop(), want);
+                    prop_assert_eq!(l.pop(), want);
                 }
                 Op::PopUntil(dt) => {
-                    let horizon = q.now() + pwm_sim::SimDuration::from_micros(dt);
-                    let expect = match r.peek_time() {
+                    let horizon = r.now + SimDuration::from_micros(dt);
+                    let want = match r.peek_time() {
                         Some(t) if t <= horizon => r.pop(),
                         _ => None,
                     };
-                    prop_assert_eq!(q.pop_until(horizon), expect);
+                    prop_assert_eq!(h.pop_until(horizon), want);
+                    prop_assert_eq!(l.pop_until(horizon), want);
+                }
+                Op::Drain(dt) => {
+                    let horizon = r.now + SimDuration::from_micros(dt);
+                    let mut want = Vec::new();
+                    loop {
+                        match r.peek_time() {
+                            Some(t) if t <= horizon => want.push(r.pop().unwrap()),
+                            _ => break,
+                        }
+                    }
+                    let (mut hg, mut lg) = (Vec::new(), Vec::new());
+                    SimQueue::drain_until(&mut h, horizon, &mut hg);
+                    l.drain_until(horizon, &mut lg);
+                    prop_assert_eq!(&hg, &want);
+                    prop_assert_eq!(&lg, &want);
                 }
                 Op::Peek => {
-                    prop_assert_eq!(q.peek_time(), r.peek_time());
+                    prop_assert_eq!(h.peek_time(), r.peek_time());
+                    prop_assert_eq!(l.peek_time(), r.peek_time());
                 }
             }
-            prop_assert_eq!(q.len(), r.len());
-            prop_assert_eq!(q.is_empty(), r.len() == 0);
+            prop_assert_eq!(h.len(), r.len());
+            prop_assert_eq!(l.len(), r.len());
+            prop_assert_eq!(l.is_empty(), r.len() == 0);
+            if step % 16 == 0 {
+                l.check_invariants();
+            }
         }
-        // Drain both: the tails must agree event for event.
+        l.check_invariants();
+        // Drain all three: the tails must agree event for event.
         loop {
-            let (a, b) = (q.pop(), r.pop());
-            prop_assert_eq!(a, b);
-            if a.is_none() {
+            let want = r.pop();
+            prop_assert_eq!(h.pop(), want);
+            prop_assert_eq!(l.pop(), want);
+            if want.is_none() {
                 break;
             }
         }
+        l.check_invariants();
     }
 
-    /// Cancelling a popped event returns `false` and never resurrects it.
+    /// Cancelling a popped event returns `false` and never resurrects it,
+    /// on both queues.
     #[test]
     fn cancel_of_popped_is_inert(times in proptest::collection::vec(0u64..1_000, 1..60)) {
-        let mut q: EventQueue<usize> = EventQueue::new();
-        let handles: Vec<_> = times
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| q.schedule_at(SimTime::from_micros(t), i))
-            .collect();
+        let mut h: EventQueue<usize> = EventQueue::new();
+        let mut l: LadderQueue<usize> = LadderQueue::new();
+        let mut hh = Vec::new();
+        let mut lh = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            hh.push(h.schedule_at(SimTime::from_micros(t), i));
+            lh.push(l.schedule_at(SimTime::from_micros(t), i));
+        }
         let total = times.len();
         let mut popped = 0;
-        while q.pop().is_some() {
+        while let Some(a) = h.pop() {
+            prop_assert_eq!(l.pop(), Some(a));
             popped += 1;
         }
+        prop_assert_eq!(l.pop(), None);
         prop_assert_eq!(popped, total);
-        // Every handle's event has fired; all must refuse the cancel.
-        for h in &handles {
-            prop_assert!(!q.cancel(*h), "cancel of popped event returned true");
+        // Every handle's event has fired; all must refuse cancel and
+        // reschedule alike.
+        let far = SimTime::from_secs(1_000_000);
+        for (a, b) in hh.iter().zip(&lh) {
+            prop_assert!(!h.cancel(*a), "heap cancel of popped event returned true");
+            prop_assert!(!l.cancel(*b), "ladder cancel of popped event returned true");
+            prop_assert!(!h.reschedule(*a, far));
+            prop_assert!(!l.reschedule(*b, far));
         }
-        prop_assert!(q.is_empty());
+        prop_assert!(h.is_empty());
+        prop_assert!(l.is_empty());
+        l.check_invariants();
     }
 }
 
@@ -234,6 +342,85 @@ fn cancel_heavy_workload_has_no_compaction_stalls() {
     assert!(
         started.elapsed() < std::time::Duration::from_secs(10),
         "cancel-heavy workload stalled: took {:?}",
+        started.elapsed()
+    );
+}
+
+/// Cancel/reschedule storm, ladder vs heap: 60k events across dense
+/// same-timestamp clusters plus far-future outliers, then a storm that
+/// cancels a third, reschedules a third (some into the far future, some
+/// back near `now`, landing across every rung), and leaves a third — after
+/// which both queues must produce byte-identical pop streams, the ladder's
+/// invariants must hold, and the whole thing must finish in bounded time
+/// (no O(n) scans, no compaction stalls, no corpse leaks).
+#[test]
+fn ladder_survives_cancel_reschedule_storm_identically_to_heap() {
+    const N: usize = 60_000;
+    let started = std::time::Instant::now();
+    let mut h: EventQueue<u32> = EventQueue::new();
+    let mut l: LadderQueue<u32> = LadderQueue::new();
+    let (mut hh, mut lh) = (Vec::with_capacity(N), Vec::with_capacity(N));
+    for i in 0..N {
+        // Dense clusters of 16 same-instant events, with every 97th event a
+        // far-future outlier (top rungs / overflow territory).
+        let t = if i % 97 == 0 {
+            SimTime::from_secs(1_000_000 + i as u64)
+        } else {
+            SimTime::from_micros((i / 16) as u64)
+        };
+        hh.push(h.schedule_at(t, i as u32));
+        lh.push(l.schedule_at(t, i as u32));
+    }
+    l.check_invariants();
+    for i in 0..N {
+        match i % 3 {
+            0 => {
+                assert_eq!(h.cancel(hh[i]), l.cancel(lh[i]));
+            }
+            1 => {
+                // Alternate between yanking events out to the far future
+                // and pulling far-future events back near the clock.
+                let at = if i % 2 == 1 {
+                    SimTime::from_secs(2_000_000 + i as u64)
+                } else {
+                    SimTime::from_micros((i / 8) as u64)
+                };
+                assert_eq!(h.reschedule(hh[i], at), l.reschedule(lh[i], at));
+            }
+            _ => {}
+        }
+    }
+    l.check_invariants();
+    assert_eq!(h.len(), l.len());
+    assert_eq!(l.backlog(), 0, "ladder must not keep corpses");
+    // Double-storm: cancel half of what was just rescheduled.
+    for i in (1..N).step_by(6) {
+        assert_eq!(h.cancel(hh[i]), l.cancel(lh[i]));
+    }
+    assert_eq!(h.len(), l.len());
+    let mut drained = 0usize;
+    let mut last = (SimTime::ZERO, 0u32);
+    loop {
+        let a = h.pop();
+        let b = l.pop();
+        assert_eq!(a, b, "pop streams diverged after {drained} events");
+        match a {
+            Some(ev) => {
+                assert!(ev.0 >= last.0, "pop order regressed in time");
+                last = ev;
+                drained += 1;
+            }
+            None => break,
+        }
+        if drained.is_multiple_of(8192) {
+            l.check_invariants();
+        }
+    }
+    l.check_invariants();
+    assert!(l.is_empty() && h.is_empty());
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "cancel/reschedule storm stalled: took {:?}",
         started.elapsed()
     );
 }

@@ -27,7 +27,7 @@ use pwm_core::{
 };
 use pwm_net::{FlowSpec, LinkId, Network};
 use pwm_obs::{Obs, SpanId};
-use pwm_sim::{EventQueue, SimDuration, SimRng, SimTime, Trace};
+use pwm_sim::{DynQueue, QueueKind, SimDuration, SimQueue, SimRng, SimTime, Trace};
 use pwm_storage::{BackendSpec, CostMeter, StorageLayer};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -136,6 +136,10 @@ pub struct ExecutorConfig {
     /// lifecycle counters, and attaches the same handle to the network so
     /// flow spans nest under their transfer spans.
     pub obs: Option<Obs>,
+    /// Pending-event structure for the executor's own timers (job
+    /// completions, backoffs). Both kinds are exact-order, so runs are
+    /// bit-identical either way; this is a benchmarking/validation knob.
+    pub queue: QueueKind,
 }
 
 impl Default for ExecutorConfig {
@@ -163,6 +167,7 @@ impl Default for ExecutorConfig {
             cleanup_job_limit: None,
             storage: None,
             obs: None,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -235,7 +240,7 @@ pub struct WorkflowExecutor<'p> {
     config: ExecutorConfig,
     transport: Box<dyn PolicyTransport>,
     network: Network,
-    events: EventQueue<Ev>,
+    events: DynQueue<Ev>,
     now: SimTime,
     rng: SimRng,
     trace: Trace,
@@ -318,7 +323,7 @@ impl<'p> WorkflowExecutor<'p> {
             plan,
             transport,
             network,
-            events: EventQueue::new(),
+            events: DynQueue::new(config.queue),
             now: SimTime::ZERO,
             rng,
             trace: Trace::default(),
