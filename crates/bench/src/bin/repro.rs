@@ -7,6 +7,7 @@
 //! repro all [seeds]       # everything (default 5 seeds per point)
 //! repro shapes [seeds]    # the headline shape comparisons only (fast)
 //! repro storage           # storage-backend makespan-vs-cost frontier
+//! repro resilience        # fault-intensity ladder: policy-guided vs naive recovery
 //! repro chaos [seed]      # fault-injection scenario + per-fault-class ablation
 //! repro crash [seed]      # mid-run policy-service crash: cold vs warm recovery
 //! repro --trace <out.json> [seed]   # traced paper-setup run → Chrome-trace JSON
@@ -55,6 +56,7 @@ fn main() {
         "crash" => crash(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7)),
         "shapes" => shapes(seeds),
         "storage" => storage(),
+        "resilience" => resilience(),
         "validate-trace" => {
             let Some(path) = args.get(1) else {
                 log.error("validate-trace requires a path");
@@ -92,7 +94,7 @@ fn main() {
         }
         other => {
             log.error(&format!(
-                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|storage|chaos|crash|validate-trace|scrape-metrics|all [seeds]"
+                "unknown target {other:?}; try table4|fig5..fig9|figb|csv|shapes|storage|resilience|chaos|crash|validate-trace|scrape-metrics|all [seeds]"
             ));
             std::process::exit(2);
         }
@@ -325,6 +327,39 @@ fn headline(f: &Figure) {
 
 /// The storage-backend makespan-vs-cost frontier as a text table (the
 /// `storagebench` bin emits the JSON form).
+fn resilience() {
+    use pwm_bench::{resilience_invariants, resilience_standard, run_resiliencebench, speedup_at};
+    let s = resilience_standard();
+    let cells = run_resiliencebench(&s);
+    println!("== resilience ladder: {} ==", s.label);
+    println!(
+        "  {:<10} {:<14} {:>12} {:>8} {:>14}",
+        "intensity", "mode", "makespan", "success", "deterministic"
+    );
+    for c in &cells {
+        println!(
+            "  {:<10} {:<14} {:>11.2}s {:>8} {:>14}",
+            c.intensity,
+            c.mode(),
+            c.stats.makespan_secs(),
+            c.stats.success,
+            c.deterministic
+        );
+    }
+    for rung in ["calm", "rough", "turbulent"] {
+        if let Some(ratio) = speedup_at(&cells, rung) {
+            println!("  speedup[{rung}]: {ratio:.2}x (naive / policy-guided)");
+        }
+    }
+    let violations = resilience_invariants(&s, &cells);
+    for v in &violations {
+        global_logger().error(&format!("invariant violated: {v}"));
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn storage() {
     use pwm_bench::{check_invariants, pareto_frontier, run_storagebench, storagebench_standard};
     let s = storagebench_standard();

@@ -1,0 +1,81 @@
+//! Resilience benchmark — see `pwm_bench::resilience`.
+//!
+//! ```text
+//! resiliencebench [smoke] [--out PATH]
+//! ```
+//!
+//! Sweeps the fault-intensity ladder (calm → rough → turbulent) × two
+//! recovery modes (policy-guided, naive retry), running every cell twice
+//! to prove per-seed determinism. `smoke` runs the reduced CI scenario.
+//! Progress goes to stderr; the machine-readable JSON report is printed to
+//! stdout and, with `--out`, also written to PATH (conventionally
+//! `BENCH_resilience.json`).
+//!
+//! Exit is nonzero when any invariant is violated: an incomplete workflow
+//! at any swept intensity, a same-seed determinism mismatch, staged bytes
+//! differing from one clean copy of every input, or a turbulent-cell
+//! policy-guided speedup below the committed floor.
+
+use pwm_bench::resilience::{
+    check_invariants, report_json, run_suite, smoke_scenario, standard_scenario,
+};
+use pwm_obs::global_logger;
+
+fn main() {
+    let log = global_logger();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p.clone()),
+                    None => {
+                        log.error("--out requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                log.error(&format!("unknown argument: {other}"));
+                eprintln!("usage: resiliencebench [smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scenario = if smoke {
+        smoke_scenario()
+    } else {
+        standard_scenario()
+    };
+    log.info(&format!(
+        "resiliencebench: scenario {}{}",
+        scenario.label,
+        if smoke { " (smoke)" } else { "" }
+    ));
+    let cells = run_suite(&scenario);
+    let doc = report_json(&scenario, &cells);
+    let text = doc.render();
+    println!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            log.error(&format!("failed to write {path}: {e}"));
+            std::process::exit(1);
+        }
+        log.info(&format!("resiliencebench: report written to {path}"));
+    }
+
+    let violations = check_invariants(&scenario, &cells);
+    if !violations.is_empty() {
+        for v in &violations {
+            log.error(&format!("resiliencebench: invariant violated: {v}"));
+        }
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,7 @@ pub mod experiment;
 pub mod figures;
 pub mod netbench;
 pub mod queuebench;
+pub mod resilience;
 pub mod storagebench;
 pub mod svcbench;
 pub mod table4;
@@ -40,6 +41,11 @@ pub use experiment::{default_seeds, mb, MontageExperiment, PolicyMode};
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, fig_balanced, point, render as render_figure, render_csv, Figure,
     Series,
+};
+pub use resilience::{
+    check_invariants as resilience_invariants, intensity_ladder, run_suite as run_resiliencebench,
+    smoke_scenario as resilience_smoke, speedup_at, standard_scenario as resilience_standard,
+    Intensity, ResilienceCell, ResilienceScenario, MIN_TURBULENT_SPEEDUP,
 };
 pub use storagebench::{
     check_invariants, pareto_frontier, policy_beats_worst_fixed, run_suite as run_storagebench,

@@ -211,6 +211,14 @@ impl PolicyTransport for ChaosTransport {
         self.check()?;
         self.inner.report_cleanups(outcomes)
     }
+
+    fn report_health(
+        &mut self,
+        events: Vec<crate::model::HealthEvent>,
+    ) -> Result<(), TransportError> {
+        self.check()?;
+        self.inner.report_health(events)
+    }
 }
 
 #[cfg(test)]

@@ -324,6 +324,20 @@ impl PolicyController {
         Ok(())
     }
 
+    /// Delegate infrastructure health observations to a session (broadcast
+    /// to every shard of a sharded session).
+    pub fn report_health(
+        &self,
+        session: &str,
+        events: Vec<crate::model::HealthEvent>,
+    ) -> Result<(), ControllerError> {
+        match self.entry(session)? {
+            SessionEntry::Single(s) => s.lock().report_health(events),
+            SessionEntry::Sharded(s) => s.report_health(events),
+        }
+        Ok(())
+    }
+
     /// Snapshot a session's policy memory (merged across shards).
     pub fn snapshot(&self, session: &str) -> Result<MemorySnapshot, ControllerError> {
         match self.entry(session)? {

@@ -28,8 +28,9 @@ use crate::advice::{CleanupOutcome, TransferOutcome};
 use crate::audit::AuditRecord;
 use crate::config::PolicyConfig;
 use crate::model::{
-    BackendLoadFact, CleanupFact, CleanupSpec, ClusterAllocFact, HostPairFact, ResourceFact,
-    StagedOnFact, TransferFact, TransferSpec,
+    BackendDownFact, BackendLoadFact, CleanupFact, CleanupSpec, ClusterAllocFact, HealthEvent,
+    HostDownFact, HostPairFact, ResourceFact, StagedOnFact, SuspectReplicaFact, TransferFact,
+    TransferSpec,
 };
 use crate::service::{MemorySnapshot, ServiceStats};
 pub use pwm_sim::CrashPoint;
@@ -139,6 +140,8 @@ pub enum WalCommand {
     ReportCleanups(Vec<CleanupOutcome>),
     /// The session configuration was replaced.
     SetConfig(PolicyConfig),
+    /// Infrastructure health observations were reported (recovery family).
+    ReportHealth(Vec<HealthEvent>),
 }
 
 /// A sequence-numbered log record.
@@ -171,6 +174,12 @@ pub enum DurableFact {
     StagedOn(StagedOnFact),
     /// A per-backend allocation ledger fact (storage policy family).
     BackendLoad(BackendLoadFact),
+    /// A down-host fact (recovery family).
+    HostDown(HostDownFact),
+    /// A down-backend fact (recovery family).
+    BackendDown(BackendDownFact),
+    /// A suspect-replica fact (recovery family).
+    SuspectReplica(SuspectReplicaFact),
 }
 
 /// The complete serializable state of one policy session.

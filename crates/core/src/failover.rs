@@ -190,6 +190,13 @@ impl PolicyTransport for FailoverTransport {
     fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError> {
         self.with_failover(|t| t.report_cleanups(outcomes.clone()))
     }
+
+    fn report_health(
+        &mut self,
+        events: Vec<crate::model::HealthEvent>,
+    ) -> Result<(), TransportError> {
+        self.with_failover(|t| t.report_health(events.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@ pub mod greedy;
 pub mod ledger;
 pub mod model;
 pub mod priority;
+pub mod recovery_rules;
 pub mod rules_base;
 pub mod service;
 pub mod shard;
@@ -78,10 +79,12 @@ pub use durable::{
 pub use failover::{FailoverProbe, FailoverTransport};
 pub use ledger::{balanced_grant, greedy_grant, greedy_total_for_concurrent_jobs, no_policy_total};
 pub use model::{
-    BackendLoadFact, BackendProfileFact, CleanupId, CleanupSpec, ClusterId, GroupId, StagedOnFact,
-    SuppressReason, TransferId, TransferSpec, Url, WorkflowId,
+    BackendDownFact, BackendLoadFact, BackendProfileFact, CleanupId, CleanupSpec, ClusterId,
+    GroupId, HealthEvent, HostDownFact, StagedOnFact, SuppressReason, SuspectReplicaFact,
+    TransferId, TransferSpec, Url, WorkflowId,
 };
 pub use priority::{assign_priorities, PriorityAlgorithm, WorkflowGraph};
+pub use recovery_rules::install_recovery_rules;
 pub use service::{
     HostPairSnapshot, MemorySnapshot, PolicyService, RuleCounters, ServiceStats, SHARD_ID_BITS,
 };

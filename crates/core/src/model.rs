@@ -207,6 +207,12 @@ pub enum SuppressReason {
     DuplicateCleanup,
     /// The file is still in use by other workflows (cleanup protection).
     ResourceInUse,
+    /// The source replica is quarantined after repeated checksum failures;
+    /// the client must re-plan from another replica or re-run the producer.
+    SourceQuarantined,
+    /// The source host is reported down; retrying against it is pointless
+    /// until a `HostUp` health report clears the fact.
+    SourceHostDown,
 }
 
 /// State of a staged-file resource.
@@ -338,6 +344,85 @@ pub struct BackendLoadFact {
     /// Estimated dollars committed so far (monotone; budget-capped
     /// selection compares this against its cap).
     pub dollars_committed: f64,
+}
+
+/// A compute or transfer host currently reported down (recovery family).
+/// While present, transfers sourced at the host are suppressed rather than
+/// retried, and re-placement rules avoid it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostDownFact {
+    /// Host name as it appears in transfer URLs.
+    pub host: String,
+}
+
+/// A storage backend currently reported down (recovery family). While
+/// present, the storage-selection rules exclude the backend from candidate
+/// sets, steering new placements around the outage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendDownFact {
+    /// Backend name (matches [`BackendProfileFact::profile`]'s name).
+    pub backend: String,
+}
+
+/// A replica that failed checksum verification on read (recovery family).
+/// Strikes accumulate per `(host, file)`; at the client's quarantine
+/// threshold the replica is marked quarantined and transfer requests
+/// sourced from it are suppressed so the client re-plans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuspectReplicaFact {
+    /// Host serving the suspect replica.
+    pub host: String,
+    /// File path of the replica on that host.
+    pub file: String,
+    /// Checksum failures observed so far.
+    pub strikes: u32,
+    /// True once the replica is quarantined (suppression active).
+    pub quarantined: bool,
+}
+
+/// One health observation reported by an execution environment. Reports are
+/// upserts over the recovery facts above: `Down`/`Suspect` events insert or
+/// update, `Up`/`Cleared` events retract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HealthEvent {
+    /// A host stopped responding (crash, reboot, partition).
+    HostDown {
+        /// Host name as it appears in transfer URLs.
+        host: String,
+    },
+    /// A previously down host is serving again.
+    HostUp {
+        /// Host name as it appears in transfer URLs.
+        host: String,
+    },
+    /// A storage backend went dark or was administratively drained.
+    BackendDown {
+        /// Backend name.
+        backend: String,
+    },
+    /// A previously down backend is serving again.
+    BackendUp {
+        /// Backend name.
+        backend: String,
+    },
+    /// A read of `file` from `host` failed checksum verification. Carries
+    /// the reporter's quarantine decision so the threshold stays a client
+    /// policy (the service records strikes and suppresses once quarantined).
+    SuspectReplica {
+        /// Host serving the suspect replica.
+        host: String,
+        /// File path of the replica.
+        file: String,
+        /// True when the reporter's strike threshold is reached.
+        quarantine: bool,
+    },
+    /// The replica was re-verified or regenerated; clear its suspicion.
+    ReplicaCleared {
+        /// Host serving the replica.
+        host: String,
+        /// File path of the replica.
+        file: String,
+    },
 }
 
 /// `#[serde(with)]` adapter for `BTreeSet<WorkflowId>`: the vendored serde

@@ -1,0 +1,240 @@
+//! The recovery policy family: steering around failed infrastructure.
+//!
+//! Failure avoidance flows through advice like everything else. Execution
+//! environments report health observations ([`crate::model::HealthEvent`])
+//! via [`crate::service::PolicyService::report_health`]; the service upserts
+//! them into three recovery facts — [`HostDownFact`], [`BackendDownFact`],
+//! and [`SuspectReplicaFact`] — and the rules here consult those facts when
+//! the next advice batch is evaluated:
+//!
+//! * **quarantine suppression** (salience 93, after the Table I dedup rules
+//!   at 100/95/94 but before resource creation at 90): a batch transfer
+//!   whose source replica is quarantined after repeated checksum failures is
+//!   suppressed with [`SuppressReason::SourceQuarantined`] — the client must
+//!   re-plan from another replica or re-run the producer rather than grind
+//!   retries against bytes known to be bad;
+//! * **down-host suppression** (salience 92): a batch transfer sourced at a
+//!   host currently reported down is suppressed with
+//!   [`SuppressReason::SourceHostDown`];
+//! * the storage family's selection rule (see [`crate::storage_rules`])
+//!   additionally excludes backends with a live [`BackendDownFact`] from
+//!   its candidate set, so placement steers around outages.
+//!
+//! Always installed; with no health reports the fact population is empty,
+//! every guard returns no matches, and behavior is byte-identical to a
+//! service without the family.
+
+use crate::ctx::PolicyCtx;
+use crate::model::TransferFact;
+use crate::model::{BackendDownFact, HostDownFact, SuppressReason, SuspectReplicaFact};
+use crate::rules_base::batch_transfers;
+use pwm_rules::{Rule, Session};
+
+/// Install the recovery policy family (two suppression rules and the
+/// alpha-memory indexes the family probes).
+pub fn install_recovery_rules(session: &mut Session<PolicyCtx>) {
+    // All equality joins: down hosts by name, down backends by name, suspect
+    // replicas by (host, file).
+    session
+        .wm
+        .register_index::<HostDownFact, String>(|h| h.host.clone());
+    session
+        .wm
+        .register_index::<BackendDownFact, String>(|b| b.backend.clone());
+    session
+        .wm
+        .register_index::<SuspectReplicaFact, (String, String)>(|s| {
+            (s.host.clone(), s.file.clone())
+        });
+
+    session.add_rule(
+        Rule::new("recovery: suppress transfers from a quarantined replica")
+            .salience(93)
+            .watches::<TransferFact>()
+            .watches::<SuspectReplicaFact>()
+            .when(|wm, _: &PolicyCtx| {
+                let mut out = Vec::new();
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
+                        continue;
+                    }
+                    let key = (t.spec.source.host.clone(), t.spec.source.path.clone());
+                    let quarantined = wm
+                        .find_by::<SuspectReplicaFact, (String, String)>(&key)
+                        .is_some_and(|(_, s)| s.quarantined);
+                    if quarantined {
+                        out.push(vec![h]);
+                    }
+                }
+                out
+            })
+            .then(|wm, _, m| {
+                wm.update::<TransferFact>(m[0], |t| {
+                    t.suppressed = Some(SuppressReason::SourceQuarantined);
+                });
+            }),
+    );
+
+    session.add_rule(
+        Rule::new("recovery: suppress transfers sourced at a down host")
+            .salience(92)
+            .watches::<TransferFact>()
+            .watches::<HostDownFact>()
+            .when(|wm, _: &PolicyCtx| {
+                let mut out = Vec::new();
+                for (h, t) in batch_transfers(wm) {
+                    if t.suppressed.is_some() {
+                        continue;
+                    }
+                    if wm
+                        .find_by::<HostDownFact, String>(&t.spec.source.host)
+                        .is_some()
+                    {
+                        out.push(vec![h]);
+                    }
+                }
+                out
+            })
+            .then(|wm, _, m| {
+                wm.update::<TransferFact>(m[0], |t| {
+                    t.suppressed = Some(SuppressReason::SourceHostDown);
+                });
+            }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::TransferAction;
+    use crate::config::PolicyConfig;
+    use crate::model::{HealthEvent, TransferSpec, Url, WorkflowId};
+    use crate::service::PolicyService;
+
+    fn spec(host: &str, path: &str) -> TransferSpec {
+        TransferSpec {
+            source: Url::new("gsiftp", host, path),
+            dest: Url::new("file", "obelix-nfs", path),
+            bytes: 1_000_000,
+            requested_streams: None,
+            workflow: WorkflowId(1),
+            cluster: None,
+            priority: None,
+        }
+    }
+
+    #[test]
+    fn down_host_suppresses_sourced_transfers_until_host_up() {
+        let mut svc = PolicyService::new(PolicyConfig::default());
+        svc.report_health(vec![HealthEvent::HostDown {
+            host: "apache-isi".into(),
+        }]);
+        let advice = svc.evaluate_transfers(vec![spec("apache-isi", "/a.fits")]);
+        assert_eq!(
+            advice[0].action,
+            TransferAction::Skip(SuppressReason::SourceHostDown)
+        );
+        // Other sources are untouched.
+        let advice = svc.evaluate_transfers(vec![spec("gridftp-vm", "/b.fits")]);
+        assert_eq!(advice[0].action, TransferAction::Execute);
+        // HostUp clears the fact and transfers execute again.
+        svc.report_health(vec![HealthEvent::HostUp {
+            host: "apache-isi".into(),
+        }]);
+        let advice = svc.evaluate_transfers(vec![spec("apache-isi", "/c.fits")]);
+        assert_eq!(advice[0].action, TransferAction::Execute);
+    }
+
+    #[test]
+    fn quarantined_replica_suppresses_only_that_file() {
+        let mut svc = PolicyService::new(PolicyConfig::default());
+        // A strike without quarantine does not suppress.
+        svc.report_health(vec![HealthEvent::SuspectReplica {
+            host: "apache-isi".into(),
+            file: "/bad.fits".into(),
+            quarantine: false,
+        }]);
+        let advice = svc.evaluate_transfers(vec![spec("apache-isi", "/bad.fits")]);
+        assert_eq!(advice[0].action, TransferAction::Execute);
+        svc.report_transfers(vec![crate::advice::TransferOutcome {
+            id: advice[0].id,
+            success: false,
+        }]);
+        // The quarantining strike flips it.
+        svc.report_health(vec![HealthEvent::SuspectReplica {
+            host: "apache-isi".into(),
+            file: "/bad.fits".into(),
+            quarantine: true,
+        }]);
+        let advice = svc.evaluate_transfers(vec![
+            spec("apache-isi", "/bad2.fits"),
+            spec("apache-isi", "/bad.fits"),
+        ]);
+        assert_eq!(
+            advice[0].action,
+            TransferAction::Execute,
+            "other replicas fine"
+        );
+        assert_eq!(
+            advice[1].action,
+            TransferAction::Skip(SuppressReason::SourceQuarantined)
+        );
+        // Regeneration clears the suspicion.
+        svc.report_health(vec![HealthEvent::ReplicaCleared {
+            host: "apache-isi".into(),
+            file: "/bad.fits".into(),
+        }]);
+        let advice = svc.evaluate_transfers(vec![spec("apache-isi", "/bad.fits")]);
+        assert_eq!(advice[0].action, TransferAction::Execute);
+    }
+
+    #[test]
+    fn health_reports_are_idempotent_upserts() {
+        let mut svc = PolicyService::new(PolicyConfig::default());
+        for _ in 0..3 {
+            svc.report_health(vec![HealthEvent::HostDown {
+                host: "apache-isi".into(),
+            }]);
+        }
+        svc.report_health(vec![HealthEvent::SuspectReplica {
+            host: "apache-isi".into(),
+            file: "/f".into(),
+            quarantine: false,
+        }]);
+        svc.report_health(vec![HealthEvent::SuspectReplica {
+            host: "apache-isi".into(),
+            file: "/f".into(),
+            quarantine: true,
+        }]);
+        let state = svc.durable_state();
+        let hosts = state
+            .facts
+            .iter()
+            .filter(|f| matches!(f, crate::durable::DurableFact::HostDown(_)))
+            .count();
+        assert_eq!(hosts, 1, "repeat reports collapse into one fact");
+        let suspect = state
+            .facts
+            .iter()
+            .find_map(|f| match f {
+                crate::durable::DurableFact::SuspectReplica(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("suspect fact recorded");
+        assert_eq!(suspect.strikes, 2);
+        assert!(suspect.quarantined);
+        // Unknown clears are harmless no-ops.
+        svc.report_health(vec![
+            HealthEvent::HostUp {
+                host: "never-seen".into(),
+            },
+            HealthEvent::BackendUp {
+                backend: "never-seen".into(),
+            },
+            HealthEvent::ReplicaCleared {
+                host: "never-seen".into(),
+                file: "/x".into(),
+            },
+        ]);
+    }
+}

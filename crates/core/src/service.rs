@@ -21,10 +21,12 @@ use crate::durable::{
 use crate::greedy::install_greedy_rules;
 use crate::model::SuppressReason;
 use crate::model::{
-    BackendLoadFact, BackendProfileFact, CleanupFact, CleanupId, CleanupSpec, CleanupState,
-    ClusterAllocFact, HostPairFact, ResourceFact, ResourceState, StagedOnFact, TransferFact,
-    TransferId, TransferSpec, TransferState,
+    BackendDownFact, BackendLoadFact, BackendProfileFact, CleanupFact, CleanupId, CleanupSpec,
+    CleanupState, ClusterAllocFact, HealthEvent, HostDownFact, HostPairFact, ResourceFact,
+    ResourceState, StagedOnFact, SuspectReplicaFact, TransferFact, TransferId, TransferSpec,
+    TransferState,
 };
+use crate::recovery_rules::install_recovery_rules;
 use crate::rules_base::{install_base_rules, resource_for, transfer_pair_key};
 use crate::storage_rules::install_storage_rules;
 use pwm_obs::{Counter, Gauge, Histogram, Obs};
@@ -282,6 +284,7 @@ impl PolicyService {
         install_greedy_rules(&mut session);
         install_balanced_rules(&mut session);
         install_storage_rules(&mut session);
+        install_recovery_rules(&mut session);
         let audit = AuditLog::with_capacity(config.audit_retention());
         let mut svc = PolicyService {
             session,
@@ -471,6 +474,7 @@ impl PolicyService {
             }
             WalCommand::ReportCleanups(outcomes) => self.report_cleanups(outcomes),
             WalCommand::SetConfig(config) => self.set_config(config),
+            WalCommand::ReportHealth(events) => self.report_health(events),
         }
     }
 
@@ -507,6 +511,18 @@ impl PolicyService {
         facts.extend(
             wm.iter::<BackendLoadFact>()
                 .map(|(h, f)| (h, DurableFact::BackendLoad(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<HostDownFact>()
+                .map(|(h, f)| (h, DurableFact::HostDown(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<BackendDownFact>()
+                .map(|(h, f)| (h, DurableFact::BackendDown(f.clone()))),
+        );
+        facts.extend(
+            wm.iter::<SuspectReplicaFact>()
+                .map(|(h, f)| (h, DurableFact::SuspectReplica(f.clone()))),
         );
         facts.sort_by_key(|(h, _)| *h);
         DurableState {
@@ -561,6 +577,15 @@ impl PolicyService {
                     svc.session.wm.insert(f);
                 }
                 DurableFact::BackendLoad(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::HostDown(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::BackendDown(f) => {
+                    svc.session.wm.insert(f);
+                }
+                DurableFact::SuspectReplica(f) => {
                     svc.session.wm.insert(f);
                 }
             }
@@ -1142,6 +1167,81 @@ impl PolicyService {
         self.stats.rule_firings += report.firings as u64;
         self.session.maybe_gc_refraction();
         self.note_evaluation("report_cleanups", eval_micros, batch_len, report.firings);
+        self.maybe_snapshot();
+    }
+
+    /// Record infrastructure health observations in policy memory (recovery
+    /// family). Reports are upserts: `Down`/`Suspect` events insert or
+    /// update the corresponding fact, `Up`/`Cleared` events retract it.
+    /// Idempotent per event, so re-delivered reports are harmless; the
+    /// command rides the WAL like every other mutation.
+    pub fn report_health(&mut self, events: Vec<HealthEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        if self.durability.is_some() {
+            self.log_command(WalCommand::ReportHealth(events.clone()));
+        }
+        for event in events {
+            let wm = &mut self.session.wm;
+            match event {
+                HealthEvent::HostDown { host } => {
+                    if wm.find_by::<HostDownFact, String>(&host).is_none() {
+                        wm.insert(HostDownFact { host });
+                    }
+                }
+                HealthEvent::HostUp { host } => {
+                    if let Some(h) = wm.find_by::<HostDownFact, String>(&host).map(|(h, _)| h) {
+                        wm.retract(h);
+                    }
+                }
+                HealthEvent::BackendDown { backend } => {
+                    if wm.find_by::<BackendDownFact, String>(&backend).is_none() {
+                        wm.insert(BackendDownFact { backend });
+                    }
+                }
+                HealthEvent::BackendUp { backend } => {
+                    if let Some(h) = wm
+                        .find_by::<BackendDownFact, String>(&backend)
+                        .map(|(h, _)| h)
+                    {
+                        wm.retract(h);
+                    }
+                }
+                HealthEvent::SuspectReplica {
+                    host,
+                    file,
+                    quarantine,
+                } => {
+                    let key = (host.clone(), file.clone());
+                    if let Some(h) = wm
+                        .find_by::<SuspectReplicaFact, (String, String)>(&key)
+                        .map(|(h, _)| h)
+                    {
+                        wm.update::<SuspectReplicaFact>(h, |s| {
+                            s.strikes += 1;
+                            s.quarantined |= quarantine;
+                        });
+                    } else {
+                        wm.insert(SuspectReplicaFact {
+                            host,
+                            file,
+                            strikes: 1,
+                            quarantined: quarantine,
+                        });
+                    }
+                }
+                HealthEvent::ReplicaCleared { host, file } => {
+                    let key = (host, file);
+                    if let Some(h) = wm
+                        .find_by::<SuspectReplicaFact, (String, String)>(&key)
+                        .map(|(h, _)| h)
+                    {
+                        wm.retract(h);
+                    }
+                }
+            }
+        }
         self.maybe_snapshot();
     }
 

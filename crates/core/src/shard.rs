@@ -334,6 +334,18 @@ impl ShardedPolicyService {
         }
     }
 
+    /// Report health observations to every shard. Health facts are not
+    /// partitioned by host pair — any shard may evaluate a transfer sourced
+    /// at the failed host — so reports broadcast.
+    pub fn report_health(&self, events: Vec<crate::model::HealthEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        for shard in &self.shards {
+            shard.lock().report_health(events.clone());
+        }
+    }
+
     /// Monitoring counters summed across shards.
     pub fn stats(&self) -> ServiceStats {
         let mut total = ServiceStats::default();

@@ -161,6 +161,13 @@ pub fn install_storage_rules(session: &mut Session<PolicyCtx>) {
                     .iter_by::<BackendProfileFact, String>(&site)
                     .map(|(_, b)| b.profile.clone())
                     .collect();
+                // Recovery family: a backend reported down is not a
+                // candidate — placement steers around the outage until a
+                // BackendUp health report clears the fact.
+                candidates.retain(|s| {
+                    wm.find_by::<crate::model::BackendDownFact, String>(&s.name)
+                        .is_none()
+                });
                 candidates.sort_by(|a, b| a.name.cmp(&b.name));
                 let committed: f64 = wm
                     .iter::<BackendLoadFact>()

@@ -17,7 +17,7 @@ use crate::advice::{
     CleanupAction, CleanupAdvice, CleanupOutcome, TransferAction, TransferAdvice, TransferOutcome,
 };
 use crate::controller::{ControllerError, PolicyController};
-use crate::model::{CleanupId, CleanupSpec, GroupId, TransferId, TransferSpec};
+use crate::model::{CleanupId, CleanupSpec, GroupId, HealthEvent, TransferId, TransferSpec};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -65,6 +65,13 @@ pub trait PolicyTransport: Send {
 
     /// Report cleanup outcomes.
     fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError>;
+
+    /// Report infrastructure health observations (recovery family). The
+    /// default discards them, so stateless transports — and the no-policy
+    /// comparator, which deliberately ignores health — need no code.
+    fn report_health(&mut self, _events: Vec<HealthEvent>) -> Result<(), TransportError> {
+        Ok(())
+    }
 }
 
 /// Direct in-process calls into a [`PolicyController`] session.
@@ -104,6 +111,10 @@ impl PolicyTransport for InProcessTransport {
 
     fn report_cleanups(&mut self, outcomes: Vec<CleanupOutcome>) -> Result<(), TransportError> {
         Ok(self.controller.report_cleanups(&self.session, outcomes)?)
+    }
+
+    fn report_health(&mut self, events: Vec<HealthEvent>) -> Result<(), TransportError> {
+        Ok(self.controller.report_health(&self.session, events)?)
     }
 }
 

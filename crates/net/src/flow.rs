@@ -83,6 +83,25 @@ impl Flow {
     }
 }
 
+/// A flow torn down by [`crate::Network::kill_flows_touching`] before it
+/// finished: a host crash severs every transfer endpointed there. No
+/// [`TransferRecord`] is emitted for a killed flow — the caller decides
+/// whether and where to retry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KilledFlow {
+    /// The severed flow.
+    pub flow: FlowId,
+    /// Caller's tag from the [`FlowSpec`].
+    pub tag: u64,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Bytes still unmoved at the instant of the kill (the full payload for
+    /// flows that never activated).
+    pub bytes_remaining: f64,
+}
+
 /// The completed-transfer record handed back to callers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransferRecord {

@@ -47,7 +47,7 @@ pub mod timeline;
 pub mod topology;
 
 pub use fault::{LinkFault, LinkFaultKind};
-pub use flow::{Flow, FlowId, FlowPhase, FlowSpec, TransferRecord};
+pub use flow::{Flow, FlowId, FlowPhase, FlowSpec, KilledFlow, TransferRecord};
 pub use metrics::{AllocStats, TransferLedger};
 pub use model::{LinkState, StreamModel};
 pub use network::Network;

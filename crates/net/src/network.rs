@@ -36,7 +36,7 @@
 //! reductions are identical across runs with the same schedule.
 
 use crate::fault::{LinkFault, LinkFaultKind};
-use crate::flow::{FlowId, FlowSpec, TransferRecord};
+use crate::flow::{FlowId, FlowSpec, KilledFlow, TransferRecord};
 use crate::flow_table::{FlowCold, FlowTable, Phase};
 use crate::metrics::AllocStats;
 use crate::model::{LinkState, StreamModel};
@@ -750,8 +750,12 @@ impl Network {
             .flows
             .insert(id, FlowCold::new(spec, &route, rtt, now, weight_factor));
         self.route_scratch = route;
-        self.sched
+        let h = self
+            .sched
             .schedule_at(now + setup + extra, NetEvent::Connect(slot));
+        // The ETA word is unused while connecting; parking the Connect
+        // handle there lets a host-crash kill cancel the pending event.
+        self.flows.hot[slot as usize].set_eta(Some(h));
         id
     }
 
@@ -765,6 +769,97 @@ impl Network {
     /// variant for drivers that drain every step.
     pub fn drain_completed_into(&mut self, out: &mut Vec<TransferRecord>) {
         out.append(&mut self.completed);
+    }
+
+    /// Tear down every live flow with an endpoint at `host` — the network
+    /// half of a host crash. Severed flows emit no [`TransferRecord`]; the
+    /// returned [`KilledFlow`]s tell the driver what was in flight so it can
+    /// re-plan. Connection slots, link memberships, and pending events are
+    /// released exactly as on completion, and flows that drain at precisely
+    /// `now` complete normally before the kill is applied. Draws no
+    /// randomness and schedules nothing: a run that never calls this is
+    /// byte-identical to one on an engine without the method.
+    pub fn kill_flows_touching(&mut self, now: SimTime, host: crate::HostId) -> Vec<KilledFlow> {
+        self.advance(now);
+        let victims: Vec<(FlowId, u32)> = self
+            .flows
+            .iter()
+            .filter(|&(_, slot)| {
+                let spec = &self.flows.cold[slot as usize].spec;
+                spec.src == host || spec.dst == host
+            })
+            .collect();
+        let mut killed = Vec::with_capacity(victims.len());
+        for (id, slot) in victims {
+            let si = slot as usize;
+            let (src, dst, bytes, streams, tag) = {
+                let cold = &self.flows.cold[si];
+                (
+                    cold.spec.src,
+                    cold.spec.dst,
+                    cold.spec.bytes,
+                    cold.streams(),
+                    cold.spec.tag,
+                )
+            };
+            let bytes_remaining = match self.flows.hot[si].phase {
+                Phase::Connecting => {
+                    // The ETA word holds the pending Connect event.
+                    if let Some(h) = self.flows.hot[si].take_eta() {
+                        self.sched.cancel(h);
+                    }
+                    bytes
+                }
+                Phase::Queued => {
+                    self.queued.remove(&id);
+                    bytes
+                }
+                Phase::Active => {
+                    let rem = self.remaining_at(si, now);
+                    if let Some(h) = self.flows.hot[si].take_eta() {
+                        self.sched.cancel(h);
+                    }
+                    self.occupy_slots(src, dst, -1);
+                    self.active_count -= 1;
+                    self.ramping.remove(&id);
+                    let nlinks = self.flows.cold[si].link_count();
+                    for k in 0..nlinks {
+                        let ix = self.flows.cold[si].link_at(k);
+                        let lh = &mut self.links[ix];
+                        lh.state
+                            .membership_change(&self.model, now, -(streams as i64), lh.knee);
+                        self.note_turbulence(ix);
+                        let pos = {
+                            let hot = &self.flows.hot;
+                            self.links[ix]
+                                .flows()
+                                .binary_search_by_key(&id, |&s| hot[s as usize].id)
+                        };
+                        if let Ok(p) = pos {
+                            self.links[ix].remove_flow_at(p);
+                        }
+                        self.mark_link_dirty(ix);
+                    }
+                    rem
+                }
+                Phase::Vacant => continue,
+            };
+            if let Some(o) = &mut self.obs {
+                o.flow_parents.remove(&id);
+            }
+            self.flows.remove(id);
+            killed.push(KilledFlow {
+                flow: id,
+                tag,
+                src,
+                dst,
+                bytes_remaining,
+            });
+        }
+        if !killed.is_empty() {
+            self.recompute_or_skip();
+        }
+        killed
     }
 
     /// Earliest instant at which the network's state changes discontinuously:
@@ -853,7 +948,9 @@ impl Network {
             for &(_, ev) in &drained {
                 match ev {
                     NetEvent::Connect(slot) => {
-                        connects.push((self.flows.hot[slot as usize].id, slot));
+                        let row = &mut self.flows.hot[slot as usize];
+                        row.set_eta(None);
+                        connects.push((row.id, slot));
                     }
                     NetEvent::Complete(slot) => {
                         let row = &mut self.flows.hot[slot as usize];
@@ -1633,6 +1730,79 @@ mod tests {
         assert_eq!(recs.len(), 1);
         let dur = recs[0].transfer_duration().as_secs_f64();
         assert!((dur - 1.0).abs() < 0.02, "duration {dur}");
+    }
+
+    #[test]
+    fn kill_severs_active_flows_and_frees_their_slots() {
+        let (mut net, a, b) = lan_pair();
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6, 2));
+        // Activate at the first wakeup (drivers always step via next_wakeup).
+        net.advance(net.next_wakeup().unwrap());
+        let killed = net.kill_flows_touching(SimTime::from_millis(500), a);
+        assert_eq!(killed.len(), 1);
+        // ~50 MB moved in 0.5 s at 100 MB/s; the rest was unmoved.
+        assert!(
+            (killed[0].bytes_remaining - 50.0e6).abs() < 2.0e6,
+            "remaining {}",
+            killed[0].bytes_remaining
+        );
+        assert!(net.take_completed().is_empty(), "no record for a kill");
+        assert_eq!(net.live_flow_count(), 0);
+        assert_eq!(net.host_connections(a), 0, "slots released");
+        assert_eq!(net.host_connections(b), 0);
+        // The engine keeps working: a fresh flow completes normally.
+        net.start_flow(SimTime::from_secs(1), spec(a, b, 10.0e6, 2));
+        net.run_to_completion(SimTime::from_secs(100));
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn kill_cancels_connecting_flows_pending_event() {
+        let (net, a, b) = lan_pair();
+        let mut model = net.model().clone();
+        model.setup_base = SimDuration::from_secs(2);
+        let topo = net.topology().clone();
+        let mut net = Network::new(topo, model);
+        net.start_flow(SimTime::ZERO, spec(a, b, 100.0e6, 2));
+        let killed = net.kill_flows_touching(SimTime::from_secs(1), b);
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].bytes_remaining, 100.0e6, "never activated");
+        // Advancing past the cancelled Connect instant must not resurrect it.
+        net.run_to_completion(SimTime::from_secs(100));
+        assert!(net.take_completed().is_empty());
+        assert_eq!(net.live_flow_count(), 0);
+    }
+
+    #[test]
+    fn kill_removes_queued_flows_and_spares_other_hosts() {
+        let mut t = Topology::new();
+        let a = t.add_host("a", 100.0e6);
+        let b = t.add_host("b", 100.0e6);
+        let c = t.add_host("c", 100.0e6);
+        t.set_host_connection_limit(b, 1);
+        let mut model = StreamModel::default();
+        model.setup_base = SimDuration::ZERO;
+        model.setup_per_stream = SimDuration::ZERO;
+        model.setup_rtts = 0.0;
+        model.ramp_tau = SimDuration::ZERO;
+        model.turbulence_per_event = 0.0;
+        model.flow_weight_jitter = 0.0;
+        let mut net = Network::new(t, model);
+        net.start_flow(SimTime::ZERO, spec(a, b, 50.0e6, 2));
+        net.start_flow(SimTime::ZERO, spec(c, b, 50.0e6, 2));
+        net.advance(SimTime::from_millis(1));
+        // One flow holds b's single slot; the other is queued behind it.
+        let killed = net.kill_flows_touching(SimTime::from_millis(1), c);
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].src, c);
+        // An unrelated host kill is a no-op.
+        assert!(net
+            .kill_flows_touching(SimTime::from_millis(2), crate::HostId(99))
+            .is_empty());
+        net.run_to_completion(SimTime::from_secs(100));
+        let recs = net.take_completed();
+        assert_eq!(recs.len(), 1, "survivor completes");
+        assert_eq!(recs[0].src, a);
     }
 
     #[test]

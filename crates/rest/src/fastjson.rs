@@ -322,6 +322,8 @@ fn push_advice(out: &mut Vec<u8>, a: &TransferAdvice) {
                 SuppressReason::AlreadyStaged => b"AlreadyStaged",
                 SuppressReason::DuplicateCleanup => b"DuplicateCleanup",
                 SuppressReason::ResourceInUse => b"ResourceInUse",
+                SuppressReason::SourceQuarantined => b"SourceQuarantined",
+                SuppressReason::SourceHostDown => b"SourceHostDown",
             });
             out.extend_from_slice(b"\"}");
         }

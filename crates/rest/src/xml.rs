@@ -94,6 +94,8 @@ fn reason_str(reason: SuppressReason) -> &'static str {
         SuppressReason::AlreadyStaged => "already-staged",
         SuppressReason::DuplicateCleanup => "duplicate-cleanup",
         SuppressReason::ResourceInUse => "resource-in-use",
+        SuppressReason::SourceQuarantined => "source-quarantined",
+        SuppressReason::SourceHostDown => "source-host-down",
     }
 }
 
@@ -104,6 +106,8 @@ fn reason_from_str(s: &str) -> Result<SuppressReason, XmlError> {
         "already-staged" => SuppressReason::AlreadyStaged,
         "duplicate-cleanup" => SuppressReason::DuplicateCleanup,
         "resource-in-use" => SuppressReason::ResourceInUse,
+        "source-quarantined" => SuppressReason::SourceQuarantined,
+        "source-host-down" => SuppressReason::SourceHostDown,
         other => return Err(XmlError(format!("unknown skip reason {other:?}"))),
     })
 }

@@ -24,6 +24,10 @@
 
 #![warn(missing_docs)]
 
+pub mod integrity;
+
+pub use integrity::CorruptionModel;
+
 use std::collections::BTreeMap;
 
 use pwm_net::{HostId, LinkId, Topology};

@@ -56,9 +56,14 @@ pub struct Replica {
 }
 
 /// Maps logical files to their physical locations.
+///
+/// A file may have several replicas; planning uses the first registered
+/// (the *preferred* replica) and the recovery machinery consults the rest
+/// via [`ReplicaCatalog::replicas`] when the preferred copy is lost to a
+/// host crash or quarantined after checksum failures.
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaCatalog {
-    entries: BTreeMap<String, Replica>,
+    entries: BTreeMap<String, Vec<Replica>>,
 }
 
 impl ReplicaCatalog {
@@ -67,14 +72,23 @@ impl ReplicaCatalog {
         Self::default()
     }
 
-    /// Register where a logical file lives.
+    /// Register a physical location of a logical file. Re-registering the
+    /// same URL is a no-op; a new URL becomes an additional replica.
     pub fn insert(&mut self, file: impl Into<String>, url: Url, host: HostId) {
-        self.entries.insert(file.into(), Replica { url, host });
+        let list = self.entries.entry(file.into()).or_default();
+        if list.iter().all(|r| r.url != url) {
+            list.push(Replica { url, host });
+        }
     }
 
-    /// Look up a file's replica.
+    /// Look up a file's preferred (first-registered) replica.
     pub fn lookup(&self, file: &str) -> Option<&Replica> {
-        self.entries.get(file)
+        self.entries.get(file).and_then(|l| l.first())
+    }
+
+    /// All registered replicas of a file, in registration order.
+    pub fn replicas(&self, file: &str) -> &[Replica] {
+        self.entries.get(file).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of registered files.
@@ -147,6 +161,32 @@ mod tests {
         assert_eq!(r.host, HostId(1));
         assert_eq!(r.url.scheme, "http");
         assert!(rc.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn multiple_replicas_accumulate_and_dedup_by_url() {
+        let mut rc = ReplicaCatalog::new();
+        rc.insert(
+            "raw.fits",
+            Url::new("gsiftp", "gridftp-vm", "/data/raw.fits"),
+            HostId(0),
+        );
+        rc.insert(
+            "raw.fits",
+            Url::new("http", "apache-isi", "/montage/raw.fits"),
+            HostId(1),
+        );
+        // Same URL again: no duplicate replica.
+        rc.insert(
+            "raw.fits",
+            Url::new("gsiftp", "gridftp-vm", "/data/raw.fits"),
+            HostId(0),
+        );
+        assert_eq!(rc.replicas("raw.fits").len(), 2);
+        // Preferred replica is the first registered.
+        assert_eq!(rc.lookup("raw.fits").unwrap().host, HostId(0));
+        assert_eq!(rc.replicas("raw.fits")[1].host, HostId(1));
+        assert!(rc.replicas("missing").is_empty());
     }
 
     #[test]

@@ -18,12 +18,13 @@
 
 use crate::catalog::ComputeSite;
 use crate::planner::{ExecutablePlan, PlanJobKind, PlannedTransfer};
+use crate::recovery::{Checkpoint, CrashTarget, RecoveryConfig, RecoveryReport};
 use crate::stats::RunStats;
 use pwm_core::chaos::SharedSimClock;
 use pwm_core::transport::PolicyTransport;
 use pwm_core::{
-    CleanupOutcome, CleanupSpec, ClusterId, TransferAdvice, TransferOutcome, TransferSpec,
-    WorkflowId,
+    CleanupOutcome, CleanupSpec, ClusterId, HealthEvent, SuppressReason, TransferAction,
+    TransferAdvice, TransferOutcome, TransferSpec, WorkflowId,
 };
 use pwm_net::{FlowSpec, LinkId, Network};
 use pwm_obs::{Obs, SpanId};
@@ -140,6 +141,27 @@ pub struct ExecutorConfig {
     /// completions, backoffs). Both kinds are exact-order, so runs are
     /// bit-identical either way; this is a benchmarking/validation knob.
     pub queue: QueueKind,
+    /// The recovery plane: fault schedules, the integrity model, and the
+    /// re-planning knobs (see [`crate::recovery`]). `None` — or an inert
+    /// config — leaves the event stream byte-identical to a build without
+    /// the plane.
+    pub recovery: Option<RecoveryConfig>,
+    /// Modeled wall time for a producer re-run when corruption survives
+    /// with no clean replica (the regenerated file's next read is clean).
+    pub producer_rerun_delay: SimDuration,
+    /// Stop the run loop once virtual time would pass this instant and
+    /// return a [`Checkpoint`] of the completed-job frontier (crash-resume
+    /// experiments drive this; `None` runs to completion).
+    pub halt_at: Option<SimTime>,
+    /// Resume from a prior run's [`Checkpoint`]: jobs named there start as
+    /// `Done` (their children's dependencies count them satisfied) instead
+    /// of re-running. Partially staged files are deduplicated by the Policy
+    /// Service's `AlreadyStaged` advice when the same controller is reused.
+    pub resume_from: Option<Checkpoint>,
+    /// Order ready cleanup jobs by the $/GB·h of the backends their files
+    /// occupy (priciest residency evicted first) instead of plan priority
+    /// alone. Only meaningful with a storage runtime attached.
+    pub cleanup_price_order: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -168,6 +190,11 @@ impl Default for ExecutorConfig {
             storage: None,
             obs: None,
             queue: QueueKind::default(),
+            recovery: None,
+            producer_rerun_delay: SimDuration::from_secs(30),
+            halt_at: None,
+            resume_from: None,
+            cleanup_price_order: false,
         }
     }
 }
@@ -193,8 +220,19 @@ enum Ev {
     TransferStart(usize),
     /// Re-evaluate a failed transfer with the policy service.
     RetryEvaluate(usize),
-    /// Compute job finishes.
-    ComputeDone(usize),
+    /// Compute job finishes. The epoch invalidates completions of attempts
+    /// killed by a node crash: a stale epoch means the attempt died and its
+    /// completion must be ignored.
+    ComputeDone(usize, u32),
+    /// A scheduled crash fires (index into `RecoveryConfig::crashes`).
+    CrashStart(usize),
+    /// The crashed target restarts.
+    CrashEnd(usize),
+    /// A storage-backend outage begins (index into
+    /// `RecoveryConfig::backend_outages`).
+    OutageStart(usize),
+    /// The backend recovers.
+    OutageEnd(usize),
     /// Cleanup advice arrives → perform deletions.
     CleanupAdvice(usize),
     /// Cleanup deletions done → report and finish.
@@ -216,6 +254,12 @@ struct StagingRun {
     skipped: usize,
     /// Advice index awaiting re-evaluation after a failure.
     retrying: Option<usize>,
+    /// Times each advice entry's transfer was actually executed (drives the
+    /// integrity model's per-attempt independence and corruption backoff).
+    exec_attempts: HashMap<usize, u32>,
+    /// Replica-failover source overrides: spec index → network host of the
+    /// alternate replica (the spec's URL is rewritten alongside).
+    src_hosts: HashMap<usize, pwm_net::HostId>,
 }
 
 /// Priority-ordered ready queue: (priority desc, id asc).
@@ -268,6 +312,27 @@ pub struct WorkflowExecutor<'p> {
     /// dest URL → (backend, bytes) for files resident on a backend, so
     /// cleanup jobs can end their residency in the cost meter.
     staged_on_backend: HashMap<String, (String, u64)>,
+
+    // recovery plane (all empty/untouched when `rec_active` is false)
+    /// True when `config.recovery` is present and not inert — the single
+    /// gate on every recovery branch, so inert configs cost nothing.
+    rec_active: bool,
+    recovery: RecoveryReport,
+    /// Per-compute-job attempt epoch; bumped when a node crash kills the
+    /// running attempt so the stale `ComputeDone` is ignored.
+    compute_epoch: Vec<u32>,
+    /// Compute jobs killed by crash `i`, re-queued when the node restarts.
+    crash_requeue: HashMap<usize, Vec<usize>>,
+    /// Host name → scheduled restart instant, while the host is down.
+    down_hosts: HashMap<String, SimTime>,
+    /// Checksum strikes per (source host, source path).
+    strikes: HashMap<(String, String), u32>,
+    /// Producer-re-run generation per logical file (generation > 0 reads
+    /// clean).
+    file_generation: HashMap<String, u32>,
+    cores_per_node: u32,
+    /// Set when `halt_at` stopped the loop before the DAG finished.
+    halted: bool,
 
     // observability bookkeeping (all None/empty without config.obs)
     job_spans: Vec<Option<SpanId>>,
@@ -343,6 +408,15 @@ impl<'p> WorkflowExecutor<'p> {
             next_tag: 0,
             storage_flows: HashMap::new(),
             staged_on_backend: HashMap::new(),
+            rec_active: false,
+            recovery: RecoveryReport::default(),
+            compute_epoch: vec![0; n],
+            crash_requeue: HashMap::new(),
+            down_hosts: HashMap::new(),
+            strikes: HashMap::new(),
+            file_generation: HashMap::new(),
+            cores_per_node: site.cores_per_node,
+            halted: false,
             job_spans: vec![None; n],
             transfer_spans: HashMap::new(),
             rpc_started: HashMap::new(),
@@ -364,8 +438,45 @@ impl<'p> WorkflowExecutor<'p> {
         if let Some(clock) = &exec.config.clock {
             clock.set(SimTime::ZERO);
         }
+        exec.rec_active = exec.config.recovery.as_ref().is_some_and(|r| !r.is_inert());
+        if exec.rec_active {
+            // Fault windows become plain events: the loop's time driver
+            // delivers them in order with everything else, so two same-seed
+            // runs see identical interleavings.
+            let rec = exec.config.recovery.as_ref().expect("recovery config");
+            let crash_times: Vec<(SimTime, SimTime)> =
+                rec.crashes.iter().map(|c| (c.at, c.up_at())).collect();
+            let outage_times: Vec<(SimTime, SimTime)> = rec
+                .backend_outages
+                .iter()
+                .map(|o| (o.from, o.up_at()))
+                .collect();
+            for (i, (start, end)) in crash_times.into_iter().enumerate() {
+                exec.events.schedule_at(start, Ev::CrashStart(i));
+                exec.events.schedule_at(end, Ev::CrashEnd(i));
+            }
+            for (i, (start, end)) in outage_times.into_iter().enumerate() {
+                exec.events.schedule_at(start, Ev::OutageStart(i));
+                exec.events.schedule_at(end, Ev::OutageEnd(i));
+            }
+        }
+        // Resume: jobs completed before the halt start as Done, so only the
+        // unfinished frontier re-runs.
+        if let Some(cp) = exec.config.resume_from.clone() {
+            let done: std::collections::HashSet<&str> =
+                cp.completed_jobs.iter().map(String::as_str).collect();
+            for i in 0..n {
+                if done.contains(exec.plan.jobs()[i].name.as_str()) {
+                    exec.state[i] = JobState::Done;
+                    exec.jobs_done += 1;
+                    for child in exec.plan.jobs()[i].children.clone() {
+                        exec.pending_parents[child.0] -= 1;
+                    }
+                }
+            }
+        }
         for i in 0..n {
-            if exec.pending_parents[i] == 0 {
+            if exec.pending_parents[i] == 0 && exec.state[i] == JobState::Waiting {
                 exec.mark_ready(i);
             }
         }
@@ -381,8 +492,29 @@ impl<'p> WorkflowExecutor<'p> {
 
     /// Like [`WorkflowExecutor::run`], additionally returning the lifecycle
     /// trace (job starts/finishes, transfer events, retries, fallbacks).
-    pub fn run_traced(mut self) -> (RunStats, Network, Trace) {
+    pub fn run_traced(self) -> (RunStats, Network, Trace) {
+        let (stats, network, trace, _cp) = self.run_impl();
+        (stats, network, trace)
+    }
+
+    /// Like [`WorkflowExecutor::run_traced`], additionally returning the
+    /// [`Checkpoint`] of the completed-job frontier — the resume token when
+    /// [`ExecutorConfig::halt_at`] stopped the run mid-DAG (and simply the
+    /// full job list when it ran to completion).
+    pub fn run_checkpointed(self) -> (RunStats, Network, Checkpoint) {
+        let (stats, network, _trace, cp) = self.run_impl();
+        (stats, network, cp)
+    }
+
+    fn run_impl(mut self) -> (RunStats, Network, Trace, Checkpoint) {
+        let total = self.plan.len();
         loop {
+            // With fault events scheduled past the DAG's completion, the
+            // loop must not sit out a dangling restart window: once every
+            // job is terminal nothing can change.
+            if self.rec_active && self.jobs_done + self.jobs_failed + self.jobs_abandoned == total {
+                break;
+            }
             self.schedule_ready();
             let tq = self.events.peek_time();
             let tn = self.network.next_wakeup();
@@ -392,6 +524,13 @@ impl<'p> WorkflowExecutor<'p> {
                 (None, Some(b)) => b,
                 (Some(a), Some(b)) => a.min(b),
             };
+            if let Some(halt) = self.config.halt_at {
+                if t > halt {
+                    self.now = halt;
+                    self.halted = true;
+                    break;
+                }
+            }
             self.now = t;
             if let Some(clock) = &self.config.clock {
                 clock.set(t);
@@ -403,9 +542,18 @@ impl<'p> WorkflowExecutor<'p> {
             }
         }
 
-        let total = self.plan.len();
         let finished = self.jobs_done + self.jobs_failed + self.jobs_abandoned;
-        debug_assert_eq!(finished, total, "executor stalled with jobs outstanding");
+        debug_assert!(
+            finished == total || self.halted,
+            "executor stalled with jobs outstanding"
+        );
+        let checkpoint = Checkpoint {
+            completed_jobs: (0..total)
+                .filter(|&i| self.state[i] == JobState::Done)
+                .map(|i| self.plan.jobs()[i].name.clone())
+                .collect(),
+            taken_at: self.now,
+        };
         let storage = self
             .config
             .storage
@@ -431,8 +579,9 @@ impl<'p> WorkflowExecutor<'p> {
             final_scratch_bytes: self.scratch_bytes,
             finished_at: self.now,
             storage,
+            recovery: self.rec_active.then(|| std::mem::take(&mut self.recovery)),
         };
-        (stats, self.network, self.trace)
+        (stats, self.network, self.trace, checkpoint)
     }
 
     /// The job's kind as a metric label / trace category value.
@@ -531,7 +680,22 @@ impl<'p> WorkflowExecutor<'p> {
             PlanJobKind::StageIn { .. } | PlanJobKind::StageOut { .. } => {
                 self.ready_staging.push(priority, job)
             }
-            PlanJobKind::Cleanup { .. } => self.ready_cleanup.push(priority, job),
+            PlanJobKind::Cleanup { ref files } => {
+                let mut priority = priority;
+                if self.config.cleanup_price_order {
+                    if let Some(rt) = &self.config.storage {
+                        priority = priority.saturating_add(cleanup_price_boost(
+                            files.iter().map(|(u, _)| u.to_string()),
+                            |dest| {
+                                self.staged_on_backend.get(dest).and_then(|(backend, _)| {
+                                    rt.layer.backend(backend).map(|b| b.spec.cost.per_gb_hour)
+                                })
+                            },
+                        ));
+                    }
+                }
+                self.ready_cleanup.push(priority, job)
+            }
         }
     }
 
@@ -564,7 +728,7 @@ impl<'p> WorkflowExecutor<'p> {
             self.compute_core_seconds += actual;
             self.events.schedule_at(
                 self.now + SimDuration::from_secs_f64(actual),
-                Ev::ComputeDone(job),
+                Ev::ComputeDone(job, self.compute_epoch[job]),
             );
         }
         // Staging jobs respect the local job limit.
@@ -649,6 +813,8 @@ impl<'p> WorkflowExecutor<'p> {
                         attempts_left: self.config.retries,
                         skipped: 0,
                         retrying: None,
+                        exec_attempts: HashMap::new(),
+                        src_hosts: HashMap::new(),
                     },
                 );
                 // The callout happens now; the advice lands after a
@@ -737,10 +903,19 @@ impl<'p> WorkflowExecutor<'p> {
                 }
                 self.start_next_transfer(job);
             }
-            Ev::ComputeDone(job) => {
+            Ev::ComputeDone(job, epoch) => {
+                // A stale epoch means a node crash killed this attempt; the
+                // job re-queues when the node restarts.
+                if epoch != self.compute_epoch[job] {
+                    return;
+                }
                 self.compute_slots_free += 1;
                 self.finish_job(job);
             }
+            Ev::CrashStart(i) => self.on_crash_start(i),
+            Ev::CrashEnd(i) => self.on_crash_end(i),
+            Ev::OutageStart(i) => self.on_outage_start(i),
+            Ev::OutageEnd(i) => self.on_outage_end(i),
             Ev::CleanupAdvice(job) => {
                 self.note_policy_call();
                 self.close_rpc_span(job, "cleanup_rpc");
@@ -850,6 +1025,408 @@ impl<'p> WorkflowExecutor<'p> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Recovery plane
+    // ------------------------------------------------------------------
+
+    /// Deliver health observations to the Policy Service (policy-guided
+    /// mode only; naive-retry runs never report). Transport errors are
+    /// swallowed — health reporting is advisory, never load-bearing.
+    fn report_health_events(&mut self, events: Vec<HealthEvent>) {
+        let guided = self
+            .config
+            .recovery
+            .as_ref()
+            .is_some_and(|r| r.report_health);
+        if !guided {
+            return;
+        }
+        self.recovery.health_reports += 1;
+        let _ = self.transport.report_health(events);
+    }
+
+    fn on_crash_start(&mut self, i: usize) {
+        let crash = self
+            .config
+            .recovery
+            .as_ref()
+            .expect("recovery config")
+            .crashes[i]
+            .clone();
+        self.recovery.host_crashes += 1;
+        match crash.target {
+            CrashTarget::ComputeNode(node) => {
+                // The node's cores die with whatever was running on them:
+                // pick victims deterministically (lowest job id first).
+                let cores = self.cores_per_node as usize;
+                let victims: Vec<usize> = (0..self.plan.len())
+                    .filter(|&j| {
+                        self.state[j] == JobState::Running
+                            && matches!(self.plan.jobs()[j].kind, PlanJobKind::Compute { .. })
+                    })
+                    .take(cores)
+                    .collect();
+                self.trace.warn(
+                    self.now,
+                    "recovery",
+                    format!(
+                        "compute node {node} crashed; {} running job(s) killed",
+                        victims.len()
+                    ),
+                );
+                for &j in &victims {
+                    self.compute_epoch[j] += 1;
+                    // The attempt is gone but its core stays dead (slot not
+                    // freed) until the node restarts.
+                    self.state[j] = JobState::Ready;
+                    self.recovery.compute_reruns += 1;
+                }
+                self.crash_requeue.insert(i, victims);
+            }
+            CrashTarget::Host { host, name } => {
+                let up_at = crash.at + crash.restart_after;
+                self.trace.warn(
+                    self.now,
+                    "recovery",
+                    format!("host {name} crashed; flows endpointed there are dead"),
+                );
+                self.down_hosts.insert(name.clone(), up_at);
+                self.kill_flows_at(host);
+                self.report_health_events(vec![HealthEvent::HostDown { host: name }]);
+            }
+        }
+    }
+
+    fn on_crash_end(&mut self, i: usize) {
+        let crash = self
+            .config
+            .recovery
+            .as_ref()
+            .expect("recovery config")
+            .crashes[i]
+            .clone();
+        match crash.target {
+            CrashTarget::ComputeNode(node) => {
+                for j in self.crash_requeue.remove(&i).unwrap_or_default() {
+                    self.compute_slots_free += 1;
+                    let priority = self.plan.jobs()[j].priority;
+                    self.ready_compute.push(priority, j);
+                }
+                self.trace.info(
+                    self.now,
+                    "recovery",
+                    format!("compute node {node} restarted; killed jobs re-queued"),
+                );
+            }
+            CrashTarget::Host { name, .. } => {
+                self.down_hosts.remove(&name);
+                self.trace
+                    .info(self.now, "recovery", format!("host {name} restarted"));
+                self.report_health_events(vec![HealthEvent::HostUp { host: name }]);
+            }
+        }
+    }
+
+    fn on_outage_start(&mut self, i: usize) {
+        let outage = self
+            .config
+            .recovery
+            .as_ref()
+            .expect("recovery config")
+            .backend_outages[i]
+            .clone();
+        self.recovery.backend_outages += 1;
+        self.trace.warn(
+            self.now,
+            "recovery",
+            format!("storage backend {} went down", outage.backend),
+        );
+        // Policy-guided: kill the doomed flows now and let re-planning
+        // steer them to a live backend; the BackendDown fact removes the
+        // backend from the selection candidates. Naive: flows stall on the
+        // downed access link until the window ends.
+        let guided = self
+            .config
+            .recovery
+            .as_ref()
+            .is_some_and(|r| r.report_health);
+        if guided {
+            self.kill_flows_at(outage.host);
+            self.report_health_events(vec![HealthEvent::BackendDown {
+                backend: outage.backend,
+            }]);
+        }
+    }
+
+    fn on_outage_end(&mut self, i: usize) {
+        let outage = self
+            .config
+            .recovery
+            .as_ref()
+            .expect("recovery config")
+            .backend_outages[i]
+            .clone();
+        self.trace.info(
+            self.now,
+            "recovery",
+            format!("storage backend {} recovered", outage.backend),
+        );
+        self.report_health_events(vec![HealthEvent::BackendUp {
+            backend: outage.backend,
+        }]);
+    }
+
+    /// Kill every flow endpointed at `host` and route each victim into the
+    /// transfer-failure path (no retry budget consumed — infrastructure
+    /// faults are not the transfer's fault).
+    fn kill_flows_at(&mut self, host: pwm_net::HostId) {
+        let killed = self.network.kill_flows_touching(self.now, host);
+        for k in killed {
+            self.recovery.flows_killed += 1;
+            let Some((job, advice_ix)) = self.flow_owner.remove(&k.tag) else {
+                continue;
+            };
+            self.storage_flows.remove(&k.tag);
+            if let Some(obs) = &self.config.obs {
+                if let Some(span) = self.transfer_spans.remove(&k.tag) {
+                    obs.tracer.span_arg(span, "result", "killed");
+                    obs.tracer.end_span(span, self.now);
+                }
+            }
+            self.infra_transfer_failure(job, advice_ix, "killed by host fault");
+        }
+    }
+
+    /// A transfer died to infrastructure (killed flow / corrupt read):
+    /// report the failure so the service clears its in-progress entry, then
+    /// schedule a re-evaluation. Unlike injected transient failures this
+    /// consumes no retry budget and draws no randomness.
+    fn infra_transfer_failure(&mut self, job: usize, advice_ix: usize, why: &str) {
+        let Some(run) = self.staging_runs.get(&job) else {
+            return;
+        };
+        let advice_id = run.advice[advice_ix].id;
+        self.trace.warn(
+            self.now,
+            "recovery",
+            format!(
+                "transfer of job {} {why}; re-planning",
+                self.plan.jobs()[job].name
+            ),
+        );
+        self.note_policy_call();
+        self.report_transfers_or_queue(vec![TransferOutcome {
+            id: advice_id,
+            success: false,
+        }]);
+        let run = self.staging_runs.get_mut(&job).expect("staging run state");
+        run.retrying = Some(advice_ix);
+        let delay = self.config.policy_call_latency + self.config.retry_backoff_base;
+        self.events
+            .schedule_at(self.now + delay, Ev::RetryEvaluate(job));
+    }
+
+    /// True when `(host, path)` has accumulated enough checksum strikes to
+    /// be quarantined locally.
+    fn is_quarantined(&self, host: &str, path: &str) -> bool {
+        let threshold = self
+            .config
+            .recovery
+            .as_ref()
+            .map(|r| r.quarantine_strikes.max(1))
+            .unwrap_or(u32::MAX);
+        self.strikes
+            .get(&(host.to_string(), path.to_string()))
+            .is_some_and(|&s| s >= threshold)
+    }
+
+    /// The policy suppressed this transfer's source (quarantined replica or
+    /// down host): re-plan instead of skipping. In order of preference —
+    /// fail over to a live alternate replica, re-run the producer
+    /// (quarantine with no clean copy), or park the retry until the down
+    /// host's scheduled restart.
+    fn handle_blocked_source(&mut self, job: usize, advice_ix: usize, quarantined: bool) {
+        let run = self.staging_runs.get(&job).expect("staging run state");
+        let advice = run.advice[advice_ix].clone();
+        let key = (advice.source.to_string(), advice.dest.to_string());
+        let Some(&spec_ix) = run.by_urls.get(&key) else {
+            // Unresolvable advice — count it as skipped like before.
+            let run = self.staging_runs.get_mut(&job).expect("staging run state");
+            run.skipped += 1;
+            self.transfers_skipped += 1;
+            self.start_next_transfer(job);
+            return;
+        };
+        let file = self.planned_transfers(job)[spec_ix].file.clone();
+        let cur_host = advice.source.host.clone();
+        let cur_path = advice.source.path.clone();
+        // A live, un-quarantined replica that is not the current source.
+        let alternates: Vec<crate::catalog::Replica> = self
+            .config
+            .recovery
+            .as_ref()
+            .map(|r| r.replicas.replicas(&file).to_vec())
+            .unwrap_or_default();
+        let alt = alternates.into_iter().find(|r| {
+            r.url != advice.source
+                && !self.down_hosts.contains_key(&r.url.host)
+                && !self.is_quarantined(&r.url.host, &r.url.path)
+        });
+        let run = self.staging_runs.get_mut(&job).expect("staging run state");
+        if let Some(alt) = alt {
+            // Re-stage from the alternate replica: rewrite the spec and the
+            // advice→spec resolution, then re-ask the policy.
+            run.specs[spec_ix].source = alt.url.clone();
+            // Keep the stale advice slot resolvable: RetryEvaluate keys
+            // the spec lookup off the advice URLs.
+            run.advice[advice_ix].source = alt.url.clone();
+            run.by_urls.remove(&key);
+            run.by_urls
+                .insert((alt.url.to_string(), advice.dest.to_string()), spec_ix);
+            run.src_hosts.insert(spec_ix, alt.host);
+            run.retrying = Some(advice_ix);
+            self.recovery.replica_failovers += 1;
+            self.trace.info(
+                self.now,
+                "recovery",
+                format!("re-planning {file}: failing over to replica {}", alt.url),
+            );
+            self.events.schedule_at(
+                self.now + self.config.policy_call_latency,
+                Ev::RetryEvaluate(job),
+            );
+        } else if quarantined {
+            // No clean replica left: re-run the producer. Modeled as a
+            // fixed delay after which the regenerated file (generation + 1)
+            // reads clean; the quarantine is lifted so advice flows again.
+            *self.file_generation.entry(file.clone()).or_insert(0) += 1;
+            self.strikes.remove(&(cur_host.clone(), cur_path.clone()));
+            run.retrying = Some(advice_ix);
+            self.recovery.producer_reruns += 1;
+            self.trace.warn(
+                self.now,
+                "recovery",
+                format!("no clean replica of {file}; re-running its producer"),
+            );
+            self.report_health_events(vec![HealthEvent::ReplicaCleared {
+                host: cur_host,
+                file: cur_path,
+            }]);
+            let delay = self.config.producer_rerun_delay + self.config.policy_call_latency;
+            self.events
+                .schedule_at(self.now + delay, Ev::RetryEvaluate(job));
+        } else {
+            // Down host, nowhere else to go: wait for its scheduled
+            // restart (plus a round-trip so the HostUp report lands first).
+            run.retrying = Some(advice_ix);
+            self.recovery.waits_for_restart += 1;
+            let up_at = self
+                .down_hosts
+                .get(&cur_host)
+                .copied()
+                .unwrap_or(self.now + self.config.retry_backoff_base);
+            let at = up_at.max(self.now) + self.config.policy_call_latency;
+            self.trace.info(
+                self.now,
+                "recovery",
+                format!("source {cur_host} down; parking retry until {at}"),
+            );
+            self.events.schedule_at(at, Ev::RetryEvaluate(job));
+        }
+    }
+
+    /// Checksum the completed transfer against the integrity model. Returns
+    /// true when the read was corrupt and the failure path was taken.
+    fn checksum_failed(&mut self, job: usize, advice_ix: usize, tag: u64) -> bool {
+        let corruption = match self.config.recovery.as_ref() {
+            Some(r) if !r.corruption.is_clean() => r.corruption.clone(),
+            _ => return false,
+        };
+        let run = self.staging_runs.get(&job).expect("staging run state");
+        let advice = run.advice[advice_ix].clone();
+        let key = (advice.source.to_string(), advice.dest.to_string());
+        let Some(&spec_ix) = run.by_urls.get(&key) else {
+            return false;
+        };
+        let file = self.planned_transfers(job)[spec_ix].file.clone();
+        let attempt = run.exec_attempts.get(&advice_ix).copied().unwrap_or(1);
+        let generation = self.file_generation.get(&file).copied().unwrap_or(0);
+        let src_host = advice.source.host.clone();
+        if !corruption.read_is_corrupt(&src_host, &file, attempt, generation) {
+            return false;
+        }
+        // The bytes arrived but the checksum does not match: discard them,
+        // strike the replica, and (policy-guided) report the suspicion so
+        // the K-th strike quarantines the source.
+        self.recovery.corrupt_reads += 1;
+        self.storage_flows.remove(&tag);
+        if let Some(obs) = &self.config.obs {
+            if let Some(span) = self.transfer_spans.remove(&tag) {
+                obs.tracer.span_arg(span, "result", "corrupt");
+                obs.tracer.end_span(span, self.now);
+            }
+        }
+        let src_path = advice.source.path.clone();
+        let strikes = self
+            .strikes
+            .entry((src_host.clone(), src_path.clone()))
+            .or_insert(0);
+        *strikes += 1;
+        let quarantine = *strikes
+            >= self
+                .config
+                .recovery
+                .as_ref()
+                .map(|r| r.quarantine_strikes.max(1))
+                .unwrap_or(u32::MAX);
+        self.trace.warn(
+            self.now,
+            "recovery",
+            format!(
+                "checksum mismatch on {file} from {src_host} (strike {}){}",
+                strikes,
+                if quarantine {
+                    "; quarantining replica"
+                } else {
+                    ""
+                }
+            ),
+        );
+        if quarantine {
+            self.recovery.quarantines += 1;
+        }
+        self.report_health_events(vec![HealthEvent::SuspectReplica {
+            host: src_host,
+            file: src_path,
+            quarantine,
+        }]);
+        self.note_policy_call();
+        self.report_transfers_or_queue(vec![TransferOutcome {
+            id: advice.id,
+            success: false,
+        }]);
+        // Integrity retries back off exponentially on the *execution*
+        // attempt count but never consume the transient-failure budget.
+        let run = self.staging_runs.get_mut(&job).expect("staging run state");
+        run.retrying = Some(advice_ix);
+        let attempt = run.exec_attempts.get(&advice_ix).copied().unwrap_or(1);
+        let backoff = self
+            .config
+            .retry_backoff_base
+            .mul_f64(
+                self.config
+                    .retry_backoff_factor
+                    .max(1.0)
+                    .powi(attempt.saturating_sub(1) as i32),
+            )
+            .min(self.config.retry_backoff_cap);
+        self.events.schedule_at(
+            self.now + self.config.policy_call_latency + backoff,
+            Ev::RetryEvaluate(job),
+        );
+        true
+    }
+
     /// Resend queued completion reports before the next policy
     /// interaction. Without this, outcomes from an outage window are lost
     /// forever: a service that recovers (or a warm successor) would never
@@ -923,6 +1500,22 @@ impl<'p> WorkflowExecutor<'p> {
             run.next_advice += 1;
             let advice = run.advice[ix].clone();
             if !advice.should_execute() {
+                // A recovery suppression is a re-planning signal, not a
+                // dedup: the file still has to arrive from somewhere.
+                if self.rec_active {
+                    if let TransferAction::Skip(
+                        reason @ (SuppressReason::SourceQuarantined
+                        | SuppressReason::SourceHostDown),
+                    ) = advice.action
+                    {
+                        self.handle_blocked_source(
+                            job,
+                            ix,
+                            reason == SuppressReason::SourceQuarantined,
+                        );
+                        return;
+                    }
+                }
                 run.skipped += 1;
                 self.transfers_skipped += 1;
                 continue;
@@ -933,7 +1526,16 @@ impl<'p> WorkflowExecutor<'p> {
                 // defensively.
                 continue;
             };
-            let pt = self.planned_transfers(job)[spec_ix].clone();
+            let mut pt = self.planned_transfers(job)[spec_ix].clone();
+            if self.rec_active {
+                let run = self.staging_runs.get_mut(&job).expect("staging run state");
+                // Replica failover rewrote this spec's source.
+                if let Some(&src) = run.src_hosts.get(&spec_ix) {
+                    pt.src_host = src;
+                    pt.source = run.specs[spec_ix].source.clone();
+                }
+                *run.exec_attempts.entry(ix).or_insert(0) += 1;
+            }
             let tag = self.next_tag;
             self.next_tag += 1;
             // Policy-advised backend: redirect the flow to the backend's
@@ -1097,6 +1699,11 @@ impl<'p> WorkflowExecutor<'p> {
                     Ev::RetryEvaluate(job),
                 );
             } else {
+                // The transfer tool checksums what landed before declaring
+                // victory; a mismatch takes the integrity-failure path.
+                if self.rec_active && self.checksum_failed(job, advice_ix, record.tag) {
+                    continue;
+                }
                 self.bytes_staged += record.bytes;
                 self.grow_scratch(record.bytes);
                 if let Some(staged) = self.storage_flows.remove(&record.tag) {
@@ -1179,6 +1786,20 @@ impl<'p> WorkflowExecutor<'p> {
             }
         }
     }
+}
+
+/// Priority boost for a cleanup job under price-ordered eviction: the
+/// priciest $/GB·h residency among the job's files, scaled onto an integer
+/// ladder well above plan priorities so price dominates and ties fall back
+/// to plan order. Pure function of its inputs — `price_of` maps a file's
+/// destination URL to the residency rate of the backend holding it (`None`
+/// when the file is not on a metered backend).
+fn cleanup_price_boost(
+    files: impl Iterator<Item = String>,
+    price_of: impl Fn(&str) -> Option<f64>,
+) -> i32 {
+    let max_price = files.filter_map(|f| price_of(&f)).fold(0.0_f64, f64::max);
+    (max_price * 1e7).round() as i32
 }
 
 #[cfg(test)]
@@ -1874,6 +2495,379 @@ mod tests {
         );
         assert!(stats.success);
         assert!(stats.storage.is_none(), "no layer, no cost report");
+    }
+
+    // --------------------------------------------------------------
+    // Recovery plane
+    // --------------------------------------------------------------
+
+    use crate::recovery::{BackendOutage, CrashTarget, HostCrash, RecoveryConfig};
+
+    /// Replica catalog with the planned gridftp source plus an apache
+    /// mirror for every input file.
+    fn mirrored_replicas(
+        n: usize,
+        gridftp: pwm_net::HostId,
+        apache: pwm_net::HostId,
+    ) -> ReplicaCatalog {
+        let mut rc = ReplicaCatalog::new();
+        for i in 0..n {
+            rc.insert(
+                format!("in_{i}"),
+                pwm_core::Url::new("gsiftp", "gridftp-vm", format!("/data/in_{i}")),
+                gridftp,
+            );
+            rc.insert(
+                format!("in_{i}"),
+                pwm_core::Url::new("http", "apache-isi", format!("/mirror/in_{i}")),
+                apache,
+            );
+        }
+        rc
+    }
+
+    fn run_with_recovery(
+        n: usize,
+        bytes: u64,
+        recovery: RecoveryConfig,
+        tweak: impl FnOnce(&mut ExecutorConfig),
+    ) -> (RunStats, PolicyController) {
+        let (network, site, mut rc, gridftp) = testbed();
+        register_inputs(&mut rc, n, gridftp);
+        let wf = wide_workflow(n, bytes);
+        let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+        let controller = PolicyController::new(PolicyConfig::default());
+        let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
+        let mut cfg = ExecutorConfig::default();
+        cfg.recovery = Some(recovery);
+        tweak(&mut cfg);
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, cfg);
+        let (stats, _net) = exec.run();
+        (stats, controller)
+    }
+
+    #[test]
+    fn inert_recovery_config_changes_nothing() {
+        // An attached-but-empty recovery plane must leave the run
+        // bit-identical to one with no plane at all.
+        let mk = |recovery: Option<RecoveryConfig>| {
+            let (network, site, mut rc, gridftp) = testbed();
+            register_inputs(&mut rc, 5, gridftp);
+            let wf = wide_workflow(5, 5_000_000);
+            let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+            let controller = PolicyController::new(PolicyConfig::default());
+            let transport = Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
+            let mut cfg = ExecutorConfig::default();
+            cfg.seed = 11;
+            cfg.recovery = recovery;
+            let exec = WorkflowExecutor::new(&p, &site, network, transport, cfg);
+            exec.run().0
+        };
+        let without = mk(None);
+        let with_inert = mk(Some(RecoveryConfig::default()));
+        assert_eq!(without, with_inert);
+        assert!(with_inert.recovery.is_none(), "inert plane reports nothing");
+    }
+
+    #[test]
+    fn host_crash_kills_flows_and_fails_over_to_mirror() {
+        let (_topo, gridftp, apache, _nfs) = {
+            let (t, g, a, n) = paper_testbed();
+            (t, g, a, n)
+        };
+        let mut rec = RecoveryConfig::default();
+        rec.crashes.push(HostCrash {
+            target: CrashTarget::Host {
+                host: gridftp,
+                name: "gridftp-vm".into(),
+            },
+            at: SimTime::from_secs(4),
+            restart_after: SimDuration::from_secs(120),
+        });
+        rec.replicas = mirrored_replicas(8, gridftp, apache);
+        let (stats, _c) = run_with_recovery(8, 40_000_000, rec, |cfg| {
+            cfg.seed = 3;
+        });
+        assert!(stats.success, "failover must keep the workflow alive");
+        let report = stats.recovery.as_ref().expect("recovery report");
+        assert_eq!(report.host_crashes, 1);
+        assert!(report.flows_killed > 0, "the crash lands mid-staging");
+        assert!(
+            report.replica_failovers > 0,
+            "killed transfers re-plan onto the apache mirror"
+        );
+        // The run finished well before the crashed host's restart: recovery
+        // did not wait out the 120 s downtime.
+        assert!(
+            stats.makespan_secs() < 120.0,
+            "makespan {} should beat the restart window",
+            stats.makespan_secs()
+        );
+        // Failed-over flows really came from the mirror host.
+        assert!(stats.transfers.iter().any(|t| t.src == apache));
+    }
+
+    #[test]
+    fn host_crash_with_no_mirror_waits_for_restart() {
+        let (_t, gridftp, _a, _n) = paper_testbed();
+        let mut rec = RecoveryConfig::default();
+        rec.crashes.push(HostCrash {
+            target: CrashTarget::Host {
+                host: gridftp,
+                name: "gridftp-vm".into(),
+            },
+            at: SimTime::from_secs(4),
+            restart_after: SimDuration::from_secs(60),
+        });
+        // No alternates: the only copy lives on the crashed host.
+        let (stats, _c) = run_with_recovery(6, 40_000_000, rec, |cfg| {
+            cfg.seed = 5;
+        });
+        assert!(stats.success, "parked retries resume after restart");
+        let report = stats.recovery.as_ref().expect("recovery report");
+        assert!(report.flows_killed > 0);
+        assert!(report.waits_for_restart > 0, "no mirror: retries must park");
+        assert!(
+            stats.makespan_secs() > 64.0,
+            "makespan {} must include the 60 s downtime",
+            stats.makespan_secs()
+        );
+    }
+
+    #[test]
+    fn node_crash_requeues_running_compute_jobs() {
+        let mut rec = RecoveryConfig::default();
+        // Staging of 12 x 1 MB finishes around t=7 s and the 5 s computes
+        // run from there; crash a node mid-compute.
+        rec.crashes.push(HostCrash {
+            target: CrashTarget::ComputeNode(0),
+            at: SimTime::from_secs(9),
+            restart_after: SimDuration::from_secs(15),
+        });
+        let (stats, _c) = run_with_recovery(12, 1_000_000, rec, |cfg| {
+            cfg.seed = 7;
+        });
+        assert!(stats.success);
+        let report = stats.recovery.as_ref().expect("recovery report");
+        assert_eq!(report.host_crashes, 1);
+        assert!(
+            report.compute_reruns > 0,
+            "jobs were running at the crash instant"
+        );
+        // Victims re-queue only at restart, so the makespan covers it.
+        assert!(stats.makespan_secs() > 20.0);
+    }
+
+    #[test]
+    fn corruption_strikes_quarantine_and_fail_over() {
+        let (_t, gridftp, apache, _n) = paper_testbed();
+        let mut rec = RecoveryConfig::default();
+        rec.corruption.set_host_prob("gridftp-vm", 1.0);
+        rec.quarantine_strikes = 2;
+        rec.replicas = mirrored_replicas(4, gridftp, apache);
+        let (stats, _c) = run_with_recovery(4, 2_000_000, rec, |cfg| {
+            cfg.seed = 13;
+        });
+        assert!(stats.success);
+        let report = stats.recovery.as_ref().expect("recovery report");
+        // Every file: 2 corrupt reads → quarantine → mirror.
+        assert_eq!(report.corrupt_reads, 8, "two strikes per file");
+        assert_eq!(report.quarantines, 4);
+        assert_eq!(report.replica_failovers, 4);
+        assert_eq!(report.producer_reruns, 0, "the mirror is clean");
+        // Exactly one clean copy of each file was counted.
+        assert!((stats.bytes_staged - 8_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn corruption_with_no_mirror_heals_via_producer_rerun() {
+        let mut rec = RecoveryConfig::default();
+        rec.corruption.set_host_prob("gridftp-vm", 1.0);
+        rec.quarantine_strikes = 1;
+        let (stats, _c) = run_with_recovery(3, 1_000_000, rec, |cfg| {
+            cfg.seed = 17;
+            cfg.producer_rerun_delay = SimDuration::from_secs(5);
+        });
+        assert!(stats.success, "regenerated files read clean");
+        let report = stats.recovery.as_ref().expect("recovery report");
+        assert_eq!(report.producer_reruns, 3, "one regeneration per file");
+        assert_eq!(report.replica_failovers, 0, "nowhere to fail over to");
+        assert!((stats.bytes_staged - 3_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn naive_retry_grinds_through_transient_corruption() {
+        let mut rec = RecoveryConfig::default();
+        rec.corruption.set_host_prob("gridftp-vm", 0.5);
+        rec.report_health = false; // naive: no health reports, no re-planning
+        let (stats, _c) = run_with_recovery(6, 1_000_000, rec, |cfg| {
+            cfg.seed = 19;
+        });
+        assert!(
+            stats.success,
+            "per-attempt independence guarantees progress"
+        );
+        let report = stats.recovery.as_ref().expect("recovery report");
+        assert!(report.corrupt_reads > 0, "p=0.5 must corrupt something");
+        assert_eq!(report.health_reports, 0, "naive mode stays silent");
+        assert_eq!(report.replica_failovers, 0);
+        assert_eq!(report.producer_reruns, 0);
+    }
+
+    #[test]
+    fn backend_outage_steers_placement_away() {
+        // The cheapest backend goes down before the run starts; policy
+        // placement must route every staged byte elsewhere.
+        let (mut topo, gridftp, _apache, nfs) = pwm_net::paper_testbed();
+        let trio = pwm_storage::ec2_trio();
+        let layer = StorageLayer::install(&mut topo, nfs, &trio);
+        let nfs_std_host = layer.backend("nfs-std").expect("trio has nfs-std").host;
+        let site = ComputeSite {
+            name: "obelix".into(),
+            nodes: 9,
+            cores_per_node: 6,
+            storage_host: nfs,
+            storage_host_name: "obelix-nfs".into(),
+            scratch_dir: "/scratch".into(),
+        };
+        let network = Network::new(topo, StreamModel::default());
+        let mut rc = ReplicaCatalog::new();
+        register_inputs(&mut rc, 5, gridftp);
+        let wf = wide_workflow(5, 5_000_000);
+        let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+        let mut policy =
+            PolicyConfig::default().with_storage(pwm_core::StoragePolicy::GreedyCheapest);
+        for spec in &trio {
+            policy = policy.with_backend(spec.clone(), "obelix-nfs");
+        }
+        let controller = PolicyController::new(policy);
+        let transport = Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
+        let mut cfg = ExecutorConfig::default();
+        cfg.storage = Some(StorageRuntime::new(layer));
+        let mut rec = RecoveryConfig::default();
+        rec.backend_outages.push(BackendOutage {
+            backend: "nfs-std".into(),
+            host: nfs_std_host,
+            from: SimTime::ZERO,
+            duration: SimDuration::from_secs(10_000),
+        });
+        cfg.recovery = Some(rec);
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, cfg);
+        let (stats, _net) = exec.run();
+        assert!(stats.success);
+        let report = stats.recovery.as_ref().expect("recovery report");
+        assert_eq!(report.backend_outages, 1);
+        // The run finishes inside the outage window, so only the "down"
+        // report is guaranteed to have fired.
+        assert!(report.health_reports >= 1, "BackendDown reported");
+        // Not a byte landed on the downed backend.
+        let storage = stats.storage.as_ref().expect("metered");
+        assert_eq!(storage.backend("nfs-std").unwrap().bytes_put, 0.0);
+        assert!(stats.transfers.iter().all(|t| t.dst != nfs_std_host));
+    }
+
+    #[test]
+    fn halt_checkpoint_resume_skips_finished_work() {
+        let run_full = || {
+            let (network, site, mut rc, gridftp) = testbed();
+            register_inputs(&mut rc, 8, gridftp);
+            let wf = wide_workflow(8, 20_000_000);
+            let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+            let controller = PolicyController::new(PolicyConfig::default());
+            let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
+            let mut cfg = ExecutorConfig::default();
+            cfg.seed = 23;
+            let exec = WorkflowExecutor::new(&p, &site, network, transport, cfg);
+            exec.run().0
+        };
+        let full = run_full();
+        assert!(full.success);
+
+        // Same setup, but the site "crashes" mid-run: halt, checkpoint,
+        // then resume against the same policy controller.
+        let (network, site, mut rc, gridftp) = testbed();
+        register_inputs(&mut rc, 8, gridftp);
+        let wf = wide_workflow(8, 20_000_000);
+        let p = plan(&wf, &site, &rc, &PlannerConfig::default()).unwrap();
+        let controller = PolicyController::new(PolicyConfig::default());
+        let transport = Box::new(InProcessTransport::new(controller.clone(), DEFAULT_SESSION));
+        let mut cfg = ExecutorConfig::default();
+        cfg.seed = 23;
+        // The 8 WAN flows fair-share the bottleneck and all finish around
+        // 85% of the makespan; halt just after, mid-compute, so the
+        // checkpoint holds the stage-in frontier.
+        cfg.halt_at = Some(SimTime::from_secs_f64(full.makespan_secs() * 0.92));
+        let exec = WorkflowExecutor::new(&p, &site, network, transport, cfg.clone());
+        let (halted, _net, cp) = exec.run_checkpointed();
+        assert!(!halted.success, "halted mid-DAG");
+        assert!(!cp.is_empty(), "something completed before the halt");
+        assert!(cp.completed_jobs.len() < p.len());
+
+        let (network2, ..) = testbed();
+        let transport2 = Box::new(InProcessTransport::new(controller, DEFAULT_SESSION));
+        let mut cfg2 = ExecutorConfig::default();
+        cfg2.seed = 23;
+        cfg2.resume_from = Some(cp.clone());
+        let exec2 = WorkflowExecutor::new(&p, &site, network2, transport2, cfg2);
+        let (resumed, _net) = exec2.run();
+        assert!(resumed.success, "resume completes the remaining frontier");
+        // Finished jobs did not re-run and already-staged files were
+        // deduplicated by the shared policy memory.
+        assert!(
+            resumed.bytes_staged < full.bytes_staged,
+            "resumed {} vs full {}",
+            resumed.bytes_staged,
+            full.bytes_staged
+        );
+        assert!(resumed.staging_jobs <= full.staging_jobs);
+    }
+
+    #[test]
+    fn cleanup_price_boost_orders_priciest_first() {
+        let price = |f: &str| match f {
+            "s3://a" => Some(0.000_05),
+            "pfs://b" => Some(0.001_2),
+            "nfs://c" => Some(0.000_1),
+            _ => None,
+        };
+        let boost =
+            |files: &[&str]| cleanup_price_boost(files.iter().map(|s| s.to_string()), price);
+        // The priciest residency dominates the boost.
+        assert_eq!(boost(&["pfs://b", "nfs://c"]), 12_000);
+        assert_eq!(boost(&["s3://a"]), 500);
+        assert_eq!(boost(&["nfs://c"]), 1_000);
+        // Eviction order: pfs > nfs > s3 > unmetered.
+        assert!(boost(&["pfs://b"]) > boost(&["nfs://c"]));
+        assert!(boost(&["nfs://c"]) > boost(&["s3://a"]));
+        assert_eq!(boost(&["unknown"]), 0);
+        assert_eq!(boost(&[]), 0);
+    }
+
+    #[test]
+    fn recovery_runs_are_deterministic_per_seed() {
+        let (_t, gridftp, apache, _n) = paper_testbed();
+        let mk = |seed| {
+            let mut rec = RecoveryConfig::default();
+            rec.corruption.set_host_prob("gridftp-vm", 0.4);
+            rec.crashes.push(HostCrash {
+                target: CrashTarget::Host {
+                    host: gridftp,
+                    name: "gridftp-vm".into(),
+                },
+                at: SimTime::from_secs(5),
+                restart_after: SimDuration::from_secs(30),
+            });
+            rec.replicas = mirrored_replicas(6, gridftp, apache);
+            let (stats, _c) = run_with_recovery(6, 10_000_000, rec, |cfg| {
+                cfg.seed = seed;
+            });
+            stats
+        };
+        let a = mk(31);
+        let b = mk(31);
+        assert_eq!(a, b, "same seed, same faults, same run — bit for bit");
+        assert!(a.success);
+        assert_ne!(mk(32), a, "a different seed perturbs the run");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod dax;
 pub mod executor;
 pub mod multi;
 pub mod planner;
+pub mod recovery;
 pub mod report;
 pub mod stats;
 
@@ -39,6 +40,9 @@ pub use multi::merge_plans;
 pub use planner::{
     plan, ExecutablePlan, PlanError, PlanJob, PlanJobId, PlanJobKind, PlannedTransfer,
     PlannerConfig,
+};
+pub use recovery::{
+    BackendOutage, Checkpoint, CrashTarget, HostCrash, RecoveryConfig, RecoveryReport,
 };
 pub use report::render_report;
 pub use stats::RunStats;

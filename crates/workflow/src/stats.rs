@@ -1,5 +1,6 @@
 //! Post-run statistics of a workflow execution.
 
+use crate::recovery::RecoveryReport;
 use pwm_net::TransferRecord;
 use pwm_sim::{SimDuration, SimTime};
 use pwm_storage::StorageCostReport;
@@ -51,6 +52,9 @@ pub struct RunStats {
     /// Dollar-cost accounting of the storage backends (`None` when the run
     /// had no storage layer attached).
     pub storage: Option<StorageCostReport>,
+    /// What the recovery plane did (`None` when no — or an inert — recovery
+    /// config was attached).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunStats {
@@ -108,6 +112,7 @@ mod tests {
             final_scratch_bytes: 0.0,
             finished_at: SimTime::from_secs(100),
             storage: None,
+            recovery: None,
         }
     }
 

